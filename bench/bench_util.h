@@ -1,0 +1,183 @@
+#ifndef MODIS_BENCH_BENCH_UTIL_H_
+#define MODIS_BENCH_BENCH_UTIL_H_
+
+/// Shared scaffolding for the experiment-reproduction binaries: running the
+/// four MODis algorithms over a wired bench task, selecting the reporting
+/// table from a skyline (best *estimated* value of a chosen measure, then
+/// actual model inference — the paper's Exp-1 protocol), and fixed-width
+/// table printing.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "common/strings.h"
+#include "core/algorithms.h"
+#include "datagen/tasks.h"
+
+namespace modis::bench {
+
+/// Which MODis variant to run.
+enum class Algo { kApx, kNoBi, kBi, kDiv };
+
+inline const char* AlgoName(Algo a) {
+  switch (a) {
+    case Algo::kApx:
+      return "ApxMODis";
+    case Algo::kNoBi:
+      return "NOBiMODis";
+    case Algo::kBi:
+      return "BiMODis";
+    case Algo::kDiv:
+      return "DivMODis";
+  }
+  return "?";
+}
+
+inline Result<ModisResult> RunAlgo(Algo algo, const SearchUniverse& universe,
+                                   PerformanceOracle* oracle,
+                                   const ModisConfig& config) {
+  switch (algo) {
+    case Algo::kApx:
+      return RunApxModis(universe, oracle, config);
+    case Algo::kNoBi:
+      return RunNoBiModis(universe, oracle, config);
+    case Algo::kBi:
+      return RunBiModis(universe, oracle, config);
+    case Algo::kDiv:
+      return RunDivModis(universe, oracle, config);
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+/// One reported method row: actual (exact) evaluation of the selected
+/// dataset + its size + discovery time.
+struct MethodReport {
+  std::string name;
+  Evaluation eval;
+  size_t rows = 0;
+  size_t cols = 0;
+  double discovery_seconds = 0.0;
+};
+
+/// Index of measure `name` in the vector (aborts if absent).
+inline size_t MeasureIndex(const std::vector<MeasureSpec>& measures,
+                           const std::string& name) {
+  for (size_t i = 0; i < measures.size(); ++i) {
+    if (measures[i].name == name) return i;
+  }
+  std::fprintf(stderr, "no measure named %s\n", name.c_str());
+  std::abort();
+}
+
+/// Picks the skyline entry with the best (lowest normalized) estimated
+/// value of `measure`, re-evaluates it exactly, and returns the report.
+/// Returns nullopt for an empty skyline.
+inline Result<MethodReport> ReportBestBy(const std::string& algo_name,
+                                         const ModisResult& result,
+                                         size_t measure,
+                                         const SearchUniverse& universe,
+                                         TaskEvaluator* evaluator) {
+  if (result.skyline.empty()) {
+    return Status::NotFound(algo_name + ": empty skyline");
+  }
+  const SkylineEntry* best = &result.skyline.front();
+  for (const auto& e : result.skyline) {
+    if (e.eval.normalized[measure] < best->eval.normalized[measure]) {
+      best = &e;
+    }
+  }
+  MethodReport report;
+  report.name = algo_name;
+  MODIS_ASSIGN_OR_RETURN(report.eval,
+                         evaluator->Evaluate(universe.Materialize(best->state)));
+  report.rows = best->rows;
+  report.cols = best->cols;
+  report.discovery_seconds = result.seconds;
+  return report;
+}
+
+/// Runs all four MODis variants with fresh oracles and reports each (best
+/// by `select_measure`). `surrogate` switches the search to the MO-GBM
+/// estimator; reporting is always exact.
+inline Result<std::vector<MethodReport>> RunAllModis(
+    const TabularBench& bench, const SearchUniverse& universe,
+    ModisConfig config, size_t select_measure, bool surrogate) {
+  std::vector<MethodReport> reports;
+  for (Algo algo : {Algo::kApx, Algo::kNoBi, Algo::kBi, Algo::kDiv}) {
+    auto evaluator = bench.MakeEvaluator();
+    std::unique_ptr<PerformanceOracle> oracle;
+    if (surrogate) {
+      oracle = std::make_unique<MoGbmOracle>(evaluator.get());
+    } else {
+      oracle = std::make_unique<ExactOracle>(evaluator.get());
+    }
+    MODIS_ASSIGN_OR_RETURN(ModisResult result,
+                           RunAlgo(algo, universe, oracle.get(), config));
+    auto report = ReportBestBy(AlgoName(algo), result, select_measure,
+                               universe, evaluator.get());
+    if (!report.ok()) continue;  // Empty skyline at tiny budgets.
+    reports.push_back(std::move(report).value());
+  }
+  return reports;
+}
+
+/// Converts a BaselineResult into a MethodReport.
+inline MethodReport FromBaseline(const BaselineResult& r) {
+  MethodReport report;
+  report.name = r.name;
+  report.eval = r.eval;
+  report.rows = r.dataset.num_rows();
+  report.cols = r.dataset.num_cols();
+  report.discovery_seconds = r.seconds;
+  return report;
+}
+
+/// Prints a paper-style table: one row per measure, one column per method,
+/// with the raw (natural-unit) values, then an output-size row.
+inline void PrintMethodTable(const std::string& title,
+                             const std::vector<MeasureSpec>& measures,
+                             const std::vector<MethodReport>& methods) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%s", PadRight("measure", 12).c_str());
+  for (const auto& m : methods) {
+    std::printf(" %s", PadRight(m.name, 11).c_str());
+  }
+  std::printf("\n");
+  for (size_t j = 0; j < measures.size(); ++j) {
+    std::printf("%s", PadRight(measures[j].name, 12).c_str());
+    for (const auto& m : methods) {
+      std::printf(" %s", PadRight(FormatDouble(m.eval.raw[j], 4), 11).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("%s", PadRight("size (r,c)", 12).c_str());
+  for (const auto& m : methods) {
+    std::printf(" %s",
+                PadRight("(" + std::to_string(m.rows) + "," +
+                             std::to_string(m.cols) + ")",
+                         11)
+                    .c_str());
+  }
+  std::printf("\n%s", PadRight("disc. sec", 12).c_str());
+  for (const auto& m : methods) {
+    std::printf(" %s",
+                PadRight(FormatDouble(m.discovery_seconds, 2), 11).c_str());
+  }
+  std::printf("\n");
+}
+
+/// rImp(p) = M(D_M).p / M(D_o).p over normalized values (both minimized),
+/// so larger is better (§6 "Evaluation metrics").
+inline double RelativeImprovement(const Evaluation& original,
+                                  const Evaluation& output, size_t measure) {
+  const double denom = output.normalized[measure];
+  if (denom <= 0.0) return 0.0;
+  return original.normalized[measure] / denom;
+}
+
+}  // namespace modis::bench
+
+#endif  // MODIS_BENCH_BENCH_UTIL_H_

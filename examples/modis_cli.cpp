@@ -1,0 +1,194 @@
+/// modis_cli — command-line skyline data discovery over CSV files.
+///
+/// Usage:
+///   modis_cli --dir <path> --key <col> --target <col>
+///             [--task regression|classification]
+///             [--algo apx|nobi|bi|div] [--epsilon 0.2] [--budget 150]
+///             [--maxl 4] [--k 5] [--out <dir>]
+///
+/// Loads every *.csv in <dir> as a source table, builds the universal
+/// table by full outer joins on <key>, runs the chosen MODis algorithm
+/// with measures {headline accuracy/error, training time}, and writes the
+/// skyline datasets as skyline_<i>.csv into <out> (default: <dir>).
+///
+/// A self-contained demo lake is generated when --dir is omitted.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "core/algorithms.h"
+#include "datagen/data_lake.h"
+#include "estimator/supervised_evaluator.h"
+#include "ml/gradient_boosting.h"
+#include "ml/random_forest.h"
+#include "ops/operators.h"
+#include "table/csv.h"
+
+namespace fs = std::filesystem;
+using namespace modis;
+
+namespace {
+
+struct Args {
+  std::string dir;
+  std::string out;
+  std::string key = "id";
+  std::string target = "target";
+  std::string task = "regression";
+  std::string algo = "bi";
+  double epsilon = 0.2;
+  size_t budget = 150;
+  int maxl = 4;
+  size_t k = 5;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  std::map<std::string, std::string*> str_flags{
+      {"--dir", &args->dir},     {"--out", &args->out},
+      {"--key", &args->key},     {"--target", &args->target},
+      {"--task", &args->task},   {"--algo", &args->algo},
+  };
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (auto it = str_flags.find(flag); it != str_flags.end()) {
+      *it->second = value;
+    } else if (flag == "--epsilon") {
+      args->epsilon = std::stod(value);
+    } else if (flag == "--budget") {
+      args->budget = std::stoul(value);
+    } else if (flag == "--maxl") {
+      args->maxl = std::stoi(value);
+    } else if (flag == "--k") {
+      args->k = std::stoul(value);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Writes a demo lake when no --dir was given, so the CLI is runnable
+/// standalone.
+Status PrepareDemoLake(Args* args) {
+  const fs::path dir = fs::temp_directory_path() / "modis_cli_demo";
+  fs::create_directories(dir);
+  DataLakeSpec spec;
+  spec.num_rows = 800;
+  spec.num_tables = 3;
+  spec.seed = 21;
+  MODIS_ASSIGN_OR_RETURN(DataLake lake, GenerateDataLake(spec));
+  for (size_t t = 0; t < lake.tables.size(); ++t) {
+    MODIS_RETURN_IF_ERROR(WriteCsvFile(
+        lake.tables[t], (dir / ("table_" + std::to_string(t) + ".csv"))
+                            .string()));
+  }
+  args->dir = dir.string();
+  std::printf("no --dir given; demo lake written to %s\n", dir.c_str());
+  return Status::OK();
+}
+
+Status Run(Args args) {
+  if (args.dir.empty()) {
+    MODIS_RETURN_IF_ERROR(PrepareDemoLake(&args));
+  }
+  if (args.out.empty()) args.out = args.dir;
+
+  std::vector<Table> sources;
+  for (const auto& entry : fs::directory_iterator(args.dir)) {
+    if (entry.path().extension() != ".csv") continue;
+    if (entry.path().filename().string().rfind("skyline_", 0) == 0) continue;
+    MODIS_ASSIGN_OR_RETURN(Table table, ReadCsvFile(entry.path().string()));
+    sources.push_back(std::move(table));
+  }
+  if (sources.empty()) {
+    return Status::NotFound("no CSV files in " + args.dir);
+  }
+  MODIS_ASSIGN_OR_RETURN(Table universal,
+                         BuildUniversalTable(sources, args.key));
+  std::printf("universal table: %zu x %zu\n", universal.num_rows(),
+              universal.num_cols());
+
+  const bool regression = args.task == "regression";
+  SupervisedTask task;
+  task.target = args.target;
+  task.task = regression ? TaskKind::kRegression : TaskKind::kClassification;
+  task.exclude = {args.key};
+  task.measures =
+      regression
+          ? std::vector<MeasureSpec>{MeasureSpec::Minimize("mse", 4.0),
+                                     MeasureSpec::Minimize("train_time", 1.0)}
+          : std::vector<MeasureSpec>{MeasureSpec::Maximize("acc"),
+                                     MeasureSpec::Maximize("f1"),
+                                     MeasureSpec::Minimize("train_time", 1.0)};
+  std::unique_ptr<MlModel> model;
+  if (regression) {
+    model = std::make_unique<GradientBoostingRegressor>(
+        GbmOptions{.num_rounds = 30});
+  } else {
+    model = std::make_unique<RandomForestClassifier>();
+  }
+  SupervisedEvaluator evaluator(task, std::move(model));
+
+  SearchUniverse::Options opts;
+  opts.protected_attributes = {args.target, args.key};
+  MODIS_ASSIGN_OR_RETURN(SearchUniverse universe,
+                         SearchUniverse::Build(universal, opts));
+
+  ExactOracle oracle(&evaluator);
+  ModisConfig config;
+  config.epsilon = args.epsilon;
+  config.max_states = args.budget;
+  config.max_level = args.maxl;
+  config.diversify_k = args.k;
+
+  Result<ModisResult> result = Status::Internal("unset");
+  if (args.algo == "apx") {
+    result = RunApxModis(universe, &oracle, config);
+  } else if (args.algo == "nobi") {
+    result = RunNoBiModis(universe, &oracle, config);
+  } else if (args.algo == "bi") {
+    result = RunBiModis(universe, &oracle, config);
+  } else if (args.algo == "div") {
+    result = RunDivModis(universe, &oracle, config);
+  } else {
+    return Status::InvalidArgument("unknown --algo " + args.algo);
+  }
+  MODIS_RETURN_IF_ERROR(result.status());
+
+  std::printf("%s: valuated %zu states in %.2f s; skyline size %zu\n",
+              args.algo.c_str(), result->valuated_states, result->seconds,
+              result->skyline.size());
+  size_t i = 0;
+  for (const auto& entry : result->skyline) {
+    Table dataset = universe.Materialize(entry.state);
+    const fs::path path =
+        fs::path(args.out) / ("skyline_" + std::to_string(i++) + ".csv");
+    MODIS_RETURN_IF_ERROR(WriteCsvFile(dataset, path.string()));
+    std::printf("  %s (%zu x %zu):", path.filename().c_str(),
+                dataset.num_rows(), dataset.num_cols());
+    for (size_t j = 0; j < task.measures.size(); ++j) {
+      std::printf(" %s=%.4f", task.measures[j].name.c_str(),
+                  entry.eval.raw[j]);
+    }
+    std::printf("\n");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  Status status = Run(std::move(args));
+  if (!status.ok()) {
+    std::fprintf(stderr, "modis_cli: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#ifndef MODIS_BASELINES_BASELINES_H_
+#define MODIS_BASELINES_BASELINES_H_
+
+#include <string>
+
+#include "datagen/data_lake.h"
+#include "estimator/supervised_evaluator.h"
+#include "ml/model.h"
+
+namespace modis {
+
+/// Output of one baseline data-discovery run: the suggested dataset, its
+/// exact evaluation under the task's model, and the discovery wall time.
+struct BaselineResult {
+  std::string name;
+  Table dataset;
+  Evaluation eval;
+  double seconds = 0.0;
+};
+
+/// Options of the METAM-style goal-oriented discovery baseline.
+struct MetamOptions {
+  /// Index (into the task's measure vector) of the single utility measure
+  /// the greedy join search optimizes.
+  size_t utility_measure = 0;
+  /// METAM-MO: optimize the equal-weight sum of all normalized measures
+  /// instead of a single one.
+  bool multi_objective = false;
+  int max_joins = 16;
+};
+
+/// METAM (Galhotra et al., ICDE'23) reimplementation: starting from the
+/// base table, greedily left-joins the candidate table that most improves
+/// the utility (evaluated with the downstream model), until no candidate
+/// improves it.
+Result<BaselineResult> RunMetam(const DataLake& lake,
+                                SupervisedEvaluator* evaluator,
+                                const MetamOptions& options);
+
+/// Starmie-style (VLDB'23) union/join search: ranks candidate tables by
+/// column-content similarity to the base table (Jaccard over value
+/// samples, a stand-in for its contrastive column embeddings) and joins
+/// every candidate above `sim_threshold` — model-agnostic augmentation.
+Result<BaselineResult> RunStarmieLite(const DataLake& lake,
+                                      SupervisedEvaluator* evaluator,
+                                      double sim_threshold = 0.1);
+
+/// scikit-learn SelectFromModel-style feature selection: trains the task
+/// model on the universal table, keeps features with importance above the
+/// mean, projects.
+Result<BaselineResult> RunSkSfm(const Table& universal,
+                                SupervisedEvaluator* evaluator,
+                                MlModel* prototype);
+
+/// H2O-style feature selection: fits a linear proxy (ridge / logistic) and
+/// keeps features whose |standardized coefficient| is above the mean.
+Result<BaselineResult> RunH2oFs(const Table& universal,
+                                SupervisedEvaluator* evaluator);
+
+/// HydraGAN-style generative augmentation: fits per-column marginals on
+/// the base table and appends `synth_rows` sampled rows (no external data
+/// used — the paper's contrast in Exp-1/T4).
+Result<BaselineResult> RunHydraGanLite(const DataLake& lake,
+                                       SupervisedEvaluator* evaluator,
+                                       size_t synth_rows, uint64_t seed = 99);
+
+/// Baseline "Original": evaluates the base table joined with nothing.
+Result<BaselineResult> RunOriginal(const Table& universal,
+                                   SupervisedEvaluator* evaluator);
+
+}  // namespace modis
+
+#endif  // MODIS_BASELINES_BASELINES_H_

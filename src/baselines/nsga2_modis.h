@@ -1,0 +1,29 @@
+#ifndef MODIS_BASELINES_NSGA2_MODIS_H_
+#define MODIS_BASELINES_NSGA2_MODIS_H_
+
+#include "core/engine.h"
+#include "moo/nsga2.h"
+
+namespace modis {
+
+/// Outcome of the evolutionary alternative: its final non-dominated front
+/// mapped back to skyline entries, plus the evaluation budget it consumed.
+struct Nsga2ModisResult {
+  std::vector<SkylineEntry> skyline;
+  size_t evaluations = 0;
+  double seconds = 0.0;
+};
+
+/// Runs NSGA-II over the same state-bitmap space as the MODis engine (the
+/// alternative discussed in the paper's §5.4 Remarks). Genomes are state
+/// bitmaps; protected attribute bits are forced on; fitness is the
+/// oracle's normalized performance vector, with the user-defined upper
+/// bounds acting as feasibility constraints. Used by bench_nsga2_compare
+/// to contrast convergence and cost against the deterministic search.
+Result<Nsga2ModisResult> RunNsga2Modis(const SearchUniverse& universe,
+                                       PerformanceOracle* oracle,
+                                       const Nsga2Options& options);
+
+}  // namespace modis
+
+#endif  // MODIS_BASELINES_NSGA2_MODIS_H_

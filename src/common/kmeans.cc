@@ -1,0 +1,86 @@
+#include "common/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+
+namespace modis {
+
+KMeans1DResult KMeans1D(const std::vector<double>& data, int k, Rng* rng,
+                        int max_iters) {
+  MODIS_CHECK(k > 0) << "KMeans1D: k must be positive";
+  KMeans1DResult result;
+  result.assignment.assign(data.size(), 0);
+  if (data.empty()) return result;
+
+  // Distinct values; if <= k, each is its own center.
+  std::set<double> distinct(data.begin(), data.end());
+  if (static_cast<int>(distinct.size()) <= k) {
+    result.centers.assign(distinct.begin(), distinct.end());
+  } else {
+    // k-means++ seeding.
+    std::vector<double> pts(distinct.begin(), distinct.end());
+    std::vector<double> centers;
+    centers.push_back(pts[rng->UniformInt(pts.size())]);
+    std::vector<double> d2(pts.size());
+    while (static_cast<int>(centers.size()) < k) {
+      for (size_t i = 0; i < pts.size(); ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        for (double c : centers) best = std::min(best, (pts[i] - c) * (pts[i] - c));
+        d2[i] = best;
+      }
+      double total = 0.0;
+      for (double d : d2) total += d;
+      if (total <= 0.0) break;  // All points coincide with centers.
+      centers.push_back(pts[rng->Categorical(d2)]);
+    }
+    // Lloyd iterations over the raw data.
+    for (int iter = 0; iter < max_iters; ++iter) {
+      std::vector<double> sums(centers.size(), 0.0);
+      std::vector<size_t> counts(centers.size(), 0);
+      for (double x : data) {
+        size_t best = 0;
+        double bd = std::numeric_limits<double>::infinity();
+        for (size_t c = 0; c < centers.size(); ++c) {
+          const double d = (x - centers[c]) * (x - centers[c]);
+          if (d < bd) {
+            bd = d;
+            best = c;
+          }
+        }
+        sums[best] += x;
+        counts[best] += 1;
+      }
+      bool changed = false;
+      for (size_t c = 0; c < centers.size(); ++c) {
+        if (counts[c] == 0) continue;
+        const double next = sums[c] / static_cast<double>(counts[c]);
+        if (std::abs(next - centers[c]) > 1e-12) changed = true;
+        centers[c] = next;
+      }
+      if (!changed) break;
+    }
+    result.centers = std::move(centers);
+  }
+
+  std::sort(result.centers.begin(), result.centers.end());
+  // Final assignment to the sorted centers.
+  for (size_t i = 0; i < data.size(); ++i) {
+    size_t best = 0;
+    double bd = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < result.centers.size(); ++c) {
+      const double d = std::abs(data[i] - result.centers[c]);
+      if (d < bd) {
+        bd = d;
+        best = c;
+      }
+    }
+    result.assignment[i] = static_cast<int>(best);
+  }
+  return result;
+}
+
+}  // namespace modis

@@ -1,0 +1,28 @@
+#ifndef MODIS_COMMON_KMEANS_H_
+#define MODIS_COMMON_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace modis {
+
+/// Result of a 1-D k-means run: cluster centers (sorted ascending) and the
+/// assignment of each input point to a center index.
+struct KMeans1DResult {
+  std::vector<double> centers;
+  std::vector<int> assignment;
+};
+
+/// Lloyd's algorithm on scalar data with k-means++ style seeding.
+///
+/// Used to compress active domains: the paper clusters adom(A) (max k = 30)
+/// and derives one equality literal per cluster (§6, "Construction of D_U
+/// and Operators"). If there are fewer than k distinct values the distinct
+/// values themselves become the centers.
+KMeans1DResult KMeans1D(const std::vector<double>& data, int k, Rng* rng,
+                        int max_iters = 50);
+
+}  // namespace modis
+
+#endif  // MODIS_COMMON_KMEANS_H_

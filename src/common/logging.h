@@ -1,0 +1,48 @@
+#ifndef MODIS_COMMON_LOGGING_H_
+#define MODIS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace modis::internal_logging {
+
+/// Stream that aborts the process when destroyed. Used by MODIS_CHECK to
+/// collect a failure message before terminating.
+class FatalStream {
+ public:
+  FatalStream(const char* file, int line, const char* condition) {
+    stream_ << "[FATAL " << file << ":" << line << "] Check failed: "
+            << condition << " ";
+  }
+  [[noreturn]] ~FatalStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  FatalStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace modis::internal_logging
+
+/// Aborts with a message if `cond` is false. For programming errors only —
+/// recoverable conditions must use Status.
+#define MODIS_CHECK(cond)                                            \
+  if (!(cond))                                                       \
+  ::modis::internal_logging::FatalStream(__FILE__, __LINE__, #cond)
+
+#define MODIS_CHECK_OK(expr)                                          \
+  do {                                                                \
+    const ::modis::Status _st = (expr);                               \
+    MODIS_CHECK(_st.ok()) << _st.ToString();                          \
+  } while (false)
+
+#define MODIS_DCHECK(cond) MODIS_CHECK(cond)
+
+#endif  // MODIS_COMMON_LOGGING_H_

@@ -1,0 +1,94 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+namespace modis {
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    for (size_t i = 0; i < cols_; ++i) {
+      if (row[i] == 0.0) continue;
+      for (size_t j = i; j < cols_; ++j) {
+        g.At(i, j) += row[i] * row[j];
+      }
+    }
+  }
+  // Mirror the upper triangle.
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = i + 1; j < cols_; ++j) {
+      g.At(j, i) = g.At(i, j);
+    }
+  }
+  return g;
+}
+
+std::vector<double> Matrix::TransposeTimes(const std::vector<double>& y) const {
+  MODIS_CHECK(y.size() == rows_) << "TransposeTimes dim mismatch";
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    const double yr = y[r];
+    if (yr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) out[c] += row[c] * yr;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Times(const std::vector<double>& x) const {
+  MODIS_CHECK(x.size() == cols_) << "Times dim mismatch";
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("CholeskySolve: matrix not square");
+  }
+  if (b.size() != n) {
+    return Status::InvalidArgument("CholeskySolve: rhs dimension mismatch");
+  }
+  // Lower-triangular factor L with A = L L^T.
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return Status::FailedPrecondition(
+              "CholeskySolve: matrix not positive definite");
+        }
+        l.At(i, j) = std::sqrt(sum);
+      } else {
+        l.At(i, j) = sum / l.At(j, j);
+      }
+    }
+  }
+  // Forward solve L z = b.
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * z[k];
+    z[i] = sum / l.At(i, i);
+  }
+  // Back solve L^T x = z.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l.At(k, ii) * x[k];
+    x[ii] = sum / l.At(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace modis

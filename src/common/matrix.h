@@ -1,0 +1,61 @@
+#ifndef MODIS_COMMON_MATRIX_H_
+#define MODIS_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace modis {
+
+/// Dense row-major matrix of doubles. Minimal linear algebra needed by the
+/// ML substrate (ridge regression normal equations, feature matrices).
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) {
+    MODIS_DCHECK(r < rows_ && c < cols_) << "Matrix::At(" << r << "," << c
+                                         << ") of " << rows_ << "x" << cols_;
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    MODIS_DCHECK(r < rows_ && c < cols_) << "Matrix::At(" << r << "," << c
+                                         << ") of " << rows_ << "x" << cols_;
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r.
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Returns A^T * A (cols x cols). Used by the ridge solver.
+  Matrix Gram() const;
+
+  /// Returns A^T * y. Requires y.size() == rows().
+  std::vector<double> TransposeTimes(const std::vector<double>& y) const;
+
+  /// Returns A * x. Requires x.size() == cols().
+  std::vector<double> Times(const std::vector<double>& x) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves the symmetric positive-definite system A x = b via Cholesky
+/// decomposition. Fails with InvalidArgument on dimension mismatch and
+/// FailedPrecondition if A is not (numerically) positive definite.
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b);
+
+}  // namespace modis
+
+#endif  // MODIS_COMMON_MATRIX_H_

@@ -1,0 +1,33 @@
+#ifndef MODIS_COMMON_STATS_H_
+#define MODIS_COMMON_STATS_H_
+
+#include <cmath>
+#include <vector>
+
+namespace modis {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Population variance; 0 for fewer than 2 elements.
+double Variance(const std::vector<double>& v);
+
+double StdDev(const std::vector<double>& v);
+
+/// Clamps v into [lo, hi].
+double Clamp(double v, double lo, double hi);
+
+/// Numerically safe logistic sigmoid.
+double Sigmoid(double x);
+
+/// Cosine similarity of two equal-length vectors; 0 if either is all-zero.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Euclidean distance of two equal-length vectors.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace modis
+
+#endif  // MODIS_COMMON_STATS_H_

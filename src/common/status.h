@@ -1,0 +1,134 @@
+#ifndef MODIS_COMMON_STATUS_H_
+#define MODIS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace modis {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, modelled after absl::Status.
+///
+/// MODis libraries never throw for recoverable conditions; fallible
+/// operations return `Status` (or `Result<T>`), and callers decide how to
+/// react. `Status` is cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union, modelled after absl::StatusOr<T>.
+///
+/// Accessing `value()` on an error result aborts the process (programming
+/// error); check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return computed_value;`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::NotFound(...)`.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    // An OK status carries no value; treat as internal error.
+    if (std::get<Status>(data_).ok()) {
+      data_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace modis
+
+/// Propagates a non-OK Status from an expression, absl-style.
+#define MODIS_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::modis::Status _status = (expr);               \
+    if (!_status.ok()) return _status;              \
+  } while (false)
+
+/// Evaluates a Result<T> expression and assigns its value, or propagates.
+#define MODIS_ASSIGN_OR_RETURN(lhs, expr)           \
+  MODIS_ASSIGN_OR_RETURN_IMPL_(                     \
+      MODIS_STATUS_CONCAT_(_result, __LINE__), lhs, expr)
+#define MODIS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+#define MODIS_STATUS_CONCAT_(a, b) MODIS_STATUS_CONCAT_IMPL_(a, b)
+#define MODIS_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // MODIS_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef MODIS_COMMON_STRINGS_H_
+#define MODIS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace modis {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// True if `s` parses fully as a floating-point number; stores it in *out.
+bool ParseDouble(std::string_view s, double* out);
+
+/// True if `s` parses fully as a 64-bit integer; stores it in *out.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Formats `v` with `digits` digits after the decimal point.
+std::string FormatDouble(double v, int digits = 4);
+
+/// Left-pads / truncates `s` to exactly `width` columns (for table output).
+std::string PadRight(std::string s, size_t width);
+
+}  // namespace modis
+
+#endif  // MODIS_COMMON_STRINGS_H_

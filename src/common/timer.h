@@ -1,0 +1,30 @@
+#ifndef MODIS_COMMON_TIMER_H_
+#define MODIS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace modis {
+
+/// Monotonic wall-clock stopwatch used by the efficiency benchmarks and by
+/// the training-time performance measure.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_COMMON_TIMER_H_

@@ -1,0 +1,40 @@
+#ifndef MODIS_CORE_ALGORITHMS_H_
+#define MODIS_CORE_ALGORITHMS_H_
+
+#include "core/engine.h"
+
+namespace modis {
+
+/// The four published MODis algorithms, as configurations of ModisEngine.
+/// Each takes the shared search universe, a performance oracle, and the
+/// base config (epsilon / budget / maxl are read from it; the strategy
+/// flags are overridden).
+
+/// §5.2 ApxMODis: reduce-from-universal (N, ε)-approximation.
+Result<ModisResult> RunApxModis(const SearchUniverse& universe,
+                                PerformanceOracle* oracle, ModisConfig config);
+
+/// §5.3 BiMODis: bidirectional search + correlation-based pruning.
+Result<ModisResult> RunBiModis(const SearchUniverse& universe,
+                               PerformanceOracle* oracle, ModisConfig config);
+
+/// NOBiMODis: BiMODis without the pruning (the paper's ablation).
+Result<ModisResult> RunNoBiModis(const SearchUniverse& universe,
+                                 PerformanceOracle* oracle,
+                                 ModisConfig config);
+
+/// §5.4 DivMODis: bidirectional search + per-level diversification.
+Result<ModisResult> RunDivModis(const SearchUniverse& universe,
+                                PerformanceOracle* oracle, ModisConfig config);
+
+/// Exhaustive baseline for small instances: valuates every reachable state
+/// within (max_level, max_states) and returns the exact skyline via the
+/// Pareto filter (the fixed-parameter-tractable algorithm of Theorem 1,
+/// with Kung's optimizer). Used by tests to check ε-cover guarantees.
+Result<ModisResult> RunExactSkyline(const SearchUniverse& universe,
+                                    PerformanceOracle* oracle,
+                                    ModisConfig config);
+
+}  // namespace modis
+
+#endif  // MODIS_CORE_ALGORITHMS_H_

@@ -1,0 +1,64 @@
+#ifndef MODIS_CORE_CONFIG_H_
+#define MODIS_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace modis {
+
+/// Knobs of one MODis running. The three published algorithms are feature
+/// combinations of the same engine:
+///   ApxMODis   — reduce-from-universal only;
+///   NOBiMODis  — + bidirectional frontiers;
+///   BiMODis    — + correlation-based pruning;
+///   DivMODis   — bidirectional + per-level diversification.
+struct ModisConfig {
+  /// Approximation slack of the ε-skyline (§5.1).
+  double epsilon = 0.2;
+  /// N: the valuation budget of the (N, ε)-approximation.
+  size_t max_states = 300;
+  /// maxl: maximum path length (levels of the level-wise search, Exp-2).
+  int max_level = 6;
+
+  bool bidirectional = false;
+  bool correlation_pruning = false;
+
+  bool diversify = false;
+  /// k: size cap of the diversified skyline set.
+  size_t diversify_k = 5;
+  /// α of Equation (2): content diversity vs performance diversity.
+  double alpha = 0.5;
+
+  /// θ: Spearman threshold of the correlation graph G_C.
+  double theta = 0.8;
+  /// Minimum valuated tests before pruning may fire.
+  size_t min_records_for_pruning = 8;
+
+  /// Decisive measure index; SIZE_MAX means the last measure in P.
+  size_t decisive_measure = SIZE_MAX;
+
+  uint64_t seed = 1;
+
+  static ModisConfig Apx() { return ModisConfig{}; }
+  static ModisConfig NoBi() {
+    ModisConfig c;
+    c.bidirectional = true;
+    return c;
+  }
+  static ModisConfig Bi() {
+    ModisConfig c;
+    c.bidirectional = true;
+    c.correlation_pruning = true;
+    return c;
+  }
+  static ModisConfig Div() {
+    ModisConfig c;
+    c.bidirectional = true;
+    c.diversify = true;
+    return c;
+  }
+};
+
+}  // namespace modis
+
+#endif  // MODIS_CORE_CONFIG_H_

@@ -1,0 +1,338 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "moo/diversity.h"
+#include "moo/pareto.h"
+
+namespace modis {
+
+namespace {
+constexpr size_t kMissing = static_cast<size_t>(-1);
+}  // namespace
+
+ModisEngine::ModisEngine(const SearchUniverse* universe,
+                         PerformanceOracle* oracle, ModisConfig config)
+    : universe_(universe),
+      oracle_(oracle),
+      config_(config),
+      rng_(config.seed),
+      correlation_(oracle->measures().size(), config.theta) {
+  MODIS_CHECK(universe_ != nullptr) << "ModisEngine: null universe";
+  MODIS_CHECK(oracle_ != nullptr) << "ModisEngine: null oracle";
+  const size_t m = oracle_->measures().size();
+  MODIS_CHECK(m >= 1) << "ModisEngine: empty measure set";
+  decisive_ = config_.decisive_measure == SIZE_MAX ? m - 1
+                                                   : config_.decisive_measure;
+  MODIS_CHECK(decisive_ < m) << "decisive measure index out of range";
+  lower_bounds_ = LowerBounds(oracle_->measures());
+  upper_bounds_ = UpperBounds(oracle_->measures());
+  size_correlation_.assign(m, 0.0);
+}
+
+std::vector<StateBitmap> ModisEngine::OpGen(const StateBitmap& state,
+                                            bool forward) const {
+  const UnitLayout& layout = universe_->layout();
+  std::vector<StateBitmap> children;
+  for (size_t u = 0; u < layout.num_units(); ++u) {
+    const bool bit = state.Get(u);
+    if (forward && !bit) continue;   // Reduct flips 1 -> 0.
+    if (!forward && bit) continue;   // Augment flips 0 -> 1.
+    if (layout.IsAttributeUnit(u)) {
+      if (!layout.attr_flippable[u]) continue;
+    } else {
+      // Cluster flips are only meaningful while the attribute is included;
+      // flipping them otherwise spawns states with identical datasets.
+      const size_t attr = layout.cluster(u).attr_index;
+      if (!state.Get(attr)) continue;
+    }
+    children.push_back(state.WithFlipped(u));
+  }
+  return children;
+}
+
+void ModisEngine::RefreshCorrelation() {
+  const auto& records = oracle_->store().records();
+  if (records.size() < 3) return;
+  std::vector<PerfVector> perfs;
+  perfs.reserve(records.size());
+  std::vector<double> row_fraction;
+  row_fraction.reserve(records.size());
+  for (const auto& r : records) {
+    perfs.push_back(r.eval.normalized);
+    // StateFeatures appends [row_fraction, col_fraction] after the bitmap.
+    MODIS_CHECK(r.features.size() >= 2) << "state features missing fractions";
+    row_fraction.push_back(r.features[r.features.size() - 2]);
+  }
+  correlation_.Update(perfs);
+  const size_t m = oracle_->measures().size();
+  std::vector<double> column(perfs.size());
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t i = 0; i < perfs.size(); ++i) column[i] = perfs[i][j];
+    size_correlation_[j] = SpearmanCorrelation(column, row_fraction);
+  }
+}
+
+std::vector<std::pair<double, double>> ModisEngine::ParameterizedRange(
+    const StateBitmap& state) {
+  const auto& records = oracle_->store().records();
+  if (records.size() < config_.min_records_for_pruning) return {};
+  const double z = universe_->RowFraction(state);
+
+  // Bracket the state's size between the nearest valuated tests below and
+  // above; their measures bound the un-valuated state's measures for every
+  // measure strongly correlated with |D| (Example 6 of the paper).
+  const TestRecordStore::Record* below = nullptr;
+  const TestRecordStore::Record* above = nullptr;
+  double below_z = -1.0, above_z = 2.0;
+  for (const auto& r : records) {
+    const double rz = r.features[r.features.size() - 2];
+    if (rz <= z && rz > below_z) {
+      below_z = rz;
+      below = &r;
+    }
+    if (rz >= z && rz < above_z) {
+      above_z = rz;
+      above = &r;
+    }
+  }
+  if (below == nullptr || above == nullptr) return {};
+
+  const size_t m = oracle_->measures().size();
+  std::vector<std::pair<double, double>> range(m);
+  for (size_t j = 0; j < m; ++j) {
+    if (std::abs(size_correlation_[j]) < config_.theta) return {};
+    const double a = below->eval.normalized[j];
+    const double b = above->eval.normalized[j];
+    range[j] = {std::min(a, b), std::max(a, b)};
+  }
+  return range;
+}
+
+bool ModisEngine::CanPrune(const StateBitmap& state) {
+  if (!config_.correlation_pruning) return false;
+  const auto range = ParameterizedRange(state);
+  if (range.empty()) return false;
+  // Optimistic vector: the lower end p̂l of every measure. If some skyline
+  // member ε-dominates even this best case, the state (and its one-flip
+  // descendants, which are never spawned from a pruned state) cannot enter
+  // the ε-skyline — Lemma 4's safe-pruning condition.
+  PerfVector optimistic(range.size());
+  for (size_t j = 0; j < range.size(); ++j) optimistic[j] = range[j].first;
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    if (!entry_alive_[e]) continue;
+    if (EpsilonDominates(entries_[e].eval.normalized, optimistic,
+                         config_.epsilon)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ModisEngine::UPareto(const StateBitmap& state, const Evaluation& eval,
+                          int level) {
+  // Early skip when any measure exceeds its tolerance p_u.
+  for (size_t j = 0; j < eval.normalized.size(); ++j) {
+    if (eval.normalized[j] > upper_bounds_[j] + 1e-12) return;
+  }
+  // Grid over all but the decisive measure. We permute the decisive
+  // measure to the last slot to reuse GridPosition's convention.
+  PerfVector perm = eval.normalized;
+  std::vector<double> lb = lower_bounds_;
+  if (decisive_ + 1 != perm.size()) {
+    std::swap(perm[decisive_], perm.back());
+    std::swap(lb[decisive_], lb.back());
+  }
+  const std::vector<int64_t> pos =
+      GridPosition(perm, lb, config_.epsilon);
+
+  SkylineEntry entry;
+  entry.state = state;
+  entry.eval = eval;
+  entry.level = level;
+  entry.rows = universe_->CountRows(state);
+  entry.cols = 0;
+  for (size_t a = 0; a < universe_->layout().num_attributes(); ++a) {
+    if (state.Get(a)) ++entry.cols;
+  }
+
+  auto it = grid_.find(pos);
+  if (it == grid_.end() || it->second == kMissing ||
+      !entry_alive_[it->second]) {
+    grid_[pos] = entries_.size();
+    entries_.push_back(std::move(entry));
+    entry_alive_.push_back(true);
+    return;
+  }
+  SkylineEntry& incumbent = entries_[it->second];
+  if (eval.normalized[decisive_] <
+      incumbent.eval.normalized[decisive_]) {
+    entry_alive_[it->second] = false;
+    grid_[pos] = entries_.size();
+    entries_.push_back(std::move(entry));
+    entry_alive_.push_back(true);
+  }
+}
+
+bool ModisEngine::ProcessState(const StateBitmap& state, int level,
+                               Frontier* frontier) {
+  if (stats_.valuated_states >= config_.max_states) return false;
+
+  const std::string sig = state.Signature();
+  auto& visited =
+      frontier->forward ? visited_forward_ : visited_backward_;
+  auto& other = frontier->forward ? visited_backward_ : visited_forward_;
+  if (!visited.insert(sig).second) return true;  // Already explored.
+  if (other.count(sig) > 0) frontiers_met_ = true;
+
+  ++stats_.generated_states;
+  if (CanPrune(state)) {
+    ++stats_.pruned_states;
+    return true;  // Not valuated, not enqueued: the path is cut here.
+  }
+
+  Result<Evaluation> eval = oracle_->Valuate(
+      sig, universe_->StateFeatures(state),
+      [this, &state]() { return universe_->Materialize(state); });
+  ++stats_.valuated_states;
+  if (!eval.ok()) {
+    // Untrainable dataset (too small / single class): children can only be
+    // more reduced on the forward side, so the path is dropped; backward
+    // augmentation may still recover, so keep expanding there (at the
+    // lowest priority).
+    if (!frontier->forward && level < config_.max_level) {
+      frontier->queue.push_back({state, level, 2.0});
+    }
+    return true;
+  }
+  UPareto(state, eval.value(), level);
+  if (level < config_.max_level) {
+    // Priority: the worst bound-violation ratio max_j p_j / p_u_j — states
+    // closest to (or inside) the user-defined ranges are extended first.
+    double priority = 0.0;
+    for (size_t j = 0; j < eval.value().normalized.size(); ++j) {
+      priority = std::max(priority,
+                          eval.value().normalized[j] / upper_bounds_[j]);
+    }
+    frontier->queue.push_back({state, level, priority});
+  }
+  return true;
+}
+
+void ModisEngine::DiversifyLevel() {
+  std::vector<size_t> alive;
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    if (entry_alive_[e]) alive.push_back(e);
+  }
+  if (alive.size() <= config_.diversify_k) return;
+
+  std::vector<DiversityItem> items;
+  items.reserve(alive.size());
+  for (size_t e : alive) {
+    items.push_back(
+        {entries_[e].state.Features(), entries_[e].eval.normalized});
+  }
+  const double euc_max =
+      MaxEuclideanDistance(oracle_->store().NormalizedVectors());
+  const std::vector<size_t> kept = DiversifyGreedy(
+      items, config_.diversify_k, config_.alpha, euc_max, &rng_);
+  std::vector<bool> keep_flag(alive.size(), false);
+  for (size_t i : kept) keep_flag[i] = true;
+  for (size_t i = 0; i < alive.size(); ++i) {
+    if (!keep_flag[i]) entry_alive_[alive[i]] = false;
+  }
+  RebuildGrid();
+}
+
+void ModisEngine::RebuildGrid() {
+  grid_.clear();
+  const size_t m = oracle_->measures().size();
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    if (!entry_alive_[e]) continue;
+    PerfVector perm = entries_[e].eval.normalized;
+    std::vector<double> lb = lower_bounds_;
+    if (decisive_ + 1 != m) {
+      std::swap(perm[decisive_], perm.back());
+      std::swap(lb[decisive_], lb.back());
+    }
+    grid_[GridPosition(perm, lb, config_.epsilon)] = e;
+  }
+}
+
+Result<ModisResult> ModisEngine::Run() {
+  WallTimer timer;
+  Frontier forward;
+  forward.forward = true;
+  Frontier backward;
+  backward.forward = false;
+
+  // Seed the frontiers at level 0.
+  if (!ProcessState(universe_->FullBitmap(), 0, &forward)) {
+    // Budget of zero: nothing to do.
+  }
+  if (config_.bidirectional) {
+    ProcessState(universe_->BackwardBitmap(), 0, &backward);
+  }
+
+  int level = 0;
+  while (level < config_.max_level && !frontiers_met_ &&
+         stats_.valuated_states < config_.max_states &&
+         (!forward.queue.empty() ||
+          (config_.bidirectional && !backward.queue.empty()))) {
+    RefreshCorrelation();
+
+    // Expand every state parked at `level` in both frontiers, best
+    // decisive-measure value first: when the budget runs out mid-level,
+    // the most promising paths have been extended (§5.2's prioritized
+    // valuation).
+    auto expand = [&](Frontier* frontier) {
+      std::vector<Frontier::Entry> current;
+      const size_t pending = frontier->queue.size();
+      for (size_t i = 0; i < pending; ++i) {
+        Frontier::Entry entry = std::move(frontier->queue.front());
+        frontier->queue.pop_front();
+        if (entry.level != level) {
+          frontier->queue.push_back(std::move(entry));
+        } else {
+          current.push_back(std::move(entry));
+        }
+      }
+      std::stable_sort(current.begin(), current.end(),
+                       [](const Frontier::Entry& a, const Frontier::Entry& b) {
+                         return a.priority < b.priority;
+                       });
+      for (const Frontier::Entry& entry : current) {
+        for (const StateBitmap& child : OpGen(entry.state, frontier->forward)) {
+          if (!ProcessState(child, level + 1, frontier)) return;
+        }
+      }
+    };
+    expand(&forward);
+    if (config_.bidirectional) expand(&backward);
+
+    if (config_.diversify) DiversifyLevel();
+    ++level;
+  }
+
+  // Final skyline: alive grid entries, minus any residual cross-cell
+  // dominance (the grid guarantees the ε-cover; the exact filter removes
+  // dominated members so the output is mutually non-dominated).
+  std::vector<size_t> alive;
+  std::vector<PerfVector> perfs;
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    if (!entry_alive_[e]) continue;
+    alive.push_back(e);
+    perfs.push_back(entries_[e].eval.normalized);
+  }
+  ModisResult result = stats_;
+  for (size_t idx : ParetoFrontNaive(perfs)) {
+    result.skyline.push_back(entries_[alive[idx]]);
+  }
+  result.seconds = timer.Seconds();
+  result.oracle_stats = oracle_->stats();
+  return result;
+}
+
+}  // namespace modis

@@ -1,0 +1,132 @@
+#ifndef MODIS_CORE_ENGINE_H_
+#define MODIS_CORE_ENGINE_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/universe.h"
+#include "estimator/oracle.h"
+#include "moo/correlation.h"
+
+namespace modis {
+
+/// One member of a computed skyline set: the state, its valuated (possibly
+/// estimated) evaluation, and bookkeeping for reporting.
+struct SkylineEntry {
+  StateBitmap state;
+  Evaluation eval;
+  int level = 0;
+  size_t rows = 0;
+  size_t cols = 0;
+};
+
+/// Outcome of a MODis running.
+struct ModisResult {
+  std::vector<SkylineEntry> skyline;
+  size_t valuated_states = 0;
+  size_t generated_states = 0;
+  size_t pruned_states = 0;
+  double seconds = 0.0;
+  PerformanceOracle::Stats oracle_stats;
+};
+
+/// The multi-goal finite-state-transducer search engine (§3-§5).
+///
+/// Simulates a running of the data generator T: starting from the
+/// universal state (and, bidirectionally, from the BackSt seed), it
+/// level-wise spawns one-flip transitions (OpGen), valuates each spawned
+/// state through the performance oracle, and maintains an ε-skyline via
+/// the grid positions of Equation (1) (UPareto). Optional correlation-based
+/// pruning (Lemma 4) and per-level diversification (Algorithm 3).
+class ModisEngine {
+ public:
+  /// Does not own `universe` or `oracle`; both must outlive the engine.
+  ModisEngine(const SearchUniverse* universe, PerformanceOracle* oracle,
+              ModisConfig config);
+
+  /// Runs the search to completion and returns the skyline set.
+  Result<ModisResult> Run();
+
+ private:
+  struct Frontier {
+    struct Entry {
+      StateBitmap state;
+      int level = 0;
+      /// Worst bound-violation ratio max_j p_j/p_u_j of the valuated
+      /// state; lower expands first within a level (the paper's
+      /// "prioritize valuation towards the user-defined bounds"
+      /// shortest-path extension, §5.2).
+      double priority = 1.0;
+    };
+    std::deque<Entry> queue;
+    bool forward = true;  // Forward flips 1->0 (Reduct); backward 0->1.
+  };
+
+  /// One-flip children of `state` in the frontier's direction. Cluster
+  /// units are only actionable when their attribute is included.
+  std::vector<StateBitmap> OpGen(const StateBitmap& state, bool forward) const;
+
+  /// Valuates `state` and updates the skyline grid; enqueues into
+  /// `frontier` when the state stays expandable. Returns false when the
+  /// valuation budget is exhausted.
+  bool ProcessState(const StateBitmap& state, int level, Frontier* frontier);
+
+  /// The UPareto grid update (Fig. 3 lines 20-30).
+  void UPareto(const StateBitmap& state, const Evaluation& eval, int level);
+
+  /// Correlation-based pruning (Lemma 4): true when the optimistic
+  /// parameterized bounds of `state` are already ε-dominated by a skyline
+  /// member.
+  bool CanPrune(const StateBitmap& state);
+
+  /// Derives the parameterized range [p̂l, p̂u] per measure for an
+  /// un-valuated state from size-correlated valuated tests (Example 6);
+  /// empty when no inference is possible.
+  std::vector<std::pair<double, double>> ParameterizedRange(
+      const StateBitmap& state);
+
+  /// Applies Algorithm 3 at the end of a level: keeps a diversified
+  /// k-subset of the current skyline.
+  void DiversifyLevel();
+
+  /// Rebuilds the grid map from `entries_` (after diversification).
+  void RebuildGrid();
+
+  /// Refreshes the correlation graph from the oracle's record store.
+  void RefreshCorrelation();
+
+  const SearchUniverse* universe_;
+  PerformanceOracle* oracle_;
+  ModisConfig config_;
+  Rng rng_;
+
+  size_t decisive_ = 0;
+  std::vector<double> lower_bounds_;
+  std::vector<double> upper_bounds_;
+
+  // Grid position -> index into entries_. Entries removed by replacement
+  // are tombstoned (index kMissing).
+  std::map<std::vector<int64_t>, size_t> grid_;
+  std::vector<SkylineEntry> entries_;
+  std::vector<bool> entry_alive_;
+
+  std::unordered_set<std::string> visited_forward_;
+  std::unordered_set<std::string> visited_backward_;
+  bool frontiers_met_ = false;
+
+  CorrelationGraph correlation_;
+  // Spearman correlation of each measure against the row fraction,
+  // refreshed together with correlation_.
+  std::vector<double> size_correlation_;
+
+  ModisResult stats_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_CORE_ENGINE_H_

@@ -1,0 +1,82 @@
+#include "core/running_graph.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace modis {
+
+namespace {
+
+/// Index of the single differing character, or -1 when the Hamming
+/// distance is not exactly 1.
+int SingleFlipUnit(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return -1;
+  int unit = -1;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    if (unit >= 0) return -1;  // Second difference.
+    unit = static_cast<int>(i);
+  }
+  return unit;
+}
+
+}  // namespace
+
+RunningGraph ReconstructRunningGraph(const TestRecordStore& store) {
+  RunningGraph graph;
+  for (const auto& record : store.records()) {
+    RunningGraph::Node node;
+    node.signature = record.key;
+    node.normalized = record.eval.normalized;
+    for (char c : record.key) node.popcount += (c == '1');
+    graph.nodes.push_back(std::move(node));
+  }
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    for (size_t j = i + 1; j < graph.nodes.size(); ++j) {
+      const int unit =
+          SingleFlipUnit(graph.nodes[i].signature, graph.nodes[j].signature);
+      if (unit < 0) continue;
+      // Direct from the denser state to the sparser one (Reduct); the
+      // reverse direction is an Augment.
+      const bool i_denser = graph.nodes[i].popcount > graph.nodes[j].popcount;
+      RunningGraph::Transition t;
+      t.from = i_denser ? i : j;
+      t.to = i_denser ? j : i;
+      t.unit = static_cast<size_t>(unit);
+      t.reduct = true;
+      graph.transitions.push_back(t);
+    }
+  }
+  return graph;
+}
+
+std::string RunningGraphToDot(
+    const RunningGraph& graph,
+    const std::vector<std::string>& skyline_signatures) {
+  std::unordered_set<std::string> skyline(skyline_signatures.begin(),
+                                          skyline_signatures.end());
+  std::string dot = "digraph running_graph {\n  rankdir=TB;\n";
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    const auto& n = graph.nodes[i];
+    dot += "  n" + std::to_string(i) + " [label=\"|L|=" +
+           std::to_string(n.popcount);
+    if (!n.normalized.empty()) {
+      dot += " p0=" + FormatDouble(n.normalized[0], 3);
+    }
+    dot += "\"";
+    if (skyline.count(n.signature) > 0) {
+      dot += ", style=filled, fillcolor=lightblue";
+    }
+    dot += "];\n";
+  }
+  for (const auto& t : graph.transitions) {
+    dot += "  n" + std::to_string(t.from) + " -> n" + std::to_string(t.to) +
+           " [label=\"u" + std::to_string(t.unit) + "\"" +
+           (t.reduct ? "" : ", style=dashed") + "];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace modis

@@ -1,0 +1,48 @@
+#ifndef MODIS_CORE_RUNNING_GRAPH_H_
+#define MODIS_CORE_RUNNING_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/state.h"
+#include "estimator/oracle.h"
+
+namespace modis {
+
+/// The running graph G_T of a MODis execution (§3): valuated states as
+/// nodes, one-operator transitions as edges. Reconstructed post-hoc from
+/// the test-record store — two state signatures at Hamming distance 1 are
+/// connected by the transition that flips their differing unit, directed
+/// from the larger bitmap to the smaller (Reduct) or annotated as Augment
+/// otherwise.
+struct RunningGraph {
+  struct Node {
+    std::string signature;
+    std::vector<double> normalized;  // Performance vector.
+    size_t popcount = 0;
+  };
+  struct Transition {
+    size_t from = 0;  // Node indices.
+    size_t to = 0;
+    size_t unit = 0;      // Flipped bitmap unit.
+    bool reduct = true;   // false = Augment direction.
+  };
+
+  std::vector<Node> nodes;
+  std::vector<Transition> transitions;
+};
+
+/// Builds the running graph from all valuated tests in `store`. Quadratic
+/// in the number of records (fine for the N-bounded searches).
+RunningGraph ReconstructRunningGraph(const TestRecordStore& store);
+
+/// Graphviz DOT rendering: nodes labelled with popcount and the first
+/// measure's value; Reduct edges solid, Augment edges dashed. Skyline
+/// signatures (if given) are highlighted.
+std::string RunningGraphToDot(const RunningGraph& graph,
+                              const std::vector<std::string>&
+                                  skyline_signatures = {});
+
+}  // namespace modis
+
+#endif  // MODIS_CORE_RUNNING_GRAPH_H_

@@ -1,0 +1,36 @@
+#include "core/state.h"
+
+#include "common/logging.h"
+
+namespace modis {
+
+StateBitmap StateBitmap::WithFlipped(size_t i) const {
+  MODIS_CHECK(i < bits_.size()) << "flip index out of range";
+  StateBitmap copy = *this;
+  copy.bits_[i] ^= 1;
+  return copy;
+}
+
+size_t StateBitmap::PopCount() const {
+  size_t n = 0;
+  for (uint8_t b : bits_) n += b;
+  return n;
+}
+
+std::string StateBitmap::Signature() const {
+  std::string s(bits_.size(), '0');
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i]) s[i] = '1';
+  }
+  return s;
+}
+
+std::vector<double> StateBitmap::Features() const {
+  std::vector<double> f(bits_.size());
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    f[i] = static_cast<double>(bits_[i]);
+  }
+  return f;
+}
+
+}  // namespace modis

@@ -1,0 +1,79 @@
+#ifndef MODIS_CORE_STATE_H_
+#define MODIS_CORE_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ops/literal.h"
+
+namespace modis {
+
+/// The unit layout of a search universe: which bit of a state bitmap L
+/// means what.
+///
+/// Following §5.2, each state carries a bitmap encoding (a) whether its
+/// schema contains attribute A of D_U and (b) whether its dataset contains
+/// values from each active-domain cluster of A. The first
+/// `attributes.size()` bits are attribute bits; the remaining bits are
+/// cluster bits, flattened in `clusters` order.
+struct UnitLayout {
+  struct ClusterUnit {
+    size_t attr_index;   // Into `attributes`.
+    Literal literal;     // The equality/range literal selecting the cluster.
+  };
+
+  std::vector<std::string> attributes;
+  std::vector<ClusterUnit> clusters;
+  /// attr_flippable[i] == false protects attribute i (target, join key)
+  /// from both Reduct and Augment.
+  std::vector<bool> attr_flippable;
+
+  size_t num_units() const { return attributes.size() + clusters.size(); }
+  size_t num_attributes() const { return attributes.size(); }
+
+  bool IsAttributeUnit(size_t unit) const { return unit < attributes.size(); }
+  /// For cluster units: the owning cluster record.
+  const ClusterUnit& cluster(size_t unit) const {
+    return clusters[unit - attributes.size()];
+  }
+};
+
+/// A state bitmap L. Semantics (given a UnitLayout and universal table):
+///  - attribute bit off  -> the column is dropped (schema reduction);
+///  - cluster bit off    -> rows whose value for that attribute falls in
+///                          the cluster are removed (tuple reduction),
+///                          provided the attribute itself is included.
+class StateBitmap {
+ public:
+  StateBitmap() = default;
+  explicit StateBitmap(size_t num_units, bool value = true)
+      : bits_(num_units, value ? 1 : 0) {}
+
+  size_t size() const { return bits_.size(); }
+  bool Get(size_t i) const { return bits_[i] != 0; }
+  void Set(size_t i, bool v) { bits_[i] = v ? 1 : 0; }
+
+  /// Copy with bit i flipped.
+  StateBitmap WithFlipped(size_t i) const;
+
+  /// Number of set bits.
+  size_t PopCount() const;
+
+  /// Canonical '0'/'1' string — the cache / dedup key for tests T.
+  std::string Signature() const;
+
+  /// Numeric encoding for the surrogate estimator (one 0/1 per unit).
+  std::vector<double> Features() const;
+
+  friend bool operator==(const StateBitmap& a, const StateBitmap& b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_CORE_STATE_H_

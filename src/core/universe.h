@@ -1,0 +1,78 @@
+#ifndef MODIS_CORE_UNIVERSE_H_
+#define MODIS_CORE_UNIVERSE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/state.h"
+#include "table/table.h"
+
+namespace modis {
+
+/// The dataset exploration space of one MODis running: the universal table
+/// D_U, the unit layout of state bitmaps, and fast materialization of the
+/// dataset any bitmap denotes.
+///
+/// Built once per task; all search algorithms share it. Row-to-cluster
+/// assignments are precomputed so that materializing a state costs one scan
+/// of D_U.
+class SearchUniverse {
+ public:
+  struct Options {
+    /// Attributes that operators must not touch (target column, join keys).
+    std::vector<std::string> protected_attributes;
+    /// Maximum active-domain clusters per attribute (paper uses 30).
+    int max_clusters = 8;
+    uint64_t seed = 17;
+  };
+
+  /// Builds the universe over an already-constructed universal table.
+  static Result<SearchUniverse> Build(Table universal, Options options);
+
+  const Table& universal() const { return universal_; }
+  const UnitLayout& layout() const { return layout_; }
+
+  /// The start state of the reduce-from-universal search: every unit on.
+  StateBitmap FullBitmap() const;
+
+  /// The backward start state of BiMODis (procedure BackSt): only the
+  /// protected attributes plus the single most class-covering attribute are
+  /// included; all cluster bits stay on so augmentation re-introduces whole
+  /// attributes.
+  StateBitmap BackwardBitmap() const;
+
+  /// The dataset D_s denoted by a bitmap: included columns only, rows
+  /// filtered by the active cluster bits of included attributes.
+  Table Materialize(const StateBitmap& state) const;
+
+  /// Row count of Materialize(state) without building the table.
+  size_t CountRows(const StateBitmap& state) const;
+
+  /// Fraction helpers used by the pruning heuristics and state features.
+  double RowFraction(const StateBitmap& state) const;
+  double ColumnFraction(const StateBitmap& state) const;
+
+  /// State features for the surrogate: the bitmap plus row/column
+  /// fractions.
+  std::vector<double> StateFeatures(const StateBitmap& state) const;
+
+ private:
+  SearchUniverse() = default;
+
+  /// True if row `r` survives under `state`.
+  bool RowSurvives(const StateBitmap& state, size_t r) const;
+
+  Table universal_;
+  UnitLayout layout_;
+  /// cluster_of_[r * num_attrs + a]: index of the cluster *unit* (bitmap
+  /// position) containing row r's value of attribute a, or -1 when the
+  /// value is null / uncovered by any literal (such rows never get removed
+  /// by cluster reductions on a).
+  std::vector<int32_t> cluster_of_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_CORE_UNIVERSE_H_

@@ -1,0 +1,169 @@
+#include "datagen/data_lake.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "ops/operators.h"
+
+namespace modis {
+
+namespace {
+
+/// Builds one numeric feature column; `maker` maps row index -> value.
+template <typename F>
+Column MakeColumn(size_t n, double missing_rate, Rng* rng, F maker) {
+  Column col;
+  col.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    if (rng->Bernoulli(missing_rate)) {
+      col.push_back(Value::Null());
+    } else {
+      col.push_back(Value(maker(r)));
+    }
+  }
+  return col;
+}
+
+}  // namespace
+
+Result<DataLake> GenerateDataLake(const DataLakeSpec& spec) {
+  if (spec.num_tables < 1 || spec.num_rows < 10) {
+    return Status::InvalidArgument("GenerateDataLake: degenerate spec");
+  }
+  if (spec.corrupt_segments >= spec.num_segments) {
+    return Status::InvalidArgument(
+        "GenerateDataLake: corrupt_segments must be < num_segments");
+  }
+  Rng rng(spec.seed);
+  const size_t n = spec.num_rows;
+
+  // Latent factors.
+  std::vector<std::vector<double>> latents(
+      spec.num_latents, std::vector<double>(n));
+  for (auto& z : latents) {
+    for (double& v : z) v = rng.Normal();
+  }
+  // Segment assignment; segments [0, corrupt_segments) are corrupted.
+  std::vector<int> segment(n);
+  for (size_t r = 0; r < n; ++r) {
+    segment[r] = static_cast<int>(rng.UniformInt(
+        static_cast<uint64_t>(spec.num_segments)));
+  }
+
+  // Ground-truth target: nonlinear mix of the latents + segment-dependent
+  // noise. Classification thresholds the continuous score into classes.
+  std::vector<double> score(n);
+  for (size_t r = 0; r < n; ++r) {
+    double s = 0.0;
+    for (int l = 0; l < spec.num_latents; ++l) {
+      const double w = 1.0 / (1.0 + l);
+      s += w * latents[l][r];
+    }
+    if (spec.num_latents >= 2) s += 0.5 * latents[0][r] * latents[1][r];
+    const double sigma =
+        segment[r] < spec.corrupt_segments ? spec.corrupt_noise : 0.1;
+    score[r] = s + rng.Normal(0.0, sigma);
+  }
+
+  DataLake lake;
+  lake.spec = spec;
+
+  // Base table: key, segment, target.
+  {
+    Table base;
+    Column key_col;
+    for (size_t r = 0; r < n; ++r) {
+      key_col.push_back(Value(static_cast<int64_t>(r)));
+    }
+    MODIS_CHECK_OK(base.AddColumn({spec.key, ColumnType::kNumeric},
+                                  std::move(key_col)));
+    Column seg_col;
+    for (size_t r = 0; r < n; ++r) {
+      seg_col.push_back(Value("seg_" + std::to_string(segment[r])));
+    }
+    MODIS_CHECK_OK(base.AddColumn({"segment", ColumnType::kCategorical},
+                                  std::move(seg_col)));
+    Column target_col;
+    if (spec.task == TaskKind::kRegression) {
+      for (size_t r = 0; r < n; ++r) target_col.push_back(Value(score[r]));
+    } else {
+      // Quantile thresholds over the clean-score distribution.
+      std::vector<double> sorted = score;
+      std::sort(sorted.begin(), sorted.end());
+      std::vector<double> cuts;
+      for (int k = 1; k < spec.num_classes; ++k) {
+        cuts.push_back(sorted[n * k / spec.num_classes]);
+      }
+      for (size_t r = 0; r < n; ++r) {
+        int k = 0;
+        while (k < static_cast<int>(cuts.size()) && score[r] >= cuts[k]) ++k;
+        target_col.push_back(Value(static_cast<int64_t>(k)));
+      }
+    }
+    MODIS_CHECK_OK(base.AddColumn({spec.target, ColumnType::kNumeric},
+                                  std::move(target_col)));
+    lake.tables.push_back(std::move(base));
+  }
+
+  // Feature tables.
+  int informative_count = 0, noisy_count = 0, redundant_count = 0;
+  std::vector<Column> informative_cols;  // For redundant copies.
+  for (int t = 1; t < spec.num_tables; ++t) {
+    Table table;
+    Column key_col;
+    for (size_t r = 0; r < n; ++r) {
+      key_col.push_back(Value(static_cast<int64_t>(r)));
+    }
+    MODIS_CHECK_OK(table.AddColumn({spec.key, ColumnType::kNumeric},
+                                   std::move(key_col)));
+    for (int i = 0; i < spec.informative_per_table; ++i) {
+      const int latent = informative_count % spec.num_latents;
+      const double slope = rng.Uniform(0.8, 1.5);
+      const double bias = rng.Uniform(-0.5, 0.5);
+      Column col = MakeColumn(n, spec.missing_rate, &rng,
+                              [&](size_t r) {
+                                return slope * latents[latent][r] + bias +
+                                       rng.Normal(0.0, 0.15);
+                              });
+      informative_cols.push_back(col);
+      MODIS_CHECK_OK(table.AddColumn(
+          {"inf_" + std::to_string(informative_count++),
+           ColumnType::kNumeric},
+          std::move(col)));
+    }
+    for (int i = 0; i < spec.noisy_per_table; ++i) {
+      Column col = MakeColumn(n, spec.missing_rate, &rng, [&](size_t) {
+        return rng.Normal(0.0, 1.0);
+      });
+      MODIS_CHECK_OK(table.AddColumn(
+          {"noise_" + std::to_string(noisy_count++), ColumnType::kNumeric},
+          std::move(col)));
+    }
+    for (int i = 0;
+         i < spec.redundant_per_table && !informative_cols.empty(); ++i) {
+      const Column& src =
+          informative_cols[rng.UniformInt(informative_cols.size())];
+      Column col;
+      col.reserve(n);
+      for (size_t r = 0; r < n; ++r) {
+        if (src[r].is_null() || rng.Bernoulli(spec.missing_rate)) {
+          col.push_back(Value::Null());
+        } else {
+          col.push_back(Value(src[r].AsDouble() + rng.Normal(0.0, 0.05)));
+        }
+      }
+      MODIS_CHECK_OK(table.AddColumn(
+          {"red_" + std::to_string(redundant_count++), ColumnType::kNumeric},
+          std::move(col)));
+    }
+    lake.tables.push_back(std::move(table));
+  }
+  return lake;
+}
+
+Result<Table> LakeUniversalTable(const DataLake& lake) {
+  return BuildUniversalTable(lake.tables, lake.key());
+}
+
+}  // namespace modis

@@ -1,0 +1,70 @@
+#ifndef MODIS_DATAGEN_DATA_LAKE_H_
+#define MODIS_DATAGEN_DATA_LAKE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/dataset.h"
+#include "table/table.h"
+
+namespace modis {
+
+/// Blueprint of a synthetic data lake (our stand-in for the crawled
+/// Kaggle / data.gov / HuggingFace corpora — see DESIGN.md for the
+/// substitution rationale).
+///
+/// The generator plants the structure that drives MODis's search dynamics:
+///  - latent factors determine the target;
+///  - *informative* columns expose the latents (adding them helps accuracy);
+///  - *noisy* columns are independent noise (adding them costs training
+///    time and mildly hurts generalization);
+///  - *redundant* columns duplicate informative ones plus noise;
+///  - a categorical *segment* column marks row groups, and rows in
+///    `corrupt_segments` get heavy target noise — so Reduct operators that
+///    drop those rows genuinely improve the model.
+struct DataLakeSpec {
+  std::string name = "lake";
+  size_t num_rows = 2000;
+  std::string key = "id";
+  std::string target = "target";
+  TaskKind task = TaskKind::kRegression;
+  int num_classes = 2;
+
+  int num_tables = 4;
+  int informative_per_table = 2;
+  int noisy_per_table = 2;
+  int redundant_per_table = 1;
+
+  int num_latents = 3;
+  /// Number of values of the segment column, and how many of them carry
+  /// corrupted targets.
+  int num_segments = 5;
+  int corrupt_segments = 2;
+  /// Target noise sigma inside corrupted segments (clean segments get 0.1).
+  double corrupt_noise = 2.0;
+  double missing_rate = 0.03;
+
+  uint64_t seed = 1234;
+};
+
+/// A generated lake: `tables[0]` is the base table (key, segment, target);
+/// the others carry feature columns keyed by `key`.
+struct DataLake {
+  DataLakeSpec spec;
+  std::vector<Table> tables;
+
+  const std::string& key() const { return spec.key; }
+  const std::string& target() const { return spec.target; }
+};
+
+/// Generates the lake deterministically from spec.seed.
+Result<DataLake> GenerateDataLake(const DataLakeSpec& spec);
+
+/// Full-outer-joins the lake's tables into the universal table D_U.
+Result<Table> LakeUniversalTable(const DataLake& lake);
+
+}  // namespace modis
+
+#endif  // MODIS_DATAGEN_DATA_LAKE_H_

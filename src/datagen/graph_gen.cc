@@ -1,0 +1,87 @@
+#include "datagen/graph_gen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace modis {
+
+Result<GraphLake> GenerateGraphLake(const GraphLakeSpec& spec) {
+  if (spec.num_users <= 0 || spec.num_items <= 0 ||
+      spec.num_communities <= 0) {
+    return Status::InvalidArgument("GenerateGraphLake: degenerate spec");
+  }
+  if (spec.num_items < spec.num_communities) {
+    return Status::InvalidArgument(
+        "GenerateGraphLake: fewer items than communities");
+  }
+  Rng rng(spec.seed);
+
+  GraphLake lake;
+  lake.spec = spec;
+  lake.test_edges.resize(spec.num_users);
+
+  // Community membership: round-robin for determinism.
+  auto user_comm = [&](int u) { return u % spec.num_communities; };
+  auto item_comm = [&](int i) { return i % spec.num_communities; };
+
+  // Items of each community.
+  std::vector<std::vector<int>> comm_items(spec.num_communities);
+  for (int i = 0; i < spec.num_items; ++i) {
+    comm_items[item_comm(i)].push_back(i);
+  }
+
+  Table edges;
+  MODIS_CHECK_OK(edges.AddColumn({"user", ColumnType::kNumeric}, {}));
+  MODIS_CHECK_OK(edges.AddColumn({"item", ColumnType::kNumeric}, {}));
+  MODIS_CHECK_OK(edges.AddColumn({"affinity", ColumnType::kNumeric}, {}));
+  MODIS_CHECK_OK(edges.AddColumn({"recency", ColumnType::kNumeric}, {}));
+
+  auto add_edge = [&edges, &rng](int u, int i, bool true_edge) {
+    const double affinity = true_edge ? rng.Uniform(0.7, 1.0)
+                                      : rng.Uniform(0.0, 0.35);
+    const double recency = rng.Uniform(0.0, 1.0);
+    MODIS_CHECK_OK(edges.AppendRow({Value(static_cast<int64_t>(u)),
+                                    Value(static_cast<int64_t>(i)),
+                                    Value(affinity), Value(recency)}));
+  };
+
+  for (int u = 0; u < spec.num_users; ++u) {
+    const auto& pool = comm_items[user_comm(u)];
+    const int want = spec.true_edges_per_user + spec.test_edges_per_user;
+    const size_t take = std::min<size_t>(pool.size(), want);
+    std::vector<size_t> picks =
+        rng.SampleWithoutReplacement(pool.size(), take);
+    std::set<int> used;
+    size_t idx = 0;
+    for (; idx < picks.size() &&
+           static_cast<int>(idx) < spec.true_edges_per_user;
+         ++idx) {
+      add_edge(u, pool[picks[idx]], /*true_edge=*/true);
+      used.insert(pool[picks[idx]]);
+    }
+    for (; idx < picks.size(); ++idx) {
+      lake.test_edges[u].push_back(pool[picks[idx]]);
+      used.insert(pool[picks[idx]]);
+    }
+    // Cross-community noise edges.
+    for (int e = 0; e < spec.noise_edges_per_user; ++e) {
+      int item = static_cast<int>(rng.UniformInt(spec.num_items));
+      for (int tries = 0;
+           tries < 20 &&
+           (item_comm(item) == user_comm(u) || used.count(item) > 0);
+           ++tries) {
+        item = static_cast<int>(rng.UniformInt(spec.num_items));
+      }
+      if (item_comm(item) == user_comm(u) || used.count(item) > 0) continue;
+      add_edge(u, item, /*true_edge=*/false);
+      used.insert(item);
+    }
+  }
+  lake.edge_table = std::move(edges);
+  return lake;
+}
+
+}  // namespace modis

@@ -1,0 +1,46 @@
+#ifndef MODIS_DATAGEN_GRAPH_GEN_H_
+#define MODIS_DATAGEN_GRAPH_GEN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace modis {
+
+/// Blueprint of the synthetic bipartite interaction lake for task T5.
+///
+/// Users and items are grouped into communities; *true* edges connect a
+/// user to items of its own community (these generalize — the held-out test
+/// edges are also intra-community), while *noise* edges are random
+/// cross-community interactions that hurt the recommender. The edge table
+/// carries an `affinity` column (high for true edges) and a `recency`
+/// column, so active-domain clustering yields literals that isolate the
+/// noisy edges — edge-deletion Reducts can then clean the graph.
+struct GraphLakeSpec {
+  int num_users = 60;
+  int num_items = 120;
+  int num_communities = 4;
+  /// True intra-community edges per user (train portion).
+  int true_edges_per_user = 8;
+  /// Held-out intra-community edges per user (test set).
+  int test_edges_per_user = 3;
+  /// Random cross-community noise edges per user.
+  int noise_edges_per_user = 5;
+  uint64_t seed = 4321;
+};
+
+/// A generated interaction lake: the training edge table and the fixed
+/// held-out edges per user.
+struct GraphLake {
+  GraphLakeSpec spec;
+  /// Columns: user, item, affinity, recency (all numeric).
+  Table edge_table;
+  std::vector<std::vector<int>> test_edges;  // Per user.
+};
+
+Result<GraphLake> GenerateGraphLake(const GraphLakeSpec& spec);
+
+}  // namespace modis
+
+#endif  // MODIS_DATAGEN_GRAPH_GEN_H_

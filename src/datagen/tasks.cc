@@ -1,0 +1,210 @@
+#include "datagen/tasks.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ml/gradient_boosting.h"
+#include "ml/linear.h"
+#include "ml/random_forest.h"
+
+namespace modis {
+
+const char* BenchTaskName(BenchTaskId id) {
+  switch (id) {
+    case BenchTaskId::kMovie:
+      return "T1-movie";
+    case BenchTaskId::kHouse:
+      return "T2-house";
+    case BenchTaskId::kAvocado:
+      return "T3-avocado";
+    case BenchTaskId::kMental:
+      return "T4-mental";
+    case BenchTaskId::kXray:
+      return "case1-xray";
+    case BenchTaskId::kFeaturePool:
+      return "case2-feature-pool";
+  }
+  return "unknown";
+}
+
+namespace {
+
+MeasureSpec TrainTime(double scale_seconds) {
+  return MeasureSpec::Minimize("train_time", scale_seconds);
+}
+
+}  // namespace
+
+Result<TabularBench> MakeTabularBench(BenchTaskId id, double row_scale,
+                                      int extra_tables, uint64_t seed_offset) {
+  TabularBench bench;
+  bench.name = BenchTaskName(id);
+
+  DataLakeSpec spec;
+  spec.name = bench.name;
+  SupervisedTask task;
+  GbmOptions gbm;  // Shared default for GBM-family prototypes.
+  gbm.num_rounds = 40;
+
+  switch (id) {
+    case BenchTaskId::kMovie: {
+      // T1: movie-gross prediction. Paper universal table: (12, 3732).
+      spec.num_rows = static_cast<size_t>(3732 * row_scale);
+      spec.num_tables = 4 + extra_tables;
+      spec.informative_per_table = 1;
+      spec.noisy_per_table = 1;
+      spec.redundant_per_table = 1;
+      spec.task = TaskKind::kRegression;
+      spec.seed = 101 + seed_offset;
+      task.task = TaskKind::kRegression;
+      task.measures = {MeasureSpec::Maximize("acc"),
+                       MeasureSpec::Maximize("fisher"),
+                       MeasureSpec::Maximize("mi"), TrainTime(1.0)};
+      bench.model = std::make_unique<GradientBoostingRegressor>(gbm);
+      break;
+    }
+    case BenchTaskId::kHouse: {
+      // T2: house-price classification. Paper: (27, 1178), 3 classes.
+      spec.num_rows = static_cast<size_t>(1178 * row_scale);
+      spec.num_tables = 7 + extra_tables;
+      spec.informative_per_table = 2;
+      spec.noisy_per_table = 1;
+      spec.redundant_per_table = 1;
+      spec.task = TaskKind::kClassification;
+      spec.num_classes = 3;
+      spec.seed = 202 + seed_offset;
+      task.task = TaskKind::kClassification;
+      task.measures = {MeasureSpec::Maximize("f1"),
+                       MeasureSpec::Maximize("acc"),
+                       MeasureSpec::Maximize("fisher"),
+                       MeasureSpec::Maximize("mi"), TrainTime(1.0)};
+      ForestOptions forest;
+      forest.num_trees = 24;
+      bench.model = std::make_unique<RandomForestClassifier>(forest);
+      break;
+    }
+    case BenchTaskId::kAvocado: {
+      // T3: avocado-price regression. Paper: (13, 18249); rows scaled to
+      // 6000 by default for laptop runtimes (see DESIGN.md).
+      spec.num_rows = static_cast<size_t>(6000 * row_scale);
+      spec.num_tables = 6 + extra_tables;
+      spec.informative_per_table = 1;
+      spec.noisy_per_table = 1;
+      spec.redundant_per_table = 0;
+      spec.task = TaskKind::kRegression;
+      spec.corrupt_noise = 1.5;
+      spec.seed = 303 + seed_offset;
+      task.task = TaskKind::kRegression;
+      task.measures = {MeasureSpec::Minimize("mse", 4.0),
+                       MeasureSpec::Minimize("mae", 2.0), TrainTime(1.0)};
+      bench.model = std::make_unique<RidgeRegressor>(1e-3);
+      break;
+    }
+    case BenchTaskId::kMental: {
+      // T4: mental-health classification. Paper universal: (20, 140700)
+      // after compression; rows scaled to 6000 by default.
+      spec.num_rows = static_cast<size_t>(6000 * row_scale);
+      spec.num_tables = 5 + extra_tables;
+      spec.informative_per_table = 2;
+      spec.noisy_per_table = 1;
+      spec.redundant_per_table = 1;
+      spec.task = TaskKind::kClassification;
+      spec.num_classes = 2;
+      spec.seed = 404 + seed_offset;
+      task.task = TaskKind::kClassification;
+      task.measures = {MeasureSpec::Maximize("acc"),
+                       MeasureSpec::Maximize("prec"),
+                       MeasureSpec::Maximize("rec"),
+                       MeasureSpec::Maximize("f1"),
+                       MeasureSpec::Maximize("auc"), TrainTime(2.0)};
+      bench.model =
+          std::make_unique<GradientBoostingClassifier>(LightGbmLiteOptions());
+      break;
+    }
+    case BenchTaskId::kXray: {
+      // Case 1: peak classification over crowdsourced X-ray feature sets.
+      spec.num_rows = static_cast<size_t>(1500 * row_scale);
+      spec.num_tables = 4 + extra_tables;
+      spec.informative_per_table = 2;
+      spec.noisy_per_table = 2;
+      spec.redundant_per_table = 0;
+      spec.task = TaskKind::kClassification;
+      spec.num_classes = 2;
+      spec.corrupt_noise = 2.5;
+      spec.seed = 505 + seed_offset;
+      task.task = TaskKind::kClassification;
+      task.measures = {MeasureSpec::Maximize("acc"), TrainTime(3.2),
+                       MeasureSpec::Maximize("f1")};
+      ForestOptions forest;
+      forest.num_trees = 24;
+      bench.model = std::make_unique<RandomForestClassifier>(forest);
+      break;
+    }
+    case BenchTaskId::kFeaturePool: {
+      // Case 2: test-data generation for model benchmarking, with bounds
+      // "accuracy > 0.85" (normalized 1-acc <= 0.15) and
+      // "training cost < 30 s" (normalized <= 30/30 = 1 with scale 30; the
+      // bound bites through upper = 0.999...).
+      spec.num_rows = static_cast<size_t>(2500 * row_scale);
+      spec.num_tables = 6 + extra_tables;
+      spec.informative_per_table = 2;
+      spec.noisy_per_table = 2;
+      spec.redundant_per_table = 0;
+      spec.task = TaskKind::kClassification;
+      spec.num_classes = 2;
+      spec.seed = 606 + seed_offset;
+      task.task = TaskKind::kClassification;
+      MeasureSpec acc = MeasureSpec::Maximize("acc");
+      acc.upper = 0.15;  // accuracy >= 0.85
+      MeasureSpec tt = TrainTime(30.0);
+      tt.upper = 0.999;  // < 30 s
+      task.measures = {acc, tt};
+      ForestOptions forest;
+      forest.num_trees = 16;
+      bench.model = std::make_unique<RandomForestClassifier>(forest);
+      break;
+    }
+  }
+
+  MODIS_ASSIGN_OR_RETURN(bench.lake, GenerateDataLake(spec));
+  MODIS_ASSIGN_OR_RETURN(bench.universal, LakeUniversalTable(bench.lake));
+
+  task.target = spec.target;
+  task.exclude = {spec.key};
+  task.seed = 7 + seed_offset;
+  bench.task = std::move(task);
+
+  bench.universe_options.protected_attributes = {spec.target, spec.key};
+  bench.universe_options.max_clusters = 5;
+  bench.universe_options.seed = 17 + seed_offset;
+  return bench;
+}
+
+Result<GraphBench> MakeGraphBench(double scale, uint64_t seed_offset) {
+  GraphLakeSpec spec;
+  spec.num_users = std::max(8, static_cast<int>(60 * scale));
+  spec.num_items = std::max(16, static_cast<int>(120 * scale));
+  spec.seed = 4321 + seed_offset;
+
+  GraphBench bench;
+  MODIS_ASSIGN_OR_RETURN(bench.lake, GenerateGraphLake(spec));
+
+  LinkTask task;
+  task.user_col = "user";
+  task.item_col = "item";
+  task.num_users = spec.num_users;
+  task.num_items = spec.num_items;
+  task.test_edges = bench.lake.test_edges;
+  task.seed = 11 + seed_offset;
+  task.measures = {
+      MeasureSpec::Maximize("p@5"),    MeasureSpec::Maximize("p@10"),
+      MeasureSpec::Maximize("r@5"),    MeasureSpec::Maximize("r@10"),
+      MeasureSpec::Maximize("ndcg@5"), MeasureSpec::Maximize("ndcg@10"),
+  };
+  task.model.epochs = 25;
+  task.model.embedding_dim = 12;
+  bench.task = std::move(task);
+  return bench;
+}
+
+}  // namespace modis

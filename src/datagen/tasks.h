@@ -1,0 +1,67 @@
+#ifndef MODIS_DATAGEN_TASKS_H_
+#define MODIS_DATAGEN_TASKS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/universe.h"
+#include "datagen/data_lake.h"
+#include "datagen/graph_gen.h"
+#include "estimator/link_evaluator.h"
+#include "estimator/supervised_evaluator.h"
+#include "ml/model.h"
+
+namespace modis {
+
+/// The paper's evaluation tasks (§6, Tables 3-6) plus the two case
+/// studies of Fig. 11.
+enum class BenchTaskId {
+  kMovie,        // T1: GBM regressor, P1 = {acc, fisher, mi, t_train}.
+  kHouse,        // T2: random forest classifier, P2 = {f1, acc, fisher, mi, t_train}.
+  kAvocado,      // T3: ridge regression, P3 = {mse, mae, t_train}.
+  kMental,       // T4: LightGBM-lite classifier, P4 = {acc, prec, rec, f1, auc, t_train}.
+  kXray,         // Case 1: material-peak RF classifier.
+  kFeaturePool,  // Case 2: test-data generation with bounds.
+};
+
+const char* BenchTaskName(BenchTaskId id);
+
+/// A fully wired tabular benchmark task: the data lake, its universal
+/// table, the evaluation task (target/measures), and the model prototype.
+struct TabularBench {
+  std::string name;
+  DataLake lake;
+  Table universal;
+  SupervisedTask task;
+  std::unique_ptr<MlModel> model;
+  SearchUniverse::Options universe_options;
+
+  /// Convenience: a fresh evaluator over the task + model.
+  std::unique_ptr<SupervisedEvaluator> MakeEvaluator() const {
+    return std::make_unique<SupervisedEvaluator>(task, model->Clone());
+  }
+};
+
+/// Builds a benchmark task. `row_scale` scales the generated row count
+/// (1.0 = the default documented in DESIGN.md); `extra_tables` adds noisy
+/// feature tables (for the scalability sweeps over |A|).
+Result<TabularBench> MakeTabularBench(BenchTaskId id, double row_scale = 1.0,
+                                      int extra_tables = 0,
+                                      uint64_t seed_offset = 0);
+
+/// The wired T5 graph benchmark.
+struct GraphBench {
+  GraphLake lake;
+  LinkTask task;
+
+  std::unique_ptr<LinkEvaluator> MakeEvaluator() const {
+    return std::make_unique<LinkEvaluator>(task);
+  }
+};
+
+/// `scale` multiplies users/items (1.0 = default documented size).
+Result<GraphBench> MakeGraphBench(double scale = 1.0, uint64_t seed_offset = 0);
+
+}  // namespace modis
+
+#endif  // MODIS_DATAGEN_TASKS_H_

@@ -1,0 +1,65 @@
+#include "estimator/link_evaluator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace modis {
+
+namespace {
+
+/// Parses "p@5" / "ndcg@10" into its cutoff; 0 when the name has none.
+int CutoffOf(const std::string& name) {
+  const size_t at = name.find('@');
+  if (at == std::string::npos) return 0;
+  int64_t k = 0;
+  if (!ParseInt64(name.substr(at + 1), &k)) return 0;
+  return static_cast<int>(k);
+}
+
+}  // namespace
+
+LinkEvaluator::LinkEvaluator(LinkTask task) : task_(std::move(task)) {
+  MODIS_CHECK(!task_.measures.empty()) << "LinkEvaluator: no measures";
+  MODIS_CHECK(task_.num_users > 0 && task_.num_items > 0)
+      << "LinkEvaluator: graph dimensions unset";
+  MODIS_CHECK(task_.test_edges.size() ==
+              static_cast<size_t>(task_.num_users))
+      << "LinkEvaluator: test_edges must have one entry per user";
+  std::set<int> ks;
+  for (const auto& m : task_.measures) {
+    const int k = CutoffOf(m.name);
+    if (k > 0) ks.insert(k);
+  }
+  ks_.assign(ks.begin(), ks.end());
+}
+
+Result<Evaluation> LinkEvaluator::Evaluate(const Table& dataset) {
+  MODIS_ASSIGN_OR_RETURN(
+      BipartiteGraph graph,
+      BipartiteGraph::FromEdgeTable(dataset, task_.user_col, task_.item_col,
+                                    task_.num_users, task_.num_items));
+  if (graph.num_edges() < task_.min_edges) {
+    return Status::FailedPrecondition("edge table too small: " +
+                                      std::to_string(graph.num_edges()));
+  }
+  MODIS_ASSIGN_OR_RETURN(
+      LinkEvalResult result,
+      EvaluateLinkTask(graph, task_.test_edges, ks_, task_.model, task_.seed));
+
+  Evaluation eval;
+  for (const MeasureSpec& m : task_.measures) {
+    const std::string key = m.name == "train_time" ? "train_seconds" : m.name;
+    auto it = result.metrics.find(key);
+    if (it == result.metrics.end()) {
+      return Status::InvalidArgument("unknown link measure: " + m.name);
+    }
+    eval.raw.push_back(it->second);
+    eval.normalized.push_back(m.Normalize(it->second));
+  }
+  return eval;
+}
+
+}  // namespace modis

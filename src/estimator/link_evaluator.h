@@ -1,0 +1,49 @@
+#ifndef MODIS_ESTIMATOR_LINK_EVALUATOR_H_
+#define MODIS_ESTIMATOR_LINK_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "estimator/task_evaluator.h"
+#include "graph/lightgcn.h"
+
+namespace modis {
+
+/// Configuration of the T5 link-regression task.
+struct LinkTask {
+  std::string user_col = "user";
+  std::string item_col = "item";
+  int num_users = 0;
+  int num_items = 0;
+  /// Held-out positive items per user (fixed across candidate datasets).
+  std::vector<std::vector<int>> test_edges;
+  LightGcnOptions model;
+  std::vector<MeasureSpec> measures;
+  uint64_t seed = 11;
+  size_t min_edges = 20;
+};
+
+/// TaskEvaluator for the GNN recommendation task: candidate datasets are
+/// *edge tables*; Augment/Reduct act as edge insertions/deletions (§6).
+///
+/// Supported measure names: "p@K", "r@K", "ndcg@K" for any integer K, and
+/// "train_time".
+class LinkEvaluator : public TaskEvaluator {
+ public:
+  explicit LinkEvaluator(LinkTask task);
+
+  const std::vector<MeasureSpec>& measures() const override {
+    return task_.measures;
+  }
+  Result<Evaluation> Evaluate(const Table& dataset) override;
+
+  const LinkTask& task() const { return task_; }
+
+ private:
+  LinkTask task_;
+  std::vector<int> ks_;  // Distinct cutoffs mentioned by the measures.
+};
+
+}  // namespace modis
+
+#endif  // MODIS_ESTIMATOR_LINK_EVALUATOR_H_

@@ -1,0 +1,33 @@
+#include "estimator/measure.h"
+
+#include "common/stats.h"
+
+namespace modis {
+
+double MeasureSpec::Normalize(double raw) const {
+  double v;
+  if (direction == Direction::kMaximize) {
+    // Raw in [0, 1] (accuracy-like): invert so smaller is better.
+    v = 1.0 - raw;
+  } else {
+    v = scale > 0.0 ? raw / scale : raw;
+  }
+  // Keep the value in (0, 1] — the lower floor keeps log(p / p_l) defined.
+  return Clamp(v, lower, 1.0);
+}
+
+std::vector<double> LowerBounds(const std::vector<MeasureSpec>& measures) {
+  std::vector<double> out;
+  out.reserve(measures.size());
+  for (const auto& m : measures) out.push_back(m.lower);
+  return out;
+}
+
+std::vector<double> UpperBounds(const std::vector<MeasureSpec>& measures) {
+  std::vector<double> out;
+  out.reserve(measures.size());
+  for (const auto& m : measures) out.push_back(m.upper);
+  return out;
+}
+
+}  // namespace modis

@@ -1,0 +1,69 @@
+#ifndef MODIS_ESTIMATOR_MEASURE_H_
+#define MODIS_ESTIMATOR_MEASURE_H_
+
+#include <string>
+#include <vector>
+
+namespace modis {
+
+/// A user-defined performance measure p in P (§2).
+///
+/// Raw measures are produced by a TaskEvaluator (accuracy, F1, training
+/// seconds, MSE, ...). Following the paper, every measure is normalized
+/// into (0, 1] and *minimized*: maximize-measures are inverted (1 - raw)
+/// and minimize-measures are scaled by a task-supplied reference scale.
+/// Each measure carries an optional desired range [lower, upper] in
+/// normalized space; upper acts as the tolerance p_u enforced by UPareto's
+/// early skip and lower as the p_l > 0 needed by the grid of Equation (1).
+struct MeasureSpec {
+  enum class Direction { kMaximize, kMinimize };
+
+  std::string name;
+  Direction direction = Direction::kMinimize;
+  /// Reference scale for kMinimize: normalized = raw / scale (clamped).
+  double scale = 1.0;
+  /// Normalized desired range (p_l, p_u] in (0, 1].
+  double lower = 0.001;
+  double upper = 1.0;
+
+  static MeasureSpec Maximize(std::string name, double lower = 0.001,
+                              double upper = 1.0) {
+    MeasureSpec m;
+    m.name = std::move(name);
+    m.direction = Direction::kMaximize;
+    m.lower = lower;
+    m.upper = upper;
+    return m;
+  }
+  static MeasureSpec Minimize(std::string name, double scale,
+                              double lower = 0.001, double upper = 1.0) {
+    MeasureSpec m;
+    m.name = std::move(name);
+    m.direction = Direction::kMinimize;
+    m.scale = scale;
+    m.lower = lower;
+    m.upper = upper;
+    return m;
+  }
+
+  /// Maps a raw measurement to normalized-minimized space (0, 1].
+  double Normalize(double raw) const;
+};
+
+/// The outcome of valuating one test t = (M, D, P): raw measurements (one
+/// per measure, in the measure's natural units) and the normalized
+/// performance vector.
+struct Evaluation {
+  std::vector<double> raw;
+  std::vector<double> normalized;
+};
+
+/// Lower-bound vector (p_l per measure) for the position grid.
+std::vector<double> LowerBounds(const std::vector<MeasureSpec>& measures);
+
+/// Upper-bound vector (p_u per measure).
+std::vector<double> UpperBounds(const std::vector<MeasureSpec>& measures);
+
+}  // namespace modis
+
+#endif  // MODIS_ESTIMATOR_MEASURE_H_

@@ -1,0 +1,153 @@
+#include "estimator/oracle.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/timer.h"
+
+namespace modis {
+
+void TestRecordStore::Add(std::string key, std::vector<double> features,
+                          Evaluation eval) {
+  index_[key] = records_.size();
+  records_.push_back({std::move(key), std::move(features), std::move(eval)});
+}
+
+const Evaluation* TestRecordStore::Find(const std::string& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  return &records_[it->second].eval;
+}
+
+std::vector<std::vector<double>> TestRecordStore::NormalizedVectors() const {
+  std::vector<std::vector<double>> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.eval.normalized);
+  return out;
+}
+
+ExactOracle::ExactOracle(TaskEvaluator* evaluator) : evaluator_(evaluator) {
+  MODIS_CHECK(evaluator_ != nullptr) << "ExactOracle: null evaluator";
+}
+
+Result<Evaluation> ExactOracle::Valuate(const std::string& key,
+                                        const std::vector<double>& features,
+                                        const TableProvider& materialize) {
+  if (const Evaluation* hit = store_.Find(key)) {
+    ++stats_.cache_hits;
+    return *hit;
+  }
+  WallTimer timer;
+  const Table dataset = materialize();
+  Result<Evaluation> result = evaluator_->Evaluate(dataset);
+  stats_.exact_seconds += timer.Seconds();
+  if (!result.ok()) {
+    ++stats_.failed_evals;
+    return result;
+  }
+  ++stats_.exact_evals;
+  store_.Add(key, features, result.value());
+  return result;
+}
+
+MoGbmOracle::MoGbmOracle(TaskEvaluator* evaluator, SurrogateOptions options)
+    : evaluator_(evaluator),
+      options_(options),
+      surrogate_(options.gbm),
+      rng_(options.seed) {
+  MODIS_CHECK(evaluator_ != nullptr) << "MoGbmOracle: null evaluator";
+}
+
+Result<Evaluation> MoGbmOracle::ExactValuate(
+    const std::string& key, const std::vector<double>& features,
+    const TableProvider& materialize) {
+  WallTimer timer;
+  const Table dataset = materialize();
+  Result<Evaluation> result = evaluator_->Evaluate(dataset);
+  stats_.exact_seconds += timer.Seconds();
+  if (!result.ok()) {
+    ++stats_.failed_evals;
+    return result;
+  }
+  ++stats_.exact_evals;
+  // Shadow prediction: measure the surrogate against the fresh truth.
+  if (surrogate_.trained()) {
+    const Evaluation guess = PredictEvaluation(features);
+    for (size_t i = 0; i < guess.normalized.size(); ++i) {
+      const double d = guess.normalized[i] - result.value().normalized[i];
+      shadow_sq_error_ += d * d;
+      ++shadow_count_;
+    }
+  }
+  store_.Add(key, features, result.value());
+  MODIS_RETURN_IF_ERROR(MaybeRetrain());
+  return result;
+}
+
+Status MoGbmOracle::MaybeRetrain() {
+  const size_t n = store_.size();
+  const bool due = !surrogate_.trained()
+                       ? n >= options_.bootstrap_budget
+                       : n >= records_at_last_train_ + options_.retrain_every;
+  if (!due || n < 4) return Status::OK();
+
+  const auto& records = store_.records();
+  const size_t d = records.front().features.size();
+  const size_t m = evaluator_->measures().size();
+  Matrix x(n, d);
+  Matrix y(n, m);
+  for (size_t i = 0; i < n; ++i) {
+    MODIS_CHECK(records[i].features.size() == d) << "feature width drift";
+    for (size_t c = 0; c < d; ++c) x.At(i, c) = records[i].features[c];
+    for (size_t c = 0; c < m; ++c) y.At(i, c) = records[i].eval.normalized[c];
+  }
+  Rng train_rng(options_.seed + n);
+  MODIS_RETURN_IF_ERROR(surrogate_.Fit(x, y, &train_rng));
+  records_at_last_train_ = n;
+  return Status::OK();
+}
+
+Evaluation MoGbmOracle::PredictEvaluation(
+    const std::vector<double>& features) const {
+  Evaluation eval;
+  eval.normalized = surrogate_.PredictRow(features.data());
+  const auto& specs = evaluator_->measures();
+  eval.raw.resize(eval.normalized.size());
+  for (size_t i = 0; i < eval.normalized.size(); ++i) {
+    // Keep predictions inside the legal normalized range.
+    eval.normalized[i] = Clamp(eval.normalized[i], specs[i].lower, 1.0);
+    // Back-of-envelope raw value (search logic only consumes normalized).
+    eval.raw[i] = specs[i].direction == MeasureSpec::Direction::kMaximize
+                      ? 1.0 - eval.normalized[i]
+                      : eval.normalized[i] * specs[i].scale;
+  }
+  return eval;
+}
+
+Result<Evaluation> MoGbmOracle::Valuate(const std::string& key,
+                                        const std::vector<double>& features,
+                                        const TableProvider& materialize) {
+  if (const Evaluation* hit = store_.Find(key)) {
+    ++stats_.cache_hits;
+    return *hit;
+  }
+  const bool must_exact =
+      !surrogate_.trained() || rng_.Bernoulli(options_.exact_fraction);
+  if (must_exact) {
+    return ExactValuate(key, features, materialize);
+  }
+  WallTimer timer;
+  Evaluation eval = PredictEvaluation(features);
+  stats_.surrogate_seconds += timer.Seconds();
+  ++stats_.surrogate_evals;
+  return eval;
+}
+
+double MoGbmOracle::SurrogateMse() const {
+  return shadow_count_ == 0 ? 0.0
+                            : shadow_sq_error_ / static_cast<double>(
+                                                     shadow_count_);
+}
+
+}  // namespace modis

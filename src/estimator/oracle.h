@@ -1,0 +1,156 @@
+#ifndef MODIS_ESTIMATOR_ORACLE_H_
+#define MODIS_ESTIMATOR_ORACLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <functional>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "estimator/task_evaluator.h"
+#include "ml/multi_output_gbm.h"
+
+namespace modis {
+
+/// The historical test set T of the paper: every valuated test
+/// (state signature, state features, evaluation) recorded during a running.
+/// Shared by the correlation graph, the surrogate trainer, and the
+/// diversification normalizer.
+class TestRecordStore {
+ public:
+  struct Record {
+    std::string key;
+    std::vector<double> features;
+    Evaluation eval;
+  };
+
+  /// Adds a record (overwrites nothing — keys are expected unique).
+  void Add(std::string key, std::vector<double> features, Evaluation eval);
+
+  /// Cached evaluation for a state signature, or nullptr.
+  const Evaluation* Find(const std::string& key) const;
+
+  const std::vector<Record>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// All normalized performance vectors (for G_C updates / euc_max).
+  std::vector<std::vector<double>> NormalizedVectors() const;
+
+ private:
+  std::vector<Record> records_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// Valuates tests for the search. `key` is the canonical state signature
+/// (the bitmap rendered as '0'/'1' characters); `features` is the numeric
+/// encoding of the state the surrogate learns from; `materialize` lazily
+/// produces the dataset — only exact valuations pay for it, which is how
+/// the surrogate keeps the per-test cost low.
+class PerformanceOracle {
+ public:
+  struct Stats {
+    size_t exact_evals = 0;
+    size_t surrogate_evals = 0;
+    size_t cache_hits = 0;
+    size_t failed_evals = 0;
+    double exact_seconds = 0.0;
+    double surrogate_seconds = 0.0;
+  };
+
+  virtual ~PerformanceOracle() = default;
+
+  using TableProvider = std::function<Table()>;
+
+  virtual Result<Evaluation> Valuate(const std::string& key,
+                                     const std::vector<double>& features,
+                                     const TableProvider& materialize) = 0;
+
+  virtual const std::vector<MeasureSpec>& measures() const = 0;
+
+  const Stats& stats() const { return stats_; }
+  const TestRecordStore& store() const { return store_; }
+
+ protected:
+  Stats stats_;
+  TestRecordStore store_;
+};
+
+/// Oracle that always trains the real model (with a cache keyed by state
+/// signature). This is both the ground-truth reporter and the valuation
+/// backend of small-scale searches.
+class ExactOracle : public PerformanceOracle {
+ public:
+  /// Does not own `evaluator`; it must outlive the oracle.
+  explicit ExactOracle(TaskEvaluator* evaluator);
+
+  Result<Evaluation> Valuate(const std::string& key,
+                             const std::vector<double>& features,
+                             const TableProvider& materialize) override;
+  const std::vector<MeasureSpec>& measures() const override {
+    return evaluator_->measures();
+  }
+
+ private:
+  TaskEvaluator* evaluator_;
+};
+
+/// Options of the MO-GBM surrogate oracle.
+struct SurrogateOptions {
+  /// Exact valuations collected before the surrogate takes over.
+  size_t bootstrap_budget = 24;
+  /// After bootstrap, this fraction of valuations is still exact, to keep
+  /// extending T (and periodically refresh the surrogate).
+  double exact_fraction = 0.1;
+  /// Retrain the MO-GBM after this many new exact records.
+  size_t retrain_every = 16;
+  GbmOptions gbm = {.num_rounds = 40,
+                    .learning_rate = 0.1,
+                    .tree = {.max_depth = 3,
+                             .min_samples_leaf = 2,
+                             .max_bins = 32,
+                             .feature_fraction = 1.0},
+                    .subsample = 1.0};
+  uint64_t seed = 29;
+};
+
+/// The paper's default estimator E: a multi-output gradient boosting model
+/// that predicts the whole normalized performance vector from the state
+/// features in one call (§2, §6), trained on the historically observed
+/// tests T. Cold-start and a trickle of valuations remain exact.
+class MoGbmOracle : public PerformanceOracle {
+ public:
+  /// Does not own `evaluator`.
+  MoGbmOracle(TaskEvaluator* evaluator, SurrogateOptions options = {});
+
+  Result<Evaluation> Valuate(const std::string& key,
+                             const std::vector<double>& features,
+                             const TableProvider& materialize) override;
+  const std::vector<MeasureSpec>& measures() const override {
+    return evaluator_->measures();
+  }
+
+  /// Mean squared error of the surrogate against the exact evaluations it
+  /// has shadow-predicted (reported by bench_estimator).
+  double SurrogateMse() const;
+
+ private:
+  Result<Evaluation> ExactValuate(const std::string& key,
+                                  const std::vector<double>& features,
+                                  const TableProvider& materialize);
+  Status MaybeRetrain();
+  Evaluation PredictEvaluation(const std::vector<double>& features) const;
+
+  TaskEvaluator* evaluator_;
+  SurrogateOptions options_;
+  MultiOutputGbm surrogate_;
+  Rng rng_;
+  size_t records_at_last_train_ = 0;
+  double shadow_sq_error_ = 0.0;
+  size_t shadow_count_ = 0;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_ESTIMATOR_ORACLE_H_

@@ -1,0 +1,33 @@
+#ifndef MODIS_ESTIMATOR_TASK_EVALUATOR_H_
+#define MODIS_ESTIMATOR_TASK_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "estimator/measure.h"
+#include "table/table.h"
+
+namespace modis {
+
+/// Trains the task's fixed deterministic model M on a candidate dataset and
+/// measures the raw + normalized performance vector.
+///
+/// This is the "actual model inference test" of the paper's evaluation
+/// protocol; the exact oracle wraps it with caching, and the MO-GBM
+/// surrogate learns to imitate it.
+class TaskEvaluator {
+ public:
+  virtual ~TaskEvaluator() = default;
+
+  /// The user-defined measure set P, in vector order.
+  virtual const std::vector<MeasureSpec>& measures() const = 0;
+
+  /// Trains and evaluates on `dataset`. Implementations must be
+  /// deterministic for a fixed dataset (fixed seeds). Fails on datasets the
+  /// model cannot be trained on (e.g. no rows, missing target).
+  virtual Result<Evaluation> Evaluate(const Table& dataset) = 0;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_ESTIMATOR_TASK_EVALUATOR_H_

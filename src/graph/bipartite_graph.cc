@@ -1,0 +1,56 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace modis {
+
+BipartiteGraph::BipartiteGraph(int num_users, int num_items)
+    : num_users_(num_users),
+      num_items_(num_items),
+      user_items_(num_users),
+      item_users_(num_items) {
+  MODIS_CHECK(num_users >= 0 && num_items >= 0) << "negative graph size";
+}
+
+Result<BipartiteGraph> BipartiteGraph::FromEdgeTable(
+    const Table& table, const std::string& user_col,
+    const std::string& item_col, int num_users, int num_items) {
+  auto uc = table.schema().FindField(user_col);
+  auto ic = table.schema().FindField(item_col);
+  if (!uc.has_value() || !ic.has_value()) {
+    return Status::NotFound("FromEdgeTable: endpoint column missing");
+  }
+  BipartiteGraph g(num_users, num_items);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Value& u = table.At(r, *uc);
+    const Value& i = table.At(r, *ic);
+    if (u.is_null() || i.is_null() || !u.IsNumeric() || !i.IsNumeric()) {
+      continue;
+    }
+    const int user = static_cast<int>(u.AsDouble());
+    const int item = static_cast<int>(i.AsDouble());
+    if (user < 0 || user >= num_users || item < 0 || item >= num_items) {
+      return Status::OutOfRange("FromEdgeTable: endpoint id out of range");
+    }
+    if (!g.HasEdge(user, item)) g.AddEdge(user, item);
+  }
+  return g;
+}
+
+void BipartiteGraph::AddEdge(int user, int item) {
+  MODIS_CHECK(user >= 0 && user < num_users_) << "user id out of range";
+  MODIS_CHECK(item >= 0 && item < num_items_) << "item id out of range";
+  edges_.push_back({user, item});
+  user_items_[user].push_back(item);
+  item_users_[item].push_back(user);
+}
+
+bool BipartiteGraph::HasEdge(int user, int item) const {
+  MODIS_CHECK(user >= 0 && user < num_users_) << "user id out of range";
+  const auto& items = user_items_[user];
+  return std::find(items.begin(), items.end(), item) != items.end();
+}
+
+}  // namespace modis

@@ -1,0 +1,58 @@
+#ifndef MODIS_GRAPH_BIPARTITE_GRAPH_H_
+#define MODIS_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace modis {
+
+/// A user-item interaction edge.
+struct Edge {
+  int user = 0;
+  int item = 0;
+};
+
+/// Bipartite interaction graph for the T5 link-regression task.
+///
+/// MODis treats graph data as an *edge table*: the Augment/Reduct operators
+/// insert/delete edge rows exactly like tuples ("the augment (resp. reduct)
+/// operators are defined as edge insertions (resp. deletions)", §6). This
+/// class is the graph view of such a table.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(int num_users, int num_items);
+
+  /// Builds a graph from an edge table; `user_col`/`item_col` must be
+  /// integer columns with ids in [0, num_users) / [0, num_items). Rows with
+  /// null endpoints are skipped. Duplicate edges are kept once.
+  static Result<BipartiteGraph> FromEdgeTable(const Table& table,
+                                              const std::string& user_col,
+                                              const std::string& item_col,
+                                              int num_users, int num_items);
+
+  void AddEdge(int user, int item);
+
+  int num_users() const { return num_users_; }
+  int num_items() const { return num_items_; }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  const std::vector<int>& ItemsOf(int user) const { return user_items_[user]; }
+  const std::vector<int>& UsersOf(int item) const { return item_users_[item]; }
+
+  bool HasEdge(int user, int item) const;
+
+ private:
+  int num_users_;
+  int num_items_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> user_items_;
+  std::vector<std::vector<int>> item_users_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_GRAPH_BIPARTITE_GRAPH_H_

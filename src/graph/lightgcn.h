@@ -1,0 +1,76 @@
+#ifndef MODIS_GRAPH_LIGHTGCN_H_
+#define MODIS_GRAPH_LIGHTGCN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+
+namespace modis {
+
+/// Hyperparameters of the LightGCN-lite link scorer.
+struct LightGcnOptions {
+  int embedding_dim = 16;
+  int num_layers = 2;
+  int epochs = 40;
+  double learning_rate = 0.05;
+  double l2 = 1e-4;
+  /// BPR triples sampled per epoch, as a multiple of the edge count.
+  double samples_per_edge = 2.0;
+};
+
+/// Simplified LightGCN (He et al., SIGIR'20): ID embeddings propagated
+/// through the symmetric-normalized bipartite adjacency, averaged over
+/// layers, scored by dot product, trained with BPR loss — the "LGRmodel" of
+/// task T5.
+class LightGcn {
+ public:
+  explicit LightGcn(LightGcnOptions options = {});
+
+  /// Trains on the interaction graph. Deterministic given (graph, seed).
+  Status Fit(const BipartiteGraph& graph, Rng* rng);
+
+  /// Affinity score of a user-item pair from the propagated embeddings.
+  double Score(int user, int item) const;
+
+  /// Items ranked by descending score for `user`, excluding `exclude`
+  /// (normally the user's training items).
+  std::vector<int> RankItems(int user, const std::vector<int>& exclude) const;
+
+  bool trained() const { return !user_emb_.empty(); }
+  int num_users() const { return num_users_; }
+  int num_items() const { return num_items_; }
+
+ private:
+  void Propagate(const BipartiteGraph& graph);
+
+  LightGcnOptions options_;
+  int num_users_ = 0;
+  int num_items_ = 0;
+  // Raw (layer-0) embeddings, updated by SGD.
+  std::vector<std::vector<double>> user_emb0_, item_emb0_;
+  // Final layer-averaged embeddings used for scoring.
+  std::vector<std::vector<double>> user_emb_, item_emb_;
+};
+
+/// Measured ranking quality of a trained scorer on held-out edges.
+struct LinkEvalResult {
+  /// Keyed by metric name: "p@5", "r@5", "ndcg@5", ... for each k in `ks`,
+  /// plus "train_seconds".
+  std::map<std::string, double> metrics;
+};
+
+/// Trains LightGCN-lite on `train` and evaluates ranking metrics at each
+/// cutoff in `ks` against `test_edges` (one entry per user: the held-out
+/// items of that user; users with no held-out items are skipped).
+Result<LinkEvalResult> EvaluateLinkTask(
+    const BipartiteGraph& train,
+    const std::vector<std::vector<int>>& test_edges,
+    const std::vector<int>& ks, const LightGcnOptions& options, uint64_t seed);
+
+}  // namespace modis
+
+#endif  // MODIS_GRAPH_LIGHTGCN_H_

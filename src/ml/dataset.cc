@@ -1,0 +1,144 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace modis {
+
+MlDataset MlDataset::SelectRows(const std::vector<size_t>& rows) const {
+  MlDataset out;
+  out.feature_names = feature_names;
+  out.task = task;
+  out.num_classes = num_classes;
+  out.class_labels = class_labels;
+  out.x = Matrix(rows.size(), x.cols());
+  out.y.resize(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    MODIS_DCHECK(rows[i] < x.rows()) << "SelectRows out of range";
+    const double* src = x.Row(rows[i]);
+    double* dst = out.x.Row(i);
+    std::copy(src, src + x.cols(), dst);
+    out.y[i] = y[rows[i]];
+  }
+  return out;
+}
+
+std::vector<int> MlDataset::LabelsAsInt() const {
+  std::vector<int> out(y.size());
+  for (size_t i = 0; i < y.size(); ++i) out[i] = static_cast<int>(y[i]);
+  return out;
+}
+
+Result<MlDataset> TableToDataset(const Table& table, const std::string& target,
+                                 TaskKind task, const BridgeOptions& options) {
+  auto target_col = table.schema().FindField(target);
+  if (!target_col.has_value()) {
+    return Status::NotFound("TableToDataset: no target column " + target);
+  }
+  std::unordered_set<std::string> excluded(options.exclude.begin(),
+                                           options.exclude.end());
+  excluded.insert(target);
+
+  // Feature columns in schema order.
+  std::vector<size_t> feature_cols;
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    if (excluded.count(table.schema().field(c).name) == 0) {
+      feature_cols.push_back(c);
+    }
+  }
+
+  // Rows with a non-null target.
+  std::vector<size_t> rows;
+  rows.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (!table.At(r, *target_col).is_null()) rows.push_back(r);
+  }
+
+  MlDataset out;
+  out.task = task;
+  out.x = Matrix(rows.size(), feature_cols.size());
+  out.y.resize(rows.size());
+  for (size_t c : feature_cols) {
+    out.feature_names.push_back(table.schema().field(c).name);
+  }
+
+  // Encode features column by column.
+  for (size_t fc = 0; fc < feature_cols.size(); ++fc) {
+    const size_t c = feature_cols[fc];
+    const Field& field = table.schema().field(c);
+    if (field.type == ColumnType::kNumeric) {
+      double sum = 0.0;
+      size_t n = 0;
+      for (size_t r : rows) {
+        const Value& v = table.At(r, c);
+        if (!v.is_null() && v.IsNumeric()) {
+          sum += v.AsDouble();
+          ++n;
+        }
+      }
+      const double mean = n > 0 ? sum / static_cast<double>(n) : 0.0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const Value& v = table.At(rows[i], c);
+        out.x.At(i, fc) =
+            (!v.is_null() && v.IsNumeric()) ? v.AsDouble() : mean;
+      }
+    } else {
+      std::map<Value, double> codes;
+      for (size_t r : rows) {
+        const Value& v = table.At(r, c);
+        if (!v.is_null()) codes.emplace(v, 0.0);
+      }
+      double code = 1.0;
+      for (auto& kv : codes) kv.second = code++;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const Value& v = table.At(rows[i], c);
+        out.x.At(i, fc) = v.is_null() ? 0.0 : codes.at(v);
+      }
+    }
+  }
+
+  // Encode target.
+  if (task == TaskKind::kRegression) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Value& v = table.At(rows[i], *target_col);
+      if (!v.IsNumeric()) {
+        return Status::InvalidArgument(
+            "TableToDataset: regression target must be numeric");
+      }
+      out.y[i] = v.AsDouble();
+    }
+  } else {
+    std::map<Value, int> classes;
+    for (size_t r : rows) {
+      classes.emplace(table.At(r, *target_col), 0);
+    }
+    int next = 0;
+    for (auto& kv : classes) {
+      kv.second = next++;
+      out.class_labels.push_back(kv.first);
+    }
+    out.num_classes = next;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      out.y[i] = classes.at(table.At(rows[i], *target_col));
+    }
+  }
+  return out;
+}
+
+SplitIndices TrainTestSplit(size_t n, double test_fraction, Rng* rng) {
+  MODIS_CHECK(test_fraction >= 0.0 && test_fraction < 1.0)
+      << "test_fraction out of range";
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  rng->Shuffle(&idx);
+  const size_t test_n = static_cast<size_t>(test_fraction * n);
+  SplitIndices split;
+  split.test.assign(idx.begin(), idx.begin() + test_n);
+  split.train.assign(idx.begin() + test_n, idx.end());
+  return split;
+}
+
+}  // namespace modis

@@ -1,0 +1,66 @@
+#ifndef MODIS_ML_DATASET_H_
+#define MODIS_ML_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "table/table.h"
+
+namespace modis {
+
+/// Learning-task flavor a model is trained for.
+enum class TaskKind { kRegression, kClassification };
+
+/// Dense numeric learning view of a Table: feature matrix + target vector.
+///
+/// For classification the target holds class indices (0..num_classes-1).
+/// `class_labels` preserves the original target values so predictions can be
+/// mapped back.
+struct MlDataset {
+  Matrix x;
+  std::vector<double> y;
+  std::vector<std::string> feature_names;
+  TaskKind task = TaskKind::kRegression;
+  int num_classes = 0;  // 0 for regression.
+  std::vector<Value> class_labels;
+
+  size_t num_rows() const { return x.rows(); }
+  size_t num_features() const { return x.cols(); }
+
+  /// Subset of rows (for train/test splits).
+  MlDataset SelectRows(const std::vector<size_t>& rows) const;
+
+  /// Integer view of the target (classification only).
+  std::vector<int> LabelsAsInt() const;
+};
+
+/// Conversion options for TableToDataset.
+struct BridgeOptions {
+  /// Columns excluded from the feature set (e.g. join keys / IDs).
+  std::vector<std::string> exclude;
+};
+
+/// Converts `table` into an MlDataset predicting `target`.
+///
+/// Numeric features: nulls imputed with the column mean (0 if all null).
+/// Categorical features: label-encoded against the sorted distinct values;
+/// nulls map to a dedicated "missing" code (-1 shifted to 0, values from 1).
+/// Rows with a null target are dropped. For classification a numeric target
+/// is discretized by its distinct values.
+Result<MlDataset> TableToDataset(const Table& table, const std::string& target,
+                                 TaskKind task,
+                                 const BridgeOptions& options = {});
+
+/// Deterministic shuffled split of n rows into train/test index sets.
+struct SplitIndices {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+SplitIndices TrainTestSplit(size_t n, double test_fraction, Rng* rng);
+
+}  // namespace modis
+
+#endif  // MODIS_ML_DATASET_H_

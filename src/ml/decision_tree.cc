@@ -1,0 +1,231 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace modis {
+
+namespace {
+
+/// Accumulates segment statistics for either criterion.
+struct SegmentStats {
+  double count = 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::vector<double> class_counts;
+
+  void Init(int num_classes) {
+    count = sum = sum_sq = 0.0;
+    class_counts.assign(num_classes, 0.0);
+  }
+  void Add(double y, bool gini) {
+    count += 1.0;
+    if (gini) {
+      class_counts[static_cast<int>(y)] += 1.0;
+    } else {
+      sum += y;
+      sum_sq += y * y;
+    }
+  }
+  void Remove(double y, bool gini) {
+    count -= 1.0;
+    if (gini) {
+      class_counts[static_cast<int>(y)] -= 1.0;
+    } else {
+      sum -= y;
+      sum_sq -= y * y;
+    }
+  }
+  /// Count-weighted impurity: SSE for regression, n*(1-Σp²) for Gini.
+  double Impurity(bool gini) const {
+    if (count <= 0.0) return 0.0;
+    if (gini) {
+      double sq = 0.0;
+      for (double c : class_counts) sq += c * c;
+      return count - sq / count;
+    }
+    return sum_sq - sum * sum / count;
+  }
+};
+
+}  // namespace
+
+Status DecisionTree::Fit(const Matrix& x, const std::vector<double>& y,
+                         const std::vector<size_t>& sample,
+                         Criterion criterion, int num_classes, Rng* rng) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("DecisionTree::Fit: x/y size mismatch");
+  }
+  if (sample.empty()) {
+    return Status::InvalidArgument("DecisionTree::Fit: empty sample");
+  }
+  if (criterion == Criterion::kGini && num_classes < 2) {
+    return Status::InvalidArgument(
+        "DecisionTree::Fit: classification needs >= 2 classes");
+  }
+  criterion_ = criterion;
+  num_classes_ = criterion == Criterion::kGini ? num_classes : 0;
+  nodes_.clear();
+  importance_.assign(x.cols(), 0.0);
+
+  std::vector<size_t> rows = sample;
+  BuildNode(x, y, rows, 0, rows.size(), 0, rng);
+  return Status::OK();
+}
+
+int DecisionTree::BuildNode(const Matrix& x, const std::vector<double>& y,
+                            std::vector<size_t>& rows, size_t begin,
+                            size_t end, int depth, Rng* rng) {
+  const bool gini = criterion_ == Criterion::kGini;
+  const size_t n = end - begin;
+
+  SegmentStats total;
+  total.Init(num_classes_);
+  for (size_t i = begin; i < end; ++i) total.Add(y[rows[i]], gini);
+  const double parent_impurity = total.Impurity(gini);
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  auto make_leaf = [&]() {
+    Node& node = nodes_[node_index];
+    if (gini) {
+      node.distribution.assign(num_classes_, 0.0);
+      for (int k = 0; k < num_classes_; ++k) {
+        node.distribution[k] = total.class_counts[k] / total.count;
+      }
+      // Majority class as the point value.
+      node.value = static_cast<double>(
+          std::max_element(node.distribution.begin(), node.distribution.end()) -
+          node.distribution.begin());
+    } else {
+      node.value = total.sum / total.count;
+    }
+    return node_index;
+  };
+
+  if (depth >= options_.max_depth || n < 2 * options_.min_samples_leaf ||
+      parent_impurity <= 1e-12) {
+    return make_leaf();
+  }
+
+  // Feature subsample.
+  const size_t d = x.cols();
+  size_t k = static_cast<size_t>(std::ceil(options_.feature_fraction * d));
+  k = std::max<size_t>(1, std::min(k, d));
+  std::vector<size_t> features =
+      (k == d) ? [&] {
+        std::vector<size_t> all(d);
+        std::iota(all.begin(), all.end(), 0);
+        return all;
+      }()
+               : rng->SampleWithoutReplacement(d, k);
+
+  double best_gain = 1e-10;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  // Scratch: (value, y) pairs of the current segment, sorted per feature.
+  std::vector<std::pair<double, double>> pairs(n);
+  for (size_t f : features) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t r = rows[begin + i];
+      pairs[i] = {x.At(r, f), y[r]};
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (pairs.front().first == pairs.back().first) continue;  // Constant.
+
+    // Candidate positions: boundaries between distinct values, limited to
+    // ~max_bins evenly spread positions (histogram-style split search).
+    SegmentStats left, right = total;
+    left.Init(num_classes_);
+    const size_t stride =
+        options_.max_bins > 0
+            ? std::max<size_t>(1, n / static_cast<size_t>(options_.max_bins))
+            : 1;
+    size_t i = 0;
+    size_t next_check = stride;
+    while (i + 1 < n) {
+      left.Add(pairs[i].second, gini);
+      right.Remove(pairs[i].second, gini);
+      ++i;
+      const bool boundary = pairs[i].first > pairs[i - 1].first;
+      if (!boundary || i < next_check) continue;
+      next_check = i + stride;
+      if (i < options_.min_samples_leaf || n - i < options_.min_samples_leaf) {
+        continue;
+      }
+      const double gain =
+          parent_impurity - left.Impurity(gini) - right.Impurity(gini);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (pairs[i - 1].first + pairs[i].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Partition rows by the chosen split.
+  auto mid_it = std::stable_partition(
+      rows.begin() + begin, rows.begin() + end, [&](size_t r) {
+        return x.At(r, best_feature) <= best_threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - rows.begin());
+  if (mid == begin || mid == end) return make_leaf();  // Degenerate.
+
+  importance_[best_feature] += best_gain;
+
+  const int left_child = BuildNode(x, y, rows, begin, mid, depth + 1, rng);
+  const int right_child = BuildNode(x, y, rows, mid, end, depth + 1, rng);
+  Node& node = nodes_[node_index];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left_child;
+  node.right = right_child;
+  return node_index;
+}
+
+const DecisionTree::Node& DecisionTree::Descend(const double* row) const {
+  MODIS_CHECK(!nodes_.empty()) << "DecisionTree not trained";
+  int idx = 0;
+  for (;;) {
+    const Node& node = nodes_[idx];
+    if (node.feature < 0) return node;
+    idx = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+double DecisionTree::PredictValue(const double* row) const {
+  return Descend(row).value;
+}
+
+const std::vector<double>& DecisionTree::PredictDistribution(
+    const double* row) const {
+  const Node& node = Descend(row);
+  MODIS_CHECK(!node.distribution.empty())
+      << "PredictDistribution on a regression tree";
+  return node.distribution;
+}
+
+std::vector<double> DecisionTree::FeatureImportance(size_t num_features) const {
+  std::vector<double> imp(num_features, 0.0);
+  const size_t n = std::min(num_features, importance_.size());
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    imp[i] = importance_[i];
+    total += imp[i];
+  }
+  if (total > 0.0) {
+    for (double& v : imp) v /= total;
+  }
+  return imp;
+}
+
+}  // namespace modis

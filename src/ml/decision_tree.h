@@ -1,0 +1,80 @@
+#ifndef MODIS_ML_DECISION_TREE_H_
+#define MODIS_ML_DECISION_TREE_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace modis {
+
+/// Hyperparameters shared by all tree learners.
+struct TreeOptions {
+  int max_depth = 6;
+  size_t min_samples_leaf = 2;
+  /// Candidate split thresholds per feature. Small values give the
+  /// histogram-binned behaviour of LightGBM-style learners.
+  int max_bins = 64;
+  /// Fraction of features considered per split (1.0 = all). Random forests
+  /// use sqrt(d)/d.
+  double feature_fraction = 1.0;
+};
+
+/// A CART decision tree supporting regression (variance criterion) and
+/// classification (Gini criterion). This is the base learner for the random
+/// forest and gradient-boosting ensembles.
+///
+/// Internals: nodes are stored in a flat array; leaves carry either a mean
+/// response (regression) or a class histogram (classification).
+class DecisionTree {
+ public:
+  enum class Criterion { kVariance, kGini };
+
+  explicit DecisionTree(TreeOptions options = {}) : options_(options) {}
+
+  /// Fits on rows `sample` of x (duplicates allowed — bootstrap). For Gini,
+  /// `y` holds class indices and `num_classes` must be positive. `weights`
+  /// (optional, may be empty) weight each sample row.
+  Status Fit(const Matrix& x, const std::vector<double>& y,
+             const std::vector<size_t>& sample, Criterion criterion,
+             int num_classes, Rng* rng);
+
+  /// Regression mean (kVariance) or majority class (kGini) for one row.
+  double PredictValue(const double* row) const;
+
+  /// Class-probability histogram for one row (kGini trees only).
+  const std::vector<double>& PredictDistribution(const double* row) const;
+
+  /// Impurity-gain importance per feature, normalized to sum to 1 (all
+  /// zeros if the tree is a single leaf).
+  std::vector<double> FeatureImportance(size_t num_features) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  bool trained() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;           // -1 for leaves.
+    double threshold = 0.0;     // Go left if x[feature] <= threshold.
+    int left = -1;
+    int right = -1;
+    double value = 0.0;                 // Regression leaf mean.
+    std::vector<double> distribution;   // Classification leaf histogram.
+  };
+
+  int BuildNode(const Matrix& x, const std::vector<double>& y,
+                std::vector<size_t>& rows, size_t begin, size_t end, int depth,
+                Rng* rng);
+  const Node& Descend(const double* row) const;
+
+  TreeOptions options_;
+  Criterion criterion_ = Criterion::kVariance;
+  int num_classes_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;  // Raw impurity gains per feature.
+};
+
+}  // namespace modis
+
+#endif  // MODIS_ML_DECISION_TREE_H_

@@ -1,0 +1,121 @@
+#include "ml/feature_scores.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace modis {
+
+double FisherScore(const std::vector<double>& feature,
+                   const std::vector<int>& labels, int num_classes) {
+  MODIS_CHECK(feature.size() == labels.size()) << "FisherScore size mismatch";
+  const size_t n = feature.size();
+  if (n == 0 || num_classes < 2) return 0.0;
+
+  std::vector<double> sum(num_classes, 0.0), sum_sq(num_classes, 0.0);
+  std::vector<double> count(num_classes, 0.0);
+  double total_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const int k = labels[i];
+    MODIS_CHECK(k >= 0 && k < num_classes) << "label out of range";
+    sum[k] += feature[i];
+    sum_sq[k] += feature[i] * feature[i];
+    count[k] += 1.0;
+    total_sum += feature[i];
+  }
+  const double mu = total_sum / static_cast<double>(n);
+  double between = 0.0, within = 0.0;
+  for (int k = 0; k < num_classes; ++k) {
+    if (count[k] <= 0.0) continue;
+    const double mu_k = sum[k] / count[k];
+    between += count[k] * (mu_k - mu) * (mu_k - mu);
+    within += sum_sq[k] - count[k] * mu_k * mu_k;
+  }
+  if (within <= 1e-12) return between > 1e-12 ? 1e6 : 0.0;
+  return between / within;
+}
+
+double MeanFisherScore(const Matrix& x, const std::vector<int>& labels,
+                       int num_classes) {
+  if (x.cols() == 0) return 0.0;
+  std::vector<double> feature(x.rows());
+  double sum = 0.0;
+  for (size_t c = 0; c < x.cols(); ++c) {
+    for (size_t r = 0; r < x.rows(); ++r) feature[r] = x.At(r, c);
+    sum += FisherScore(feature, labels, num_classes);
+  }
+  return sum / static_cast<double>(x.cols());
+}
+
+double MutualInformation(const std::vector<double>& feature,
+                         const std::vector<int>& labels, int num_classes,
+                         int bins) {
+  MODIS_CHECK(feature.size() == labels.size())
+      << "MutualInformation size mismatch";
+  const size_t n = feature.size();
+  if (n == 0 || num_classes < 2 || bins < 2) return 0.0;
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (double v : feature) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(hi > lo)) return 0.0;  // Constant feature.
+  const double width = (hi - lo) / bins;
+
+  std::vector<double> joint(static_cast<size_t>(bins) * num_classes, 0.0);
+  std::vector<double> pb(bins, 0.0), pk(num_classes, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    int b = static_cast<int>((feature[i] - lo) / width);
+    b = std::min(b, bins - 1);
+    joint[b * num_classes + labels[i]] += 1.0;
+    pb[b] += 1.0;
+    pk[labels[i]] += 1.0;
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  double mi = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    for (int k = 0; k < num_classes; ++k) {
+      const double pjk = joint[b * num_classes + k] * inv_n;
+      if (pjk <= 0.0) continue;
+      mi += pjk * std::log(pjk / (pb[b] * inv_n * pk[k] * inv_n));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+double MeanMutualInformation(const Matrix& x, const std::vector<int>& labels,
+                             int num_classes, int bins) {
+  if (x.cols() == 0) return 0.0;
+  std::vector<double> feature(x.rows());
+  double sum = 0.0;
+  for (size_t c = 0; c < x.cols(); ++c) {
+    for (size_t r = 0; r < x.rows(); ++r) feature[r] = x.At(r, c);
+    sum += MutualInformation(feature, labels, num_classes, bins);
+  }
+  return sum / static_cast<double>(x.cols());
+}
+
+std::vector<int> DiscretizeTarget(const std::vector<double>& y, int bins) {
+  MODIS_CHECK(bins >= 2) << "DiscretizeTarget needs >= 2 bins";
+  const size_t n = y.size();
+  std::vector<int> out(n, 0);
+  if (n == 0) return out;
+  std::vector<double> sorted = y;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> cuts;
+  for (int b = 1; b < bins; ++b) {
+    cuts.push_back(sorted[n * b / bins]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    int k = 0;
+    while (k < static_cast<int>(cuts.size()) && y[i] >= cuts[k]) ++k;
+    out[i] = k;
+  }
+  return out;
+}
+
+}  // namespace modis

@@ -1,0 +1,39 @@
+#ifndef MODIS_ML_FEATURE_SCORES_H_
+#define MODIS_ML_FEATURE_SCORES_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace modis {
+
+/// Fisher score of one feature w.r.t. integer class labels:
+///   sum_k n_k (mu_k - mu)^2 / sum_k n_k sigma_k^2.
+/// Returns 0 when the within-class variance vanishes with identical means.
+double FisherScore(const std::vector<double>& feature,
+                   const std::vector<int>& labels, int num_classes);
+
+/// Mean Fisher score over all feature columns — the p_Fsc measure reported
+/// in Tables 4/6 of the paper (a larger value means the retained features
+/// separate the classes better).
+double MeanFisherScore(const Matrix& x, const std::vector<int>& labels,
+                       int num_classes);
+
+/// Mutual information I(feature; label) in nats, with the feature
+/// discretized into `bins` equal-width bins over its observed range.
+double MutualInformation(const std::vector<double>& feature,
+                         const std::vector<int>& labels, int num_classes,
+                         int bins = 10);
+
+/// Mean mutual information over all feature columns — the p_MI measure of
+/// Tables 4/6.
+double MeanMutualInformation(const Matrix& x, const std::vector<int>& labels,
+                             int num_classes, int bins = 10);
+
+/// Discretizes a continuous target into `bins` quantile classes so the
+/// Fisher / MI measures also apply to regression tasks (T1, T3).
+std::vector<int> DiscretizeTarget(const std::vector<double>& y, int bins);
+
+}  // namespace modis
+
+#endif  // MODIS_ML_FEATURE_SCORES_H_

@@ -1,0 +1,77 @@
+#ifndef MODIS_ML_GRADIENT_BOOSTING_H_
+#define MODIS_ML_GRADIENT_BOOSTING_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+
+namespace modis {
+
+/// Hyperparameters for gradient-boosted tree ensembles.
+struct GbmOptions {
+  int num_rounds = 60;
+  double learning_rate = 0.1;
+  TreeOptions tree = {.max_depth = 3, .min_samples_leaf = 4, .max_bins = 64,
+                      .feature_fraction = 1.0};
+  /// Row subsample per round (stochastic gradient boosting).
+  double subsample = 1.0;
+};
+
+/// Gradient boosting with squared loss — the "GBmovie" model of task T1 and
+/// the regression workhorse behind the MO-GBM estimator.
+class GradientBoostingRegressor : public MlModel {
+ public:
+  explicit GradientBoostingRegressor(GbmOptions options = {});
+
+  Status Fit(const MlDataset& train, Rng* rng) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+  std::vector<double> FeatureImportance() const override;
+  std::unique_ptr<MlModel> Clone() const override;
+  const char* Name() const override { return "GradientBoostingRegressor"; }
+
+  /// Training loss (MSE) after each boosting round; tests assert the curve
+  /// is non-increasing.
+  const std::vector<double>& training_loss() const { return training_loss_; }
+
+ private:
+  GbmOptions options_;
+  double base_prediction_ = 0.0;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> training_loss_;
+  size_t num_features_ = 0;
+};
+
+/// Gradient boosting with softmax cross-entropy (K trees per round) — the
+/// histogram-binned configuration below doubles as "LightGBM-lite" for task
+/// T4.
+class GradientBoostingClassifier : public MlModel {
+ public:
+  explicit GradientBoostingClassifier(GbmOptions options = {});
+
+  Status Fit(const MlDataset& train, Rng* rng) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+  std::vector<std::vector<double>> PredictProba(const Matrix& x) const override;
+  std::vector<double> FeatureImportance() const override;
+  std::unique_ptr<MlModel> Clone() const override;
+  const char* Name() const override { return "GradientBoostingClassifier"; }
+
+ private:
+  /// Raw (pre-softmax) scores for one row.
+  std::vector<double> RawScores(const double* row) const;
+
+  GbmOptions options_;
+  int num_classes_ = 0;
+  std::vector<double> base_scores_;
+  // trees_[round * num_classes_ + k]
+  std::vector<DecisionTree> trees_;
+  size_t num_features_ = 0;
+};
+
+/// LightGBM-flavoured defaults: shallow trees, few bins, subsampling.
+GbmOptions LightGbmLiteOptions();
+
+}  // namespace modis
+
+#endif  // MODIS_ML_GRADIENT_BOOSTING_H_

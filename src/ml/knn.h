@@ -1,0 +1,61 @@
+#ifndef MODIS_ML_KNN_H_
+#define MODIS_ML_KNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace modis {
+
+/// Options shared by the k-nearest-neighbour models.
+struct KnnOptions {
+  int k = 5;
+  /// Inverse-distance weighting of neighbour votes (uniform otherwise).
+  bool distance_weighted = true;
+};
+
+/// Brute-force kNN regressor on standardized features. Serves as an
+/// alternative surrogate family in the estimator comparison (§2 of the
+/// paper lists surrogate-model estimation approaches MODis can plug in).
+class KnnRegressor : public MlModel {
+ public:
+  explicit KnnRegressor(KnnOptions options = {}) : options_(options) {}
+
+  Status Fit(const MlDataset& train, Rng* rng) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+  std::unique_ptr<MlModel> Clone() const override;
+  const char* Name() const override { return "KnnRegressor"; }
+
+ private:
+  /// Indices and weights of the k nearest training rows to `row`.
+  std::vector<std::pair<double, size_t>> Neighbours(const double* row) const;
+
+  KnnOptions options_;
+  Matrix train_x_;
+  std::vector<double> train_y_;
+  std::vector<double> mean_, scale_;
+};
+
+/// Brute-force kNN classifier (majority / weighted vote).
+class KnnClassifier : public MlModel {
+ public:
+  explicit KnnClassifier(KnnOptions options = {}) : options_(options) {}
+
+  Status Fit(const MlDataset& train, Rng* rng) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+  std::vector<std::vector<double>> PredictProba(const Matrix& x) const override;
+  std::unique_ptr<MlModel> Clone() const override;
+  const char* Name() const override { return "KnnClassifier"; }
+
+ private:
+  KnnOptions options_;
+  int num_classes_ = 0;
+  Matrix train_x_;
+  std::vector<double> train_y_;
+  std::vector<double> mean_, scale_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_ML_KNN_H_

@@ -1,0 +1,216 @@
+#include "ml/linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace modis {
+
+namespace {
+
+/// Column means and standard deviations (1 where degenerate).
+void Standardize(const Matrix& x, std::vector<double>* mean,
+                 std::vector<double>* scale) {
+  const size_t n = x.rows(), d = x.cols();
+  mean->assign(d, 0.0);
+  scale->assign(d, 1.0);
+  if (n == 0) return;
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.Row(r);
+    for (size_t c = 0; c < d; ++c) (*mean)[c] += row[c];
+  }
+  for (double& m : *mean) m /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.Row(r);
+    for (size_t c = 0; c < d; ++c) {
+      const double dlt = row[c] - (*mean)[c];
+      var[c] += dlt * dlt;
+    }
+  }
+  for (size_t c = 0; c < d; ++c) {
+    const double s = std::sqrt(var[c] / static_cast<double>(n));
+    (*scale)[c] = s > 1e-12 ? s : 1.0;
+  }
+}
+
+}  // namespace
+
+Status RidgeRegressor::Fit(const MlDataset& train, Rng* /*rng*/) {
+  if (train.task != TaskKind::kRegression) {
+    return Status::InvalidArgument("RidgeRegressor needs a regression dataset");
+  }
+  const size_t n = train.num_rows(), d = train.num_features();
+  if (n == 0) return Status::InvalidArgument("RidgeRegressor: empty data");
+
+  std::vector<double> mean, scale;
+  Standardize(train.x, &mean, &scale);
+  const double y_mean =
+      std::accumulate(train.y.begin(), train.y.end(), 0.0) /
+      static_cast<double>(n);
+
+  // Standardized, centered design matrix.
+  Matrix z(n, d);
+  std::vector<double> yc(n);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = train.x.Row(r);
+    double* zr = z.Row(r);
+    for (size_t c = 0; c < d; ++c) zr[c] = (row[c] - mean[c]) / scale[c];
+    yc[r] = train.y[r] - y_mean;
+  }
+  Matrix gram = z.Gram();
+  for (size_t c = 0; c < d; ++c) {
+    gram.At(c, c) += l2_ * static_cast<double>(n) + 1e-9;
+  }
+  MODIS_ASSIGN_OR_RETURN(std_coef_, CholeskySolve(gram, z.TransposeTimes(yc)));
+
+  // Back-transform to original units.
+  coef_.assign(d, 0.0);
+  intercept_ = y_mean;
+  for (size_t c = 0; c < d; ++c) {
+    coef_[c] = std_coef_[c] / scale[c];
+    intercept_ -= coef_[c] * mean[c];
+  }
+  return Status::OK();
+}
+
+std::vector<double> RidgeRegressor::Predict(const Matrix& x) const {
+  MODIS_CHECK(!coef_.empty() || x.cols() == 0) << "RidgeRegressor not trained";
+  std::vector<double> out(x.rows(), intercept_);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.Row(r);
+    for (size_t c = 0; c < x.cols() && c < coef_.size(); ++c) {
+      out[r] += coef_[c] * row[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> RidgeRegressor::FeatureImportance() const {
+  std::vector<double> imp(std_coef_.size());
+  for (size_t i = 0; i < std_coef_.size(); ++i) imp[i] = std::abs(std_coef_[i]);
+  const double total = std::accumulate(imp.begin(), imp.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : imp) v /= total;
+  }
+  return imp;
+}
+
+std::unique_ptr<MlModel> RidgeRegressor::Clone() const {
+  return std::make_unique<RidgeRegressor>(l2_);
+}
+
+Status LogisticRegressor::Fit(const MlDataset& train, Rng* /*rng*/) {
+  if (train.task != TaskKind::kClassification) {
+    return Status::InvalidArgument(
+        "LogisticRegressor needs a classification dataset");
+  }
+  const size_t n = train.num_rows();
+  const size_t d = train.num_features();
+  if (n == 0) return Status::InvalidArgument("LogisticRegressor: empty data");
+  num_classes_ = train.num_classes;
+  num_features_ = d;
+  if (num_classes_ < 2) {
+    return Status::InvalidArgument("LogisticRegressor: needs >= 2 classes");
+  }
+  Standardize(train.x, &mean_, &scale_);
+  weights_.assign(static_cast<size_t>(num_classes_) * (d + 1), 0.0);
+
+  std::vector<double> z(d);
+  std::vector<double> probs(num_classes_);
+  std::vector<double> grad(weights_.size());
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (size_t r = 0; r < n; ++r) {
+      const double* row = train.x.Row(r);
+      for (size_t c = 0; c < d; ++c) z[c] = (row[c] - mean_[c]) / scale_[c];
+      // Softmax scores.
+      double mx = -1e300;
+      for (int k = 0; k < num_classes_; ++k) {
+        const double* w = &weights_[k * (d + 1)];
+        double s = w[d];
+        for (size_t c = 0; c < d; ++c) s += w[c] * z[c];
+        probs[k] = s;
+        mx = std::max(mx, s);
+      }
+      double denom = 0.0;
+      for (int k = 0; k < num_classes_; ++k) {
+        probs[k] = std::exp(probs[k] - mx);
+        denom += probs[k];
+      }
+      for (int k = 0; k < num_classes_; ++k) probs[k] /= denom;
+      const int label = static_cast<int>(train.y[r]);
+      for (int k = 0; k < num_classes_; ++k) {
+        const double err = probs[k] - (k == label ? 1.0 : 0.0);
+        double* g = &grad[k * (d + 1)];
+        for (size_t c = 0; c < d; ++c) g[c] += err * z[c];
+        g[d] += err;
+      }
+    }
+    const double step = options_.learning_rate / static_cast<double>(n);
+    for (size_t i = 0; i < weights_.size(); ++i) {
+      weights_[i] -= step * (grad[i] + options_.l2 * weights_[i]);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::vector<double>> LogisticRegressor::PredictProba(
+    const Matrix& x) const {
+  MODIS_CHECK(num_classes_ >= 2) << "LogisticRegressor not trained";
+  const size_t d = num_features_;
+  std::vector<std::vector<double>> out(x.rows(),
+                                       std::vector<double>(num_classes_));
+  std::vector<double> z(d);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.Row(r);
+    for (size_t c = 0; c < d; ++c) z[c] = (row[c] - mean_[c]) / scale_[c];
+    double mx = -1e300;
+    for (int k = 0; k < num_classes_; ++k) {
+      const double* w = &weights_[k * (d + 1)];
+      double s = w[d];
+      for (size_t c = 0; c < d; ++c) s += w[c] * z[c];
+      out[r][k] = s;
+      mx = std::max(mx, s);
+    }
+    double denom = 0.0;
+    for (int k = 0; k < num_classes_; ++k) {
+      out[r][k] = std::exp(out[r][k] - mx);
+      denom += out[r][k];
+    }
+    for (int k = 0; k < num_classes_; ++k) out[r][k] /= denom;
+  }
+  return out;
+}
+
+std::vector<double> LogisticRegressor::Predict(const Matrix& x) const {
+  const auto proba = PredictProba(x);
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    out[r] = static_cast<double>(
+        std::max_element(proba[r].begin(), proba[r].end()) - proba[r].begin());
+  }
+  return out;
+}
+
+std::vector<double> LogisticRegressor::FeatureImportance() const {
+  std::vector<double> imp(num_features_, 0.0);
+  for (int k = 0; k < num_classes_; ++k) {
+    const double* w = &weights_[k * (num_features_ + 1)];
+    for (size_t c = 0; c < num_features_; ++c) imp[c] += std::abs(w[c]);
+  }
+  const double total = std::accumulate(imp.begin(), imp.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : imp) v /= total;
+  }
+  return imp;
+}
+
+std::unique_ptr<MlModel> LogisticRegressor::Clone() const {
+  return std::make_unique<LogisticRegressor>(options_);
+}
+
+}  // namespace modis

@@ -1,0 +1,67 @@
+#ifndef MODIS_ML_LINEAR_H_
+#define MODIS_ML_LINEAR_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace modis {
+
+/// Closed-form ridge regression (normal equations + Cholesky) with an
+/// unpenalized intercept via feature standardization — the "LRavocado"
+/// model of task T3 and the linear proxy used by the H2O-style baseline.
+class RidgeRegressor : public MlModel {
+ public:
+  explicit RidgeRegressor(double l2 = 1e-3) : l2_(l2) {}
+
+  Status Fit(const MlDataset& train, Rng* rng) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+  /// |standardized coefficient| per feature.
+  std::vector<double> FeatureImportance() const override;
+  std::unique_ptr<MlModel> Clone() const override;
+  const char* Name() const override { return "RidgeRegressor"; }
+
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double l2_;
+  std::vector<double> coef_;       // In original feature units.
+  std::vector<double> std_coef_;   // In standardized units (importance).
+  double intercept_ = 0.0;
+};
+
+/// Options for gradient-descent logistic regression.
+struct LogisticOptions {
+  double learning_rate = 0.1;
+  int epochs = 200;
+  double l2 = 1e-4;
+};
+
+/// Multinomial logistic regression trained by full-batch gradient descent on
+/// standardized features.
+class LogisticRegressor : public MlModel {
+ public:
+  explicit LogisticRegressor(LogisticOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const MlDataset& train, Rng* rng) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+  std::vector<std::vector<double>> PredictProba(const Matrix& x) const override;
+  std::vector<double> FeatureImportance() const override;
+  std::unique_ptr<MlModel> Clone() const override;
+  const char* Name() const override { return "LogisticRegressor"; }
+
+ private:
+  LogisticOptions options_;
+  int num_classes_ = 0;
+  size_t num_features_ = 0;
+  std::vector<double> mean_, scale_;
+  // weights_[k * (d+1) + j]; last column is the bias.
+  std::vector<double> weights_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_ML_LINEAR_H_

@@ -1,0 +1,278 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace modis {
+
+namespace {
+
+void CheckSameSize(size_t a, size_t b) {
+  MODIS_CHECK(a == b) << "metric input size mismatch: " << a << " vs " << b;
+}
+
+}  // namespace
+
+double MeanSquaredError(const std::vector<double>& y_true,
+                        const std::vector<double>& y_pred) {
+  CheckSameSize(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    const double d = y_true[i] - y_pred[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(y_true.size());
+}
+
+double RootMeanSquaredError(const std::vector<double>& y_true,
+                            const std::vector<double>& y_pred) {
+  return std::sqrt(MeanSquaredError(y_true, y_pred));
+}
+
+double MeanAbsoluteError(const std::vector<double>& y_true,
+                         const std::vector<double>& y_pred) {
+  CheckSameSize(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    s += std::abs(y_true[i] - y_pred[i]);
+  }
+  return s / static_cast<double>(y_true.size());
+}
+
+double R2Score(const std::vector<double>& y_true,
+               const std::vector<double>& y_pred) {
+  CheckSameSize(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  const double mean =
+      std::accumulate(y_true.begin(), y_true.end(), 0.0) /
+      static_cast<double>(y_true.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - mean) * (y_true[i] - mean);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double Accuracy(const std::vector<int>& y_true,
+                const std::vector<int>& y_pred) {
+  CheckSameSize(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(y_true.size());
+}
+
+namespace {
+
+struct ClassCounts {
+  std::vector<double> tp, fp, fn;
+  std::vector<bool> present;
+};
+
+ClassCounts CountPerClass(const std::vector<int>& y_true,
+                          const std::vector<int>& y_pred, int num_classes) {
+  ClassCounts c;
+  c.tp.assign(num_classes, 0.0);
+  c.fp.assign(num_classes, 0.0);
+  c.fn.assign(num_classes, 0.0);
+  c.present.assign(num_classes, false);
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    const int t = y_true[i];
+    const int p = y_pred[i];
+    MODIS_CHECK(t >= 0 && t < num_classes) << "label out of range: " << t;
+    c.present[t] = true;
+    if (t == p) {
+      c.tp[t] += 1.0;
+    } else {
+      c.fn[t] += 1.0;
+      if (p >= 0 && p < num_classes) c.fp[p] += 1.0;
+    }
+  }
+  return c;
+}
+
+double MacroAverage(const ClassCounts& c,
+                    double (*per_class)(double tp, double fp, double fn)) {
+  double sum = 0.0;
+  int n = 0;
+  for (size_t k = 0; k < c.present.size(); ++k) {
+    if (!c.present[k]) continue;
+    sum += per_class(c.tp[k], c.fp[k], c.fn[k]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double PrecisionOf(double tp, double fp, double /*fn*/) {
+  return (tp + fp) > 0.0 ? tp / (tp + fp) : 0.0;
+}
+double RecallOf(double tp, double /*fp*/, double fn) {
+  return (tp + fn) > 0.0 ? tp / (tp + fn) : 0.0;
+}
+double F1Of(double tp, double fp, double fn) {
+  const double p = PrecisionOf(tp, fp, fn);
+  const double r = RecallOf(tp, fp, fn);
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+}  // namespace
+
+double MacroPrecision(const std::vector<int>& y_true,
+                      const std::vector<int>& y_pred, int num_classes) {
+  CheckSameSize(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  return MacroAverage(CountPerClass(y_true, y_pred, num_classes), PrecisionOf);
+}
+
+double MacroRecall(const std::vector<int>& y_true,
+                   const std::vector<int>& y_pred, int num_classes) {
+  CheckSameSize(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  return MacroAverage(CountPerClass(y_true, y_pred, num_classes), RecallOf);
+}
+
+double MacroF1(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+               int num_classes) {
+  CheckSameSize(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  return MacroAverage(CountPerClass(y_true, y_pred, num_classes), F1Of);
+}
+
+double BinaryAuc(const std::vector<int>& y_true,
+                 const std::vector<double>& scores) {
+  CheckSameSize(y_true.size(), scores.size());
+  const size_t n = y_true.size();
+  if (n == 0) return 0.5;
+  // Midrank-based Mann-Whitney U statistic.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mid = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) +
+                       1.0;  // 1-based midrank
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  double pos = 0.0, rank_sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (y_true[k] == 1) {
+      pos += 1.0;
+      rank_sum += rank[k];
+    }
+  }
+  const double neg = static_cast<double>(n) - pos;
+  if (pos == 0.0 || neg == 0.0) return 0.5;
+  return (rank_sum - pos * (pos + 1.0) / 2.0) / (pos * neg);
+}
+
+double MacroAuc(const std::vector<int>& y_true,
+                const std::vector<std::vector<double>>& proba) {
+  CheckSameSize(y_true.size(), proba.size());
+  if (y_true.empty()) return 0.5;
+  const size_t num_classes = proba[0].size();
+  double sum = 0.0;
+  int counted = 0;
+  for (size_t k = 0; k < num_classes; ++k) {
+    std::vector<int> bin(y_true.size());
+    std::vector<double> scores(y_true.size());
+    bool any_pos = false, any_neg = false;
+    for (size_t r = 0; r < y_true.size(); ++r) {
+      bin[r] = (y_true[r] == static_cast<int>(k)) ? 1 : 0;
+      (bin[r] ? any_pos : any_neg) = true;
+      scores[r] = proba[r][k];
+    }
+    if (!any_pos || !any_neg) continue;
+    sum += BinaryAuc(bin, scores);
+    ++counted;
+  }
+  return counted == 0 ? 0.5 : sum / counted;
+}
+
+namespace {
+
+double PerQueryDcg(const std::unordered_set<int>& rel,
+                   const std::vector<int>& ranked, int k) {
+  double dcg = 0.0;
+  const int top = std::min<int>(k, static_cast<int>(ranked.size()));
+  for (int i = 0; i < top; ++i) {
+    if (rel.count(ranked[i]) > 0) dcg += 1.0 / std::log2(i + 2.0);
+  }
+  return dcg;
+}
+
+}  // namespace
+
+double PrecisionAtK(const std::vector<std::vector<int>>& relevant,
+                    const std::vector<std::vector<int>>& ranked, int k) {
+  CheckSameSize(relevant.size(), ranked.size());
+  if (relevant.empty() || k <= 0) return 0.0;
+  double sum = 0.0;
+  for (size_t q = 0; q < relevant.size(); ++q) {
+    std::unordered_set<int> rel(relevant[q].begin(), relevant[q].end());
+    int hits = 0;
+    const int top = std::min<int>(k, static_cast<int>(ranked[q].size()));
+    for (int i = 0; i < top; ++i) {
+      if (rel.count(ranked[q][i]) > 0) ++hits;
+    }
+    sum += static_cast<double>(hits) / k;
+  }
+  return sum / static_cast<double>(relevant.size());
+}
+
+double RecallAtK(const std::vector<std::vector<int>>& relevant,
+                 const std::vector<std::vector<int>>& ranked, int k) {
+  CheckSameSize(relevant.size(), ranked.size());
+  if (relevant.empty() || k <= 0) return 0.0;
+  double sum = 0.0;
+  int counted = 0;
+  for (size_t q = 0; q < relevant.size(); ++q) {
+    if (relevant[q].empty()) continue;
+    std::unordered_set<int> rel(relevant[q].begin(), relevant[q].end());
+    int hits = 0;
+    const int top = std::min<int>(k, static_cast<int>(ranked[q].size()));
+    for (int i = 0; i < top; ++i) {
+      if (rel.count(ranked[q][i]) > 0) ++hits;
+    }
+    sum += static_cast<double>(hits) / static_cast<double>(rel.size());
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / counted;
+}
+
+double NdcgAtK(const std::vector<std::vector<int>>& relevant,
+               const std::vector<std::vector<int>>& ranked, int k) {
+  CheckSameSize(relevant.size(), ranked.size());
+  if (relevant.empty() || k <= 0) return 0.0;
+  double sum = 0.0;
+  int counted = 0;
+  for (size_t q = 0; q < relevant.size(); ++q) {
+    if (relevant[q].empty()) continue;
+    std::unordered_set<int> rel(relevant[q].begin(), relevant[q].end());
+    const double dcg = PerQueryDcg(rel, ranked[q], k);
+    double idcg = 0.0;
+    const int ideal = std::min<int>(k, static_cast<int>(rel.size()));
+    for (int i = 0; i < ideal; ++i) idcg += 1.0 / std::log2(i + 2.0);
+    if (idcg > 0.0) {
+      sum += dcg / idcg;
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0.0 : sum / counted;
+}
+
+}  // namespace modis

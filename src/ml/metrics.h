@@ -1,0 +1,59 @@
+#ifndef MODIS_ML_METRICS_H_
+#define MODIS_ML_METRICS_H_
+
+#include <vector>
+
+namespace modis {
+
+// Regression metrics. All require y_true.size() == y_pred.size() and at
+// least one element; they return 0 (or 1 for R2) on degenerate input rather
+// than trapping, since the search may valuate tiny datasets.
+
+double MeanSquaredError(const std::vector<double>& y_true,
+                        const std::vector<double>& y_pred);
+double RootMeanSquaredError(const std::vector<double>& y_true,
+                            const std::vector<double>& y_pred);
+double MeanAbsoluteError(const std::vector<double>& y_true,
+                         const std::vector<double>& y_pred);
+/// Coefficient of determination; can be negative for models worse than the
+/// mean predictor. Returns 0 when the target has zero variance.
+double R2Score(const std::vector<double>& y_true,
+               const std::vector<double>& y_pred);
+
+// Classification metrics. Labels are class indices in [0, num_classes).
+
+double Accuracy(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+/// Macro-averaged precision / recall / F1 over the classes present in
+/// y_true.
+double MacroPrecision(const std::vector<int>& y_true,
+                      const std::vector<int>& y_pred, int num_classes);
+double MacroRecall(const std::vector<int>& y_true,
+                   const std::vector<int>& y_pred, int num_classes);
+double MacroF1(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+               int num_classes);
+
+/// Binary ROC-AUC given positive-class scores. Ties handled by midrank.
+/// Returns 0.5 when only one class is present.
+double BinaryAuc(const std::vector<int>& y_true,
+                 const std::vector<double>& scores);
+
+/// Multiclass AUC: one-vs-rest macro average of BinaryAuc using
+/// per-class probability columns.
+double MacroAuc(const std::vector<int>& y_true,
+                const std::vector<std::vector<double>>& proba);
+
+// Ranking metrics for the link-regression task (T5). `relevant` is the set
+// of ground-truth items per query; `ranked` is the model's descending-score
+// item ranking per query; metrics are averaged over queries.
+
+double PrecisionAtK(const std::vector<std::vector<int>>& relevant,
+                    const std::vector<std::vector<int>>& ranked, int k);
+double RecallAtK(const std::vector<std::vector<int>>& relevant,
+                 const std::vector<std::vector<int>>& ranked, int k);
+double NdcgAtK(const std::vector<std::vector<int>>& relevant,
+               const std::vector<std::vector<int>>& ranked, int k);
+
+}  // namespace modis
+
+#endif  // MODIS_ML_METRICS_H_

@@ -1,0 +1,50 @@
+#ifndef MODIS_ML_MODEL_H_
+#define MODIS_ML_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace modis {
+
+/// Abstract fixed deterministic data-science model M (§2 of the paper).
+///
+/// A concrete model is created untrained, `Fit` on a training dataset, and
+/// then queried. Determinism: all randomness flows through the Rng passed to
+/// Fit, so (seed, data) fully determines the model.
+class MlModel {
+ public:
+  virtual ~MlModel() = default;
+
+  /// Trains on `train`. The dataset's `task` must match the model family.
+  virtual Status Fit(const MlDataset& train, Rng* rng) = 0;
+
+  /// Point predictions: regression values, or argmax class indices for
+  /// classifiers.
+  virtual std::vector<double> Predict(const Matrix& x) const = 0;
+
+  /// Class-probability rows (classification models only; regression models
+  /// return an empty vector).
+  virtual std::vector<std::vector<double>> PredictProba(const Matrix& x) const {
+    (void)x;
+    return {};
+  }
+
+  /// Per-feature importance scores (sum to ~1 for tree models; |coef| for
+  /// linear models). Empty if the model does not expose importances.
+  virtual std::vector<double> FeatureImportance() const { return {}; }
+
+  /// Fresh untrained copy with identical hyperparameters. Used by the
+  /// oracle to retrain the same model family on every candidate dataset.
+  virtual std::unique_ptr<MlModel> Clone() const = 0;
+
+  /// Human-readable family name ("RandomForest", ...).
+  virtual const char* Name() const = 0;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_ML_MODEL_H_

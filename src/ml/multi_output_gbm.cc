@@ -1,0 +1,52 @@
+#include "ml/multi_output_gbm.h"
+
+#include "common/logging.h"
+
+namespace modis {
+
+MultiOutputGbm::MultiOutputGbm(GbmOptions options) : options_(options) {}
+
+Status MultiOutputGbm::Fit(const Matrix& x, const Matrix& y, Rng* rng) {
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("MultiOutputGbm: x/y row mismatch");
+  }
+  if (y.cols() == 0) {
+    return Status::InvalidArgument("MultiOutputGbm: no outputs");
+  }
+  num_features_ = x.cols();
+  models_.clear();
+  for (size_t j = 0; j < y.cols(); ++j) {
+    MlDataset ds;
+    ds.task = TaskKind::kRegression;
+    ds.x = x;
+    ds.y.resize(y.rows());
+    for (size_t i = 0; i < y.rows(); ++i) ds.y[i] = y.At(i, j);
+    GradientBoostingRegressor model(options_);
+    MODIS_RETURN_IF_ERROR(model.Fit(ds, rng));
+    models_.push_back(std::move(model));
+  }
+  return Status::OK();
+}
+
+std::vector<double> MultiOutputGbm::PredictRow(const double* row) const {
+  MODIS_CHECK(trained()) << "MultiOutputGbm not trained";
+  Matrix one(1, num_features_);
+  for (size_t c = 0; c < num_features_; ++c) one.At(0, c) = row[c];
+  std::vector<double> out(models_.size());
+  for (size_t j = 0; j < models_.size(); ++j) {
+    out[j] = models_[j].Predict(one).front();
+  }
+  return out;
+}
+
+Matrix MultiOutputGbm::Predict(const Matrix& x) const {
+  MODIS_CHECK(trained()) << "MultiOutputGbm not trained";
+  Matrix out(x.rows(), models_.size());
+  for (size_t j = 0; j < models_.size(); ++j) {
+    const auto col = models_[j].Predict(x);
+    for (size_t i = 0; i < x.rows(); ++i) out.At(i, j) = col[i];
+  }
+  return out;
+}
+
+}  // namespace modis

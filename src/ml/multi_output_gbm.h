@@ -1,0 +1,42 @@
+#ifndef MODIS_ML_MULTI_OUTPUT_GBM_H_
+#define MODIS_ML_MULTI_OUTPUT_GBM_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/gradient_boosting.h"
+
+namespace modis {
+
+/// Multi-output gradient boosting: one GBM regressor per output dimension,
+/// trained on a shared feature matrix. This is the MO-GBM estimator family
+/// the paper uses to valuate a whole performance vector "by a single call"
+/// (§2, §6).
+class MultiOutputGbm {
+ public:
+  explicit MultiOutputGbm(GbmOptions options = {});
+
+  /// Fits `y.cols()` independent regressors. y is row-major: y.At(i, j) is
+  /// output j of sample i.
+  Status Fit(const Matrix& x, const Matrix& y, Rng* rng);
+
+  /// Predicts all outputs for one feature row.
+  std::vector<double> PredictRow(const double* row) const;
+
+  /// Predicts all outputs for every row of x (row-major result).
+  Matrix Predict(const Matrix& x) const;
+
+  size_t num_outputs() const { return models_.size(); }
+  bool trained() const { return !models_.empty(); }
+
+ private:
+  GbmOptions options_;
+  size_t num_features_ = 0;
+  std::vector<GradientBoostingRegressor> models_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_ML_MULTI_OUTPUT_GBM_H_

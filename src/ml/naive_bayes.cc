@@ -1,0 +1,106 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace modis {
+
+Status GaussianNaiveBayes::Fit(const MlDataset& train, Rng* /*rng*/) {
+  if (train.task != TaskKind::kClassification) {
+    return Status::InvalidArgument(
+        "GaussianNaiveBayes needs a classification dataset");
+  }
+  const size_t n = train.num_rows();
+  const size_t d = train.num_features();
+  if (n == 0) return Status::InvalidArgument("GaussianNaiveBayes: empty data");
+  num_classes_ = train.num_classes;
+  if (num_classes_ < 2) {
+    return Status::InvalidArgument("GaussianNaiveBayes: needs >= 2 classes");
+  }
+  num_features_ = d;
+
+  std::vector<double> count(num_classes_, 0.0);
+  mean_.assign(static_cast<size_t>(num_classes_) * d, 0.0);
+  variance_.assign(static_cast<size_t>(num_classes_) * d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const int k = static_cast<int>(train.y[r]);
+    count[k] += 1.0;
+    for (size_t c = 0; c < d; ++c) mean_[k * d + c] += train.x.At(r, c);
+  }
+  for (int k = 0; k < num_classes_; ++k) {
+    if (count[k] <= 0.0) continue;
+    for (size_t c = 0; c < d; ++c) mean_[k * d + c] /= count[k];
+  }
+  double max_var = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    const int k = static_cast<int>(train.y[r]);
+    for (size_t c = 0; c < d; ++c) {
+      const double dlt = train.x.At(r, c) - mean_[k * d + c];
+      variance_[k * d + c] += dlt * dlt;
+    }
+  }
+  for (int k = 0; k < num_classes_; ++k) {
+    if (count[k] <= 0.0) continue;
+    for (size_t c = 0; c < d; ++c) {
+      variance_[k * d + c] /= count[k];
+      max_var = std::max(max_var, variance_[k * d + c]);
+    }
+  }
+  const double eps = var_smoothing_ * std::max(max_var, 1.0);
+  for (double& v : variance_) v += eps;
+
+  log_prior_.assign(num_classes_, -1e30);
+  for (int k = 0; k < num_classes_; ++k) {
+    if (count[k] > 0.0) {
+      log_prior_[k] = std::log(count[k] / static_cast<double>(n));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::vector<double>> GaussianNaiveBayes::PredictProba(
+    const Matrix& x) const {
+  MODIS_CHECK(num_classes_ >= 2) << "GaussianNaiveBayes not trained";
+  const size_t d = num_features_;
+  std::vector<std::vector<double>> out(x.rows(),
+                                       std::vector<double>(num_classes_));
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.Row(r);
+    double mx = -1e300;
+    for (int k = 0; k < num_classes_; ++k) {
+      double ll = log_prior_[k];
+      for (size_t c = 0; c < d; ++c) {
+        const double v = variance_[k * d + c];
+        const double dlt = row[c] - mean_[k * d + c];
+        ll += -0.5 * (std::log(2.0 * M_PI * v) + dlt * dlt / v);
+      }
+      out[r][k] = ll;
+      mx = std::max(mx, ll);
+    }
+    double denom = 0.0;
+    for (int k = 0; k < num_classes_; ++k) {
+      out[r][k] = std::exp(out[r][k] - mx);
+      denom += out[r][k];
+    }
+    for (int k = 0; k < num_classes_; ++k) out[r][k] /= denom;
+  }
+  return out;
+}
+
+std::vector<double> GaussianNaiveBayes::Predict(const Matrix& x) const {
+  const auto proba = PredictProba(x);
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    out[r] = static_cast<double>(
+        std::max_element(proba[r].begin(), proba[r].end()) - proba[r].begin());
+  }
+  return out;
+}
+
+std::unique_ptr<MlModel> GaussianNaiveBayes::Clone() const {
+  return std::make_unique<GaussianNaiveBayes>(var_smoothing_);
+}
+
+}  // namespace modis

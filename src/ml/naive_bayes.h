@@ -1,0 +1,37 @@
+#ifndef MODIS_ML_NAIVE_BAYES_H_
+#define MODIS_ML_NAIVE_BAYES_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace modis {
+
+/// Gaussian naive Bayes classifier: per-class, per-feature normal
+/// likelihoods with variance smoothing. A cheap, training-time-friendly
+/// model family for the estimator/baseline comparisons (feature-selection
+/// baselines pair naturally with a linear-time classifier).
+class GaussianNaiveBayes : public MlModel {
+ public:
+  explicit GaussianNaiveBayes(double var_smoothing = 1e-9)
+      : var_smoothing_(var_smoothing) {}
+
+  Status Fit(const MlDataset& train, Rng* rng) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+  std::vector<std::vector<double>> PredictProba(const Matrix& x) const override;
+  std::unique_ptr<MlModel> Clone() const override;
+  const char* Name() const override { return "GaussianNaiveBayes"; }
+
+ private:
+  double var_smoothing_;
+  int num_classes_ = 0;
+  size_t num_features_ = 0;
+  std::vector<double> log_prior_;      // Per class.
+  std::vector<double> mean_;           // [class * d + feature].
+  std::vector<double> variance_;       // [class * d + feature].
+};
+
+}  // namespace modis
+
+#endif  // MODIS_ML_NAIVE_BAYES_H_

@@ -1,0 +1,59 @@
+#ifndef MODIS_ML_RANDOM_FOREST_H_
+#define MODIS_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+
+namespace modis {
+
+/// Hyperparameters for the random forest models.
+struct ForestOptions {
+  int num_trees = 40;
+  TreeOptions tree;
+  /// Bootstrap sample fraction per tree.
+  double subsample = 1.0;
+};
+
+/// Bagged ensemble of Gini CART trees with sqrt-feature subsampling — the
+/// "RFhouse" model of task T2 and the case-study peak classifier.
+class RandomForestClassifier : public MlModel {
+ public:
+  explicit RandomForestClassifier(ForestOptions options = {});
+
+  Status Fit(const MlDataset& train, Rng* rng) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+  std::vector<std::vector<double>> PredictProba(const Matrix& x) const override;
+  std::vector<double> FeatureImportance() const override;
+  std::unique_ptr<MlModel> Clone() const override;
+  const char* Name() const override { return "RandomForestClassifier"; }
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+  size_t num_features_ = 0;
+};
+
+/// Bagged ensemble of variance CART trees.
+class RandomForestRegressor : public MlModel {
+ public:
+  explicit RandomForestRegressor(ForestOptions options = {});
+
+  Status Fit(const MlDataset& train, Rng* rng) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+  std::vector<double> FeatureImportance() const override;
+  std::unique_ptr<MlModel> Clone() const override;
+  const char* Name() const override { return "RandomForestRegressor"; }
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_ML_RANDOM_FOREST_H_

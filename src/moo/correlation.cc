@@ -1,0 +1,100 @@
+#include "moo/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace modis {
+
+namespace {
+
+/// Midranks of a sample (1-based; ties share the average rank).
+std::vector<double> Midranks(const std::vector<double>& v) {
+  const size_t n = v.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&v](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> rank(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const double mid = 0.5 * (i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  return rank;
+}
+
+double Pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = a.size();
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 1e-12 || vb <= 1e-12) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  MODIS_CHECK(a.size() == b.size()) << "Spearman: size mismatch";
+  if (a.size() < 2) return 0.0;
+  return Pearson(Midranks(a), Midranks(b));
+}
+
+void CorrelationGraph::Update(const std::vector<PerfVector>& tests) {
+  corr_.assign(num_measures_ * num_measures_, 0.0);
+  if (tests.size() < 3) return;  // Too little evidence.
+  std::vector<std::vector<double>> columns(num_measures_);
+  for (auto& c : columns) c.reserve(tests.size());
+  for (const auto& t : tests) {
+    MODIS_CHECK(t.size() == num_measures_) << "correlation: perf size";
+    for (size_t m = 0; m < num_measures_; ++m) columns[m].push_back(t[m]);
+  }
+  for (size_t i = 0; i < num_measures_; ++i) {
+    corr_[i * num_measures_ + i] = 1.0;
+    for (size_t j = i + 1; j < num_measures_; ++j) {
+      const double c = SpearmanCorrelation(columns[i], columns[j]);
+      corr_[i * num_measures_ + j] = c;
+      corr_[j * num_measures_ + i] = c;
+    }
+  }
+}
+
+double CorrelationGraph::Corr(size_t i, size_t j) const {
+  if (corr_.empty()) return 0.0;
+  MODIS_CHECK(i < num_measures_ && j < num_measures_) << "Corr: index";
+  return corr_[i * num_measures_ + j];
+}
+
+bool CorrelationGraph::StronglyCorrelated(size_t i, size_t j) const {
+  return std::abs(Corr(i, j)) >= theta_;
+}
+
+std::vector<size_t> CorrelationGraph::PartnersOf(size_t i) const {
+  std::vector<size_t> partners;
+  for (size_t j = 0; j < num_measures_; ++j) {
+    if (j != i && StronglyCorrelated(i, j)) partners.push_back(j);
+  }
+  std::sort(partners.begin(), partners.end(), [this, i](size_t a, size_t b) {
+    return std::abs(Corr(i, a)) > std::abs(Corr(i, b));
+  });
+  return partners;
+}
+
+}  // namespace modis

@@ -1,0 +1,77 @@
+#include "moo/diversity.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace modis {
+
+double DiversityDistance(const DiversityItem& a, const DiversityItem& b,
+                         double alpha, double euc_max) {
+  MODIS_CHECK(euc_max > 0.0) << "DiversityDistance: euc_max must be > 0";
+  MODIS_CHECK(alpha >= 0.0 && alpha <= 1.0) << "alpha out of [0,1]";
+  const double content = (1.0 - CosineSimilarity(a.bitmap, b.bitmap)) / 2.0;
+  const double perf = EuclideanDistance(a.perf, b.perf) / euc_max;
+  return alpha * content + (1.0 - alpha) * perf;
+}
+
+double DiversityScore(const std::vector<DiversityItem>& items,
+                      const std::vector<size_t>& subset, double alpha,
+                      double euc_max) {
+  double score = 0.0;
+  for (size_t i = 0; i < subset.size(); ++i) {
+    for (size_t j = i + 1; j < subset.size(); ++j) {
+      score +=
+          DiversityDistance(items[subset[i]], items[subset[j]], alpha, euc_max);
+    }
+  }
+  return score;
+}
+
+std::vector<size_t> DiversifyGreedy(const std::vector<DiversityItem>& items,
+                                    size_t k, double alpha, double euc_max,
+                                    Rng* rng) {
+  const size_t n = items.size();
+  if (n <= k) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  std::vector<size_t> subset = rng->SampleWithoutReplacement(n, k);
+  std::vector<bool> in_subset(n, false);
+  for (size_t i : subset) in_subset[i] = true;
+  double score = DiversityScore(items, subset, alpha, euc_max);
+
+  // Greedy replace: one pass over (member, candidate) pairs, accepting any
+  // improving swap (Fig. 6 of the paper).
+  for (size_t slot = 0; slot < subset.size(); ++slot) {
+    for (size_t cand = 0; cand < n; ++cand) {
+      if (in_subset[cand]) continue;
+      const size_t old = subset[slot];
+      subset[slot] = cand;
+      const double next = DiversityScore(items, subset, alpha, euc_max);
+      if (next > score) {
+        score = next;
+        in_subset[old] = false;
+        in_subset[cand] = true;
+      } else {
+        subset[slot] = old;
+      }
+    }
+  }
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+double MaxEuclideanDistance(const std::vector<PerfVector>& perfs) {
+  double best = 1e-9;
+  for (size_t i = 0; i < perfs.size(); ++i) {
+    for (size_t j = i + 1; j < perfs.size(); ++j) {
+      best = std::max(best, EuclideanDistance(perfs[i], perfs[j]));
+    }
+  }
+  return best;
+}
+
+}  // namespace modis

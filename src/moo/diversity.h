@@ -1,0 +1,46 @@
+#ifndef MODIS_MOO_DIVERSITY_H_
+#define MODIS_MOO_DIVERSITY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "moo/pareto.h"
+
+namespace modis {
+
+/// One candidate in a diversification pool: its state bitmap L (as 0/1
+/// doubles) and its valuated performance vector.
+struct DiversityItem {
+  std::vector<double> bitmap;
+  PerfVector perf;
+};
+
+/// Pairwise distance of Equation (2):
+///   dis(Di, Dj) = alpha * (1 - cos(L_i, L_j)) / 2
+///               + (1 - alpha) * euc(P_i, P_j) / euc_max.
+/// `euc_max` normalizes the performance term; it must be positive (use the
+/// maximum pairwise distance over historical tests).
+double DiversityDistance(const DiversityItem& a, const DiversityItem& b,
+                         double alpha, double euc_max);
+
+/// Diversification score div(S) = sum over unordered pairs of
+/// DiversityDistance.
+double DiversityScore(const std::vector<DiversityItem>& items,
+                      const std::vector<size_t>& subset, double alpha,
+                      double euc_max);
+
+/// Greedy select-and-replace diversified k-subset (Algorithm 3 /
+/// DivMODis): seeds a random k-subset and keeps swapping a member for a
+/// pool element while the score improves. Streaming-submodular analysis
+/// gives a 1/4 approximation of the optimum (Lemma 5).
+std::vector<size_t> DiversifyGreedy(const std::vector<DiversityItem>& items,
+                                    size_t k, double alpha, double euc_max,
+                                    Rng* rng);
+
+/// Largest pairwise euclidean distance among the given performance vectors
+/// (>= small positive floor so it can normalize Eq. 2).
+double MaxEuclideanDistance(const std::vector<PerfVector>& perfs);
+
+}  // namespace modis
+
+#endif  // MODIS_MOO_DIVERSITY_H_

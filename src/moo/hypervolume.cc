@@ -1,0 +1,79 @@
+#include "moo/hypervolume.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace modis {
+
+double Hypervolume2D(const std::vector<PerfVector>& points,
+                     const PerfVector& reference) {
+  MODIS_CHECK(reference.size() == 2) << "Hypervolume2D: need 2 objectives";
+  // Keep points that dominate the reference box corner.
+  std::vector<PerfVector> pts;
+  for (const auto& p : points) {
+    MODIS_CHECK(p.size() == 2) << "Hypervolume2D: dimension mismatch";
+    if (p[0] < reference[0] && p[1] < reference[1]) pts.push_back(p);
+  }
+  if (pts.empty()) return 0.0;
+  std::sort(pts.begin(), pts.end());  // Ascending first objective.
+  double volume = 0.0;
+  double prev_y = reference[1];
+  for (const auto& p : pts) {
+    if (p[1] >= prev_y) continue;  // Dominated by an earlier point.
+    volume += (reference[0] - p[0]) * (prev_y - p[1]);
+    prev_y = p[1];
+  }
+  return volume;
+}
+
+double HypervolumeMonteCarlo(const std::vector<PerfVector>& points,
+                             const PerfVector& reference, size_t samples,
+                             Rng* rng) {
+  MODIS_CHECK(!reference.empty()) << "Hypervolume: empty reference";
+  if (points.empty() || samples == 0) return 0.0;
+  const size_t d = reference.size();
+  // Sampling box: [min over points, reference] per dimension.
+  std::vector<double> lo(d);
+  for (size_t j = 0; j < d; ++j) {
+    double best = reference[j];
+    for (const auto& p : points) {
+      MODIS_CHECK(p.size() == d) << "Hypervolume: dimension mismatch";
+      best = std::min(best, p[j]);
+    }
+    lo[j] = best;
+  }
+  double box = 1.0;
+  for (size_t j = 0; j < d; ++j) box *= std::max(0.0, reference[j] - lo[j]);
+  if (box <= 0.0) return 0.0;
+
+  size_t hits = 0;
+  std::vector<double> x(d);
+  for (size_t s = 0; s < samples; ++s) {
+    for (size_t j = 0; j < d; ++j) x[j] = rng->Uniform(lo[j], reference[j]);
+    for (const auto& p : points) {
+      bool dominates = true;
+      for (size_t j = 0; j < d; ++j) {
+        if (p[j] > x[j]) {
+          dominates = false;
+          break;
+        }
+      }
+      if (dominates) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return box * static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+double Hypervolume(const std::vector<PerfVector>& points,
+                   const PerfVector& reference, size_t samples,
+                   uint64_t seed) {
+  if (reference.size() == 2) return Hypervolume2D(points, reference);
+  Rng rng(seed);
+  return HypervolumeMonteCarlo(points, reference, samples, &rng);
+}
+
+}  // namespace modis

@@ -1,0 +1,31 @@
+#ifndef MODIS_MOO_HYPERVOLUME_H_
+#define MODIS_MOO_HYPERVOLUME_H_
+
+#include "common/rng.h"
+#include "moo/pareto.h"
+
+namespace modis {
+
+/// Hypervolume indicator: the measure of the objective-space region
+/// dominated by `points` and bounded by `reference` (all objectives
+/// minimized; points worse than the reference contribute nothing). The
+/// standard scalar quality metric for comparing skyline approximations —
+/// used by the ablation benches to score MODis vs NSGA-II fronts.
+///
+/// Exact sweep for 2 objectives.
+double Hypervolume2D(const std::vector<PerfVector>& points,
+                     const PerfVector& reference);
+
+/// Monte-Carlo estimate for any dimension (relative error ~ 1/sqrt(samples)).
+double HypervolumeMonteCarlo(const std::vector<PerfVector>& points,
+                             const PerfVector& reference, size_t samples,
+                             Rng* rng);
+
+/// Dispatches to the exact 2-D sweep or the Monte-Carlo estimate.
+double Hypervolume(const std::vector<PerfVector>& points,
+                   const PerfVector& reference, size_t samples = 20000,
+                   uint64_t seed = 123);
+
+}  // namespace modis
+
+#endif  // MODIS_MOO_HYPERVOLUME_H_

@@ -1,0 +1,204 @@
+#include "moo/nsga2.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace modis {
+
+std::vector<int> FastNonDominatedSort(
+    const std::vector<PerfVector>& objectives) {
+  const size_t n = objectives.size();
+  std::vector<int> rank(n, -1);
+  std::vector<int> domination_count(n, 0);
+  std::vector<std::vector<size_t>> dominates_set(n);
+  std::vector<size_t> current;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (Dominates(objectives[i], objectives[j])) {
+        dominates_set[i].push_back(j);
+      } else if (Dominates(objectives[j], objectives[i])) {
+        ++domination_count[i];
+      }
+    }
+    if (domination_count[i] == 0) {
+      rank[i] = 0;
+      current.push_back(i);
+    }
+  }
+  int front = 0;
+  while (!current.empty()) {
+    std::vector<size_t> next;
+    for (size_t i : current) {
+      for (size_t j : dominates_set[i]) {
+        if (--domination_count[j] == 0) {
+          rank[j] = front + 1;
+          next.push_back(j);
+        }
+      }
+    }
+    ++front;
+    current = std::move(next);
+  }
+  return rank;
+}
+
+std::vector<double> CrowdingDistance(const std::vector<PerfVector>& front) {
+  const size_t n = front.size();
+  std::vector<double> distance(n, 0.0);
+  if (n == 0) return distance;
+  const size_t m = front[0].size();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<size_t> order(n);
+  for (size_t obj = 0; obj < m; ++obj) {
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&front, obj](size_t a, size_t b) {
+      return front[a][obj] < front[b][obj];
+    });
+    distance[order.front()] = inf;
+    distance[order.back()] = inf;
+    const double span =
+        front[order.back()][obj] - front[order.front()][obj];
+    if (span <= 0.0) continue;
+    for (size_t k = 1; k + 1 < n; ++k) {
+      distance[order[k]] +=
+          (front[order[k + 1]][obj] - front[order[k - 1]][obj]) / span;
+    }
+  }
+  return distance;
+}
+
+namespace {
+
+struct Member {
+  std::vector<uint8_t> genome;
+  PerfVector objectives;
+  int rank = 0;
+  double crowding = 0.0;
+};
+
+/// (rank, -crowding) lexicographic tournament comparator.
+bool Better(const Member& a, const Member& b) {
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.crowding > b.crowding;
+}
+
+void AssignRanksAndCrowding(std::vector<Member>* pop) {
+  std::vector<PerfVector> objs;
+  objs.reserve(pop->size());
+  for (const auto& m : *pop) objs.push_back(m.objectives);
+  const std::vector<int> ranks = FastNonDominatedSort(objs);
+  int max_rank = 0;
+  for (size_t i = 0; i < pop->size(); ++i) {
+    (*pop)[i].rank = ranks[i];
+    max_rank = std::max(max_rank, ranks[i]);
+  }
+  for (int r = 0; r <= max_rank; ++r) {
+    std::vector<size_t> idx;
+    std::vector<PerfVector> front;
+    for (size_t i = 0; i < pop->size(); ++i) {
+      if ((*pop)[i].rank == r) {
+        idx.push_back(i);
+        front.push_back((*pop)[i].objectives);
+      }
+    }
+    const std::vector<double> crowd = CrowdingDistance(front);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      (*pop)[idx[k]].crowding = crowd[k];
+    }
+  }
+}
+
+}  // namespace
+
+Nsga2Result RunNsga2(const std::vector<uint8_t>& seed_genome,
+                     const Nsga2Fitness& fitness,
+                     const Nsga2Options& options) {
+  MODIS_CHECK(!seed_genome.empty()) << "NSGA-II: empty seed genome";
+  const size_t glen = seed_genome.size();
+  const double mutation = options.mutation_rate > 0.0
+                              ? options.mutation_rate
+                              : 1.0 / static_cast<double>(glen);
+  Rng rng(options.seed);
+  Nsga2Result result;
+
+  auto evaluate = [&](const std::vector<uint8_t>& genome)
+      -> std::optional<PerfVector> {
+    if (result.evaluations >= options.max_evaluations) return std::nullopt;
+    ++result.evaluations;
+    return fitness(genome);
+  };
+
+  // Initial population: the seed plus perturbations of it (a few bits
+  // flipped). Uniform-random genomes are almost always infeasible in the
+  // MODis state space — they delete nearly every row — so initialization
+  // stays near the (feasible) seed, like the engine's own start state.
+  std::vector<Member> population;
+  if (auto obj = evaluate(seed_genome)) {
+    population.push_back({seed_genome, *obj});
+  }
+  size_t init_attempts = 0;
+  while (population.size() < options.population &&
+         result.evaluations < options.max_evaluations &&
+         init_attempts < 4 * options.population) {
+    ++init_attempts;
+    std::vector<uint8_t> genome = seed_genome;
+    // 1..4 flips, growing as the population fills up (diversity ramp).
+    const size_t flips =
+        1 + rng.UniformInt(1 + population.size() * 4 / options.population);
+    for (size_t f = 0; f < flips; ++f) {
+      genome[rng.UniformInt(glen)] ^= 1;
+    }
+    if (auto obj = evaluate(genome)) {
+      population.push_back({std::move(genome), *obj});
+    }
+  }
+  if (population.empty()) return result;
+  AssignRanksAndCrowding(&population);
+
+  for (int gen = 0; gen < options.generations &&
+                    result.evaluations < options.max_evaluations;
+       ++gen) {
+    // Offspring via tournament + uniform crossover + mutation.
+    std::vector<Member> offspring;
+    while (offspring.size() < options.population &&
+           result.evaluations < options.max_evaluations) {
+      auto pick = [&]() -> const Member& {
+        const Member& a = population[rng.UniformInt(population.size())];
+        const Member& b = population[rng.UniformInt(population.size())];
+        return Better(a, b) ? a : b;
+      };
+      const Member& p1 = pick();
+      const Member& p2 = pick();
+      std::vector<uint8_t> child(glen);
+      const bool crossover = rng.Bernoulli(options.crossover_rate);
+      for (size_t i = 0; i < glen; ++i) {
+        child[i] = crossover ? (rng.Bernoulli(0.5) ? p1.genome[i]
+                                                   : p2.genome[i])
+                             : p1.genome[i];
+        if (rng.Bernoulli(mutation)) child[i] ^= 1;
+      }
+      if (auto obj = evaluate(child)) {
+        offspring.push_back({std::move(child), *obj});
+      }
+    }
+    // Environmental selection over parents + offspring.
+    for (auto& m : offspring) population.push_back(std::move(m));
+    AssignRanksAndCrowding(&population);
+    std::sort(population.begin(), population.end(), Better);
+    if (population.size() > options.population) {
+      population.resize(options.population);
+    }
+  }
+
+  AssignRanksAndCrowding(&population);
+  for (const auto& m : population) {
+    if (m.rank == 0) result.front.push_back({m.genome, m.objectives});
+  }
+  return result;
+}
+
+}  // namespace modis

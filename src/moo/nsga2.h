@@ -1,0 +1,65 @@
+#ifndef MODIS_MOO_NSGA2_H_
+#define MODIS_MOO_NSGA2_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "moo/pareto.h"
+
+namespace modis {
+
+/// Options of the NSGA-II optimizer (Deb et al. 2002) — the evolutionary
+/// alternative the paper's §5.4 Remarks contrast MODis against ("rely on
+/// costly stochastic processes and may require extensive parameter
+/// tuning"). Implemented over binary genomes so it can search the same
+/// state-bitmap space as the MODis engine.
+struct Nsga2Options {
+  size_t population = 40;
+  int generations = 25;
+  double crossover_rate = 0.9;
+  /// Per-bit mutation probability; 0 means 1/genome_length.
+  double mutation_rate = 0.0;
+  /// Hard cap on fitness evaluations (comparable to MODis's N budget).
+  size_t max_evaluations = 2000;
+  uint64_t seed = 77;
+};
+
+/// A genome (candidate state bitmap) with its objective vector.
+struct Nsga2Individual {
+  std::vector<uint8_t> genome;
+  PerfVector objectives;  // Minimized, like all MODis measures.
+};
+
+/// Result of a run: the non-dominated front of the final population and
+/// the number of fitness evaluations spent.
+struct Nsga2Result {
+  std::vector<Nsga2Individual> front;
+  size_t evaluations = 0;
+};
+
+/// Fitness callback: maps a genome to its (minimized) objective vector, or
+/// nullopt when the genome is infeasible (e.g. untrainable dataset).
+using Nsga2Fitness =
+    std::function<std::optional<PerfVector>(const std::vector<uint8_t>&)>;
+
+/// Runs NSGA-II: fast non-dominated sorting + crowding-distance truncation
+/// + binary tournament selection + uniform crossover + bit-flip mutation.
+/// `seed_genome` joins the initial population (the rest are random); its
+/// length fixes the genome length.
+Nsga2Result RunNsga2(const std::vector<uint8_t>& seed_genome,
+                     const Nsga2Fitness& fitness, const Nsga2Options& options);
+
+/// Exposed for tests: partitions `objectives` into non-dominated fronts
+/// (front 0 = Pareto-optimal within the set); returns per-index front rank.
+std::vector<int> FastNonDominatedSort(const std::vector<PerfVector>& objectives);
+
+/// Exposed for tests: crowding distance of each member of one front
+/// (boundary members get +inf).
+std::vector<double> CrowdingDistance(const std::vector<PerfVector>& front);
+
+}  // namespace modis
+
+#endif  // MODIS_MOO_NSGA2_H_

@@ -1,0 +1,126 @@
+#include "moo/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace modis {
+
+bool Dominates(const PerfVector& a, const PerfVector& b) {
+  MODIS_CHECK(a.size() == b.size()) << "Dominates: dimension mismatch";
+  bool strict = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+bool EpsilonDominates(const PerfVector& a, const PerfVector& b, double eps) {
+  MODIS_CHECK(a.size() == b.size()) << "EpsilonDominates: dimension mismatch";
+  MODIS_CHECK(eps >= 0.0) << "negative epsilon";
+  bool decisive = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > (1.0 + eps) * b[i]) return false;
+    if (a[i] <= b[i]) decisive = true;
+  }
+  return decisive;
+}
+
+std::vector<size_t> ParetoFrontNaive(const std::vector<PerfVector>& points) {
+  std::vector<size_t> front;
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j != i && Dominates(points[j], points[i])) dominated = true;
+    }
+    // Deduplicate exact ties: keep only the first occurrence.
+    if (!dominated) {
+      for (size_t j = 0; j < i && !dominated; ++j) {
+        if (points[j] == points[i]) dominated = true;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+namespace {
+
+/// Recursive KLP front over `order` (indices sorted by the first measure
+/// ascending, ties broken lexicographically). Returns the subsequence of
+/// non-dominated indices.
+std::vector<size_t> KungRecurse(const std::vector<PerfVector>& points,
+                                const std::vector<size_t>& order) {
+  if (order.size() <= 1) return order;
+  const size_t mid = order.size() / 2;
+  std::vector<size_t> top(order.begin(), order.begin() + mid);
+  std::vector<size_t> bottom(order.begin() + mid, order.end());
+  std::vector<size_t> r_top = KungRecurse(points, top);
+  std::vector<size_t> r_bottom = KungRecurse(points, bottom);
+  // Points in the bottom half survive only if no top-half survivor
+  // dominates them (top half is better or equal on the first measure).
+  std::vector<size_t> merged = r_top;
+  for (size_t b : r_bottom) {
+    bool dominated = false;
+    for (size_t t : r_top) {
+      if (Dominates(points[t], points[b]) || points[t] == points[b]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) merged.push_back(b);
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::vector<size_t> ParetoFrontKung(const std::vector<PerfVector>& points) {
+  std::vector<size_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&points](size_t a, size_t b) {
+    return points[a] < points[b];  // Lexicographic: first measure primary.
+  });
+  std::vector<size_t> front = KungRecurse(points, order);
+  std::sort(front.begin(), front.end());
+  return front;
+}
+
+std::vector<int64_t> GridPosition(const PerfVector& perf,
+                                  const std::vector<double>& lower_bounds,
+                                  double eps) {
+  MODIS_CHECK(perf.size() == lower_bounds.size())
+      << "GridPosition: bounds dimension mismatch";
+  MODIS_CHECK(eps > 0.0) << "GridPosition: eps must be positive";
+  MODIS_CHECK(!perf.empty()) << "GridPosition: empty performance vector";
+  const double log_base = std::log(1.0 + eps);
+  std::vector<int64_t> pos;
+  pos.reserve(perf.size() - 1);
+  for (size_t i = 0; i + 1 < perf.size(); ++i) {
+    MODIS_CHECK(lower_bounds[i] > 0.0) << "GridPosition: p_l must be > 0";
+    const double ratio = std::max(perf[i], lower_bounds[i]) / lower_bounds[i];
+    pos.push_back(static_cast<int64_t>(std::floor(std::log(ratio) / log_base +
+                                                  1e-12)));
+  }
+  return pos;
+}
+
+bool IsEpsilonCover(const std::vector<PerfVector>& all,
+                    const std::vector<PerfVector>& kept, double eps) {
+  for (const auto& p : all) {
+    bool covered = false;
+    for (const auto& q : kept) {
+      if (EpsilonDominates(q, p, eps)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace modis

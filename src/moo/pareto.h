@@ -1,0 +1,46 @@
+#ifndef MODIS_MOO_PARETO_H_
+#define MODIS_MOO_PARETO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace modis {
+
+/// A model performance vector: one normalized value per measure in P, all
+/// minimized, each in (0, 1] (§2 of the paper).
+using PerfVector = std::vector<double>;
+
+/// True if `a` dominates `b` (a ≤ b in every measure, a < b in at least
+/// one) — the dominance relation of §4 with "smaller is better".
+bool Dominates(const PerfVector& a, const PerfVector& b);
+
+/// True if `a` (1+ε)-dominates `b`: a_p ≤ (1+ε)·b_p for every measure and
+/// a_p* ≤ b_p* for at least one (the decisive measure), per §5.1.
+bool EpsilonDominates(const PerfVector& a, const PerfVector& b, double eps);
+
+/// Indices of the non-dominated vectors (quadratic reference algorithm;
+/// stable order). Exact skyline over a valuated set.
+std::vector<size_t> ParetoFrontNaive(const std::vector<PerfVector>& points);
+
+/// Kung-Luccio-Preparata divide-and-conquer maxima algorithm, O(n log n)
+/// for few measures — the multi-objective optimizer named in the paper's
+/// fixed-parameter-tractable construction (Theorem 1).
+std::vector<size_t> ParetoFrontKung(const std::vector<PerfVector>& points);
+
+/// The discretized grid position of Equation (1):
+///   pos(s) = [ floor(log_{1+eps}(P(p_i) / p_l_i)) ]  for i < |P|-1.
+/// The last measure is the decisive one and is excluded from the grid.
+/// Values are clamped below by p_l to keep the logarithm defined.
+std::vector<int64_t> GridPosition(const PerfVector& perf,
+                                  const std::vector<double>& lower_bounds,
+                                  double eps);
+
+/// Verification helper for tests (Lemma 2): true if for every point there
+/// exists a kept point that ε-dominates it.
+bool IsEpsilonCover(const std::vector<PerfVector>& all,
+                    const std::vector<PerfVector>& kept, double eps);
+
+}  // namespace modis
+
+#endif  // MODIS_MOO_PARETO_H_

@@ -1,0 +1,83 @@
+#include "ops/literal.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/kmeans.h"
+#include "common/strings.h"
+
+namespace modis {
+
+bool Literal::Matches(const Value& v) const {
+  if (v.is_null()) return false;
+  if (kind == Kind::kEquals) {
+    if (value.IsNumeric() && v.IsNumeric()) {
+      return value.AsDouble() == v.AsDouble();
+    }
+    return v == value;
+  }
+  if (!v.IsNumeric()) return false;
+  const double x = v.AsDouble();
+  return x >= lo && x < hi;
+}
+
+std::string Literal::ToString() const {
+  if (kind == Kind::kEquals) {
+    return attribute + " = " + value.ToString();
+  }
+  return attribute + " in [" + FormatDouble(lo, 3) + ", " + FormatDouble(hi, 3) +
+         ")";
+}
+
+std::vector<AttributeLiterals> DeriveLiterals(const Table& table,
+                                              int max_clusters, Rng* rng) {
+  std::vector<AttributeLiterals> out;
+  out.reserve(table.num_cols());
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    const Field& field = table.schema().field(c);
+    AttributeLiterals attr;
+    attr.attribute = field.name;
+
+    if (field.type == ColumnType::kNumeric) {
+      std::vector<double> values;
+      values.reserve(table.num_rows());
+      for (const Value& v : table.column(c)) {
+        if (!v.is_null() && v.IsNumeric()) values.push_back(v.AsDouble());
+      }
+      if (!values.empty()) {
+        KMeans1DResult km = KMeans1D(values, max_clusters, rng);
+        const auto& centers = km.centers;
+        const double inf = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < centers.size(); ++i) {
+          const double lo =
+              (i == 0) ? -inf : 0.5 * (centers[i - 1] + centers[i]);
+          const double hi = (i + 1 == centers.size())
+                                ? inf
+                                : 0.5 * (centers[i] + centers[i + 1]);
+          attr.literals.push_back(Literal::Range(field.name, lo, hi));
+        }
+      }
+    } else {
+      // Frequency-ranked distinct values, most frequent first.
+      std::map<Value, size_t> freq;
+      for (const Value& v : table.column(c)) {
+        if (!v.is_null()) ++freq[v];
+      }
+      std::vector<std::pair<Value, size_t>> ranked(freq.begin(), freq.end());
+      std::stable_sort(ranked.begin(), ranked.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second > b.second;
+                       });
+      const size_t keep =
+          std::min<size_t>(ranked.size(), static_cast<size_t>(max_clusters));
+      for (size_t i = 0; i < keep; ++i) {
+        attr.literals.push_back(Literal::Equals(field.name, ranked[i].first));
+      }
+    }
+    out.push_back(std::move(attr));
+  }
+  return out;
+}
+
+}  // namespace modis

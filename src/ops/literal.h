@@ -1,0 +1,71 @@
+#ifndef MODIS_OPS_LITERAL_H_
+#define MODIS_OPS_LITERAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "table/table.h"
+
+namespace modis {
+
+/// A selection literal c over one attribute, as used by the Augment and
+/// Reduct operators (§3 of the paper).
+///
+/// The paper's literals are equalities `A = a`. After active-domain
+/// compression (k-means with max k = 30, §6), a literal may instead denote a
+/// value *cluster*: for numeric attributes a half-open range [lo, hi), for
+/// categorical attributes an explicit value. Both kinds are supported.
+struct Literal {
+  enum class Kind { kEquals, kRange };
+
+  std::string attribute;
+  Kind kind = Kind::kEquals;
+  Value value;       // kEquals payload.
+  double lo = 0.0;   // kRange payload: v in [lo, hi).
+  double hi = 0.0;
+
+  static Literal Equals(std::string attribute, Value v) {
+    Literal l;
+    l.attribute = std::move(attribute);
+    l.kind = Kind::kEquals;
+    l.value = std::move(v);
+    return l;
+  }
+
+  static Literal Range(std::string attribute, double lo, double hi) {
+    Literal l;
+    l.attribute = std::move(attribute);
+    l.kind = Kind::kRange;
+    l.lo = lo;
+    l.hi = hi;
+    return l;
+  }
+
+  /// True if cell `v` satisfies this literal. Nulls never match.
+  bool Matches(const Value& v) const;
+
+  std::string ToString() const;
+};
+
+/// The derived literal set of one attribute: one literal per active-domain
+/// cluster. `literals[i]` covers cluster i; together the literals partition
+/// the non-null active domain.
+struct AttributeLiterals {
+  std::string attribute;
+  std::vector<Literal> literals;
+};
+
+/// Derives per-cluster literals for every column of `table`:
+///  - numeric columns: 1-D k-means over the active domain (at most
+///    `max_clusters` clusters), one Range literal per cluster with
+///    boundaries at midpoints between adjacent centers;
+///  - categorical columns: one Equals literal per distinct value, keeping
+///    the `max_clusters` most frequent values (the tail is dropped from the
+///    operator set, mirroring the paper's "values of interest" compression).
+std::vector<AttributeLiterals> DeriveLiterals(const Table& table,
+                                              int max_clusters, Rng* rng);
+
+}  // namespace modis
+
+#endif  // MODIS_OPS_LITERAL_H_

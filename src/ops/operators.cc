@@ -1,0 +1,174 @@
+#include "ops/operators.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace modis {
+
+Result<std::vector<size_t>> MatchingRows(const Table& input,
+                                         const Literal& literal) {
+  auto col = input.schema().FindField(literal.attribute);
+  if (!col.has_value()) {
+    return Status::NotFound("literal attribute not in schema: " +
+                            literal.attribute);
+  }
+  std::vector<size_t> rows;
+  const Column& column = input.column(*col);
+  for (size_t r = 0; r < column.size(); ++r) {
+    if (literal.Matches(column[r])) rows.push_back(r);
+  }
+  return rows;
+}
+
+Result<Table> Reduct(const Table& input, const Literal& literal) {
+  auto col = input.schema().FindField(literal.attribute);
+  if (!col.has_value()) {
+    return Status::NotFound("Reduct: attribute not in schema: " +
+                            literal.attribute);
+  }
+  std::vector<size_t> keep;
+  keep.reserve(input.num_rows());
+  const Column& column = input.column(*col);
+  for (size_t r = 0; r < column.size(); ++r) {
+    if (!literal.Matches(column[r])) keep.push_back(r);
+  }
+  return input.SelectRows(keep);
+}
+
+Result<Table> AugmentUnion(const Table& base, const Table& source,
+                           const Literal& literal) {
+  if (!source.schema().HasField(literal.attribute)) {
+    return Status::NotFound("Augment: literal attribute not in source: " +
+                            literal.attribute);
+  }
+  MODIS_ASSIGN_OR_RETURN(Schema merged, base.schema().Union(source.schema()));
+
+  Table out(merged);
+  // Column mapping from each input into the merged schema.
+  auto map_of = [&merged](const Table& t) {
+    std::vector<size_t> m(t.num_cols());
+    for (size_t c = 0; c < t.num_cols(); ++c) {
+      auto idx = merged.FindField(t.schema().field(c).name);
+      MODIS_CHECK(idx.has_value()) << "merged schema missing field";
+      m[c] = *idx;
+    }
+    return m;
+  };
+  const std::vector<size_t> base_map = map_of(base);
+  const std::vector<size_t> src_map = map_of(source);
+
+  // (a)+(c): existing base rows, null-extended.
+  for (size_t r = 0; r < base.num_rows(); ++r) {
+    std::vector<Value> row(merged.num_fields());
+    for (size_t c = 0; c < base.num_cols(); ++c) row[base_map[c]] = base.At(r, c);
+    MODIS_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+  }
+  // (b)+(c): source rows satisfying the literal, null-extended.
+  MODIS_ASSIGN_OR_RETURN(std::vector<size_t> matches,
+                         MatchingRows(source, literal));
+  for (size_t r : matches) {
+    std::vector<Value> row(merged.num_fields());
+    for (size_t c = 0; c < source.num_cols(); ++c) {
+      row[src_map[c]] = source.At(r, c);
+    }
+    MODIS_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& key, JoinType type) {
+  auto lk = left.schema().FindField(key);
+  auto rk = right.schema().FindField(key);
+  if (!lk.has_value() || !rk.has_value()) {
+    return Status::NotFound("HashJoin: key '" + key +
+                            "' missing from an input");
+  }
+
+  // Output schema: left fields, then right fields except the key. Collide-
+  // renaming is not supported; shared non-key names are an error.
+  Schema schema = left.schema();
+  std::vector<size_t> right_cols;  // Right columns carried to the output.
+  for (size_t c = 0; c < right.num_cols(); ++c) {
+    if (c == *rk) continue;
+    const Field& f = right.schema().field(c);
+    if (schema.HasField(f.name)) {
+      return Status::InvalidArgument("HashJoin: duplicate non-key column " +
+                                     f.name);
+    }
+    MODIS_RETURN_IF_ERROR(schema.AddField(f));
+    right_cols.push_back(c);
+  }
+
+  // Build hash index on the right key.
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> index;
+  index.reserve(right.num_rows());
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    const Value& v = right.At(r, *rk);
+    if (v.is_null()) continue;
+    index[v].push_back(r);
+  }
+
+  Table out(std::move(schema));
+  std::vector<bool> right_matched(right.num_rows(), false);
+
+  auto emit = [&](size_t lrow, std::optional<size_t> rrow) -> Status {
+    std::vector<Value> row;
+    row.reserve(out.num_cols());
+    for (size_t c = 0; c < left.num_cols(); ++c) row.push_back(left.At(lrow, c));
+    for (size_t c : right_cols) {
+      row.push_back(rrow.has_value() ? right.At(*rrow, c) : Value::Null());
+    }
+    return out.AppendRow(std::move(row));
+  };
+
+  for (size_t lr = 0; lr < left.num_rows(); ++lr) {
+    const Value& v = left.At(lr, *lk);
+    auto it = v.is_null() ? index.end() : index.find(v);
+    if (it == index.end()) {
+      if (type != JoinType::kInner) {
+        MODIS_RETURN_IF_ERROR(emit(lr, std::nullopt));
+      }
+      continue;
+    }
+    for (size_t rr : it->second) {
+      right_matched[rr] = true;
+      MODIS_RETURN_IF_ERROR(emit(lr, rr));
+    }
+  }
+
+  if (type == JoinType::kFullOuter) {
+    // Right rows with no left partner: null-pad the left side but keep the
+    // key value (it lives in a left column position).
+    for (size_t rr = 0; rr < right.num_rows(); ++rr) {
+      if (right_matched[rr]) continue;
+      std::vector<Value> row;
+      row.reserve(out.num_cols());
+      for (size_t c = 0; c < left.num_cols(); ++c) {
+        row.push_back(c == *lk ? right.At(rr, *rk) : Value::Null());
+      }
+      for (size_t c : right_cols) row.push_back(right.At(rr, c));
+      MODIS_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+    }
+  }
+  return out;
+}
+
+Result<Table> BuildUniversalTable(const std::vector<Table>& tables,
+                                  const std::string& key) {
+  if (tables.empty()) {
+    return Status::InvalidArgument("BuildUniversalTable: no input tables");
+  }
+  Table acc = tables[0];
+  if (!acc.schema().HasField(key)) {
+    return Status::NotFound("BuildUniversalTable: table 0 lacks key " + key);
+  }
+  for (size_t i = 1; i < tables.size(); ++i) {
+    MODIS_ASSIGN_OR_RETURN(acc,
+                           HashJoin(acc, tables[i], key, JoinType::kFullOuter));
+  }
+  return acc;
+}
+
+}  // namespace modis

@@ -1,0 +1,49 @@
+#ifndef MODIS_OPS_OPERATORS_H_
+#define MODIS_OPS_OPERATORS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ops/literal.h"
+#include "table/table.h"
+
+namespace modis {
+
+/// Reduct ⊖_c(D_M): selects the tuples of `input` that satisfy `literal` and
+/// removes them, returning the reduced table (§3). The attribute named by
+/// the literal must exist in the input schema.
+Result<Table> Reduct(const Table& input, const Literal& literal);
+
+/// Row indices of `input` satisfying `literal` (the tuples a Reduct would
+/// delete). Exposed for tests and for the search's bookkeeping.
+Result<std::vector<size_t>> MatchingRows(const Table& input,
+                                         const Literal& literal);
+
+/// Augment ⊕_c(D_M, D): per the paper's definition —
+///  (a) extends the schema of `base` with the attributes of `source` that it
+///      lacks;
+///  (b) appends the tuples of `source` satisfying `literal`;
+///  (c) fills unknown cells with null.
+/// Existing `base` tuples are kept unchanged (null-extended).
+Result<Table> AugmentUnion(const Table& base, const Table& source,
+                           const Literal& literal);
+
+/// Join flavor for the relational join operators.
+enum class JoinType { kInner, kLeftOuter, kFullOuter };
+
+/// Hash equi-join of `left` and `right` on `left.key == right.key`.
+/// The output schema is the left schema followed by the right schema minus
+/// the (duplicate) key column; unmatched sides are null-padded for outer
+/// joins. Null keys never match (SQL semantics).
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& key, JoinType type);
+
+/// Joins `tables` left-to-right with full outer joins on the shared `key`
+/// attribute, producing the universal table D_U that preserves all attribute
+/// values (§5.2 "Reduce-from-Universal"). Every table must contain `key`.
+Result<Table> BuildUniversalTable(const std::vector<Table>& tables,
+                                  const std::string& key);
+
+}  // namespace modis
+
+#endif  // MODIS_OPS_OPERATORS_H_

@@ -1,0 +1,123 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace modis {
+
+namespace {
+
+/// Classifies raw string cells of one column: numeric iff every non-empty
+/// cell parses as a double.
+ColumnType InferColumnType(const std::vector<std::vector<std::string>>& rows,
+                           size_t col) {
+  bool any_value = false;
+  for (const auto& row : rows) {
+    const std::string& cell = row[col];
+    if (cell.empty()) continue;
+    any_value = true;
+    double unused;
+    if (!ParseDouble(cell, &unused)) return ColumnType::kCategorical;
+  }
+  return any_value ? ColumnType::kNumeric : ColumnType::kCategorical;
+}
+
+Value ParseCell(const std::string& cell, ColumnType type) {
+  if (cell.empty()) return Value::Null();
+  if (type == ColumnType::kNumeric) {
+    int64_t i;
+    if (ParseInt64(cell, &i)) return Value(i);
+    double d;
+    if (ParseDouble(cell, &d)) return Value(d);
+    return Value::Null();
+  }
+  return Value(cell);
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options) {
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) lines.push_back(line);
+    }
+  }
+  if (lines.empty()) return Status::InvalidArgument("CSV: empty input");
+
+  const std::vector<std::string> header =
+      StrSplit(lines[0], options.delimiter);
+  const size_t ncols = header.size();
+
+  std::vector<std::vector<std::string>> raw_rows;
+  raw_rows.reserve(lines.size() - 1);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::vector<std::string> cells = StrSplit(lines[i], options.delimiter);
+    if (cells.size() != ncols) {
+      return Status::InvalidArgument(
+          "CSV: row " + std::to_string(i) + " has " +
+          std::to_string(cells.size()) + " cells, expected " +
+          std::to_string(ncols));
+    }
+    raw_rows.push_back(std::move(cells));
+  }
+
+  Schema schema;
+  std::vector<ColumnType> types(ncols, ColumnType::kCategorical);
+  for (size_t c = 0; c < ncols; ++c) {
+    types[c] = options.infer_types ? InferColumnType(raw_rows, c)
+                                   : ColumnType::kCategorical;
+    MODIS_RETURN_IF_ERROR(
+        schema.AddField({std::string(StrTrim(header[c])), types[c]}));
+  }
+
+  Table table(std::move(schema));
+  for (const auto& raw : raw_rows) {
+    std::vector<Value> row;
+    row.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) row.push_back(ParseCell(raw[c], types[c]));
+    MODIS_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), options);
+}
+
+std::string WriteCsvString(const Table& table, char delimiter) {
+  std::string out;
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    if (c > 0) out += delimiter;
+    out += table.schema().field(c).name;
+  }
+  out += "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      if (c > 0) out += delimiter;
+      out += table.At(r, c).ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for write");
+  out << WriteCsvString(table, delimiter);
+  return out.good() ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+}  // namespace modis

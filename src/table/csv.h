@@ -1,0 +1,38 @@
+#ifndef MODIS_TABLE_CSV_H_
+#define MODIS_TABLE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace modis {
+
+/// Options for CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true (default), column types are inferred: a column whose non-empty
+  /// cells all parse as numbers becomes kNumeric, otherwise kCategorical.
+  bool infer_types = true;
+};
+
+/// Parses CSV text (first line = header) into a Table. Empty cells become
+/// nulls. Quoting is not supported — the synthetic data lakes never emit
+/// embedded delimiters.
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Serializes `table` to CSV text (header + rows; nulls as empty cells).
+std::string WriteCsvString(const Table& table, char delimiter = ',');
+
+/// Writes `table` to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace modis
+
+#endif  // MODIS_TABLE_CSV_H_

@@ -1,0 +1,66 @@
+#include "table/schema.h"
+
+#include "common/logging.h"
+
+namespace modis {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kNumeric:
+      return "numeric";
+    case ColumnType::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<Field> fields) {
+  for (auto& f : fields) {
+    MODIS_CHECK_OK(AddField(std::move(f)));
+  }
+}
+
+Status Schema::AddField(Field field) {
+  if (index_.count(field.name) > 0) {
+    return Status::AlreadyExists("duplicate field name: " + field.name);
+  }
+  index_[field.name] = fields_.size();
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+std::optional<size_t> Schema::FindField(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<Schema> Schema::Union(const Schema& other) const {
+  Schema out = *this;
+  for (const Field& f : other.fields_) {
+    auto existing = out.FindField(f.name);
+    if (existing.has_value()) {
+      if (out.field(*existing).type != f.type) {
+        return Status::InvalidArgument("schema union type conflict on field " +
+                                       f.name);
+      }
+      continue;
+    }
+    MODIS_RETURN_IF_ERROR(out.AddField(f));
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += ColumnTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace modis

@@ -1,0 +1,67 @@
+#ifndef MODIS_TABLE_SCHEMA_H_
+#define MODIS_TABLE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace modis {
+
+/// Declared column type. Numeric columns feed models directly; categorical
+/// columns are label-encoded by the ML bridge.
+enum class ColumnType { kNumeric, kCategorical };
+
+const char* ColumnTypeName(ColumnType t);
+
+/// A named, typed attribute of a relation schema.
+struct Field {
+  std::string name;
+  ColumnType type = ColumnType::kNumeric;
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// An ordered set of uniquely named fields (the local schema R_D of a
+/// dataset). The universal schema R_U is the union of local schemas.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// Appends a field; fails if the name already exists.
+  Status AddField(Field field);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with `name`, or nullopt.
+  std::optional<size_t> FindField(const std::string& name) const;
+
+  bool HasField(const std::string& name) const {
+    return FindField(name).has_value();
+  }
+
+  /// Union of this schema with `other`; on a name collision the field types
+  /// must agree (otherwise InvalidArgument).
+  Result<Schema> Union(const Schema& other) const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.fields_ == b.fields_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_TABLE_SCHEMA_H_

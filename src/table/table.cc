@@ -1,0 +1,152 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace modis {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_fields());
+}
+
+Status Table::AppendRow(std::vector<Value> row) {
+  if (row.size() != num_cols()) {
+    return Status::InvalidArgument(
+        "AppendRow: expected " + std::to_string(num_cols()) + " values, got " +
+        std::to_string(row.size()));
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    columns_[c].push_back(std::move(row[c]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::AddColumn(Field field, Column values) {
+  if (values.size() != num_rows_ && num_cols() > 0) {
+    return Status::InvalidArgument(
+        "AddColumn: column length " + std::to_string(values.size()) +
+        " != row count " + std::to_string(num_rows_));
+  }
+  MODIS_RETURN_IF_ERROR(schema_.AddField(std::move(field)));
+  if (num_cols() == 1) num_rows_ = values.size();
+  columns_.push_back(std::move(values));
+  return Status::OK();
+}
+
+std::vector<Value> Table::Row(size_t r) const {
+  MODIS_CHECK(r < num_rows_) << "Row index " << r << " out of " << num_rows_;
+  std::vector<Value> row;
+  row.reserve(num_cols());
+  for (size_t c = 0; c < num_cols(); ++c) row.push_back(columns_[c][r]);
+  return row;
+}
+
+Table Table::SelectRows(const std::vector<size_t>& rows) const {
+  Table out(schema_);
+  for (size_t c = 0; c < num_cols(); ++c) {
+    Column& col = *out.mutable_column(c);
+    col.reserve(rows.size());
+    for (size_t r : rows) {
+      MODIS_DCHECK(r < num_rows_) << "SelectRows index out of range";
+      col.push_back(columns_[c][r]);
+    }
+  }
+  out.num_rows_ = rows.size();
+  return out;
+}
+
+Result<Table> Table::SelectColumns(const std::vector<size_t>& cols) const {
+  Schema schema;
+  for (size_t c : cols) {
+    if (c >= num_cols()) {
+      return Status::OutOfRange("SelectColumns: column index out of range");
+    }
+    MODIS_RETURN_IF_ERROR(schema.AddField(schema_.field(c)));
+  }
+  Table out(std::move(schema));
+  for (size_t i = 0; i < cols.size(); ++i) {
+    *out.mutable_column(i) = columns_[cols[i]];
+  }
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+Result<Table> Table::SelectColumnsByName(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> cols;
+  cols.reserve(names.size());
+  for (const auto& n : names) {
+    auto idx = schema_.FindField(n);
+    if (!idx.has_value()) {
+      return Status::NotFound("SelectColumnsByName: no column named " + n);
+    }
+    cols.push_back(*idx);
+  }
+  return SelectColumns(cols);
+}
+
+double Table::NullFraction() const {
+  const size_t total = num_rows_ * num_cols();
+  if (total == 0) return 0.0;
+  size_t nulls = 0;
+  for (const Column& col : columns_) {
+    for (const Value& v : col) {
+      if (v.is_null()) ++nulls;
+    }
+  }
+  return static_cast<double>(nulls) / static_cast<double>(total);
+}
+
+size_t Table::DistinctCount(size_t c) const {
+  MODIS_CHECK(c < num_cols()) << "DistinctCount col out of range";
+  std::unordered_set<size_t> seen;
+  size_t distinct = 0;
+  std::set<Value> values;
+  for (const Value& v : columns_[c]) {
+    if (v.is_null()) continue;
+    if (values.insert(v).second) ++distinct;
+  }
+  return distinct;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString() + " rows=" + std::to_string(num_rows_);
+  out += "\n";
+  const size_t n = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < num_cols(); ++c) {
+      if (c > 0) out += " | ";
+      out += PadRight(At(r, c).ToString(), 12);
+    }
+    out += "\n";
+  }
+  if (n < num_rows_) out += "...\n";
+  return out;
+}
+
+void ActiveDomain::AddColumn(const Column& column) {
+  std::set<Value> merged(values_.begin(), values_.end());
+  for (const Value& v : column) {
+    if (!v.is_null()) merged.insert(v);
+  }
+  values_.assign(merged.begin(), merged.end());
+}
+
+bool ActiveDomain::Contains(const Value& v) const {
+  return std::binary_search(values_.begin(), values_.end(), v);
+}
+
+std::vector<ActiveDomain> ComputeActiveDomains(const Table& table) {
+  std::vector<ActiveDomain> domains(table.num_cols());
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    domains[c].AddColumn(table.column(c));
+  }
+  return domains;
+}
+
+}  // namespace modis

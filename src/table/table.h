@@ -1,0 +1,95 @@
+#ifndef MODIS_TABLE_TABLE_H_
+#define MODIS_TABLE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace modis {
+
+/// A column of cell values (same length as the owning table's row count).
+using Column = std::vector<Value>;
+
+/// A structured table instance D(A1..Am) conforming to a local schema.
+///
+/// Storage is column-major: the ML bridge and the statistics pass scan
+/// columns, and the MODis operators drop whole columns/rows. Rows are
+/// addressed by index; `Row(i)` materializes a row vector on demand.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return schema_.num_fields(); }
+
+  /// Appends a row; fails unless `row.size() == num_cols()`.
+  Status AppendRow(std::vector<Value> row);
+
+  /// Adds a column of `num_rows()` values; fails on size or name conflicts.
+  Status AddColumn(Field field, Column values);
+
+  const Column& column(size_t c) const { return columns_[c]; }
+  Column* mutable_column(size_t c) { return &columns_[c]; }
+
+  /// Cell accessors.
+  const Value& At(size_t row, size_t col) const { return columns_[col][row]; }
+  void Set(size_t row, size_t col, Value v) {
+    columns_[col][row] = std::move(v);
+  }
+
+  /// Materializes row `r` as a vector of values.
+  std::vector<Value> Row(size_t r) const;
+
+  /// Returns a table with only the rows whose index is in `rows` (order
+  /// preserved as given).
+  Table SelectRows(const std::vector<size_t>& rows) const;
+
+  /// Returns a table with only the columns whose index is in `cols`.
+  Result<Table> SelectColumns(const std::vector<size_t>& cols) const;
+
+  /// Returns a table with only the named columns.
+  Result<Table> SelectColumnsByName(const std::vector<std::string>& names) const;
+
+  /// Fraction of null cells across the whole table (0 if empty).
+  double NullFraction() const;
+
+  /// Number of distinct non-null values in column c.
+  size_t DistinctCount(size_t c) const;
+
+  /// Debug rendering of the first `max_rows` rows.
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// Distinct non-null values of one attribute across a set of tables — the
+/// active domain adom(A) from the paper.
+class ActiveDomain {
+ public:
+  ActiveDomain() = default;
+
+  /// Collects distinct non-null values of `column`.
+  void AddColumn(const Column& column);
+
+  size_t size() const { return values_.size(); }
+  const std::vector<Value>& values() const { return values_; }
+  bool Contains(const Value& v) const;
+
+ private:
+  std::vector<Value> values_;  // Sorted for determinism.
+};
+
+/// Computes adom(A) for every attribute of `table`.
+std::vector<ActiveDomain> ComputeActiveDomains(const Table& table);
+
+}  // namespace modis
+
+#endif  // MODIS_TABLE_TABLE_H_

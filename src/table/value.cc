@@ -1,0 +1,36 @@
+#include "table/value.h"
+
+#include "common/strings.h"
+
+namespace modis {
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "";
+    case ValueKind::kInt:
+      return std::to_string(AsInt());
+    case ValueKind::kDouble:
+      return FormatDouble(AsDoubleExact(), 6);
+    case ValueKind::kString:
+      return AsString();
+  }
+  return "";
+}
+
+size_t Value::Hash() const {
+  const size_t kind_salt = static_cast<size_t>(kind()) * 0x9e3779b97f4a7c15ULL;
+  switch (kind()) {
+    case ValueKind::kNull:
+      return kind_salt;
+    case ValueKind::kInt:
+      return kind_salt ^ std::hash<int64_t>()(AsInt());
+    case ValueKind::kDouble:
+      return kind_salt ^ std::hash<double>()(AsDoubleExact());
+    case ValueKind::kString:
+      return kind_salt ^ std::hash<std::string>()(AsString());
+  }
+  return kind_salt;
+}
+
+}  // namespace modis

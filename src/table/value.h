@@ -1,0 +1,87 @@
+#ifndef MODIS_TABLE_VALUE_H_
+#define MODIS_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace modis {
+
+/// Runtime type tag for a cell value.
+enum class ValueKind { kNull = 0, kInt, kDouble, kString };
+
+/// A single table cell: null, 64-bit integer, double, or string.
+///
+/// Datasets in the paper may have missing values (t.A = ∅); kNull models
+/// those, and the Augment operator fills unknown cells with nulls.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueKind kind() const {
+    switch (data_.index()) {
+      case 0:
+        return ValueKind::kNull;
+      case 1:
+        return ValueKind::kInt;
+      case 2:
+        return ValueKind::kDouble;
+      default:
+        return ValueKind::kString;
+    }
+  }
+
+  bool is_null() const { return kind() == ValueKind::kNull; }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDoubleExact() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: ints are widened, doubles returned as-is. Requires a
+  /// numeric kind; callers must check `IsNumeric()` (or is_null) first.
+  double AsDouble() const {
+    if (kind() == ValueKind::kInt) return static_cast<double>(AsInt());
+    return AsDoubleExact();
+  }
+
+  bool IsNumeric() const {
+    return kind() == ValueKind::kInt || kind() == ValueKind::kDouble;
+  }
+
+  /// Structural equality. Null == Null; int 3 != double 3.0 (kinds differ).
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Total order for sorting/grouping: null < int < double < string, then by
+  /// content within a kind.
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.data_ < b.data_;
+  }
+
+  /// Debug / CSV rendering ("" for null).
+  std::string ToString() const;
+
+  /// Hash consistent with operator==.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+/// std::hash adaptor so Value can key unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace modis
+
+#endif  // MODIS_TABLE_VALUE_H_

@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/kmeans.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace modis {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kAlreadyExists,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kUnimplemented, StatusCode::kIoError}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Halve(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseMacros(int x, int* out) {
+  MODIS_ASSIGN_OR_RETURN(int h, Halve(x));
+  *out = h;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_FALSE(UseMacros(7, &out).ok());
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(7), 7u);
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NormalHasApproxUnitMoments) {
+  Rng rng(8);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.Normal();
+  EXPECT_NEAR(Mean(xs), 0.0, 0.05);
+  EXPECT_NEAR(Variance(xs), 1.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(10);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 9000; ++i) counts[rng.Categorical({1.0, 2.0, 6.0})]++;
+  EXPECT_NEAR(counts[0] / 9000.0, 1.0 / 9.0, 0.03);
+  EXPECT_NEAR(counts[2] / 9000.0, 6.0 / 9.0, 0.03);
+}
+
+TEST(RngTest, CategoricalSkipsZeroWeights) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Categorical({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto s = rng.SampleWithoutReplacement(20, 10);
+    std::set<size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 10u);
+    for (size_t v : s) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  std::vector<int> w = v;
+  rng.Shuffle(&w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringsTest, TrimStripsWhitespace) {
+  EXPECT_EQ(StrTrim("  a b  "), "a b");
+  EXPECT_EQ(StrTrim("\t\n"), "");
+}
+
+TEST(StringsTest, JoinWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, ParseDoubleStrict) {
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("3.5", &d));
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_TRUE(ParseDouble(" -2e3 ", &d));
+  EXPECT_DOUBLE_EQ(d, -2000.0);
+  EXPECT_FALSE(ParseDouble("3.5x", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+}
+
+TEST(StringsTest, ParseInt64Strict) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(ParseInt64("4.2", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+}
+
+TEST(StringsTest, FormatDoubleDigits) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(StringsTest, PadRightPadsAndTruncates) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadRight("abcdef", 3), "abc");
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, GramIsTransposeTimesSelf) {
+  Matrix a(3, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 3;
+  a.At(1, 1) = 4;
+  a.At(2, 0) = 5;
+  a.At(2, 1) = 6;
+  Matrix g = a.Gram();
+  EXPECT_DOUBLE_EQ(g.At(0, 0), 1 + 9 + 25);
+  EXPECT_DOUBLE_EQ(g.At(0, 1), 2 + 12 + 30);
+  EXPECT_DOUBLE_EQ(g.At(1, 0), g.At(0, 1));
+  EXPECT_DOUBLE_EQ(g.At(1, 1), 4 + 16 + 36);
+}
+
+TEST(MatrixTest, TimesAndTransposeTimes) {
+  Matrix a(2, 3);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) a.At(r, c) = r * 3.0 + c + 1;
+  }
+  auto y = a.Times({1, 0, -1});
+  EXPECT_DOUBLE_EQ(y[0], 1 - 3);
+  EXPECT_DOUBLE_EQ(y[1], 4 - 6);
+  auto z = a.TransposeTimes({1, 1});
+  EXPECT_DOUBLE_EQ(z[0], 1 + 4);
+  EXPECT_DOUBLE_EQ(z[2], 3 + 6);
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [6,5] -> x = [1,1].
+  Matrix a(2, 2);
+  a.At(0, 0) = 4;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 3;
+  auto x = CholeskySolve(a, {6, 5});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 1.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 0;
+  a.At(1, 1) = 1;
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}).ok());
+}
+
+TEST(CholeskyTest, RejectsDimensionMismatch) {
+  Matrix a(2, 2, 1.0);
+  EXPECT_FALSE(CholeskySolve(a, {1, 2, 3}).ok());
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(StatsTest, MeanVarianceStdDev) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({7.0}), 0.0);
+}
+
+TEST(StatsTest, ClampBounds) {
+  EXPECT_DOUBLE_EQ(Clamp(5, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0, 1), 0.5);
+}
+
+TEST(StatsTest, SigmoidSymmetricAndStable) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(3.0) + Sigmoid(-3.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(StatsTest, CosineSimilarity) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 1}, {2, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {-1, 0}), -1.0, 1e-12);
+}
+
+TEST(StatsTest, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1, 1}, {1, 1}), 0.0);
+}
+
+// ---------------------------------------------------------------- KMeans
+
+TEST(KMeansTest, FewDistinctValuesBecomeCenters) {
+  Rng rng(1);
+  std::vector<double> data{1, 1, 1, 5, 5, 9};
+  auto r = KMeans1D(data, 5, &rng);
+  EXPECT_EQ(r.centers.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(r.centers.begin(), r.centers.end()));
+}
+
+TEST(KMeansTest, SeparatedClustersFound) {
+  Rng rng(2);
+  std::vector<double> data;
+  for (int i = 0; i < 50; ++i) data.push_back(0.0 + i * 0.01);
+  for (int i = 0; i < 50; ++i) data.push_back(10.0 + i * 0.01);
+  auto r = KMeans1D(data, 2, &rng);
+  ASSERT_EQ(r.centers.size(), 2u);
+  EXPECT_NEAR(r.centers[0], 0.25, 0.3);
+  EXPECT_NEAR(r.centers[1], 10.25, 0.3);
+  // Assignment must separate the halves.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.assignment[i], 0);
+  for (int i = 50; i < 100; ++i) EXPECT_EQ(r.assignment[i], 1);
+}
+
+TEST(KMeansTest, AssignmentIndexInRange) {
+  Rng rng(3);
+  std::vector<double> data;
+  for (int i = 0; i < 200; ++i) data.push_back(rng.Normal());
+  auto r = KMeans1D(data, 4, &rng);
+  for (int a : r.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, static_cast<int>(r.centers.size()));
+  }
+}
+
+TEST(KMeansTest, EmptyInput) {
+  Rng rng(4);
+  auto r = KMeans1D({}, 3, &rng);
+  EXPECT_TRUE(r.centers.empty());
+  EXPECT_TRUE(r.assignment.empty());
+}
+
+class KMeansParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansParamTest, CentersNeverExceedK) {
+  const int k = GetParam();
+  Rng rng(100 + k);
+  std::vector<double> data;
+  for (int i = 0; i < 300; ++i) data.push_back(rng.Uniform(0, 100));
+  auto r = KMeans1D(data, k, &rng);
+  EXPECT_LE(static_cast<int>(r.centers.size()), k);
+  EXPECT_GE(r.centers.size(), 1u);
+  EXPECT_TRUE(std::is_sorted(r.centers.begin(), r.centers.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansParamTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 30));
+
+}  // namespace
+}  // namespace modis

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/data_lake.h"
+#include "datagen/graph_gen.h"
+#include "datagen/tasks.h"
+
+namespace modis {
+namespace {
+
+TEST(DataLakeTest, ShapesMatchSpec) {
+  DataLakeSpec spec;
+  spec.num_rows = 500;
+  spec.num_tables = 4;
+  spec.informative_per_table = 2;
+  spec.noisy_per_table = 1;
+  spec.redundant_per_table = 1;
+  auto lake = GenerateDataLake(spec);
+  ASSERT_TRUE(lake.ok());
+  ASSERT_EQ(lake->tables.size(), 4u);
+  // Base: key, segment, target.
+  EXPECT_EQ(lake->tables[0].num_cols(), 3u);
+  EXPECT_EQ(lake->tables[0].num_rows(), 500u);
+  // Feature tables: key + 4 features.
+  for (size_t t = 1; t < lake->tables.size(); ++t) {
+    EXPECT_EQ(lake->tables[t].num_cols(), 5u);
+    EXPECT_EQ(lake->tables[t].num_rows(), 500u);
+    EXPECT_TRUE(lake->tables[t].schema().HasField("id"));
+  }
+}
+
+TEST(DataLakeTest, DeterministicForSeed) {
+  DataLakeSpec spec;
+  spec.num_rows = 200;
+  auto a = GenerateDataLake(spec);
+  auto b = GenerateDataLake(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t t = 0; t < a->tables.size(); ++t) {
+    ASSERT_EQ(a->tables[t].num_rows(), b->tables[t].num_rows());
+    for (size_t r = 0; r < a->tables[t].num_rows(); r += 17) {
+      for (size_t c = 0; c < a->tables[t].num_cols(); ++c) {
+        EXPECT_EQ(a->tables[t].At(r, c), b->tables[t].At(r, c));
+      }
+    }
+  }
+}
+
+TEST(DataLakeTest, ClassificationTargetHasRequestedClasses) {
+  DataLakeSpec spec;
+  spec.num_rows = 400;
+  spec.task = TaskKind::kClassification;
+  spec.num_classes = 3;
+  auto lake = GenerateDataLake(spec);
+  ASSERT_TRUE(lake.ok());
+  auto target = lake->tables[0].schema().FindField(spec.target);
+  ASSERT_TRUE(target.has_value());
+  std::set<int64_t> classes;
+  for (const Value& v : lake->tables[0].column(*target)) {
+    classes.insert(v.AsInt());
+  }
+  EXPECT_EQ(classes.size(), 3u);
+}
+
+TEST(DataLakeTest, CorruptSegmentsHaveNoisierTargets) {
+  DataLakeSpec spec;
+  spec.num_rows = 3000;
+  spec.task = TaskKind::kRegression;
+  spec.corrupt_noise = 3.0;
+  auto lake = GenerateDataLake(spec);
+  ASSERT_TRUE(lake.ok());
+  const Table& base = lake->tables[0];
+  const size_t seg = *base.schema().FindField("segment");
+  const size_t tgt = *base.schema().FindField(spec.target);
+  std::vector<double> corrupt, clean;
+  for (size_t r = 0; r < base.num_rows(); ++r) {
+    const std::string& s = base.At(r, seg).AsString();
+    const double y = base.At(r, tgt).AsDouble();
+    // Segments seg_0 / seg_1 are corrupted by default.
+    if (s == "seg_0" || s == "seg_1") {
+      corrupt.push_back(y);
+    } else {
+      clean.push_back(y);
+    }
+  }
+  double vc = 0, vl = 0, mc = 0, ml = 0;
+  for (double y : corrupt) mc += y;
+  mc /= corrupt.size();
+  for (double y : clean) ml += y;
+  ml /= clean.size();
+  for (double y : corrupt) vc += (y - mc) * (y - mc);
+  vc /= corrupt.size();
+  for (double y : clean) vl += (y - ml) * (y - ml);
+  vl /= clean.size();
+  EXPECT_GT(vc, 2.0 * vl);
+}
+
+TEST(DataLakeTest, RejectsDegenerateSpecs) {
+  DataLakeSpec spec;
+  spec.num_rows = 5;
+  EXPECT_FALSE(GenerateDataLake(spec).ok());
+  DataLakeSpec spec2;
+  spec2.corrupt_segments = 9;
+  spec2.num_segments = 5;
+  EXPECT_FALSE(GenerateDataLake(spec2).ok());
+}
+
+TEST(DataLakeTest, UniversalTableJoinsEverything) {
+  DataLakeSpec spec;
+  spec.num_rows = 300;
+  spec.num_tables = 3;
+  auto lake = GenerateDataLake(spec);
+  ASSERT_TRUE(lake.ok());
+  auto uni = LakeUniversalTable(lake.value());
+  ASSERT_TRUE(uni.ok());
+  EXPECT_EQ(uni->num_rows(), 300u);  // Keys align 1:1.
+  size_t expected_cols = lake->tables[0].num_cols();
+  for (size_t t = 1; t < lake->tables.size(); ++t) {
+    expected_cols += lake->tables[t].num_cols() - 1;  // Minus shared key.
+  }
+  EXPECT_EQ(uni->num_cols(), expected_cols);
+}
+
+TEST(GraphLakeTest, ShapesAndTestEdges) {
+  GraphLakeSpec spec;
+  spec.num_users = 20;
+  spec.num_items = 40;
+  auto lake = GenerateGraphLake(spec);
+  ASSERT_TRUE(lake.ok());
+  EXPECT_EQ(lake->test_edges.size(), 20u);
+  for (const auto& edges : lake->test_edges) {
+    EXPECT_LE(edges.size(),
+              static_cast<size_t>(spec.test_edges_per_user));
+    for (int item : edges) {
+      EXPECT_GE(item, 0);
+      EXPECT_LT(item, 40);
+    }
+  }
+  EXPECT_EQ(lake->edge_table.num_cols(), 4u);
+  EXPECT_GT(lake->edge_table.num_rows(), 0u);
+}
+
+TEST(GraphLakeTest, NoiseEdgesHaveLowAffinity) {
+  auto lake = GenerateGraphLake({});
+  ASSERT_TRUE(lake.ok());
+  const Table& t = lake->edge_table;
+  const size_t user = *t.schema().FindField("user");
+  const size_t item = *t.schema().FindField("item");
+  const size_t aff = *t.schema().FindField("affinity");
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const int u = static_cast<int>(t.At(r, user).AsDouble());
+    const int i = static_cast<int>(t.At(r, item).AsDouble());
+    const bool same_comm = (u % 4) == (i % 4);
+    if (same_comm) {
+      EXPECT_GE(t.At(r, aff).AsDouble(), 0.7);
+    } else {
+      EXPECT_LT(t.At(r, aff).AsDouble(), 0.35);
+    }
+  }
+}
+
+TEST(GraphLakeTest, TestEdgesNotInTrainTable) {
+  auto lake = GenerateGraphLake({});
+  ASSERT_TRUE(lake.ok());
+  const Table& t = lake->edge_table;
+  const size_t user = *t.schema().FindField("user");
+  const size_t item = *t.schema().FindField("item");
+  std::set<std::pair<int, int>> train;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    train.insert({static_cast<int>(t.At(r, user).AsDouble()),
+                  static_cast<int>(t.At(r, item).AsDouble())});
+  }
+  for (size_t u = 0; u < lake->test_edges.size(); ++u) {
+    for (int i : lake->test_edges[u]) {
+      EXPECT_EQ(train.count({static_cast<int>(u), i}), 0u);
+    }
+  }
+}
+
+TEST(TasksTest, AllTabularBenchesConstruct) {
+  for (BenchTaskId id :
+       {BenchTaskId::kMovie, BenchTaskId::kHouse, BenchTaskId::kAvocado,
+        BenchTaskId::kMental, BenchTaskId::kXray, BenchTaskId::kFeaturePool}) {
+    auto bench = MakeTabularBench(id, 0.2);
+    ASSERT_TRUE(bench.ok()) << BenchTaskName(id);
+    EXPECT_GT(bench->universal.num_rows(), 0u) << BenchTaskName(id);
+    EXPECT_TRUE(bench->universal.schema().HasField(bench->task.target));
+    EXPECT_FALSE(bench->task.measures.empty());
+    EXPECT_NE(bench->model, nullptr);
+  }
+}
+
+TEST(TasksTest, RowScaleScalesRows) {
+  auto small = MakeTabularBench(BenchTaskId::kMovie, 0.2);
+  auto large = MakeTabularBench(BenchTaskId::kMovie, 0.4);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(large->universal.num_rows(), small->universal.num_rows());
+}
+
+TEST(TasksTest, ExtraTablesAddColumns) {
+  auto base = MakeTabularBench(BenchTaskId::kMovie, 0.2);
+  auto wide = MakeTabularBench(BenchTaskId::kMovie, 0.2, 3);
+  ASSERT_TRUE(base.ok() && wide.ok());
+  EXPECT_GT(wide->universal.num_cols(), base->universal.num_cols());
+}
+
+TEST(TasksTest, GraphBenchConstructs) {
+  auto bench = MakeGraphBench(0.5);
+  ASSERT_TRUE(bench.ok());
+  EXPECT_EQ(bench->task.test_edges.size(),
+            static_cast<size_t>(bench->task.num_users));
+  EXPECT_EQ(bench->task.measures.size(), 6u);
+}
+
+}  // namespace
+}  // namespace modis

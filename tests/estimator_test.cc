@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "datagen/tasks.h"
+#include "estimator/link_evaluator.h"
+#include "estimator/measure.h"
+#include "estimator/oracle.h"
+#include "estimator/supervised_evaluator.h"
+#include "ml/random_forest.h"
+
+namespace modis {
+namespace {
+
+// ---------------------------------------------------------------- Measure
+
+TEST(MeasureTest, MaximizeInverts) {
+  MeasureSpec m = MeasureSpec::Maximize("acc");
+  EXPECT_NEAR(m.Normalize(0.9), 0.1, 1e-12);
+  EXPECT_NEAR(m.Normalize(1.0), m.lower, 1e-12);  // Floored at p_l.
+  EXPECT_NEAR(m.Normalize(0.0), 1.0, 1e-12);
+}
+
+TEST(MeasureTest, MinimizeScales) {
+  MeasureSpec m = MeasureSpec::Minimize("train_time", 10.0);
+  EXPECT_NEAR(m.Normalize(5.0), 0.5, 1e-12);
+  EXPECT_NEAR(m.Normalize(100.0), 1.0, 1e-12);  // Clamped at 1.
+  EXPECT_GE(m.Normalize(0.0), m.lower);          // Stays in (0, 1].
+}
+
+TEST(MeasureTest, BoundsVectors) {
+  std::vector<MeasureSpec> specs{MeasureSpec::Maximize("a", 0.01, 0.5),
+                                 MeasureSpec::Minimize("b", 2.0, 0.02, 0.8)};
+  EXPECT_EQ(LowerBounds(specs), (std::vector<double>{0.01, 0.02}));
+  EXPECT_EQ(UpperBounds(specs), (std::vector<double>{0.5, 0.8}));
+}
+
+// ------------------------------------------------------ SupervisedEvaluator
+
+TabularBench SmallHouse() {
+  auto bench = MakeTabularBench(BenchTaskId::kHouse, 0.4);
+  EXPECT_TRUE(bench.ok());
+  return std::move(bench).value();
+}
+
+TEST(SupervisedEvaluatorTest, EvaluatesUniversalTable) {
+  TabularBench bench = SmallHouse();
+  auto evaluator = bench.MakeEvaluator();
+  auto eval = evaluator->Evaluate(bench.universal);
+  ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+  ASSERT_EQ(eval->raw.size(), bench.task.measures.size());
+  ASSERT_EQ(eval->normalized.size(), bench.task.measures.size());
+  // F1 and accuracy should be decent on the planted-signal lake.
+  EXPECT_GT(eval->raw[0], 0.5);  // f1
+  EXPECT_GT(eval->raw[1], 0.5);  // acc
+  for (double v : eval->normalized) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SupervisedEvaluatorTest, DeterministicAcrossCalls) {
+  TabularBench bench = SmallHouse();
+  auto evaluator = bench.MakeEvaluator();
+  auto a = evaluator->Evaluate(bench.universal);
+  auto b = evaluator->Evaluate(bench.universal);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Wall-clock (train_time) differs run to run; all other measures must be
+  // bit-identical.
+  for (size_t i = 0; i < a->raw.size(); ++i) {
+    if (bench.task.measures[i].name == "train_time") continue;
+    EXPECT_DOUBLE_EQ(a->raw[i], b->raw[i]) << bench.task.measures[i].name;
+  }
+}
+
+TEST(SupervisedEvaluatorTest, FailsOnTinyDataset) {
+  TabularBench bench = SmallHouse();
+  auto evaluator = bench.MakeEvaluator();
+  Table tiny = bench.universal.SelectRows({0, 1, 2});
+  EXPECT_FALSE(evaluator->Evaluate(tiny).ok());
+}
+
+TEST(SupervisedEvaluatorTest, FailsWithoutFeatures) {
+  TabularBench bench = SmallHouse();
+  auto evaluator = bench.MakeEvaluator();
+  auto only_target = bench.universal.SelectColumnsByName(
+      {bench.task.target, bench.lake.key()});
+  ASSERT_TRUE(only_target.ok());
+  EXPECT_FALSE(evaluator->Evaluate(only_target.value()).ok());
+}
+
+TEST(SupervisedEvaluatorTest, UnknownMeasureRejected) {
+  TabularBench bench = SmallHouse();
+  SupervisedTask task = bench.task;
+  task.measures = {MeasureSpec::Maximize("bogus")};
+  SupervisedEvaluator evaluator(task, bench.model->Clone());
+  EXPECT_FALSE(evaluator.Evaluate(bench.universal).ok());
+}
+
+// ---------------------------------------------------------------- Oracles
+
+TEST(ExactOracleTest, CachesBySignature) {
+  TabularBench bench = SmallHouse();
+  auto evaluator = bench.MakeEvaluator();
+  ExactOracle oracle(evaluator.get());
+  int materializations = 0;
+  auto provider = [&]() {
+    ++materializations;
+    return bench.universal;
+  };
+  auto a = oracle.Valuate("sig1", {1.0, 0.5}, provider);
+  auto b = oracle.Valuate("sig1", {1.0, 0.5}, provider);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(materializations, 1);
+  EXPECT_EQ(oracle.stats().exact_evals, 1u);
+  EXPECT_EQ(oracle.stats().cache_hits, 1u);
+  EXPECT_EQ(a->normalized, b->normalized);
+  EXPECT_EQ(oracle.store().size(), 1u);
+}
+
+TEST(ExactOracleTest, FailedEvalNotCached) {
+  TabularBench bench = SmallHouse();
+  auto evaluator = bench.MakeEvaluator();
+  ExactOracle oracle(evaluator.get());
+  Table tiny = bench.universal.SelectRows({0});
+  auto r = oracle.Valuate("bad", {0.0, 0.0}, [&]() { return tiny; });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(oracle.stats().failed_evals, 1u);
+  EXPECT_EQ(oracle.store().size(), 0u);
+}
+
+TEST(MoGbmOracleTest, BootstrapsExactThenPredicts) {
+  TabularBench bench = SmallHouse();
+  auto evaluator = bench.MakeEvaluator();
+  SurrogateOptions opts;
+  opts.bootstrap_budget = 6;
+  opts.exact_fraction = 0.0;
+  MoGbmOracle oracle(evaluator.get(), opts);
+
+  auto uni = SearchUniverse::Build(bench.universal, bench.universe_options);
+  ASSERT_TRUE(uni.ok());
+
+  // Valuate a series of distinct single-flip states.
+  StateBitmap full = uni->FullBitmap();
+  size_t flips = 0;
+  for (size_t u = 0; u < uni->layout().num_units() && flips < 12; ++u) {
+    if (uni->layout().IsAttributeUnit(u) && !uni->layout().attr_flippable[u]) {
+      continue;
+    }
+    StateBitmap s = full.WithFlipped(u);
+    auto r = oracle.Valuate(s.Signature(), uni->StateFeatures(s),
+                            [&]() { return uni->Materialize(s); });
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ++flips;
+  }
+  EXPECT_GE(oracle.stats().exact_evals, 6u);
+  EXPECT_GT(oracle.stats().surrogate_evals, 0u);
+  // Surrogate predictions stay in normalized range.
+  EXPECT_EQ(oracle.stats().exact_evals + oracle.stats().surrogate_evals,
+            flips);
+}
+
+TEST(MoGbmOracleTest, SurrogateIsFastAfterBootstrap) {
+  TabularBench bench = SmallHouse();
+  auto evaluator = bench.MakeEvaluator();
+  SurrogateOptions opts;
+  opts.bootstrap_budget = 4;
+  opts.exact_fraction = 0.0;
+  MoGbmOracle oracle(evaluator.get(), opts);
+  auto uni = SearchUniverse::Build(bench.universal, bench.universe_options);
+  ASSERT_TRUE(uni.ok());
+  StateBitmap full = uni->FullBitmap();
+  int done = 0;
+  for (size_t u = 0; u < uni->layout().num_units() && done < 20; ++u) {
+    if (uni->layout().IsAttributeUnit(u) && !uni->layout().attr_flippable[u]) {
+      continue;
+    }
+    StateBitmap s = full.WithFlipped(u);
+    ASSERT_TRUE(oracle.Valuate(s.Signature(), uni->StateFeatures(s),
+                               [&]() { return uni->Materialize(s); })
+                    .ok());
+    ++done;
+  }
+  const auto& st = oracle.stats();
+  ASSERT_GT(st.surrogate_evals, 0u);
+  // Per-call surrogate cost must be far below per-call exact cost.
+  EXPECT_LT(st.surrogate_seconds / st.surrogate_evals,
+            st.exact_seconds / st.exact_evals);
+}
+
+// ------------------------------------------------------------- LinkEvaluator
+
+TEST(LinkEvaluatorTest, EvaluatesEdgeTable) {
+  auto bench = MakeGraphBench(0.5);
+  ASSERT_TRUE(bench.ok());
+  auto evaluator = bench->MakeEvaluator();
+  auto eval = evaluator->Evaluate(bench->lake.edge_table);
+  ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+  EXPECT_EQ(eval->raw.size(), bench->task.measures.size());
+  for (double v : eval->raw) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(LinkEvaluatorTest, FailsOnTooFewEdges) {
+  auto bench = MakeGraphBench(0.5);
+  ASSERT_TRUE(bench.ok());
+  auto evaluator = bench->MakeEvaluator();
+  Table tiny = bench->lake.edge_table.SelectRows({0, 1, 2});
+  EXPECT_FALSE(evaluator->Evaluate(tiny).ok());
+}
+
+}  // namespace
+}  // namespace modis

@@ -1,0 +1,349 @@
+/// Tests for the extension components: NSGA-II (the paper's evolutionary
+/// alternative), hypervolume indicators, kNN / naive-Bayes model families,
+/// the NSGA-II-over-bitmaps adapter, and running-graph reconstruction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baselines/nsga2_modis.h"
+#include "core/algorithms.h"
+#include "core/running_graph.h"
+#include "datagen/tasks.h"
+#include "ml/knn.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+#include "moo/hypervolume.h"
+#include "moo/nsga2.h"
+
+namespace modis {
+namespace {
+
+// ---------------------------------------------------------------- NSGA-II
+
+TEST(FastNonDominatedSortTest, RanksFronts) {
+  std::vector<PerfVector> objs{{0.1, 0.9}, {0.9, 0.1}, {0.5, 0.5},
+                               {0.6, 0.6}, {0.9, 0.9}};
+  auto ranks = FastNonDominatedSort(objs);
+  EXPECT_EQ(ranks[0], 0);
+  EXPECT_EQ(ranks[1], 0);
+  EXPECT_EQ(ranks[2], 0);
+  EXPECT_EQ(ranks[3], 1);  // Dominated by {0.5,0.5} only.
+  EXPECT_EQ(ranks[4], 2);  // Dominated by {0.6,0.6} too.
+}
+
+TEST(FastNonDominatedSortTest, Front0MatchesParetoFront) {
+  Rng rng(1);
+  std::vector<PerfVector> objs;
+  for (int i = 0; i < 80; ++i) {
+    objs.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+  }
+  auto ranks = FastNonDominatedSort(objs);
+  auto front = ParetoFrontNaive(objs);
+  std::set<size_t> front_set(front.begin(), front.end());
+  for (size_t i = 0; i < objs.size(); ++i) {
+    // Duplicates can differ (front dedups); skip them.
+    bool duplicate = false;
+    for (size_t j = 0; j < i; ++j) duplicate |= (objs[j] == objs[i]);
+    if (duplicate) continue;
+    EXPECT_EQ(ranks[i] == 0, front_set.count(i) > 0) << i;
+  }
+}
+
+TEST(CrowdingDistanceTest, BoundariesAreInfinite) {
+  std::vector<PerfVector> front{{0.1, 0.9}, {0.5, 0.5}, {0.9, 0.1}};
+  auto d = CrowdingDistance(front);
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[2]));
+  EXPECT_FALSE(std::isinf(d[1]));
+  EXPECT_GT(d[1], 0.0);
+}
+
+TEST(Nsga2Test, FindsFrontOfSeparableProblem) {
+  // Objectives: f1 = fraction of zeros in the first half, f2 = fraction of
+  // zeros in the second half -> the Pareto front trades the halves.
+  const size_t glen = 16;
+  Nsga2Fitness fitness =
+      [](const std::vector<uint8_t>& g) -> std::optional<PerfVector> {
+    double a = 0, b = 0;
+    for (size_t i = 0; i < g.size() / 2; ++i) a += g[i] == 0;
+    for (size_t i = g.size() / 2; i < g.size(); ++i) b += g[i] == 0;
+    return PerfVector{0.01 + a / g.size(), 0.01 + b / g.size()};
+  };
+  Nsga2Options opts;
+  opts.population = 24;
+  opts.generations = 20;
+  Nsga2Result result = RunNsga2(std::vector<uint8_t>(glen, 0), fitness, opts);
+  ASSERT_FALSE(result.front.empty());
+  // The all-ones genome (both objectives minimal) must be discovered.
+  bool found_ideal = false;
+  for (const auto& ind : result.front) {
+    bool all_one = true;
+    for (uint8_t b : ind.genome) all_one &= (b == 1);
+    found_ideal |= all_one;
+  }
+  EXPECT_TRUE(found_ideal);
+  // Front members are mutually non-dominated.
+  for (const auto& a : result.front) {
+    for (const auto& b : result.front) {
+      if (&a != &b) EXPECT_FALSE(Dominates(a.objectives, b.objectives));
+    }
+  }
+}
+
+TEST(Nsga2Test, RespectsEvaluationBudget) {
+  Nsga2Fitness fitness =
+      [](const std::vector<uint8_t>& g) -> std::optional<PerfVector> {
+    return PerfVector{0.5, static_cast<double>(g[0]) + 0.1};
+  };
+  Nsga2Options opts;
+  opts.max_evaluations = 37;
+  Nsga2Result result = RunNsga2({1, 0, 1}, fitness, opts);
+  EXPECT_LE(result.evaluations, 37u);
+}
+
+TEST(Nsga2Test, InfeasibleGenomesAreSkipped) {
+  Nsga2Fitness fitness =
+      [](const std::vector<uint8_t>& g) -> std::optional<PerfVector> {
+    if (g[0] == 0) return std::nullopt;  // Constraint: first bit on.
+    return PerfVector{0.5, 0.5};
+  };
+  Nsga2Options opts;
+  opts.population = 10;
+  opts.generations = 5;
+  Nsga2Result result = RunNsga2({1, 1, 1, 1}, fitness, opts);
+  for (const auto& ind : result.front) EXPECT_EQ(ind.genome[0], 1);
+}
+
+// ------------------------------------------------------------ Hypervolume
+
+TEST(HypervolumeTest, SinglePoint2D) {
+  // Box from (0.2,0.3) to reference (1,1): 0.8 * 0.7.
+  EXPECT_NEAR(Hypervolume2D({{0.2, 0.3}}, {1.0, 1.0}), 0.56, 1e-12);
+}
+
+TEST(HypervolumeTest, DominatedPointAddsNothing) {
+  const double alone = Hypervolume2D({{0.2, 0.3}}, {1.0, 1.0});
+  const double with_dominated =
+      Hypervolume2D({{0.2, 0.3}, {0.5, 0.5}}, {1.0, 1.0});
+  EXPECT_NEAR(alone, with_dominated, 1e-12);
+}
+
+TEST(HypervolumeTest, UnionOfBoxes) {
+  // {0.2,0.6} and {0.6,0.2} vs ref (1,1): 0.8*0.4 + 0.4*(0.6-0.2).
+  EXPECT_NEAR(Hypervolume2D({{0.2, 0.6}, {0.6, 0.2}}, {1.0, 1.0}),
+              0.8 * 0.4 + 0.4 * 0.4, 1e-12);
+}
+
+TEST(HypervolumeTest, PointsOutsideReferenceIgnored) {
+  EXPECT_DOUBLE_EQ(Hypervolume2D({{1.5, 0.2}}, {1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Hypervolume2D({}, {1.0, 1.0}), 0.0);
+}
+
+TEST(HypervolumeTest, MonteCarloAgreesWith2DExact) {
+  Rng rng(2);
+  std::vector<PerfVector> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back({rng.Uniform(0.05, 0.9), rng.Uniform(0.05, 0.9)});
+  }
+  const PerfVector ref{1.0, 1.0};
+  const double exact = Hypervolume2D(pts, ref);
+  Rng mc(3);
+  const double estimate = HypervolumeMonteCarlo(pts, ref, 60000, &mc);
+  EXPECT_NEAR(estimate, exact, 0.02);
+}
+
+TEST(HypervolumeTest, MoreNonDominatedPointsNeverShrink) {
+  Rng rng(4);
+  std::vector<PerfVector> pts{{0.3, 0.3, 0.3}};
+  const PerfVector ref{1.0, 1.0, 1.0};
+  const double before = Hypervolume(pts, ref, 30000, 5);
+  pts.push_back({0.1, 0.6, 0.6});
+  const double after = Hypervolume(pts, ref, 30000, 5);
+  EXPECT_GE(after, before - 0.01);
+}
+
+// --------------------------------------------------------------- kNN / NB
+
+MlDataset Blobs(size_t n, uint64_t seed, int classes = 2) {
+  Rng rng(seed);
+  MlDataset ds;
+  ds.task = TaskKind::kClassification;
+  ds.num_classes = classes;
+  ds.x = Matrix(n, 2);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int k = static_cast<int>(rng.UniformInt(classes));
+    ds.x.At(i, 0) = 3.0 * k + rng.Normal(0.0, 0.5);
+    ds.x.At(i, 1) = rng.Normal();
+    ds.y[i] = k;
+  }
+  return ds;
+}
+
+TEST(KnnTest, ClassifierSeparatesBlobs) {
+  MlDataset train = Blobs(300, 10, 3);
+  MlDataset test = Blobs(150, 11, 3);
+  KnnClassifier knn({.k = 7});
+  Rng rng(12);
+  ASSERT_TRUE(knn.Fit(train, &rng).ok());
+  auto pred = knn.Predict(test.x);
+  std::vector<int> pi(pred.begin(), pred.end());
+  EXPECT_GT(Accuracy(test.LabelsAsInt(), pi), 0.92);
+}
+
+TEST(KnnTest, RegressorInterpolates) {
+  Rng rng(13);
+  MlDataset ds;
+  ds.task = TaskKind::kRegression;
+  ds.x = Matrix(200, 1);
+  ds.y.resize(200);
+  for (size_t i = 0; i < 200; ++i) {
+    const double x = rng.Uniform(-3, 3);
+    ds.x.At(i, 0) = x;
+    ds.y[i] = std::sin(x);
+  }
+  KnnRegressor knn({.k = 5});
+  Rng fit(14);
+  ASSERT_TRUE(knn.Fit(ds, &fit).ok());
+  Matrix q(1, 1);
+  q.At(0, 0) = 1.0;
+  EXPECT_NEAR(knn.Predict(q)[0], std::sin(1.0), 0.15);
+}
+
+TEST(KnnTest, RejectsWrongTaskAndEmpty) {
+  KnnClassifier knn;
+  Rng rng(15);
+  MlDataset reg;
+  reg.task = TaskKind::kRegression;
+  EXPECT_FALSE(knn.Fit(reg, &rng).ok());
+  MlDataset empty;
+  empty.task = TaskKind::kClassification;
+  empty.num_classes = 2;
+  EXPECT_FALSE(knn.Fit(empty, &rng).ok());
+}
+
+TEST(NaiveBayesTest, SeparatesBlobs) {
+  MlDataset train = Blobs(400, 16, 3);
+  MlDataset test = Blobs(200, 17, 3);
+  GaussianNaiveBayes nb;
+  Rng rng(18);
+  ASSERT_TRUE(nb.Fit(train, &rng).ok());
+  auto pred = nb.Predict(test.x);
+  std::vector<int> pi(pred.begin(), pred.end());
+  EXPECT_GT(Accuracy(test.LabelsAsInt(), pi), 0.9);
+}
+
+TEST(NaiveBayesTest, ProbaRowsAreDistributions) {
+  MlDataset train = Blobs(150, 19);
+  GaussianNaiveBayes nb;
+  Rng rng(20);
+  ASSERT_TRUE(nb.Fit(train, &rng).ok());
+  for (const auto& row : nb.PredictProba(train.x)) {
+    double s = 0;
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      s += p;
+    }
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+}
+
+TEST(NaiveBayesTest, HandlesConstantFeature) {
+  MlDataset train = Blobs(100, 21);
+  for (size_t i = 0; i < train.num_rows(); ++i) train.x.At(i, 1) = 2.0;
+  GaussianNaiveBayes nb;
+  Rng rng(22);
+  EXPECT_TRUE(nb.Fit(train, &rng).ok());
+}
+
+// ------------------------------------------------------------ NSGA2-MODis
+
+TEST(Nsga2ModisTest, ProducesFeasibleFront) {
+  auto bench = MakeTabularBench(BenchTaskId::kHouse, 0.4);
+  ASSERT_TRUE(bench.ok());
+  auto universe = SearchUniverse::Build(bench->universal,
+                                        bench->universe_options);
+  ASSERT_TRUE(universe.ok());
+  auto evaluator = bench->MakeEvaluator();
+  ExactOracle oracle(evaluator.get());
+
+  Nsga2Options opts;
+  opts.population = 12;
+  opts.generations = 3;
+  opts.max_evaluations = 60;
+  auto result = RunNsga2Modis(*universe, &oracle, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->evaluations, 60u);
+  ASSERT_FALSE(result->skyline.empty());
+  const auto& layout = universe->layout();
+  for (const auto& e : result->skyline) {
+    // Protected attributes stay on.
+    for (size_t a = 0; a < layout.num_attributes(); ++a) {
+      if (!layout.attr_flippable[a]) EXPECT_TRUE(e.state.Get(a));
+    }
+    EXPECT_GT(e.rows, 0u);
+  }
+}
+
+// ---------------------------------------------------------- Running graph
+
+TEST(RunningGraphTest, ReconstructsSingleFlipEdges) {
+  TestRecordStore store;
+  Evaluation ev;
+  ev.normalized = {0.5};
+  ev.raw = {0.5};
+  store.Add("111", {1, 1, 1}, ev);
+  store.Add("110", {1, 1, 0}, ev);
+  store.Add("100", {1, 0, 0}, ev);
+  store.Add("001", {0, 0, 1}, ev);  // Distance 2 from "111" and "100".
+
+  RunningGraph graph = ReconstructRunningGraph(store);
+  EXPECT_EQ(graph.nodes.size(), 4u);
+  // Edges: 111->110, 110->100; "001" connects to none... except "011"? Not
+  // present; and "101"? Not present. Distance("001","101")... not stored.
+  ASSERT_EQ(graph.transitions.size(), 2u);
+  for (const auto& t : graph.transitions) {
+    EXPECT_GT(graph.nodes[t.from].popcount, graph.nodes[t.to].popcount);
+  }
+}
+
+TEST(RunningGraphTest, DotOutputWellFormed) {
+  TestRecordStore store;
+  Evaluation ev;
+  ev.normalized = {0.25};
+  ev.raw = {0.25};
+  store.Add("11", {1, 1}, ev);
+  store.Add("10", {1, 0}, ev);
+  RunningGraph graph = ReconstructRunningGraph(store);
+  const std::string dot = RunningGraphToDot(graph, {"10"});
+  EXPECT_NE(dot.find("digraph running_graph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);  // Skyline marked.
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(RunningGraphTest, EngineRunYieldsConnectedLevels) {
+  auto bench = MakeTabularBench(BenchTaskId::kHouse, 0.4);
+  ASSERT_TRUE(bench.ok());
+  auto universe = SearchUniverse::Build(bench->universal,
+                                        bench->universe_options);
+  ASSERT_TRUE(universe.ok());
+  auto evaluator = bench->MakeEvaluator();
+  ExactOracle oracle(evaluator.get());
+  ModisConfig cfg;
+  cfg.epsilon = 0.25;
+  cfg.max_states = 50;
+  cfg.max_level = 2;
+  auto run = RunApxModis(*universe, &oracle, cfg);
+  ASSERT_TRUE(run.ok());
+  RunningGraph graph = ReconstructRunningGraph(oracle.store());
+  EXPECT_EQ(graph.nodes.size(), oracle.store().size());
+  // Every level-1 valuated state is one flip from the universal state, so
+  // at least (nodes - 1) edges exist at small levels.
+  EXPECT_GE(graph.transitions.size(), graph.nodes.size() - 1);
+}
+
+}  // namespace
+}  // namespace modis

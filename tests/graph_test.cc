@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "datagen/graph_gen.h"
+#include "graph/bipartite_graph.h"
+#include "graph/lightgcn.h"
+
+namespace modis {
+namespace {
+
+TEST(BipartiteGraphTest, AddEdgeUpdatesAdjacency) {
+  BipartiteGraph g(3, 4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 1);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.ItemsOf(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(g.UsersOf(1), (std::vector<int>{0, 2}));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+Table EdgeTable() {
+  Table t(Schema({{"user", ColumnType::kNumeric},
+                  {"item", ColumnType::kNumeric},
+                  {"w", ColumnType::kNumeric}}));
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{0}), Value(int64_t{1}), Value(1.0)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1}), Value(int64_t{0}), Value(1.0)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{0}), Value(int64_t{1}), Value(2.0)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Null(), Value(int64_t{0}), Value(1.0)}).ok());
+  return t;
+}
+
+TEST(BipartiteGraphTest, FromEdgeTableDedupsAndSkipsNulls) {
+  auto g = BipartiteGraph::FromEdgeTable(EdgeTable(), "user", "item", 2, 2);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);  // Duplicate and null-row skipped.
+}
+
+TEST(BipartiteGraphTest, FromEdgeTableValidates) {
+  EXPECT_FALSE(
+      BipartiteGraph::FromEdgeTable(EdgeTable(), "nope", "item", 2, 2).ok());
+  EXPECT_FALSE(
+      BipartiteGraph::FromEdgeTable(EdgeTable(), "user", "item", 1, 1).ok());
+}
+
+TEST(LightGcnTest, RejectsEmptyGraph) {
+  BipartiteGraph g(2, 2);
+  LightGcn model;
+  Rng rng(1);
+  EXPECT_FALSE(model.Fit(g, &rng).ok());
+}
+
+TEST(LightGcnTest, LearnsCommunityStructure) {
+  // Two communities: users 0-4 like items 0-9, users 5-9 like items 10-19.
+  BipartiteGraph g(10, 20);
+  Rng gen(2);
+  for (int u = 0; u < 10; ++u) {
+    const int base = u < 5 ? 0 : 10;
+    for (int e = 0; e < 6; ++e) {
+      int item = base + static_cast<int>(gen.UniformInt(10));
+      if (!g.HasEdge(u, item)) g.AddEdge(u, item);
+    }
+  }
+  LightGcn model({.embedding_dim = 8, .num_layers = 2, .epochs = 30});
+  Rng rng(3);
+  ASSERT_TRUE(model.Fit(g, &rng).ok());
+  // An in-community unseen item should outrank an out-community item on
+  // average.
+  double in_score = 0, out_score = 0;
+  int n = 0;
+  for (int u = 0; u < 5; ++u) {
+    for (int i = 0; i < 10; ++i) {
+      if (g.HasEdge(u, i)) continue;
+      in_score += model.Score(u, i);
+      out_score += model.Score(u, i + 10);
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_GT(in_score / n, out_score / n);
+}
+
+TEST(LightGcnTest, RankItemsExcludesAndOrders) {
+  BipartiteGraph g(4, 6);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 1);
+  g.AddEdge(2, 2);
+  g.AddEdge(3, 3);
+  LightGcn model({.embedding_dim = 4, .epochs = 5});
+  Rng rng(4);
+  ASSERT_TRUE(model.Fit(g, &rng).ok());
+  auto ranked = model.RankItems(0, {0, 1});
+  EXPECT_EQ(ranked.size(), 4u);
+  for (int item : ranked) {
+    EXPECT_NE(item, 0);
+    EXPECT_NE(item, 1);
+  }
+  // Descending by score.
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(model.Score(0, ranked[i - 1]), model.Score(0, ranked[i]));
+  }
+}
+
+TEST(LightGcnTest, DeterministicGivenSeed) {
+  BipartiteGraph g(5, 8);
+  Rng gen(5);
+  for (int u = 0; u < 5; ++u) {
+    for (int e = 0; e < 3; ++e) {
+      int item = static_cast<int>(gen.UniformInt(8));
+      if (!g.HasEdge(u, item)) g.AddEdge(u, item);
+    }
+  }
+  LightGcn a({.epochs = 5}), b({.epochs = 5});
+  Rng ra(6), rb(6);
+  ASSERT_TRUE(a.Fit(g, &ra).ok());
+  ASSERT_TRUE(b.Fit(g, &rb).ok());
+  for (int u = 0; u < 5; ++u) {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_DOUBLE_EQ(a.Score(u, i), b.Score(u, i));
+    }
+  }
+}
+
+TEST(EvaluateLinkTaskTest, ProducesAllMetrics) {
+  auto lake = GenerateGraphLake({.num_users = 20,
+                                 .num_items = 40,
+                                 .num_communities = 2,
+                                 .true_edges_per_user = 5,
+                                 .test_edges_per_user = 2,
+                                 .noise_edges_per_user = 2,
+                                 .seed = 7});
+  ASSERT_TRUE(lake.ok());
+  auto graph = BipartiteGraph::FromEdgeTable(lake->edge_table, "user", "item",
+                                             20, 40);
+  ASSERT_TRUE(graph.ok());
+  auto result = EvaluateLinkTask(graph.value(), lake->test_edges, {5, 10},
+                                 {.epochs = 10}, 8);
+  ASSERT_TRUE(result.ok());
+  for (const char* key :
+       {"p@5", "r@5", "ndcg@5", "p@10", "r@10", "ndcg@10", "train_seconds"}) {
+    ASSERT_TRUE(result->metrics.count(key)) << key;
+  }
+  for (const auto& [k, v] : result->metrics) {
+    EXPECT_GE(v, 0.0) << k;
+  }
+  EXPECT_LE(result->metrics.at("p@5"), 1.0);
+}
+
+TEST(EvaluateLinkTaskTest, RejectsWrongTestShape) {
+  BipartiteGraph g(3, 3);
+  g.AddEdge(0, 0);
+  std::vector<std::vector<int>> wrong(2);
+  EXPECT_FALSE(EvaluateLinkTask(g, wrong, {5}, {}, 1).ok());
+}
+
+TEST(EvaluateLinkTaskTest, BetterThanRandomOnCommunities) {
+  auto lake = GenerateGraphLake({.num_users = 30,
+                                 .num_items = 60,
+                                 .num_communities = 3,
+                                 .true_edges_per_user = 8,
+                                 .test_edges_per_user = 3,
+                                 .noise_edges_per_user = 0,
+                                 .seed = 9});
+  ASSERT_TRUE(lake.ok());
+  auto graph = BipartiteGraph::FromEdgeTable(lake->edge_table, "user", "item",
+                                             30, 60);
+  ASSERT_TRUE(graph.ok());
+  auto result = EvaluateLinkTask(graph.value(), lake->test_edges, {10},
+                                 {.epochs = 30}, 10);
+  ASSERT_TRUE(result.ok());
+  // Random P@10 on clean communities would be ~3/52; LightGCN should beat
+  // that clearly.
+  EXPECT_GT(result->metrics.at("p@10"), 0.12);
+}
+
+}  // namespace
+}  // namespace modis

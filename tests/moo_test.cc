@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "moo/correlation.h"
+#include "moo/diversity.h"
+#include "moo/pareto.h"
+
+namespace modis {
+namespace {
+
+// -------------------------------------------------------------- Dominance
+
+TEST(DominanceTest, BasicCases) {
+  EXPECT_TRUE(Dominates({0.1, 0.2}, {0.2, 0.3}));
+  EXPECT_TRUE(Dominates({0.1, 0.3}, {0.2, 0.3}));
+  EXPECT_FALSE(Dominates({0.1, 0.4}, {0.2, 0.3}));  // Incomparable.
+  EXPECT_FALSE(Dominates({0.2, 0.3}, {0.2, 0.3}));  // Equal: not strict.
+}
+
+TEST(DominanceTest, IsIrreflexiveAndAsymmetric) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    PerfVector a{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    PerfVector b{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    EXPECT_FALSE(Dominates(a, a));
+    EXPECT_FALSE(Dominates(a, b) && Dominates(b, a));
+  }
+}
+
+TEST(DominanceTest, IsTransitive) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    PerfVector a{rng.Uniform(), rng.Uniform()};
+    PerfVector b{rng.Uniform(), rng.Uniform()};
+    PerfVector c{rng.Uniform(), rng.Uniform()};
+    if (Dominates(a, b) && Dominates(b, c)) {
+      EXPECT_TRUE(Dominates(a, c));
+    }
+  }
+}
+
+TEST(EpsilonDominanceTest, RelaxesExactDominance) {
+  // Exact dominance implies ε-dominance for any ε >= 0.
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    PerfVector a{rng.Uniform(0.01, 1), rng.Uniform(0.01, 1)};
+    PerfVector b{rng.Uniform(0.01, 1), rng.Uniform(0.01, 1)};
+    if (Dominates(a, b)) {
+      EXPECT_TRUE(EpsilonDominates(a, b, 0.0));
+      EXPECT_TRUE(EpsilonDominates(a, b, 0.3));
+    }
+  }
+}
+
+TEST(EpsilonDominanceTest, RequiresDecisiveMeasure) {
+  // a is within (1+eps) on both but better on neither -> no ε-dominance.
+  EXPECT_FALSE(EpsilonDominates({0.11, 0.11}, {0.1, 0.1}, 0.3));
+  // Better on one: yes.
+  EXPECT_TRUE(EpsilonDominates({0.09, 0.11}, {0.1, 0.1}, 0.3));
+  // Outside the (1+eps) band: no.
+  EXPECT_FALSE(EpsilonDominates({0.09, 0.2}, {0.1, 0.1}, 0.3));
+}
+
+TEST(EpsilonDominanceTest, SelfEpsilonDominates) {
+  // t'.p <= t.p holds with equality on all measures.
+  PerfVector a{0.5, 0.2};
+  EXPECT_TRUE(EpsilonDominates(a, a, 0.1));
+}
+
+// ------------------------------------------------------------ Pareto front
+
+TEST(ParetoTest, SimpleFront) {
+  std::vector<PerfVector> pts{{0.1, 0.9}, {0.9, 0.1}, {0.5, 0.5}, {0.6, 0.6}};
+  auto front = ParetoFrontNaive(pts);
+  EXPECT_EQ(front, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(ParetoTest, DuplicatesKeptOnce) {
+  std::vector<PerfVector> pts{{0.5, 0.5}, {0.5, 0.5}, {0.9, 0.9}};
+  auto front = ParetoFrontNaive(pts);
+  EXPECT_EQ(front, (std::vector<size_t>{0}));
+}
+
+TEST(ParetoTest, FrontMembersAreMutuallyNonDominated) {
+  Rng rng(4);
+  std::vector<PerfVector> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+  }
+  auto front = ParetoFrontNaive(pts);
+  for (size_t i : front) {
+    for (size_t j : front) {
+      if (i != j) EXPECT_FALSE(Dominates(pts[i], pts[j]));
+    }
+  }
+  // And everything else is dominated by some front member.
+  std::vector<bool> in_front(pts.size(), false);
+  for (size_t i : front) in_front[i] = true;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (in_front[i]) continue;
+    bool dominated_or_dup = false;
+    for (size_t j : front) {
+      if (Dominates(pts[j], pts[i]) || pts[j] == pts[i]) {
+        dominated_or_dup = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated_or_dup) << "point " << i;
+  }
+}
+
+class KungEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KungEquivalenceTest, KungMatchesNaive) {
+  const auto [n, dims] = GetParam();
+  Rng rng(100 + n * 7 + dims);
+  std::vector<PerfVector> pts;
+  for (int i = 0; i < n; ++i) {
+    PerfVector p;
+    for (int d = 0; d < dims; ++d) p.push_back(rng.Uniform(0.01, 1.0));
+    pts.push_back(std::move(p));
+  }
+  auto naive = ParetoFrontNaive(pts);
+  auto kung = ParetoFrontKung(pts);
+  std::sort(naive.begin(), naive.end());
+  EXPECT_EQ(naive, kung);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, KungEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 5, 20, 100, 300),
+                       ::testing::Values(2, 3, 4, 5)));
+
+// ---------------------------------------------------------------- Grid
+
+TEST(GridPositionTest, FloorsLogRatio) {
+  // perf/lower = 1 -> cell 0; = (1+eps) -> cell 1 (floor of 1.0).
+  const double eps = 0.5;
+  auto pos = GridPosition({0.01, 0.5}, {0.01, 0.01}, eps);
+  ASSERT_EQ(pos.size(), 1u);  // Last measure excluded.
+  EXPECT_EQ(pos[0], 0);
+  auto pos2 = GridPosition({0.01 * 1.5 * 1.5, 0.5}, {0.01, 0.01}, eps);
+  EXPECT_EQ(pos2[0], 2);
+}
+
+TEST(GridPositionTest, SameCellImpliesEpsilonClose) {
+  Rng rng(5);
+  const double eps = 0.3;
+  const std::vector<double> lb{0.01, 0.01, 0.01};
+  for (int i = 0; i < 500; ++i) {
+    PerfVector a{rng.Uniform(0.01, 1), rng.Uniform(0.01, 1),
+                 rng.Uniform(0.01, 1)};
+    PerfVector b{rng.Uniform(0.01, 1), rng.Uniform(0.01, 1),
+                 rng.Uniform(0.01, 1)};
+    if (GridPosition(a, lb, eps) == GridPosition(b, lb, eps)) {
+      // Cells are (1+eps)-wide: same cell means each non-decisive measure
+      // is within a factor (1+eps) of the other.
+      for (size_t d = 0; d + 1 < a.size(); ++d) {
+        EXPECT_LE(a[d], (1 + eps) * b[d] * (1 + 1e-9));
+        EXPECT_LE(b[d], (1 + eps) * a[d] * (1 + 1e-9));
+      }
+    }
+  }
+}
+
+TEST(GridPositionTest, ClampsBelowLowerBound) {
+  auto pos = GridPosition({0.001, 0.5}, {0.01, 0.01}, 0.3);
+  EXPECT_EQ(pos[0], 0);  // Clamped to p_l.
+}
+
+TEST(EpsilonCoverTest, DetectsCoverAndGaps) {
+  // A kept point trivially ε-covers anything it is no worse than; a gap
+  // needs an uncovered point that is *better* somewhere.
+  std::vector<PerfVector> all{{0.5, 0.5}, {0.1, 0.9}};
+  std::vector<PerfVector> kept{{0.5, 0.5}};
+  EXPECT_FALSE(IsEpsilonCover(all, kept, 0.1));  // {0.1,0.9} uncovered.
+  kept.push_back({0.1, 0.9});
+  EXPECT_TRUE(IsEpsilonCover(all, kept, 0.1));
+  // Smaller points cover larger ones for any ε.
+  EXPECT_TRUE(IsEpsilonCover({{0.5, 0.5}}, {{0.1, 0.1}}, 0.0));
+}
+
+// ---------------------------------------------------------------- Spearman
+
+TEST(SpearmanTest, MonotoneRelationsAreExtreme) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> inc{2, 4, 6, 8, 10};
+  std::vector<double> dec{5, 4, 3, 2, 1};
+  EXPECT_NEAR(SpearmanCorrelation(x, inc), 1.0, 1e-12);
+  EXPECT_NEAR(SpearmanCorrelation(x, dec), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearStillPerfect) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{1, 8, 27, 64, 125};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, ConstantSampleIsZero) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1.0}, {2.0}), 0.0);
+}
+
+TEST(SpearmanTest, IndependentNearZero) {
+  Rng rng(6);
+  std::vector<double> a(2000), b(2000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Normal();
+    b[i] = rng.Normal();
+  }
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 0.0, 0.06);
+}
+
+TEST(CorrelationGraphTest, DetectsStrongPairs) {
+  CorrelationGraph g(3, 0.8);
+  std::vector<PerfVector> tests;
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const double z = rng.Uniform();
+    tests.push_back({z, 1.0 - z, rng.Uniform()});
+  }
+  g.Update(tests);
+  EXPECT_TRUE(g.StronglyCorrelated(0, 1));
+  EXPECT_NEAR(g.Corr(0, 1), -1.0, 1e-9);
+  EXPECT_FALSE(g.StronglyCorrelated(0, 2));
+  auto partners = g.PartnersOf(0);
+  ASSERT_EQ(partners.size(), 1u);
+  EXPECT_EQ(partners[0], 1u);
+}
+
+TEST(CorrelationGraphTest, NoEvidenceMeansNoEdges) {
+  CorrelationGraph g(2, 0.5);
+  g.Update({{0.1, 0.2}});  // Fewer than 3 tests.
+  EXPECT_FALSE(g.StronglyCorrelated(0, 1));
+  EXPECT_DOUBLE_EQ(g.Corr(0, 1), 0.0);
+}
+
+// ---------------------------------------------------------------- Diversity
+
+DiversityItem Item(std::vector<double> bitmap, PerfVector perf) {
+  return {std::move(bitmap), std::move(perf)};
+}
+
+TEST(DiversityTest, DistanceBounds) {
+  DiversityItem a = Item({1, 0, 1}, {0.1, 0.2});
+  DiversityItem b = Item({0, 1, 0}, {0.9, 0.8});
+  const double d = DiversityDistance(a, b, 0.5, 2.0);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 1.0);
+  EXPECT_NEAR(DiversityDistance(a, a, 0.5, 2.0), 0.0, 1e-12);
+}
+
+TEST(DiversityTest, AlphaInterpolates) {
+  DiversityItem a = Item({1, 0}, {0.5, 0.5});
+  DiversityItem b = Item({0, 1}, {0.5, 0.5});  // Same perf, disjoint bits.
+  EXPECT_DOUBLE_EQ(DiversityDistance(a, b, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(DiversityDistance(a, b, 1.0, 1.0), 0.5);
+}
+
+TEST(DiversityTest, ScoreIsPairwiseSum) {
+  std::vector<DiversityItem> items{Item({1, 0}, {0.1, 0.1}),
+                                   Item({0, 1}, {0.9, 0.9}),
+                                   Item({1, 1}, {0.5, 0.5})};
+  const double euc_max = 2.0;
+  const double d01 = DiversityDistance(items[0], items[1], 0.5, euc_max);
+  const double d02 = DiversityDistance(items[0], items[2], 0.5, euc_max);
+  const double d12 = DiversityDistance(items[1], items[2], 0.5, euc_max);
+  EXPECT_NEAR(DiversityScore(items, {0, 1, 2}, 0.5, euc_max),
+              d01 + d02 + d12, 1e-12);
+}
+
+TEST(DiversityTest, MonotoneUnderSupersets) {
+  // div(Y) <= div(X) for Y ⊆ X (the paper's monotonicity claim).
+  std::vector<DiversityItem> items{
+      Item({1, 0, 0}, {0.1, 0.9}), Item({0, 1, 0}, {0.5, 0.5}),
+      Item({0, 0, 1}, {0.9, 0.1}), Item({1, 1, 0}, {0.3, 0.7})};
+  const double sub = DiversityScore(items, {0, 1}, 0.5, 2.0);
+  const double super = DiversityScore(items, {0, 1, 2}, 0.5, 2.0);
+  EXPECT_LE(sub, super);
+}
+
+TEST(DiversifyGreedyTest, ReturnsAllWhenFewer) {
+  std::vector<DiversityItem> items{Item({1}, {0.1}), Item({0}, {0.9})};
+  Rng rng(8);
+  auto kept = DiversifyGreedy(items, 5, 0.5, 1.0, &rng);
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(DiversifyGreedyTest, RespectsKAndImprovesOverRandom) {
+  Rng data_rng(9);
+  std::vector<DiversityItem> items;
+  for (int i = 0; i < 30; ++i) {
+    items.push_back(Item({data_rng.Uniform(), data_rng.Uniform()},
+                         {data_rng.Uniform(0.01, 1), data_rng.Uniform(0.01, 1)}));
+  }
+  Rng rng(10);
+  auto kept = DiversifyGreedy(items, 5, 0.5, 1.5, &rng);
+  EXPECT_EQ(kept.size(), 5u);
+  const double greedy_score = DiversityScore(items, kept, 0.5, 1.5);
+  // Greedy should beat the average random 5-subset.
+  Rng mc(11);
+  double avg = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    auto sub = mc.SampleWithoutReplacement(items.size(), 5);
+    avg += DiversityScore(items, sub, 0.5, 1.5);
+  }
+  avg /= trials;
+  EXPECT_GT(greedy_score, avg);
+}
+
+TEST(DiversifyGreedyTest, IndicesValidAndDistinct) {
+  Rng data_rng(12);
+  std::vector<DiversityItem> items;
+  for (int i = 0; i < 12; ++i) {
+    items.push_back(Item({data_rng.Uniform()}, {data_rng.Uniform(0.01, 1)}));
+  }
+  Rng rng(13);
+  auto kept = DiversifyGreedy(items, 4, 0.3, 1.0, &rng);
+  std::set<size_t> uniq(kept.begin(), kept.end());
+  EXPECT_EQ(uniq.size(), kept.size());
+  for (size_t i : kept) EXPECT_LT(i, items.size());
+}
+
+TEST(MaxEuclideanDistanceTest, FindsMaxAndFloors) {
+  EXPECT_NEAR(MaxEuclideanDistance({{0, 0}, {3, 4}, {1, 1}}), 5.0, 1e-12);
+  EXPECT_GT(MaxEuclideanDistance({}), 0.0);  // Positive floor.
+  EXPECT_GT(MaxEuclideanDistance({{1, 1}}), 0.0);
+}
+
+}  // namespace
+}  // namespace modis

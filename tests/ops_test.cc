@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ops/literal.h"
+#include "ops/operators.h"
+
+namespace modis {
+namespace {
+
+Table MakeLeft() {
+  Table t(Schema({{"id", ColumnType::kNumeric},
+                  {"x", ColumnType::kNumeric},
+                  {"season", ColumnType::kCategorical}}));
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1}), Value(1.0), Value("spring")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{2}), Value(2.0), Value("summer")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{3}), Value(3.0), Value("spring")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{4}), Value::Null(), Value("fall")}).ok());
+  return t;
+}
+
+Table MakeRight() {
+  Table t(Schema({{"id", ColumnType::kNumeric}, {"y", ColumnType::kNumeric}}));
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{2}), Value(20.0)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{3}), Value(30.0)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{5}), Value(50.0)}).ok());
+  return t;
+}
+
+// ---------------------------------------------------------------- Literal
+
+TEST(LiteralTest, EqualsMatchesValueNotNull) {
+  Literal l = Literal::Equals("season", Value("spring"));
+  EXPECT_TRUE(l.Matches(Value("spring")));
+  EXPECT_FALSE(l.Matches(Value("fall")));
+  EXPECT_FALSE(l.Matches(Value::Null()));
+}
+
+TEST(LiteralTest, NumericEqualsCrossesKinds) {
+  Literal l = Literal::Equals("x", Value(2.0));
+  EXPECT_TRUE(l.Matches(Value(int64_t{2})));
+  EXPECT_TRUE(l.Matches(Value(2.0)));
+  EXPECT_FALSE(l.Matches(Value(2.1)));
+}
+
+TEST(LiteralTest, RangeIsHalfOpen) {
+  Literal l = Literal::Range("x", 1.0, 2.0);
+  EXPECT_TRUE(l.Matches(Value(1.0)));
+  EXPECT_TRUE(l.Matches(Value(1.999)));
+  EXPECT_FALSE(l.Matches(Value(2.0)));
+  EXPECT_FALSE(l.Matches(Value("1.5")));
+  EXPECT_FALSE(l.Matches(Value::Null()));
+}
+
+TEST(LiteralTest, ToStringIsReadable) {
+  EXPECT_EQ(Literal::Equals("a", Value("x")).ToString(), "a = x");
+  EXPECT_NE(Literal::Range("a", 0, 1).ToString().find("a in ["),
+            std::string::npos);
+}
+
+TEST(DeriveLiteralsTest, NumericPartitionCoversDomain) {
+  Table t = MakeLeft();
+  Rng rng(1);
+  auto sets = DeriveLiterals(t, 2, &rng);
+  ASSERT_EQ(sets.size(), 3u);
+  // Every non-null numeric value must match exactly one literal of its
+  // attribute.
+  for (const Value& v : t.column(1)) {
+    if (v.is_null()) continue;
+    int matches = 0;
+    for (const Literal& l : sets[1].literals) matches += l.Matches(v);
+    EXPECT_EQ(matches, 1) << v.ToString();
+  }
+}
+
+TEST(DeriveLiteralsTest, CategoricalOnePerDistinctValue) {
+  Table t = MakeLeft();
+  Rng rng(2);
+  auto sets = DeriveLiterals(t, 10, &rng);
+  EXPECT_EQ(sets[2].literals.size(), 3u);  // spring, summer, fall.
+}
+
+TEST(DeriveLiteralsTest, CategoricalCapKeepsMostFrequent) {
+  Table t = MakeLeft();
+  Rng rng(3);
+  auto sets = DeriveLiterals(t, 1, &rng);
+  ASSERT_EQ(sets[2].literals.size(), 1u);
+  EXPECT_TRUE(sets[2].literals[0].Matches(Value("spring")));  // Count 2.
+}
+
+class DeriveLiteralsParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeriveLiteralsParamTest, PartitionPropertyHolds) {
+  const int k = GetParam();
+  Rng data_rng(400 + k);
+  Table t(Schema({{"v", ColumnType::kNumeric}}));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(data_rng.Normal(0, 10))}).ok());
+  }
+  Rng rng(500 + k);
+  auto sets = DeriveLiterals(t, k, &rng);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_LE(static_cast<int>(sets[0].literals.size()), k);
+  for (const Value& v : t.column(0)) {
+    int matches = 0;
+    for (const Literal& l : sets[0].literals) matches += l.Matches(v);
+    EXPECT_EQ(matches, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, DeriveLiteralsParamTest,
+                         ::testing::Values(1, 2, 4, 8, 30));
+
+// ---------------------------------------------------------------- Reduct
+
+TEST(ReductTest, RemovesMatchingTuples) {
+  Table t = MakeLeft();
+  auto r = Reduct(t, Literal::Equals("season", Value("spring")));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  for (size_t i = 0; i < r->num_rows(); ++i) {
+    EXPECT_NE(r->At(i, 2).AsString(), "spring");
+  }
+}
+
+TEST(ReductTest, NullsSurviveReduction) {
+  Table t = MakeLeft();
+  auto r = Reduct(t, Literal::Range("x", 0.0, 10.0));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1u);  // Only the null-x row survives.
+  EXPECT_TRUE(r->At(0, 1).is_null());
+}
+
+TEST(ReductTest, UnknownAttributeFails) {
+  Table t = MakeLeft();
+  EXPECT_FALSE(Reduct(t, Literal::Equals("nope", Value(1.0))).ok());
+}
+
+TEST(ReductTest, MatchingRowsAgreesWithReduct) {
+  Table t = MakeLeft();
+  Literal l = Literal::Equals("season", Value("spring"));
+  auto rows = MatchingRows(t, l);
+  auto reduced = Reduct(t, l);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(rows->size() + reduced->num_rows(), t.num_rows());
+}
+
+// ---------------------------------------------------------------- Augment
+
+TEST(AugmentTest, SchemaIsUnionAndRowsAppend) {
+  Table base = MakeLeft();
+  Table src(Schema({{"id", ColumnType::kNumeric},
+                    {"season", ColumnType::kCategorical},
+                    {"z", ColumnType::kNumeric}}));
+  ASSERT_TRUE(src.AppendRow({Value(int64_t{7}), Value("spring"), Value(9.0)}).ok());
+  ASSERT_TRUE(src.AppendRow({Value(int64_t{8}), Value("winter"), Value(8.0)}).ok());
+
+  auto out = AugmentUnion(base, src, Literal::Equals("season", Value("spring")));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_cols(), 4u);  // id, x, season, z.
+  EXPECT_EQ(out->num_rows(), base.num_rows() + 1);
+  // New row: z filled, x null.
+  const size_t last = out->num_rows() - 1;
+  EXPECT_TRUE(out->At(last, 1).is_null());
+  EXPECT_DOUBLE_EQ(out->At(last, 3).AsDouble(), 9.0);
+  // Old rows: z null.
+  EXPECT_TRUE(out->At(0, 3).is_null());
+}
+
+TEST(AugmentTest, LiteralMustExistInSource) {
+  Table base = MakeLeft();
+  Table src(Schema({{"id", ColumnType::kNumeric}}));
+  EXPECT_FALSE(AugmentUnion(base, src, Literal::Equals("w", Value(1.0))).ok());
+}
+
+// ---------------------------------------------------------------- Joins
+
+TEST(HashJoinTest, InnerKeepsMatchesOnly) {
+  auto j = HashJoin(MakeLeft(), MakeRight(), "id", JoinType::kInner);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->num_rows(), 2u);
+  EXPECT_EQ(j->num_cols(), 4u);  // id, x, season, y.
+  std::set<int64_t> ids;
+  for (size_t r = 0; r < j->num_rows(); ++r) ids.insert(j->At(r, 0).AsInt());
+  EXPECT_EQ(ids, (std::set<int64_t>{2, 3}));
+}
+
+TEST(HashJoinTest, LeftOuterNullPadsMisses) {
+  auto j = HashJoin(MakeLeft(), MakeRight(), "id", JoinType::kLeftOuter);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->num_rows(), 4u);
+  // Row with id=1 has null y.
+  for (size_t r = 0; r < j->num_rows(); ++r) {
+    if (j->At(r, 0).AsInt() == 1) EXPECT_TRUE(j->At(r, 3).is_null());
+    if (j->At(r, 0).AsInt() == 2) EXPECT_DOUBLE_EQ(j->At(r, 3).AsDouble(), 20.0);
+  }
+}
+
+TEST(HashJoinTest, FullOuterKeepsBothSides) {
+  auto j = HashJoin(MakeLeft(), MakeRight(), "id", JoinType::kFullOuter);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->num_rows(), 5u);  // 4 left + unmatched id=5.
+  bool found5 = false;
+  for (size_t r = 0; r < j->num_rows(); ++r) {
+    if (!j->At(r, 0).is_null() && j->At(r, 0).AsInt() == 5) {
+      found5 = true;
+      EXPECT_TRUE(j->At(r, 1).is_null());   // x null-padded.
+      EXPECT_DOUBLE_EQ(j->At(r, 3).AsDouble(), 50.0);
+    }
+  }
+  EXPECT_TRUE(found5);
+}
+
+TEST(HashJoinTest, MissingKeyFails) {
+  EXPECT_FALSE(HashJoin(MakeLeft(), MakeRight(), "zzz", JoinType::kInner).ok());
+}
+
+TEST(HashJoinTest, DuplicateNonKeyColumnFails) {
+  Table r2(Schema({{"id", ColumnType::kNumeric}, {"x", ColumnType::kNumeric}}));
+  ASSERT_TRUE(r2.AppendRow({Value(int64_t{1}), Value(0.0)}).ok());
+  EXPECT_FALSE(HashJoin(MakeLeft(), r2, "id", JoinType::kInner).ok());
+}
+
+TEST(HashJoinTest, NullKeysNeverMatch) {
+  Table l(Schema({{"id", ColumnType::kNumeric}, {"a", ColumnType::kNumeric}}));
+  ASSERT_TRUE(l.AppendRow({Value::Null(), Value(1.0)}).ok());
+  Table r(Schema({{"id", ColumnType::kNumeric}, {"b", ColumnType::kNumeric}}));
+  ASSERT_TRUE(r.AppendRow({Value::Null(), Value(2.0)}).ok());
+  auto inner = HashJoin(l, r, "id", JoinType::kInner);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner->num_rows(), 0u);
+  auto full = HashJoin(l, r, "id", JoinType::kFullOuter);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->num_rows(), 2u);  // Both kept, unmatched.
+}
+
+TEST(UniversalTableTest, JoinsAllTables) {
+  Table extra(Schema({{"id", ColumnType::kNumeric}, {"w", ColumnType::kNumeric}}));
+  ASSERT_TRUE(extra.AppendRow({Value(int64_t{1}), Value(100.0)}).ok());
+  auto u = BuildUniversalTable({MakeLeft(), MakeRight(), extra}, "id");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->num_cols(), 5u);  // id, x, season, y, w.
+  EXPECT_EQ(u->num_rows(), 5u);  // ids 1-5.
+}
+
+TEST(UniversalTableTest, EmptyInputFails) {
+  EXPECT_FALSE(BuildUniversalTable({}, "id").ok());
+}
+
+TEST(UniversalTableTest, MissingKeyFails) {
+  Table t(Schema({{"a", ColumnType::kNumeric}}));
+  EXPECT_FALSE(BuildUniversalTable({t}, "id").ok());
+}
+
+}  // namespace
+}  // namespace modis

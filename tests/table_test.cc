@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "table/csv.h"
+#include "table/schema.h"
+#include "table/table.h"
+#include "table/value.h"
+
+namespace modis {
+namespace {
+
+// ---------------------------------------------------------------- Value
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{3}).kind(), ValueKind::kInt);
+  EXPECT_EQ(Value(2.5).kind(), ValueKind::kDouble);
+  EXPECT_EQ(Value("x").kind(), ValueKind::kString);
+  EXPECT_EQ(Value(int64_t{3}).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDoubleExact(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, AsDoubleWidensInts) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).AsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(7.5).AsDouble(), 7.5);
+  EXPECT_TRUE(Value(int64_t{1}).IsNumeric());
+  EXPECT_TRUE(Value(1.0).IsNumeric());
+  EXPECT_FALSE(Value("1").IsNumeric());
+  EXPECT_FALSE(Value().IsNumeric());
+}
+
+TEST(ValueTest, EqualityIsKindSensitive) {
+  EXPECT_EQ(Value(int64_t{3}), Value(int64_t{3}));
+  EXPECT_NE(Value(int64_t{3}), Value(3.0));
+  EXPECT_EQ(Value(), Value());
+  EXPECT_NE(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(int64_t{5}).Hash());
+  EXPECT_NE(Value(int64_t{5}).Hash(), Value(5.0).Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value().ToString(), "");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, OrderingIsTotal) {
+  EXPECT_LT(Value(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+// ---------------------------------------------------------------- Schema
+
+TEST(SchemaTest, AddAndFind) {
+  Schema s;
+  ASSERT_TRUE(s.AddField({"a", ColumnType::kNumeric}).ok());
+  ASSERT_TRUE(s.AddField({"b", ColumnType::kCategorical}).ok());
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(s.FindField("a").value(), 0u);
+  EXPECT_EQ(s.FindField("b").value(), 1u);
+  EXPECT_FALSE(s.FindField("c").has_value());
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  Schema s;
+  ASSERT_TRUE(s.AddField({"a", ColumnType::kNumeric}).ok());
+  EXPECT_EQ(s.AddField({"a", ColumnType::kNumeric}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, UnionMergesDisjointAndShared) {
+  Schema a({{"x", ColumnType::kNumeric}, {"y", ColumnType::kNumeric}});
+  Schema b({{"y", ColumnType::kNumeric}, {"z", ColumnType::kCategorical}});
+  auto u = a.Union(b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->num_fields(), 3u);
+  EXPECT_TRUE(u->HasField("x"));
+  EXPECT_TRUE(u->HasField("z"));
+}
+
+TEST(SchemaTest, UnionRejectsTypeConflict) {
+  Schema a({{"x", ColumnType::kNumeric}});
+  Schema b({{"x", ColumnType::kCategorical}});
+  EXPECT_FALSE(a.Union(b).ok());
+}
+
+// ---------------------------------------------------------------- Table
+
+Table SmallTable() {
+  Table t(Schema({{"id", ColumnType::kNumeric},
+                  {"name", ColumnType::kCategorical},
+                  {"score", ColumnType::kNumeric}}));
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1}), Value("a"), Value(0.5)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{2}), Value("b"), Value::Null()}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{3}), Value("a"), Value(0.9)}).ok());
+  return t;
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.At(1, 1).AsString(), "b");
+  EXPECT_TRUE(t.At(1, 2).is_null());
+  auto row = t.Row(2);
+  EXPECT_EQ(row[0].AsInt(), 3);
+}
+
+TEST(TableTest, AppendRowRejectsWrongArity) {
+  Table t = SmallTable();
+  EXPECT_FALSE(t.AppendRow({Value(int64_t{4})}).ok());
+}
+
+TEST(TableTest, AddColumnChecksLengthAndName) {
+  Table t = SmallTable();
+  EXPECT_FALSE(t.AddColumn({"extra", ColumnType::kNumeric}, {Value(1.0)}).ok());
+  EXPECT_FALSE(t.AddColumn({"id", ColumnType::kNumeric},
+                           {Value(1.0), Value(2.0), Value(3.0)})
+                   .ok());
+  EXPECT_TRUE(t.AddColumn({"extra", ColumnType::kNumeric},
+                          {Value(1.0), Value(2.0), Value(3.0)})
+                  .ok());
+  EXPECT_EQ(t.num_cols(), 4u);
+}
+
+TEST(TableTest, SelectRowsPreservesOrder) {
+  Table t = SmallTable();
+  Table s = t.SelectRows({2, 0});
+  EXPECT_EQ(s.num_rows(), 2u);
+  EXPECT_EQ(s.At(0, 0).AsInt(), 3);
+  EXPECT_EQ(s.At(1, 0).AsInt(), 1);
+}
+
+TEST(TableTest, SelectColumnsProjects) {
+  Table t = SmallTable();
+  auto s = t.SelectColumns({2, 0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_cols(), 2u);
+  EXPECT_EQ(s->schema().field(0).name, "score");
+  EXPECT_EQ(s->num_rows(), 3u);
+  EXPECT_FALSE(t.SelectColumns({9}).ok());
+}
+
+TEST(TableTest, SelectColumnsByName) {
+  Table t = SmallTable();
+  auto s = t.SelectColumnsByName({"name"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_cols(), 1u);
+  EXPECT_FALSE(t.SelectColumnsByName({"nope"}).ok());
+}
+
+TEST(TableTest, NullFraction) {
+  Table t = SmallTable();
+  EXPECT_NEAR(t.NullFraction(), 1.0 / 9.0, 1e-12);
+  Table empty;
+  EXPECT_DOUBLE_EQ(empty.NullFraction(), 0.0);
+}
+
+TEST(TableTest, DistinctCountIgnoresNulls) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.DistinctCount(1), 2u);  // "a", "b".
+  EXPECT_EQ(t.DistinctCount(2), 2u);  // 0.5, 0.9 (null skipped).
+}
+
+// ------------------------------------------------------------ ActiveDomain
+
+TEST(ActiveDomainTest, CollectsDistinctNonNull) {
+  Table t = SmallTable();
+  auto domains = ComputeActiveDomains(t);
+  ASSERT_EQ(domains.size(), 3u);
+  EXPECT_EQ(domains[1].size(), 2u);
+  EXPECT_TRUE(domains[1].Contains(Value("a")));
+  EXPECT_FALSE(domains[1].Contains(Value("z")));
+  EXPECT_EQ(domains[2].size(), 2u);
+}
+
+TEST(ActiveDomainTest, MergesAcrossColumns) {
+  ActiveDomain d;
+  d.AddColumn({Value(int64_t{1}), Value(int64_t{2})});
+  d.AddColumn({Value(int64_t{2}), Value(int64_t{3})});
+  EXPECT_EQ(d.size(), 3u);
+}
+
+// ---------------------------------------------------------------- CSV
+
+TEST(CsvTest, RoundTrip) {
+  Table t = SmallTable();
+  const std::string text = WriteCsvString(t);
+  auto back = ReadCsvString(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 3u);
+  EXPECT_EQ(back->num_cols(), 3u);
+  EXPECT_EQ(back->schema().field(0).name, "id");
+  EXPECT_EQ(back->schema().field(0).type, ColumnType::kNumeric);
+  EXPECT_EQ(back->schema().field(1).type, ColumnType::kCategorical);
+  EXPECT_TRUE(back->At(1, 2).is_null());
+}
+
+TEST(CsvTest, TypeInference) {
+  auto t = ReadCsvString("a,b\n1,x\n2.5,y\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).type, ColumnType::kNumeric);
+  EXPECT_EQ(t->schema().field(1).type, ColumnType::kCategorical);
+  EXPECT_EQ(t->At(0, 0).kind(), ValueKind::kInt);
+  EXPECT_EQ(t->At(1, 0).kind(), ValueKind::kDouble);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ReadCsvString("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) { EXPECT_FALSE(ReadCsvString("").ok()); }
+
+TEST(CsvTest, EmptyCellsBecomeNulls) {
+  auto t = ReadCsvString("a,b\n1,\n,2\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->At(0, 1).is_null());
+  EXPECT_TRUE(t->At(1, 0).is_null());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t = SmallTable();
+  const std::string path = ::testing::TempDir() + "/modis_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), t.num_rows());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/nope.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace modis
