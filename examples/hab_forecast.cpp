@@ -59,9 +59,10 @@ int main() {
   task.task = TaskKind::kRegression;
   task.exclude = {spec.key};
   task.measures = {rmse, r2, train};
+  ForestOptions forest;
+  forest.num_trees = 20;
   SupervisedEvaluator evaluator(
-      task, std::make_unique<RandomForestRegressor>(ForestOptions{
-                .num_trees = 20}));
+      task, std::make_unique<RandomForestRegressor>(forest));
 
   SearchUniverse::Options opts;
   opts.protected_attributes = {spec.target, spec.key};

@@ -87,7 +87,9 @@ TEST(Nsga2Test, FindsFrontOfSeparableProblem) {
   // Front members are mutually non-dominated.
   for (const auto& a : result.front) {
     for (const auto& b : result.front) {
-      if (&a != &b) EXPECT_FALSE(Dominates(a.objectives, b.objectives));
+      if (&a != &b) {
+        EXPECT_FALSE(Dominates(a.objectives, b.objectives));
+      }
     }
   }
 }
@@ -281,7 +283,9 @@ TEST(Nsga2ModisTest, ProducesFeasibleFront) {
   for (const auto& e : result->skyline) {
     // Protected attributes stay on.
     for (size_t a = 0; a < layout.num_attributes(); ++a) {
-      if (!layout.attr_flippable[a]) EXPECT_TRUE(e.state.Get(a));
+      if (!layout.attr_flippable[a]) {
+        EXPECT_TRUE(e.state.Get(a));
+      }
     }
     EXPECT_GT(e.rows, 0u);
   }

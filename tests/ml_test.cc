@@ -266,10 +266,16 @@ TEST(DecisionTreeTest, SingleValueTargetYieldsLeaf) {
 
 // ---------------------------------------------------------------- Forest
 
+ForestOptions SmallForest(int num_trees) {
+  ForestOptions o;
+  o.num_trees = num_trees;
+  return o;
+}
+
 TEST(RandomForestTest, ClassifierBeatsChance) {
   MlDataset train = MakeClassificationData(400, 10, 3);
   MlDataset test = MakeClassificationData(200, 11, 3);
-  RandomForestClassifier rf({.num_trees = 15});
+  RandomForestClassifier rf(SmallForest(15));
   Rng rng(12);
   ASSERT_TRUE(rf.Fit(train, &rng).ok());
   auto pred = rf.Predict(test.x);
@@ -279,7 +285,7 @@ TEST(RandomForestTest, ClassifierBeatsChance) {
 
 TEST(RandomForestTest, ProbaRowsSumToOne) {
   MlDataset train = MakeClassificationData(200, 13);
-  RandomForestClassifier rf({.num_trees = 8});
+  RandomForestClassifier rf(SmallForest(8));
   Rng rng(14);
   ASSERT_TRUE(rf.Fit(train, &rng).ok());
   auto proba = rf.PredictProba(train.x);
@@ -296,7 +302,7 @@ TEST(RandomForestTest, ProbaRowsSumToOne) {
 TEST(RandomForestTest, RegressorFitsSignal) {
   MlDataset train = MakeRegressionData(500, 0.2, 15);
   MlDataset test = MakeRegressionData(200, 0.2, 16);
-  RandomForestRegressor rf({.num_trees = 20});
+  RandomForestRegressor rf(SmallForest(20));
   Rng rng(17);
   ASSERT_TRUE(rf.Fit(train, &rng).ok());
   EXPECT_GT(R2Score(test.y, rf.Predict(test.x)), 0.6);
@@ -311,7 +317,7 @@ TEST(RandomForestTest, RejectsWrongTask) {
 
 TEST(RandomForestTest, DeterministicGivenSeed) {
   MlDataset train = MakeClassificationData(150, 20);
-  RandomForestClassifier a({.num_trees = 5}), b({.num_trees = 5});
+  RandomForestClassifier a(SmallForest(5)), b(SmallForest(5));
   Rng ra(21), rb(21);
   ASSERT_TRUE(a.Fit(train, &ra).ok());
   ASSERT_TRUE(b.Fit(train, &rb).ok());

@@ -93,7 +93,9 @@ TEST(ParetoTest, FrontMembersAreMutuallyNonDominated) {
   auto front = ParetoFrontNaive(pts);
   for (size_t i : front) {
     for (size_t j : front) {
-      if (i != j) EXPECT_FALSE(Dominates(pts[i], pts[j]));
+      if (i != j) {
+        EXPECT_FALSE(Dominates(pts[i], pts[j]));
+      }
     }
   }
   // And everything else is dominated by some front member.

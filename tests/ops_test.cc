@@ -192,8 +192,12 @@ TEST(HashJoinTest, LeftOuterNullPadsMisses) {
   EXPECT_EQ(j->num_rows(), 4u);
   // Row with id=1 has null y.
   for (size_t r = 0; r < j->num_rows(); ++r) {
-    if (j->At(r, 0).AsInt() == 1) EXPECT_TRUE(j->At(r, 3).is_null());
-    if (j->At(r, 0).AsInt() == 2) EXPECT_DOUBLE_EQ(j->At(r, 3).AsDouble(), 20.0);
+    if (j->At(r, 0).AsInt() == 1) {
+      EXPECT_TRUE(j->At(r, 3).is_null());
+    }
+    if (j->At(r, 0).AsInt() == 2) {
+      EXPECT_DOUBLE_EQ(j->At(r, 3).AsDouble(), 20.0);
+    }
   }
 }
 
