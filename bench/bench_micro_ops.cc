@@ -1,11 +1,21 @@
 /// Supporting micro-benchmarks (google-benchmark): throughput of the
 /// primitive operators and multi-objective utilities the search is built
-/// from — hash joins, Reduct, state materialization, Pareto fronts (naive
-/// vs Kung), ε-grid updates, and 1-D k-means.
+/// from — hash joins, Reduct, state materialization (full-scan and
+/// incremental), Pareto fronts (naive vs Kung), ε-grid updates, ParallelFor
+/// dispatch, and 1-D k-means.
+///
+/// `--json` is translated to google-benchmark's
+/// `--benchmark_format=json`, so this binary shares the repo-wide
+/// machine-readable output flag.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/kmeans.h"
+#include "common/thread_pool.h"
 #include "core/universe.h"
 #include "datagen/tasks.h"
 #include "moo/pareto.h"
@@ -24,9 +34,9 @@ Table MakeWideTable(size_t rows, size_t cols, uint64_t seed) {
   }
   Table t(schema);
   for (size_t r = 0; r < rows; ++r) {
-    std::vector<Value> row;
-    row.push_back(Value(static_cast<int64_t>(r)));
-    for (size_t c = 1; c < cols; ++c) row.push_back(Value(rng.Normal()));
+    std::vector<Value> row(cols);
+    row[0] = Value(static_cast<int64_t>(r));
+    for (size_t c = 1; c < cols; ++c) row[c] = Value(rng.Normal());
     MODIS_CHECK_OK(t.AppendRow(std::move(row)));
   }
   return t;
@@ -79,6 +89,45 @@ void BM_Materialize(benchmark::State& state) {
 }
 BENCHMARK(BM_Materialize);
 
+void BM_MaterializeFromClusterFlip(benchmark::State& state) {
+  // Incremental materialization along a one-flip cluster edge — the hot
+  // child-from-parent path of the batched valuation pipeline; compare
+  // against BM_Materialize's full D_U scan.
+  auto bench = MakeTabularBench(BenchTaskId::kMovie, 0.5);
+  MODIS_CHECK(bench.ok());
+  auto uni = SearchUniverse::Build(bench->universal, bench->universe_options);
+  MODIS_CHECK(uni.ok());
+  StateBitmap parent_state = uni->FullBitmap();
+  const size_t base = uni->layout().num_attributes();
+  MODIS_CHECK(base + 4 <= parent_state.size())
+      << "bench task derived too few cluster units";
+  for (size_t i = 0; i < 3; ++i) {
+    parent_state = parent_state.WithFlipped(base + i);
+  }
+  const MaterializationPtr parent = uni->MaterializeRecord(parent_state);
+  const StateBitmap child = parent_state.WithFlipped(base + 3);
+  for (auto _ : state) {
+    MaterializationPtr m = uni->MaterializeFrom(*parent, child);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MaterializeFromClusterFlip);
+
+void BM_ParallelForDispatch(benchmark::State& state) {
+  // Scheduling overhead of ParallelFor over trivial work, per index.
+  const size_t workers = state.range(0);
+  ThreadPool pool(workers);
+  std::vector<double> out(256, 0.0);
+  for (auto _ : state) {
+    Status s = ParallelFor(&pool, 0, out.size(),
+                           [&](size_t i) { out[i] = static_cast<double>(i); });
+    MODIS_CHECK(s.ok());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * out.size());
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_ParetoFront(benchmark::State& state) {
   Rng rng(4);
   std::vector<PerfVector> pts;
@@ -126,4 +175,19 @@ BENCHMARK(BM_KMeans1D)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace modis
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Repo-wide flag spelling: --json selects machine-readable output.
+  static char json_flag[] = "--benchmark_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  for (char*& arg : args) {
+    if (std::strcmp(arg, "--json") == 0) arg = json_flag;
+  }
+  int json_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&json_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(json_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,8 +8,11 @@
 /// table printing.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/baselines.h"
@@ -18,6 +21,122 @@
 #include "datagen/tasks.h"
 
 namespace modis::bench {
+
+/// Command-line options shared by the experiment binaries:
+///   --json        emit machine-readable per-run records (and only those)
+///   --threads N   ModisConfig::num_threads for every run (0 = hardware
+///                 concurrency; the default)
+struct BenchOptions {
+  bool json = false;
+  size_t num_threads = 0;
+};
+
+inline BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opts.num_threads = static_cast<size_t>(std::strtoull(
+          argv[++i], nullptr, 10));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opts.num_threads = static_cast<size_t>(std::strtoull(
+          arg.c_str() + std::strlen("--threads="), nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument %s (supported: --json, --threads N)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+/// The thread count a run effectively uses (resolves 0 = hardware).
+inline size_t ResolvedThreads(const BenchOptions& opts) {
+  if (opts.num_threads != 0) return opts.num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// One machine-readable benchmark run — the record unit of --json mode.
+struct RunRecord {
+  std::string bench;    // Binary family, e.g. "fig10".
+  std::string panel;    // Sub-experiment, e.g. "a".
+  std::string task;     // Bench task, e.g. "T1".
+  std::string variant;  // Algorithm / method name.
+  std::string param;    // Swept knob name ("epsilon", "maxl", ...).
+  double param_value = 0.0;
+  double wall_ms = 0.0;
+  size_t num_threads = 1;
+  size_t exact_evals = 0;
+  size_t surrogate_evals = 0;
+  size_t cache_hits = 0;
+  size_t failed_evals = 0;
+  size_t valuated_states = 0;
+  size_t generated_states = 0;
+  size_t pruned_states = 0;
+};
+
+/// Folds one engine run into a RunRecord (wall clock + valuation counts).
+inline RunRecord MakeRunRecord(std::string bench_name, std::string panel,
+                               std::string task, std::string variant,
+                               std::string param, double param_value,
+                               const ModisResult& result,
+                               size_t num_threads) {
+  RunRecord rec;
+  rec.bench = std::move(bench_name);
+  rec.panel = std::move(panel);
+  rec.task = std::move(task);
+  rec.variant = std::move(variant);
+  rec.param = std::move(param);
+  rec.param_value = param_value;
+  rec.wall_ms = result.seconds * 1000.0;
+  rec.num_threads = num_threads;
+  rec.exact_evals = result.oracle_stats.exact_evals;
+  rec.surrogate_evals = result.oracle_stats.surrogate_evals;
+  rec.cache_hits = result.oracle_stats.cache_hits;
+  rec.failed_evals = result.oracle_stats.failed_evals;
+  rec.valuated_states = result.valuated_states;
+  rec.generated_states = result.generated_states;
+  rec.pruned_states = result.pruned_states;
+  return rec;
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // Drop controls.
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Prints the records as one JSON array on stdout. In --json mode this is
+/// the binary's entire output, so downstream tooling can `json.load` it.
+inline void PrintJsonRecords(const std::vector<RunRecord>& records) {
+  std::printf("[\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    std::printf(
+        "  {\"bench\": \"%s\", \"panel\": \"%s\", \"task\": \"%s\", "
+        "\"variant\": \"%s\", \"param\": \"%s\", \"param_value\": %g, "
+        "\"wall_ms\": %.3f, \"num_threads\": %zu, \"exact_evals\": %zu, "
+        "\"surrogate_evals\": %zu, \"cache_hits\": %zu, "
+        "\"failed_evals\": %zu, \"valuated_states\": %zu, "
+        "\"generated_states\": %zu, \"pruned_states\": %zu}%s\n",
+        JsonEscape(r.bench).c_str(), JsonEscape(r.panel).c_str(),
+        JsonEscape(r.task).c_str(), JsonEscape(r.variant).c_str(),
+        JsonEscape(r.param).c_str(), r.param_value, r.wall_ms,
+        r.num_threads, r.exact_evals, r.surrogate_evals, r.cache_hits,
+        r.failed_evals, r.valuated_states, r.generated_states,
+        r.pruned_states, i + 1 < records.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
 
 /// Which MODis variant to run.
 enum class Algo { kApx, kNoBi, kBi, kDiv };

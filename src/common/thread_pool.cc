@@ -1,0 +1,129 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <string>
+
+namespace modis {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and the queue is drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+std::string DescribeException() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-standard exception";
+  }
+}
+
+/// Shared by the workers of one ParallelFor call: the dynamic index
+/// dispenser plus the join rendezvous. Lives on the caller's stack — the
+/// caller blocks until `active` drops to zero, so worker captures stay
+/// valid.
+struct ParallelForState {
+  std::atomic<size_t> next{0};
+  size_t end = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+
+  std::mutex mu;
+  std::condition_variable done;
+  size_t active = 0;
+  Status error;
+};
+
+void DrainIndices(ParallelForState* state) {
+  for (;;) {
+    const size_t i = state->next.fetch_add(1);
+    if (i >= state->end) return;
+    try {
+      (*state->fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->error.ok()) {
+        state->error =
+            Status::Internal("ParallelFor task threw: " + DescribeException());
+      }
+      // Fail fast: park the dispenser past the end so the remaining
+      // indices are skipped.
+      state->next.store(state->end);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Status ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn) {
+  if (begin >= end) return Status::OK();
+
+  ParallelForState state;
+  state.next.store(begin);
+  state.end = end;
+  state.fn = &fn;
+
+  const size_t n = end - begin;
+  if (pool == nullptr || pool->size() < 2 || n == 1) {
+    DrainIndices(&state);
+    return state.error;
+  }
+
+  const size_t tasks = pool->size() < n ? pool->size() : n;
+  state.active = tasks;
+  for (size_t t = 0; t < tasks; ++t) {
+    pool->Submit([&state] {
+      DrainIndices(&state);
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.active == 0) state.done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done.wait(lock, [&state] { return state.active == 0; });
+  return state.error;
+}
+
+}  // namespace modis

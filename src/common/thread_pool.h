@@ -1,0 +1,66 @@
+#ifndef MODIS_COMMON_THREAD_POOL_H_
+#define MODIS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace modis {
+
+/// A fixed pool of worker threads draining a shared task queue.
+///
+/// Tasks are plain `void()` callables; synchronization of their outputs is
+/// the caller's business (`ParallelFor` below adds the join and error
+/// propagation most callers want). Tasks never run on the caller thread,
+/// and pending tasks are still drained during destruction, so a submitted
+/// task always executes exactly once.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 uses the hardware concurrency
+  /// (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. Never blocks on task execution.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for every i in [begin, end), spread over the pool's workers,
+/// and blocks until the whole range is finished. Indices are handed out
+/// dynamically, so uneven per-index costs still balance.
+///
+/// Exceptions thrown by `fn` are captured and surfaced as an Internal
+/// status (the first one wins); once a task has thrown, not-yet-started
+/// indices are skipped. Callers that need per-index results must therefore
+/// pre-initialize their output slots.
+///
+/// Runs inline on the caller thread (same capture/skip semantics) when
+/// `pool` is null, has fewer than two workers, or the range has at most
+/// one element — the serial path that keeps num_threads=1 runs
+/// single-threaded end to end.
+Status ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+}  // namespace modis
+
+#endif  // MODIS_COMMON_THREAD_POOL_H_

@@ -37,6 +37,19 @@ struct ModisConfig {
   /// Decisive measure index; SIZE_MAX means the last measure in P.
   size_t decisive_measure = SIZE_MAX;
 
+  /// Worker threads for the batched exact valuations of a frontier level:
+  /// 0 picks the hardware concurrency, 1 runs serially on the caller
+  /// thread. The search result is identical for every setting — the batch
+  /// plan and its commit order are fixed on the caller thread — except for
+  /// wall-clock-derived measures (e.g. "train_time"), which always carry
+  /// scheduling noise.
+  size_t num_threads = 0;
+
+  /// Capacity (entries) of the engine's LRU materialization cache; along
+  /// one-flip edges children derive their dataset from a cached parent
+  /// instead of rescanning D_U. 0 disables incremental materialization.
+  size_t table_cache_entries = 64;
+
   uint64_t seed = 1;
 
   static ModisConfig Apx() { return ModisConfig{}; }

@@ -19,9 +19,14 @@ ModisEngine::ModisEngine(const SearchUniverse* universe,
       oracle_(oracle),
       config_(config),
       rng_(config.seed),
+      mat_cache_(config.table_cache_entries),
       correlation_(oracle->measures().size(), config.theta) {
   MODIS_CHECK(universe_ != nullptr) << "ModisEngine: null universe";
   MODIS_CHECK(oracle_ != nullptr) << "ModisEngine: null oracle";
+  const size_t threads = config_.num_threads == 0
+                             ? std::thread::hardware_concurrency()
+                             : config_.num_threads;
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   const size_t m = oracle_->measures().size();
   MODIS_CHECK(m >= 1) << "ModisEngine: empty measure set";
   decisive_ = config_.decisive_measure == SIZE_MAX ? m - 1
@@ -176,49 +181,123 @@ void ModisEngine::UPareto(const StateBitmap& state, const Evaluation& eval,
   }
 }
 
-bool ModisEngine::ProcessState(const StateBitmap& state, int level,
-                               Frontier* frontier) {
-  if (stats_.valuated_states >= config_.max_states) return false;
-
-  const std::string sig = state.Signature();
+void ModisEngine::CollectState(const StateBitmap& state,
+                               std::string parent_signature, int level,
+                               Frontier* frontier,
+                               std::vector<BatchItem>* batch) {
+  std::string sig = state.Signature();
   auto& visited =
       frontier->forward ? visited_forward_ : visited_backward_;
   auto& other = frontier->forward ? visited_backward_ : visited_forward_;
-  if (!visited.insert(sig).second) return true;  // Already explored.
+  if (!visited.insert(sig).second) return;  // Already explored.
   if (other.count(sig) > 0) frontiers_met_ = true;
 
   ++stats_.generated_states;
   if (CanPrune(state)) {
     ++stats_.pruned_states;
-    return true;  // Not valuated, not enqueued: the path is cut here.
+    return;  // Not valuated, not enqueued: the path is cut here.
+  }
+  batch->push_back(
+      {state, std::move(sig), std::move(parent_signature), level});
+}
+
+void ModisEngine::ValuateBatch(std::vector<BatchItem> items,
+                               Frontier* frontier) {
+  if (items.empty()) return;
+
+  std::vector<ValuationRequest> requests;
+  requests.reserve(items.size());
+  for (const BatchItem& item : items) {
+    ValuationRequest req;
+    req.key = item.signature;
+    req.features = universe_->StateFeatures(item.state);
+    // Materialization runs lazily on a worker thread for exact items:
+    // reuse the parent's cached materialization along the one-flip edge
+    // when it is still resident, and cache the child for its own children.
+    const SearchUniverse* universe = universe_;
+    MaterializationCache* cache = &mat_cache_;
+    req.materialize = [universe, cache, state = item.state,
+                       sig = item.signature,
+                       parent_sig = item.parent_signature]() {
+      if (MaterializationPtr hit = cache->Get(sig)) return hit;
+      const MaterializationPtr parent =
+          parent_sig.empty() ? nullptr : cache->Get(parent_sig);
+      MaterializationPtr m = parent != nullptr
+                                 ? universe->MaterializeFrom(*parent, state)
+                                 : universe->MaterializeRecord(state);
+      cache->Put(sig, m);
+      return m;
+    };
+    requests.push_back(std::move(req));
   }
 
-  Result<Evaluation> eval = oracle_->Valuate(
-      sig, universe_->StateFeatures(state),
-      [this, &state]() { return universe_->Materialize(state); });
-  ++stats_.valuated_states;
-  if (!eval.ok()) {
-    // Untrainable dataset (too small / single class): children can only be
-    // more reduced on the forward side, so the path is dropped; backward
-    // augmentation may still recover, so keep expanding there (at the
-    // lowest priority).
-    if (!frontier->forward && level < config_.max_level) {
-      frontier->queue.push_back({state, level, 2.0});
+  BatchPlan plan = oracle_->PrepareBatch(std::move(requests));
+  std::vector<Result<Evaluation>> results =
+      oracle_->ValuateBatch(std::move(plan), pool_.get());
+  MODIS_CHECK(results.size() == items.size()) << "batch result misalignment";
+
+  // Commit in collection order, so the skyline grid and the next level's
+  // queue are independent of how the batch was scheduled.
+  for (size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = items[i];
+    ++stats_.valuated_states;
+    const Result<Evaluation>& eval = results[i];
+    if (!eval.ok()) {
+      // Untrainable dataset (too small / single class): children can only
+      // be more reduced on the forward side, so the path is dropped;
+      // backward augmentation may still recover, so keep expanding there
+      // (at the lowest priority).
+      if (!frontier->forward && item.level < config_.max_level) {
+        frontier->queue.push_back({item.state, item.level, 2.0});
+      }
+      continue;
     }
-    return true;
-  }
-  UPareto(state, eval.value(), level);
-  if (level < config_.max_level) {
-    // Priority: the worst bound-violation ratio max_j p_j / p_u_j — states
-    // closest to (or inside) the user-defined ranges are extended first.
-    double priority = 0.0;
-    for (size_t j = 0; j < eval.value().normalized.size(); ++j) {
-      priority = std::max(priority,
-                          eval.value().normalized[j] / upper_bounds_[j]);
+    UPareto(item.state, eval.value(), item.level);
+    if (item.level < config_.max_level) {
+      // Priority: the worst bound-violation ratio max_j p_j / p_u_j —
+      // states closest to (or inside) the user-defined ranges are extended
+      // first.
+      double priority = 0.0;
+      for (size_t j = 0; j < eval.value().normalized.size(); ++j) {
+        priority = std::max(priority,
+                            eval.value().normalized[j] / upper_bounds_[j]);
+      }
+      frontier->queue.push_back({item.state, item.level, priority});
     }
-    frontier->queue.push_back({state, level, priority});
   }
-  return true;
+}
+
+void ModisEngine::ExpandLevel(Frontier* frontier, int level) {
+  // Pull the entries parked at `level`, most promising first: when the
+  // budget runs out mid-level, the best paths have been extended (§5.2's
+  // prioritized valuation).
+  std::vector<Frontier::Entry> current;
+  const size_t pending = frontier->queue.size();
+  for (size_t i = 0; i < pending; ++i) {
+    Frontier::Entry entry = std::move(frontier->queue.front());
+    frontier->queue.pop_front();
+    if (entry.level != level) {
+      frontier->queue.push_back(std::move(entry));
+    } else {
+      current.push_back(std::move(entry));
+    }
+  }
+  std::stable_sort(current.begin(), current.end(),
+                   [](const Frontier::Entry& a, const Frontier::Entry& b) {
+                     return a.priority < b.priority;
+                   });
+
+  // Collect the whole level's children, then issue one batch.
+  std::vector<BatchItem> batch;
+  for (const Frontier::Entry& entry : current) {
+    if (stats_.valuated_states + batch.size() >= config_.max_states) break;
+    const std::string parent_sig = entry.state.Signature();
+    for (const StateBitmap& child : OpGen(entry.state, frontier->forward)) {
+      if (stats_.valuated_states + batch.size() >= config_.max_states) break;
+      CollectState(child, parent_sig, level + 1, frontier, &batch);
+    }
+  }
+  ValuateBatch(std::move(batch), frontier);
 }
 
 void ModisEngine::DiversifyLevel() {
@@ -268,12 +347,19 @@ Result<ModisResult> ModisEngine::Run() {
   Frontier backward;
   backward.forward = false;
 
-  // Seed the frontiers at level 0.
-  if (!ProcessState(universe_->FullBitmap(), 0, &forward)) {
-    // Budget of zero: nothing to do.
-  }
+  // Seed the frontiers at level 0, each as a one-item batch.
+  auto seed = [this](const StateBitmap& state, Frontier* frontier) {
+    std::vector<BatchItem> batch;
+    CollectState(state, /*parent_signature=*/"", /*level=*/0, frontier,
+                 &batch);
+    if (stats_.valuated_states + batch.size() > config_.max_states) {
+      return;  // Budget of zero: nothing to do.
+    }
+    ValuateBatch(std::move(batch), frontier);
+  };
+  seed(universe_->FullBitmap(), &forward);
   if (config_.bidirectional) {
-    ProcessState(universe_->BackwardBitmap(), 0, &backward);
+    seed(universe_->BackwardBitmap(), &backward);
   }
 
   int level = 0;
@@ -283,34 +369,8 @@ Result<ModisResult> ModisEngine::Run() {
           (config_.bidirectional && !backward.queue.empty()))) {
     RefreshCorrelation();
 
-    // Expand every state parked at `level` in both frontiers, best
-    // decisive-measure value first: when the budget runs out mid-level,
-    // the most promising paths have been extended (§5.2's prioritized
-    // valuation).
-    auto expand = [&](Frontier* frontier) {
-      std::vector<Frontier::Entry> current;
-      const size_t pending = frontier->queue.size();
-      for (size_t i = 0; i < pending; ++i) {
-        Frontier::Entry entry = std::move(frontier->queue.front());
-        frontier->queue.pop_front();
-        if (entry.level != level) {
-          frontier->queue.push_back(std::move(entry));
-        } else {
-          current.push_back(std::move(entry));
-        }
-      }
-      std::stable_sort(current.begin(), current.end(),
-                       [](const Frontier::Entry& a, const Frontier::Entry& b) {
-                         return a.priority < b.priority;
-                       });
-      for (const Frontier::Entry& entry : current) {
-        for (const StateBitmap& child : OpGen(entry.state, frontier->forward)) {
-          if (!ProcessState(child, level + 1, frontier)) return;
-        }
-      }
-    };
-    expand(&forward);
-    if (config_.bidirectional) expand(&backward);
+    ExpandLevel(&forward, level);
+    if (config_.bidirectional) ExpandLevel(&backward, level);
 
     if (config_.diversify) DiversifyLevel();
     ++level;

@@ -3,11 +3,13 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/config.h"
 #include "core/universe.h"
 #include "estimator/oracle.h"
@@ -43,6 +45,16 @@ struct ModisResult {
 /// state through the performance oracle, and maintains an ε-skyline via
 /// the grid positions of Equation (1) (UPareto). Optional correlation-based
 /// pruning (Lemma 4) and per-level diversification (Algorithm 3).
+///
+/// Valuation is level-batched: ExpandLevel first collects, dedups, and
+/// prune-filters every one-flip child of the frontier level, then issues
+/// the survivors as one oracle batch (PrepareBatch / ValuateBatch). Exact
+/// model trainings of the batch fan out over a ThreadPool sized by
+/// ModisConfig::num_threads; plan and commit stay on the caller thread in
+/// a fixed order, so the computed skyline does not depend on the thread
+/// count. Children materialize incrementally from their parent's cached
+/// materialization (SearchUniverse::MaterializeFrom) instead of rescanning
+/// D_U.
 class ModisEngine {
  public:
   /// Does not own `universe` or `oracle`; both must outlive the engine.
@@ -67,14 +79,37 @@ class ModisEngine {
     bool forward = true;  // Forward flips 1->0 (Reduct); backward 0->1.
   };
 
+  /// One batch-pending state: a collected child (or seed) awaiting
+  /// valuation.
+  struct BatchItem {
+    StateBitmap state;
+    std::string signature;
+    /// Signature of the parent whose cached materialization the child
+    /// derives from; empty for seed states.
+    std::string parent_signature;
+    /// The child's own level (parent level + 1; 0 for seeds).
+    int level = 0;
+  };
+
   /// One-flip children of `state` in the frontier's direction. Cluster
   /// units are only actionable when their attribute is included.
   std::vector<StateBitmap> OpGen(const StateBitmap& state, bool forward) const;
 
-  /// Valuates `state` and updates the skyline grid; enqueues into
-  /// `frontier` when the state stays expandable. Returns false when the
-  /// valuation budget is exhausted.
-  bool ProcessState(const StateBitmap& state, int level, Frontier* frontier);
+  /// Expands every state parked at `level` in the frontier, best
+  /// decisive-priority first: collects all one-flip children (deduped,
+  /// prune-filtered, capped at the remaining valuation budget), then
+  /// valuates them as one oracle batch.
+  void ExpandLevel(Frontier* frontier, int level);
+
+  /// Dedups/prunes one candidate state; appends a BatchItem to `batch`
+  /// when the state must be valuated. Shared by seeds and ExpandLevel.
+  void CollectState(const StateBitmap& state, std::string parent_signature,
+                    int level, Frontier* frontier,
+                    std::vector<BatchItem>* batch);
+
+  /// Issues `items` as one oracle batch and folds the results — skyline
+  /// updates, frontier enqueues, failed-state handling — in item order.
+  void ValuateBatch(std::vector<BatchItem> items, Frontier* frontier);
 
   /// The UPareto grid update (Fig. 3 lines 20-30).
   void UPareto(const StateBitmap& state, const Evaluation& eval, int level);
@@ -104,6 +139,13 @@ class ModisEngine {
   PerformanceOracle* oracle_;
   ModisConfig config_;
   Rng rng_;
+
+  /// Workers for the exact trainings of a batch; null when the effective
+  /// thread count is 1 (fully serial running).
+  std::unique_ptr<ThreadPool> pool_;
+  /// LRU of recent materializations, shared by both frontiers; lets
+  /// children materialize incrementally from their parent.
+  MaterializationCache mat_cache_;
 
   size_t decisive_ = 0;
   std::vector<double> lower_bounds_;

@@ -102,20 +102,131 @@ bool SearchUniverse::RowSurvives(const StateBitmap& state, size_t r) const {
   return true;
 }
 
-Table SearchUniverse::Materialize(const StateBitmap& state) const {
-  MODIS_CHECK(state.size() == layout_.num_units()) << "bitmap size mismatch";
+std::vector<uint32_t> SearchUniverse::SurvivingRows(
+    const StateBitmap& state) const {
+  std::vector<uint32_t> rows;
+  rows.reserve(universal_.num_rows());
+  for (size_t r = 0; r < universal_.num_rows(); ++r) {
+    if (RowSurvives(state, r)) rows.push_back(static_cast<uint32_t>(r));
+  }
+  return rows;
+}
+
+Table SearchUniverse::BuildTable(const StateBitmap& state,
+                                 const std::vector<uint32_t>& row_ids) const {
   std::vector<size_t> cols;
   for (size_t a = 0; a < layout_.num_attributes(); ++a) {
     if (state.Get(a)) cols.push_back(a);
   }
-  std::vector<size_t> rows;
-  rows.reserve(universal_.num_rows());
-  for (size_t r = 0; r < universal_.num_rows(); ++r) {
-    if (RowSurvives(state, r)) rows.push_back(r);
-  }
+  std::vector<size_t> rows(row_ids.begin(), row_ids.end());
   Result<Table> projected = universal_.SelectColumns(cols);
   MODIS_CHECK(projected.ok()) << projected.status().ToString();
   return projected.value().SelectRows(rows);
+}
+
+Table SearchUniverse::Materialize(const StateBitmap& state) const {
+  MODIS_CHECK(state.size() == layout_.num_units()) << "bitmap size mismatch";
+  return BuildTable(state, SurvivingRows(state));
+}
+
+MaterializationPtr SearchUniverse::MaterializeRecord(
+    const StateBitmap& state) const {
+  MODIS_CHECK(state.size() == layout_.num_units()) << "bitmap size mismatch";
+  auto m = std::make_shared<Materialization>();
+  m->state = state;
+  m->row_ids = SurvivingRows(state);
+  m->table = BuildTable(state, m->row_ids);
+  return m;
+}
+
+MaterializationPtr SearchUniverse::MaterializeFrom(
+    const Materialization& parent, const StateBitmap& child) const {
+  MODIS_CHECK(child.size() == layout_.num_units()) << "bitmap size mismatch";
+  // Locate the flipped unit; anything but a clean one-flip edge falls back
+  // to a fresh scan.
+  size_t flipped = layout_.num_units();
+  size_t diff = 0;
+  if (parent.state.size() == child.size()) {
+    for (size_t u = 0; u < child.size() && diff < 2; ++u) {
+      if (parent.state.Get(u) != child.Get(u)) {
+        flipped = u;
+        ++diff;
+      }
+    }
+  } else {
+    diff = 2;
+  }
+  if (diff != 1) return MaterializeRecord(child);
+
+  const size_t num_attrs = layout_.num_attributes();
+  auto m = std::make_shared<Materialization>();
+  m->state = child;
+
+  // Classify the edge by how the flipped unit changes the row constraint
+  // of its attribute: unchanged (reuse parent rows), tightened (filter the
+  // parent rows), or relaxed (re-test only rows outside the parent set).
+  enum class RowChange { kNone, kTighten, kRelax } change;
+  size_t attr = 0;  // Attribute whose row constraint changes.
+  if (layout_.IsAttributeUnit(flipped)) {
+    attr = flipped;
+    bool has_constraint = false;
+    // The attribute constrains rows only through its cluster units that
+    // are off; with every cluster bit on (or none derived) the column
+    // excluded no rows.
+    for (size_t cu = 0; cu < layout_.clusters.size(); ++cu) {
+      if (layout_.clusters[cu].attr_index == attr &&
+          !child.Get(num_attrs + cu)) {
+        has_constraint = true;
+        break;
+      }
+    }
+    if (!has_constraint) {
+      change = RowChange::kNone;
+    } else {
+      change = child.Get(flipped) ? RowChange::kTighten : RowChange::kRelax;
+    }
+  } else {
+    attr = layout_.cluster(flipped).attr_index;
+    if (!child.Get(attr)) {
+      change = RowChange::kNone;  // Constraint inactive: column excluded.
+    } else {
+      change = child.Get(flipped) ? RowChange::kRelax : RowChange::kTighten;
+    }
+  }
+
+  switch (change) {
+    case RowChange::kNone:
+      m->row_ids = parent.row_ids;
+      break;
+    case RowChange::kTighten: {
+      m->row_ids.reserve(parent.row_ids.size());
+      for (uint32_t r : parent.row_ids) {
+        const int32_t bit = cluster_of_[r * num_attrs + attr];
+        const bool survives =
+            bit < 0 || child.Get(static_cast<size_t>(bit));
+        if (survives) m->row_ids.push_back(r);
+      }
+      break;
+    }
+    case RowChange::kRelax: {
+      // Parent rows all survive (a constraint only went away); rows the
+      // parent filtered out may resurrect, subject to the full child
+      // constraint set.
+      m->row_ids.reserve(universal_.num_rows());
+      size_t pi = 0;
+      for (uint32_t r = 0; r < universal_.num_rows(); ++r) {
+        if (pi < parent.row_ids.size() && parent.row_ids[pi] == r) {
+          m->row_ids.push_back(r);
+          ++pi;
+        } else if (RowSurvives(child, r)) {
+          m->row_ids.push_back(r);
+        }
+      }
+      break;
+    }
+  }
+  m->table = BuildTable(child, m->row_ids);
+  return m;
 }
 
 size_t SearchUniverse::CountRows(const StateBitmap& state) const {
@@ -147,6 +258,37 @@ std::vector<double> SearchUniverse::StateFeatures(
   f.push_back(RowFraction(state));
   f.push_back(ColumnFraction(state));
   return f;
+}
+
+MaterializationPtr MaterializationCache::Get(const std::string& signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(signature);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void MaterializationCache::Put(const std::string& signature,
+                               MaterializationPtr m) {
+  if (capacity_ == 0 || m == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(signature);
+  if (it != index_.end()) {
+    it->second->second = std::move(m);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(signature, std::move(m));
+  index_[signature] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+size_t MaterializationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
 }
 
 }  // namespace modis

@@ -1,7 +1,13 @@
 #ifndef MODIS_CORE_UNIVERSE_H_
 #define MODIS_CORE_UNIVERSE_H_
 
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -10,6 +16,18 @@
 #include "table/table.h"
 
 namespace modis {
+
+/// One materialized state: the surviving universal-row ids (ascending), the
+/// denoted table, and the state itself. Carrying the row ids is what makes
+/// the incremental materializer possible — a child's row set is derived
+/// from the parent's instead of rescanning D_U.
+struct Materialization {
+  StateBitmap state;
+  std::vector<uint32_t> row_ids;
+  Table table;
+};
+
+using MaterializationPtr = std::shared_ptr<const Materialization>;
 
 /// The dataset exploration space of one MODis running: the universal table
 /// D_U, the unit layout of state bitmaps, and fast materialization of the
@@ -47,6 +65,27 @@ class SearchUniverse {
   /// filtered by the active cluster bits of included attributes.
   Table Materialize(const StateBitmap& state) const;
 
+  /// Materialize plus the surviving-row bookkeeping MaterializeFrom needs.
+  /// Pays the same single D_U scan as Materialize.
+  MaterializationPtr MaterializeRecord(const StateBitmap& state) const;
+
+  /// Incremental materializer along a one-flip edge: derives the child's
+  /// surviving rows from the parent's instead of rescanning D_U.
+  ///
+  ///  - Tightening flips (attribute augmented, cluster bit dropped) filter
+  ///    the parent's row list in O(|parent rows|).
+  ///  - Relaxing flips (attribute dropped, cluster bit restored) only
+  ///    re-test rows *outside* the parent's row set; when the flipped
+  ///    attribute had no active row constraint the parent rows are reused
+  ///    verbatim.
+  ///
+  /// `child` must differ from `parent.state` in exactly one unit;
+  /// otherwise this falls back to a fresh MaterializeRecord. The result is
+  /// always identical (schema, rows, cells — nulls included) to a fresh
+  /// materialization of `child`.
+  MaterializationPtr MaterializeFrom(const Materialization& parent,
+                                     const StateBitmap& child) const;
+
   /// Row count of Materialize(state) without building the table.
   size_t CountRows(const StateBitmap& state) const;
 
@@ -64,6 +103,13 @@ class SearchUniverse {
   /// True if row `r` survives under `state`.
   bool RowSurvives(const StateBitmap& state, size_t r) const;
 
+  /// Universal-row ids surviving under `state` — the one full D_U scan.
+  std::vector<uint32_t> SurvivingRows(const StateBitmap& state) const;
+
+  /// Builds the denoted table from an already-computed row set.
+  Table BuildTable(const StateBitmap& state,
+                   const std::vector<uint32_t>& row_ids) const;
+
   Table universal_;
   UnitLayout layout_;
   /// cluster_of_[r * num_attrs + a]: index of the cluster *unit* (bitmap
@@ -71,6 +117,34 @@ class SearchUniverse {
   /// value is null / uncovered by any literal (such rows never get removed
   /// by cluster reductions on a).
   std::vector<int32_t> cluster_of_;
+};
+
+/// A small thread-safe LRU cache of materializations keyed by state
+/// signature. During a batched valuation the engine seeds it with the
+/// parents of the current frontier level, so the worker threads reach
+/// children through SearchUniverse::MaterializeFrom instead of full D_U
+/// scans. Capacity 0 disables caching (Get misses, Put drops).
+class MaterializationCache {
+ public:
+  explicit MaterializationCache(size_t capacity) : capacity_(capacity) {}
+
+  /// The cached materialization, or nullptr. Refreshes LRU order.
+  MaterializationPtr Get(const std::string& signature);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entry beyond capacity.
+  void Put(const std::string& signature, MaterializationPtr m);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::string, MaterializationPtr>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
 };
 
 }  // namespace modis

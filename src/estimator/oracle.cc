@@ -1,12 +1,64 @@
 #include "estimator/oracle.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace modis {
+
+namespace {
+
+/// Per-request outcome of the parallel exact-training phase. Slots are
+/// pre-initialized to an error so indices skipped after a worker exception
+/// stay well-defined.
+struct ExactOutcome {
+  Result<Evaluation> result;
+  double seconds = 0.0;
+  bool executed = false;
+
+  ExactOutcome() : result(Status::Internal("exact valuation not executed")) {}
+};
+
+/// The fan-out half of ValuateBatch, shared by both oracles: every kExact
+/// request materializes its dataset and trains the real model, spread over
+/// `pool`. Workers only touch their own slot — all oracle state mutation
+/// happens in the caller's commit pass.
+std::vector<ExactOutcome> RunExactTrainings(const BatchPlan& plan,
+                                            ThreadPool* pool,
+                                            TaskEvaluator* evaluator) {
+  std::vector<size_t> exact_ids;
+  exact_ids.reserve(plan.exact_count);
+  for (size_t i = 0; i < plan.modes.size(); ++i) {
+    if (plan.modes[i] == BatchPlan::Mode::kExact) exact_ids.push_back(i);
+  }
+  std::vector<ExactOutcome> outcomes(plan.requests.size());
+  const Status status =
+      ParallelFor(pool, 0, exact_ids.size(), [&](size_t k) {
+        const size_t i = exact_ids[k];
+        ExactOutcome& slot = outcomes[i];
+        WallTimer timer;
+        const MaterializationPtr m = plan.requests[i].materialize();
+        if (m == nullptr) {
+          slot.result = Status::Internal("materializer returned null");
+        } else {
+          slot.result = evaluator->Evaluate(m->table);
+        }
+        slot.seconds = timer.Seconds();
+        slot.executed = true;
+      });
+  if (!status.ok()) {
+    for (size_t i : exact_ids) {
+      if (!outcomes[i].executed) outcomes[i].result = status;
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace
 
 void TestRecordStore::Add(std::string key, std::vector<double> features,
                           Evaluation eval) {
@@ -49,6 +101,47 @@ Result<Evaluation> ExactOracle::Valuate(const std::string& key,
   ++stats_.exact_evals;
   store_.Add(key, features, result.value());
   return result;
+}
+
+BatchPlan ExactOracle::PrepareBatch(std::vector<ValuationRequest> requests) {
+  BatchPlan plan;
+  plan.modes.reserve(requests.size());
+  for (const ValuationRequest& req : requests) {
+    if (store_.Find(req.key) != nullptr) {
+      plan.modes.push_back(BatchPlan::Mode::kCached);
+    } else {
+      plan.modes.push_back(BatchPlan::Mode::kExact);
+      ++plan.exact_count;
+    }
+  }
+  plan.requests = std::move(requests);
+  return plan;
+}
+
+std::vector<Result<Evaluation>> ExactOracle::ValuateBatch(BatchPlan plan,
+                                                          ThreadPool* pool) {
+  std::vector<ExactOutcome> outcomes =
+      RunExactTrainings(plan, pool, evaluator_);
+  std::vector<Result<Evaluation>> results;
+  results.reserve(plan.requests.size());
+  for (size_t i = 0; i < plan.requests.size(); ++i) {
+    const ValuationRequest& req = plan.requests[i];
+    if (plan.modes[i] == BatchPlan::Mode::kCached) {
+      ++stats_.cache_hits;
+      results.push_back(*store_.Find(req.key));
+      continue;
+    }
+    ExactOutcome& slot = outcomes[i];
+    stats_.exact_seconds += slot.seconds;
+    if (slot.result.ok()) {
+      ++stats_.exact_evals;
+      store_.Add(req.key, req.features, slot.result.value());
+    } else {
+      ++stats_.failed_evals;
+    }
+    results.push_back(std::move(slot.result));
+  }
+  return results;
 }
 
 MoGbmOracle::MoGbmOracle(TaskEvaluator* evaluator, SurrogateOptions options)
@@ -142,6 +235,126 @@ Result<Evaluation> MoGbmOracle::Valuate(const std::string& key,
   stats_.surrogate_seconds += timer.Seconds();
   ++stats_.surrogate_evals;
   return eval;
+}
+
+BatchPlan MoGbmOracle::PrepareBatch(std::vector<ValuationRequest> requests) {
+  BatchPlan plan;
+  plan.modes.reserve(requests.size());
+  // Project how the surrogate's availability evolves over the batch: the
+  // records this plan's own exact valuations will add count towards the
+  // bootstrap budget, because they are committed (and the surrogate
+  // retrained) before any surrogate prediction of this batch runs.
+  size_t projected_records = store_.size();
+  bool projected_trained = surrogate_.trained();
+  for (const ValuationRequest& req : requests) {
+    BatchPlan::Mode mode;
+    if (store_.Find(req.key) != nullptr) {
+      mode = BatchPlan::Mode::kCached;
+    } else if (!projected_trained) {
+      mode = BatchPlan::Mode::kExact;  // Still bootstrapping the estimator.
+      ++projected_records;
+      if (projected_records >= options_.bootstrap_budget &&
+          projected_records >= 4) {
+        projected_trained = true;
+      }
+    } else {
+      // Keep a trickle of exact valuations so T keeps growing and the
+      // estimator periodically refreshes.
+      mode = rng_.Bernoulli(options_.exact_fraction)
+                 ? BatchPlan::Mode::kExact
+                 : BatchPlan::Mode::kSurrogate;
+      if (mode == BatchPlan::Mode::kExact) ++projected_records;
+    }
+    if (mode == BatchPlan::Mode::kExact) ++plan.exact_count;
+    plan.modes.push_back(mode);
+  }
+  plan.requests = std::move(requests);
+  return plan;
+}
+
+std::vector<Result<Evaluation>> MoGbmOracle::ValuateBatch(BatchPlan plan,
+                                                          ThreadPool* pool) {
+  std::vector<ExactOutcome> outcomes =
+      RunExactTrainings(plan, pool, evaluator_);
+
+  // Commit pass 1, request order: fold the exact results into the stats,
+  // the shadow error (against the pre-batch surrogate), and the record
+  // store. This is the only place batch results mutate shared state, so
+  // the store contents — and everything derived from them — are identical
+  // for every thread count.
+  for (size_t i = 0; i < plan.requests.size(); ++i) {
+    if (plan.modes[i] != BatchPlan::Mode::kExact) continue;
+    const ValuationRequest& req = plan.requests[i];
+    ExactOutcome& slot = outcomes[i];
+    stats_.exact_seconds += slot.seconds;
+    if (!slot.result.ok()) {
+      ++stats_.failed_evals;
+      continue;
+    }
+    ++stats_.exact_evals;
+    if (surrogate_.trained()) {
+      const Evaluation guess = PredictEvaluation(req.features);
+      for (size_t j = 0; j < guess.normalized.size(); ++j) {
+        const double d =
+            guess.normalized[j] - slot.result.value().normalized[j];
+        shadow_sq_error_ += d * d;
+        ++shadow_count_;
+      }
+    }
+    store_.Add(req.key, req.features, slot.result.value());
+  }
+  // One deterministic retrain per batch, after all ingestions.
+  MaybeRetrain();
+
+  // Commit pass 2, request order: answer every request. Surrogate
+  // predictions all use the freshly committed estimator.
+  std::vector<Result<Evaluation>> results;
+  results.reserve(plan.requests.size());
+  for (size_t i = 0; i < plan.requests.size(); ++i) {
+    const ValuationRequest& req = plan.requests[i];
+    switch (plan.modes[i]) {
+      case BatchPlan::Mode::kCached:
+        ++stats_.cache_hits;
+        results.push_back(*store_.Find(req.key));
+        break;
+      case BatchPlan::Mode::kExact:
+        results.push_back(std::move(outcomes[i].result));
+        break;
+      case BatchPlan::Mode::kSurrogate: {
+        if (!surrogate_.trained()) {
+          // The plan projected the bootstrap to complete, but an exact
+          // training failed (or the retrain errored): keep the serial
+          // path's guarantee that un-estimable states are valuated
+          // exactly rather than dropped. Runs inline on the caller
+          // thread, so the commit order stays deterministic.
+          WallTimer timer;
+          const MaterializationPtr m = req.materialize();
+          Result<Evaluation> r =
+              m == nullptr
+                  ? Result<Evaluation>(
+                        Status::Internal("materializer returned null"))
+                  : evaluator_->Evaluate(m->table);
+          stats_.exact_seconds += timer.Seconds();
+          if (r.ok()) {
+            ++stats_.exact_evals;
+            store_.Add(req.key, req.features, r.value());
+            MaybeRetrain();  // The bootstrap may complete mid-commit.
+          } else {
+            ++stats_.failed_evals;
+          }
+          results.push_back(std::move(r));
+          break;
+        }
+        WallTimer timer;
+        Evaluation eval = PredictEvaluation(req.features);
+        stats_.surrogate_seconds += timer.Seconds();
+        ++stats_.surrogate_evals;
+        results.push_back(std::move(eval));
+        break;
+      }
+    }
+  }
+  return results;
 }
 
 double MoGbmOracle::SurrogateMse() const {

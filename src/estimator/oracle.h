@@ -1,18 +1,21 @@
 #ifndef MODIS_ESTIMATOR_ORACLE_H_
 #define MODIS_ESTIMATOR_ORACLE_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
-#include <functional>
-
 #include "common/rng.h"
 #include "common/status.h"
+#include "core/universe.h"
 #include "estimator/task_evaluator.h"
 #include "ml/multi_output_gbm.h"
 
 namespace modis {
+
+class ThreadPool;
 
 /// The historical test set T of the paper: every valuated test
 /// (state signature, state features, evaluation) recorded during a running.
@@ -43,11 +46,45 @@ class TestRecordStore {
   std::unordered_map<std::string, size_t> index_;
 };
 
+/// One state awaiting valuation in a level batch.
+struct ValuationRequest {
+  /// Canonical state signature — the cache / record key.
+  std::string key;
+  /// Numeric state encoding the surrogate learns from.
+  std::vector<double> features;
+  /// Lazily materializes the dataset; invoked only for exact valuations,
+  /// possibly from a worker thread, so it must be safe to run concurrently
+  /// with the other requests' providers.
+  std::function<MaterializationPtr()> materialize;
+};
+
+/// The caller-thread half of a batched valuation: the per-request decision
+/// the oracle took before any model training ran.
+struct BatchPlan {
+  enum class Mode : uint8_t {
+    kCached,     // Evaluation already in the record store.
+    kSurrogate,  // Predicted by the estimator on the caller thread.
+    kExact,      // Real model training, scheduled onto the pool.
+  };
+
+  std::vector<ValuationRequest> requests;
+  std::vector<Mode> modes;  // Parallel to `requests`.
+  size_t exact_count = 0;
+};
+
 /// Valuates tests for the search. `key` is the canonical state signature
 /// (the bitmap rendered as '0'/'1' characters); `features` is the numeric
 /// encoding of the state the surrogate learns from; `materialize` lazily
 /// produces the dataset — only exact valuations pay for it, which is how
 /// the surrogate keeps the per-test cost low.
+///
+/// Two call shapes exist: the single-test Valuate (baselines, exhaustive
+/// search, reporting) and the batched PrepareBatch/ValuateBatch pair the
+/// engine issues once per frontier level. The batch pair is the hot path:
+/// exact trainings fan out over a ThreadPool while everything stateful —
+/// cache lookups, surrogate inference, record-store ingestion, retraining —
+/// stays on the caller thread, so results are deterministic for a given
+/// request order no matter how many workers run.
 class PerformanceOracle {
  public:
   struct Stats {
@@ -66,6 +103,20 @@ class PerformanceOracle {
   virtual Result<Evaluation> Valuate(const std::string& key,
                                      const std::vector<double>& features,
                                      const TableProvider& materialize) = 0;
+
+  /// Splits a level batch into cache hits, surrogate predictions, and
+  /// exact trainings. Runs on the caller thread and consumes the oracle's
+  /// policy randomness in request order, so the plan is a pure function of
+  /// the oracle state and the request sequence.
+  virtual BatchPlan PrepareBatch(std::vector<ValuationRequest> requests) = 0;
+
+  /// Executes a plan: exact model trainings run via ParallelFor over
+  /// `pool` (inline when null/single-threaded); the post-batch commit —
+  /// stats, record-store ingestion, surrogate retraining, surrogate
+  /// predictions — happens on the caller thread in request order. Returns
+  /// one Result per request, aligned with `plan.requests`.
+  virtual std::vector<Result<Evaluation>> ValuateBatch(BatchPlan plan,
+                                                       ThreadPool* pool) = 0;
 
   virtual const std::vector<MeasureSpec>& measures() const = 0;
 
@@ -88,6 +139,9 @@ class ExactOracle : public PerformanceOracle {
   Result<Evaluation> Valuate(const std::string& key,
                              const std::vector<double>& features,
                              const TableProvider& materialize) override;
+  BatchPlan PrepareBatch(std::vector<ValuationRequest> requests) override;
+  std::vector<Result<Evaluation>> ValuateBatch(BatchPlan plan,
+                                               ThreadPool* pool) override;
   const std::vector<MeasureSpec>& measures() const override {
     return evaluator_->measures();
   }
@@ -127,6 +181,9 @@ class MoGbmOracle : public PerformanceOracle {
   Result<Evaluation> Valuate(const std::string& key,
                              const std::vector<double>& features,
                              const TableProvider& materialize) override;
+  BatchPlan PrepareBatch(std::vector<ValuationRequest> requests) override;
+  std::vector<Result<Evaluation>> ValuateBatch(BatchPlan plan,
+                                               ThreadPool* pool) override;
   const std::vector<MeasureSpec>& measures() const override {
     return evaluator_->measures();
   }

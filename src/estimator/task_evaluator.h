@@ -23,8 +23,12 @@ class TaskEvaluator {
   virtual const std::vector<MeasureSpec>& measures() const = 0;
 
   /// Trains and evaluates on `dataset`. Implementations must be
-  /// deterministic for a fixed dataset (fixed seeds). Fails on datasets the
-  /// model cannot be trained on (e.g. no rows, missing target).
+  /// deterministic for a fixed dataset (fixed seeds) and safe to call
+  /// concurrently from multiple threads — the batched valuation pipeline
+  /// fans exact trainings out over a thread pool, so an Evaluate call may
+  /// only read shared members and must keep all training state (model
+  /// clone, RNGs, splits) local. Fails on datasets the model cannot be
+  /// trained on (e.g. no rows, missing target).
   virtual Result<Evaluation> Evaluate(const Table& dataset) = 0;
 };
 

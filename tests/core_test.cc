@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "core/algorithms.h"
@@ -339,6 +340,71 @@ TEST(EngineTest, ApxSkylineEntriesComeFromValuatedStates) {
     EXPECT_NE(oracle.store().Find(e.state.Signature()), nullptr);
     EXPECT_GT(e.rows, 0u);
     EXPECT_GT(e.cols, 0u);
+  }
+}
+
+TEST(EngineTest, ThreadCountDoesNotChangeTheSkyline) {
+  // The batched valuation pipeline plans and commits on the caller thread
+  // in a fixed order, so num_threads=1 and num_threads=4 must produce the
+  // same skyline grid bit for bit. Runs the T1 (movie) task with its
+  // wall-clock measure removed — "train_time" carries scheduling noise by
+  // definition and would make any cross-run comparison flaky.
+  auto bench = MakeTabularBench(BenchTaskId::kMovie, 0.3);
+  ASSERT_TRUE(bench.ok());
+  auto universe =
+      SearchUniverse::Build(bench->universal, bench->universe_options);
+  ASSERT_TRUE(universe.ok());
+
+  SupervisedTask task = bench->task;
+  task.measures.clear();
+  for (const MeasureSpec& m : bench->task.measures) {
+    if (m.name != "train_time") task.measures.push_back(m);
+  }
+  ASSERT_GE(task.measures.size(), 2u);
+
+  auto run = [&](size_t num_threads) {
+    SupervisedEvaluator evaluator(task, bench->model->Clone());
+    MoGbmOracle oracle(&evaluator);
+    ModisConfig cfg;
+    cfg.epsilon = 0.25;
+    cfg.max_states = 120;
+    cfg.max_level = 4;
+    cfg.num_threads = num_threads;
+    auto result = RunBiModis(*universe, &oracle, cfg);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  };
+
+  ModisResult serial = run(1);
+  ModisResult threaded = run(4);
+
+  EXPECT_EQ(serial.valuated_states, threaded.valuated_states);
+  EXPECT_EQ(serial.generated_states, threaded.generated_states);
+  EXPECT_EQ(serial.pruned_states, threaded.pruned_states);
+  EXPECT_EQ(serial.oracle_stats.exact_evals,
+            threaded.oracle_stats.exact_evals);
+  EXPECT_EQ(serial.oracle_stats.surrogate_evals,
+            threaded.oracle_stats.surrogate_evals);
+
+  ASSERT_EQ(serial.skyline.size(), threaded.skyline.size());
+  ASSERT_FALSE(serial.skyline.empty());
+  auto by_signature = [](const SkylineEntry& a, const SkylineEntry& b) {
+    return a.state.Signature() < b.state.Signature();
+  };
+  std::sort(serial.skyline.begin(), serial.skyline.end(), by_signature);
+  std::sort(threaded.skyline.begin(), threaded.skyline.end(), by_signature);
+  for (size_t i = 0; i < serial.skyline.size(); ++i) {
+    const SkylineEntry& a = serial.skyline[i];
+    const SkylineEntry& b = threaded.skyline[i];
+    EXPECT_EQ(a.state.Signature(), b.state.Signature());
+    EXPECT_EQ(a.level, b.level);
+    EXPECT_EQ(a.rows, b.rows);
+    EXPECT_EQ(a.cols, b.cols);
+    ASSERT_EQ(a.eval.normalized.size(), b.eval.normalized.size());
+    for (size_t j = 0; j < a.eval.normalized.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a.eval.normalized[j], b.eval.normalized[j]);
+      EXPECT_DOUBLE_EQ(a.eval.raw[j], b.eval.raw[j]);
+    }
   }
 }
 

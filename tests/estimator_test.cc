@@ -127,6 +127,135 @@ TEST(ExactOracleTest, FailedEvalNotCached) {
   EXPECT_EQ(oracle.store().size(), 0u);
 }
 
+// ------------------------------------------------------------ Batch API
+
+/// Deterministic stub: evaluates to a pure function of the row count and
+/// fails on empty tables, so batch-policy tests control exactly which
+/// trainings succeed.
+class StubEvaluator : public TaskEvaluator {
+ public:
+  StubEvaluator()
+      : measures_{MeasureSpec::Minimize("m0", 1.0),
+                  MeasureSpec::Minimize("m1", 1.0)} {}
+
+  const std::vector<MeasureSpec>& measures() const override {
+    return measures_;
+  }
+  Result<Evaluation> Evaluate(const Table& dataset) override {
+    if (dataset.num_rows() == 0) {
+      return Status::FailedPrecondition("stub: empty dataset");
+    }
+    const double v = 1.0 / (1.0 + static_cast<double>(dataset.num_rows()));
+    Evaluation e;
+    e.raw = {v, v / 2.0};
+    e.normalized = {v, v / 2.0};
+    return e;
+  }
+
+ private:
+  std::vector<MeasureSpec> measures_;
+};
+
+Table StubTable(size_t rows) {
+  Schema schema;
+  MODIS_CHECK_OK(schema.AddField({"x", ColumnType::kNumeric}));
+  Table t(schema);
+  for (size_t r = 0; r < rows; ++r) {
+    MODIS_CHECK_OK(t.AppendRow({Value(static_cast<double>(r))}));
+  }
+  return t;
+}
+
+ValuationRequest StubRequest(const std::string& key, size_t rows,
+                             double feature) {
+  ValuationRequest req;
+  req.key = key;
+  req.features = {feature, 1.0};
+  req.materialize = [rows]() {
+    auto m = std::make_shared<Materialization>();
+    m->table = StubTable(rows);
+    return MaterializationPtr(m);
+  };
+  return req;
+}
+
+TEST(ExactOracleBatchTest, PlansCacheHitsAndCommitsInOrder) {
+  StubEvaluator evaluator;
+  ExactOracle oracle(&evaluator);
+  // Pre-valuate "a" so the batch sees it as cached.
+  auto warm = oracle.Valuate("a", {0.0, 1.0},
+                             []() { return StubTable(4); });
+  ASSERT_TRUE(warm.ok());
+
+  std::vector<ValuationRequest> requests;
+  requests.push_back(StubRequest("a", 4, 0.0));
+  requests.push_back(StubRequest("b", 9, 1.0));
+  requests.push_back(StubRequest("c", 0, 2.0));  // Fails to train.
+  BatchPlan plan = oracle.PrepareBatch(std::move(requests));
+  ASSERT_EQ(plan.modes.size(), 3u);
+  EXPECT_EQ(plan.modes[0], BatchPlan::Mode::kCached);
+  EXPECT_EQ(plan.modes[1], BatchPlan::Mode::kExact);
+  EXPECT_EQ(plan.modes[2], BatchPlan::Mode::kExact);
+  EXPECT_EQ(plan.exact_count, 2u);
+
+  auto results = oracle.ValuateBatch(std::move(plan), nullptr);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ(results[0]->normalized, warm->normalized);
+  ASSERT_TRUE(results[1].ok());
+  EXPECT_NEAR(results[1]->normalized[0], 0.1, 1e-12);
+  EXPECT_FALSE(results[2].ok());  // Failed training surfaces per item.
+  EXPECT_EQ(oracle.stats().cache_hits, 1u);
+  EXPECT_EQ(oracle.stats().exact_evals, 2u);  // warm + "b".
+  EXPECT_EQ(oracle.stats().failed_evals, 1u);
+  EXPECT_EQ(oracle.store().size(), 2u);
+}
+
+TEST(MoGbmOracleBatchTest, BootstrapShortfallFallsBackToExact) {
+  // The plan projects the bootstrap to finish within the batch, but one
+  // exact training fails, leaving the surrogate untrained when the
+  // batch's surrogate predictions come due. Those requests must fall
+  // back to exact valuation (the serial path's guarantee) instead of
+  // being dropped as failures.
+  StubEvaluator evaluator;
+  SurrogateOptions opts;
+  opts.bootstrap_budget = 4;
+  opts.exact_fraction = 0.0;  // Everything after bootstrap plans surrogate.
+  MoGbmOracle oracle(&evaluator, opts);
+
+  std::vector<ValuationRequest> requests;
+  for (size_t i = 0; i < 8; ++i) {
+    // Request #2 materializes an empty table, so its training fails.
+    requests.push_back(StubRequest("k" + std::to_string(i),
+                                   i == 2 ? 0 : 5 + i,
+                                   static_cast<double>(i)));
+  }
+  BatchPlan plan = oracle.PrepareBatch(std::move(requests));
+  size_t exact_planned = 0;
+  for (auto m : plan.modes) {
+    if (m == BatchPlan::Mode::kExact) ++exact_planned;
+  }
+  EXPECT_EQ(exact_planned, 4u);  // The projected bootstrap.
+
+  auto results = oracle.ValuateBatch(std::move(plan), nullptr);
+  ASSERT_EQ(results.size(), 8u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i == 2) {
+      EXPECT_FALSE(results[i].ok()) << i;
+    } else {
+      EXPECT_TRUE(results[i].ok()) << i << ": "
+                                   << results[i].status().ToString();
+    }
+  }
+  // 3 bootstrap successes + at least the first fallback ran exactly; the
+  // retrain after the fallback may hand the remaining requests to the
+  // surrogate, but none may be dropped.
+  EXPECT_GE(oracle.stats().exact_evals, 4u);
+  EXPECT_EQ(oracle.stats().failed_evals, 1u);
+  EXPECT_EQ(oracle.stats().exact_evals + oracle.stats().surrogate_evals,
+            7u);
+}
+
 TEST(MoGbmOracleTest, BootstrapsExactThenPredicts) {
   TabularBench bench = SmallHouse();
   auto evaluator = bench.MakeEvaluator();

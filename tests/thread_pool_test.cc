@@ -1,0 +1,148 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace modis {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == 16; });
+  EXPECT_EQ(done, 16);
+}
+
+TEST(ThreadPoolTest, DrainsPendingTasksOnDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&done] { ++done; });
+    }
+  }  // Destructor joins after the queue is drained.
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsFallsBackToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  Status s = ParallelFor(&pool, 0, hits.size(),
+                         [&](size_t i) { ++hits[i]; });
+  EXPECT_TRUE(s.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, RespectsBeginOffset) {
+  ThreadPool pool(2);
+  std::vector<int> hits(10, 0);
+  Status s = ParallelFor(&pool, 7, 10, [&](size_t i) { hits[i] = 1; });
+  EXPECT_TRUE(s.ok());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], i >= 7 ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyAndInvertedRangesAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  EXPECT_TRUE(ParallelFor(&pool, 5, 5, [&](size_t) { ++calls; }).ok());
+  EXPECT_TRUE(ParallelFor(&pool, 9, 3, [&](size_t) { ++calls; }).ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, NullPoolRunsInlineInOrder) {
+  std::vector<size_t> order;
+  Status s = ParallelFor(nullptr, 0, 5,
+                         [&](size_t i) { order.push_back(i); });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, SingleWorkerPoolRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  Status s = ParallelFor(&pool, 2, 6,
+                         [&](size_t i) { order.push_back(i); });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(order, (std::vector<size_t>{2, 3, 4, 5}));
+}
+
+TEST(ParallelForTest, PropagatesExceptionsAsStatus) {
+  ThreadPool pool(4);
+  Status s = ParallelFor(&pool, 0, 50, [](size_t i) {
+    if (i == 13) throw std::runtime_error("boom at 13");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("boom at 13"), std::string::npos);
+}
+
+TEST(ParallelForTest, PropagatesExceptionsInline) {
+  Status s = ParallelFor(nullptr, 0, 4, [](size_t i) {
+    if (i == 2) throw std::runtime_error("inline boom");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("inline boom"), std::string::npos);
+}
+
+TEST(ParallelForTest, NonStdExceptionIsCaptured) {
+  Status s = ParallelFor(nullptr, 0, 2, [](size_t) { throw 42; });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(ParallelForTest, OverlapsBlockedTasks) {
+  // Four 100ms waits over four workers must overlap — even a single
+  // hardware thread interleaves sleeps — so the wall clock stays well
+  // under the 400ms a serial loop would take.
+  ThreadPool pool(4);
+  const auto start = std::chrono::steady_clock::now();
+  Status s = ParallelFor(&pool, 0, 4, [](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  });
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(s.ok());
+  EXPECT_LT(elapsed.count(), 350);
+}
+
+TEST(ParallelForTest, LargeRangeSumsCorrectly) {
+  ThreadPool pool(4);
+  std::vector<int64_t> out(5000, 0);
+  Status s = ParallelFor(&pool, 0, out.size(), [&](size_t i) {
+    out[i] = static_cast<int64_t>(i) * 2;
+  });
+  EXPECT_TRUE(s.ok());
+  int64_t sum = std::accumulate(out.begin(), out.end(), int64_t{0});
+  const int64_t n = static_cast<int64_t>(out.size());
+  EXPECT_EQ(sum, n * (n - 1));
+}
+
+}  // namespace
+}  // namespace modis

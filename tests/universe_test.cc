@@ -1,0 +1,224 @@
+#include "core/universe.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/tasks.h"
+
+namespace modis {
+namespace {
+
+struct Fixture {
+  TabularBench bench;
+  SearchUniverse universe;
+
+  static Fixture Make() {
+    auto bench = MakeTabularBench(BenchTaskId::kHouse, 0.4);
+    EXPECT_TRUE(bench.ok());
+    auto uni =
+        SearchUniverse::Build(bench->universal, bench->universe_options);
+    EXPECT_TRUE(uni.ok());
+    return {std::move(bench).value(), std::move(uni).value()};
+  }
+};
+
+void ExpectTablesEqual(const Table& actual, const Table& expected,
+                       const std::string& context) {
+  ASSERT_EQ(actual.num_cols(), expected.num_cols()) << context;
+  ASSERT_EQ(actual.num_rows(), expected.num_rows()) << context;
+  for (size_t c = 0; c < actual.num_cols(); ++c) {
+    EXPECT_EQ(actual.schema().field(c).name, expected.schema().field(c).name)
+        << context;
+  }
+  for (size_t r = 0; r < actual.num_rows(); ++r) {
+    for (size_t c = 0; c < actual.num_cols(); ++c) {
+      ASSERT_EQ(actual.At(r, c), expected.At(r, c))
+          << context << " cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+void ExpectIncrementalMatchesFresh(const SearchUniverse& universe,
+                                   const Materialization& parent,
+                                   const StateBitmap& child,
+                                   const std::string& context) {
+  MaterializationPtr inc = universe.MaterializeFrom(parent, child);
+  MaterializationPtr fresh = universe.MaterializeRecord(child);
+  ASSERT_NE(inc, nullptr) << context;
+  EXPECT_EQ(inc->row_ids, fresh->row_ids) << context;
+  ExpectTablesEqual(inc->table, fresh->table, context);
+  ExpectTablesEqual(inc->table, universe.Materialize(child), context);
+}
+
+TEST(MaterializeFromTest, ReductEdgesFromUniversalState) {
+  auto f = Fixture::Make();
+  const UnitLayout& layout = f.universe.layout();
+  const StateBitmap full = f.universe.FullBitmap();
+  const MaterializationPtr parent = f.universe.MaterializeRecord(full);
+
+  for (size_t u = 0; u < layout.num_units(); ++u) {
+    if (layout.IsAttributeUnit(u) && !layout.attr_flippable[u]) continue;
+    ExpectIncrementalMatchesFresh(f.universe, *parent, full.WithFlipped(u),
+                                  "reduct unit " + std::to_string(u));
+  }
+}
+
+TEST(MaterializeFromTest, ReductChainReusesIncrementalParents) {
+  // Walk a multi-step Reduct path, deriving every level from the previous
+  // *incremental* materialization — errors would compound if any edge
+  // diverged from a fresh scan.
+  auto f = Fixture::Make();
+  const UnitLayout& layout = f.universe.layout();
+  StateBitmap state = f.universe.FullBitmap();
+  MaterializationPtr parent = f.universe.MaterializeRecord(state);
+
+  size_t steps = 0;
+  // Alternate cluster and attribute flips across the layout: odd units
+  // walk from the back so cluster drops hit attributes that stay included.
+  for (size_t u = 0; u < layout.num_units() && steps < 6; ++u) {
+    const size_t unit = steps % 2 == 0 ? layout.num_units() - 1 - u : u;
+    if (!state.Get(unit)) continue;
+    if (layout.IsAttributeUnit(unit)) {
+      if (!layout.attr_flippable[unit]) continue;
+    } else if (!state.Get(layout.cluster(unit).attr_index)) {
+      continue;  // Cluster flips need their attribute included.
+    }
+    StateBitmap child = state.WithFlipped(unit);
+    ExpectIncrementalMatchesFresh(f.universe, *parent, child,
+                                  "chain unit " + std::to_string(unit));
+    parent = f.universe.MaterializeFrom(*parent, child);
+    state = child;
+    ++steps;
+  }
+  EXPECT_GE(steps, 4u);
+}
+
+TEST(MaterializeFromTest, AugmentEdgesFromBackwardState) {
+  auto f = Fixture::Make();
+  const UnitLayout& layout = f.universe.layout();
+  const StateBitmap back = f.universe.BackwardBitmap();
+  const MaterializationPtr parent = f.universe.MaterializeRecord(back);
+
+  for (size_t u = 0; u < layout.num_units(); ++u) {
+    if (back.Get(u)) continue;  // Augment flips 0 -> 1.
+    if (layout.IsAttributeUnit(u) && !layout.attr_flippable[u]) continue;
+    ExpectIncrementalMatchesFresh(f.universe, *parent, back.WithFlipped(u),
+                                  "augment unit " + std::to_string(u));
+  }
+}
+
+TEST(MaterializeFromTest, AugmentClusterEdgeAfterClusterDrop) {
+  // Exercise the relaxing cluster flip 0 -> 1 with its attribute included:
+  // rows removed by the dropped cluster must resurrect exactly.
+  auto f = Fixture::Make();
+  const UnitLayout& layout = f.universe.layout();
+  ASSERT_FALSE(layout.clusters.empty());
+  const size_t unit = layout.num_attributes();  // First cluster unit.
+
+  StateBitmap reduced = f.universe.FullBitmap().WithFlipped(unit);
+  const MaterializationPtr parent = f.universe.MaterializeRecord(reduced);
+  ASSERT_LT(parent->row_ids.size(), f.bench.universal.num_rows())
+      << "cluster drop removed no rows; test would be vacuous";
+  ExpectIncrementalMatchesFresh(f.universe, *parent,
+                                reduced.WithFlipped(unit),
+                                "cluster resurrect");
+}
+
+TEST(MaterializeFromTest, PreservesNullCells) {
+  // The universal table comes from a full outer join, so it carries null
+  // cells; incremental materialization must hand them through untouched.
+  auto f = Fixture::Make();
+  ASSERT_GT(f.bench.universal.NullFraction(), 0.0)
+      << "fixture lost its null cells; pick a task with an outer join";
+
+  const StateBitmap full = f.universe.FullBitmap();
+  const MaterializationPtr parent = f.universe.MaterializeRecord(full);
+  const UnitLayout& layout = f.universe.layout();
+  size_t checked = 0;
+  for (size_t u = 0; u < layout.num_units() && checked < 3; ++u) {
+    if (layout.IsAttributeUnit(u) && !layout.attr_flippable[u]) continue;
+    StateBitmap child = full.WithFlipped(u);
+    MaterializationPtr inc = f.universe.MaterializeFrom(*parent, child);
+    if (inc->table.NullFraction() == 0.0) continue;
+    ExpectTablesEqual(inc->table, f.universe.Materialize(child),
+                      "null-carrying child " + std::to_string(u));
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u) << "no child table carried nulls";
+}
+
+TEST(MaterializeFromTest, FallsBackOnMultiFlipEdges) {
+  auto f = Fixture::Make();
+  const UnitLayout& layout = f.universe.layout();
+  const StateBitmap full = f.universe.FullBitmap();
+  const MaterializationPtr parent = f.universe.MaterializeRecord(full);
+
+  size_t a = layout.num_attributes(), b = layout.num_attributes();
+  for (size_t u = 0; u < layout.num_attributes(); ++u) {
+    if (!layout.attr_flippable[u]) continue;
+    if (a == layout.num_attributes()) {
+      a = u;
+    } else {
+      b = u;
+      break;
+    }
+  }
+  ASSERT_LT(b, layout.num_attributes());
+  StateBitmap child = full.WithFlipped(a).WithFlipped(b);
+  MaterializationPtr inc = f.universe.MaterializeFrom(*parent, child);
+  MaterializationPtr fresh = f.universe.MaterializeRecord(child);
+  EXPECT_EQ(inc->row_ids, fresh->row_ids);
+  ExpectTablesEqual(inc->table, fresh->table, "two-flip fallback");
+}
+
+// ------------------------------------------------------- Materialization LRU
+
+MaterializationPtr DummyMaterialization(const std::string& tag) {
+  auto m = std::make_shared<Materialization>();
+  m->state = StateBitmap(tag.size(), true);
+  return m;
+}
+
+TEST(MaterializationCacheTest, PutGetRoundtrip) {
+  MaterializationCache cache(4);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  MaterializationPtr m = DummyMaterialization("a");
+  cache.Put("a", m);
+  EXPECT_EQ(cache.Get("a"), m);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MaterializationCacheTest, EvictsLeastRecentlyUsed) {
+  MaterializationCache cache(2);
+  cache.Put("a", DummyMaterialization("a"));
+  cache.Put("b", DummyMaterialization("b"));
+  ASSERT_NE(cache.Get("a"), nullptr);  // Refreshes "a"; "b" is now LRU.
+  cache.Put("c", DummyMaterialization("c"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+}
+
+TEST(MaterializationCacheTest, ZeroCapacityDisablesCaching) {
+  MaterializationCache cache(0);
+  cache.Put("a", DummyMaterialization("a"));
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(MaterializationCacheTest, PutRefreshesExistingKey) {
+  MaterializationCache cache(2);
+  cache.Put("a", DummyMaterialization("a"));
+  cache.Put("b", DummyMaterialization("b"));
+  MaterializationPtr fresh = DummyMaterialization("a2");
+  cache.Put("a", fresh);  // Refresh: "b" becomes LRU.
+  cache.Put("c", DummyMaterialization("c"));
+  EXPECT_EQ(cache.Get("a"), fresh);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+}
+
+}  // namespace
+}  // namespace modis
