@@ -10,7 +10,11 @@
 /// Flags: `--json` switches the output to one machine-readable JSON array
 /// of per-run records (see bench/baselines/README.md for the comparison
 /// protocol); `--threads N` sets ModisConfig::num_threads for every run
-/// (0 = hardware concurrency).
+/// (0 = hardware concurrency); `--record-cache PATH` shares one
+/// persistent valuation-record log across all 72 runs, so the sweeps only
+/// train each unique state once and a second invocation against the same
+/// file is a warm start (`persistent_hits` / `warm_hit_rate` in the JSON
+/// records; the skyline is identical to a cold run).
 
 #include <cstdio>
 
@@ -54,7 +58,7 @@ Status SweepPoint(const PanelContext& ctx, const TabularBench& bench,
                   const SearchUniverse& universe, ModisConfig config,
                   const std::string& panel, const std::string& param,
                   double param_value, const std::string& row_label) {
-  config.num_threads = ctx.opts->num_threads;
+  ApplyBenchOptions(*ctx.opts, &config);
   std::vector<double> row;
   for (Algo a : kAlgos) {
     MODIS_ASSIGN_OR_RETURN(ModisResult result,

@@ -5,6 +5,9 @@
 /// Expected shape (paper): bidirectional variants (BiMODis / NOBiMODis /
 /// DivMODis) consistently beat ApxMODis in discovery time; BiMODis is the
 /// fastest across settings.
+///
+/// Flags: `--json` emits one record per run; `--threads N` /
+/// `--record-cache PATH` are forwarded to every run.
 
 #include <cstdio>
 
@@ -14,6 +17,11 @@ namespace modis::bench {
 namespace {
 
 constexpr Algo kAlgos[] = {Algo::kApx, Algo::kNoBi, Algo::kBi, Algo::kDiv};
+
+struct PanelContext {
+  const BenchOptions* opts;
+  std::vector<RunRecord>* records;
+};
 
 void PrintHeader(const char* axis) {
   std::printf("%s", PadRight(axis, 9).c_str());
@@ -29,7 +37,7 @@ void PrintRow(const std::string& label, const std::vector<double>& seconds) {
   std::printf("\n");
 }
 
-Status GraphSweeps() {
+Status GraphSweeps(const PanelContext& ctx) {
   MODIS_ASSIGN_OR_RETURN(GraphBench bench, MakeGraphBench(0.8));
   SearchUniverse::Options opts;
   opts.protected_attributes = {"user", "item"};
@@ -37,93 +45,121 @@ Status GraphSweeps() {
   MODIS_ASSIGN_OR_RETURN(SearchUniverse universe,
                          SearchUniverse::Build(bench.lake.edge_table, opts));
 
-  auto time_one = [&](Algo algo, const ModisConfig& config) -> Result<double> {
+  auto time_one = [&](Algo algo, const ModisConfig& config,
+                      const std::string& panel, const std::string& param,
+                      double param_value) -> Result<double> {
     auto evaluator = bench.MakeEvaluator();
     ExactOracle oracle(evaluator.get());
     MODIS_ASSIGN_OR_RETURN(ModisResult result,
                            RunAlgo(algo, universe, &oracle, config));
+    ctx.records->push_back(MakeRunRecord("fig13", panel, "T5",
+                                         AlgoName(algo), param, param_value,
+                                         result,
+                                         ResolvedThreads(*ctx.opts)));
     return result.seconds;
   };
 
-  std::printf("\n== Figure 13(a) / T5: discovery seconds vs epsilon "
-              "(maxl=3) ==\n");
-  PrintHeader("epsilon");
+  if (!ctx.opts->json) {
+    std::printf("\n== Figure 13(a) / T5: discovery seconds vs epsilon "
+                "(maxl=3) ==\n");
+    PrintHeader("epsilon");
+  }
   for (double eps : {0.1, 0.2, 0.3, 0.4}) {
     ModisConfig config;
     config.epsilon = eps;
     config.max_states = 50;
     config.max_level = 3;
+    ApplyBenchOptions(*ctx.opts, &config);
     std::vector<double> row;
     for (Algo a : kAlgos) {
-      MODIS_ASSIGN_OR_RETURN(double t, time_one(a, config));
+      MODIS_ASSIGN_OR_RETURN(double t,
+                             time_one(a, config, "a", "epsilon", eps));
       row.push_back(t);
     }
-    PrintRow(FormatDouble(eps, 1), row);
+    if (!ctx.opts->json) PrintRow(FormatDouble(eps, 1), row);
   }
 
-  std::printf("\n== Figure 13(b) / T5: discovery seconds vs maxl "
-              "(epsilon=0.2) ==\n");
-  PrintHeader("maxl");
+  if (!ctx.opts->json) {
+    std::printf("\n== Figure 13(b) / T5: discovery seconds vs maxl "
+                "(epsilon=0.2) ==\n");
+    PrintHeader("maxl");
+  }
   for (int maxl = 2; maxl <= 5; ++maxl) {
     ModisConfig config;
     config.epsilon = 0.2;
     config.max_states = 50;
     config.max_level = maxl;
+    ApplyBenchOptions(*ctx.opts, &config);
     std::vector<double> row;
     for (Algo a : kAlgos) {
-      MODIS_ASSIGN_OR_RETURN(double t, time_one(a, config));
+      MODIS_ASSIGN_OR_RETURN(
+          double t, time_one(a, config, "b", "maxl", double(maxl)));
       row.push_back(t);
     }
-    PrintRow(std::to_string(maxl), row);
+    if (!ctx.opts->json) PrintRow(std::to_string(maxl), row);
   }
   return Status::OK();
 }
 
-Status AvocadoSweeps() {
+Status AvocadoSweeps(const PanelContext& ctx) {
   MODIS_ASSIGN_OR_RETURN(TabularBench bench,
                          MakeTabularBench(BenchTaskId::kAvocado, 0.3));
   MODIS_ASSIGN_OR_RETURN(
       SearchUniverse universe,
       SearchUniverse::Build(bench.universal, bench.universe_options));
 
-  auto time_one = [&](Algo algo, const ModisConfig& config) -> Result<double> {
+  auto time_one = [&](Algo algo, const ModisConfig& config,
+                      const std::string& panel, const std::string& param,
+                      double param_value) -> Result<double> {
     auto evaluator = bench.MakeEvaluator();
     MoGbmOracle oracle(evaluator.get());
     MODIS_ASSIGN_OR_RETURN(ModisResult result,
                            RunAlgo(algo, universe, &oracle, config));
+    ctx.records->push_back(MakeRunRecord("fig13", panel, "T3",
+                                         AlgoName(algo), param, param_value,
+                                         result,
+                                         ResolvedThreads(*ctx.opts)));
     return result.seconds;
   };
 
-  std::printf("\n== Figure 13(c) / T3: discovery seconds vs epsilon "
-              "(maxl=4) ==\n");
-  PrintHeader("epsilon");
+  if (!ctx.opts->json) {
+    std::printf("\n== Figure 13(c) / T3: discovery seconds vs epsilon "
+                "(maxl=4) ==\n");
+    PrintHeader("epsilon");
+  }
   for (double eps : {0.1, 0.2, 0.3, 0.4}) {
     ModisConfig config;
     config.epsilon = eps;
     config.max_states = 120;
     config.max_level = 4;
+    ApplyBenchOptions(*ctx.opts, &config);
     std::vector<double> row;
     for (Algo a : kAlgos) {
-      MODIS_ASSIGN_OR_RETURN(double t, time_one(a, config));
+      MODIS_ASSIGN_OR_RETURN(double t,
+                             time_one(a, config, "c", "epsilon", eps));
       row.push_back(t);
     }
-    PrintRow(FormatDouble(eps, 1), row);
+    if (!ctx.opts->json) PrintRow(FormatDouble(eps, 1), row);
   }
 
-  std::printf("\n== Figure 13(d) / T3: discovery seconds vs maxl "
-              "(epsilon=0.1) ==\n");
-  PrintHeader("maxl");
+  if (!ctx.opts->json) {
+    std::printf("\n== Figure 13(d) / T3: discovery seconds vs maxl "
+                "(epsilon=0.1) ==\n");
+    PrintHeader("maxl");
+  }
   for (int maxl = 2; maxl <= 5; ++maxl) {
     ModisConfig config;
     config.epsilon = 0.1;
     config.max_states = 120;
     config.max_level = maxl;
+    ApplyBenchOptions(*ctx.opts, &config);
     std::vector<double> row;
     for (Algo a : kAlgos) {
-      MODIS_ASSIGN_OR_RETURN(double t, time_one(a, config));
+      MODIS_ASSIGN_OR_RETURN(
+          double t, time_one(a, config, "d", "maxl", double(maxl)));
       row.push_back(t);
     }
-    PrintRow(std::to_string(maxl), row);
+    if (!ctx.opts->json) PrintRow(std::to_string(maxl), row);
   }
   return Status::OK();
 }
@@ -131,12 +167,19 @@ Status AvocadoSweeps() {
 }  // namespace
 }  // namespace modis::bench
 
-int main() {
-  std::printf("Reproduction of Figure 13 (EDBT'25 MODis): T5 and T3 "
-              "efficiency\n");
-  modis::Status s = modis::bench::GraphSweeps();
+int main(int argc, char** argv) {
+  const modis::bench::BenchOptions opts =
+      modis::bench::ParseBenchOptions(argc, argv);
+  std::vector<modis::bench::RunRecord> records;
+  modis::bench::PanelContext ctx{&opts, &records};
+  if (!opts.json) {
+    std::printf("Reproduction of Figure 13 (EDBT'25 MODis): T5 and T3 "
+                "efficiency\n");
+  }
+  modis::Status s = modis::bench::GraphSweeps(ctx);
   if (!s.ok()) std::fprintf(stderr, "T5 failed: %s\n", s.ToString().c_str());
-  s = modis::bench::AvocadoSweeps();
+  s = modis::bench::AvocadoSweeps(ctx);
   if (!s.ok()) std::fprintf(stderr, "T3 failed: %s\n", s.ToString().c_str());
+  if (opts.json) modis::bench::PrintJsonRecords(records);
   return 0;
 }

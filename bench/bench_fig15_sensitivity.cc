@@ -4,6 +4,9 @@
 ///
 /// Expected shape (paper): all MODis algorithms benefit from larger maxl
 /// and smaller ε; sensitivity to maxl is stronger than to ε.
+///
+/// Flags: `--json` emits per-run records (metric `pct_change_p5`);
+/// `--threads N` / `--record-cache PATH` are forwarded to every run.
 
 #include <cstdio>
 
@@ -13,6 +16,11 @@ namespace modis::bench {
 namespace {
 
 constexpr Algo kAlgos[] = {Algo::kApx, Algo::kNoBi, Algo::kBi, Algo::kDiv};
+
+struct PanelContext {
+  const BenchOptions* opts;
+  std::vector<RunRecord>* records;
+};
 
 struct Fixture {
   GraphBench bench;
@@ -34,9 +42,11 @@ Result<Fixture> MakeFixture() {
   return f;
 }
 
-/// Percentage change of best p@5 vs the original graph.
-Result<double> PercentChange(Fixture* f, Algo algo,
-                             const ModisConfig& config) {
+/// Percentage change of best p@5 vs the original graph; records the run.
+Result<double> PercentChange(const PanelContext& ctx, Fixture* f, Algo algo,
+                             const ModisConfig& config,
+                             const std::string& panel,
+                             const std::string& param, double param_value) {
   auto evaluator = f->bench.MakeEvaluator();
   ExactOracle oracle(evaluator.get());
   MODIS_ASSIGN_OR_RETURN(ModisResult result,
@@ -44,54 +54,78 @@ Result<double> PercentChange(Fixture* f, Algo algo,
   MODIS_ASSIGN_OR_RETURN(
       MethodReport report,
       ReportBestBy(AlgoName(algo), result, 0, f->universe, evaluator.get()));
-  return 100.0 * (report.eval.raw[0] - f->original_p5) /
-         std::max(1e-9, f->original_p5);
+  const double pct = 100.0 * (report.eval.raw[0] - f->original_p5) /
+                     std::max(1e-9, f->original_p5);
+  RunRecord rec =
+      MakeRunRecord("fig15", panel, "T5", AlgoName(algo), param, param_value,
+                    result, ResolvedThreads(*ctx.opts));
+  rec.metric = "pct_change_p5";
+  rec.metric_value = pct;
+  ctx.records->push_back(std::move(rec));
+  return pct;
 }
 
-Status Run() {
+Status Run(const PanelContext& ctx) {
   MODIS_ASSIGN_OR_RETURN(Fixture f, MakeFixture());
-  std::printf("original p@5 = %.4f\n", f.original_p5);
+  const bool text = !ctx.opts->json;
+  if (text) std::printf("original p@5 = %.4f\n", f.original_p5);
 
-  std::printf("\n== Figure 15(a) / T5: %% change of p@5 vs maxl "
-              "(epsilon=0.2) ==\n");
-  std::printf("%s", PadRight("maxl", 7).c_str());
-  for (Algo a : kAlgos) std::printf(" %s", PadRight(AlgoName(a), 11).c_str());
-  std::printf("\n");
+  if (text) {
+    std::printf("\n== Figure 15(a) / T5: %% change of p@5 vs maxl "
+                "(epsilon=0.2) ==\n");
+    std::printf("%s", PadRight("maxl", 7).c_str());
+    for (Algo a : kAlgos) {
+      std::printf(" %s", PadRight(AlgoName(a), 11).c_str());
+    }
+    std::printf("\n");
+  }
   for (int maxl = 2; maxl <= 4; ++maxl) {
     ModisConfig config;
     config.epsilon = 0.2;
     config.max_states = 45;
     config.max_level = maxl;
-    std::printf("%s", PadRight(std::to_string(maxl), 7).c_str());
+    ApplyBenchOptions(*ctx.opts, &config);
+    if (text) std::printf("%s", PadRight(std::to_string(maxl), 7).c_str());
     for (Algo a : kAlgos) {
-      auto pc = PercentChange(&f, a, config);
-      std::printf(" %s",
-                  PadRight(pc.ok() ? FormatDouble(pc.value(), 2) + "%" : "-",
-                           11)
-                      .c_str());
+      auto pc = PercentChange(ctx, &f, a, config, "a", "maxl", double(maxl));
+      if (text) {
+        std::printf(" %s",
+                    PadRight(pc.ok() ? FormatDouble(pc.value(), 2) + "%"
+                                     : "-",
+                             11)
+                        .c_str());
+      }
+    }
+    if (text) std::printf("\n");
+  }
+
+  if (text) {
+    std::printf("\n== Figure 15(b) / T5: %% change of p@5 vs epsilon "
+                "(maxl=3) ==\n");
+    std::printf("%s", PadRight("eps", 7).c_str());
+    for (Algo a : kAlgos) {
+      std::printf(" %s", PadRight(AlgoName(a), 11).c_str());
     }
     std::printf("\n");
   }
-
-  std::printf("\n== Figure 15(b) / T5: %% change of p@5 vs epsilon "
-              "(maxl=3) ==\n");
-  std::printf("%s", PadRight("eps", 7).c_str());
-  for (Algo a : kAlgos) std::printf(" %s", PadRight(AlgoName(a), 11).c_str());
-  std::printf("\n");
   for (double eps : {0.1, 0.2, 0.3}) {
     ModisConfig config;
     config.epsilon = eps;
     config.max_states = 45;
     config.max_level = 3;
-    std::printf("%s", PadRight(FormatDouble(eps, 1), 7).c_str());
+    ApplyBenchOptions(*ctx.opts, &config);
+    if (text) std::printf("%s", PadRight(FormatDouble(eps, 1), 7).c_str());
     for (Algo a : kAlgos) {
-      auto pc = PercentChange(&f, a, config);
-      std::printf(" %s",
-                  PadRight(pc.ok() ? FormatDouble(pc.value(), 2) + "%" : "-",
-                           11)
-                      .c_str());
+      auto pc = PercentChange(ctx, &f, a, config, "b", "epsilon", eps);
+      if (text) {
+        std::printf(" %s",
+                    PadRight(pc.ok() ? FormatDouble(pc.value(), 2) + "%"
+                                     : "-",
+                             11)
+                        .c_str());
+      }
     }
-    std::printf("\n");
+    if (text) std::printf("\n");
   }
   return Status::OK();
 }
@@ -99,9 +133,16 @@ Status Run() {
 }  // namespace
 }  // namespace modis::bench
 
-int main() {
-  std::printf("Reproduction of Figure 15 (EDBT'25 MODis): T5 sensitivity\n");
-  modis::Status s = modis::bench::Run();
+int main(int argc, char** argv) {
+  const modis::bench::BenchOptions opts =
+      modis::bench::ParseBenchOptions(argc, argv);
+  std::vector<modis::bench::RunRecord> records;
+  modis::bench::PanelContext ctx{&opts, &records};
+  if (!opts.json) {
+    std::printf("Reproduction of Figure 15 (EDBT'25 MODis): T5 sensitivity\n");
+  }
+  modis::Status s = modis::bench::Run(ctx);
   if (!s.ok()) std::fprintf(stderr, "failed: %s\n", s.ToString().c_str());
+  if (opts.json) modis::bench::PrintJsonRecords(records);
   return 0;
 }

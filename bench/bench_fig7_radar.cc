@@ -6,6 +6,10 @@
 ///
 /// Expected shape (paper): MODis series enclose the baselines on most axes,
 /// with feature-selection baselines winning only the training-time axis.
+///
+/// Flags: `--json` emits one MethodRecord per series (raw measure values,
+/// including an Original row, so rImp is derivable); `--threads N` /
+/// `--record-cache PATH` are forwarded to the MODis runs.
 
 #include <cstdio>
 
@@ -14,7 +18,8 @@
 namespace modis::bench {
 namespace {
 
-Status RunTask(BenchTaskId id, double row_scale, const std::string& select,
+Status RunTask(const BenchOptions& opts, std::vector<MethodRecord>* records,
+               BenchTaskId id, double row_scale, const std::string& select,
                bool surrogate) {
   MODIS_ASSIGN_OR_RETURN(TabularBench bench, MakeTabularBench(id, row_scale));
   MODIS_ASSIGN_OR_RETURN(
@@ -43,11 +48,23 @@ Status RunTask(BenchTaskId id, double row_scale, const std::string& select,
   config.epsilon = 0.15;
   config.max_states = 160;
   config.max_level = 4;
+  ApplyBenchOptions(opts, &config);
   MODIS_ASSIGN_OR_RETURN(
       std::vector<MethodReport> modis,
       RunAllModis(bench, universe, config,
                   MeasureIndex(bench.task.measures, select), surrogate));
   for (auto& m : modis) methods.push_back(std::move(m));
+
+  if (opts.json) {
+    records->push_back(MakeMethodRecord("fig7", "", BenchTaskName(id),
+                                        FromBaseline(original),
+                                        bench.task.measures));
+    for (const MethodReport& m : methods) {
+      records->push_back(MakeMethodRecord("fig7", "", BenchTaskName(id), m,
+                                          bench.task.measures));
+    }
+    return Status::OK();
+  }
 
   std::printf("\n== Figure 7 radar series / %s (rImp per axis; >1 beats "
               "Original) ==\n",
@@ -75,14 +92,21 @@ Status RunTask(BenchTaskId id, double row_scale, const std::string& select,
 }  // namespace
 }  // namespace modis::bench
 
-int main() {
-  std::printf("Reproduction of Figure 7 (EDBT'25 MODis): effectiveness radar "
-              "series\n");
-  modis::Status s = modis::bench::RunTask(modis::BenchTaskId::kMovie, 0.4,
-                                          "acc", /*surrogate=*/true);
+int main(int argc, char** argv) {
+  const modis::bench::BenchOptions opts =
+      modis::bench::ParseBenchOptions(argc, argv);
+  std::vector<modis::bench::MethodRecord> records;
+  if (!opts.json) {
+    std::printf("Reproduction of Figure 7 (EDBT'25 MODis): effectiveness "
+                "radar series\n");
+  }
+  modis::Status s =
+      modis::bench::RunTask(opts, &records, modis::BenchTaskId::kMovie, 0.4,
+                            "acc", /*surrogate=*/true);
   if (!s.ok()) std::fprintf(stderr, "T1 failed: %s\n", s.ToString().c_str());
-  s = modis::bench::RunTask(modis::BenchTaskId::kAvocado, 0.3, "mse",
-                            /*surrogate=*/false);
+  s = modis::bench::RunTask(opts, &records, modis::BenchTaskId::kAvocado,
+                            0.3, "mse", /*surrogate=*/false);
   if (!s.ok()) std::fprintf(stderr, "T3 failed: %s\n", s.ToString().c_str());
+  if (opts.json) modis::bench::PrintJsonMethodRecords(records);
   return 0;
 }

@@ -7,6 +7,11 @@
 ///      skyline (how often each attribute appears), and their standard
 ///      deviation — larger α distributes contributions more evenly
 ///      (decreasing std).
+///
+/// Flags: `--json` emits two per-alpha records (metric `acc_std`, the
+/// accuracy spread of the diversified skyline, and `contribution_std_pct`,
+/// the attribute-contribution spread); `--threads N` / `--record-cache
+/// PATH` are forwarded to every run.
 
 #include <algorithm>
 #include <cstdio>
@@ -17,7 +22,7 @@
 namespace modis::bench {
 namespace {
 
-Status Run() {
+Status Run(const BenchOptions& opts, std::vector<RunRecord>* records) {
   MODIS_ASSIGN_OR_RETURN(TabularBench bench,
                          MakeTabularBench(BenchTaskId::kHouse, 0.6));
   MODIS_ASSIGN_OR_RETURN(
@@ -26,12 +31,14 @@ Status Run() {
   const size_t acc = MeasureIndex(bench.task.measures, "acc");
   const auto& layout = universe.layout();
 
-  std::printf("\n== Figure 9(a): accuracy distribution of the diversified "
-              "skyline vs alpha ==\n");
-  std::printf("%s %s %s %s %s %s %s\n", PadRight("alpha", 7).c_str(),
-              PadRight("k", 3).c_str(), PadRight("min", 8).c_str(),
-              PadRight("mean", 8).c_str(), PadRight("median", 8).c_str(),
-              PadRight("max", 8).c_str(), PadRight("std", 8).c_str());
+  if (!opts.json) {
+    std::printf("\n== Figure 9(a): accuracy distribution of the diversified "
+                "skyline vs alpha ==\n");
+    std::printf("%s %s %s %s %s %s %s\n", PadRight("alpha", 7).c_str(),
+                PadRight("k", 3).c_str(), PadRight("min", 8).c_str(),
+                PadRight("mean", 8).c_str(), PadRight("median", 8).c_str(),
+                PadRight("max", 8).c_str(), PadRight("std", 8).c_str());
+  }
 
   struct AlphaRun {
     double alpha;
@@ -46,6 +53,7 @@ Status Run() {
     config.max_level = 4;
     config.diversify_k = 6;
     config.alpha = alpha;
+    ApplyBenchOptions(opts, &config);
 
     auto evaluator = bench.MakeEvaluator();
     ExactOracle oracle(evaluator.get());
@@ -67,16 +75,29 @@ Status Run() {
     }
     std::vector<double> sorted = accs;
     std::sort(sorted.begin(), sorted.end());
-    std::printf("%s %s %s %s %s %s %s\n",
-                PadRight(FormatDouble(alpha, 1), 7).c_str(),
-                PadRight(std::to_string(accs.size()), 3).c_str(),
-                PadRight(FormatDouble(sorted.front(), 4), 8).c_str(),
-                PadRight(FormatDouble(Mean(accs), 4), 8).c_str(),
-                PadRight(FormatDouble(sorted[sorted.size() / 2], 4), 8).c_str(),
-                PadRight(FormatDouble(sorted.back(), 4), 8).c_str(),
-                PadRight(FormatDouble(StdDev(accs), 4), 8).c_str());
+    if (!opts.json) {
+      std::printf(
+          "%s %s %s %s %s %s %s\n", PadRight(FormatDouble(alpha, 1), 7).c_str(),
+          PadRight(std::to_string(accs.size()), 3).c_str(),
+          PadRight(FormatDouble(sorted.front(), 4), 8).c_str(),
+          PadRight(FormatDouble(Mean(accs), 4), 8).c_str(),
+          PadRight(FormatDouble(sorted[sorted.size() / 2], 4), 8).c_str(),
+          PadRight(FormatDouble(sorted.back(), 4), 8).c_str(),
+          PadRight(FormatDouble(StdDev(accs), 4), 8).c_str());
+    }
+    RunRecord rec = MakeRunRecord("fig9", "a", "T2", "DivMODis", "alpha",
+                                  alpha, result, ResolvedThreads(opts));
+    rec.metric = "acc_std";
+    rec.metric_value = StdDev(accs);
+    records->push_back(rec);
+    rec.panel = "b";
+    rec.metric = "contribution_std_pct";
+    rec.metric_value = StdDev(contribution);
+    records->push_back(std::move(rec));
     runs.push_back({alpha, std::move(contribution)});
   }
+
+  if (opts.json) return Status::OK();
 
   std::printf("\n== Figure 9(b): attribute contribution heatmap (%% of "
               "skyline tables containing each attribute) ==\n");
@@ -107,10 +128,16 @@ Status Run() {
 }  // namespace
 }  // namespace modis::bench
 
-int main() {
-  std::printf("Reproduction of Figure 9 (EDBT'25 MODis): DivMODis alpha "
-              "sweep\n");
-  modis::Status s = modis::bench::Run();
+int main(int argc, char** argv) {
+  const modis::bench::BenchOptions opts =
+      modis::bench::ParseBenchOptions(argc, argv);
+  std::vector<modis::bench::RunRecord> records;
+  if (!opts.json) {
+    std::printf("Reproduction of Figure 9 (EDBT'25 MODis): DivMODis alpha "
+                "sweep\n");
+  }
+  modis::Status s = modis::bench::Run(opts, &records);
   if (!s.ok()) std::fprintf(stderr, "failed: %s\n", s.ToString().c_str());
+  if (opts.json) modis::bench::PrintJsonRecords(records);
   return 0;
 }

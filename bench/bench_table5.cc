@@ -5,6 +5,10 @@
 /// Expected shape (paper): all MODis variants improve P@5/P@10, R@5/R@10,
 /// NDCG@5/NDCG@10 over the original graph; BiMODis/ApxMODis lead, and the
 /// output graphs are substantially smaller (noise edges removed).
+///
+/// Flags: `--json` emits one MethodRecord per method instead of the
+/// table; `--threads N` / `--record-cache PATH` are forwarded to the
+/// MODis runs.
 
 #include <cstdio>
 
@@ -13,7 +17,7 @@
 namespace modis::bench {
 namespace {
 
-Status Run() {
+Status Run(const BenchOptions& bench_opts) {
   MODIS_ASSIGN_OR_RETURN(GraphBench bench, MakeGraphBench(1.0));
   auto evaluator = bench.MakeEvaluator();
 
@@ -39,6 +43,7 @@ Status Run() {
   config.epsilon = 0.15;
   config.max_states = 70;
   config.max_level = 4;
+  ApplyBenchOptions(bench_opts, &config);
   const size_t p5 = MeasureIndex(bench.task.measures, "p@5");
   for (Algo algo : {Algo::kApx, Algo::kNoBi, Algo::kBi, Algo::kDiv}) {
     auto eval = bench.MakeEvaluator();
@@ -50,6 +55,15 @@ Status Run() {
     if (report.ok()) methods.push_back(std::move(report).value());
   }
 
+  if (bench_opts.json) {
+    std::vector<MethodRecord> records;
+    for (const MethodReport& m : methods) {
+      records.push_back(
+          MakeMethodRecord("table5", "", "T5", m, bench.task.measures));
+    }
+    PrintJsonMethodRecords(records);
+    return Status::OK();
+  }
   PrintMethodTable("Table 5 / T5 link regression (select by best p@5)",
                    bench.task.measures, methods);
   std::printf(
@@ -61,9 +75,13 @@ Status Run() {
 }  // namespace
 }  // namespace modis::bench
 
-int main() {
-  std::printf("Reproduction of Table 5 (EDBT'25 MODis): T5 graph task\n");
-  modis::Status s = modis::bench::Run();
+int main(int argc, char** argv) {
+  const modis::bench::BenchOptions opts =
+      modis::bench::ParseBenchOptions(argc, argv);
+  if (!opts.json) {
+    std::printf("Reproduction of Table 5 (EDBT'25 MODis): T5 graph task\n");
+  }
+  modis::Status s = modis::bench::Run(opts);
   if (!s.ok()) std::fprintf(stderr, "T5 failed: %s\n", s.ToString().c_str());
   return 0;
 }

@@ -5,6 +5,10 @@
 /// Expected shape (paper): MODis variants take the top spots on the first
 /// metric of each task (acc for T1, MSE for T3) with smaller output
 /// datasets and lower training cost; NOBiMODis/BiMODis lead most rows.
+///
+/// Flags: `--json` emits one MethodRecord per method instead of the
+/// tables; `--threads N` / `--record-cache PATH` are forwarded to the
+/// MODis runs.
 
 #include <cstdio>
 
@@ -13,7 +17,8 @@
 namespace modis::bench {
 namespace {
 
-Status RunTask(BenchTaskId id, double row_scale, const std::string& select,
+Status RunTask(const BenchOptions& opts, std::vector<MethodRecord>* records,
+               BenchTaskId id, double row_scale, const std::string& select,
                bool surrogate) {
   MODIS_ASSIGN_OR_RETURN(TabularBench bench, MakeTabularBench(id, row_scale));
   MODIS_ASSIGN_OR_RETURN(
@@ -50,29 +55,43 @@ Status RunTask(BenchTaskId id, double row_scale, const std::string& select,
   config.epsilon = 0.15;
   config.max_states = 180;
   config.max_level = 4;
+  ApplyBenchOptions(opts, &config);
   MODIS_ASSIGN_OR_RETURN(
       std::vector<MethodReport> modis,
       RunAllModis(bench, universe, config,
                   MeasureIndex(bench.task.measures, select), surrogate));
   for (auto& m : modis) methods.push_back(std::move(m));
 
-  PrintMethodTable("Table 6 / " + bench.name + " (select by best " + select +
-                       ")",
-                   bench.task.measures, methods);
+  for (const MethodReport& m : methods) {
+    records->push_back(MakeMethodRecord("table6", "", BenchTaskName(id), m,
+                                        bench.task.measures));
+  }
+  if (!opts.json) {
+    PrintMethodTable("Table 6 / " + bench.name + " (select by best " +
+                         select + ")",
+                     bench.task.measures, methods);
+  }
   return Status::OK();
 }
 
 }  // namespace
 }  // namespace modis::bench
 
-int main() {
-  std::printf(
-      "Reproduction of Table 6 (EDBT'25 MODis): T1-movie, T3-avocado\n");
-  modis::Status s = modis::bench::RunTask(modis::BenchTaskId::kMovie, 0.5,
-                                          "acc", /*surrogate=*/true);
+int main(int argc, char** argv) {
+  const modis::bench::BenchOptions opts =
+      modis::bench::ParseBenchOptions(argc, argv);
+  std::vector<modis::bench::MethodRecord> records;
+  if (!opts.json) {
+    std::printf(
+        "Reproduction of Table 6 (EDBT'25 MODis): T1-movie, T3-avocado\n");
+  }
+  modis::Status s =
+      modis::bench::RunTask(opts, &records, modis::BenchTaskId::kMovie, 0.5,
+                            "acc", /*surrogate=*/true);
   if (!s.ok()) std::fprintf(stderr, "T1 failed: %s\n", s.ToString().c_str());
-  s = modis::bench::RunTask(modis::BenchTaskId::kAvocado, 0.4, "mse",
-                            /*surrogate=*/false);
+  s = modis::bench::RunTask(opts, &records, modis::BenchTaskId::kAvocado,
+                            0.4, "mse", /*surrogate=*/false);
   if (!s.ok()) std::fprintf(stderr, "T3 failed: %s\n", s.ToString().c_str());
+  if (opts.json) modis::bench::PrintJsonMethodRecords(records);
   return 0;
 }

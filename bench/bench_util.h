@@ -7,6 +7,7 @@
 /// actual model inference — the paper's Exp-1 protocol), and fixed-width
 /// table printing.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,16 +24,36 @@
 namespace modis::bench {
 
 /// Command-line options shared by the experiment binaries:
-///   --json        emit machine-readable per-run records (and only those)
-///   --threads N   ModisConfig::num_threads for every run (0 = hardware
-///                 concurrency; the default)
+///   --json              emit machine-readable per-run records (and only
+///                       those)
+///   --threads N         ModisConfig::num_threads for every run (0 =
+///                       hardware concurrency; the default)
+///   --record-cache P    cross-run persistent valuation-record log at path
+///                       P (ModisConfig::record_cache_path): every run of
+///                       the binary shares it, so variant/config sweeps
+///                       only pay the exact training of each unique state
+///                       once, and a re-run against the same file is a
+///                       warm start (see docs/PERSISTENCE.md)
+///   --cache-mode M      off | read | read_write (default read_write);
+///                       only meaningful with --record-cache
 struct BenchOptions {
   bool json = false;
   size_t num_threads = 0;
+  std::string record_cache;
+  CacheMode cache_mode = CacheMode::kReadWrite;
 };
 
 inline BenchOptions ParseBenchOptions(int argc, char** argv) {
   BenchOptions opts;
+  auto parse_mode = [](const std::string& value) {
+    if (value == "off") return CacheMode::kOff;
+    if (value == "read") return CacheMode::kRead;
+    if (value == "read_write") return CacheMode::kReadWrite;
+    std::fprintf(stderr,
+                 "bad --cache-mode %s (off | read | read_write)\n",
+                 value.c_str());
+    std::exit(2);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -43,14 +64,32 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       opts.num_threads = static_cast<size_t>(std::strtoull(
           arg.c_str() + std::strlen("--threads="), nullptr, 10));
+    } else if (arg == "--record-cache" && i + 1 < argc) {
+      opts.record_cache = argv[++i];
+    } else if (arg.rfind("--record-cache=", 0) == 0) {
+      opts.record_cache = arg.substr(std::strlen("--record-cache="));
+    } else if (arg == "--cache-mode" && i + 1 < argc) {
+      opts.cache_mode = parse_mode(argv[++i]);
+    } else if (arg.rfind("--cache-mode=", 0) == 0) {
+      opts.cache_mode = parse_mode(arg.substr(std::strlen("--cache-mode=")));
     } else {
       std::fprintf(stderr,
-                   "unknown argument %s (supported: --json, --threads N)\n",
+                   "unknown argument %s (supported: --json, --threads N, "
+                   "--record-cache PATH, --cache-mode M)\n",
                    arg.c_str());
       std::exit(2);
     }
   }
   return opts;
+}
+
+/// Applies the shared options to one run's config (threads + record
+/// cache). Every bench builds its configs through this so a single
+/// `--record-cache` flag warms the whole sweep.
+inline void ApplyBenchOptions(const BenchOptions& opts, ModisConfig* config) {
+  config->num_threads = opts.num_threads;
+  config->record_cache_path = opts.record_cache;
+  config->cache_mode = opts.cache_mode;
 }
 
 /// The thread count a run effectively uses (resolves 0 = hardware).
@@ -73,11 +112,26 @@ struct RunRecord {
   size_t exact_evals = 0;
   size_t surrogate_evals = 0;
   size_t cache_hits = 0;
+  size_t persistent_hits = 0;  // Trainings avoided via --record-cache.
   size_t failed_evals = 0;
   size_t valuated_states = 0;
   size_t generated_states = 0;
   size_t pruned_states = 0;
+  /// Optional reported quality metric of the run (e.g. "best_acc" for the
+  /// effectiveness figures); empty name for pure efficiency records.
+  std::string metric;
+  double metric_value = 0.0;
 };
+
+/// Fraction of the run's would-be exact trainings served by the
+/// persistent record cache (0 when the cache is off or nothing was
+/// planned exact).
+inline double WarmHitRate(const RunRecord& r) {
+  const size_t planned = r.persistent_hits + r.exact_evals;
+  return planned == 0 ? 0.0
+                      : static_cast<double>(r.persistent_hits) /
+                            static_cast<double>(planned);
+}
 
 /// Folds one engine run into a RunRecord (wall clock + valuation counts).
 inline RunRecord MakeRunRecord(std::string bench_name, std::string panel,
@@ -97,6 +151,7 @@ inline RunRecord MakeRunRecord(std::string bench_name, std::string panel,
   rec.exact_evals = result.oracle_stats.exact_evals;
   rec.surrogate_evals = result.oracle_stats.surrogate_evals;
   rec.cache_hits = result.oracle_stats.cache_hits;
+  rec.persistent_hits = result.oracle_stats.persistent_hits;
   rec.failed_evals = result.oracle_stats.failed_evals;
   rec.valuated_states = result.valuated_states;
   rec.generated_states = result.generated_states;
@@ -126,14 +181,20 @@ inline void PrintJsonRecords(const std::vector<RunRecord>& records) {
         "\"variant\": \"%s\", \"param\": \"%s\", \"param_value\": %g, "
         "\"wall_ms\": %.3f, \"num_threads\": %zu, \"exact_evals\": %zu, "
         "\"surrogate_evals\": %zu, \"cache_hits\": %zu, "
+        "\"persistent_hits\": %zu, \"warm_hit_rate\": %.4f, "
         "\"failed_evals\": %zu, \"valuated_states\": %zu, "
-        "\"generated_states\": %zu, \"pruned_states\": %zu}%s\n",
+        "\"generated_states\": %zu, \"pruned_states\": %zu",
         JsonEscape(r.bench).c_str(), JsonEscape(r.panel).c_str(),
         JsonEscape(r.task).c_str(), JsonEscape(r.variant).c_str(),
         JsonEscape(r.param).c_str(), r.param_value, r.wall_ms,
         r.num_threads, r.exact_evals, r.surrogate_evals, r.cache_hits,
-        r.failed_evals, r.valuated_states, r.generated_states,
-        r.pruned_states, i + 1 < records.size() ? "," : "");
+        r.persistent_hits, WarmHitRate(r), r.failed_evals,
+        r.valuated_states, r.generated_states, r.pruned_states);
+    if (!r.metric.empty()) {
+      std::printf(", \"metric\": \"%s\", \"metric_value\": %g",
+                  JsonEscape(r.metric).c_str(), r.metric_value);
+    }
+    std::printf("}%s\n", i + 1 < records.size() ? "," : "");
   }
   std::printf("]\n");
 }
@@ -189,6 +250,62 @@ inline size_t MeasureIndex(const std::vector<MeasureSpec>& measures,
   }
   std::fprintf(stderr, "no measure named %s\n", name.c_str());
   std::abort();
+}
+
+/// Machine-readable row of a method-comparison table (Tables 4/5/6, the
+/// Figure 7 radar): one method's exact re-evaluation, raw values in
+/// measure order. The --json shape of the report-style benches.
+struct MethodRecord {
+  std::string bench;
+  std::string panel;
+  std::string task;
+  std::string variant;  // Method name (Original, METAM, ApxMODis, ...).
+  std::vector<std::string> measure_names;
+  std::vector<double> raw;  // Parallel to measure_names.
+  size_t rows = 0;
+  size_t cols = 0;
+  double discovery_seconds = 0.0;
+};
+
+inline MethodRecord MakeMethodRecord(std::string bench_name,
+                                     std::string panel, std::string task,
+                                     const MethodReport& report,
+                                     const std::vector<MeasureSpec>& specs) {
+  MethodRecord rec;
+  rec.bench = std::move(bench_name);
+  rec.panel = std::move(panel);
+  rec.task = std::move(task);
+  rec.variant = report.name;
+  for (const MeasureSpec& m : specs) rec.measure_names.push_back(m.name);
+  rec.raw = report.eval.raw;
+  rec.rows = report.rows;
+  rec.cols = report.cols;
+  rec.discovery_seconds = report.discovery_seconds;
+  return rec;
+}
+
+/// Prints method records as one JSON array (measures as a name->raw-value
+/// object per record).
+inline void PrintJsonMethodRecords(const std::vector<MethodRecord>& records) {
+  std::printf("[\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const MethodRecord& r = records[i];
+    std::printf(
+        "  {\"bench\": \"%s\", \"panel\": \"%s\", \"task\": \"%s\", "
+        "\"variant\": \"%s\", \"measures\": {",
+        JsonEscape(r.bench).c_str(), JsonEscape(r.panel).c_str(),
+        JsonEscape(r.task).c_str(), JsonEscape(r.variant).c_str());
+    const size_t n = std::min(r.measure_names.size(), r.raw.size());
+    for (size_t j = 0; j < n; ++j) {
+      std::printf("\"%s\": %g%s", JsonEscape(r.measure_names[j]).c_str(),
+                  r.raw[j], j + 1 < n ? ", " : "");
+    }
+    std::printf(
+        "}, \"rows\": %zu, \"cols\": %zu, \"discovery_seconds\": %.3f}%s\n",
+        r.rows, r.cols, r.discovery_seconds,
+        i + 1 < records.size() ? "," : "");
+  }
+  std::printf("]\n");
 }
 
 /// Picks the skyline entry with the best (lowest normalized) estimated

@@ -5,11 +5,18 @@
 ///             [--task regression|classification]
 ///             [--algo apx|nobi|bi|div] [--epsilon 0.2] [--budget 150]
 ///             [--maxl 4] [--k 5] [--out <dir>]
+///             [--record-cache <file>] [--cache-mode off|read|read_write]
 ///
 /// Loads every *.csv in <dir> as a source table, builds the universal
 /// table by full outer joins on <key>, runs the chosen MODis algorithm
 /// with measures {headline accuracy/error, training time}, and writes the
 /// skyline datasets as skyline_<i>.csv into <out> (default: <dir>).
+///
+/// `--record-cache` is the warm-start demo: the first run trains every
+/// valuated state and records it in the given log file; re-running the
+/// same command (or another --algo over the same lake) replays those
+/// records instead of re-training — the hit/train counters are printed
+/// after the run. See docs/PERSISTENCE.md.
 ///
 /// A self-contained demo lake is generated when --dir is omitted.
 
@@ -43,6 +50,8 @@ struct Args {
   size_t budget = 150;
   int maxl = 4;
   size_t k = 5;
+  std::string record_cache;
+  std::string cache_mode = "read_write";
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -50,6 +59,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       {"--dir", &args->dir},     {"--out", &args->out},
       {"--key", &args->key},     {"--target", &args->target},
       {"--task", &args->task},   {"--algo", &args->algo},
+      {"--record-cache", &args->record_cache},
+      {"--cache-mode", &args->cache_mode},
   };
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
@@ -145,6 +156,17 @@ Status Run(Args args) {
   config.max_states = args.budget;
   config.max_level = args.maxl;
   config.diversify_k = args.k;
+  config.record_cache_path = args.record_cache;
+  if (args.cache_mode == "off") {
+    config.cache_mode = CacheMode::kOff;
+  } else if (args.cache_mode == "read") {
+    config.cache_mode = CacheMode::kRead;
+  } else if (args.cache_mode == "read_write") {
+    config.cache_mode = CacheMode::kReadWrite;
+  } else {
+    return Status::InvalidArgument("unknown --cache-mode " +
+                                   args.cache_mode);
+  }
 
   Result<ModisResult> result = Status::Internal("unset");
   if (args.algo == "apx") {
@@ -163,6 +185,26 @@ Status Run(Args args) {
   std::printf("%s: valuated %zu states in %.2f s; skyline size %zu\n",
               args.algo.c_str(), result->valuated_states, result->seconds,
               result->skyline.size());
+  if (!args.record_cache.empty() && !result->record_cache_active) {
+    // Off by --cache-mode, or the open failed (the engine already warned
+    // on stderr): make clear the run was cold rather than printing
+    // all-zero cache stats.
+    std::printf("record cache %s: not active for this run\n",
+                args.record_cache.c_str());
+  } else if (result->record_cache_active) {
+    const auto& cache = result->record_cache_stats;
+    const auto& os = result->oracle_stats;
+    std::printf(
+        "record cache %s: %zu records loaded (%zu for this task), "
+        "%zu trainings replayed, %zu trained fresh, %zu appended\n",
+        args.record_cache.c_str(), cache.loaded_records, cache.task_records,
+        os.persistent_hits, os.exact_evals, cache.appended);
+    if (os.persistent_hits + os.exact_evals > 0) {
+      std::printf("warm-start hit rate: %.1f%%\n",
+                  100.0 * double(os.persistent_hits) /
+                      double(os.persistent_hits + os.exact_evals));
+    }
+  }
   size_t i = 0;
   for (const auto& entry : result->skyline) {
     Table dataset = universe.Materialize(entry.state);

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fails (exit 1) on dead relative links in the repo's Markdown files.
+
+Scans every tracked *.md file for inline links/images `[text](target)`
+and reference definitions `[label]: target`, resolves relative targets
+against the containing file, and reports targets that do not exist.
+External schemes (http/https/mailto), pure in-page anchors (#...), and
+absolute paths are skipped; `path#anchor` is checked as `path` (anchor
+existence is not verified). Run from anywhere inside the repo:
+
+    python3 scripts/check_doc_links.py
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+# Inline [text](target) — target up to the first unescaped ')'; tolerates
+# one level of nested parens (e.g. wiki-style URLs). Excludes images by
+# accepting the optional leading '!'.
+INLINE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+(?:\([^)]*\)[^)\s]*)?)>?\s*(?:\"[^\"]*\")?\)")
+# Reference definition: [label]: target
+REFDEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+<?(\S+?)>?(?:\s+\"[^\"]*\")?\s*$")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://", "#")
+
+
+def repo_root() -> str:
+    out = subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                         capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def tracked_markdown(root: str) -> list:
+    # --others --exclude-standard adds not-yet-committed files, so the
+    # check also works locally before the first `git add`.
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.md", "**/*.md"],
+        capture_output=True, text=True, check=True, cwd=root)
+    return sorted(set(filter(None, out.stdout.splitlines())))
+
+
+def targets_in(text: str):
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in INLINE.finditer(line):
+            yield lineno, match.group(1)
+        match = REFDEF.match(line)
+        if match:
+            yield lineno, match.group(1)
+
+
+def main() -> int:
+    root = repo_root()
+    dead = []
+    for md in tracked_markdown(root):
+        md_path = os.path.join(root, md)
+        with open(md_path, encoding="utf-8") as f:
+            text = f.read()
+        for lineno, target in targets_in(text):
+            if target.startswith(SKIP_PREFIXES) or os.path.isabs(target):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path))
+            if not os.path.exists(resolved):
+                dead.append((md, lineno, target))
+    if dead:
+        print(f"{len(dead)} dead relative link(s):")
+        for md, lineno, target in dead:
+            print(f"  {md}:{lineno}: {target}")
+        return 1
+    print("doc links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace modis {
+
+/// How a running uses the cross-run persistent record cache
+/// (src/storage/persistent_record_cache.h; docs/PERSISTENCE.md).
+enum class CacheMode : uint8_t {
+  kOff,       // Never opened, even when a path is configured.
+  kRead,      // Serve hits; never write new records.
+  kReadWrite  // Serve hits and append every new exact valuation.
+};
 
 /// Knobs of one MODis running. The three published algorithms are feature
 /// combinations of the same engine:
@@ -49,6 +58,24 @@ struct ModisConfig {
   /// one-flip edges children derive their dataset from a cached parent
   /// instead of rescanning D_U. 0 disables incremental materialization.
   size_t table_cache_entries = 64;
+
+  /// Path of the cross-run persistent valuation-record log. Empty (the
+  /// default) disables persistence. When set, the engine opens the log,
+  /// serves previously recorded evaluations before any exact training,
+  /// and (in kReadWrite mode) appends every new exact valuation after
+  /// each batch commit. Records are scoped by a dataset/task fingerprint
+  /// (schema + cell content + unit layout + measure set), so one file
+  /// can be shared across tasks and config sweeps. The computed skyline
+  /// is identical
+  /// with the cache off, cold, or warm — a served record replays exactly
+  /// what the training that produced it returned.
+  std::string record_cache_path;
+  CacheMode cache_mode = CacheMode::kReadWrite;
+  /// Extra fingerprint salt. The fingerprint cannot see the task's model
+  /// prototype (the engine only sees the evaluator interface), so two
+  /// tasks that differ *only* in the trained model must be disambiguated
+  /// here to avoid serving each other's records.
+  std::string record_cache_namespace;
 
   uint64_t seed = 1;
 

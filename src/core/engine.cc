@@ -1,17 +1,83 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.h"
 #include "common/timer.h"
 #include "moo/diversity.h"
 #include "moo/pareto.h"
+#include "table/schema.h"
 
 namespace modis {
 
 namespace {
 constexpr size_t kMissing = static_cast<size_t>(-1);
 }  // namespace
+
+uint64_t ModisEngine::TaskFingerprint(
+    const SearchUniverse& universe, const std::vector<MeasureSpec>& measures,
+    const std::string& cache_namespace) {
+  FingerprintBuilder fp;
+  fp.Add(cache_namespace);
+
+  // The dataset: schema, size, and cell content of D_U. Content is
+  // hashed so a lake whose values changed under an unchanged shape
+  // (edited CSVs, a new generator seed) can never replay stale
+  // evaluations. One O(|D_U|) pass per engine, amortized against the
+  // model trainings it makes skippable.
+  const Table& universal = universe.universal();
+  fp.Add(uint64_t{universal.num_rows()});
+  fp.Add(uint64_t{universal.num_cols()});
+  for (size_t c = 0; c < universal.num_cols(); ++c) {
+    const Field& field = universal.schema().field(c);
+    fp.Add(field.name);
+    fp.Add(uint64_t(field.type));
+    for (size_t r = 0; r < universal.num_rows(); ++r) {
+      const Value& cell = universal.At(r, c);
+      fp.Add(uint64_t(cell.kind()));
+      switch (cell.kind()) {
+        case ValueKind::kNull:
+          break;
+        case ValueKind::kInt:
+          fp.Add(uint64_t(cell.AsInt()));
+          break;
+        case ValueKind::kDouble:
+          fp.Add(cell.AsDoubleExact());
+          break;
+        case ValueKind::kString:
+          fp.Add(cell.AsString());
+          break;
+      }
+    }
+  }
+
+  // The unit layout: state signatures are positional, so any change to
+  // the unit list (count, order, cluster boundaries, protections) must
+  // invalidate the records.
+  const UnitLayout& layout = universe.layout();
+  fp.Add(uint64_t{layout.num_units()});
+  for (size_t a = 0; a < layout.num_attributes(); ++a) {
+    fp.Add(layout.attributes[a]);
+    fp.Add(uint64_t(layout.attr_flippable[a] ? 1 : 0));
+  }
+  for (const UnitLayout::ClusterUnit& cu : layout.clusters) {
+    fp.Add(uint64_t{cu.attr_index});
+    fp.Add(cu.literal.ToString());
+  }
+
+  // The measure set: evaluations are vectors in measure order, and the
+  // normalization parameters shape every recorded value.
+  fp.Add(uint64_t{measures.size()});
+  for (const MeasureSpec& m : measures) {
+    fp.Add(m.name);
+    fp.Add(uint64_t(m.direction));
+    fp.Add(m.scale);
+    fp.Add(m.lower);
+    fp.Add(m.upper);
+  }
+  return fp.Digest();
+}
 
 ModisEngine::ModisEngine(const SearchUniverse* universe,
                          PerformanceOracle* oracle, ModisConfig config)
@@ -35,6 +101,35 @@ ModisEngine::ModisEngine(const SearchUniverse* universe,
   lower_bounds_ = LowerBounds(oracle_->measures());
   upper_bounds_ = UpperBounds(oracle_->measures());
   size_correlation_.assign(m, 0.0);
+
+  if (!config_.record_cache_path.empty() &&
+      config_.cache_mode != CacheMode::kOff) {
+    const uint64_t fingerprint = TaskFingerprint(
+        *universe_, oracle_->measures(), config_.record_cache_namespace);
+    auto opened = PersistentRecordCache::Open(
+        config_.record_cache_path, config_.cache_mode, fingerprint);
+    if (opened.ok()) {
+      record_cache_ = std::move(opened).value();
+      oracle_->AttachRecordCache(record_cache_.get());
+    } else {
+      // A broken cache must never break the search: run cold. (kRead on a
+      // missing file lands here too.)
+      std::fprintf(stderr, "modis: record cache disabled: %s\n",
+                   opened.status().ToString().c_str());
+    }
+  }
+}
+
+ModisEngine::~ModisEngine() {
+  if (record_cache_ != nullptr) {
+    const Status flushed = record_cache_->Flush();
+    (void)flushed;
+    // Only detach our own cache: a newer engine sharing this oracle may
+    // have attached its own in the meantime.
+    if (oracle_->record_cache() == record_cache_.get()) {
+      oracle_->AttachRecordCache(nullptr);
+    }
+  }
 }
 
 std::vector<StateBitmap> ModisEngine::OpGen(const StateBitmap& state,
@@ -392,6 +487,12 @@ Result<ModisResult> ModisEngine::Run() {
   }
   result.seconds = timer.Seconds();
   result.oracle_stats = oracle_->stats();
+  if (record_cache_ != nullptr) {
+    const Status flushed = record_cache_->Flush();
+    (void)flushed;
+    result.record_cache_active = true;
+    result.record_cache_stats = record_cache_->stats();
+  }
   return result;
 }
 

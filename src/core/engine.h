@@ -14,6 +14,7 @@
 #include "core/universe.h"
 #include "estimator/oracle.h"
 #include "moo/correlation.h"
+#include "storage/persistent_record_cache.h"
 
 namespace modis {
 
@@ -35,6 +36,13 @@ struct ModisResult {
   size_t pruned_states = 0;
   double seconds = 0.0;
   PerformanceOracle::Stats oracle_stats;
+  /// True when a persistent record cache was actually open during the
+  /// run (configured, and the log opened cleanly).
+  bool record_cache_active = false;
+  /// Session counters of the cross-run record cache (all zero when
+  /// persistence is off or the open failed): records loaded at open,
+  /// hits served, appends.
+  PersistentRecordCache::Stats record_cache_stats;
 };
 
 /// The multi-goal finite-state-transducer search engine (§3-§5).
@@ -61,8 +69,22 @@ class ModisEngine {
   ModisEngine(const SearchUniverse* universe, PerformanceOracle* oracle,
               ModisConfig config);
 
+  /// Detaches the persistent record cache from the oracle (the cache dies
+  /// with the engine; the oracle may outlive it).
+  ~ModisEngine();
+
   /// Runs the search to completion and returns the skyline set.
   Result<ModisResult> Run();
+
+  /// The dataset/task fingerprint scoping this running's persistent
+  /// records: a stable hash of the universal table's schema, size, and
+  /// full cell content, the unit layout (attributes, cluster literals,
+  /// protections), the measure set, and
+  /// ModisConfig::record_cache_namespace. Exposed for tests and tooling
+  /// that want to inspect a shared cache file.
+  static uint64_t TaskFingerprint(const SearchUniverse& universe,
+                                  const std::vector<MeasureSpec>& measures,
+                                  const std::string& cache_namespace);
 
  private:
   struct Frontier {
@@ -146,6 +168,10 @@ class ModisEngine {
   /// LRU of recent materializations, shared by both frontiers; lets
   /// children materialize incrementally from their parent.
   MaterializationCache mat_cache_;
+  /// Cross-run persistent record cache (ModisConfig::record_cache_path);
+  /// null when persistence is off or the log failed to open. Attached to
+  /// the oracle for the engine's lifetime.
+  std::unique_ptr<PersistentRecordCache> record_cache_;
 
   size_t decisive_ = 0;
   std::vector<double> lower_bounds_;

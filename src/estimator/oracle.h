@@ -15,6 +15,7 @@
 
 namespace modis {
 
+class PersistentRecordCache;
 class ThreadPool;
 
 /// The historical test set T of the paper: every valuated test
@@ -62,9 +63,16 @@ struct ValuationRequest {
 /// the oracle took before any model training ran.
 struct BatchPlan {
   enum class Mode : uint8_t {
-    kCached,     // Evaluation already in the record store.
-    kSurrogate,  // Predicted by the estimator on the caller thread.
-    kExact,      // Real model training, scheduled onto the pool.
+    kCached,      // Evaluation already in the record store.
+    kSurrogate,   // Predicted by the estimator on the caller thread.
+    kExact,       // Real model training, scheduled onto the pool.
+    kPersistent,  // Policy chose exact, but a prior run already trained
+                  // this state: the persistent record cache replays the
+                  // recorded evaluation and the training is skipped. The
+                  // record is ingested into the store exactly as the
+                  // training result would have been, so everything
+                  // downstream (surrogate, correlations, skyline) is
+                  // byte-identical to a cold run.
   };
 
   std::vector<ValuationRequest> requests;
@@ -91,6 +99,8 @@ class PerformanceOracle {
     size_t exact_evals = 0;
     size_t surrogate_evals = 0;
     size_t cache_hits = 0;
+    /// Exact trainings avoided by replaying the persistent record cache.
+    size_t persistent_hits = 0;
     size_t failed_evals = 0;
     double exact_seconds = 0.0;
     double surrogate_seconds = 0.0;
@@ -123,9 +133,32 @@ class PerformanceOracle {
   const Stats& stats() const { return stats_; }
   const TestRecordStore& store() const { return store_; }
 
+  /// Attaches (or detaches, with nullptr) a cross-run persistent record
+  /// cache. Not owned; the caller (normally ModisEngine) keeps it alive
+  /// for the duration of the attachment. With a cache attached, states
+  /// whose exact training a prior run already paid for are replayed from
+  /// the cache instead of re-trained — see BatchPlan::Mode::kPersistent.
+  void AttachRecordCache(PersistentRecordCache* cache) {
+    record_cache_ = cache;
+  }
+  PersistentRecordCache* record_cache() const { return record_cache_; }
+
  protected:
+  /// True when the attached cache holds `key`. The plan-time probe; does
+  /// not count a cache hit (the commit's PersistentLookup does).
+  bool PersistentContains(const std::string& key) const;
+  /// Recorded evaluation for `key` in the attached cache, or nullptr.
+  const Evaluation* PersistentLookup(const std::string& key);
+  /// Writes a freshly trained record through to the attached cache.
+  void PersistentStore(const std::string& key,
+                       const std::vector<double>& features,
+                       const Evaluation& eval);
+  /// Flushes cache appends; called once per batch commit.
+  void FlushPersistent();
+
   Stats stats_;
   TestRecordStore store_;
+  PersistentRecordCache* record_cache_ = nullptr;
 };
 
 /// Oracle that always trains the real model (with a cache keyed by state

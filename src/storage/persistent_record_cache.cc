@@ -1,0 +1,106 @@
+#include "storage/persistent_record_cache.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace modis {
+
+Result<std::unique_ptr<PersistentRecordCache>> PersistentRecordCache::Open(
+    const std::string& path, CacheMode mode, uint64_t fingerprint) {
+  MODIS_CHECK(mode != CacheMode::kOff)
+      << "PersistentRecordCache::Open with CacheMode::kOff";
+  std::vector<StoredRecord> records;
+  MODIS_ASSIGN_OR_RETURN(
+      RecordLog log,
+      RecordLog::Open(path, /*read_only=*/mode == CacheMode::kRead,
+                      &records));
+
+  auto cache = std::unique_ptr<PersistentRecordCache>(
+      new PersistentRecordCache(std::move(log), mode, fingerprint));
+  cache->stats_.loaded_records = records.size();
+  cache->stats_.discarded_tail_bytes = cache->log_.discarded_tail_bytes();
+
+  // Last record wins per (fingerprint, key): replay order equals the order
+  // a run would have ingested them. Foreign-task records exist only so a
+  // Compact() can preserve them, so a read-only open (which can never
+  // compact) does not hold them in memory.
+  const bool keep_foreign = mode == CacheMode::kReadWrite;
+  std::unordered_map<std::string, size_t> foreign_index;
+  size_t duplicates = 0;
+  for (StoredRecord& r : records) {
+    if (r.fingerprint == fingerprint) {
+      duplicates += cache->index_.count(r.key);
+      cache->index_[r.key] = std::move(r);
+    } else if (keep_foreign) {
+      // Foreign keys are qualified by their fingerprint to dedup within
+      // their own task only.
+      const std::string qualified =
+          std::to_string(r.fingerprint) + "/" + r.key;
+      auto it = foreign_index.find(qualified);
+      if (it != foreign_index.end()) {
+        ++duplicates;
+        cache->foreign_[it->second] = std::move(r);
+      } else {
+        foreign_index.emplace(qualified, cache->foreign_.size());
+        cache->foreign_.push_back(std::move(r));
+      }
+    }
+  }
+  cache->stats_.task_records = cache->index_.size();
+
+  // Auto-compact when at least half the log is dead duplicate weight.
+  // (A torn tail needs no compaction: the writable RecordLog::Open above
+  // already truncated it in place.)
+  if (mode == CacheMode::kReadWrite && duplicates > 0 &&
+      duplicates * 2 >= records.size()) {
+    const Status compacted = cache->Compact();
+    if (!compacted.ok()) return compacted;
+    cache->stats_.compacted_away = duplicates;
+  }
+  return cache;
+}
+
+const StoredRecord* PersistentRecordCache::Find(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  ++stats_.served;
+  return &it->second;
+}
+
+void PersistentRecordCache::Insert(const std::string& key,
+                                   const std::vector<double>& features,
+                                   const Evaluation& eval) {
+  StoredRecord record;
+  record.fingerprint = fingerprint_;
+  record.key = key;
+  record.features = features;
+  record.eval = eval;
+  if (mode_ == CacheMode::kReadWrite) {
+    const Status appended = log_.Append(record);
+    if (appended.ok()) {
+      ++stats_.appended;
+    }
+    // An append failure (disk full, ...) degrades to in-memory caching for
+    // the rest of the run; the search result is unaffected.
+  }
+  index_[key] = std::move(record);
+}
+
+Status PersistentRecordCache::Flush() { return log_.Flush(); }
+
+Status PersistentRecordCache::Compact() {
+  if (mode_ != CacheMode::kReadWrite) {
+    return Status::FailedPrecondition("cannot compact a read-only cache");
+  }
+  std::vector<StoredRecord> live;
+  live.reserve(foreign_.size() + index_.size());
+  for (const StoredRecord& r : foreign_) live.push_back(r);
+  for (const auto& [key, r] : index_) {
+    (void)key;
+    live.push_back(r);
+  }
+  return log_.Rewrite(live);
+}
+
+}  // namespace modis

@@ -1,0 +1,98 @@
+#ifndef MODIS_STORAGE_PERSISTENT_RECORD_CACHE_H_
+#define MODIS_STORAGE_PERSISTENT_RECORD_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "storage/record_log.h"
+
+namespace modis {
+
+/// Cross-run valuation-record cache over a RecordLog.
+///
+/// Open() replays the whole log once and indexes the records whose
+/// fingerprint matches the task this cache was opened for (records of
+/// other tasks are retained for compaction but never served). During a
+/// running the oracle consults Find() while planning a batch — a hit means
+/// the state's exact training is skipped and the recorded evaluation is
+/// replayed — and Insert()s every freshly trained record during the batch
+/// commit; Flush() after each commit makes the log crash-consistent at
+/// batch granularity.
+///
+/// Duplicate keys can appear in the log (two concurrent cold runs, or a
+/// run killed between commit and flush and re-run): the last record wins,
+/// matching the order a replay would ingest them. When more than half of
+/// an opened log is dead weight (duplicates or a torn tail), a writable
+/// open compacts it in place.
+///
+/// Not thread-safe. All oracle-side access happens on the batch caller
+/// thread; sharing one cache *file* across processes is sequential-only
+/// (last-write-wins on duplicates, no file locking).
+class PersistentRecordCache {
+ public:
+  struct Stats {
+    size_t loaded_records = 0;   // All valid records in the log at open.
+    size_t task_records = 0;     // Subset matching this task's fingerprint.
+    size_t served = 0;           // Find() hits.
+    size_t appended = 0;         // Insert()s written this session.
+    size_t compacted_away = 0;   // Dead records dropped by auto-compaction.
+    size_t discarded_tail_bytes = 0;
+  };
+
+  /// Opens `path` for the task identified by `fingerprint`. kRead fails
+  /// if the file does not exist; kReadWrite creates it. Passing kOff is a
+  /// programming error — callers gate on the mode before opening.
+  static Result<std::unique_ptr<PersistentRecordCache>> Open(
+      const std::string& path, CacheMode mode, uint64_t fingerprint);
+
+  /// True when a record exists for this task's fingerprint. Does not
+  /// count stats.served — batch planning probes with this, then the
+  /// commit fetches with Find, so served equals records actually
+  /// replayed.
+  bool Contains(const std::string& key) const {
+    return index_.count(key) > 0;
+  }
+
+  /// The recorded evaluation for a state signature under this task's
+  /// fingerprint, or nullptr. Counts stats.served on hit.
+  const StoredRecord* Find(const std::string& key);
+
+  /// Records a fresh valuation: indexed immediately; appended to the log
+  /// in kReadWrite mode (no-op write in kRead). Re-inserting an existing
+  /// key replaces the served record.
+  void Insert(const std::string& key, const std::vector<double>& features,
+              const Evaluation& eval);
+
+  /// Persists appends buffered since the last flush.
+  Status Flush();
+
+  /// Rewrites the log keeping one live record per (fingerprint, key) —
+  /// this task's and other tasks' records both survive.
+  Status Compact();
+
+  const Stats& stats() const { return stats_; }
+  uint64_t fingerprint() const { return fingerprint_; }
+  CacheMode mode() const { return mode_; }
+  size_t size() const { return index_.size(); }
+
+ private:
+  PersistentRecordCache(RecordLog log, CacheMode mode, uint64_t fingerprint)
+      : log_(std::move(log)), mode_(mode), fingerprint_(fingerprint) {}
+
+  RecordLog log_;
+  CacheMode mode_;
+  uint64_t fingerprint_;
+  Stats stats_;
+
+  /// This task's records, last-write-wins by key.
+  std::unordered_map<std::string, StoredRecord> index_;
+  /// Other tasks' records, deduped, kept only so Compact() preserves them.
+  std::vector<StoredRecord> foreign_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_STORAGE_PERSISTENT_RECORD_CACHE_H_

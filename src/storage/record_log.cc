@@ -1,0 +1,399 @@
+#include "storage/record_log.h"
+
+#include <cstring>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace modis {
+
+namespace {
+
+/// Lazily built table for the reflected CRC-32 (poly 0xEDB88320).
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void PutU32(std::vector<uint8_t>* buf, uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf->push_back((v >> (8 * i)) & 0xFF);
+}
+
+void PutU64(std::vector<uint8_t>* buf, uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf->push_back((v >> (8 * i)) & 0xFF);
+}
+
+void PutF64(std::vector<uint8_t>* buf, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(buf, bits);
+}
+
+void PutDoubles(std::vector<uint8_t>* buf, const std::vector<double>& v) {
+  PutU32(buf, static_cast<uint32_t>(v.size()));
+  for (double d : v) PutF64(buf, d);
+}
+
+void PutString(std::vector<uint8_t>* buf, const std::string& s) {
+  PutU32(buf, static_cast<uint32_t>(s.size()));
+  buf->insert(buf->end(), s.begin(), s.end());
+}
+
+/// Bounds-checked little-endian reader over a payload span.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool U32(uint32_t* out) {
+    if (pos_ + 4 > size_) return false;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  bool U64(uint64_t* out) {
+    if (pos_ + 8 > size_) return false;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    *out = v;
+    return true;
+  }
+
+  bool F64(double* out) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+
+  bool Doubles(std::vector<double>* out) {
+    uint32_t n;
+    if (!U32(&n)) return false;
+    if (size_t(n) * 8 > size_ - pos_) return false;
+    out->resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!F64(&(*out)[i])) return false;
+    }
+    return true;
+  }
+
+  bool String(std::string* out) {
+    uint32_t n;
+    if (!U32(&n)) return false;
+    if (size_t(n) > size_ - pos_) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+FingerprintBuilder& FingerprintBuilder::Add(const std::string& s) {
+  const uint64_t n = s.size();
+  Mix(&n, sizeof(n));
+  Mix(s.data(), s.size());
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::Add(uint64_t v) {
+  Mix(&v, sizeof(v));
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::Add(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Add(bits);
+}
+
+void FingerprintBuilder::Mix(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    hash_ ^= p[i];
+    hash_ *= 1099511628211ull;  // FNV-1a prime.
+  }
+}
+
+std::vector<uint8_t> RecordLog::EncodePayload(const StoredRecord& record) {
+  std::vector<uint8_t> payload;
+  payload.reserve(24 + record.key.size() +
+                  8 * (record.features.size() + record.eval.raw.size() +
+                       record.eval.normalized.size()));
+  PutU64(&payload, record.fingerprint);
+  PutString(&payload, record.key);
+  PutDoubles(&payload, record.features);
+  PutDoubles(&payload, record.eval.raw);
+  PutDoubles(&payload, record.eval.normalized);
+  return payload;
+}
+
+bool RecordLog::DecodePayload(const uint8_t* data, size_t size,
+                              StoredRecord* out) {
+  Reader reader(data, size);
+  return reader.U64(&out->fingerprint) && reader.String(&out->key) &&
+         reader.Doubles(&out->features) && reader.Doubles(&out->eval.raw) &&
+         reader.Doubles(&out->eval.normalized) && reader.exhausted();
+}
+
+RecordLog::~RecordLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+RecordLog::RecordLog(RecordLog&& other) noexcept { *this = std::move(other); }
+
+RecordLog& RecordLog::operator=(RecordLog&& other) noexcept {
+  if (this == &other) return *this;
+  if (file_ != nullptr) std::fclose(file_);
+  path_ = std::move(other.path_);
+  file_ = other.file_;
+  read_only_ = other.read_only_;
+  discarded_tail_bytes_ = other.discarded_tail_bytes_;
+  other.file_ = nullptr;
+  return *this;
+}
+
+Result<RecordLog> RecordLog::Open(const std::string& path, bool read_only,
+                                  std::vector<StoredRecord>* out) {
+  RecordLog log;
+  log.path_ = path;
+  log.read_only_ = read_only;
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  size_t valid_bytes = kHeaderSize;
+  bool fresh = false;
+  if (f == nullptr) {
+    if (read_only) {
+      return Status::NotFound("record log not found: " + path);
+    }
+    fresh = true;
+  } else {
+    // Header. A file shorter than the header can hold no records; if its
+    // bytes are a prefix of our header (a crash between create and the
+    // header write), a writable open may safely rewrite it as fresh —
+    // but a short *foreign* file is still rejected, not clobbered.
+    uint8_t header[kHeaderSize];
+    const size_t got = std::fread(header, 1, kHeaderSize, f);
+    uint8_t expected[kHeaderSize] = {};
+    std::memcpy(expected, kMagic, sizeof(kMagic));
+    for (int i = 0; i < 4; ++i) {
+      expected[8 + i] = (kFormatVersion >> (8 * i)) & 0xFF;
+    }
+    if (got == 0) {
+      fresh = true;  // Empty file: (re)write the header below.
+    } else if (got < kHeaderSize) {
+      if (read_only || std::memcmp(header, expected, got) != 0) {
+        std::fclose(f);
+        return Status::IoError("truncated record log header: " + path);
+      }
+      fresh = true;  // Our own torn header: rewrite it.
+    } else if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+      std::fclose(f);
+      return Status::IoError("not a MODis record log: " + path);
+    } else {
+      uint32_t version = 0;
+      for (int i = 0; i < 4; ++i) {
+        version |= uint32_t(header[8 + i]) << (8 * i);
+      }
+      if (version != kFormatVersion) {
+        std::fclose(f);
+        return Status::FailedPrecondition(
+            path + ": record log format version " + std::to_string(version) +
+            " != supported " + std::to_string(kFormatVersion) +
+            " (delete the file; the cache is derived data)");
+      }
+      // Records, until EOF or the first torn/corrupt frame.
+      std::vector<uint8_t> payload;
+      for (;;) {
+        uint8_t frame[8];
+        if (std::fread(frame, 1, 8, f) != 8) break;
+        uint32_t payload_size = 0, crc = 0;
+        for (int i = 0; i < 4; ++i) {
+          payload_size |= uint32_t(frame[i]) << (8 * i);
+          crc |= uint32_t(frame[4 + i]) << (8 * i);
+        }
+        if (payload_size == 0 || payload_size > kMaxPayloadSize) break;
+        payload.resize(payload_size);
+        if (std::fread(payload.data(), 1, payload_size, f) != payload_size) {
+          break;
+        }
+        if (Crc32(payload.data(), payload_size) != crc) break;
+        StoredRecord record;
+        if (!DecodePayload(payload.data(), payload_size, &record)) break;
+        if (out != nullptr) out->push_back(std::move(record));
+        valid_bytes += 8 + payload_size;
+      }
+      // Whatever follows the last valid frame is a torn tail.
+      std::fseek(f, 0, SEEK_END);
+      const long end = std::ftell(f);
+      if (end > 0 && size_t(end) > valid_bytes) {
+        log.discarded_tail_bytes_ = size_t(end) - valid_bytes;
+      }
+    }
+    std::fclose(f);
+  }
+
+  if (read_only) return log;
+
+  if (fresh) {
+    std::FILE* w = std::fopen(path.c_str(), "wb");
+    if (w == nullptr) {
+      return Status::IoError("cannot create record log: " + path);
+    }
+    uint8_t header[kHeaderSize] = {};
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    for (int i = 0; i < 4; ++i) {
+      header[8 + i] = (kFormatVersion >> (8 * i)) & 0xFF;
+    }
+    if (std::fwrite(header, 1, kHeaderSize, w) != kHeaderSize) {
+      std::fclose(w);
+      return Status::IoError("cannot write record log header: " + path);
+    }
+    log.file_ = w;
+    return log;
+  }
+
+  // Existing log: drop the torn tail (if any), then append.
+  std::FILE* w = std::fopen(path.c_str(), "rb+");
+  if (w == nullptr) {
+    return Status::IoError("cannot open record log for append: " + path);
+  }
+  if (log.discarded_tail_bytes_ > 0) {
+    // C has no portable ftruncate; rewrite-in-place by reopening is not
+    // needed — seeking and letting Rewrite() handle shrinkage would leave
+    // garbage, so truncate through the POSIX layer where available.
+#if defined(_WIN32)
+    std::fclose(w);
+    return Status::Unimplemented("torn-tail truncation on Windows");
+#else
+    if (std::fflush(w) != 0 ||
+        ftruncate(fileno(w), static_cast<long>(valid_bytes)) != 0) {
+      std::fclose(w);
+      return Status::IoError("cannot truncate torn tail: " + path);
+    }
+#endif
+  }
+  if (std::fseek(w, static_cast<long>(valid_bytes), SEEK_SET) != 0) {
+    std::fclose(w);
+    return Status::IoError("cannot seek record log: " + path);
+  }
+  log.file_ = w;
+  return log;
+}
+
+Status RecordLog::WriteFrame(std::FILE* f, const StoredRecord& record) {
+  const std::vector<uint8_t> payload = EncodePayload(record);
+  const uint32_t payload_size = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  uint8_t frame[8];
+  for (int i = 0; i < 4; ++i) {
+    frame[i] = (payload_size >> (8 * i)) & 0xFF;
+    frame[4 + i] = (crc >> (8 * i)) & 0xFF;
+  }
+  if (std::fwrite(frame, 1, 8, f) != 8 ||
+      std::fwrite(payload.data(), 1, payload.size(), f) != payload.size()) {
+    return Status::IoError("record log append failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status RecordLog::Append(const StoredRecord& record) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("record log not open for writing");
+  }
+  return WriteFrame(file_, record);
+}
+
+Status RecordLog::Flush() {
+  if (file_ == nullptr) return Status::OK();
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("record log flush failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status RecordLog::Rewrite(const std::vector<StoredRecord>& records) {
+  if (read_only_) {
+    return Status::FailedPrecondition("cannot rewrite a read-only log");
+  }
+  const std::string tmp = path_ + ".compact";
+  std::FILE* w = std::fopen(tmp.c_str(), "wb");
+  if (w == nullptr) {
+    return Status::IoError("cannot create compaction file: " + tmp);
+  }
+  uint8_t header[kHeaderSize] = {};
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  for (int i = 0; i < 4; ++i) {
+    header[8 + i] = (kFormatVersion >> (8 * i)) & 0xFF;
+  }
+  Status status = Status::OK();
+  if (std::fwrite(header, 1, kHeaderSize, w) != kHeaderSize) {
+    status = Status::IoError("cannot write compaction header: " + tmp);
+  }
+  for (const StoredRecord& r : records) {
+    if (!status.ok()) break;
+    status = WriteFrame(w, r);
+  }
+  if (status.ok() && std::fflush(w) != 0) {
+    status = Status::IoError("compaction flush failed: " + tmp);
+  }
+  std::fclose(w);
+  if (!status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
+
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot swap compacted log into place: " + path_);
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::IoError("cannot reopen compacted log: " + path_);
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot seek compacted log: " + path_);
+  }
+  file_ = f;
+  discarded_tail_bytes_ = 0;
+  return Status::OK();
+}
+
+}  // namespace modis

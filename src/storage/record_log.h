@@ -1,0 +1,120 @@
+#ifndef MODIS_STORAGE_RECORD_LOG_H_
+#define MODIS_STORAGE_RECORD_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "estimator/measure.h"
+
+namespace modis {
+
+/// One persisted valuation record: the on-disk mirror of a
+/// TestRecordStore entry, qualified by the task fingerprint so a single
+/// log file can hold records of many dataset/task combinations.
+/// `key` is the canonical state signature (StateBitmap::Signature()).
+struct StoredRecord {
+  uint64_t fingerprint = 0;
+  std::string key;
+  std::vector<double> features;
+  Evaluation eval;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip one) over a byte span.
+/// Used to frame log records; exposed for tests.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// Accumulates a stable 64-bit FNV-1a hash over typed fields. Used to
+/// derive the dataset/task fingerprint that scopes cached records: any
+/// drift in the hashed inputs (schema, unit layout, measure set) yields a
+/// new fingerprint, so stale records are ignored rather than served.
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder& Add(const std::string& s);
+  FingerprintBuilder& Add(uint64_t v);
+  FingerprintBuilder& Add(double v);
+  uint64_t Digest() const { return hash_; }
+
+ private:
+  void Mix(const void* data, size_t size);
+
+  uint64_t hash_ = 1469598103934665603ull;  // FNV-1a offset basis.
+};
+
+/// A versioned, append-only binary log of StoredRecords.
+///
+/// Layout: an 16-byte header (magic "MODISRLG", u32 format version, u32
+/// reserved) followed by length-prefixed, CRC-framed records:
+///
+///   u32 payload_size | u32 crc32(payload) | payload
+///
+/// where payload = fingerprint(u64) | key(u32 + bytes) | features(u32 +
+/// f64...) | raw(u32 + f64...) | normalized(u32 + f64...), all
+/// little-endian. See docs/PERSISTENCE.md for the full format contract.
+///
+/// A torn tail (partial final record after a crash, or a CRC mismatch) is
+/// not an error: ReadAll stops at the first bad frame and reports how many
+/// bytes of valid prefix it consumed; opening for append truncates the
+/// file to that prefix so the next Append never writes after garbage.
+/// Version mismatches ARE an error — the format owns no migration story,
+/// the cache is derived data and can always be regenerated.
+///
+/// Not thread-safe; callers serialize access (the oracle only touches the
+/// log from the batch-commit pass, which runs on one thread).
+class RecordLog {
+ public:
+  static constexpr char kMagic[8] = {'M', 'O', 'D', 'I', 'S', 'R', 'L', 'G'};
+  static constexpr uint32_t kFormatVersion = 1;
+  static constexpr size_t kHeaderSize = 16;
+  /// Frames larger than this are treated as corruption, not records.
+  static constexpr uint32_t kMaxPayloadSize = 64u << 20;
+
+  RecordLog() = default;
+  ~RecordLog();
+  RecordLog(RecordLog&&) noexcept;
+  RecordLog& operator=(RecordLog&&) noexcept;
+  RecordLog(const RecordLog&) = delete;
+  RecordLog& operator=(const RecordLog&) = delete;
+
+  /// Opens (creating if absent unless `read_only`) and scans the log.
+  /// Valid records are appended to `*out`. In writable mode the file is
+  /// truncated to the valid prefix, positioned for appending.
+  static Result<RecordLog> Open(const std::string& path, bool read_only,
+                                std::vector<StoredRecord>* out);
+
+  /// Serializes one record at the tail. Buffered; call Flush to persist.
+  Status Append(const StoredRecord& record);
+
+  /// Flushes buffered appends to the OS.
+  Status Flush();
+
+  /// Atomically rewrites the log to contain exactly `records` (write to
+  /// `path + ".compact"`, then rename over). The log stays open for
+  /// appending afterwards. Writable logs only.
+  Status Rewrite(const std::vector<StoredRecord>& records);
+
+  const std::string& path() const { return path_; }
+  bool read_only() const { return read_only_; }
+  /// Bytes of corrupt/torn tail discarded by Open (0 for a clean log).
+  size_t discarded_tail_bytes() const { return discarded_tail_bytes_; }
+
+  /// Serialization of one record into/out of a payload buffer; exposed for
+  /// tests (corruption crafting) and the compactor.
+  static std::vector<uint8_t> EncodePayload(const StoredRecord& record);
+  static bool DecodePayload(const uint8_t* data, size_t size,
+                            StoredRecord* out);
+
+ private:
+  Status WriteFrame(std::FILE* f, const StoredRecord& record);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;  // Null for read-only logs.
+  bool read_only_ = false;
+  size_t discarded_tail_bytes_ = 0;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_STORAGE_RECORD_LOG_H_

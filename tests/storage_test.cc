@@ -1,0 +1,537 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "datagen/tasks.h"
+#include "estimator/supervised_evaluator.h"
+#include "storage/persistent_record_cache.h"
+#include "storage/record_log.h"
+
+namespace modis {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- helpers
+
+/// A fresh path under the test temp dir (removed eagerly so each test
+/// starts from a missing file).
+std::string TempLogPath(const std::string& name) {
+  const fs::path path = fs::path(::testing::TempDir()) / name;
+  fs::remove(path);
+  fs::remove(fs::path(path.string() + ".compact"));
+  return path.string();
+}
+
+StoredRecord MakeRecord(uint64_t fingerprint, const std::string& key,
+                        double salt) {
+  StoredRecord r;
+  r.fingerprint = fingerprint;
+  r.key = key;
+  r.features = {salt, salt + 1.0, 0.25};
+  r.eval.raw = {salt * 2.0, -salt};
+  r.eval.normalized = {0.5 + salt / 100.0, 0.125};
+  return r;
+}
+
+void ExpectRecordEq(const StoredRecord& a, const StoredRecord& b) {
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.eval.raw, b.eval.raw);
+  EXPECT_EQ(a.eval.normalized, b.eval.normalized);
+}
+
+// ---------------------------------------------------------------- crc / fp
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The classic IEEE 802.3 check value.
+  const char data[] = "123456789";
+  EXPECT_EQ(Crc32(data, 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<uint8_t> payload(64, 0xA5);
+  const uint32_t clean = Crc32(payload.data(), payload.size());
+  payload[17] ^= 0x01;
+  EXPECT_NE(clean, Crc32(payload.data(), payload.size()));
+}
+
+TEST(FingerprintBuilderTest, SensitiveToContentOrderAndType) {
+  const uint64_t a = FingerprintBuilder().Add("x").Add(uint64_t{1}).Digest();
+  const uint64_t b = FingerprintBuilder().Add("x").Add(uint64_t{2}).Digest();
+  const uint64_t c = FingerprintBuilder().Add(uint64_t{1}).Add("x").Digest();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  // Deterministic across builders.
+  EXPECT_EQ(a, FingerprintBuilder().Add("x").Add(uint64_t{1}).Digest());
+}
+
+// ---------------------------------------------------------------- log
+
+TEST(RecordLogTest, PayloadRoundTrip) {
+  const StoredRecord record = MakeRecord(42, "10110", 3.0);
+  const std::vector<uint8_t> payload = RecordLog::EncodePayload(record);
+  StoredRecord decoded;
+  ASSERT_TRUE(RecordLog::DecodePayload(payload.data(), payload.size(),
+                                       &decoded));
+  ExpectRecordEq(record, decoded);
+  // Truncated payloads never decode.
+  for (size_t cut : {size_t{0}, size_t{1}, payload.size() - 1}) {
+    EXPECT_FALSE(RecordLog::DecodePayload(payload.data(), cut, &decoded));
+  }
+}
+
+TEST(RecordLogTest, FileRoundTrip) {
+  const std::string path = TempLogPath("roundtrip.rlog");
+  {
+    std::vector<StoredRecord> loaded;
+    auto log = RecordLog::Open(path, /*read_only=*/false, &loaded);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    EXPECT_TRUE(loaded.empty());
+    for (int i = 0; i < 5; ++i) {
+      MODIS_CHECK_OK(log->Append(MakeRecord(7, "key" + std::to_string(i),
+                                            double(i))));
+    }
+    MODIS_CHECK_OK(log->Flush());
+  }
+  std::vector<StoredRecord> loaded;
+  auto log = RecordLog::Open(path, /*read_only=*/true, &loaded);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  ASSERT_EQ(loaded.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    ExpectRecordEq(loaded[i], MakeRecord(7, "key" + std::to_string(i),
+                                         double(i)));
+  }
+  EXPECT_EQ(log->discarded_tail_bytes(), 0u);
+}
+
+TEST(RecordLogTest, ReadOnlyOpenOfMissingFileFails) {
+  auto log = RecordLog::Open(TempLogPath("missing.rlog"),
+                             /*read_only=*/true, nullptr);
+  EXPECT_FALSE(log.ok());
+}
+
+TEST(RecordLogTest, RecoversFromTornTail) {
+  const std::string path = TempLogPath("torn.rlog");
+  {
+    std::vector<StoredRecord> loaded;
+    auto log = RecordLog::Open(path, false, &loaded);
+    ASSERT_TRUE(log.ok());
+    MODIS_CHECK_OK(log->Append(MakeRecord(1, "a", 1.0)));
+    MODIS_CHECK_OK(log->Append(MakeRecord(1, "b", 2.0)));
+    MODIS_CHECK_OK(log->Flush());
+  }
+  // Simulate a crash mid-append: a frame header promising more bytes than
+  // were written.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const uint8_t torn[6] = {0xFF, 0x00, 0x00, 0x00, 0xDE, 0xAD};
+    ASSERT_EQ(std::fwrite(torn, 1, sizeof(torn), f), sizeof(torn));
+    std::fclose(f);
+  }
+  // Writable reopen: valid prefix recovered, tail truncated, appends land
+  // cleanly after the last good record.
+  {
+    std::vector<StoredRecord> loaded;
+    auto log = RecordLog::Open(path, false, &loaded);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(log->discarded_tail_bytes(), 6u);
+    MODIS_CHECK_OK(log->Append(MakeRecord(1, "c", 3.0)));
+    MODIS_CHECK_OK(log->Flush());
+  }
+  std::vector<StoredRecord> loaded;
+  auto log = RecordLog::Open(path, true, &loaded);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[2].key, "c");
+  EXPECT_EQ(log->discarded_tail_bytes(), 0u);
+}
+
+TEST(RecordLogTest, CrcMismatchStopsTheScan) {
+  const std::string path = TempLogPath("crc.rlog");
+  {
+    std::vector<StoredRecord> loaded;
+    auto log = RecordLog::Open(path, false, &loaded);
+    ASSERT_TRUE(log.ok());
+    MODIS_CHECK_OK(log->Append(MakeRecord(1, "first", 1.0)));
+    MODIS_CHECK_OK(log->Append(MakeRecord(1, "second", 2.0)));
+    MODIS_CHECK_OK(log->Flush());
+  }
+  // Flip one payload byte of the second record (the final byte of the
+  // file), leaving its frame header intact.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_END), 0);
+    const int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_END), 0);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  std::vector<StoredRecord> loaded;
+  auto log = RecordLog::Open(path, true, &loaded);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].key, "first");
+  EXPECT_GT(log->discarded_tail_bytes(), 0u);
+}
+
+TEST(RecordLogTest, RejectsVersionMismatch) {
+  const std::string path = TempLogPath("version.rlog");
+  {
+    std::vector<StoredRecord> loaded;
+    auto log = RecordLog::Open(path, false, &loaded);
+    ASSERT_TRUE(log.ok());
+    MODIS_CHECK_OK(log->Append(MakeRecord(1, "a", 1.0)));
+    MODIS_CHECK_OK(log->Flush());
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);  // Version field.
+    std::fputc(RecordLog::kFormatVersion + 1, f);
+    std::fclose(f);
+  }
+  auto log = RecordLog::Open(path, false, nullptr);
+  ASSERT_FALSE(log.ok());
+  EXPECT_NE(log.status().ToString().find("version"), std::string::npos);
+}
+
+TEST(RecordLogTest, TornHeaderIsRewrittenOnWritableOpen) {
+  // A crash between create and the 16-byte header write leaves a short
+  // prefix of our header; it can hold no records, so a writable open
+  // treats it as fresh. Read-only opens and short *foreign* files fail.
+  const std::string path = TempLogPath("torn_header.rlog");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(RecordLog::kMagic, 1, 5, f), 5u);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(RecordLog::Open(path, /*read_only=*/true, nullptr).ok());
+  {
+    std::vector<StoredRecord> loaded;
+    auto log = RecordLog::Open(path, /*read_only=*/false, &loaded);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    EXPECT_TRUE(loaded.empty());
+    MODIS_CHECK_OK(log->Append(MakeRecord(1, "a", 1.0)));
+    MODIS_CHECK_OK(log->Flush());
+  }
+  std::vector<StoredRecord> loaded;
+  ASSERT_TRUE(RecordLog::Open(path, true, &loaded).ok());
+  ASSERT_EQ(loaded.size(), 1u);
+
+  // Same-length file with foreign content is rejected, not clobbered.
+  const std::string foreign = TempLogPath("short_foreign.bin");
+  {
+    std::FILE* f = std::fopen(foreign.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("MODIX", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(RecordLog::Open(foreign, /*read_only=*/false, nullptr).ok());
+}
+
+TEST(RecordLogTest, RejectsForeignFiles) {
+  const std::string path = TempLogPath("foreign.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a record log, but long enough", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(RecordLog::Open(path, false, nullptr).ok());
+}
+
+// ---------------------------------------------------------------- cache
+
+TEST(PersistentRecordCacheTest, InsertFindAndReload) {
+  const std::string path = TempLogPath("cache.rlog");
+  Evaluation eval;
+  eval.raw = {0.9, 12.0};
+  eval.normalized = {0.1, 0.6};
+  {
+    auto cache =
+        PersistentRecordCache::Open(path, CacheMode::kReadWrite, 99);
+    ASSERT_TRUE(cache.ok());
+    EXPECT_EQ((*cache)->Find("110"), nullptr);
+    (*cache)->Insert("110", {1.0, 1.0, 0.0}, eval);
+    const StoredRecord* hit = (*cache)->Find("110");
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->eval.normalized, eval.normalized);
+    MODIS_CHECK_OK((*cache)->Flush());
+  }
+  auto cache = PersistentRecordCache::Open(path, CacheMode::kRead, 99);
+  ASSERT_TRUE(cache.ok());
+  EXPECT_EQ((*cache)->stats().task_records, 1u);
+  const StoredRecord* hit = (*cache)->Find("110");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->eval.raw, eval.raw);
+  EXPECT_EQ((*cache)->stats().served, 1u);
+}
+
+TEST(PersistentRecordCacheTest, FingerprintScopesServing) {
+  const std::string path = TempLogPath("cache_scope.rlog");
+  Evaluation eval;
+  eval.raw = {1.0};
+  eval.normalized = {0.5};
+  {
+    auto cache =
+        PersistentRecordCache::Open(path, CacheMode::kReadWrite, 1);
+    ASSERT_TRUE(cache.ok());
+    (*cache)->Insert("101", {1.0}, eval);
+    MODIS_CHECK_OK((*cache)->Flush());
+  }
+  // A different task sees nothing, but its own inserts coexist in the
+  // same file.
+  {
+    auto cache =
+        PersistentRecordCache::Open(path, CacheMode::kReadWrite, 2);
+    ASSERT_TRUE(cache.ok());
+    EXPECT_EQ((*cache)->stats().loaded_records, 1u);
+    EXPECT_EQ((*cache)->stats().task_records, 0u);
+    EXPECT_EQ((*cache)->Find("101"), nullptr);
+    (*cache)->Insert("101", {2.0}, eval);
+    MODIS_CHECK_OK((*cache)->Flush());
+  }
+  auto cache = PersistentRecordCache::Open(path, CacheMode::kRead, 1);
+  ASSERT_TRUE(cache.ok());
+  EXPECT_EQ((*cache)->stats().loaded_records, 2u);
+  EXPECT_EQ((*cache)->stats().task_records, 1u);
+  ASSERT_NE((*cache)->Find("101"), nullptr);
+  EXPECT_EQ((*cache)->Find("101")->features, (std::vector<double>{1.0}));
+}
+
+TEST(PersistentRecordCacheTest, DuplicateKeysLastWriteWinsAndCompact) {
+  const std::string path = TempLogPath("cache_dup.rlog");
+  {
+    std::vector<StoredRecord> loaded;
+    auto log = RecordLog::Open(path, false, &loaded);
+    ASSERT_TRUE(log.ok());
+    // Three generations of the same key plus one live record: 2 of 4 are
+    // dead, which crosses the >=50% auto-compaction threshold.
+    MODIS_CHECK_OK(log->Append(MakeRecord(5, "k", 1.0)));
+    MODIS_CHECK_OK(log->Append(MakeRecord(5, "k", 2.0)));
+    MODIS_CHECK_OK(log->Append(MakeRecord(5, "k", 3.0)));
+    MODIS_CHECK_OK(log->Append(MakeRecord(6, "other", 9.0)));
+    MODIS_CHECK_OK(log->Flush());
+  }
+  const auto size_before = fs::file_size(path);
+  {
+    auto cache =
+        PersistentRecordCache::Open(path, CacheMode::kReadWrite, 5);
+    ASSERT_TRUE(cache.ok());
+    const StoredRecord* hit = (*cache)->Find("k");
+    ASSERT_NE(hit, nullptr);
+    ExpectRecordEq(*hit, MakeRecord(5, "k", 3.0));  // Last write won.
+    EXPECT_EQ((*cache)->stats().compacted_away, 2u);
+  }
+  EXPECT_LT(fs::file_size(path), size_before);
+  // Compaction preserved the latest generation and the foreign record.
+  std::vector<StoredRecord> loaded;
+  auto log = RecordLog::Open(path, true, &loaded);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(loaded.size(), 2u);
+  std::sort(loaded.begin(), loaded.end(),
+            [](const StoredRecord& a, const StoredRecord& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  ExpectRecordEq(loaded[0], MakeRecord(5, "k", 3.0));
+  ExpectRecordEq(loaded[1], MakeRecord(6, "other", 9.0));
+}
+
+// ------------------------------------------------------------ end-to-end
+
+/// Fixture of the cache determinism tests: the T2 house task with its
+/// wall-clock measure removed (train_time would make the cache-off vs
+/// cache-on comparison flaky by definition — see docs/PERSISTENCE.md).
+struct DeterminismFixture {
+  TabularBench bench;
+  SearchUniverse universe;
+  SupervisedTask task;
+
+  static DeterminismFixture Make() {
+    auto bench = MakeTabularBench(BenchTaskId::kHouse, 0.4);
+    EXPECT_TRUE(bench.ok());
+    auto universe =
+        SearchUniverse::Build(bench->universal, bench->universe_options);
+    EXPECT_TRUE(universe.ok());
+    SupervisedTask task = bench->task;
+    task.measures.clear();
+    for (const MeasureSpec& m : bench->task.measures) {
+      if (m.name != "train_time") task.measures.push_back(m);
+    }
+    EXPECT_GE(task.measures.size(), 2u);
+    return {std::move(bench).value(), std::move(universe).value(),
+            std::move(task)};
+  }
+
+  ModisConfig Config(const std::string& cache_path) const {
+    ModisConfig cfg;
+    cfg.epsilon = 0.25;
+    cfg.max_states = 90;
+    cfg.max_level = 3;
+    cfg.record_cache_path = cache_path;
+    return cfg;
+  }
+
+  ModisResult Run(const ModisConfig& cfg, bool surrogate) {
+    SupervisedEvaluator evaluator(task, bench.model->Clone());
+    std::unique_ptr<PerformanceOracle> oracle;
+    if (surrogate) {
+      oracle = std::make_unique<MoGbmOracle>(&evaluator);
+    } else {
+      oracle = std::make_unique<ExactOracle>(&evaluator);
+    }
+    auto result = RunBiModis(universe, oracle.get(), cfg);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }
+};
+
+void ExpectSameSkyline(ModisResult a, ModisResult b) {
+  EXPECT_EQ(a.valuated_states, b.valuated_states);
+  EXPECT_EQ(a.generated_states, b.generated_states);
+  EXPECT_EQ(a.pruned_states, b.pruned_states);
+  ASSERT_EQ(a.skyline.size(), b.skyline.size());
+  ASSERT_FALSE(a.skyline.empty());
+  auto by_signature = [](const SkylineEntry& x, const SkylineEntry& y) {
+    return x.state.Signature() < y.state.Signature();
+  };
+  std::sort(a.skyline.begin(), a.skyline.end(), by_signature);
+  std::sort(b.skyline.begin(), b.skyline.end(), by_signature);
+  for (size_t i = 0; i < a.skyline.size(); ++i) {
+    const SkylineEntry& x = a.skyline[i];
+    const SkylineEntry& y = b.skyline[i];
+    EXPECT_EQ(x.state.Signature(), y.state.Signature());
+    EXPECT_EQ(x.level, y.level);
+    ASSERT_EQ(x.eval.normalized.size(), y.eval.normalized.size());
+    for (size_t j = 0; j < x.eval.normalized.size(); ++j) {
+      EXPECT_DOUBLE_EQ(x.eval.normalized[j], y.eval.normalized[j]);
+      EXPECT_DOUBLE_EQ(x.eval.raw[j], y.eval.raw[j]);
+    }
+  }
+}
+
+TEST(CacheDeterminismTest, ExactOracleOffColdWarmAllAgree) {
+  auto f = DeterminismFixture::Make();
+  const std::string path = TempLogPath("exact_determinism.rlog");
+
+  ModisResult off = f.Run(f.Config(""), /*surrogate=*/false);
+  ModisResult cold = f.Run(f.Config(path), /*surrogate=*/false);
+  ModisResult warm = f.Run(f.Config(path), /*surrogate=*/false);
+
+  // Cold run: cache engaged but empty, so it trains everything and only
+  // writes. Off vs cold must be byte-identical.
+  EXPECT_FALSE(off.record_cache_active);
+  EXPECT_TRUE(cold.record_cache_active);
+  EXPECT_TRUE(warm.record_cache_active);
+  EXPECT_EQ(cold.record_cache_stats.loaded_records, 0u);
+  EXPECT_EQ(cold.oracle_stats.persistent_hits, 0u);
+  EXPECT_GT(cold.record_cache_stats.appended, 0u);
+  EXPECT_EQ(cold.oracle_stats.exact_evals, off.oracle_stats.exact_evals);
+
+  // Warm run: every previously seen state replays from the log — zero
+  // exact trainings.
+  EXPECT_EQ(warm.oracle_stats.exact_evals, 0u);
+  EXPECT_EQ(warm.oracle_stats.persistent_hits,
+            cold.oracle_stats.exact_evals);
+  EXPECT_EQ(warm.record_cache_stats.loaded_records,
+            cold.record_cache_stats.appended);
+
+  ExpectSameSkyline(off, std::move(cold));
+  ExpectSameSkyline(f.Run(f.Config(""), false), std::move(warm));
+}
+
+TEST(CacheDeterminismTest, SurrogateOracleReplaysTheColdPlan) {
+  // The MO-GBM oracle consumes policy randomness while planning; the
+  // persistent substitution happens after each policy decision, so a warm
+  // run replays the cold run's plan verbatim: same surrogate count, zero
+  // trainings, identical skyline.
+  auto f = DeterminismFixture::Make();
+  const std::string path = TempLogPath("surrogate_determinism.rlog");
+
+  ModisResult off = f.Run(f.Config(""), /*surrogate=*/true);
+  ModisResult cold = f.Run(f.Config(path), /*surrogate=*/true);
+  ModisResult warm = f.Run(f.Config(path), /*surrogate=*/true);
+
+  EXPECT_EQ(cold.oracle_stats.exact_evals, off.oracle_stats.exact_evals);
+  EXPECT_EQ(cold.oracle_stats.surrogate_evals,
+            off.oracle_stats.surrogate_evals);
+
+  EXPECT_EQ(warm.oracle_stats.exact_evals, 0u);
+  EXPECT_EQ(warm.oracle_stats.persistent_hits,
+            cold.oracle_stats.exact_evals);
+  EXPECT_EQ(warm.oracle_stats.surrogate_evals,
+            cold.oracle_stats.surrogate_evals);
+
+  ExpectSameSkyline(off, std::move(cold));
+  ExpectSameSkyline(f.Run(f.Config(""), true), std::move(warm));
+}
+
+TEST(CacheDeterminismTest, TaskFingerprintSeparatesMeasureSets) {
+  auto f = DeterminismFixture::Make();
+  const uint64_t a =
+      ModisEngine::TaskFingerprint(f.universe, f.task.measures, "");
+  const uint64_t b =
+      ModisEngine::TaskFingerprint(f.universe, f.bench.task.measures, "");
+  EXPECT_NE(a, b);  // With vs without train_time.
+  const uint64_t salted =
+      ModisEngine::TaskFingerprint(f.universe, f.task.measures, "model-v2");
+  EXPECT_NE(a, salted);
+  EXPECT_EQ(a, ModisEngine::TaskFingerprint(f.universe, f.task.measures, ""));
+}
+
+TEST(CacheDeterminismTest, TaskFingerprintSeesCellContent) {
+  // Same schema, same shape, different data (another generator scale →
+  // different values but identical columns) must not share records.
+  auto bench_a = MakeTabularBench(BenchTaskId::kHouse, 0.4);
+  auto bench_b = MakeTabularBench(BenchTaskId::kHouse, 0.4);
+  ASSERT_TRUE(bench_a.ok() && bench_b.ok());
+  // Perturb one cell of an otherwise identical universal table.
+  Table perturbed = bench_b->universal;
+  auto universe_a = SearchUniverse::Build(bench_a->universal,
+                                          bench_a->universe_options);
+  ASSERT_TRUE(universe_a.ok());
+  const uint64_t fp_same = ModisEngine::TaskFingerprint(
+      *universe_a, bench_a->task.measures, "");
+  {
+    auto universe_b =
+        SearchUniverse::Build(perturbed, bench_b->universe_options);
+    ASSERT_TRUE(universe_b.ok());
+    // Identical generation → identical fingerprint.
+    EXPECT_EQ(fp_same, ModisEngine::TaskFingerprint(
+                           *universe_b, bench_b->task.measures, ""));
+  }
+  perturbed.Set(0, 0, Value(int64_t{987654}));
+  auto universe_c =
+      SearchUniverse::Build(perturbed, bench_b->universe_options);
+  ASSERT_TRUE(universe_c.ok());
+  EXPECT_NE(fp_same, ModisEngine::TaskFingerprint(
+                         *universe_c, bench_b->task.measures, ""));
+}
+
+TEST(CacheDeterminismTest, BrokenCachePathDegradesToColdRun) {
+  auto f = DeterminismFixture::Make();
+  // A directory is not a valid log file; the engine must warn and search
+  // without persistence rather than fail.
+  ModisConfig cfg = f.Config(::testing::TempDir());
+  ModisResult result = f.Run(cfg, /*surrogate=*/false);
+  EXPECT_GT(result.oracle_stats.exact_evals, 0u);
+  EXPECT_FALSE(result.record_cache_active);
+  EXPECT_EQ(result.record_cache_stats.loaded_records, 0u);
+  EXPECT_EQ(result.record_cache_stats.appended, 0u);
+  ExpectSameSkyline(f.Run(f.Config(""), false), std::move(result));
+}
+
+}  // namespace
+}  // namespace modis
