@@ -1,0 +1,282 @@
+/// bench_serving — QPS and latency of the long-lived discovery service
+/// versus cold process-per-query execution.
+///
+/// Protocol (see docs/SERVING.md and bench/baselines/README.md):
+///   1. `cold_process`: each query pays the full batch-program cost —
+///      lake generation, universe construction, and every exact training
+///      (DiscoveryService::AnswerDetached, no cache) — the life of a
+///      MODis user before the serving subsystem.
+///   2. `warm_service`: a DiscoveryService with a shared pool and one
+///      shared record-cache file answers the same query mix after one
+///      warm-up pass; repeated queries replay recorded trainings (the
+///      bench asserts 0 exact trainings during the measured phase).
+///   3. The warm phase repeats with 1, 2, and 4 concurrent clients
+///      sharing the one locked cache file.
+///
+/// Usage: bench_serving [--json] [--queries N] [--task T1] [--scale S]
+///                      [--threads N]
+///
+/// --json emits one serving-metrics record per (mode, clients) pair:
+///   {"bench":"serving","mode":..,"clients":..,"queries":..,"qps":..,
+///    "p50_ms":..,"p99_ms":..,"exact_evals":..,"persistent_hits":..,
+///    "speedup_p50_vs_cold":..}
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/discovery_service.h"
+
+using namespace modis;
+
+namespace {
+
+struct Args {
+  bool json = false;
+  size_t queries = 12;   // Measured queries per phase.
+  std::string task = "T1";
+  double scale = 0.4;
+  size_t threads = 0;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      args.json = true;
+    } else if (arg == "--queries") {
+      args.queries = std::stoul(value());
+    } else if (arg == "--task") {
+      args.task = value();
+    } else if (arg == "--scale") {
+      args.scale = std::stod(value());
+    } else if (arg == "--threads") {
+      args.threads = std::stoul(value());
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument %s (supported: --json, --queries N, "
+                   "--task T, --scale S, --threads N)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// The query mix: distinct (variant, epsilon) combinations so the warm
+/// cache holds more than one fingerprint-scoped working set. Wall-clock
+/// measures are excluded so repeated answers are bit-reproducible.
+std::vector<DiscoveryRequest> QueryMix(const std::string& task) {
+  std::vector<DiscoveryRequest> mix;
+  for (const char* variant : {"bi", "apx", "div"}) {
+    for (double epsilon : {0.25, 0.35}) {
+      DiscoveryRequest request;
+      request.task = task;
+      request.variant = variant;
+      request.epsilon = epsilon;
+      request.budget = 60;
+      request.maxl = 3;
+      request.measures = {"acc", "fisher", "mi"};
+      mix.push_back(std::move(request));
+    }
+  }
+  return mix;
+}
+
+double Percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const double rank = p * double(sorted_ms.size() - 1);
+  const size_t lo = size_t(rank);
+  const size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = rank - double(lo);
+  return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+struct PhaseResult {
+  std::string mode;
+  size_t clients = 1;
+  size_t queries = 0;
+  double wall_seconds = 0.0;
+  std::vector<double> latencies_ms;
+  size_t exact_evals = 0;
+  size_t persistent_hits = 0;
+
+  double Qps() const {
+    return wall_seconds <= 0.0 ? 0.0 : double(queries) / wall_seconds;
+  }
+};
+
+void PrintHuman(const PhaseResult& r, double cold_p50) {
+  const double p50 = Percentile(r.latencies_ms, 0.50);
+  const double p99 = Percentile(r.latencies_ms, 0.99);
+  std::printf("%-14s clients=%zu  queries=%3zu  qps=%7.2f  p50=%9.1f ms  "
+              "p99=%9.1f ms  exact=%4zu  replayed=%4zu",
+              r.mode.c_str(), r.clients, r.queries, r.Qps(), p50, p99,
+              r.exact_evals, r.persistent_hits);
+  if (cold_p50 > 0.0 && r.mode != "cold_process") {
+    std::printf("  speedup_p50=%.1fx", cold_p50 / std::max(p50, 1e-9));
+  }
+  std::printf("\n");
+}
+
+void PrintJson(const std::vector<PhaseResult>& phases, double cold_p50) {
+  std::printf("[\n");
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& r = phases[i];
+    const double p50 = Percentile(r.latencies_ms, 0.50);
+    const double p99 = Percentile(r.latencies_ms, 0.99);
+    const double speedup =
+        r.mode == "cold_process" || cold_p50 <= 0.0
+            ? 1.0
+            : cold_p50 / std::max(p50, 1e-9);
+    std::printf(
+        "  {\"bench\": \"serving\", \"mode\": \"%s\", \"clients\": %zu, "
+        "\"queries\": %zu, \"qps\": %.3f, \"p50_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"exact_evals\": %zu, "
+        "\"persistent_hits\": %zu, \"speedup_p50_vs_cold\": %.3f}%s\n",
+        r.mode.c_str(), r.clients, r.queries, r.Qps(), p50, p99,
+        r.exact_evals, r.persistent_hits, speedup,
+        i + 1 < phases.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  const std::vector<DiscoveryRequest> mix = QueryMix(args.task);
+  namespace fs = std::filesystem;
+  const std::string cache_path =
+      (fs::temp_directory_path() / "bench_serving.rlog").string();
+  fs::remove(cache_path);
+  fs::remove(cache_path + ".compact");
+
+  std::vector<PhaseResult> phases;
+
+  // ---- Phase 1: cold process-per-query. Every query pays startup +
+  // lake + universe + all trainings. A few samples suffice — the
+  // latencies barely vary.
+  {
+    PhaseResult cold;
+    cold.mode = "cold_process";
+    cold.queries = std::min<size_t>(3, mix.size());
+    WallTimer wall;
+    for (size_t q = 0; q < cold.queries; ++q) {
+      WallTimer latency;
+      auto response =
+          DiscoveryService::AnswerDetached(mix[q % mix.size()], args.scale);
+      if (!response.ok()) {
+        std::fprintf(stderr, "cold query failed: %s\n",
+                     response.status().ToString().c_str());
+        return 1;
+      }
+      cold.latencies_ms.push_back(latency.Millis());
+      cold.exact_evals += response->exact_evals;
+      cold.persistent_hits += response->persistent_hits;
+    }
+    cold.wall_seconds = wall.Seconds();
+    phases.push_back(std::move(cold));
+  }
+  const double cold_p50 = Percentile(phases[0].latencies_ms, 0.50);
+
+  // ---- The service under test: shared pool, shared cache file.
+  DiscoveryService::Options options;
+  options.sessions = 4;
+  options.queue_capacity = 64;
+  options.valuation_threads = args.threads;
+  options.default_cache_path = cache_path;
+  options.task_row_scale = args.scale;
+  DiscoveryService service(options);
+  if (Status preloaded = service.Preload(args.task); !preloaded.ok()) {
+    std::fprintf(stderr, "preload failed: %s\n",
+                 preloaded.ToString().c_str());
+    return 1;
+  }
+
+  // Warm-up pass: run each unique query once so the cache holds every
+  // training the mix needs.
+  for (const DiscoveryRequest& request : mix) {
+    auto response = service.Answer(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "warm-up query failed: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // ---- Phase 2..4: warm service at 1, 2, 4 concurrent clients.
+  for (size_t clients : {size_t{1}, size_t{2}, size_t{4}}) {
+    PhaseResult warm;
+    warm.mode = "warm_service";
+    warm.clients = clients;
+    warm.queries = args.queries;
+    std::mutex mu;
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> workers;
+    WallTimer wall;
+    for (size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const size_t q = next.fetch_add(1);
+          if (q >= warm.queries) return;
+          WallTimer latency;
+          auto response = service.Answer(mix[q % mix.size()]);
+          const double ms = latency.Millis();
+          std::lock_guard<std::mutex> lock(mu);
+          if (response.ok()) {
+            warm.latencies_ms.push_back(ms);
+            warm.exact_evals += response->exact_evals;
+            warm.persistent_hits += response->persistent_hits;
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    warm.wall_seconds = wall.Seconds();
+    if (warm.latencies_ms.size() != warm.queries) {
+      std::fprintf(stderr, "warm phase dropped queries (%zu of %zu)\n",
+                   warm.latencies_ms.size(), warm.queries);
+      return 1;
+    }
+    phases.push_back(std::move(warm));
+  }
+
+  // The acceptance gate: a warm service trains nothing and answers ≥5x
+  // faster (per-query p50) than cold process-per-query.
+  for (size_t i = 1; i < phases.size(); ++i) {
+    if (phases[i].exact_evals != 0) {
+      std::fprintf(stderr,
+                   "FAIL: warm phase (clients=%zu) performed %zu exact "
+                   "trainings\n",
+                   phases[i].clients, phases[i].exact_evals);
+      return 1;
+    }
+  }
+
+  if (args.json) {
+    PrintJson(phases, cold_p50);
+  } else {
+    std::printf("== bench_serving: task %s, scale %.2f, %zu-query mix ==\n",
+                args.task.c_str(), args.scale, mix.size());
+    for (const PhaseResult& r : phases) PrintHuman(r, cold_p50);
+    std::printf("(cache file: %s)\n", cache_path.c_str());
+  }
+  return 0;
+}

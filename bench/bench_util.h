@@ -36,23 +36,27 @@ namespace modis::bench {
 ///                       warm start (see docs/PERSISTENCE.md)
 ///   --cache-mode M      off | read | read_write (default read_write);
 ///                       only meaningful with --record-cache
+///   --cache-max-bytes N byte budget of the record-cache log (0 =
+///                       unbounded); over-budget logs evict least-
+///                       recently-hit fingerprints at each flush
 struct BenchOptions {
   bool json = false;
   size_t num_threads = 0;
   std::string record_cache;
   CacheMode cache_mode = CacheMode::kReadWrite;
+  uint64_t cache_max_bytes = 0;
 };
 
 inline BenchOptions ParseBenchOptions(int argc, char** argv) {
   BenchOptions opts;
   auto parse_mode = [](const std::string& value) {
-    if (value == "off") return CacheMode::kOff;
-    if (value == "read") return CacheMode::kRead;
-    if (value == "read_write") return CacheMode::kReadWrite;
-    std::fprintf(stderr,
-                 "bad --cache-mode %s (off | read | read_write)\n",
-                 value.c_str());
-    std::exit(2);
+    const Result<CacheMode> mode = ParseCacheMode(value);
+    if (!mode.ok()) {
+      std::fprintf(stderr, "bad --cache-mode: %s\n",
+                   mode.status().ToString().c_str());
+      std::exit(2);
+    }
+    return mode.value();
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -72,10 +76,16 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
       opts.cache_mode = parse_mode(argv[++i]);
     } else if (arg.rfind("--cache-mode=", 0) == 0) {
       opts.cache_mode = parse_mode(arg.substr(std::strlen("--cache-mode=")));
+    } else if (arg == "--cache-max-bytes" && i + 1 < argc) {
+      opts.cache_max_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--cache-max-bytes=", 0) == 0) {
+      opts.cache_max_bytes = std::strtoull(
+          arg.c_str() + std::strlen("--cache-max-bytes="), nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "unknown argument %s (supported: --json, --threads N, "
-                   "--record-cache PATH, --cache-mode M)\n",
+                   "--record-cache PATH, --cache-mode M, "
+                   "--cache-max-bytes N)\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -90,6 +100,7 @@ inline void ApplyBenchOptions(const BenchOptions& opts, ModisConfig* config) {
   config->num_threads = opts.num_threads;
   config->record_cache_path = opts.record_cache;
   config->cache_mode = opts.cache_mode;
+  config->record_cache_max_bytes = opts.cache_max_bytes;
 }
 
 /// The thread count a run effectively uses (resolves 0 = hardware).

@@ -1,6 +1,7 @@
-/// modis_cli — command-line skyline data discovery over CSV files.
+/// modis_cli — command-line skyline data discovery over CSV files, and
+/// the client of a running modis_server.
 ///
-/// Usage:
+/// Local usage:
 ///   modis_cli --dir <path> --key <col> --target <col>
 ///             [--task regression|classification]
 ///             [--algo apx|nobi|bi|div] [--epsilon 0.2] [--budget 150]
@@ -19,6 +20,17 @@
 /// after the run. See docs/PERSISTENCE.md.
 ///
 /// A self-contained demo lake is generated when --dir is omitted.
+///
+/// Client usage (docs/SERVING.md):
+///   modis_cli --connect <socket> --bench-task T1
+///             [--algo bi] [--oracle exact|gbm] [--epsilon ..]
+///             [--budget ..] [--maxl ..] [--k ..] [--alpha ..]
+///             [--measures acc,fisher,mi] [--record-cache <file>]
+///             [--cache-mode M] [--namespace NS] [--seed N] [--raw]
+///
+/// Sends one discovery request to the modis_server listening on <socket>
+/// and prints the answer (the raw response JSON line with --raw — the
+/// shape scripts/serving_smoke.sh diffs).
 
 #include <cstdio>
 #include <cstring>
@@ -26,12 +38,19 @@
 #include <map>
 #include <string>
 
+#if !defined(_WIN32)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
 #include "core/algorithms.h"
 #include "datagen/data_lake.h"
 #include "estimator/supervised_evaluator.h"
 #include "ml/gradient_boosting.h"
 #include "ml/random_forest.h"
 #include "ops/operators.h"
+#include "service/wire.h"
 #include "table/csv.h"
 
 namespace fs = std::filesystem;
@@ -52,6 +71,15 @@ struct Args {
   size_t k = 5;
   std::string record_cache;
   std::string cache_mode = "read_write";
+  // Client mode.
+  std::string connect;
+  std::string bench_task;
+  std::string oracle = "exact";
+  std::string measures;  // Comma-separated.
+  double alpha = 0.5;
+  std::string cache_namespace;
+  uint64_t seed = 1;
+  bool raw = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -61,10 +89,23 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       {"--task", &args->task},   {"--algo", &args->algo},
       {"--record-cache", &args->record_cache},
       {"--cache-mode", &args->cache_mode},
+      {"--connect", &args->connect},
+      {"--bench-task", &args->bench_task},
+      {"--oracle", &args->oracle},
+      {"--measures", &args->measures},
+      {"--namespace", &args->cache_namespace},
   };
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
-    const std::string value = argv[i + 1];
+    if (flag == "--raw") {  // The only zero-operand flag.
+      args->raw = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag %s needs a value\n", flag.c_str());
+      return false;
+    }
+    const std::string value = argv[++i];
     if (auto it = str_flags.find(flag); it != str_flags.end()) {
       *it->second = value;
     } else if (flag == "--epsilon") {
@@ -75,6 +116,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->maxl = std::stoi(value);
     } else if (flag == "--k") {
       args->k = std::stoul(value);
+    } else if (flag == "--alpha") {
+      args->alpha = std::stod(value);
+    } else if (flag == "--seed") {
+      args->seed = std::stoull(value);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -82,6 +127,104 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   return true;
 }
+
+#if !defined(_WIN32)
+
+/// Sends one request line to a modis_server unix socket and prints the
+/// response: the raw JSON line with --raw, a human summary otherwise.
+Status RunConnect(const Args& args) {
+  if (args.bench_task.empty()) {
+    return Status::InvalidArgument("--connect needs --bench-task (T1..T4)");
+  }
+  DiscoveryRequest request;
+  request.task = args.bench_task;
+  request.variant = args.algo;
+  request.oracle = args.oracle;
+  request.epsilon = args.epsilon;
+  request.budget = args.budget;
+  request.maxl = args.maxl;
+  request.k = args.k;
+  request.alpha = args.alpha;
+  request.cache_path = args.record_cache;
+  request.cache_mode = args.cache_mode;
+  request.cache_namespace = args.cache_namespace;
+  request.seed = args.seed;
+  size_t start = 0;
+  while (start <= args.measures.size() && !args.measures.empty()) {
+    const size_t comma = args.measures.find(',', start);
+    const std::string name =
+        args.measures.substr(start, comma == std::string::npos
+                                        ? std::string::npos
+                                        : comma - start);
+    if (!name.empty()) request.measures.push_back(name);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("cannot create client socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (args.connect.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::InvalidArgument("socket path too long: " + args.connect);
+  }
+  std::strncpy(addr.sun_path, args.connect.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::IoError("cannot connect to " + args.connect +
+                           " (is modis_server running?)");
+  }
+  const std::string line = SerializeDiscoveryRequest(request) + "\n";
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + off, line.size() - off, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IoError("send failed");
+    }
+    off += size_t(n);
+  }
+  std::string reply;
+  char c;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n <= 0 || c == '\n') break;
+    reply.push_back(c);
+  }
+  ::close(fd);
+  if (reply.empty()) return Status::IoError("server closed the connection");
+
+  if (args.raw) {
+    std::printf("%s\n", reply.c_str());
+    return Status::OK();
+  }
+  MODIS_ASSIGN_OR_RETURN(DiscoveryResponse response,
+                         ParseDiscoveryResponse(reply));
+  std::printf("%s %s: skyline size %zu (valuated %zu, queue %.1f ms, run "
+              "%.1f ms)\n",
+              response.task.c_str(), response.variant.c_str(),
+              response.skyline.size(), response.valuated_states,
+              response.queue_ms, response.run_ms);
+  std::printf("trainings: %zu fresh, %zu replayed from the warm cache, "
+              "%zu surrogate\n",
+              response.exact_evals, response.persistent_hits,
+              response.surrogate_evals);
+  for (const DiscoverySkylineRow& row : response.skyline) {
+    std::printf("  %s (level %d, %zux%zu):", row.signature.c_str(),
+                row.level, row.rows, row.cols);
+    for (size_t j = 0;
+         j < row.raw.size() && j < response.measure_names.size(); ++j) {
+      std::printf(" %s=%.4f", response.measure_names[j].c_str(),
+                  row.raw[j]);
+    }
+    std::printf("\n");
+  }
+  return Status::OK();
+}
+
+#endif  // !_WIN32
 
 /// Writes a demo lake when no --dir was given, so the CLI is runnable
 /// standalone.
@@ -104,6 +247,13 @@ Status PrepareDemoLake(Args* args) {
 }
 
 Status Run(Args args) {
+  if (!args.connect.empty()) {
+#if !defined(_WIN32)
+    return RunConnect(args);
+#else
+    return Status::Unimplemented("--connect requires POSIX sockets");
+#endif
+  }
   if (args.dir.empty()) {
     MODIS_RETURN_IF_ERROR(PrepareDemoLake(&args));
   }
@@ -157,16 +307,8 @@ Status Run(Args args) {
   config.max_level = args.maxl;
   config.diversify_k = args.k;
   config.record_cache_path = args.record_cache;
-  if (args.cache_mode == "off") {
-    config.cache_mode = CacheMode::kOff;
-  } else if (args.cache_mode == "read") {
-    config.cache_mode = CacheMode::kRead;
-  } else if (args.cache_mode == "read_write") {
-    config.cache_mode = CacheMode::kReadWrite;
-  } else {
-    return Status::InvalidArgument("unknown --cache-mode " +
-                                   args.cache_mode);
-  }
+  MODIS_ASSIGN_OR_RETURN(config.cache_mode,
+                         ParseCacheMode(args.cache_mode));
 
   Result<ModisResult> result = Status::Internal("unset");
   if (args.algo == "apx") {

@@ -1,0 +1,306 @@
+/// modis_server — the long-lived discovery host.
+///
+/// Serves MODis discovery queries over a line-delimited JSON protocol
+/// (docs/SERVING.md): one request object per line in, one response object
+/// per line out.
+///
+/// Usage:
+///   modis_server --socket /tmp/modis.sock   # AF_UNIX stream listener
+///   modis_server --stdio                    # one session on stdin/stdout
+///   modis_server --batch '<request json>'   # one-shot reference run
+///             [--tasks T1,T2]    preload task contexts before serving
+///             [--sessions N]     concurrent query executors (default 2)
+///             [--queue N]        admission-queue capacity (default 8)
+///             [--threads N]      shared valuation pool (0 = hardware)
+///             [--cache PATH]     default record-cache file
+///             [--cache-mode M]   off | read | read_write (default)
+///             [--cache-max-bytes N]  byte budget, 0 = unbounded
+///             [--row-scale S]    bench-lake row scale (default 1.0)
+///
+/// The host owns its cache files: a writable open holds the flock writer
+/// lock for the process lifetime, so a second host on the same file fails
+/// fast and batch runs degrade to cold. `--batch` executes one request
+/// without the service (fresh lake, fresh engine) and prints the same
+/// response JSON — the reference the serving smoke test diffs against.
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "service/discovery_service.h"
+#include "service/wire.h"
+
+using namespace modis;
+
+namespace {
+
+struct Args {
+  std::string socket_path;
+  bool stdio = false;
+  std::string batch_request;
+  std::string tasks;
+  size_t sessions = 2;
+  size_t queue = 8;
+  size_t threads = 0;
+  std::string cache;
+  std::string cache_mode = "read_write";
+  uint64_t cache_max_bytes = 0;
+  double row_scale = 1.0;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag.c_str());
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (flag == "--stdio") {
+      args->stdio = true;
+    } else if (flag == "--socket") {
+      if (!next(&args->socket_path)) return false;
+    } else if (flag == "--batch") {
+      if (!next(&args->batch_request)) return false;
+    } else if (flag == "--tasks") {
+      if (!next(&args->tasks)) return false;
+    } else if (flag == "--sessions") {
+      if (!next(&value)) return false;
+      args->sessions = std::stoul(value);
+    } else if (flag == "--queue") {
+      if (!next(&value)) return false;
+      args->queue = std::stoul(value);
+    } else if (flag == "--threads") {
+      if (!next(&value)) return false;
+      args->threads = std::stoul(value);
+    } else if (flag == "--cache") {
+      if (!next(&args->cache)) return false;
+    } else if (flag == "--cache-mode") {
+      if (!next(&args->cache_mode)) return false;
+    } else if (flag == "--cache-max-bytes") {
+      if (!next(&value)) return false;
+      args->cache_max_bytes = std::stoull(value);
+    } else if (flag == "--row-scale") {
+      if (!next(&value)) return false;
+      args->row_scale = std::stod(value);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (!args->stdio && args->socket_path.empty() &&
+      args->batch_request.empty()) {
+    std::fprintf(stderr,
+                 "one of --socket PATH, --stdio, or --batch JSON is "
+                 "required\n");
+    return false;
+  }
+  return true;
+}
+
+/// Answers one request line: parse -> service -> serialize (errors become
+/// `{"ok":false,...}` lines, never a dropped connection).
+std::string AnswerLine(DiscoveryService* service, const std::string& line) {
+  auto request = ParseDiscoveryRequest(line);
+  if (!request.ok()) return SerializeDiscoveryError(request.status());
+  auto response = service->Answer(request.value());
+  if (!response.ok()) return SerializeDiscoveryError(response.status());
+  return SerializeDiscoveryResponse(response.value());
+}
+
+#if !defined(_WIN32)
+
+/// Reads one '\n'-terminated line from a socket. False on EOF/error with
+/// nothing buffered.
+bool ReadLine(int fd, std::string* line) {
+  line->clear();
+  char c;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n == 0) return !line->empty();  // EOF.
+    if (n < 0) return false;
+    if (c == '\n') return true;
+    line->push_back(c);
+    if (line->size() > (1u << 20)) return false;  // Absurd request.
+  }
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) return false;
+    off += size_t(n);
+  }
+  return true;
+}
+
+void ServeConnection(DiscoveryService* service, int fd) {
+  std::string line;
+  while (ReadLine(fd, &line)) {
+    if (line.empty()) continue;
+    if (!WriteAll(fd, AnswerLine(service, line) + "\n")) break;
+  }
+  ::close(fd);
+}
+
+int ServeSocket(DiscoveryService* service, const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("modis_server: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "modis_server: socket path too long: %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());  // Stale socket from a dead host.
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listener, 16) < 0) {
+    std::perror("modis_server: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::printf("modis_server: serving on %s\n", path.c_str());
+  std::fflush(stdout);
+  for (;;) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      std::perror("modis_server: accept");
+      break;
+    }
+    std::thread(ServeConnection, service, conn).detach();
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+#endif  // !_WIN32
+
+void ServeStdio(DiscoveryService* service) {
+  std::string line;
+  std::vector<char> buffer(1 << 20);
+  while (std::fgets(buffer.data(), int(buffer.size()), stdin) != nullptr) {
+    line.assign(buffer.data());
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    std::printf("%s\n", AnswerLine(service, line).c_str());
+    std::fflush(stdout);
+  }
+}
+
+int RunBatch(const Args& args) {
+  auto request = ParseDiscoveryRequest(args.batch_request);
+  if (!request.ok()) {
+    std::printf("%s\n", SerializeDiscoveryError(request.status()).c_str());
+    return 1;
+  }
+  auto response =
+      DiscoveryService::AnswerDetached(request.value(), args.row_scale);
+  if (!response.ok()) {
+    std::printf("%s\n", SerializeDiscoveryError(response.status()).c_str());
+    return 1;
+  }
+  std::printf("%s\n", SerializeDiscoveryResponse(response.value()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  if (!args.batch_request.empty()) return RunBatch(args);
+
+#if !defined(_WIN32)
+  std::signal(SIGPIPE, SIG_IGN);  // A dropped client must not kill the host.
+#endif
+
+  DiscoveryService::Options options;
+  options.sessions = args.sessions;
+  options.queue_capacity = args.queue;
+  options.valuation_threads = args.threads;
+  options.default_cache_path = args.cache;
+  options.cache_max_bytes = args.cache_max_bytes;
+  options.task_row_scale = args.row_scale;
+  auto mode = ParseCacheMode(args.cache_mode);
+  if (!mode.ok()) {
+    std::fprintf(stderr, "modis_server: %s\n",
+                 mode.status().ToString().c_str());
+    return 2;
+  }
+  options.default_cache_mode = mode.value();
+
+  DiscoveryService service(options);
+
+#if !defined(_WIN32)
+  // Bind the socket before the (potentially slow) preloads so clients can
+  // connect immediately; their first queries simply wait on the context
+  // build.
+  std::thread listener;
+  if (!args.socket_path.empty() && !args.stdio) {
+    listener = std::thread([&service, &args] {
+      std::exit(ServeSocket(&service, args.socket_path));
+    });
+  }
+#endif
+
+  if (!args.tasks.empty()) {
+    size_t start = 0;
+    while (start <= args.tasks.size()) {
+      const size_t comma = args.tasks.find(',', start);
+      const std::string task =
+          args.tasks.substr(start, comma == std::string::npos
+                                       ? std::string::npos
+                                       : comma - start);
+      if (!task.empty()) {
+        const Status preloaded = service.Preload(task);
+        if (preloaded.ok()) {
+          std::printf("modis_server: preloaded %s\n", task.c_str());
+          std::fflush(stdout);
+        } else {
+          std::fprintf(stderr, "modis_server: preload %s failed: %s\n",
+                       task.c_str(), preloaded.ToString().c_str());
+        }
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+
+  if (args.stdio) {
+    ServeStdio(&service);
+    return 0;
+  }
+#if !defined(_WIN32)
+  listener.join();
+  return 0;
+#else
+  std::fprintf(stderr, "modis_server: --socket requires POSIX\n");
+  return 1;
+#endif
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the discovery service (docs/SERVING.md):
+#
+#   1. start modis_server on a unix socket with a fresh cache file
+#   2. cold query through modis_cli --connect (trains everything)
+#   3. warm query (same request) — must perform 0 exact trainings
+#   4. batch reference: the same request via `modis_server --batch`
+#      (fresh process, no service, no cache)
+#   5. assert all three skylines are identical
+#
+# Usage: serving_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD=${1:-build}
+SERVER="$BUILD/examples/modis_server"
+CLI="$BUILD/examples/modis_cli"
+for bin in "$SERVER" "$CLI"; do
+  if [ ! -x "$bin" ]; then
+    echo "serving_smoke: missing binary $bin" >&2
+    exit 1
+  fi
+done
+
+WORK=$(mktemp -d /tmp/modis_smoke.XXXXXX)
+SOCK="$WORK/modis.sock"
+CACHE="$WORK/cache.rlog"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+ROW_SCALE=0.35
+REQUEST_FLAGS=(--bench-task T1 --algo bi --epsilon 0.25 --budget 60
+               --maxl 3 --measures acc,fisher,mi)
+
+"$SERVER" --socket "$SOCK" --row-scale "$ROW_SCALE" --cache "$CACHE" \
+  > "$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "serving_smoke: server died during startup:" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+[ -S "$SOCK" ] || { echo "serving_smoke: socket never appeared" >&2; exit 1; }
+
+COLD=$("$CLI" --connect "$SOCK" "${REQUEST_FLAGS[@]}" --raw)
+WARM=$("$CLI" --connect "$SOCK" "${REQUEST_FLAGS[@]}" --raw)
+BATCH=$("$SERVER" --batch \
+  '{"task":"T1","variant":"bi","epsilon":0.25,"budget":60,"maxl":3,"measures":["acc","fisher","mi"]}' \
+  --row-scale "$ROW_SCALE")
+
+python3 - "$COLD" "$WARM" "$BATCH" <<'PY'
+import json
+import sys
+
+cold, warm, batch = (json.loads(arg) for arg in sys.argv[1:4])
+for name, doc in (("cold", cold), ("warm", warm), ("batch", batch)):
+    assert doc.get("ok"), f"{name} response not ok: {doc}"
+    assert doc["skyline"], f"{name} skyline is empty"
+
+assert warm["stats"]["exact_evals"] == 0, warm["stats"]
+assert warm["stats"]["persistent_hits"] > 0, warm["stats"]
+assert warm["stats"]["cache_active"], warm["stats"]
+
+def skyline(doc):
+    return sorted(
+        (e["signature"], e["raw"], e["normalized"]) for e in doc["skyline"]
+    )
+
+assert skyline(cold) == skyline(warm) == skyline(batch), (
+    "skylines diverge between cold / warm / batch runs"
+)
+print(
+    "serving smoke OK: warm query trained nothing "
+    f"({warm['stats']['persistent_hits']} replays), skyline of "
+    f"{len(warm['skyline'])} matches the batch run "
+    f"(cold {cold['stats']['run_ms']:.0f} ms -> warm "
+    f"{warm['stats']['run_ms']:.1f} ms)"
+)
+PY

@@ -2,45 +2,70 @@
 
 #include <deque>
 #include <unordered_set>
+#include <utility>
 
 #include "common/timer.h"
 #include "moo/pareto.h"
 
 namespace modis {
 
+Status ApplyVariantFlags(const std::string& variant, ModisConfig* config) {
+  if (variant == "apx") {
+    config->bidirectional = false;
+    config->correlation_pruning = false;
+    config->diversify = false;
+  } else if (variant == "nobi") {
+    config->bidirectional = true;
+    config->correlation_pruning = false;
+    config->diversify = false;
+  } else if (variant == "bi") {
+    config->bidirectional = true;
+    config->correlation_pruning = true;
+    config->diversify = false;
+  } else if (variant == "div") {
+    config->bidirectional = true;
+    config->correlation_pruning = false;
+    config->diversify = true;
+  } else {
+    return Status::InvalidArgument("unknown variant '" + variant +
+                                   "' (apx | nobi | bi | div)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<ModisResult> RunVariant(const char* variant,
+                               const SearchUniverse& universe,
+                               PerformanceOracle* oracle,
+                               ModisConfig config) {
+  MODIS_RETURN_IF_ERROR(ApplyVariantFlags(variant, &config));
+  return ModisEngine(&universe, oracle, config).Run();
+}
+
+}  // namespace
+
 Result<ModisResult> RunApxModis(const SearchUniverse& universe,
                                 PerformanceOracle* oracle,
                                 ModisConfig config) {
-  config.bidirectional = false;
-  config.correlation_pruning = false;
-  config.diversify = false;
-  return ModisEngine(&universe, oracle, config).Run();
+  return RunVariant("apx", universe, oracle, std::move(config));
 }
 
 Result<ModisResult> RunBiModis(const SearchUniverse& universe,
                                PerformanceOracle* oracle, ModisConfig config) {
-  config.bidirectional = true;
-  config.correlation_pruning = true;
-  config.diversify = false;
-  return ModisEngine(&universe, oracle, config).Run();
+  return RunVariant("bi", universe, oracle, std::move(config));
 }
 
 Result<ModisResult> RunNoBiModis(const SearchUniverse& universe,
                                  PerformanceOracle* oracle,
                                  ModisConfig config) {
-  config.bidirectional = true;
-  config.correlation_pruning = false;
-  config.diversify = false;
-  return ModisEngine(&universe, oracle, config).Run();
+  return RunVariant("nobi", universe, oracle, std::move(config));
 }
 
 Result<ModisResult> RunDivModis(const SearchUniverse& universe,
                                 PerformanceOracle* oracle,
                                 ModisConfig config) {
-  config.bidirectional = true;
-  config.correlation_pruning = false;
-  config.diversify = true;
-  return ModisEngine(&universe, oracle, config).Run();
+  return RunVariant("div", universe, oracle, std::move(config));
 }
 
 Result<ModisResult> RunExactSkyline(const SearchUniverse& universe,

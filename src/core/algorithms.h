@@ -1,9 +1,18 @@
 #ifndef MODIS_CORE_ALGORITHMS_H_
 #define MODIS_CORE_ALGORITHMS_H_
 
+#include <string>
+
 #include "core/engine.h"
 
 namespace modis {
+
+/// Sets the strategy flags of `config` for a variant named "apx",
+/// "nobi", "bi", or "div" — THE mapping between variant names and
+/// engine configuration. The Run* entry points below and the discovery
+/// service both resolve variants through this, so a served query and a
+/// batch run of the same request can never diverge.
+Status ApplyVariantFlags(const std::string& variant, ModisConfig* config);
 
 /// The four published MODis algorithms, as configurations of ModisEngine.
 /// Each takes the shared search universe, a performance oracle, and the

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
+
 namespace modis {
 
 /// How a running uses the cross-run persistent record cache
@@ -14,6 +16,17 @@ enum class CacheMode : uint8_t {
   kRead,      // Serve hits; never write new records.
   kReadWrite  // Serve hits and append every new exact valuation.
 };
+
+/// THE parser of the user-facing cache-mode spelling ("off" | "read" |
+/// "read_write"), shared by the bench flags, the CLI, the server, and
+/// the wire protocol so the accepted vocabulary can never drift.
+inline Result<CacheMode> ParseCacheMode(const std::string& mode) {
+  if (mode == "off") return CacheMode::kOff;
+  if (mode == "read") return CacheMode::kRead;
+  if (mode == "read_write") return CacheMode::kReadWrite;
+  return Status::InvalidArgument("unknown cache mode '" + mode +
+                                 "' (off | read | read_write)");
+}
 
 /// Knobs of one MODis running. The three published algorithms are feature
 /// combinations of the same engine:
@@ -71,6 +84,12 @@ struct ModisConfig {
   /// what the training that produced it returned.
   std::string record_cache_path;
   CacheMode cache_mode = CacheMode::kReadWrite;
+  /// Byte budget of the record-cache log file; 0 = unbounded. When a
+  /// batch-commit flush leaves the log over this bound, least-recently-
+  /// hit fingerprints (then records) are evicted and the log is compacted
+  /// back under it — the knob that keeps a production cache from growing
+  /// without limit.
+  uint64_t record_cache_max_bytes = 0;
   /// Extra fingerprint salt. The fingerprint cannot see the task's model
   /// prototype (the engine only sees the evaluator interface), so two
   /// tasks that differ *only* in the trained model must be disambiguated

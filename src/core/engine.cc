@@ -17,9 +17,13 @@ constexpr size_t kMissing = static_cast<size_t>(-1);
 
 uint64_t ModisEngine::TaskFingerprint(
     const SearchUniverse& universe, const std::vector<MeasureSpec>& measures,
-    const std::string& cache_namespace) {
+    const std::string& cache_namespace, const std::string& model_identity) {
   FingerprintBuilder fp;
   fp.Add(cache_namespace);
+  // The task model: two tasks that differ only in the trained prototype
+  // (same D_U, same measures) must never share records. The identity
+  // string flows from TaskEvaluator::ModelIdentity through the oracle.
+  fp.Add(model_identity);
 
   // The dataset: schema, size, and cell content of D_U. Content is
   // hashed so a lake whose values changed under an unchanged shape
@@ -81,18 +85,27 @@ uint64_t ModisEngine::TaskFingerprint(
 
 ModisEngine::ModisEngine(const SearchUniverse* universe,
                          PerformanceOracle* oracle, ModisConfig config)
+    : ModisEngine(universe, oracle, std::move(config), EngineRuntime{}) {}
+
+ModisEngine::ModisEngine(const SearchUniverse* universe,
+                         PerformanceOracle* oracle, ModisConfig config,
+                         EngineRuntime runtime)
     : universe_(universe),
       oracle_(oracle),
       config_(config),
       rng_(config.seed),
+      extern_pool_(runtime.pool),
       mat_cache_(config.table_cache_entries),
+      extern_cache_(runtime.record_cache),
       correlation_(oracle->measures().size(), config.theta) {
   MODIS_CHECK(universe_ != nullptr) << "ModisEngine: null universe";
   MODIS_CHECK(oracle_ != nullptr) << "ModisEngine: null oracle";
-  const size_t threads = config_.num_threads == 0
-                             ? std::thread::hardware_concurrency()
-                             : config_.num_threads;
-  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  if (extern_pool_ == nullptr) {
+    const size_t threads = config_.num_threads == 0
+                               ? std::thread::hardware_concurrency()
+                               : config_.num_threads;
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  }
   const size_t m = oracle_->measures().size();
   MODIS_CHECK(m >= 1) << "ModisEngine: empty measure set";
   decisive_ = config_.decisive_measure == SIZE_MAX ? m - 1
@@ -102,18 +115,33 @@ ModisEngine::ModisEngine(const SearchUniverse* universe,
   upper_bounds_ = UpperBounds(oracle_->measures());
   size_correlation_.assign(m, 0.0);
 
-  if (!config_.record_cache_path.empty() &&
-      config_.cache_mode != CacheMode::kOff) {
+  if (config_.cache_mode == CacheMode::kOff) {
+    extern_cache_ = nullptr;  // kOff wins even over a provided cache.
+  } else if (extern_cache_ != nullptr) {
+    // Shared, already-open cache: scope by this task's fingerprint; a
+    // per-query kRead mode becomes a no-append view of the shared file.
     const uint64_t fingerprint = TaskFingerprint(
-        *universe_, oracle_->measures(), config_.record_cache_namespace);
-    auto opened = PersistentRecordCache::Open(
-        config_.record_cache_path, config_.cache_mode, fingerprint);
+        *universe_, oracle_->measures(), config_.record_cache_namespace,
+        oracle_->ModelIdentity());
+    oracle_->AttachRecordCache(
+        extern_cache_, fingerprint,
+        /*write_through=*/config_.cache_mode == CacheMode::kReadWrite);
+  } else if (!config_.record_cache_path.empty()) {
+    const uint64_t fingerprint = TaskFingerprint(
+        *universe_, oracle_->measures(), config_.record_cache_namespace,
+        oracle_->ModelIdentity());
+    PersistentRecordCache::Options cache_options;
+    cache_options.max_bytes = config_.record_cache_max_bytes;
+    auto opened =
+        PersistentRecordCache::Open(config_.record_cache_path,
+                                    config_.cache_mode, fingerprint,
+                                    cache_options);
     if (opened.ok()) {
       record_cache_ = std::move(opened).value();
-      oracle_->AttachRecordCache(record_cache_.get());
+      oracle_->AttachRecordCache(record_cache_.get(), fingerprint);
     } else {
       // A broken cache must never break the search: run cold. (kRead on a
-      // missing file lands here too.)
+      // missing file, or a log locked by a live host, lands here too.)
       std::fprintf(stderr, "modis: record cache disabled: %s\n",
                    opened.status().ToString().c_str());
     }
@@ -121,12 +149,13 @@ ModisEngine::ModisEngine(const SearchUniverse* universe,
 }
 
 ModisEngine::~ModisEngine() {
-  if (record_cache_ != nullptr) {
-    const Status flushed = record_cache_->Flush();
+  PersistentRecordCache* cache = ActiveCache();
+  if (cache != nullptr) {
+    const Status flushed = cache->Flush();
     (void)flushed;
-    // Only detach our own cache: a newer engine sharing this oracle may
-    // have attached its own in the meantime.
-    if (oracle_->record_cache() == record_cache_.get()) {
+    // Only detach our own attachment: a newer engine sharing this oracle
+    // may have attached its own cache in the meantime.
+    if (oracle_->record_cache() == cache) {
       oracle_->AttachRecordCache(nullptr);
     }
   }
@@ -328,7 +357,7 @@ void ModisEngine::ValuateBatch(std::vector<BatchItem> items,
 
   BatchPlan plan = oracle_->PrepareBatch(std::move(requests));
   std::vector<Result<Evaluation>> results =
-      oracle_->ValuateBatch(std::move(plan), pool_.get());
+      oracle_->ValuateBatch(std::move(plan), EffectivePool());
   MODIS_CHECK(results.size() == items.size()) << "batch result misalignment";
 
   // Commit in collection order, so the skyline grid and the next level's
@@ -487,11 +516,13 @@ Result<ModisResult> ModisEngine::Run() {
   }
   result.seconds = timer.Seconds();
   result.oracle_stats = oracle_->stats();
-  if (record_cache_ != nullptr) {
-    const Status flushed = record_cache_->Flush();
+  if (PersistentRecordCache* cache = ActiveCache()) {
+    const Status flushed = cache->Flush();
     (void)flushed;
     result.record_cache_active = true;
-    result.record_cache_stats = record_cache_->stats();
+    // For a shared cache these counters are host-wide, not per-query;
+    // per-query accounting lives in oracle_stats.persistent_hits.
+    result.record_cache_stats = cache->stats();
   }
   return result;
 }

@@ -45,6 +45,24 @@ struct ModisResult {
   PersistentRecordCache::Stats record_cache_stats;
 };
 
+/// Externally owned execution resources a re-entrant engine may run on.
+/// The long-lived discovery service (src/service/) constructs one engine
+/// per query but shares one worker pool and one open record cache across
+/// all of them; a default-constructed runtime reproduces the standalone
+/// behavior (engine owns a pool sized by ModisConfig::num_threads and
+/// opens its own cache from ModisConfig::record_cache_path).
+struct EngineRuntime {
+  /// Worker pool for batched exact trainings (and surrogate prediction
+  /// fan-out). Not owned; must outlive the engine. Null → self-owned.
+  ThreadPool* pool = nullptr;
+  /// An already-open (possibly multi-task, thread-safe) record cache.
+  /// Not owned; must outlive the engine. The engine scopes all access by
+  /// its own TaskFingerprint and honors ModisConfig::cache_mode — kRead
+  /// serves hits without appending, kOff ignores the cache entirely.
+  /// Null → self-opened from ModisConfig::record_cache_path.
+  PersistentRecordCache* record_cache = nullptr;
+};
+
 /// The multi-goal finite-state-transducer search engine (§3-§5).
 ///
 /// Simulates a running of the data generator T: starting from the
@@ -69,8 +87,14 @@ class ModisEngine {
   ModisEngine(const SearchUniverse* universe, PerformanceOracle* oracle,
               ModisConfig config);
 
-  /// Detaches the persistent record cache from the oracle (the cache dies
-  /// with the engine; the oracle may outlive it).
+  /// Re-entrant construction over externally owned resources (see
+  /// EngineRuntime). A default runtime is identical to the 3-arg ctor.
+  ModisEngine(const SearchUniverse* universe, PerformanceOracle* oracle,
+              ModisConfig config, EngineRuntime runtime);
+
+  /// Detaches the persistent record cache from the oracle (a self-owned
+  /// cache dies with the engine; a shared one merely outlives the
+  /// attachment).
   ~ModisEngine();
 
   /// Runs the search to completion and returns the skyline set.
@@ -79,12 +103,14 @@ class ModisEngine {
   /// The dataset/task fingerprint scoping this running's persistent
   /// records: a stable hash of the universal table's schema, size, and
   /// full cell content, the unit layout (attributes, cluster literals,
-  /// protections), the measure set, and
+  /// protections), the measure set, the task model's identity string
+  /// (TaskEvaluator::ModelIdentity, via the oracle), and
   /// ModisConfig::record_cache_namespace. Exposed for tests and tooling
   /// that want to inspect a shared cache file.
   static uint64_t TaskFingerprint(const SearchUniverse& universe,
                                   const std::vector<MeasureSpec>& measures,
-                                  const std::string& cache_namespace);
+                                  const std::string& cache_namespace,
+                                  const std::string& model_identity = "");
 
  private:
   struct Frontier {
@@ -163,8 +189,11 @@ class ModisEngine {
   Rng rng_;
 
   /// Workers for the exact trainings of a batch; null when the effective
-  /// thread count is 1 (fully serial running).
+  /// thread count is 1 (fully serial running) or an external pool is in
+  /// use.
   std::unique_ptr<ThreadPool> pool_;
+  /// Externally owned pool (EngineRuntime::pool); wins over pool_.
+  ThreadPool* extern_pool_ = nullptr;
   /// LRU of recent materializations, shared by both frontiers; lets
   /// children materialize incrementally from their parent.
   MaterializationCache mat_cache_;
@@ -172,6 +201,19 @@ class ModisEngine {
   /// null when persistence is off or the log failed to open. Attached to
   /// the oracle for the engine's lifetime.
   std::unique_ptr<PersistentRecordCache> record_cache_;
+  /// Externally owned shared cache (EngineRuntime::record_cache); wins
+  /// over record_cache_.
+  PersistentRecordCache* extern_cache_ = nullptr;
+
+  /// The pool batched valuations fan out over (external or owned).
+  ThreadPool* EffectivePool() const {
+    return extern_pool_ != nullptr ? extern_pool_ : pool_.get();
+  }
+  /// The cache attached to the oracle for this running (external or
+  /// owned); null when persistence is inactive.
+  PersistentRecordCache* ActiveCache() const {
+    return extern_cache_ != nullptr ? extern_cache_ : record_cache_.get();
+  }
 
   size_t decisive_ = 0;
   std::vector<double> lower_bounds_;

@@ -36,6 +36,16 @@ LinkEvaluator::LinkEvaluator(LinkTask task) : task_(std::move(task)) {
   ks_.assign(ks.begin(), ks.end());
 }
 
+std::string LinkEvaluator::ModelIdentity() const {
+  const LightGcnOptions& m = task_.model;
+  return "lightgcn/dim=" + std::to_string(m.embedding_dim) +
+         "/layers=" + std::to_string(m.num_layers) +
+         "/epochs=" + std::to_string(m.epochs) +
+         "/lr=" + std::to_string(m.learning_rate) +
+         "/l2=" + std::to_string(m.l2) +
+         "/seed=" + std::to_string(task_.seed);
+}
+
 Result<Evaluation> LinkEvaluator::Evaluate(const Table& dataset) {
   MODIS_ASSIGN_OR_RETURN(
       BipartiteGraph graph,

@@ -37,6 +37,10 @@ class LinkEvaluator : public TaskEvaluator {
   }
   Result<Evaluation> Evaluate(const Table& dataset) override;
 
+  /// "lightgcn/dim=../layers=../epochs=../lr=../l2=../seed=.." — the
+  /// hyperparameters that change what a training returns.
+  std::string ModelIdentity() const override;
+
   const LinkTask& task() const { return task_; }
 
  private:

@@ -81,19 +81,25 @@ std::vector<std::vector<double>> TestRecordStore::NormalizedVectors() const {
 }
 
 bool PerformanceOracle::PersistentContains(const std::string& key) const {
-  return record_cache_ != nullptr && record_cache_->Contains(key);
+  return record_cache_ != nullptr &&
+         record_cache_->Touch(record_cache_fp_, key);
 }
 
-const Evaluation* PerformanceOracle::PersistentLookup(const std::string& key) {
-  if (record_cache_ == nullptr) return nullptr;
-  const StoredRecord* record = record_cache_->Find(key);
-  return record == nullptr ? nullptr : &record->eval;
+bool PerformanceOracle::PersistentFetch(const std::string& key,
+                                        Evaluation* out) {
+  if (record_cache_ == nullptr) return false;
+  StoredRecord record;
+  if (!record_cache_->Get(record_cache_fp_, key, &record)) return false;
+  *out = std::move(record.eval);
+  return true;
 }
 
 void PerformanceOracle::PersistentStore(const std::string& key,
                                         const std::vector<double>& features,
                                         const Evaluation& eval) {
-  if (record_cache_ != nullptr) record_cache_->Insert(key, features, eval);
+  if (record_cache_ != nullptr && record_cache_write_) {
+    record_cache_->Insert(record_cache_fp_, key, features, eval);
+  }
 }
 
 void PerformanceOracle::FlushPersistent() {
@@ -114,11 +120,11 @@ Result<Evaluation> ExactOracle::Valuate(const std::string& key,
     ++stats_.cache_hits;
     return *hit;
   }
-  if (const Evaluation* recorded = PersistentLookup(key)) {
-    const Evaluation eval = *recorded;  // Copy before any cache mutation.
+  Evaluation recorded;
+  if (PersistentFetch(key, &recorded)) {
     ++stats_.persistent_hits;
-    store_.Add(key, features, eval);
-    return eval;
+    store_.Add(key, features, recorded);
+    return recorded;
   }
   WallTimer timer;
   const Table dataset = materialize();
@@ -165,12 +171,32 @@ std::vector<Result<Evaluation>> ExactOracle::ValuateBatch(BatchPlan plan,
       continue;
     }
     if (plan.modes[i] == BatchPlan::Mode::kPersistent) {
-      const Evaluation* recorded = PersistentLookup(req.key);
-      MODIS_CHECK(recorded != nullptr) << "planned persistent hit vanished";
-      const Evaluation eval = *recorded;
-      ++stats_.persistent_hits;
-      store_.Add(req.key, req.features, eval);
-      results.push_back(eval);
+      Evaluation recorded;
+      if (PersistentFetch(req.key, &recorded)) {
+        ++stats_.persistent_hits;
+        store_.Add(req.key, req.features, recorded);
+        results.push_back(std::move(recorded));
+        continue;
+      }
+      // A concurrent session's byte-bound flush evicted the planned
+      // record between plan and commit: train fresh, inline on the
+      // caller thread. The record was itself a deterministic training,
+      // so the result — and the skyline — are unchanged.
+      WallTimer timer;
+      const MaterializationPtr m = req.materialize();
+      Result<Evaluation> r =
+          m == nullptr ? Result<Evaluation>(
+                             Status::Internal("materializer returned null"))
+                       : evaluator_->Evaluate(m->table);
+      stats_.exact_seconds += timer.Seconds();
+      if (r.ok()) {
+        ++stats_.exact_evals;
+        store_.Add(req.key, req.features, r.value());
+        PersistentStore(req.key, req.features, r.value());
+      } else {
+        ++stats_.failed_evals;
+      }
+      results.push_back(std::move(r));
       continue;
     }
     ExactOutcome& slot = outcomes[i];
@@ -200,11 +226,12 @@ Result<Evaluation> MoGbmOracle::ExactValuate(
     const std::string& key, const std::vector<double>& features,
     const TableProvider& materialize) {
   Result<Evaluation> result = Status::Internal("unset");
-  if (const Evaluation* recorded = PersistentLookup(key)) {
+  Evaluation recorded;
+  if (PersistentFetch(key, &recorded)) {
     // A prior run already paid for this training: replay its result. The
     // record is committed below exactly like a fresh training, so the
     // store, the shadow error, and the retrain schedule stay identical.
-    result = *recorded;
+    result = std::move(recorded);
     ++stats_.persistent_hits;
   } else {
     WallTimer timer;
@@ -355,10 +382,29 @@ std::vector<Result<Evaluation>> MoGbmOracle::ValuateBatch(BatchPlan plan,
       // Replay the recorded training result through the same commit path
       // a fresh training takes, so store contents, shadow error, and the
       // retrain schedule are identical to the cold run that recorded it.
-      const Evaluation* recorded = PersistentLookup(req.key);
-      MODIS_CHECK(recorded != nullptr) << "planned persistent hit vanished";
-      slot.result = *recorded;
-      ++stats_.persistent_hits;
+      Evaluation recorded;
+      if (PersistentFetch(req.key, &recorded)) {
+        slot.result = std::move(recorded);
+        ++stats_.persistent_hits;
+      } else {
+        // Evicted by a concurrent session between plan and commit:
+        // train fresh inline — byte-identical to the replay it stands
+        // in for, since the record was a deterministic training.
+        WallTimer timer;
+        const MaterializationPtr m = req.materialize();
+        slot.result =
+            m == nullptr
+                ? Result<Evaluation>(
+                      Status::Internal("materializer returned null"))
+                : evaluator_->Evaluate(m->table);
+        stats_.exact_seconds += timer.Seconds();
+        if (!slot.result.ok()) {
+          ++stats_.failed_evals;
+          continue;
+        }
+        ++stats_.exact_evals;
+        PersistentStore(req.key, req.features, slot.result.value());
+      }
     } else {
       stats_.exact_seconds += slot.seconds;
       if (!slot.result.ok()) {
@@ -381,6 +427,32 @@ std::vector<Result<Evaluation>> MoGbmOracle::ValuateBatch(BatchPlan plan,
   }
   // One deterministic retrain per batch, after all ingestions.
   MaybeRetrain();
+
+  // Surrogate predictions of the batch are embarrassingly parallel: once
+  // the post-ingestion retrain above has run, the estimator is read-only
+  // for the rest of the commit, and PredictEvaluation is a pure function
+  // of (estimator, features). Fan them out over the pool; the outputs —
+  // and therefore the skyline — are byte-identical at every thread count.
+  // (When the surrogate is still untrained here, the per-request fallback
+  // below may train exactly and retrain mid-pass; that path stays serial.)
+  std::vector<size_t> surrogate_ids;
+  for (size_t i = 0; i < plan.modes.size(); ++i) {
+    if (plan.modes[i] == BatchPlan::Mode::kSurrogate) {
+      surrogate_ids.push_back(i);
+    }
+  }
+  std::vector<Evaluation> predicted(plan.requests.size());
+  bool predicted_ready = false;
+  if (surrogate_.trained() && !surrogate_ids.empty()) {
+    WallTimer timer;
+    const Status fanned =
+        ParallelFor(pool, 0, surrogate_ids.size(), [&](size_t k) {
+          const size_t i = surrogate_ids[k];
+          predicted[i] = PredictEvaluation(plan.requests[i].features);
+        });
+    stats_.surrogate_seconds += timer.Seconds();
+    predicted_ready = fanned.ok();
+  }
 
   // Commit pass 2, request order: answer every request. Surrogate
   // predictions all use the freshly committed estimator.
@@ -405,8 +477,9 @@ std::vector<Result<Evaluation>> MoGbmOracle::ValuateBatch(BatchPlan plan,
           // exactly rather than dropped. Runs inline on the caller
           // thread, so the commit order stays deterministic.
           Result<Evaluation> r = Status::Internal("unset");
-          if (const Evaluation* recorded = PersistentLookup(req.key)) {
-            r = *recorded;
+          Evaluation recorded;
+          if (PersistentFetch(req.key, &recorded)) {
+            r = std::move(recorded);
             ++stats_.persistent_hits;
           } else {
             WallTimer timer;
@@ -428,6 +501,12 @@ std::vector<Result<Evaluation>> MoGbmOracle::ValuateBatch(BatchPlan plan,
             MaybeRetrain();  // The bootstrap may complete mid-commit.
           }
           results.push_back(std::move(r));
+          break;
+        }
+        if (predicted_ready) {
+          // Pre-computed by the parallel fan-out above (already timed).
+          ++stats_.surrogate_evals;
+          results.push_back(std::move(predicted[i]));
           break;
         }
         WallTimer timer;

@@ -130,25 +130,44 @@ class PerformanceOracle {
 
   virtual const std::vector<MeasureSpec>& measures() const = 0;
 
+  /// The identity string of the underlying task model (see
+  /// TaskEvaluator::ModelIdentity); ModisEngine mixes it into the
+  /// persistent-cache task fingerprint. Empty for oracles without a task
+  /// model.
+  virtual std::string ModelIdentity() const { return std::string(); }
+
   const Stats& stats() const { return stats_; }
   const TestRecordStore& store() const { return store_; }
 
   /// Attaches (or detaches, with nullptr) a cross-run persistent record
-  /// cache. Not owned; the caller (normally ModisEngine) keeps it alive
-  /// for the duration of the attachment. With a cache attached, states
-  /// whose exact training a prior run already paid for are replayed from
-  /// the cache instead of re-trained — see BatchPlan::Mode::kPersistent.
-  void AttachRecordCache(PersistentRecordCache* cache) {
+  /// cache. Not owned; the caller (normally ModisEngine, or the discovery
+  /// service via the engine) keeps it alive for the duration of the
+  /// attachment. `fingerprint` scopes every probe/fetch/store to this
+  /// task's records — the cache object itself may be shared by sessions
+  /// of many tasks. `write_through` false serves hits but never appends
+  /// (a per-session kRead view of a shared read-write cache). With a
+  /// cache attached, states whose exact training a prior run already paid
+  /// for are replayed instead of re-trained — see
+  /// BatchPlan::Mode::kPersistent.
+  void AttachRecordCache(PersistentRecordCache* cache,
+                         uint64_t fingerprint = 0,
+                         bool write_through = true) {
     record_cache_ = cache;
+    record_cache_fp_ = fingerprint;
+    record_cache_write_ = write_through;
   }
   PersistentRecordCache* record_cache() const { return record_cache_; }
 
  protected:
   /// True when the attached cache holds `key`. The plan-time probe; does
-  /// not count a cache hit (the commit's PersistentLookup does).
+  /// not count a cache hit (the commit's PersistentFetch does), but
+  /// refreshes the record's recency so a byte-bounded shared cache
+  /// prefers other eviction victims between this plan and its commit.
   bool PersistentContains(const std::string& key) const;
-  /// Recorded evaluation for `key` in the attached cache, or nullptr.
-  const Evaluation* PersistentLookup(const std::string& key);
+  /// Copies the recorded evaluation for `key` into `*out`; false on miss.
+  /// Copying (not pointing into the cache) is what makes a cache shared
+  /// by concurrent sessions safe to serve from.
+  bool PersistentFetch(const std::string& key, Evaluation* out);
   /// Writes a freshly trained record through to the attached cache.
   void PersistentStore(const std::string& key,
                        const std::vector<double>& features,
@@ -159,6 +178,8 @@ class PerformanceOracle {
   Stats stats_;
   TestRecordStore store_;
   PersistentRecordCache* record_cache_ = nullptr;
+  uint64_t record_cache_fp_ = 0;
+  bool record_cache_write_ = true;
 };
 
 /// Oracle that always trains the real model (with a cache keyed by state
@@ -177,6 +198,9 @@ class ExactOracle : public PerformanceOracle {
                                                ThreadPool* pool) override;
   const std::vector<MeasureSpec>& measures() const override {
     return evaluator_->measures();
+  }
+  std::string ModelIdentity() const override {
+    return evaluator_->ModelIdentity();
   }
 
  private:
@@ -219,6 +243,12 @@ class MoGbmOracle : public PerformanceOracle {
                                                ThreadPool* pool) override;
   const std::vector<MeasureSpec>& measures() const override {
     return evaluator_->measures();
+  }
+  /// The surrogate never changes what a recorded *exact* training
+  /// returns, so the identity is the task model's alone — warm records
+  /// are shareable between exact- and surrogate-mode runs.
+  std::string ModelIdentity() const override {
+    return evaluator_->ModelIdentity();
   }
 
   /// Mean squared error of the surrogate against the exact evaluations it

@@ -16,6 +16,14 @@ SupervisedEvaluator::SupervisedEvaluator(SupervisedTask task,
   MODIS_CHECK(!task_.measures.empty()) << "SupervisedEvaluator: no measures";
 }
 
+std::string SupervisedEvaluator::ModelIdentity() const {
+  return std::string("supervised/") + prototype_->Name() + "/" +
+         (task_.task == TaskKind::kRegression ? "regression"
+                                              : "classification") +
+         "/seed=" + std::to_string(task_.seed) +
+         "/test=" + std::to_string(task_.test_fraction);
+}
+
 Result<Evaluation> SupervisedEvaluator::Evaluate(const Table& dataset) {
   BridgeOptions bridge;
   bridge.exclude = task_.exclude;

@@ -41,6 +41,10 @@ class SupervisedEvaluator : public TaskEvaluator {
   }
   Result<Evaluation> Evaluate(const Table& dataset) override;
 
+  /// "supervised/<ModelName>/<task kind>/seed=<s>/test=<f>" — the model
+  /// family plus the split parameters that shape every evaluation.
+  std::string ModelIdentity() const override;
+
   const SupervisedTask& task() const { return task_; }
 
  private:

@@ -1,6 +1,7 @@
 #ifndef MODIS_ESTIMATOR_TASK_EVALUATOR_H_
 #define MODIS_ESTIMATOR_TASK_EVALUATOR_H_
 
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -21,6 +22,15 @@ class TaskEvaluator {
 
   /// The user-defined measure set P, in vector order.
   virtual const std::vector<MeasureSpec>& measures() const = 0;
+
+  /// A stable identity string of the fixed model M this task trains —
+  /// family plus the knobs that change its predictions. It flows into the
+  /// persistent-cache task fingerprint (ModisEngine::TaskFingerprint), so
+  /// two tasks that differ only in the trained model never share recorded
+  /// evaluations (docs/PERSISTENCE.md §3). Must be deterministic; an empty
+  /// string opts out (records then collide across models sharing D_U and
+  /// measures, distinguishable only by the cache namespace).
+  virtual std::string ModelIdentity() const { return std::string(); }
 
   /// Trains and evaluates on `dataset`. Implementations must be
   /// deterministic for a fixed dataset (fixed seeds) and safe to call

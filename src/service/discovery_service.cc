@@ -1,0 +1,343 @@
+#include "service/discovery_service.h"
+
+#include <cstdio>
+#include <future>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/algorithms.h"
+#include "estimator/oracle.h"
+#include "estimator/supervised_evaluator.h"
+
+namespace modis {
+
+namespace {
+
+/// Maps the wire task spelling onto a bench task id: "T1".."T4",
+/// "case1"/"case2", or the full BenchTaskName ("T2-house", ...).
+Result<BenchTaskId> ParseBenchTask(const std::string& name) {
+  static constexpr BenchTaskId kAll[] = {
+      BenchTaskId::kMovie, BenchTaskId::kHouse,       BenchTaskId::kAvocado,
+      BenchTaskId::kMental, BenchTaskId::kXray,       BenchTaskId::kFeaturePool,
+  };
+  for (BenchTaskId id : kAll) {
+    const std::string full = BenchTaskName(id);
+    if (name == full) return id;
+    const size_t dash = full.find('-');
+    if (dash != std::string::npos && name == full.substr(0, dash)) return id;
+  }
+  return Status::InvalidArgument(
+      "unknown task '" + name +
+      "' (expected T1..T4, case1, case2, or a full bench task name)");
+}
+
+/// The task's measure set filtered to the requested names, in the task's
+/// canonical order (so permuted requests share one fingerprint).
+Result<std::vector<MeasureSpec>> FilterMeasures(
+    const std::vector<MeasureSpec>& all,
+    const std::vector<std::string>& wanted) {
+  if (wanted.empty()) return all;
+  std::vector<MeasureSpec> filtered;
+  for (const MeasureSpec& m : all) {
+    for (const std::string& name : wanted) {
+      if (m.name == name) {
+        filtered.push_back(m);
+        break;
+      }
+    }
+  }
+  if (filtered.size() != wanted.size()) {
+    std::string known;
+    for (const MeasureSpec& m : all) {
+      if (!known.empty()) known += ", ";
+      known += m.name;
+    }
+    return Status::InvalidArgument(
+        "request names a measure the task does not have (task measures: " +
+        known + ")");
+  }
+  return filtered;
+}
+
+/// Everything Execute/AnswerDetached share once a universe + evaluator
+/// exist: build the oracle + engine, run, flatten the response.
+Result<DiscoveryResponse> RunQuery(const DiscoveryRequest& request,
+                                   const std::string& canonical_task,
+                                   const SearchUniverse& universe,
+                                   SupervisedEvaluator* evaluator,
+                                   const ModisConfig& config,
+                                   EngineRuntime runtime) {
+  std::unique_ptr<PerformanceOracle> oracle;
+  if (request.oracle == "exact") {
+    oracle = std::make_unique<ExactOracle>(evaluator);
+  } else if (request.oracle == "gbm") {
+    oracle = std::make_unique<MoGbmOracle>(evaluator);
+  } else {
+    return Status::InvalidArgument("unknown oracle '" + request.oracle +
+                                   "' (exact | gbm)");
+  }
+
+  WallTimer run_timer;
+  ModisEngine engine(&universe, oracle.get(), config, runtime);
+  MODIS_ASSIGN_OR_RETURN(ModisResult result, engine.Run());
+
+  DiscoveryResponse response;
+  response.task = canonical_task;
+  response.variant = request.variant;
+  for (const MeasureSpec& m : evaluator->measures()) {
+    response.measure_names.push_back(m.name);
+  }
+  for (const SkylineEntry& entry : result.skyline) {
+    DiscoverySkylineRow row;
+    row.signature = entry.state.Signature();
+    row.level = entry.level;
+    row.rows = entry.rows;
+    row.cols = entry.cols;
+    row.raw = entry.eval.raw;
+    row.normalized = entry.eval.normalized;
+    response.skyline.push_back(std::move(row));
+  }
+  response.valuated_states = result.valuated_states;
+  response.generated_states = result.generated_states;
+  response.pruned_states = result.pruned_states;
+  response.exact_evals = result.oracle_stats.exact_evals;
+  response.persistent_hits = result.oracle_stats.persistent_hits;
+  response.surrogate_evals = result.oracle_stats.surrogate_evals;
+  response.cache_hits = result.oracle_stats.cache_hits;
+  response.failed_evals = result.oracle_stats.failed_evals;
+  response.cache_active = result.record_cache_active;
+  response.run_ms = run_timer.Millis();
+  return response;
+}
+
+ModisConfig ConfigFromRequest(const DiscoveryRequest& request) {
+  ModisConfig config;
+  config.epsilon = request.epsilon;
+  config.max_states = request.budget;
+  config.max_level = request.maxl;
+  config.diversify_k = request.k;
+  config.alpha = request.alpha;
+  config.seed = request.seed;
+  config.record_cache_namespace = request.cache_namespace;
+  return config;
+}
+
+}  // namespace
+
+DiscoveryService::DiscoveryService(Options options)
+    : options_(options), pool_(options.valuation_threads) {
+  const size_t sessions = options_.sessions == 0 ? 1 : options_.sessions;
+  sessions_.reserve(sessions);
+  for (size_t i = 0; i < sessions; ++i) {
+    sessions_.emplace_back([this] { SessionLoop(); });
+  }
+}
+
+DiscoveryService::~DiscoveryService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& session : sessions_) session.join();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (auto& [path, cache] : caches_) {
+    (void)path;
+    const Status flushed = cache->Flush();
+    (void)flushed;
+  }
+}
+
+Status DiscoveryService::Preload(const std::string& task) {
+  return GetContext(task).status();
+}
+
+Result<DiscoveryService::TaskContext*> DiscoveryService::GetContext(
+    const std::string& task) {
+  MODIS_ASSIGN_OR_RETURN(BenchTaskId id, ParseBenchTask(task));
+  const std::string canonical = BenchTaskName(id);
+  std::lock_guard<std::mutex> lock(context_mu_);
+  auto it = contexts_.find(canonical);
+  if (it != contexts_.end()) return it->second.get();
+  // Build while holding the lock: queries of other tasks wait, which is
+  // the simple, predictable behavior a host wants during warm-up
+  // (Preload() exists to take this hit before serving).
+  MODIS_ASSIGN_OR_RETURN(TabularBench bench,
+                         MakeTabularBench(id, options_.task_row_scale));
+  MODIS_ASSIGN_OR_RETURN(
+      SearchUniverse universe,
+      SearchUniverse::Build(bench.universal, bench.universe_options));
+  auto context = std::make_unique<TaskContext>(std::move(bench),
+                                               std::move(universe));
+  TaskContext* raw = context.get();
+  contexts_.emplace(canonical, std::move(context));
+  return raw;
+}
+
+Result<PersistentRecordCache*> DiscoveryService::GetCache(
+    const DiscoveryRequest& request, CacheMode* effective_mode) {
+  CacheMode mode = options_.default_cache_mode;
+  if (!request.cache_mode.empty()) {
+    MODIS_ASSIGN_OR_RETURN(mode, ParseCacheMode(request.cache_mode));
+  }
+  *effective_mode = mode;
+  if (mode == CacheMode::kOff) return static_cast<PersistentRecordCache*>(
+      nullptr);
+  const std::string path = request.cache_path.empty()
+                               ? options_.default_cache_path
+                               : request.cache_path;
+  if (path.empty()) {
+    *effective_mode = CacheMode::kOff;
+    return static_cast<PersistentRecordCache*>(nullptr);
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = caches_.find(path);
+  if (it != caches_.end()) return it->second.get();
+  // The host opens every shared cache read-write (it owns the file and
+  // the writer lock); per-query kRead is enforced as a no-append view at
+  // attach time (EngineRuntime + ModisConfig::cache_mode).
+  PersistentRecordCache::Options cache_options;
+  cache_options.max_bytes = options_.cache_max_bytes;
+  auto opened = PersistentRecordCache::Open(path, CacheMode::kReadWrite,
+                                            /*fingerprint=*/0,
+                                            cache_options);
+  MODIS_RETURN_IF_ERROR(opened.status());
+  PersistentRecordCache* raw = opened.value().get();
+  caches_.emplace(path, std::move(opened).value());
+  return raw;
+}
+
+Result<DiscoveryResponse> DiscoveryService::Execute(
+    const DiscoveryRequest& request) {
+  MODIS_ASSIGN_OR_RETURN(TaskContext * context, GetContext(request.task));
+
+  SupervisedTask task = context->bench.task;
+  MODIS_ASSIGN_OR_RETURN(task.measures,
+                         FilterMeasures(context->bench.task.measures,
+                                        request.measures));
+  SupervisedEvaluator evaluator(task, context->bench.model->Clone());
+
+  ModisConfig config = ConfigFromRequest(request);
+  MODIS_RETURN_IF_ERROR(ApplyVariantFlags(request.variant, &config));
+
+  CacheMode mode = CacheMode::kOff;
+  PersistentRecordCache* cache = nullptr;
+  auto resolved = GetCache(request, &mode);
+  if (resolved.ok()) {
+    cache = resolved.value();
+  } else {
+    // A broken/locked cache file must never fail queries — serve cold,
+    // the same degradation ModisEngine applies to a self-owned cache.
+    std::fprintf(stderr, "modis service: record cache disabled: %s\n",
+                 resolved.status().ToString().c_str());
+    mode = CacheMode::kOff;
+  }
+  config.cache_mode = mode;
+
+  EngineRuntime runtime;
+  runtime.pool = &pool_;
+  runtime.record_cache = cache;
+  return RunQuery(request, context->bench.name, context->universe,
+                  &evaluator, config, runtime);
+}
+
+Result<DiscoveryResponse> DiscoveryService::AnswerDetached(
+    const DiscoveryRequest& request, double task_row_scale) {
+  MODIS_ASSIGN_OR_RETURN(BenchTaskId id, ParseBenchTask(request.task));
+  MODIS_ASSIGN_OR_RETURN(TabularBench bench,
+                         MakeTabularBench(id, task_row_scale));
+  MODIS_ASSIGN_OR_RETURN(
+      SearchUniverse universe,
+      SearchUniverse::Build(bench.universal, bench.universe_options));
+
+  SupervisedTask task = bench.task;
+  MODIS_ASSIGN_OR_RETURN(
+      task.measures, FilterMeasures(bench.task.measures, request.measures));
+  SupervisedEvaluator evaluator(task, bench.model->Clone());
+
+  ModisConfig config = ConfigFromRequest(request);
+  MODIS_RETURN_IF_ERROR(ApplyVariantFlags(request.variant, &config));
+  config.record_cache_path = request.cache_path;
+  if (!request.cache_mode.empty()) {
+    MODIS_ASSIGN_OR_RETURN(config.cache_mode,
+                           ParseCacheMode(request.cache_mode));
+  } else if (request.cache_path.empty()) {
+    config.cache_mode = CacheMode::kOff;
+  }
+
+  WallTimer total;
+  MODIS_ASSIGN_OR_RETURN(
+      DiscoveryResponse response,
+      RunQuery(request, bench.name, universe, &evaluator, config,
+               EngineRuntime{}));
+  response.total_ms = total.Millis();
+  return response;
+}
+
+Status DiscoveryService::Submit(DiscoveryRequest request, Callback done) {
+  MODIS_CHECK(done != nullptr) << "Submit: null callback";
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("discovery service is shutting down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      ++stats_.rejected;
+      return Status::FailedPrecondition(
+          "admission queue full (" +
+          std::to_string(options_.queue_capacity) +
+          " pending); retry later");
+    }
+    ++stats_.accepted;
+    queue_.push_back(Job{std::move(request), std::move(done), WallTimer()});
+  }
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+Result<DiscoveryResponse> DiscoveryService::Answer(
+    const DiscoveryRequest& request) {
+  std::promise<Result<DiscoveryResponse>> promise;
+  std::future<Result<DiscoveryResponse>> future = promise.get_future();
+  MODIS_RETURN_IF_ERROR(
+      Submit(request, [&promise](Result<DiscoveryResponse> response) {
+        promise.set_value(std::move(response));
+      }));
+  return future.get();
+}
+
+DiscoveryService::Stats DiscoveryService::stats() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return stats_;
+}
+
+void DiscoveryService::SessionLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained.
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const double queue_ms = job.queued.Millis();
+    Result<DiscoveryResponse> response = Execute(job.request);
+    if (response.ok()) {
+      response.value().queue_ms = queue_ms;
+      response.value().total_ms = job.queued.Millis();
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (response.ok()) {
+        ++stats_.served;
+      } else {
+        ++stats_.failed;
+      }
+    }
+    job.done(std::move(response));
+  }
+}
+
+}  // namespace modis

@@ -1,0 +1,216 @@
+#ifndef MODIS_SERVICE_DISCOVERY_SERVICE_H_
+#define MODIS_SERVICE_DISCOVERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "datagen/tasks.h"
+#include "storage/persistent_record_cache.h"
+
+namespace modis {
+
+/// One discovery query against the long-lived service: which task, which
+/// MODis variant, which slice of the task's measure set, and the knobs of
+/// the (N, ε)-approximation. The wire codec (service/wire.h) maps this
+/// 1:1 onto the line-delimited JSON protocol of docs/SERVING.md.
+struct DiscoveryRequest {
+  /// Bench task: "T1".."T4", "case1"/"case2", or a full BenchTaskName
+  /// ("T2-house"). The service loads each task's lake and universe once.
+  std::string task;
+  /// "apx" | "nobi" | "bi" | "div".
+  std::string variant = "bi";
+  /// "exact" | "gbm" (the MO-GBM surrogate oracle).
+  std::string oracle = "exact";
+  /// Names of the task measures to optimize, in the task's canonical
+  /// order; empty = the task's full measure set. Dropping wall-clock
+  /// measures ("train_time") is how clients get bit-reproducible answers.
+  std::vector<std::string> measures;
+  double epsilon = 0.2;
+  size_t budget = 120;  // ModisConfig::max_states.
+  int maxl = 4;
+  size_t k = 5;         // DivMODis skyline cap.
+  double alpha = 0.5;
+  /// Record-cache override; empty = the service's default cache (if any).
+  std::string cache_path;
+  /// "" (service default) | "off" | "read" | "read_write".
+  std::string cache_mode;
+  std::string cache_namespace;
+  uint64_t seed = 1;
+};
+
+/// One skyline member of a response, flattened for the wire.
+struct DiscoverySkylineRow {
+  std::string signature;
+  int level = 0;
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<double> raw;
+  std::vector<double> normalized;
+};
+
+/// Everything a client gets back: the ε-skyline plus per-query stats.
+struct DiscoveryResponse {
+  std::string task;     // Canonical task name ("T2-house").
+  std::string variant;
+  std::vector<std::string> measure_names;  // Order of raw/normalized.
+  std::vector<DiscoverySkylineRow> skyline;
+
+  // Per-query search/valuation counters (this query's oracle only).
+  size_t valuated_states = 0;
+  size_t generated_states = 0;
+  size_t pruned_states = 0;
+  size_t exact_evals = 0;
+  size_t persistent_hits = 0;
+  size_t surrogate_evals = 0;
+  size_t cache_hits = 0;
+  size_t failed_evals = 0;
+  bool cache_active = false;
+
+  double queue_ms = 0.0;  // Admission-queue wait.
+  double run_ms = 0.0;    // Engine wall time.
+  double total_ms = 0.0;  // Queue + context + engine, as the client saw it.
+};
+
+/// The long-lived discovery host: loads each task's data lake and
+/// SearchUniverse once, owns one shared ThreadPool for all valuation
+/// fan-out and one PersistentRecordCache per cache file, and answers
+/// discovery queries concurrently through a bounded admission queue.
+///
+/// Concurrency contract: `sessions` worker threads drain the queue; each
+/// query gets its own evaluator + oracle + ModisEngine over the shared
+/// universe/pool/cache (EngineRuntime). Because every recorded evaluation
+/// replays exactly what the deterministic training that produced it
+/// returned, queries whose measure set excludes wall-clock measures
+/// produce skylines byte-identical to a serial execution, no matter how
+/// the concurrent sessions interleave on the shared cache — the property
+/// tests/service_test.cc pins down. Submit() fails fast with
+/// FailedPrecondition when the queue is at capacity (bounded admission:
+/// shed load at the door, never stall the socket loop).
+class DiscoveryService {
+ public:
+  struct Options {
+    /// Concurrent query executors (each runs one engine at a time).
+    size_t sessions = 2;
+    /// Bounded admission: Submit() rejects beyond this many queued
+    /// requests (requests being executed do not count).
+    size_t queue_capacity = 8;
+    /// Workers of the shared valuation pool; 0 = hardware concurrency.
+    size_t valuation_threads = 0;
+    /// Cache file served when a request does not name one; empty = no
+    /// default cache.
+    std::string default_cache_path;
+    /// Mode applied when a request leaves cache_mode empty.
+    CacheMode default_cache_mode = CacheMode::kReadWrite;
+    /// Byte budget per cache file (0 = unbounded); see
+    /// PersistentRecordCache::Options::max_bytes.
+    uint64_t cache_max_bytes = 0;
+    /// Row scale of the generated bench lakes (1.0 = paper scale; tests
+    /// and smoke runs shrink it).
+    double task_row_scale = 1.0;
+  };
+
+  struct Stats {
+    size_t accepted = 0;
+    size_t rejected = 0;
+    size_t served = 0;   // Completed OK.
+    size_t failed = 0;   // Completed with an error.
+  };
+
+  using Callback = std::function<void(Result<DiscoveryResponse>)>;
+
+  explicit DiscoveryService(Options options);
+  /// Drains the queue (accepted work is finished, not dropped), then
+  /// joins the sessions and flushes every shared cache.
+  ~DiscoveryService();
+
+  DiscoveryService(const DiscoveryService&) = delete;
+  DiscoveryService& operator=(const DiscoveryService&) = delete;
+
+  /// Builds a task's context (lake, universal table, universe) eagerly so
+  /// the first query doesn't pay for it.
+  Status Preload(const std::string& task);
+
+  /// Asynchronous submission: `done` runs on a session thread exactly
+  /// once. Fails fast (FailedPrecondition) when the admission queue is
+  /// full or the service is shutting down — in that case `done` is never
+  /// invoked.
+  Status Submit(DiscoveryRequest request, Callback done);
+
+  /// Synchronous convenience over Submit: blocks until the response.
+  Result<DiscoveryResponse> Answer(const DiscoveryRequest& request);
+
+  /// One-shot, service-free execution of a request: fresh lake, fresh
+  /// universe, own pool, self-opened cache (if the request names one).
+  /// This is the "cold process-per-query" baseline the serving bench
+  /// compares against, and the `modis_server --batch` reference mode.
+  static Result<DiscoveryResponse> AnswerDetached(
+      const DiscoveryRequest& request, double task_row_scale = 1.0);
+
+  Stats stats() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct TaskContext {
+    TabularBench bench;
+    SearchUniverse universe;
+
+    TaskContext(TabularBench b, SearchUniverse u)
+        : bench(std::move(b)), universe(std::move(u)) {}
+  };
+
+  struct Job {
+    DiscoveryRequest request;
+    Callback done;
+    WallTimer queued;
+  };
+
+  /// Resolves (building on first use) the shared context of a task.
+  Result<TaskContext*> GetContext(const std::string& task);
+
+  /// Resolves (opening on first use) the shared cache for a request;
+  /// null when the request and the service default both disable caching.
+  Result<PersistentRecordCache*> GetCache(const DiscoveryRequest& request,
+                                          CacheMode* effective_mode);
+
+  /// Runs one query end to end on the calling (session) thread.
+  Result<DiscoveryResponse> Execute(const DiscoveryRequest& request);
+
+  void SessionLoop();
+
+  Options options_;
+  ThreadPool pool_;
+
+  mutable std::mutex context_mu_;
+  /// Keyed by canonical task name; values are stable (unique_ptr) so
+  /// sessions can use a context while another task's is being built.
+  std::map<std::string, std::unique_ptr<TaskContext>> contexts_;
+
+  mutable std::mutex cache_mu_;
+  /// Keyed by cache path as given; one open (locked) cache per file,
+  /// shared by every query that names it.
+  std::map<std::string, std::unique_ptr<PersistentRecordCache>> caches_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  Stats stats_;
+
+  std::vector<std::thread> sessions_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_SERVICE_DISCOVERY_SERVICE_H_

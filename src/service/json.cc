@@ -1,0 +1,338 @@
+#include "service/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace modis {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+/// Recursive-descent parser over a text span. Error positions are byte
+/// offsets — line-delimited documents are short enough that this locates
+/// the problem.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Document() {
+    SkipWhitespace();
+    JsonValue value;
+    MODIS_RETURN_IF_ERROR(Value(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing content after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    const size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Status Value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ObjectValue(out, depth);
+    if (c == '[') return ArrayValue(out, depth);
+    if (c == '"') {
+      std::string s;
+      MODIS_RETURN_IF_ERROR(StringLiteral(&s));
+      *out = JsonValue(std::move(s));
+      return Status::OK();
+    }
+    if (ConsumeWord("null")) {
+      *out = JsonValue(nullptr);
+      return Status::OK();
+    }
+    if (ConsumeWord("true")) {
+      *out = JsonValue(true);
+      return Status::OK();
+    }
+    if (ConsumeWord("false")) {
+      *out = JsonValue(false);
+      return Status::OK();
+    }
+    return NumberValue(out);
+  }
+
+  Status NumberValue(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+      pos_ = start;
+      return Fail("malformed number");
+    }
+    *out = JsonValue(v);
+    return Status::OK();
+  }
+
+  Status StringLiteral(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences — signatures and task names
+          // are ASCII, so this never matters in practice).
+          if (code < 0x80) {
+            out->push_back(char(code));
+          } else if (code < 0x800) {
+            out->push_back(char(0xC0 | (code >> 6)));
+            out->push_back(char(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(char(0xE0 | (code >> 12)));
+            out->push_back(char(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(char(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ArrayValue(JsonValue* out, int depth) {
+    Consume('[');
+    JsonValue::Array items;
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = JsonValue(std::move(items));
+      return Status::OK();
+    }
+    for (;;) {
+      JsonValue item;
+      MODIS_RETURN_IF_ERROR(Value(&item, depth + 1));
+      items.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) break;
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+    *out = JsonValue(std::move(items));
+    return Status::OK();
+  }
+
+  Status ObjectValue(JsonValue* out, int depth) {
+    Consume('{');
+    JsonValue::Object members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = JsonValue(std::move(members));
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      MODIS_RETURN_IF_ERROR(StringLiteral(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      MODIS_RETURN_IF_ERROR(Value(&value, depth + 1));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) break;
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+    *out = JsonValue(std::move(members));
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void DumpString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c & 0xFF);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpNumber(double v, std::string* out) {
+  // Integers (budgets, counters, levels) print without a decimal point;
+  // everything else round-trips through %.17g.
+  if (std::nearbyint(v) == v && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out->append(buf);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void DumpValue(const JsonValue& value, std::string* out);
+
+void DumpArray(const JsonValue::Array& items, std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    DumpValue(items[i], out);
+  }
+  out->push_back(']');
+}
+
+void DumpObject(const JsonValue::Object& members, std::string* out) {
+  out->push_back('{');
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    DumpString(members[i].first, out);
+    out->push_back(':');
+    DumpValue(members[i].second, out);
+  }
+  out->push_back('}');
+}
+
+void DumpValue(const JsonValue& value, std::string* out) {
+  if (value.is_null()) {
+    out->append("null");
+  } else if (value.is_bool()) {
+    out->append(value.AsBool() ? "true" : "false");
+  } else if (value.is_number()) {
+    DumpNumber(value.AsNumber(), out);
+  } else if (value.is_string()) {
+    DumpString(value.AsString(), out);
+  } else if (value.is_array()) {
+    DumpArray(value.AsArray(), out);
+  } else {
+    DumpObject(value.AsObject(), out);
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).Document();
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpValue(*this, &out);
+  return out;
+}
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : AsObject()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::GetNumber(const std::string& key, double fallback) const {
+  const JsonValue* v = Get(key);
+  return v != nullptr && v->is_number() ? v->AsNumber() : fallback;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 std::string fallback) const {
+  const JsonValue* v = Get(key);
+  return v != nullptr && v->is_string() ? v->AsString()
+                                        : std::move(fallback);
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue* v = Get(key);
+  return v != nullptr && v->is_bool() ? v->AsBool() : fallback;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  std::get<Object>(data_).emplace_back(std::move(key), std::move(value));
+}
+
+}  // namespace modis

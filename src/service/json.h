@@ -1,0 +1,78 @@
+#ifndef MODIS_SERVICE_JSON_H_
+#define MODIS_SERVICE_JSON_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace modis {
+
+/// A minimal, dependency-free JSON document model for the discovery
+/// service's line-delimited wire protocol (docs/SERVING.md). Supports the
+/// full value grammar (null / bool / number / string / array / object)
+/// with the usual escape sequences; numbers are doubles (integers
+/// round-trip exactly up to 2^53, far beyond any budget or counter we
+/// serialize). Object member order is preserved. Not a general-purpose
+/// JSON library: no comments, no trailing commas, 64-deep nesting cap —
+/// exactly what a wire format wants.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : data_(nullptr) {}
+  JsonValue(std::nullptr_t) : data_(nullptr) {}       // NOLINT
+  JsonValue(bool b) : data_(b) {}                     // NOLINT
+  JsonValue(double d) : data_(d) {}                   // NOLINT
+  JsonValue(int i) : data_(double(i)) {}              // NOLINT
+  JsonValue(size_t n) : data_(double(n)) {}           // NOLINT
+  JsonValue(std::string s) : data_(std::move(s)) {}   // NOLINT
+  JsonValue(const char* s) : data_(std::string(s)) {} // NOLINT
+  JsonValue(Array a) : data_(std::move(a)) {}         // NOLINT
+  JsonValue(Object o) : data_(std::move(o)) {}        // NOLINT
+
+  /// Parses one JSON document (surrounding whitespace tolerated; trailing
+  /// non-whitespace is an error).
+  static Result<JsonValue> Parse(const std::string& text);
+
+  /// Compact single-line serialization (the wire framing is one document
+  /// per line, so Dump never emits a newline).
+  std::string Dump() const;
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool AsBool() const { return std::get<bool>(data_); }
+  double AsNumber() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  const Array& AsArray() const { return std::get<Array>(data_); }
+  const Object& AsObject() const { return std::get<Object>(data_); }
+
+  /// Object member lookup (first match), or nullptr when this is not an
+  /// object or has no such key.
+  const JsonValue* Get(const std::string& key) const;
+
+  /// Typed lookups with fallbacks — the tolerant-reader shape the wire
+  /// decoder wants (absent or mistyped members keep their defaults).
+  double GetNumber(const std::string& key, double fallback) const;
+  std::string GetString(const std::string& key, std::string fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Appends a member (object values only).
+  void Set(std::string key, JsonValue value);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      data_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_SERVICE_JSON_H_

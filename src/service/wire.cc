@@ -1,0 +1,238 @@
+#include "service/wire.h"
+
+#include <cmath>
+#include <utility>
+
+namespace modis {
+
+namespace {
+
+/// Reads a non-negative integer member from untrusted input. Absent (or
+/// non-number) members keep `fallback`; present ones must be finite
+/// integers in [0, max] — a negative or huge double cast straight to an
+/// unsigned type would be undefined behavior, so validation happens
+/// before any cast.
+Result<uint64_t> GetCount(const JsonValue& doc, const char* key,
+                          uint64_t fallback, uint64_t max) {
+  const JsonValue* v = doc.Get(key);
+  if (v == nullptr || !v->is_number()) return fallback;
+  const double n = v->AsNumber();
+  if (!std::isfinite(n) || n < 0.0 || n > double(max) ||
+      std::nearbyint(n) != n) {
+    return Status::InvalidArgument(std::string("\"") + key +
+                                   "\" must be an integer in [0, " +
+                                   std::to_string(max) + "]");
+  }
+  return uint64_t(n);
+}
+
+JsonValue::Array NumbersToJson(const std::vector<double>& values) {
+  JsonValue::Array array;
+  array.reserve(values.size());
+  for (double v : values) array.emplace_back(v);
+  return array;
+}
+
+JsonValue::Array StringsToJson(const std::vector<std::string>& values) {
+  JsonValue::Array array;
+  array.reserve(values.size());
+  for (const std::string& v : values) array.emplace_back(v);
+  return array;
+}
+
+std::vector<double> NumbersFromJson(const JsonValue& value) {
+  std::vector<double> out;
+  if (!value.is_array()) return out;
+  for (const JsonValue& v : value.AsArray()) {
+    if (v.is_number()) out.push_back(v.AsNumber());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DiscoveryRequest> ParseDiscoveryRequest(const std::string& line) {
+  MODIS_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  DiscoveryRequest request;
+  request.task = doc.GetString("task", "");
+  if (request.task.empty()) {
+    return Status::InvalidArgument("request is missing \"task\"");
+  }
+  request.variant = doc.GetString("variant", request.variant);
+  request.oracle = doc.GetString("oracle", request.oracle);
+  if (const JsonValue* measures = doc.Get("measures");
+      measures != nullptr && measures->is_array()) {
+    for (const JsonValue& m : measures->AsArray()) {
+      if (!m.is_string()) {
+        return Status::InvalidArgument("\"measures\" must be strings");
+      }
+      request.measures.push_back(m.AsString());
+    }
+  }
+  request.epsilon = doc.GetNumber("epsilon", request.epsilon);
+  if (!std::isfinite(request.epsilon) || request.epsilon <= 0.0 ||
+      request.epsilon > 100.0) {
+    return Status::InvalidArgument("\"epsilon\" must be in (0, 100]");
+  }
+  {
+    MODIS_ASSIGN_OR_RETURN(
+        const uint64_t budget,
+        GetCount(doc, "budget", request.budget, 100'000'000));
+    request.budget = size_t(budget);
+    MODIS_ASSIGN_OR_RETURN(const uint64_t maxl,
+                           GetCount(doc, "maxl", uint64_t(request.maxl),
+                                    100'000));
+    request.maxl = int(maxl);
+    MODIS_ASSIGN_OR_RETURN(const uint64_t k,
+                           GetCount(doc, "k", request.k, 100'000'000));
+    request.k = size_t(k);
+    MODIS_ASSIGN_OR_RETURN(
+        request.seed,
+        GetCount(doc, "seed", request.seed, uint64_t(1) << 53));
+  }
+  request.alpha = doc.GetNumber("alpha", request.alpha);
+  if (!std::isfinite(request.alpha) || request.alpha < 0.0 ||
+      request.alpha > 1.0) {
+    return Status::InvalidArgument("\"alpha\" must be in [0, 1]");
+  }
+  request.cache_path = doc.GetString("cache", request.cache_path);
+  request.cache_mode = doc.GetString("cache_mode", request.cache_mode);
+  request.cache_namespace =
+      doc.GetString("namespace", request.cache_namespace);
+  return request;
+}
+
+std::string SerializeDiscoveryRequest(const DiscoveryRequest& request) {
+  JsonValue doc{JsonValue::Object{}};
+  doc.Set("task", request.task);
+  doc.Set("variant", request.variant);
+  doc.Set("oracle", request.oracle);
+  if (!request.measures.empty()) {
+    doc.Set("measures", StringsToJson(request.measures));
+  }
+  doc.Set("epsilon", request.epsilon);
+  doc.Set("budget", request.budget);
+  doc.Set("maxl", request.maxl);
+  doc.Set("k", request.k);
+  doc.Set("alpha", request.alpha);
+  if (!request.cache_path.empty()) doc.Set("cache", request.cache_path);
+  if (!request.cache_mode.empty()) {
+    doc.Set("cache_mode", request.cache_mode);
+  }
+  if (!request.cache_namespace.empty()) {
+    doc.Set("namespace", request.cache_namespace);
+  }
+  doc.Set("seed", double(request.seed));
+  return doc.Dump();
+}
+
+std::string SerializeDiscoveryResponse(const DiscoveryResponse& response) {
+  JsonValue doc{JsonValue::Object{}};
+  doc.Set("ok", true);
+  doc.Set("task", response.task);
+  doc.Set("variant", response.variant);
+  doc.Set("measures", StringsToJson(response.measure_names));
+  JsonValue::Array skyline;
+  skyline.reserve(response.skyline.size());
+  for (const DiscoverySkylineRow& row : response.skyline) {
+    JsonValue entry{JsonValue::Object{}};
+    entry.Set("signature", row.signature);
+    entry.Set("level", row.level);
+    entry.Set("rows", row.rows);
+    entry.Set("cols", row.cols);
+    entry.Set("raw", NumbersToJson(row.raw));
+    entry.Set("normalized", NumbersToJson(row.normalized));
+    skyline.push_back(std::move(entry));
+  }
+  doc.Set("skyline", std::move(skyline));
+  JsonValue stats{JsonValue::Object{}};
+  stats.Set("valuated_states", response.valuated_states);
+  stats.Set("generated_states", response.generated_states);
+  stats.Set("pruned_states", response.pruned_states);
+  stats.Set("exact_evals", response.exact_evals);
+  stats.Set("persistent_hits", response.persistent_hits);
+  stats.Set("surrogate_evals", response.surrogate_evals);
+  stats.Set("cache_hits", response.cache_hits);
+  stats.Set("failed_evals", response.failed_evals);
+  stats.Set("cache_active", response.cache_active);
+  stats.Set("queue_ms", response.queue_ms);
+  stats.Set("run_ms", response.run_ms);
+  stats.Set("total_ms", response.total_ms);
+  doc.Set("stats", std::move(stats));
+  return doc.Dump();
+}
+
+std::string SerializeDiscoveryError(const Status& status) {
+  JsonValue doc{JsonValue::Object{}};
+  doc.Set("ok", false);
+  doc.Set("code", StatusCodeName(status.code()));
+  doc.Set("error", status.message());
+  return doc.Dump();
+}
+
+Result<DiscoveryResponse> ParseDiscoveryResponse(const std::string& line) {
+  MODIS_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("response must be a JSON object");
+  }
+  if (!doc.GetBool("ok", false)) {
+    return Status(StatusCode::kInternal,
+                  "server error [" + doc.GetString("code", "?") + "]: " +
+                      doc.GetString("error", "malformed error response"));
+  }
+  DiscoveryResponse response;
+  response.task = doc.GetString("task", "");
+  response.variant = doc.GetString("variant", "");
+  if (const JsonValue* measures = doc.Get("measures");
+      measures != nullptr && measures->is_array()) {
+    for (const JsonValue& m : measures->AsArray()) {
+      if (m.is_string()) response.measure_names.push_back(m.AsString());
+    }
+  }
+  if (const JsonValue* skyline = doc.Get("skyline");
+      skyline != nullptr && skyline->is_array()) {
+    for (const JsonValue& entry : skyline->AsArray()) {
+      DiscoverySkylineRow row;
+      row.signature = entry.GetString("signature", "");
+      row.level = static_cast<int>(entry.GetNumber("level", 0));
+      row.rows = static_cast<size_t>(entry.GetNumber("rows", 0));
+      row.cols = static_cast<size_t>(entry.GetNumber("cols", 0));
+      if (const JsonValue* raw = entry.Get("raw")) {
+        row.raw = NumbersFromJson(*raw);
+      }
+      if (const JsonValue* normalized = entry.Get("normalized")) {
+        row.normalized = NumbersFromJson(*normalized);
+      }
+      response.skyline.push_back(std::move(row));
+    }
+  }
+  if (const JsonValue* stats = doc.Get("stats");
+      stats != nullptr && stats->is_object()) {
+    response.valuated_states =
+        static_cast<size_t>(stats->GetNumber("valuated_states", 0));
+    response.generated_states =
+        static_cast<size_t>(stats->GetNumber("generated_states", 0));
+    response.pruned_states =
+        static_cast<size_t>(stats->GetNumber("pruned_states", 0));
+    response.exact_evals =
+        static_cast<size_t>(stats->GetNumber("exact_evals", 0));
+    response.persistent_hits =
+        static_cast<size_t>(stats->GetNumber("persistent_hits", 0));
+    response.surrogate_evals =
+        static_cast<size_t>(stats->GetNumber("surrogate_evals", 0));
+    response.cache_hits =
+        static_cast<size_t>(stats->GetNumber("cache_hits", 0));
+    response.failed_evals =
+        static_cast<size_t>(stats->GetNumber("failed_evals", 0));
+    response.cache_active = stats->GetBool("cache_active", false);
+    response.queue_ms = stats->GetNumber("queue_ms", 0.0);
+    response.run_ms = stats->GetNumber("run_ms", 0.0);
+    response.total_ms = stats->GetNumber("total_ms", 0.0);
+  }
+  return response;
+}
+
+}  // namespace modis

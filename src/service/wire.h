@@ -1,0 +1,38 @@
+#ifndef MODIS_SERVICE_WIRE_H_
+#define MODIS_SERVICE_WIRE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "service/discovery_service.h"
+#include "service/json.h"
+
+namespace modis {
+
+/// The line-delimited JSON wire protocol of the discovery service
+/// (docs/SERVING.md): one request object per line in, one response object
+/// per line out. These codecs are the single source of truth for the
+/// field names; modis_server, modis_cli --connect, and the smoke test all
+/// go through them.
+
+/// Decodes one request line. Unknown members are ignored; absent members
+/// keep the DiscoveryRequest defaults; a wrong-typed or malformed
+/// document is an InvalidArgument.
+Result<DiscoveryRequest> ParseDiscoveryRequest(const std::string& line);
+
+/// Encodes a request as one line (no trailing newline).
+std::string SerializeDiscoveryRequest(const DiscoveryRequest& request);
+
+/// Encodes a response as `{"ok":true, ...}` on one line.
+std::string SerializeDiscoveryResponse(const DiscoveryResponse& response);
+
+/// Encodes a failure as `{"ok":false,"code":...,"error":...}`.
+std::string SerializeDiscoveryError(const Status& status);
+
+/// Decodes a response line (client side). A well-formed
+/// `{"ok":false,...}` document decodes into the transported Status.
+Result<DiscoveryResponse> ParseDiscoveryResponse(const std::string& line);
+
+}  // namespace modis
+
+#endif  // MODIS_SERVICE_WIRE_H_

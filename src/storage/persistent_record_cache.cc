@@ -1,5 +1,7 @@
 #include "storage/persistent_record_cache.h"
 
+#include <algorithm>
+#include <tuple>
 #include <utility>
 
 #include "common/logging.h"
@@ -7,7 +9,8 @@
 namespace modis {
 
 Result<std::unique_ptr<PersistentRecordCache>> PersistentRecordCache::Open(
-    const std::string& path, CacheMode mode, uint64_t fingerprint) {
+    const std::string& path, CacheMode mode, uint64_t fingerprint,
+    Options options) {
   MODIS_CHECK(mode != CacheMode::kOff)
       << "PersistentRecordCache::Open with CacheMode::kOff";
   std::vector<StoredRecord> records;
@@ -17,65 +20,113 @@ Result<std::unique_ptr<PersistentRecordCache>> PersistentRecordCache::Open(
                       &records));
 
   auto cache = std::unique_ptr<PersistentRecordCache>(
-      new PersistentRecordCache(std::move(log), mode, fingerprint));
+      new PersistentRecordCache(std::move(log), mode, fingerprint, options));
   cache->stats_.loaded_records = records.size();
   cache->stats_.discarded_tail_bytes = cache->log_.discarded_tail_bytes();
 
   // Last record wins per (fingerprint, key): replay order equals the order
-  // a run would have ingested them. Foreign-task records exist only so a
-  // Compact() can preserve them, so a read-only open (which can never
-  // compact) does not hold them in memory.
-  const bool keep_foreign = mode == CacheMode::kReadWrite;
-  std::unordered_map<std::string, size_t> foreign_index;
+  // a run would have ingested them. Load order seeds the recency clock, so
+  // a byte-bounded host evicts the oldest cold cargo first. A read-only
+  // open can never serve other fingerprints' records nor compact them, so
+  // it indexes only its own task's — a kRead engine over a host-sized
+  // multi-task file does not pay memory for every other task's cargo.
+  const bool keep_all = mode == CacheMode::kReadWrite;
   size_t duplicates = 0;
   for (StoredRecord& r : records) {
-    if (r.fingerprint == fingerprint) {
-      duplicates += cache->index_.count(r.key);
-      cache->index_[r.key] = std::move(r);
-    } else if (keep_foreign) {
-      // Foreign keys are qualified by their fingerprint to dedup within
-      // their own task only.
-      const std::string qualified =
-          std::to_string(r.fingerprint) + "/" + r.key;
-      auto it = foreign_index.find(qualified);
-      if (it != foreign_index.end()) {
-        ++duplicates;
-        cache->foreign_[it->second] = std::move(r);
-      } else {
-        foreign_index.emplace(qualified, cache->foreign_.size());
-        cache->foreign_.push_back(std::move(r));
-      }
-    }
+    if (!keep_all && r.fingerprint != fingerprint) continue;
+    Bucket& bucket = cache->index_[r.fingerprint];
+    const uint64_t tick = ++cache->tick_;
+    auto [it, inserted] = bucket.entries.try_emplace(r.key);
+    if (!inserted) ++duplicates;
+    it->second.record = std::move(r);
+    it->second.last_hit = tick;
+    bucket.last_hit = tick;
   }
-  cache->stats_.task_records = cache->index_.size();
+  {
+    auto it = cache->index_.find(fingerprint);
+    cache->stats_.task_records =
+        it == cache->index_.end() ? 0 : it->second.entries.size();
+  }
 
-  // Auto-compact when at least half the log is dead duplicate weight.
-  // (A torn tail needs no compaction: the writable RecordLog::Open above
-  // already truncated it in place.)
-  if (mode == CacheMode::kReadWrite && duplicates > 0 &&
-      duplicates * 2 >= records.size()) {
-    const Status compacted = cache->Compact();
-    if (!compacted.ok()) return compacted;
-    cache->stats_.compacted_away = duplicates;
+  if (mode == CacheMode::kReadWrite) {
+    // Auto-compact when at least half the log is dead duplicate weight.
+    // (A torn tail needs no compaction: the writable RecordLog::Open above
+    // already truncated it in place.)
+    if (duplicates > 0 && duplicates * 2 >= records.size()) {
+      const Status compacted = cache->CompactLocked();
+      if (!compacted.ok()) return compacted;
+      cache->stats_.compacted_away = duplicates;
+    }
+    const Status bounded = cache->EnforceByteBoundLocked();
+    if (!bounded.ok()) return bounded;
   }
   return cache;
 }
 
-const StoredRecord* PersistentRecordCache::Find(const std::string& key) {
-  auto it = index_.find(key);
-  if (it == index_.end()) return nullptr;
-  ++stats_.served;
-  return &it->second;
+bool PersistentRecordCache::Contains(uint64_t fingerprint,
+                                     const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(fingerprint);
+  return it != index_.end() && it->second.entries.count(key) > 0;
 }
 
-void PersistentRecordCache::Insert(const std::string& key,
+bool PersistentRecordCache::Touch(uint64_t fingerprint,
+                                  const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto bucket = index_.find(fingerprint);
+  if (bucket == index_.end()) return false;
+  auto it = bucket->second.entries.find(key);
+  if (it == bucket->second.entries.end()) return false;
+  const uint64_t tick = ++tick_;
+  it->second.last_hit = tick;
+  bucket->second.last_hit = tick;
+  return true;
+}
+
+bool PersistentRecordCache::Get(uint64_t fingerprint, const std::string& key,
+                                StoredRecord* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto bucket = index_.find(fingerprint);
+  if (bucket == index_.end()) return false;
+  auto it = bucket->second.entries.find(key);
+  if (it == bucket->second.entries.end()) return false;
+  const uint64_t tick = ++tick_;
+  it->second.last_hit = tick;
+  bucket->second.last_hit = tick;
+  ++stats_.served;
+  if (out != nullptr) *out = it->second.record;
+  return true;
+}
+
+const StoredRecord* PersistentRecordCache::Find(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto bucket = index_.find(fingerprint_);
+  if (bucket == index_.end()) return nullptr;
+  auto it = bucket->second.entries.find(key);
+  if (it == bucket->second.entries.end()) return nullptr;
+  const uint64_t tick = ++tick_;
+  it->second.last_hit = tick;
+  bucket->second.last_hit = tick;
+  ++stats_.served;
+  return &it->second.record;
+}
+
+void PersistentRecordCache::Insert(uint64_t fingerprint,
+                                   const std::string& key,
                                    const std::vector<double>& features,
                                    const Evaluation& eval) {
-  StoredRecord record;
-  record.fingerprint = fingerprint_;
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = index_[fingerprint];
+  auto [it, inserted] = bucket.entries.try_emplace(key);
+  if (!inserted) return;  // First write wins at runtime; see class comment.
+  StoredRecord& record = it->second.record;
+  record.fingerprint = fingerprint;
   record.key = key;
   record.features = features;
   record.eval = eval;
+  const uint64_t tick = ++tick_;
+  it->second.last_hit = tick;
+  bucket.last_hit = tick;
   if (mode_ == CacheMode::kReadWrite) {
     const Status appended = log_.Append(record);
     if (appended.ok()) {
@@ -84,23 +135,94 @@ void PersistentRecordCache::Insert(const std::string& key,
     // An append failure (disk full, ...) degrades to in-memory caching for
     // the rest of the run; the search result is unaffected.
   }
-  index_[key] = std::move(record);
 }
 
-Status PersistentRecordCache::Flush() { return log_.Flush(); }
+Status PersistentRecordCache::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MODIS_RETURN_IF_ERROR(log_.Flush());
+  return EnforceByteBoundLocked();
+}
 
 Status PersistentRecordCache::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CompactLocked();
+}
+
+Status PersistentRecordCache::CompactLocked() {
   if (mode_ != CacheMode::kReadWrite) {
     return Status::FailedPrecondition("cannot compact a read-only cache");
   }
   std::vector<StoredRecord> live;
-  live.reserve(foreign_.size() + index_.size());
-  for (const StoredRecord& r : foreign_) live.push_back(r);
-  for (const auto& [key, r] : index_) {
-    (void)key;
-    live.push_back(r);
+  for (const auto& [fp, bucket] : index_) {
+    (void)fp;
+    for (const auto& [key, entry] : bucket.entries) {
+      (void)key;
+      live.push_back(entry.record);
+    }
   }
   return log_.Rewrite(live);
+}
+
+Status PersistentRecordCache::EnforceByteBoundLocked() {
+  if (options_.max_bytes == 0 || mode_ != CacheMode::kReadWrite ||
+      log_.size_bytes() <= options_.max_bytes) {
+    return Status::OK();
+  }
+  // Live footprint (duplicates in the file die at the rewrite anyway).
+  size_t live_bytes = RecordLog::kHeaderSize;
+  for (const auto& [fp, bucket] : index_) {
+    (void)fp;
+    for (const auto& [key, entry] : bucket.entries) {
+      (void)key;
+      live_bytes += RecordLog::FrameBytes(entry.record);
+    }
+  }
+  if (live_bytes > options_.max_bytes) {
+    // Eviction order: least-recently-hit fingerprint first, then
+    // least-recently-hit record within it — a whole cold task's cargo
+    // goes before any record of a task that is being served.
+    struct Victim {
+      uint64_t bucket_hit;
+      uint64_t record_hit;
+      uint64_t fingerprint;
+      const std::string* key;
+      size_t bytes;
+    };
+    std::vector<Victim> order;
+    for (const auto& [fp, bucket] : index_) {
+      for (const auto& [key, entry] : bucket.entries) {
+        order.push_back({bucket.last_hit, entry.last_hit, fp, &key,
+                         RecordLog::FrameBytes(entry.record)});
+      }
+    }
+    std::sort(order.begin(), order.end(), [](const Victim& a,
+                                             const Victim& b) {
+      return std::tie(a.bucket_hit, a.record_hit) <
+             std::tie(b.bucket_hit, b.record_hit);
+    });
+    for (const Victim& v : order) {
+      if (live_bytes <= options_.max_bytes) break;
+      auto bucket = index_.find(v.fingerprint);
+      bucket->second.entries.erase(*v.key);
+      if (bucket->second.entries.empty()) index_.erase(bucket);
+      live_bytes -= v.bytes;
+      ++stats_.evicted;
+    }
+  }
+  return CompactLocked();
+}
+
+PersistentRecordCache::Stats PersistentRecordCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats snapshot = stats_;
+  snapshot.log_bytes = log_.size_bytes();
+  return snapshot;
+}
+
+size_t PersistentRecordCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(fingerprint_);
+  return it == index_.end() ? 0 : it->second.entries.size();
 }
 
 }  // namespace modis

@@ -1,7 +1,9 @@
 #ifndef MODIS_STORAGE_PERSISTENT_RECORD_CACHE_H_
 #define MODIS_STORAGE_PERSISTENT_RECORD_CACHE_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,84 +15,169 @@ namespace modis {
 
 /// Cross-run valuation-record cache over a RecordLog.
 ///
-/// Open() replays the whole log once and indexes the records whose
-/// fingerprint matches the task this cache was opened for (records of
-/// other tasks are retained for compaction but never served). During a
-/// running the oracle consults Find() while planning a batch — a hit means
-/// the state's exact training is skipped and the recorded evaluation is
-/// replayed — and Insert()s every freshly trained record during the batch
-/// commit; Flush() after each commit makes the log crash-consistent at
-/// batch granularity.
+/// Open() replays the whole log once and indexes every record by
+/// (fingerprint, state signature), so one open cache can serve many tasks
+/// at once — the shape the long-lived discovery service needs, where
+/// concurrent queries over different task fingerprints share a single
+/// locked cache file. The single-task callers (ModisEngine owning its own
+/// cache) pass their fingerprint at Open and use the unqualified
+/// convenience methods, which bind to that default fingerprint.
 ///
-/// Duplicate keys can appear in the log (two concurrent cold runs, or a
-/// run killed between commit and flush and re-run): the last record wins,
-/// matching the order a replay would ingest them. When more than half of
-/// an opened log is dead weight (duplicates or a torn tail), a writable
-/// open compacts it in place.
+/// During a running the oracle consults Contains() while planning a batch —
+/// a hit means the state's exact training is skipped and the recorded
+/// evaluation is replayed (fetched with Get) — and Insert()s every freshly
+/// trained record during the batch commit; Flush() after each commit makes
+/// the log crash-consistent at batch granularity.
 ///
-/// Not thread-safe. All oracle-side access happens on the batch caller
-/// thread; sharing one cache *file* across processes is sequential-only
-/// (last-write-wins on duplicates, no file locking).
+/// Duplicate keys can appear in the log (two cold runs racing before
+/// locking existed, or a run killed between commit and flush and re-run):
+/// the last record wins at load, matching the order a replay would ingest
+/// them. At runtime, inserting an already-present (fingerprint, key) is a
+/// no-op — records are content-addressed results of deterministic
+/// trainings, so the incumbent is identical, and skipping keeps concurrent
+/// sessions from appending duplicate frames. When more than half of an
+/// opened log is dead weight (duplicates or a torn tail), a writable open
+/// compacts it in place.
+///
+/// Thread safety: every method locks an internal mutex, so one cache
+/// object may be shared by concurrent in-process sessions (the discovery
+/// service shares one per cache file). Find() returns a pointer into the
+/// index that stays valid only until the next eviction or compaction —
+/// fine for the single-session pattern of copying immediately, but shared
+/// sessions should prefer Get(), which copies under the lock.
+/// Cross-process sharing is governed by the RecordLog flock contract:
+/// single writer, many readers.
+///
+/// Bounded logs: Options::max_bytes caps the log file. When a Flush()
+/// leaves the log over the cap, the cache evicts least-recently-hit
+/// fingerprints first (then least-recently-hit records within a
+/// fingerprint) until the live set fits, and compacts the log down to it.
+/// Recency is session-local (ticks start at load order), which is exactly
+/// the signal a long-lived host accumulates.
 class PersistentRecordCache {
  public:
-  struct Stats {
-    size_t loaded_records = 0;   // All valid records in the log at open.
-    size_t task_records = 0;     // Subset matching this task's fingerprint.
-    size_t served = 0;           // Find() hits.
-    size_t appended = 0;         // Insert()s written this session.
-    size_t compacted_away = 0;   // Dead records dropped by auto-compaction.
-    size_t discarded_tail_bytes = 0;
+  struct Options {
+    /// Byte budget of the log file; 0 = unbounded. Enforced after every
+    /// Flush() (and once at open) by recency eviction + compaction.
+    /// (Initialized in the constructor, not inline: an inline default
+    /// would make `Options()` as a default argument of Open —
+    /// syntactically inside the enclosing class — ill-formed.)
+    uint64_t max_bytes;
+
+    Options() : max_bytes(0) {}
   };
 
-  /// Opens `path` for the task identified by `fingerprint`. kRead fails
-  /// if the file does not exist; kReadWrite creates it. Passing kOff is a
-  /// programming error — callers gate on the mode before opening.
-  static Result<std::unique_ptr<PersistentRecordCache>> Open(
-      const std::string& path, CacheMode mode, uint64_t fingerprint);
+  struct Stats {
+    size_t loaded_records = 0;   // All valid records in the log at open.
+    size_t task_records = 0;     // Subset matching the default fingerprint.
+    size_t served = 0;           // Find()/Get() hits.
+    size_t appended = 0;         // Insert()s written this session.
+    size_t compacted_away = 0;   // Dead records dropped by auto-compaction.
+    size_t evicted = 0;          // Live records dropped by the byte bound.
+    size_t discarded_tail_bytes = 0;
+    size_t log_bytes = 0;        // Valid log bytes at the snapshot.
+  };
 
-  /// True when a record exists for this task's fingerprint. Does not
-  /// count stats.served — batch planning probes with this, then the
-  /// commit fetches with Find, so served equals records actually
-  /// replayed.
+  /// Opens `path` for the task identified by `fingerprint` (the default
+  /// fingerprint of the unqualified methods; a multi-task host may pass
+  /// 0 and use only the qualified ones). kRead fails if the file does not
+  /// exist; kReadWrite creates it. Passing kOff is a programming error —
+  /// callers gate on the mode before opening. A lock conflict (another
+  /// live writer on the file) fails with FailedPrecondition.
+  static Result<std::unique_ptr<PersistentRecordCache>> Open(
+      const std::string& path, CacheMode mode, uint64_t fingerprint,
+      Options options = Options());
+
+  /// True when a record exists for (fingerprint, key). Does not count
+  /// stats.served or refresh recency — batch planning probes with this,
+  /// then the commit fetches with Get/Find, so served equals records
+  /// actually replayed.
+  bool Contains(uint64_t fingerprint, const std::string& key) const;
   bool Contains(const std::string& key) const {
-    return index_.count(key) > 0;
+    return Contains(fingerprint_, key);
   }
 
-  /// The recorded evaluation for a state signature under this task's
-  /// fingerprint, or nullptr. Counts stats.served on hit.
+  /// Contains + recency refresh, without counting stats.served. The
+  /// oracle probes with this at plan time so a record it is about to
+  /// replay becomes most-recently-hit — a concurrent session's eviction
+  /// pass then prefers any other victim. (Eviction between plan and
+  /// commit is still possible; the oracle degrades that to a fresh
+  /// training.)
+  bool Touch(uint64_t fingerprint, const std::string& key);
+
+  /// Copies the record for (fingerprint, key) into `*out` (either may be
+  /// skipped by passing nullptr). Counts stats.served and refreshes the
+  /// recency of both the record and its fingerprint. The safe lookup for
+  /// shared sessions.
+  bool Get(uint64_t fingerprint, const std::string& key, StoredRecord* out);
+
+  /// The recorded evaluation for a state signature under the default
+  /// fingerprint, or nullptr. Counts stats.served on hit. The returned
+  /// pointer is invalidated by eviction/compaction — single-session use.
   const StoredRecord* Find(const std::string& key);
 
   /// Records a fresh valuation: indexed immediately; appended to the log
-  /// in kReadWrite mode (no-op write in kRead). Re-inserting an existing
-  /// key replaces the served record.
+  /// in kReadWrite mode (no-op write in kRead). Inserting an existing
+  /// (fingerprint, key) is a no-op — see the class comment.
+  void Insert(uint64_t fingerprint, const std::string& key,
+              const std::vector<double>& features, const Evaluation& eval);
   void Insert(const std::string& key, const std::vector<double>& features,
-              const Evaluation& eval);
+              const Evaluation& eval) {
+    Insert(fingerprint_, key, features, eval);
+  }
 
-  /// Persists appends buffered since the last flush.
+  /// Persists appends buffered since the last flush, then enforces the
+  /// byte bound (eviction + compaction) if one is configured.
   Status Flush();
 
   /// Rewrites the log keeping one live record per (fingerprint, key) —
-  /// this task's and other tasks' records both survive.
+  /// all fingerprints survive.
   Status Compact();
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
   uint64_t fingerprint() const { return fingerprint_; }
   CacheMode mode() const { return mode_; }
-  size_t size() const { return index_.size(); }
+  const std::string& path() const { return path_; }
+  /// Records of the default fingerprint.
+  size_t size() const;
 
  private:
-  PersistentRecordCache(RecordLog log, CacheMode mode, uint64_t fingerprint)
-      : log_(std::move(log)), mode_(mode), fingerprint_(fingerprint) {}
+  struct Entry {
+    StoredRecord record;
+    uint64_t last_hit = 0;
+  };
+  struct Bucket {
+    std::unordered_map<std::string, Entry> entries;
+    uint64_t last_hit = 0;
+  };
 
+  PersistentRecordCache(RecordLog log, CacheMode mode, uint64_t fingerprint,
+                        Options options)
+      : log_(std::move(log)),
+        mode_(mode),
+        fingerprint_(fingerprint),
+        options_(options),
+        path_(log_.path()) {}
+
+  /// Rewrites the log from the live index. Caller holds mu_.
+  Status CompactLocked();
+  /// Evicts + compacts until the live set fits Options::max_bytes.
+  /// Caller holds mu_.
+  Status EnforceByteBoundLocked();
+
+  mutable std::mutex mu_;
   RecordLog log_;
   CacheMode mode_;
   uint64_t fingerprint_;
+  Options options_;
+  std::string path_;
   Stats stats_;
+  /// Logical clock for recency: bumped on every hit and insert.
+  uint64_t tick_ = 0;
 
-  /// This task's records, last-write-wins by key.
-  std::unordered_map<std::string, StoredRecord> index_;
-  /// Other tasks' records, deduped, kept only so Compact() preserves them.
-  std::vector<StoredRecord> foreign_;
+  /// Live records: fingerprint -> (key -> entry), last-write-wins at load,
+  /// first-write-wins at runtime.
+  std::unordered_map<uint64_t, Bucket> index_;
 };
 
 }  // namespace modis

@@ -4,6 +4,8 @@
 #include <utility>
 
 #if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 #endif
 
@@ -109,6 +111,91 @@ class Reader {
   size_t pos_ = 0;
 };
 
+void FillHeader(uint8_t (&header)[RecordLog::kHeaderSize]) {
+  std::memset(header, 0, RecordLog::kHeaderSize);
+  std::memcpy(header, RecordLog::kMagic, sizeof(RecordLog::kMagic));
+  for (int i = 0; i < 4; ++i) {
+    header[8 + i] = (RecordLog::kFormatVersion >> (8 * i)) & 0xFF;
+  }
+}
+
+/// Header classification of an open log stream (positioned at offset 0 on
+/// entry; positioned just past the header on kValid).
+enum class HeaderState {
+  kValid,          // Full, current-version header; records may follow.
+  kEmpty,          // Zero bytes: a freshly created file.
+  kTornOwnPrefix,  // A prefix of our own header (crash mid-create).
+};
+
+Result<HeaderState> CheckHeader(std::FILE* f, const std::string& path,
+                                bool read_only) {
+  uint8_t header[RecordLog::kHeaderSize];
+  const size_t got = std::fread(header, 1, RecordLog::kHeaderSize, f);
+  uint8_t expected[RecordLog::kHeaderSize];
+  FillHeader(expected);
+  if (got == 0) return HeaderState::kEmpty;
+  if (got < RecordLog::kHeaderSize) {
+    // A file shorter than the header can hold no records; if its bytes
+    // are a prefix of our header (a crash between create and the header
+    // write), a writable open may safely rewrite it as fresh — but a
+    // short *foreign* file is still rejected, not clobbered.
+    if (read_only || std::memcmp(header, expected, got) != 0) {
+      return Status::IoError("truncated record log header: " + path);
+    }
+    return HeaderState::kTornOwnPrefix;
+  }
+  if (std::memcmp(header, RecordLog::kMagic, sizeof(RecordLog::kMagic)) !=
+      0) {
+    return Status::IoError("not a MODis record log: " + path);
+  }
+  uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) version |= uint32_t(header[8 + i]) << (8 * i);
+  if (version != RecordLog::kFormatVersion) {
+    return Status::FailedPrecondition(
+        path + ": record log format version " + std::to_string(version) +
+        " != supported " + std::to_string(RecordLog::kFormatVersion) +
+        " (delete the file; the cache is derived data)");
+  }
+  return HeaderState::kValid;
+}
+
+/// Scans record frames from just past the header until EOF or the first
+/// torn/corrupt frame. Returns the valid byte count including the header.
+size_t ScanRecords(std::FILE* f, std::vector<StoredRecord>* out) {
+  size_t valid_bytes = RecordLog::kHeaderSize;
+  std::vector<uint8_t> payload;
+  for (;;) {
+    uint8_t frame[8];
+    if (std::fread(frame, 1, 8, f) != 8) break;
+    uint32_t payload_size = 0, crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      payload_size |= uint32_t(frame[i]) << (8 * i);
+      crc |= uint32_t(frame[4 + i]) << (8 * i);
+    }
+    if (payload_size == 0 || payload_size > RecordLog::kMaxPayloadSize) break;
+    payload.resize(payload_size);
+    if (std::fread(payload.data(), 1, payload_size, f) != payload_size) {
+      break;
+    }
+    if (Crc32(payload.data(), payload_size) != crc) break;
+    StoredRecord record;
+    if (!RecordLog::DecodePayload(payload.data(), payload_size, &record)) {
+      break;
+    }
+    if (out != nullptr) out->push_back(std::move(record));
+    valid_bytes += 8 + payload_size;
+  }
+  return valid_bytes;
+}
+
+/// Bytes of the file beyond `valid_bytes` (0 when the log ends cleanly).
+size_t TailBytes(std::FILE* f, size_t valid_bytes) {
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end > 0 && size_t(end) > valid_bytes) return size_t(end) - valid_bytes;
+  return 0;
+}
+
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
@@ -168,6 +255,13 @@ bool RecordLog::DecodePayload(const uint8_t* data, size_t size,
          reader.Doubles(&out->eval.normalized) && reader.exhausted();
 }
 
+size_t RecordLog::FrameBytes(const StoredRecord& record) {
+  return 8 /* frame header */ + 8 /* fingerprint */ +
+         (4 + record.key.size()) + (4 + 8 * record.features.size()) +
+         (4 + 8 * record.eval.raw.size()) +
+         (4 + 8 * record.eval.normalized.size());
+}
+
 RecordLog::~RecordLog() {
   if (file_ != nullptr) std::fclose(file_);
 }
@@ -181,9 +275,103 @@ RecordLog& RecordLog::operator=(RecordLog&& other) noexcept {
   file_ = other.file_;
   read_only_ = other.read_only_;
   discarded_tail_bytes_ = other.discarded_tail_bytes_;
+  size_bytes_ = other.size_bytes_;
   other.file_ = nullptr;
   return *this;
 }
+
+#if !defined(_WIN32)
+
+Result<RecordLog> RecordLog::Open(const std::string& path, bool read_only,
+                                  std::vector<StoredRecord>* out) {
+  RecordLog log;
+  log.path_ = path;
+  log.read_only_ = read_only;
+
+  if (read_only) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return Status::NotFound("record log not found: " + path);
+    }
+    // Readers share; a live writer excludes them (the process hosting the
+    // file answers queries instead — callers degrade to a cold run).
+    if (::flock(fd, LOCK_SH | LOCK_NB) != 0) {
+      ::close(fd);
+      return Status::FailedPrecondition(
+          "record log is write-locked by a live host: " + path);
+    }
+    std::FILE* f = ::fdopen(fd, "rb");
+    if (f == nullptr) {
+      ::close(fd);
+      return Status::IoError("cannot open record log: " + path);
+    }
+    auto header = CheckHeader(f, path, /*read_only=*/true);
+    if (!header.ok()) {
+      std::fclose(f);
+      return header.status();
+    }
+    if (header.value() == HeaderState::kValid) {
+      const size_t valid_bytes = ScanRecords(f, out);
+      log.discarded_tail_bytes_ = TailBytes(f, valid_bytes);
+      log.size_bytes_ = valid_bytes;
+    }
+    std::fclose(f);  // Releases the shared lock.
+    return log;
+  }
+
+  // Writable: take the exclusive lock BEFORE scanning, so no other writer
+  // can append between our scan and our truncate/append — the scan result
+  // stays authoritative for the log's whole open lifetime.
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open record log: " + path);
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return Status::FailedPrecondition(
+        "record log is locked by another writer (single-writer "
+        "contract): " +
+        path);
+  }
+  std::FILE* f = ::fdopen(fd, "r+b");
+  if (f == nullptr) {
+    ::close(fd);
+    return Status::IoError("cannot open record log: " + path);
+  }
+  auto header = CheckHeader(f, path, /*read_only=*/false);
+  if (!header.ok()) {
+    std::fclose(f);
+    return header.status();
+  }
+  size_t valid_bytes = kHeaderSize;
+  if (header.value() == HeaderState::kValid) {
+    valid_bytes = ScanRecords(f, out);
+    log.discarded_tail_bytes_ = TailBytes(f, valid_bytes);
+  } else {
+    // Empty or torn-header file: (re)write the header, drop the rest.
+    uint8_t fresh[kHeaderSize];
+    FillHeader(fresh);
+    if (std::fseek(f, 0, SEEK_SET) != 0 ||
+        std::fwrite(fresh, 1, kHeaderSize, f) != kHeaderSize ||
+        std::fflush(f) != 0) {
+      std::fclose(f);
+      return Status::IoError("cannot write record log header: " + path);
+    }
+  }
+  // Cut the torn tail (or the torn header's residue) through the POSIX
+  // layer, then position for appending.
+  if (std::fflush(f) != 0 ||
+      ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0 ||
+      std::fseek(f, static_cast<long>(valid_bytes), SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot truncate/seek record log: " + path);
+  }
+  log.file_ = f;
+  log.size_bytes_ = valid_bytes;
+  return log;
+}
+
+#else  // _WIN32: no advisory locking; sharing a file is sequential-only.
 
 Result<RecordLog> RecordLog::Open(const std::string& path, bool read_only,
                                   std::vector<StoredRecord>* out) {
@@ -200,118 +388,59 @@ Result<RecordLog> RecordLog::Open(const std::string& path, bool read_only,
     }
     fresh = true;
   } else {
-    // Header. A file shorter than the header can hold no records; if its
-    // bytes are a prefix of our header (a crash between create and the
-    // header write), a writable open may safely rewrite it as fresh —
-    // but a short *foreign* file is still rejected, not clobbered.
-    uint8_t header[kHeaderSize];
-    const size_t got = std::fread(header, 1, kHeaderSize, f);
-    uint8_t expected[kHeaderSize] = {};
-    std::memcpy(expected, kMagic, sizeof(kMagic));
-    for (int i = 0; i < 4; ++i) {
-      expected[8 + i] = (kFormatVersion >> (8 * i)) & 0xFF;
-    }
-    if (got == 0) {
-      fresh = true;  // Empty file: (re)write the header below.
-    } else if (got < kHeaderSize) {
-      if (read_only || std::memcmp(header, expected, got) != 0) {
-        std::fclose(f);
-        return Status::IoError("truncated record log header: " + path);
-      }
-      fresh = true;  // Our own torn header: rewrite it.
-    } else if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    auto header = CheckHeader(f, path, read_only);
+    if (!header.ok()) {
       std::fclose(f);
-      return Status::IoError("not a MODis record log: " + path);
+      return header.status();
+    }
+    if (header.value() == HeaderState::kValid) {
+      valid_bytes = ScanRecords(f, out);
+      log.discarded_tail_bytes_ = TailBytes(f, valid_bytes);
     } else {
-      uint32_t version = 0;
-      for (int i = 0; i < 4; ++i) {
-        version |= uint32_t(header[8 + i]) << (8 * i);
-      }
-      if (version != kFormatVersion) {
-        std::fclose(f);
-        return Status::FailedPrecondition(
-            path + ": record log format version " + std::to_string(version) +
-            " != supported " + std::to_string(kFormatVersion) +
-            " (delete the file; the cache is derived data)");
-      }
-      // Records, until EOF or the first torn/corrupt frame.
-      std::vector<uint8_t> payload;
-      for (;;) {
-        uint8_t frame[8];
-        if (std::fread(frame, 1, 8, f) != 8) break;
-        uint32_t payload_size = 0, crc = 0;
-        for (int i = 0; i < 4; ++i) {
-          payload_size |= uint32_t(frame[i]) << (8 * i);
-          crc |= uint32_t(frame[4 + i]) << (8 * i);
-        }
-        if (payload_size == 0 || payload_size > kMaxPayloadSize) break;
-        payload.resize(payload_size);
-        if (std::fread(payload.data(), 1, payload_size, f) != payload_size) {
-          break;
-        }
-        if (Crc32(payload.data(), payload_size) != crc) break;
-        StoredRecord record;
-        if (!DecodePayload(payload.data(), payload_size, &record)) break;
-        if (out != nullptr) out->push_back(std::move(record));
-        valid_bytes += 8 + payload_size;
-      }
-      // Whatever follows the last valid frame is a torn tail.
-      std::fseek(f, 0, SEEK_END);
-      const long end = std::ftell(f);
-      if (end > 0 && size_t(end) > valid_bytes) {
-        log.discarded_tail_bytes_ = size_t(end) - valid_bytes;
-      }
+      fresh = true;
     }
     std::fclose(f);
   }
 
-  if (read_only) return log;
+  if (read_only) {
+    log.size_bytes_ = fresh ? 0 : valid_bytes;
+    return log;
+  }
 
   if (fresh) {
     std::FILE* w = std::fopen(path.c_str(), "wb");
     if (w == nullptr) {
       return Status::IoError("cannot create record log: " + path);
     }
-    uint8_t header[kHeaderSize] = {};
-    std::memcpy(header, kMagic, sizeof(kMagic));
-    for (int i = 0; i < 4; ++i) {
-      header[8 + i] = (kFormatVersion >> (8 * i)) & 0xFF;
-    }
+    uint8_t header[kHeaderSize];
+    FillHeader(header);
     if (std::fwrite(header, 1, kHeaderSize, w) != kHeaderSize) {
       std::fclose(w);
       return Status::IoError("cannot write record log header: " + path);
     }
     log.file_ = w;
+    log.size_bytes_ = kHeaderSize;
+    log.discarded_tail_bytes_ = 0;
     return log;
   }
 
-  // Existing log: drop the torn tail (if any), then append.
+  if (log.discarded_tail_bytes_ > 0) {
+    return Status::Unimplemented("torn-tail truncation on Windows");
+  }
   std::FILE* w = std::fopen(path.c_str(), "rb+");
   if (w == nullptr) {
     return Status::IoError("cannot open record log for append: " + path);
-  }
-  if (log.discarded_tail_bytes_ > 0) {
-    // C has no portable ftruncate; rewrite-in-place by reopening is not
-    // needed — seeking and letting Rewrite() handle shrinkage would leave
-    // garbage, so truncate through the POSIX layer where available.
-#if defined(_WIN32)
-    std::fclose(w);
-    return Status::Unimplemented("torn-tail truncation on Windows");
-#else
-    if (std::fflush(w) != 0 ||
-        ftruncate(fileno(w), static_cast<long>(valid_bytes)) != 0) {
-      std::fclose(w);
-      return Status::IoError("cannot truncate torn tail: " + path);
-    }
-#endif
   }
   if (std::fseek(w, static_cast<long>(valid_bytes), SEEK_SET) != 0) {
     std::fclose(w);
     return Status::IoError("cannot seek record log: " + path);
   }
   log.file_ = w;
+  log.size_bytes_ = valid_bytes;
   return log;
 }
+
+#endif  // _WIN32
 
 Status RecordLog::WriteFrame(std::FILE* f, const StoredRecord& record) {
   const std::vector<uint8_t> payload = EncodePayload(record);
@@ -333,7 +462,9 @@ Status RecordLog::Append(const StoredRecord& record) {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("record log not open for writing");
   }
-  return WriteFrame(file_, record);
+  MODIS_RETURN_IF_ERROR(WriteFrame(file_, record));
+  size_bytes_ += FrameBytes(record);
+  return Status::OK();
 }
 
 Status RecordLog::Flush() {
@@ -349,32 +480,66 @@ Status RecordLog::Rewrite(const std::vector<StoredRecord>& records) {
     return Status::FailedPrecondition("cannot rewrite a read-only log");
   }
   const std::string tmp = path_ + ".compact";
+
+#if !defined(_WIN32)
+  const int tfd =
+      ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tfd < 0) {
+    return Status::IoError("cannot create compaction file: " + tmp);
+  }
+  // Lock the replacement before it becomes visible under path_, so the
+  // single-writer exclusion has no gap across the rename.
+  if (::flock(tfd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(tfd);
+    std::remove(tmp.c_str());
+    return Status::FailedPrecondition("compaction file is locked: " + tmp);
+  }
+  std::FILE* w = ::fdopen(tfd, "r+b");
+  if (w == nullptr) {
+    ::close(tfd);
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot open compaction file: " + tmp);
+  }
+#else
   std::FILE* w = std::fopen(tmp.c_str(), "wb");
   if (w == nullptr) {
     return Status::IoError("cannot create compaction file: " + tmp);
   }
-  uint8_t header[kHeaderSize] = {};
-  std::memcpy(header, kMagic, sizeof(kMagic));
-  for (int i = 0; i < 4; ++i) {
-    header[8 + i] = (kFormatVersion >> (8 * i)) & 0xFF;
-  }
+#endif
+
+  uint8_t header[kHeaderSize];
+  FillHeader(header);
   Status status = Status::OK();
+  size_t new_bytes = kHeaderSize;
   if (std::fwrite(header, 1, kHeaderSize, w) != kHeaderSize) {
     status = Status::IoError("cannot write compaction header: " + tmp);
   }
   for (const StoredRecord& r : records) {
     if (!status.ok()) break;
     status = WriteFrame(w, r);
+    new_bytes += FrameBytes(r);
   }
   if (status.ok() && std::fflush(w) != 0) {
     status = Status::IoError("compaction flush failed: " + tmp);
   }
-  std::fclose(w);
   if (!status.ok()) {
+    std::fclose(w);
     std::remove(tmp.c_str());
     return status;
   }
 
+#if !defined(_WIN32)
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::fclose(w);
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot swap compacted log into place: " + path_);
+  }
+  // The locked tmp stream (positioned at the tail) becomes the log's
+  // stream; closing the old stream releases the lock on the dead inode.
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = w;
+#else
+  std::fclose(w);
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
@@ -392,6 +557,9 @@ Status RecordLog::Rewrite(const std::vector<StoredRecord>& records) {
     return Status::IoError("cannot seek compacted log: " + path_);
   }
   file_ = f;
+#endif
+
+  size_bytes_ = new_bytes;
   discarded_tail_bytes_ = 0;
   return Status::OK();
 }

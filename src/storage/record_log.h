@@ -61,8 +61,22 @@ class FingerprintBuilder {
 /// Version mismatches ARE an error — the format owns no migration story,
 /// the cache is derived data and can always be regenerated.
 ///
-/// Not thread-safe; callers serialize access (the oracle only touches the
-/// log from the batch-commit pass, which runs on one thread).
+/// Locking (POSIX): a log file has a single-writer / many-reader advisory
+/// contract enforced with flock(2). A writable Open acquires LOCK_EX
+/// (non-blocking) *before* scanning and holds it for the log's lifetime,
+/// so two writers can never interleave scan-truncate-append sequences; a
+/// read-only Open holds LOCK_SH only for the duration of its scan (the
+/// returned log keeps no file handle). A second writer — another process,
+/// or another open in the same process — fails fast with
+/// FailedPrecondition instead of corrupting the tail. Readers that arrive
+/// while a writer is live also fail fast (the host owning the file is the
+/// one to ask; see docs/SERVING.md); callers such as ModisEngine degrade
+/// to a cold run. Rewrite is lock-aware: the replacement file is locked
+/// before it is renamed over the log, so the writer lock has no gap.
+///
+/// Methods of one RecordLog instance are not thread-safe; callers
+/// serialize access (PersistentRecordCache wraps every log touch in its
+/// own mutex).
 class RecordLog {
  public:
   static constexpr char kMagic[8] = {'M', 'O', 'D', 'I', 'S', 'R', 'L', 'G'};
@@ -80,7 +94,10 @@ class RecordLog {
 
   /// Opens (creating if absent unless `read_only`) and scans the log.
   /// Valid records are appended to `*out`. In writable mode the file is
-  /// truncated to the valid prefix, positioned for appending.
+  /// truncated to the valid prefix, positioned for appending, and held
+  /// under an exclusive advisory lock. A lock conflict (live writer, or —
+  /// for writable opens — a live reader mid-scan) fails with
+  /// FailedPrecondition.
   static Result<RecordLog> Open(const std::string& path, bool read_only,
                                 std::vector<StoredRecord>* out);
 
@@ -91,7 +108,8 @@ class RecordLog {
   Status Flush();
 
   /// Atomically rewrites the log to contain exactly `records` (write to
-  /// `path + ".compact"`, then rename over). The log stays open for
+  /// `path + ".compact"`, lock it, then rename over — the writer lock is
+  /// carried to the new file with no unlocked gap). The log stays open for
   /// appending afterwards. Writable logs only.
   Status Rewrite(const std::vector<StoredRecord>& records);
 
@@ -99,12 +117,20 @@ class RecordLog {
   bool read_only() const { return read_only_; }
   /// Bytes of corrupt/torn tail discarded by Open (0 for a clean log).
   size_t discarded_tail_bytes() const { return discarded_tail_bytes_; }
+  /// Valid bytes currently in the log: header + every frame scanned at
+  /// Open plus every frame appended (or written by Rewrite) since. This
+  /// is the file size the byte-bounded eviction policy budgets against.
+  size_t size_bytes() const { return size_bytes_; }
 
   /// Serialization of one record into/out of a payload buffer; exposed for
   /// tests (corruption crafting) and the compactor.
   static std::vector<uint8_t> EncodePayload(const StoredRecord& record);
   static bool DecodePayload(const uint8_t* data, size_t size,
                             StoredRecord* out);
+
+  /// On-disk bytes one record occupies (8-byte frame header + payload),
+  /// computed without encoding. Used by the eviction budgeter.
+  static size_t FrameBytes(const StoredRecord& record);
 
  private:
   Status WriteFrame(std::FILE* f, const StoredRecord& record);
@@ -113,6 +139,7 @@ class RecordLog {
   std::FILE* file_ = nullptr;  // Null for read-only logs.
   bool read_only_ = false;
   size_t discarded_tail_bytes_ = 0;
+  size_t size_bytes_ = 0;
 };
 
 }  // namespace modis

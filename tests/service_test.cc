@@ -1,0 +1,470 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "datagen/tasks.h"
+#include "estimator/supervised_evaluator.h"
+#include "ml/gradient_boosting.h"
+#include "ml/random_forest.h"
+#include "service/discovery_service.h"
+#include "service/json.h"
+#include "service/wire.h"
+#include "storage/record_log.h"
+
+namespace modis {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr double kRowScale = 0.4;
+
+std::string TempPath(const std::string& name) {
+  const fs::path path = fs::path(::testing::TempDir()) / name;
+  fs::remove(path);
+  fs::remove(fs::path(path.string() + ".compact"));
+  return path.string();
+}
+
+/// The canonical test query: T2 at a small budget, wall-clock measures
+/// excluded so answers are bit-reproducible.
+DiscoveryRequest MakeRequest(const std::string& variant) {
+  DiscoveryRequest request;
+  request.task = "T2";
+  request.variant = variant;
+  request.epsilon = 0.25;
+  request.budget = 40;
+  request.maxl = 2;
+  request.measures = {"f1", "acc", "fisher", "mi"};
+  return request;
+}
+
+DiscoveryService::Options SmallServiceOptions() {
+  DiscoveryService::Options options;
+  options.sessions = 2;
+  options.queue_capacity = 16;
+  options.valuation_threads = 2;
+  options.task_row_scale = kRowScale;
+  return options;
+}
+
+void ExpectSameSkylines(const DiscoveryResponse& a,
+                        const DiscoveryResponse& b) {
+  auto sorted = [](const DiscoveryResponse& r) {
+    std::vector<DiscoverySkylineRow> rows = r.skyline;
+    std::sort(rows.begin(), rows.end(),
+              [](const DiscoverySkylineRow& x, const DiscoverySkylineRow& y) {
+                return x.signature < y.signature;
+              });
+    return rows;
+  };
+  const auto rows_a = sorted(a);
+  const auto rows_b = sorted(b);
+  ASSERT_EQ(rows_a.size(), rows_b.size());
+  ASSERT_FALSE(rows_a.empty());
+  for (size_t i = 0; i < rows_a.size(); ++i) {
+    EXPECT_EQ(rows_a[i].signature, rows_b[i].signature);
+    EXPECT_EQ(rows_a[i].level, rows_b[i].level);
+    EXPECT_EQ(rows_a[i].rows, rows_b[i].rows);
+    EXPECT_EQ(rows_a[i].cols, rows_b[i].cols);
+    ASSERT_EQ(rows_a[i].raw.size(), rows_b[i].raw.size());
+    for (size_t j = 0; j < rows_a[i].raw.size(); ++j) {
+      EXPECT_DOUBLE_EQ(rows_a[i].raw[j], rows_b[i].raw[j]);
+      EXPECT_DOUBLE_EQ(rows_a[i].normalized[j], rows_b[i].normalized[j]);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- json
+
+TEST(JsonTest, ParseDumpRoundTrip) {
+  const std::string text =
+      R"({"a":1,"b":-2.5,"c":"x\n\"y\"","d":[true,false,null],"e":{"f":[1,2]}})";
+  auto parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), text);
+  EXPECT_EQ(parsed->GetNumber("a", 0), 1.0);
+  EXPECT_EQ(parsed->GetNumber("b", 0), -2.5);
+  EXPECT_EQ(parsed->GetString("c", ""), "x\n\"y\"");
+  ASSERT_NE(parsed->Get("d"), nullptr);
+  EXPECT_EQ(parsed->Get("d")->AsArray().size(), 3u);
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1 2",
+        "\"unterminated", "{\"a\":1}}", "nan"}) {
+    EXPECT_FALSE(JsonValue::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonTest, NumbersRoundTripIntegersExactly) {
+  auto parsed = JsonValue::Parse("{\"n\":90071992547409,\"f\":0.125}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Dump(), "{\"n\":90071992547409,\"f\":0.125}");
+}
+
+// ----------------------------------------------------------------- wire
+
+TEST(WireTest, RequestRoundTrip) {
+  DiscoveryRequest request = MakeRequest("div");
+  request.oracle = "gbm";
+  request.cache_path = "/tmp/x.rlog";
+  request.cache_mode = "read";
+  request.cache_namespace = "ns";
+  request.seed = 77;
+  auto decoded = ParseDiscoveryRequest(SerializeDiscoveryRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->task, request.task);
+  EXPECT_EQ(decoded->variant, request.variant);
+  EXPECT_EQ(decoded->oracle, request.oracle);
+  EXPECT_EQ(decoded->measures, request.measures);
+  EXPECT_DOUBLE_EQ(decoded->epsilon, request.epsilon);
+  EXPECT_EQ(decoded->budget, request.budget);
+  EXPECT_EQ(decoded->maxl, request.maxl);
+  EXPECT_EQ(decoded->k, request.k);
+  EXPECT_DOUBLE_EQ(decoded->alpha, request.alpha);
+  EXPECT_EQ(decoded->cache_path, request.cache_path);
+  EXPECT_EQ(decoded->cache_mode, request.cache_mode);
+  EXPECT_EQ(decoded->cache_namespace, request.cache_namespace);
+  EXPECT_EQ(decoded->seed, request.seed);
+}
+
+TEST(WireTest, RequestRequiresTask) {
+  EXPECT_FALSE(ParseDiscoveryRequest("{\"variant\":\"bi\"}").ok());
+  EXPECT_FALSE(ParseDiscoveryRequest("[1,2]").ok());
+  EXPECT_FALSE(ParseDiscoveryRequest("not json").ok());
+}
+
+TEST(WireTest, ErrorResponsesDecodeIntoStatus) {
+  const std::string line =
+      SerializeDiscoveryError(Status::InvalidArgument("bad task"));
+  auto decoded = ParseDiscoveryResponse(line);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("bad task"), std::string::npos);
+  EXPECT_NE(decoded.status().message().find("InvalidArgument"),
+            std::string::npos);
+}
+
+// -------------------------------------------------------------- service
+
+TEST(ServiceTest, AnswerMatchesDetachedBatchRun) {
+  DiscoveryService service(SmallServiceOptions());
+  const DiscoveryRequest request = MakeRequest("bi");
+  auto served = service.Answer(request);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(served->task, "T2-house");
+  EXPECT_FALSE(served->cache_active);
+  EXPECT_EQ(served->measure_names,
+            (std::vector<std::string>{"f1", "acc", "fisher", "mi"}));
+
+  auto batch = DiscoveryService::AnswerDetached(request, kRowScale);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ExpectSameSkylines(*served, *batch);
+  EXPECT_EQ(served->valuated_states, batch->valuated_states);
+  EXPECT_EQ(served->exact_evals, batch->exact_evals);
+}
+
+TEST(ServiceTest, WarmQueryReplaysWithZeroTrainings) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.default_cache_path = TempPath("service_warm.rlog");
+  DiscoveryService service(options);
+  const DiscoveryRequest request = MakeRequest("bi");
+
+  auto cold = service.Answer(request);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_TRUE(cold->cache_active);
+  EXPECT_GT(cold->exact_evals, 0u);
+  EXPECT_EQ(cold->persistent_hits, 0u);
+
+  auto warm = service.Answer(request);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->exact_evals, 0u);
+  EXPECT_EQ(warm->persistent_hits, cold->exact_evals);
+  ExpectSameSkylines(*cold, *warm);
+}
+
+TEST(ServiceTest, PerQueryReadModeServesWithoutAppending) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.default_cache_path = TempPath("service_read.rlog");
+  DiscoveryService service(options);
+
+  DiscoveryRequest request = MakeRequest("bi");
+  auto cold = service.Answer(request);
+  ASSERT_TRUE(cold.ok());
+
+  // A kRead view of the shared cache: replays everything recorded, but a
+  // different variant's extra trainings must not be appended.
+  DiscoveryRequest read_request = MakeRequest("apx");
+  read_request.cache_mode = "read";
+  auto read_run = service.Answer(read_request);
+  ASSERT_TRUE(read_run.ok()) << read_run.status().ToString();
+  EXPECT_GT(read_run->persistent_hits, 0u);
+
+  // Re-running apx read_write now should still have trainings to do:
+  // the read-mode run wrote nothing.
+  auto rw_run = service.Answer(MakeRequest("apx"));
+  ASSERT_TRUE(rw_run.ok());
+  EXPECT_EQ(rw_run->exact_evals, read_run->exact_evals);
+  ExpectSameSkylines(*read_run, *rw_run);
+}
+
+/// The acceptance gate of the serving subsystem: 4 concurrent clients
+/// sharing one locked cache file finish with no corruption and skylines
+/// byte-identical to serial execution.
+TEST(ServiceTest, FourConcurrentClientsMatchSerialOnSharedCache) {
+  const std::vector<std::string> variants = {"apx", "nobi", "bi", "div"};
+
+  // Serial reference: one session, its own cache file.
+  std::vector<DiscoveryResponse> serial;
+  {
+    DiscoveryService::Options options = SmallServiceOptions();
+    options.sessions = 1;
+    options.default_cache_path = TempPath("service_serial.rlog");
+    DiscoveryService service(options);
+    for (const std::string& variant : variants) {
+      auto response = service.Answer(MakeRequest(variant));
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      serial.push_back(std::move(response).value());
+    }
+  }
+
+  // Concurrent run: 4 sessions, 4 client threads, one fresh shared file.
+  const std::string cache_path = TempPath("service_concurrent.rlog");
+  std::vector<Result<DiscoveryResponse>> concurrent(
+      variants.size(), Result<DiscoveryResponse>(Status::Internal("unset")));
+  {
+    DiscoveryService::Options options = SmallServiceOptions();
+    options.sessions = 4;
+    options.default_cache_path = cache_path;
+    DiscoveryService service(options);
+    ASSERT_TRUE(service.Preload("T2").ok());
+    std::vector<std::thread> clients;
+    for (size_t i = 0; i < variants.size(); ++i) {
+      clients.emplace_back([&service, &concurrent, &variants, i] {
+        concurrent[i] = service.Answer(MakeRequest(variants[i]));
+      });
+    }
+    for (std::thread& c : clients) c.join();
+  }
+
+  for (size_t i = 0; i < variants.size(); ++i) {
+    ASSERT_TRUE(concurrent[i].ok()) << concurrent[i].status().ToString();
+    ExpectSameSkylines(serial[i], concurrent[i].value());
+    // Replays may replace trainings across concurrent queries, but every
+    // valuation is accounted for exactly.
+    EXPECT_EQ(concurrent[i]->exact_evals + concurrent[i]->persistent_hits,
+              serial[i].exact_evals + serial[i].persistent_hits);
+  }
+
+  // No corruption: the shared file reloads cleanly end to end.
+  std::vector<StoredRecord> records;
+  auto log = RecordLog::Open(cache_path, /*read_only=*/true, &records);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(log->discarded_tail_bytes(), 0u);
+  EXPECT_GT(records.size(), 0u);
+  for (const StoredRecord& r : records) {
+    EXPECT_FALSE(r.key.empty());
+    EXPECT_EQ(r.eval.raw.size(), 4u);
+    EXPECT_EQ(r.eval.normalized.size(), 4u);
+  }
+}
+
+TEST(ServiceTest, AdmissionQueueRejectsWhenFull) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.sessions = 1;
+  options.queue_capacity = 1;
+  DiscoveryService* service = new DiscoveryService(options);
+
+  std::atomic<size_t> completed{0};
+  size_t accepted = 0, rejected = 0;
+  for (int i = 0; i < 6; ++i) {
+    const Status submitted = service->Submit(
+        MakeRequest("apx"),
+        [&completed](Result<DiscoveryResponse> response) {
+          EXPECT_TRUE(response.ok());
+          completed.fetch_add(1);
+        });
+    if (submitted.ok()) {
+      ++accepted;
+    } else {
+      ++rejected;
+      EXPECT_NE(submitted.message().find("queue full"), std::string::npos);
+    }
+  }
+  EXPECT_GE(accepted, 1u);
+  EXPECT_GE(rejected, 1u);
+  const auto stats = service->stats();
+  EXPECT_EQ(stats.accepted, accepted);
+  EXPECT_EQ(stats.rejected, rejected);
+
+  // Destruction drains: every accepted request completes, none is lost.
+  delete service;
+  EXPECT_EQ(completed.load(), accepted);
+}
+
+TEST(ServiceTest, UnknownInputsFailCleanly) {
+  DiscoveryService service(SmallServiceOptions());
+  DiscoveryRequest request = MakeRequest("bi");
+  request.task = "T9";
+  EXPECT_FALSE(service.Answer(request).ok());
+
+  request = MakeRequest("bi");
+  request.variant = "fastest";
+  EXPECT_FALSE(service.Answer(request).ok());
+
+  request = MakeRequest("bi");
+  request.measures = {"no_such_measure"};
+  EXPECT_FALSE(service.Answer(request).ok());
+
+  request = MakeRequest("bi");
+  request.oracle = "oracle-of-delphi";
+  EXPECT_FALSE(service.Answer(request).ok());
+}
+
+// ---------------------------------------------------- satellite coverage
+
+/// Parallel surrogate batch prediction must not change the skyline: the
+/// kSurrogate fan-out (oracle.cc) is a pure function of the committed
+/// estimator, so nt=1 and nt=4 agree bit for bit.
+TEST(ServiceSatelliteTest, SurrogateSkylineIdenticalAcrossThreadCounts) {
+  auto bench = MakeTabularBench(BenchTaskId::kHouse, kRowScale);
+  ASSERT_TRUE(bench.ok());
+  auto universe =
+      SearchUniverse::Build(bench->universal, bench->universe_options);
+  ASSERT_TRUE(universe.ok());
+  SupervisedTask task = bench->task;
+  task.measures.clear();
+  for (const MeasureSpec& m : bench->task.measures) {
+    if (m.name != "train_time") task.measures.push_back(m);
+  }
+
+  auto run = [&](size_t num_threads) {
+    SupervisedEvaluator evaluator(task, bench->model->Clone());
+    MoGbmOracle oracle(&evaluator);
+    ModisConfig config;
+    config.epsilon = 0.25;
+    config.max_states = 90;
+    config.max_level = 3;
+    config.num_threads = num_threads;
+    auto result = RunBiModis(*universe, &oracle, config);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  };
+
+  const ModisResult serial = run(1);
+  const ModisResult threaded = run(4);
+  EXPECT_GT(serial.oracle_stats.surrogate_evals, 0u);
+  EXPECT_EQ(serial.oracle_stats.surrogate_evals,
+            threaded.oracle_stats.surrogate_evals);
+  ASSERT_EQ(serial.skyline.size(), threaded.skyline.size());
+  for (size_t i = 0; i < serial.skyline.size(); ++i) {
+    EXPECT_EQ(serial.skyline[i].state.Signature(),
+              threaded.skyline[i].state.Signature());
+    for (size_t j = 0; j < serial.skyline[i].eval.normalized.size(); ++j) {
+      EXPECT_DOUBLE_EQ(serial.skyline[i].eval.normalized[j],
+                       threaded.skyline[i].eval.normalized[j]);
+    }
+  }
+}
+
+/// A byte-bounded shared cache may evict a record between a session's
+/// plan (which marked it kPersistent) and its commit. The oracle must
+/// degrade that to a fresh inline training — identical evaluation, no
+/// crash — never abort the host.
+TEST(ServiceSatelliteTest, EvictedPlannedHitDegradesToFreshTraining) {
+  auto bench = MakeTabularBench(BenchTaskId::kHouse, kRowScale);
+  ASSERT_TRUE(bench.ok());
+  auto universe =
+      SearchUniverse::Build(bench->universal, bench->universe_options);
+  ASSERT_TRUE(universe.ok());
+  SupervisedTask task = bench->task;
+  task.measures.clear();
+  for (const MeasureSpec& m : bench->task.measures) {
+    if (m.name != "train_time") task.measures.push_back(m);
+  }
+  SupervisedEvaluator evaluator(task, bench->model->Clone());
+
+  // A budget smaller than any record: every flush evicts everything.
+  PersistentRecordCache::Options tiny;
+  tiny.max_bytes = RecordLog::kHeaderSize;
+  const std::string path = TempPath("evict_race.rlog");
+  auto cache =
+      PersistentRecordCache::Open(path, CacheMode::kReadWrite, 11, tiny);
+  ASSERT_TRUE(cache.ok());
+
+  const StateBitmap state = universe->FullBitmap();
+  auto make_request = [&] {
+    ValuationRequest request;
+    request.key = state.Signature();
+    request.features = universe->StateFeatures(state);
+    request.materialize = [&universe, &state] {
+      return universe->MaterializeRecord(state);
+    };
+    return request;
+  };
+
+  // Seed the record directly (append buffered, NOT yet flushed — an
+  // oracle batch would flush and the tiny budget would evict at once).
+  auto trained = evaluator.Evaluate(universe->Materialize(state));
+  ASSERT_TRUE(trained.ok());
+  const Evaluation truth = trained.value();
+  (*cache)->Insert(11, state.Signature(), universe->StateFeatures(state),
+                   truth);
+
+  // Session 2 plans a replay of that record...
+  ExactOracle second(&evaluator);
+  second.AttachRecordCache(cache->get(), 11);
+  std::vector<ValuationRequest> requests;
+  requests.push_back(make_request());
+  BatchPlan plan = second.PrepareBatch(std::move(requests));
+  ASSERT_EQ(plan.modes[0], BatchPlan::Mode::kPersistent);
+
+  // ...then a "concurrent" flush evicts it before the commit runs.
+  MODIS_CHECK_OK((*cache)->Flush());
+  ASSERT_FALSE((*cache)->Contains(11, state.Signature()));
+
+  const auto results = second.ValuateBatch(std::move(plan), nullptr);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_EQ(second.stats().persistent_hits, 0u);
+  EXPECT_EQ(second.stats().exact_evals, 1u);
+  for (size_t j = 0; j < truth.normalized.size(); ++j) {
+    EXPECT_DOUBLE_EQ(results[0].value().normalized[j], truth.normalized[j]);
+  }
+}
+
+/// Two tasks that differ only in the trained model prototype must not
+/// share a fingerprint (the docs/PERSISTENCE.md §3 footgun, now closed).
+TEST(ServiceSatelliteTest, ModelIdentityScopesTheTaskFingerprint) {
+  auto bench = MakeTabularBench(BenchTaskId::kHouse, kRowScale);
+  ASSERT_TRUE(bench.ok());
+  auto universe =
+      SearchUniverse::Build(bench->universal, bench->universe_options);
+  ASSERT_TRUE(universe.ok());
+
+  SupervisedEvaluator forest(bench->task,
+                             std::make_unique<RandomForestClassifier>());
+  SupervisedEvaluator gbm(bench->task,
+                          std::make_unique<GradientBoostingClassifier>());
+  EXPECT_NE(forest.ModelIdentity(), gbm.ModelIdentity());
+
+  const uint64_t fp_forest = ModisEngine::TaskFingerprint(
+      *universe, bench->task.measures, "", forest.ModelIdentity());
+  const uint64_t fp_gbm = ModisEngine::TaskFingerprint(
+      *universe, bench->task.measures, "", gbm.ModelIdentity());
+  EXPECT_NE(fp_forest, fp_gbm);
+
+  // The oracle plumbs the identity through unchanged, for both kinds.
+  ExactOracle exact(&forest);
+  MoGbmOracle surrogate(&forest);
+  EXPECT_EQ(exact.ModelIdentity(), forest.ModelIdentity());
+  EXPECT_EQ(surrogate.ModelIdentity(), forest.ModelIdentity());
+}
+
+}  // namespace
+}  // namespace modis

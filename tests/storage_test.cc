@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/algorithms.h"
@@ -347,6 +348,200 @@ TEST(PersistentRecordCacheTest, DuplicateKeysLastWriteWinsAndCompact) {
             });
   ExpectRecordEq(loaded[0], MakeRecord(5, "k", 3.0));
   ExpectRecordEq(loaded[1], MakeRecord(6, "other", 9.0));
+}
+
+// ---------------------------------------------------------------- locking
+
+#if !defined(_WIN32)
+
+TEST(RecordLogLockTest, SingleWriterContractFailsFast) {
+  const std::string path = TempLogPath("lock_writer.rlog");
+  {
+    auto writer = RecordLog::Open(path, /*read_only=*/false, nullptr);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+
+    // A second writer — same process, different open file description —
+    // must fail fast instead of interleaving scan/truncate/append.
+    auto second = RecordLog::Open(path, /*read_only=*/false, nullptr);
+    ASSERT_FALSE(second.ok());
+    EXPECT_NE(second.status().ToString().find("locked"), std::string::npos);
+
+    // Readers are excluded while a writer is live: the host owning the
+    // file answers queries; late readers degrade to a cold run.
+    auto reader = RecordLog::Open(path, /*read_only=*/true, nullptr);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_NE(reader.status().ToString().find("locked"), std::string::npos);
+  }
+  // The lock dies with the writer: both opens succeed afterwards.
+  EXPECT_TRUE(RecordLog::Open(path, /*read_only=*/true, nullptr).ok());
+  EXPECT_TRUE(RecordLog::Open(path, /*read_only=*/false, nullptr).ok());
+}
+
+TEST(RecordLogLockTest, RewriteCarriesTheWriterLock) {
+  const std::string path = TempLogPath("lock_rewrite.rlog");
+  auto writer = RecordLog::Open(path, /*read_only=*/false, nullptr);
+  ASSERT_TRUE(writer.ok());
+  MODIS_CHECK_OK(writer->Append(MakeRecord(1, "a", 1.0)));
+  MODIS_CHECK_OK(writer->Rewrite({MakeRecord(1, "a", 1.0)}));
+  // Still the single writer after the compaction swap.
+  EXPECT_FALSE(RecordLog::Open(path, /*read_only=*/false, nullptr).ok());
+  MODIS_CHECK_OK(writer->Append(MakeRecord(1, "b", 2.0)));
+  MODIS_CHECK_OK(writer->Flush());
+}
+
+TEST(PersistentRecordCacheTest, WriterLockExcludesSecondCache) {
+  const std::string path = TempLogPath("lock_cache.rlog");
+  auto host = PersistentRecordCache::Open(path, CacheMode::kReadWrite, 1);
+  ASSERT_TRUE(host.ok());
+  auto intruder =
+      PersistentRecordCache::Open(path, CacheMode::kReadWrite, 1);
+  EXPECT_FALSE(intruder.ok());
+}
+
+TEST(PersistentRecordCacheTest, TornTailRecoveryUnderLock) {
+  const std::string path = TempLogPath("lock_torn.rlog");
+  Evaluation eval;
+  eval.raw = {1.0};
+  eval.normalized = {0.5};
+  {
+    auto cache = PersistentRecordCache::Open(path, CacheMode::kReadWrite, 3);
+    ASSERT_TRUE(cache.ok());
+    (*cache)->Insert("111", {1.0}, eval);
+    MODIS_CHECK_OK((*cache)->Flush());
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const uint8_t torn[5] = {0x40, 0x00, 0x00, 0x00, 0xAB};
+    ASSERT_EQ(std::fwrite(torn, 1, sizeof(torn), f), sizeof(torn));
+    std::fclose(f);
+  }
+  // The writable (locked) open truncates the torn tail in place and
+  // appends after the valid prefix, exactly as before locking existed.
+  {
+    auto cache = PersistentRecordCache::Open(path, CacheMode::kReadWrite, 3);
+    ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+    EXPECT_EQ((*cache)->stats().discarded_tail_bytes, 5u);
+    EXPECT_EQ((*cache)->stats().task_records, 1u);
+    (*cache)->Insert("110", {2.0}, eval);
+    MODIS_CHECK_OK((*cache)->Flush());
+  }
+  std::vector<StoredRecord> records;
+  auto log = RecordLog::Open(path, /*read_only=*/true, &records);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(log->discarded_tail_bytes(), 0u);
+}
+
+#endif  // !_WIN32
+
+// --------------------------------------------------------------- bounding
+
+TEST(PersistentRecordCacheTest, EvictionKeepsMostRecentlyHitRecords) {
+  const std::string path = TempLogPath("evict_records.rlog");
+  const size_t frame = RecordLog::FrameBytes(MakeRecord(7, "k1", 0.0));
+  PersistentRecordCache::Options options;
+  options.max_bytes = RecordLog::kHeaderSize + 4 * frame;
+  auto cache =
+      PersistentRecordCache::Open(path, CacheMode::kReadWrite, 7, options);
+  ASSERT_TRUE(cache.ok());
+  for (int i = 1; i <= 6; ++i) {
+    const StoredRecord r = MakeRecord(7, "k" + std::to_string(i), double(i));
+    (*cache)->Insert(r.key, r.features, r.eval);
+  }
+  // Refresh k1 and k2: the least-recently-hit records are now k3 and k4.
+  EXPECT_TRUE((*cache)->Get(7, "k1", nullptr));
+  EXPECT_TRUE((*cache)->Get(7, "k2", nullptr));
+
+  MODIS_CHECK_OK((*cache)->Flush());
+  EXPECT_EQ((*cache)->stats().evicted, 2u);
+  EXPECT_LE((*cache)->stats().log_bytes, options.max_bytes);
+  EXPECT_LE(fs::file_size(path), options.max_bytes);
+  for (const char* kept : {"k1", "k2", "k5", "k6"}) {
+    EXPECT_TRUE((*cache)->Contains(kept)) << kept;
+  }
+  for (const char* gone : {"k3", "k4"}) {
+    EXPECT_FALSE((*cache)->Contains(gone)) << gone;
+  }
+}
+
+TEST(PersistentRecordCacheTest, EvictionDropsLeastRecentlyHitFingerprintFirst) {
+  const std::string path = TempLogPath("evict_fps.rlog");
+  const size_t frame = RecordLog::FrameBytes(MakeRecord(1, "k1", 0.0));
+  PersistentRecordCache::Options options;
+  options.max_bytes = RecordLog::kHeaderSize + 2 * frame;
+  auto cache =
+      PersistentRecordCache::Open(path, CacheMode::kReadWrite, 1, options);
+  ASSERT_TRUE(cache.ok());
+  const StoredRecord a1 = MakeRecord(1, "k1", 1.0);
+  const StoredRecord a2 = MakeRecord(1, "k2", 2.0);
+  const StoredRecord b1 = MakeRecord(2, "k1", 3.0);
+  const StoredRecord b2 = MakeRecord(2, "k2", 4.0);
+  (*cache)->Insert(1, a1.key, a1.features, a1.eval);
+  (*cache)->Insert(1, a2.key, a2.features, a2.eval);
+  (*cache)->Insert(2, b1.key, b1.features, b1.eval);
+  (*cache)->Insert(2, b2.key, b2.features, b2.eval);
+  // Task 1 was hit most recently: ALL of task 2's records go first, even
+  // though task 2's inserts are newer than task 1's.
+  EXPECT_TRUE((*cache)->Get(1, "k1", nullptr));
+
+  MODIS_CHECK_OK((*cache)->Flush());
+  EXPECT_EQ((*cache)->stats().evicted, 2u);
+  EXPECT_TRUE((*cache)->Contains(1, "k1"));
+  EXPECT_TRUE((*cache)->Contains(1, "k2"));
+  EXPECT_FALSE((*cache)->Contains(2, "k1"));
+  EXPECT_FALSE((*cache)->Contains(2, "k2"));
+  EXPECT_LE(fs::file_size(path), options.max_bytes);
+}
+
+// ------------------------------------------------------------ concurrency
+
+TEST(PersistentRecordCacheTest, ConcurrentReadersAndOneWriterStayConsistent) {
+  const std::string path = TempLogPath("concurrent.rlog");
+  auto opened = PersistentRecordCache::Open(path, CacheMode::kReadWrite, 9);
+  ASSERT_TRUE(opened.ok());
+  PersistentRecordCache* cache = opened->get();
+
+  Evaluation eval;
+  eval.raw = {1.0, 2.0};
+  eval.normalized = {0.25, 0.5};
+  constexpr int kBase = 32;
+  constexpr int kFresh = 64;
+  for (int i = 0; i < kBase; ++i) {
+    cache->Insert("base" + std::to_string(i), {double(i)}, eval);
+  }
+  MODIS_CHECK_OK(cache->Flush());
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([cache] {
+      for (int round = 0; round < 200; ++round) {
+        const std::string key = "base" + std::to_string(round % kBase);
+        StoredRecord record;
+        EXPECT_TRUE(cache->Get(9, key, &record));
+        EXPECT_EQ(record.key, key);
+        EXPECT_EQ(record.eval.normalized.size(), 2u);
+        cache->Contains("fresh" + std::to_string(round % kFresh));
+      }
+    });
+  }
+  std::thread writer([cache, &eval] {
+    for (int i = 0; i < kFresh; ++i) {
+      cache->Insert("fresh" + std::to_string(i), {double(i), 1.0}, eval);
+      if (i % 8 == 7) MODIS_CHECK_OK(cache->Flush());
+    }
+  });
+  for (std::thread& r : readers) r.join();
+  writer.join();
+  MODIS_CHECK_OK(cache->Flush());
+  EXPECT_EQ(cache->size(), size_t(kBase + kFresh));
+  opened->reset();  // Release the writer lock before reloading.
+
+  std::vector<StoredRecord> records;
+  auto log = RecordLog::Open(path, /*read_only=*/true, &records);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(records.size(), size_t(kBase + kFresh));
+  EXPECT_EQ(log->discarded_tail_bytes(), 0u);
 }
 
 // ------------------------------------------------------------ end-to-end
