@@ -14,12 +14,20 @@
 ///      sharing the one locked cache file.
 ///
 /// Usage: bench_serving [--json] [--queries N] [--task T1] [--scale S]
-///                      [--threads N]
+///                      [--threads N] [--connect ENDPOINT]
+///
+/// --connect switches to remote mode: instead of an in-process service,
+/// the query mix goes through a running modis_server at ENDPOINT (unix
+/// socket path, "unix:PATH", "HOST:PORT", or "tcp:HOST:PORT") — each
+/// client thread on its own connection. The cold phase is skipped (the
+/// server's cache configuration is in charge); the warm phases and the
+/// zero-trainings assertion are identical, which is how the unix-vs-TCP
+/// p50 comparison of docs/SERVING.md is measured.
 ///
 /// --json emits one serving-metrics record per (mode, clients) pair:
 ///   {"bench":"serving","mode":..,"clients":..,"queries":..,"qps":..,
 ///    "p50_ms":..,"p99_ms":..,"exact_evals":..,"persistent_hits":..,
-///    "speedup_p50_vs_cold":..}
+///    "speedup_p50_vs_cold":..[,"transport":..]}
 
 #include <algorithm>
 #include <atomic>
@@ -33,6 +41,8 @@
 #include <vector>
 
 #include "service/discovery_service.h"
+#include "service/transport.h"
+#include "service/wire.h"
 
 using namespace modis;
 
@@ -44,6 +54,7 @@ struct Args {
   std::string task = "T1";
   double scale = 0.4;
   size_t threads = 0;
+  std::string connect;   // Remote mode endpoint; empty = in-process.
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -67,10 +78,12 @@ Args ParseArgs(int argc, char** argv) {
       args.scale = std::stod(value());
     } else if (arg == "--threads") {
       args.threads = std::stoul(value());
+    } else if (arg == "--connect") {
+      args.connect = value();
     } else {
       std::fprintf(stderr,
                    "unknown argument %s (supported: --json, --queries N, "
-                   "--task T, --scale S, --threads N)\n",
+                   "--task T, --scale S, --threads N, --connect E)\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -110,6 +123,7 @@ double Percentile(std::vector<double> sorted_ms, double p) {
 
 struct PhaseResult {
   std::string mode;
+  std::string transport;  // Endpoint string in remote mode; else empty.
   size_t clients = 1;
   size_t queries = 0;
   double wall_seconds = 0.0;
@@ -145,22 +159,128 @@ void PrintJson(const std::vector<PhaseResult>& phases, double cold_p50) {
         r.mode == "cold_process" || cold_p50 <= 0.0
             ? 1.0
             : cold_p50 / std::max(p50, 1e-9);
+    std::string transport;
+    if (!r.transport.empty()) {
+      transport = ", \"transport\": \"" + r.transport + "\"";
+    }
     std::printf(
         "  {\"bench\": \"serving\", \"mode\": \"%s\", \"clients\": %zu, "
         "\"queries\": %zu, \"qps\": %.3f, \"p50_ms\": %.3f, "
         "\"p99_ms\": %.3f, \"exact_evals\": %zu, "
-        "\"persistent_hits\": %zu, \"speedup_p50_vs_cold\": %.3f}%s\n",
+        "\"persistent_hits\": %zu, \"speedup_p50_vs_cold\": %.3f%s}%s\n",
         r.mode.c_str(), r.clients, r.queries, r.Qps(), p50, p99,
-        r.exact_evals, r.persistent_hits, speedup,
+        r.exact_evals, r.persistent_hits, speedup, transport.c_str(),
         i + 1 < phases.size() ? "," : "");
   }
   std::printf("]\n");
+}
+
+/// Remote mode: the same warm phases, but every query travels through a
+/// running modis_server — one ClientChannel per client thread. Returns
+/// the process exit code.
+int RunRemote(const Args& args) {
+  auto endpoint = ParseEndpoint(args.connect);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "bench_serving: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 2;
+  }
+  const std::vector<DiscoveryRequest> mix = QueryMix(args.task);
+
+  // Warm-up pass: each unique query once, so the server's cache holds
+  // every training the measured phases replay.
+  {
+    auto channel = ClientChannel::Connect(*endpoint);
+    if (!channel.ok()) {
+      std::fprintf(stderr, "bench_serving: %s\n",
+                   channel.status().ToString().c_str());
+      return 1;
+    }
+    for (const DiscoveryRequest& request : mix) {
+      auto reply =
+          channel->RoundTrip(SerializeDiscoveryRequest(request));
+      if (!reply.ok()) {
+        std::fprintf(stderr, "bench_serving: warm-up failed: %s\n",
+                     reply.status().ToString().c_str());
+        return 1;
+      }
+      auto response = ParseDiscoveryResponse(reply.value());
+      if (!response.ok()) {
+        std::fprintf(stderr, "bench_serving: warm-up query failed: %s\n",
+                     response.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  std::vector<PhaseResult> phases;
+  for (size_t clients : {size_t{1}, size_t{2}, size_t{4}}) {
+    PhaseResult warm;
+    warm.mode = "warm_remote";
+    warm.transport = endpoint->ToString();
+    warm.clients = clients;
+    warm.queries = args.queries;
+    std::mutex mu;
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> workers;
+    WallTimer wall;
+    for (size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&] {
+        auto channel = ClientChannel::Connect(*endpoint);
+        if (!channel.ok()) return;
+        for (;;) {
+          const size_t q = next.fetch_add(1);
+          if (q >= warm.queries) return;
+          WallTimer latency;
+          auto reply = channel->RoundTrip(
+              SerializeDiscoveryRequest(mix[q % mix.size()]));
+          const double ms = latency.Millis();
+          if (!reply.ok()) continue;
+          auto response = ParseDiscoveryResponse(reply.value());
+          if (!response.ok()) continue;
+          std::lock_guard<std::mutex> lock(mu);
+          warm.latencies_ms.push_back(ms);
+          warm.exact_evals += response->exact_evals;
+          warm.persistent_hits += response->persistent_hits;
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    warm.wall_seconds = wall.Seconds();
+    if (warm.latencies_ms.size() != warm.queries) {
+      std::fprintf(stderr, "remote phase dropped queries (%zu of %zu)\n",
+                   warm.latencies_ms.size(), warm.queries);
+      return 1;
+    }
+    phases.push_back(std::move(warm));
+  }
+
+  for (const PhaseResult& warm : phases) {
+    if (warm.exact_evals != 0) {
+      std::fprintf(stderr,
+                   "FAIL: warm remote phase (clients=%zu) performed %zu "
+                   "exact trainings\n",
+                   warm.clients, warm.exact_evals);
+      return 1;
+    }
+  }
+
+  if (args.json) {
+    PrintJson(phases, /*cold_p50=*/0.0);
+  } else {
+    std::printf("== bench_serving: remote %s, task %s, %zu-query mix ==\n",
+                endpoint->ToString().c_str(), args.task.c_str(),
+                mix.size());
+    for (const PhaseResult& r : phases) PrintHuman(r, 0.0);
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv);
+  if (!args.connect.empty()) return RunRemote(args);
   const std::vector<DiscoveryRequest> mix = QueryMix(args.task);
   namespace fs = std::filesystem;
   const std::string cache_path =

@@ -22,15 +22,19 @@
 /// A self-contained demo lake is generated when --dir is omitted.
 ///
 /// Client usage (docs/SERVING.md):
-///   modis_cli --connect <socket> --bench-task T1
+///   modis_cli --connect <endpoint> --bench-task T1
 ///             [--algo bi] [--oracle exact|gbm] [--epsilon ..]
 ///             [--budget ..] [--maxl ..] [--k ..] [--alpha ..]
 ///             [--measures acc,fisher,mi] [--record-cache <file>]
 ///             [--cache-mode M] [--namespace NS] [--seed N] [--raw]
+///   modis_cli --connect <endpoint> --metrics
 ///
-/// Sends one discovery request to the modis_server listening on <socket>
-/// and prints the answer (the raw response JSON line with --raw — the
-/// shape scripts/serving_smoke.sh diffs).
+/// <endpoint> is a unix socket path, "unix:PATH", "HOST:PORT", or
+/// "tcp:HOST:PORT" (src/service/transport.h). The first form sends one
+/// discovery request to the modis_server listening there and prints the
+/// answer (the raw response JSON line with --raw — the shape
+/// scripts/serving_smoke.sh diffs); --metrics asks the host for its
+/// metrics snapshot instead and always prints the raw JSON line.
 
 #include <cstdio>
 #include <cstring>
@@ -38,18 +42,13 @@
 #include <map>
 #include <string>
 
-#if !defined(_WIN32)
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-#endif
-
 #include "core/algorithms.h"
 #include "datagen/data_lake.h"
 #include "estimator/supervised_evaluator.h"
 #include "ml/gradient_boosting.h"
 #include "ml/random_forest.h"
 #include "ops/operators.h"
+#include "service/transport.h"
 #include "service/wire.h"
 #include "table/csv.h"
 
@@ -80,6 +79,7 @@ struct Args {
   std::string cache_namespace;
   uint64_t seed = 1;
   bool raw = false;
+  bool metrics = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -97,8 +97,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   };
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
-    if (flag == "--raw") {  // The only zero-operand flag.
+    if (flag == "--raw") {  // Zero-operand flags.
       args->raw = true;
+      continue;
+    }
+    if (flag == "--metrics") {
+      args->metrics = true;
       continue;
     }
     if (i + 1 >= argc) {
@@ -128,11 +132,21 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return true;
 }
 
-#if !defined(_WIN32)
-
-/// Sends one request line to a modis_server unix socket and prints the
-/// response: the raw JSON line with --raw, a human summary otherwise.
+/// Sends one request line to a modis_server endpoint (unix or TCP) and
+/// prints the response: the raw JSON line with --raw or --metrics, a
+/// human summary otherwise.
 Status RunConnect(const Args& args) {
+  MODIS_ASSIGN_OR_RETURN(Endpoint endpoint, ParseEndpoint(args.connect));
+  MODIS_ASSIGN_OR_RETURN(ClientChannel channel,
+                         ClientChannel::Connect(endpoint));
+
+  if (args.metrics) {
+    MODIS_ASSIGN_OR_RETURN(const std::string reply,
+                           channel.RoundTrip("{\"verb\":\"metrics\"}"));
+    std::printf("%s\n", reply.c_str());
+    return Status::OK();
+  }
+
   if (args.bench_task.empty()) {
     return Status::InvalidArgument("--connect needs --bench-task (T1..T4)");
   }
@@ -161,40 +175,9 @@ Status RunConnect(const Args& args) {
     start = comma + 1;
   }
 
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return Status::IoError("cannot create client socket");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (args.connect.size() >= sizeof(addr.sun_path)) {
-    ::close(fd);
-    return Status::InvalidArgument("socket path too long: " + args.connect);
-  }
-  std::strncpy(addr.sun_path, args.connect.c_str(),
-               sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return Status::IoError("cannot connect to " + args.connect +
-                           " (is modis_server running?)");
-  }
-  const std::string line = SerializeDiscoveryRequest(request) + "\n";
-  size_t off = 0;
-  while (off < line.size()) {
-    const ssize_t n = ::send(fd, line.data() + off, line.size() - off, 0);
-    if (n <= 0) {
-      ::close(fd);
-      return Status::IoError("send failed");
-    }
-    off += size_t(n);
-  }
-  std::string reply;
-  char c;
-  for (;;) {
-    const ssize_t n = ::recv(fd, &c, 1, 0);
-    if (n <= 0 || c == '\n') break;
-    reply.push_back(c);
-  }
-  ::close(fd);
-  if (reply.empty()) return Status::IoError("server closed the connection");
+  MODIS_ASSIGN_OR_RETURN(
+      const std::string reply,
+      channel.RoundTrip(SerializeDiscoveryRequest(request)));
 
   if (args.raw) {
     std::printf("%s\n", reply.c_str());
@@ -224,8 +207,6 @@ Status RunConnect(const Args& args) {
   return Status::OK();
 }
 
-#endif  // !_WIN32
-
 /// Writes a demo lake when no --dir was given, so the CLI is runnable
 /// standalone.
 Status PrepareDemoLake(Args* args) {
@@ -248,11 +229,12 @@ Status PrepareDemoLake(Args* args) {
 
 Status Run(Args args) {
   if (!args.connect.empty()) {
-#if !defined(_WIN32)
     return RunConnect(args);
-#else
-    return Status::Unimplemented("--connect requires POSIX sockets");
-#endif
+  }
+  if (args.metrics) {
+    return Status::InvalidArgument(
+        "--metrics needs --connect <endpoint> (it asks a running "
+        "modis_server for its counters)");
   }
   if (args.dir.empty()) {
     MODIS_RETURN_IF_ERROR(PrepareDemoLake(&args));

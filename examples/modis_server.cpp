@@ -2,20 +2,29 @@
 ///
 /// Serves MODis discovery queries over a line-delimited JSON protocol
 /// (docs/SERVING.md): one request object per line in, one response object
-/// per line out.
+/// per line out, over any mix of unix-socket and TCP listeners behind a
+/// single accept loop (src/service/transport.h).
 ///
 /// Usage:
-///   modis_server --socket /tmp/modis.sock   # AF_UNIX stream listener
-///   modis_server --stdio                    # one session on stdin/stdout
-///   modis_server --batch '<request json>'   # one-shot reference run
+///   modis_server --socket /tmp/modis.sock    # AF_UNIX stream listener
+///   modis_server --listen 127.0.0.1:7077     # TCP listener (port 0 = any)
+///   modis_server --stdio                     # one session on stdin/stdout
+///   modis_server --batch '<request json>'    # one-shot reference run
 ///             [--tasks T1,T2]    preload task contexts before serving
 ///             [--sessions N]     concurrent query executors (default 2)
 ///             [--queue N]        admission-queue capacity (default 8)
 ///             [--threads N]      shared valuation pool (0 = hardware)
 ///             [--cache PATH]     default record-cache file
 ///             [--cache-mode M]   off | read | read_write (default)
-///             [--cache-max-bytes N]  byte budget, 0 = unbounded
+///             [--cache-max-bytes N]  byte budget (default 256 MiB; 0 = off)
+///             [--max-task-contexts N]  LRU cap on live contexts (0 = off)
+///             [--context-ttl S]  idle context TTL in seconds (0 = off)
 ///             [--row-scale S]    bench-lake row scale (default 1.0)
+///
+/// --socket and --listen may be combined; both transports answer from the
+/// same service. SIGTERM/SIGINT drain gracefully: stop accepting, half-
+/// close every session, finish all accepted work, flush the caches, dump
+/// a final metrics line, exit 0.
 ///
 /// The host owns its cache files: a writable open holds the flock writer
 /// lock for the process lifetime, so a second host on the same file fails
@@ -23,21 +32,13 @@
 /// without the service (fresh lake, fresh engine) and prints the same
 /// response JSON — the reference the serving smoke test diffs against.
 
-#include <cerrno>
 #include <csignal>
 #include <cstdio>
-#include <cstring>
 #include <string>
-#include <thread>
 #include <vector>
 
-#if !defined(_WIN32)
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-#endif
-
 #include "service/discovery_service.h"
+#include "service/transport.h"
 #include "service/wire.h"
 
 using namespace modis;
@@ -46,6 +47,7 @@ namespace {
 
 struct Args {
   std::string socket_path;
+  std::string listen;  // TCP HOST:PORT.
   bool stdio = false;
   std::string batch_request;
   std::string tasks;
@@ -54,7 +56,9 @@ struct Args {
   size_t threads = 0;
   std::string cache;
   std::string cache_mode = "read_write";
-  uint64_t cache_max_bytes = 0;
+  uint64_t cache_max_bytes = DiscoveryService::Options::kDefaultCacheMaxBytes;
+  size_t max_task_contexts = 0;
+  double context_ttl = 0.0;
   double row_scale = 1.0;
 };
 
@@ -74,6 +78,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->stdio = true;
     } else if (flag == "--socket") {
       if (!next(&args->socket_path)) return false;
+    } else if (flag == "--listen") {
+      if (!next(&args->listen)) return false;
     } else if (flag == "--batch") {
       if (!next(&args->batch_request)) return false;
     } else if (flag == "--tasks") {
@@ -94,6 +100,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--cache-max-bytes") {
       if (!next(&value)) return false;
       args->cache_max_bytes = std::stoull(value);
+    } else if (flag == "--max-task-contexts") {
+      if (!next(&value)) return false;
+      args->max_task_contexts = std::stoul(value);
+    } else if (flag == "--context-ttl") {
+      if (!next(&value)) return false;
+      args->context_ttl = std::stod(value);
     } else if (flag == "--row-scale") {
       if (!next(&value)) return false;
       args->row_scale = std::stod(value);
@@ -102,101 +114,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  if (!args->stdio && args->socket_path.empty() &&
+  if (!args->stdio && args->socket_path.empty() && args->listen.empty() &&
       args->batch_request.empty()) {
     std::fprintf(stderr,
-                 "one of --socket PATH, --stdio, or --batch JSON is "
-                 "required\n");
+                 "one of --socket PATH, --listen HOST:PORT, --stdio, or "
+                 "--batch JSON is required\n");
     return false;
   }
   return true;
 }
-
-/// Answers one request line: parse -> service -> serialize (errors become
-/// `{"ok":false,...}` lines, never a dropped connection).
-std::string AnswerLine(DiscoveryService* service, const std::string& line) {
-  auto request = ParseDiscoveryRequest(line);
-  if (!request.ok()) return SerializeDiscoveryError(request.status());
-  auto response = service->Answer(request.value());
-  if (!response.ok()) return SerializeDiscoveryError(response.status());
-  return SerializeDiscoveryResponse(response.value());
-}
-
-#if !defined(_WIN32)
-
-/// Reads one '\n'-terminated line from a socket. False on EOF/error with
-/// nothing buffered.
-bool ReadLine(int fd, std::string* line) {
-  line->clear();
-  char c;
-  for (;;) {
-    const ssize_t n = ::recv(fd, &c, 1, 0);
-    if (n == 0) return !line->empty();  // EOF.
-    if (n < 0) return false;
-    if (c == '\n') return true;
-    line->push_back(c);
-    if (line->size() > (1u << 20)) return false;  // Absurd request.
-  }
-}
-
-bool WriteAll(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
-    if (n <= 0) return false;
-    off += size_t(n);
-  }
-  return true;
-}
-
-void ServeConnection(DiscoveryService* service, int fd) {
-  std::string line;
-  while (ReadLine(fd, &line)) {
-    if (line.empty()) continue;
-    if (!WriteAll(fd, AnswerLine(service, line) + "\n")) break;
-  }
-  ::close(fd);
-}
-
-int ServeSocket(DiscoveryService* service, const std::string& path) {
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("modis_server: socket");
-    return 1;
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "modis_server: socket path too long: %s\n",
-                 path.c_str());
-    return 1;
-  }
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  ::unlink(path.c_str());  // Stale socket from a dead host.
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listener, 16) < 0) {
-    std::perror("modis_server: bind/listen");
-    ::close(listener);
-    return 1;
-  }
-  std::printf("modis_server: serving on %s\n", path.c_str());
-  std::fflush(stdout);
-  for (;;) {
-    const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR) continue;
-      std::perror("modis_server: accept");
-      break;
-    }
-    std::thread(ServeConnection, service, conn).detach();
-  }
-  ::close(listener);
-  ::unlink(path.c_str());
-  return 0;
-}
-
-#endif  // !_WIN32
 
 void ServeStdio(DiscoveryService* service) {
   std::string line;
@@ -207,7 +133,7 @@ void ServeStdio(DiscoveryService* service) {
       line.pop_back();
     }
     if (line.empty()) continue;
-    std::printf("%s\n", AnswerLine(service, line).c_str());
+    std::printf("%s\n", HandleServiceLine(service, line).c_str());
     std::fflush(stdout);
   }
 }
@@ -228,6 +154,36 @@ int RunBatch(const Args& args) {
   return 0;
 }
 
+void Preload(DiscoveryService* service, const std::string& tasks) {
+  size_t start = 0;
+  while (start <= tasks.size()) {
+    const size_t comma = tasks.find(',', start);
+    const std::string task = tasks.substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start);
+    if (!task.empty()) {
+      const Status preloaded = service->Preload(task);
+      if (preloaded.ok()) {
+        std::printf("modis_server: preloaded %s\n", task.c_str());
+        std::fflush(stdout);
+      } else {
+        std::fprintf(stderr, "modis_server: preload %s failed: %s\n",
+                     task.c_str(), preloaded.ToString().c_str());
+      }
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+}
+
+/// The drain trigger: SIGTERM/SIGINT handlers may only touch the
+/// async-signal-safe RequestStop() (one write(2) to the server's pipe).
+LineServer* g_server = nullptr;
+
+void OnShutdownSignal(int) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -246,6 +202,8 @@ int main(int argc, char** argv) {
   options.valuation_threads = args.threads;
   options.default_cache_path = args.cache;
   options.cache_max_bytes = args.cache_max_bytes;
+  options.max_task_contexts = args.max_task_contexts;
+  options.context_idle_ttl_s = args.context_ttl;
   options.task_row_scale = args.row_scale;
   auto mode = ParseCacheMode(args.cache_mode);
   if (!mode.ok()) {
@@ -256,51 +214,80 @@ int main(int argc, char** argv) {
   options.default_cache_mode = mode.value();
 
   DiscoveryService service(options);
-
-#if !defined(_WIN32)
-  // Bind the socket before the (potentially slow) preloads so clients can
-  // connect immediately; their first queries simply wait on the context
-  // build.
-  std::thread listener;
-  if (!args.socket_path.empty() && !args.stdio) {
-    listener = std::thread([&service, &args] {
-      std::exit(ServeSocket(&service, args.socket_path));
-    });
-  }
-#endif
-
-  if (!args.tasks.empty()) {
-    size_t start = 0;
-    while (start <= args.tasks.size()) {
-      const size_t comma = args.tasks.find(',', start);
-      const std::string task =
-          args.tasks.substr(start, comma == std::string::npos
-                                       ? std::string::npos
-                                       : comma - start);
-      if (!task.empty()) {
-        const Status preloaded = service.Preload(task);
-        if (preloaded.ok()) {
-          std::printf("modis_server: preloaded %s\n", task.c_str());
-          std::fflush(stdout);
-        } else {
-          std::fprintf(stderr, "modis_server: preload %s failed: %s\n",
-                       task.c_str(), preloaded.ToString().c_str());
-        }
-      }
-      if (comma == std::string::npos) break;
-      start = comma + 1;
+  if (!args.cache.empty() && options.default_cache_mode != CacheMode::kOff) {
+    if (options.cache_max_bytes > 0) {
+      std::printf("modis_server: record cache budget: %llu bytes\n",
+                  static_cast<unsigned long long>(options.cache_max_bytes));
+    } else {
+      std::printf(
+          "modis_server: record cache budget: unbounded "
+          "(--cache-max-bytes 0)\n");
     }
+    std::fflush(stdout);
   }
 
   if (args.stdio) {
+    Preload(&service, args.tasks);
     ServeStdio(&service);
+    std::printf("modis_server: final %s\n",
+                SerializeServiceMetrics(service.SnapshotMetrics()).c_str());
     return 0;
   }
-#if !defined(_WIN32)
-  listener.join();
+
+  LineServer server(
+      [&service](const std::string& line) {
+        return HandleServiceLine(&service, line);
+      },
+      LineServer::Options(), service.metrics());
+
+  // Bind every listener before the (potentially slow) preloads: clients
+  // can connect immediately (the accept backlog holds them) and their
+  // first queries simply wait on the context build.
+  if (!args.socket_path.empty()) {
+    Endpoint endpoint;
+    endpoint.kind = Endpoint::Kind::kUnix;
+    endpoint.path = args.socket_path;
+    if (Status listening = server.Listen(endpoint); !listening.ok()) {
+      std::fprintf(stderr, "modis_server: %s\n",
+                   listening.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!args.listen.empty()) {
+    auto endpoint = ParseEndpoint(
+        args.listen.rfind("tcp:", 0) == 0 ? args.listen
+                                          : "tcp:" + args.listen);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "modis_server: %s\n",
+                   endpoint.status().ToString().c_str());
+      return 2;
+    }
+    if (Status listening = server.Listen(endpoint.value());
+        !listening.ok()) {
+      std::fprintf(stderr, "modis_server: %s\n",
+                   listening.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const Endpoint& endpoint : server.endpoints()) {
+    std::printf("modis_server: serving on %s\n",
+                endpoint.ToString().c_str());
+  }
+  std::fflush(stdout);
+
+  g_server = &server;
+  std::signal(SIGTERM, OnShutdownSignal);
+  std::signal(SIGINT, OnShutdownSignal);
+
+  Preload(&service, args.tasks);
+
+  // Blocks until SIGTERM/SIGINT; returns with every accepted request
+  // answered and every connection closed. The service dtor (end of main)
+  // then drains its own queue — already empty — and flushes every cache.
+  server.Serve();
+  g_server = nullptr;
+
+  std::printf("modis_server: drained; final %s\n",
+              SerializeServiceMetrics(service.SnapshotMetrics()).c_str());
   return 0;
-#else
-  std::fprintf(stderr, "modis_server: --socket requires POSIX\n");
-  return 1;
-#endif
 }

@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the discovery service (docs/SERVING.md):
 #
-#   1. start modis_server on a unix socket with a fresh cache file
-#   2. cold query through modis_cli --connect (trains everything)
+#   1. start modis_server on a unix socket AND a TCP port (one accept
+#      loop, shared cache file)
+#   2. cold query through modis_cli --connect over the unix socket
 #   3. warm query (same request) — must perform 0 exact trainings
-#   4. batch reference: the same request via `modis_server --batch`
+#   4. warm query over TCP — must also train nothing
+#   5. metrics verb — the host must report the served queries
+#   6. batch reference: the same request via `modis_server --batch`
 #      (fresh process, no service, no cache)
-#   5. assert all three skylines are identical
+#   7. assert all four skylines are identical
+#   8. drain: fresh server, query in flight, SIGTERM mid-stream — the
+#      client still gets the full (identical) response and the server
+#      exits 0 after dumping its final metrics line
 #
 # Usage: serving_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -35,53 +41,153 @@ ROW_SCALE=0.35
 REQUEST_FLAGS=(--bench-task T1 --algo bi --epsilon 0.25 --budget 60
                --maxl 3 --measures acc,fisher,mi)
 
-"$SERVER" --socket "$SOCK" --row-scale "$ROW_SCALE" --cache "$CACHE" \
-  > "$WORK/server.log" 2>&1 &
-SERVER_PID=$!
+wait_for_socket() {  # wait_for_socket PID SOCKET LOG
+  for _ in $(seq 1 150); do
+    [ -S "$2" ] && return 0
+    if ! kill -0 "$1" 2>/dev/null; then
+      echo "serving_smoke: server died during startup:" >&2
+      cat "$3" >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+  echo "serving_smoke: socket never appeared" >&2
+  exit 1
+}
 
-for _ in $(seq 1 100); do
-  [ -S "$SOCK" ] && break
-  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-    echo "serving_smoke: server died during startup:" >&2
-    cat "$WORK/server.log" >&2
-    exit 1
-  fi
-  sleep 0.2
+# ---- Phase 1: unix + TCP serving, cold/warm/metrics/batch.
+"$SERVER" --socket "$SOCK" --listen 127.0.0.1:0 --row-scale "$ROW_SCALE" \
+  --cache "$CACHE" > "$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+wait_for_socket "$SERVER_PID" "$SOCK" "$WORK/server.log"
+
+# The TCP listener announces its kernel-assigned port on stdout.
+TCP_ENDPOINT=""
+for _ in $(seq 1 50); do
+  TCP_ENDPOINT=$(grep -o 'tcp:[0-9.]*:[0-9]*' "$WORK/server.log" | head -1 \
+    || true)
+  [ -n "$TCP_ENDPOINT" ] && break
+  sleep 0.1
 done
-[ -S "$SOCK" ] || { echo "serving_smoke: socket never appeared" >&2; exit 1; }
+[ -n "$TCP_ENDPOINT" ] || {
+  echo "serving_smoke: TCP endpoint never announced" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+}
+grep -q "record cache budget" "$WORK/server.log" || {
+  echo "serving_smoke: missing cache-budget startup line" >&2
+  exit 1
+}
 
 COLD=$("$CLI" --connect "$SOCK" "${REQUEST_FLAGS[@]}" --raw)
 WARM=$("$CLI" --connect "$SOCK" "${REQUEST_FLAGS[@]}" --raw)
+WARM_TCP=$("$CLI" --connect "$TCP_ENDPOINT" "${REQUEST_FLAGS[@]}" --raw)
+METRICS=$("$CLI" --connect "$TCP_ENDPOINT" --metrics)
 BATCH=$("$SERVER" --batch \
   '{"task":"T1","variant":"bi","epsilon":0.25,"budget":60,"maxl":3,"measures":["acc","fisher","mi"]}' \
   --row-scale "$ROW_SCALE")
 
-python3 - "$COLD" "$WARM" "$BATCH" <<'PY'
+python3 - "$COLD" "$WARM" "$WARM_TCP" "$METRICS" "$BATCH" <<'PY'
 import json
 import sys
 
-cold, warm, batch = (json.loads(arg) for arg in sys.argv[1:4])
-for name, doc in (("cold", cold), ("warm", warm), ("batch", batch)):
+cold, warm, warm_tcp, metrics, batch = (json.loads(a) for a in sys.argv[1:6])
+for name, doc in (("cold", cold), ("warm", warm), ("warm_tcp", warm_tcp),
+                  ("batch", batch)):
     assert doc.get("ok"), f"{name} response not ok: {doc}"
     assert doc["skyline"], f"{name} skyline is empty"
 
-assert warm["stats"]["exact_evals"] == 0, warm["stats"]
-assert warm["stats"]["persistent_hits"] > 0, warm["stats"]
-assert warm["stats"]["cache_active"], warm["stats"]
+for name, doc in (("warm", warm), ("warm_tcp", warm_tcp)):
+    assert doc["stats"]["exact_evals"] == 0, (name, doc["stats"])
+    assert doc["stats"]["persistent_hits"] > 0, (name, doc["stats"])
+    assert doc["stats"]["cache_active"], (name, doc["stats"])
 
 def skyline(doc):
     return sorted(
         (e["signature"], e["raw"], e["normalized"]) for e in doc["skyline"]
     )
 
-assert skyline(cold) == skyline(warm) == skyline(batch), (
-    "skylines diverge between cold / warm / batch runs"
-)
+assert (skyline(cold) == skyline(warm) == skyline(warm_tcp)
+        == skyline(batch)), "skylines diverge across cold/warm/tcp/batch"
+
+assert metrics.get("ok"), metrics
+m = metrics["metrics"]
+assert m["served"] == 3, m
+assert m["failed"] == 0, m
+assert m["live_contexts"] == 1, m
+assert m["cache_files"] == 1, m
+assert m["connections_opened"] >= 4, m
+assert m["run_ms"]["count"] == 3, m
+assert not m["draining"], m
+
 print(
-    "serving smoke OK: warm query trained nothing "
+    "serving smoke OK: warm unix+tcp queries trained nothing "
     f"({warm['stats']['persistent_hits']} replays), skyline of "
     f"{len(warm['skyline'])} matches the batch run "
     f"(cold {cold['stats']['run_ms']:.0f} ms -> warm "
-    f"{warm['stats']['run_ms']:.1f} ms)"
+    f"{warm['stats']['run_ms']:.1f} ms), metrics verb consistent"
 )
+PY
+
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# ---- Phase 2: SIGTERM drain with a query in flight. Fresh server, fresh
+# cache: the query actually trains, so it is still running when the
+# signal lands. The client must receive the complete response anyway and
+# the server must exit 0 with a drained-metrics line.
+SOCK2="$WORK/drain.sock"
+CACHE2="$WORK/drain.rlog"
+"$SERVER" --socket "$SOCK2" --row-scale "$ROW_SCALE" --cache "$CACHE2" \
+  > "$WORK/drain.log" 2>&1 &
+SERVER_PID=$!
+wait_for_socket "$SERVER_PID" "$SOCK2" "$WORK/drain.log"
+
+"$CLI" --connect "$SOCK2" "${REQUEST_FLAGS[@]}" --raw \
+  > "$WORK/drain_reply.json" &
+CLIENT_PID=$!
+sleep 1  # The request is on the wire and training by now.
+kill -TERM "$SERVER_PID"
+
+if ! wait "$CLIENT_PID"; then
+  echo "serving_smoke: drain client failed" >&2
+  cat "$WORK/drain.log" >&2
+  exit 1
+fi
+DRAIN_RC=0
+wait "$SERVER_PID" || DRAIN_RC=$?
+SERVER_PID=""
+if [ "$DRAIN_RC" -ne 0 ]; then
+  echo "serving_smoke: server exited $DRAIN_RC after SIGTERM" >&2
+  cat "$WORK/drain.log" >&2
+  exit 1
+fi
+grep -q "drained; final" "$WORK/drain.log" || {
+  echo "serving_smoke: missing drained-metrics line" >&2
+  cat "$WORK/drain.log" >&2
+  exit 1
+}
+
+python3 - "$COLD" "$WORK/drain_reply.json" <<'PY'
+import json
+import sys
+
+cold = json.loads(sys.argv[1])
+with open(sys.argv[2]) as f:
+    drained = json.loads(f.read())
+assert drained.get("ok"), f"drained response not ok: {drained}"
+
+def skyline(doc):
+    return sorted(
+        (e["signature"], e["raw"], e["normalized"]) for e in doc["skyline"]
+    )
+
+# The drained response is the full answer, identical to the undisturbed
+# run of the same request (phase 1's cold query).
+assert skyline(drained) == skyline(cold), (
+    "SIGTERM-drained response diverges from the undisturbed run"
+)
+print("serving smoke OK: SIGTERM mid-stream drained cleanly "
+      f"(full skyline of {len(drained['skyline'])} delivered, exit 0)")
 PY

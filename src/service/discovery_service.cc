@@ -152,13 +152,57 @@ Status DiscoveryService::Preload(const std::string& task) {
   return GetContext(task).status();
 }
 
-Result<DiscoveryService::TaskContext*> DiscoveryService::GetContext(
-    const std::string& task) {
+void DiscoveryService::EvictContextsLocked(const std::string& keep,
+                                           size_t reserve) {
+  // Idle TTL first: drop every context (other than the one being looked
+  // up) whose last query is older than the TTL.
+  if (options_.context_idle_ttl_s > 0.0) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto ttl = std::chrono::duration<double>(
+        options_.context_idle_ttl_s);
+    for (auto it = contexts_.begin(); it != contexts_.end();) {
+      if (it->first != keep && now - it->second->last_used_at > ttl) {
+        it = contexts_.erase(it);
+        metrics_.context_evictions.fetch_add(1);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // LRU cap: evict oldest-by-last-query until the map (plus the entry
+  // about to be inserted, when `reserve` is 1) fits. A lookup that hits
+  // passes reserve 0 and evicts nothing at exactly the cap — a cap of N
+  // really holds N contexts.
+  if (options_.max_task_contexts == 0) return;
+  while (contexts_.size() + reserve > options_.max_task_contexts) {
+    auto victim = contexts_.end();
+    for (auto it = contexts_.begin(); it != contexts_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == contexts_.end() ||
+          it->second->last_used_tick < victim->second->last_used_tick) {
+        victim = it;
+      }
+    }
+    if (victim == contexts_.end()) return;  // Only `keep` is left.
+    contexts_.erase(victim);
+    metrics_.context_evictions.fetch_add(1);
+  }
+}
+
+Result<std::shared_ptr<DiscoveryService::TaskContext>>
+DiscoveryService::GetContext(const std::string& task) {
   MODIS_ASSIGN_OR_RETURN(BenchTaskId id, ParseBenchTask(task));
   const std::string canonical = BenchTaskName(id);
   std::lock_guard<std::mutex> lock(context_mu_);
+  const uint64_t tick = ++context_tick_;
+  const auto now = std::chrono::steady_clock::now();
   auto it = contexts_.find(canonical);
-  if (it != contexts_.end()) return it->second.get();
+  if (it != contexts_.end()) {
+    it->second->last_used_tick = tick;
+    it->second->last_used_at = now;
+    EvictContextsLocked(canonical, /*reserve=*/0);
+    return it->second;
+  }
   // Build while holding the lock: queries of other tasks wait, which is
   // the simple, predictable behavior a host wants during warm-up
   // (Preload() exists to take this hit before serving).
@@ -167,11 +211,14 @@ Result<DiscoveryService::TaskContext*> DiscoveryService::GetContext(
   MODIS_ASSIGN_OR_RETURN(
       SearchUniverse universe,
       SearchUniverse::Build(bench.universal, bench.universe_options));
-  auto context = std::make_unique<TaskContext>(std::move(bench),
+  auto context = std::make_shared<TaskContext>(std::move(bench),
                                                std::move(universe));
-  TaskContext* raw = context.get();
-  contexts_.emplace(canonical, std::move(context));
-  return raw;
+  context->last_used_tick = tick;
+  context->last_used_at = now;
+  metrics_.context_builds.fetch_add(1);
+  EvictContextsLocked(canonical, /*reserve=*/1);
+  contexts_.emplace(canonical, context);
+  return context;
 }
 
 Result<PersistentRecordCache*> DiscoveryService::GetCache(
@@ -209,7 +256,8 @@ Result<PersistentRecordCache*> DiscoveryService::GetCache(
 
 Result<DiscoveryResponse> DiscoveryService::Execute(
     const DiscoveryRequest& request) {
-  MODIS_ASSIGN_OR_RETURN(TaskContext * context, GetContext(request.task));
+  MODIS_ASSIGN_OR_RETURN(std::shared_ptr<TaskContext> context,
+                         GetContext(request.task));
 
   SupervisedTask task = context->bench.task;
   MODIS_ASSIGN_OR_RETURN(task.measures,
@@ -282,13 +330,13 @@ Status DiscoveryService::Submit(DiscoveryRequest request, Callback done) {
       return Status::FailedPrecondition("discovery service is shutting down");
     }
     if (queue_.size() >= options_.queue_capacity) {
-      ++stats_.rejected;
+      metrics_.rejected.fetch_add(1);
       return Status::FailedPrecondition(
           "admission queue full (" +
           std::to_string(options_.queue_capacity) +
           " pending); retry later");
     }
-    ++stats_.accepted;
+    metrics_.accepted.fetch_add(1);
     queue_.push_back(Job{std::move(request), std::move(done), WallTimer()});
   }
   queue_cv_.notify_one();
@@ -307,8 +355,38 @@ Result<DiscoveryResponse> DiscoveryService::Answer(
 }
 
 DiscoveryService::Stats DiscoveryService::stats() const {
-  std::lock_guard<std::mutex> lock(queue_mu_);
-  return stats_;
+  Stats stats;
+  stats.accepted = metrics_.accepted.load();
+  stats.rejected = metrics_.rejected.load();
+  stats.served = metrics_.served.load();
+  stats.failed = metrics_.failed.load();
+  return stats;
+}
+
+MetricsSnapshot DiscoveryService::SnapshotMetrics() const {
+  MetricsSnapshot snapshot = metrics_.Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    snapshot.queue_depth = queue_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(context_mu_);
+    snapshot.live_contexts = contexts_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    snapshot.cache_files = caches_.size();
+    for (const auto& [path, cache] : caches_) {
+      (void)path;
+      const PersistentRecordCache::Stats stats = cache->stats();
+      snapshot.cache_bytes += stats.log_bytes;
+      snapshot.cache_records += stats.loaded_records;
+      snapshot.cache_replays += stats.served;
+      snapshot.cache_appends += stats.appended;
+      snapshot.cache_evictions += stats.evicted;
+    }
+  }
+  return snapshot;
 }
 
 void DiscoveryService::SessionLoop() {
@@ -324,17 +402,15 @@ void DiscoveryService::SessionLoop() {
     }
     const double queue_ms = job.queued.Millis();
     Result<DiscoveryResponse> response = Execute(job.request);
+    metrics_.queue_ms.Record(queue_ms);
     if (response.ok()) {
       response.value().queue_ms = queue_ms;
       response.value().total_ms = job.queued.Millis();
-    }
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      if (response.ok()) {
-        ++stats_.served;
-      } else {
-        ++stats_.failed;
-      }
+      metrics_.run_ms.Record(response.value().run_ms);
+      metrics_.total_ms.Record(response.value().total_ms);
+      metrics_.served.fetch_add(1);
+    } else {
+      metrics_.failed.fetch_add(1);
     }
     job.done(std::move(response));
   }

@@ -1,6 +1,7 @@
 #ifndef MODIS_SERVICE_DISCOVERY_SERVICE_H_
 #define MODIS_SERVICE_DISCOVERY_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -17,6 +18,7 @@
 #include "common/timer.h"
 #include "core/engine.h"
 #include "datagen/tasks.h"
+#include "service/metrics.h"
 #include "storage/persistent_record_cache.h"
 
 namespace modis {
@@ -101,6 +103,11 @@ struct DiscoveryResponse {
 class DiscoveryService {
  public:
   struct Options {
+    /// Default byte budget per cache file. A host is long-lived: an
+    /// unbounded log would grow with every novel query forever, so the
+    /// production default bounds it (explicitly pass 0 to opt out).
+    static constexpr uint64_t kDefaultCacheMaxBytes = 256ull << 20;
+
     /// Concurrent query executors (each runs one engine at a time).
     size_t sessions = 2;
     /// Bounded admission: Submit() rejects beyond this many queued
@@ -115,10 +122,20 @@ class DiscoveryService {
     CacheMode default_cache_mode = CacheMode::kReadWrite;
     /// Byte budget per cache file (0 = unbounded); see
     /// PersistentRecordCache::Options::max_bytes.
-    uint64_t cache_max_bytes = 0;
+    uint64_t cache_max_bytes = kDefaultCacheMaxBytes;
     /// Row scale of the generated bench lakes (1.0 = paper scale; tests
     /// and smoke runs shrink it).
     double task_row_scale = 1.0;
+    /// Most task contexts (lake + universal table + universe) held at
+    /// once; 0 = unbounded. Exceeding the cap evicts the context whose
+    /// last query is oldest (LRU). A context in use by a running query
+    /// stays alive until that query finishes; the next query of an
+    /// evicted task rebuilds it transparently — contexts are derived,
+    /// deterministic data, so the answer is identical.
+    size_t max_task_contexts = 0;
+    /// Idle TTL: a context not queried for this long is evicted by the
+    /// sweep that runs on every context lookup. 0 = no TTL.
+    double context_idle_ttl_s = 0.0;
   };
 
   struct Stats {
@@ -161,10 +178,23 @@ class DiscoveryService {
   Stats stats() const;
   const Options& options() const { return options_; }
 
+  /// The shared counter registry. The transport layer (LineServer) and
+  /// the server binary write transport counters into the same registry so
+  /// one `{"verb":"metrics"}` snapshot covers the whole host.
+  ServiceMetrics* metrics() { return &metrics_; }
+
+  /// One consistent export of every counter, gauge (queue depth, live
+  /// contexts, open-cache totals), and latency histogram — the payload of
+  /// the `"metrics"` wire verb and of the shutdown dump.
+  MetricsSnapshot SnapshotMetrics() const;
+
  private:
   struct TaskContext {
     TabularBench bench;
     SearchUniverse universe;
+    /// Eviction bookkeeping, guarded by context_mu_.
+    uint64_t last_used_tick = 0;
+    std::chrono::steady_clock::time_point last_used_at;
 
     TaskContext(TabularBench b, SearchUniverse u)
         : bench(std::move(b)), universe(std::move(u)) {}
@@ -176,8 +206,16 @@ class DiscoveryService {
     WallTimer queued;
   };
 
-  /// Resolves (building on first use) the shared context of a task.
-  Result<TaskContext*> GetContext(const std::string& task);
+  /// Resolves (building on first use) the shared context of a task. The
+  /// returned shared_ptr keeps the context alive across an eviction that
+  /// races with the query using it.
+  Result<std::shared_ptr<TaskContext>> GetContext(const std::string& task);
+
+  /// Applies the idle TTL and the LRU cap; `keep` is never evicted.
+  /// `reserve` is 1 when a new context is about to be inserted (the cap
+  /// must leave room for it) and 0 on a plain lookup. Caller holds
+  /// context_mu_.
+  void EvictContextsLocked(const std::string& keep, size_t reserve);
 
   /// Resolves (opening on first use) the shared cache for a request;
   /// null when the request and the service default both disable caching.
@@ -193,9 +231,12 @@ class DiscoveryService {
   ThreadPool pool_;
 
   mutable std::mutex context_mu_;
-  /// Keyed by canonical task name; values are stable (unique_ptr) so
-  /// sessions can use a context while another task's is being built.
-  std::map<std::string, std::unique_ptr<TaskContext>> contexts_;
+  /// Keyed by canonical task name; values are shared_ptrs so an eviction
+  /// only drops the map's reference — queries running on the context
+  /// keep it alive until they finish.
+  std::map<std::string, std::shared_ptr<TaskContext>> contexts_;
+  /// Logical clock for context LRU; bumped on every lookup.
+  uint64_t context_tick_ = 0;
 
   mutable std::mutex cache_mu_;
   /// Keyed by cache path as given; one open (locked) cache per file,
@@ -206,7 +247,11 @@ class DiscoveryService {
   std::condition_variable queue_cv_;
   std::deque<Job> queue_;
   bool stopping_ = false;
-  Stats stats_;
+
+  /// Counters + histograms; see metrics.h. Declared after the maps it
+  /// aggregates from in SnapshotMetrics, destroyed after the sessions
+  /// that write into it.
+  ServiceMetrics metrics_;
 
   std::vector<std::thread> sessions_;
 };

@@ -1,0 +1,56 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+
+namespace modis {
+
+double LatencyHistogram::Snapshot::QuantileMs(double q) const {
+  if (count == 0) return 0.0;
+  const double target = q * double(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets[i];
+    if (double(cumulative) >= target) {
+      return i + 1 == kBuckets ? max_ms
+                               : std::min(BucketBoundMs(i), max_ms);
+    }
+  }
+  return max_ms;
+}
+
+void LatencyHistogram::Record(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++data_.count;
+  data_.sum_ms += ms;
+  data_.max_ms = std::max(data_.max_ms, ms);
+  size_t bucket = 0;
+  while (bucket + 1 < kBuckets && ms > BucketBoundMs(bucket)) ++bucket;
+  ++data_.buckets[bucket];
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
+MetricsSnapshot ServiceMetrics::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.accepted = accepted.load();
+  snapshot.rejected = rejected.load();
+  snapshot.served = served.load();
+  snapshot.failed = failed.load();
+  snapshot.context_builds = context_builds.load();
+  snapshot.context_evictions = context_evictions.load();
+  snapshot.connections_opened = connections_opened.load();
+  snapshot.connections_active = connections_active.load();
+  snapshot.lines_served = lines_served.load();
+  snapshot.oversized_lines = oversized_lines.load();
+  snapshot.dropped_connections = dropped_connections.load();
+  snapshot.draining = draining.load();
+  snapshot.queue_ms = queue_ms.snapshot();
+  snapshot.run_ms = run_ms.snapshot();
+  snapshot.total_ms = total_ms.snapshot();
+  return snapshot;
+}
+
+}  // namespace modis

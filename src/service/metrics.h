@@ -1,0 +1,117 @@
+#ifndef MODIS_SERVICE_METRICS_H_
+#define MODIS_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace modis {
+
+/// Fixed-bucket latency histogram. Bucket i covers latencies up to
+/// 0.25 * 2^i milliseconds (0.25 ms .. ~35 min); the last bucket absorbs
+/// everything beyond. Thread-safe: Record() and snapshot() take one
+/// internal mutex, which is fine at the per-query (not per-training)
+/// granularity the service records at.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 24;
+
+  /// Upper bound (ms) of bucket `i`.
+  static double BucketBoundMs(size_t i) { return 0.25 * double(1u << i); }
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum_ms = 0.0;
+    double max_ms = 0.0;
+    std::array<uint64_t, kBuckets> buckets{};
+
+    /// Upper-bound estimate of the q-quantile (q in [0,1]): the bound of
+    /// the first bucket whose cumulative count reaches q * count. The
+    /// last bucket reports the exact observed max.
+    double QuantileMs(double q) const;
+  };
+
+  void Record(double ms);
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  Snapshot data_;
+};
+
+/// One flat snapshot of everything the service exports — the schema of
+/// the `{"verb":"metrics"}` wire response (docs/SERVING.md §5). Counter
+/// fields are filled from ServiceMetrics; the gauges only the service can
+/// compute (queue depth, live contexts, cache totals) are filled by
+/// DiscoveryService::SnapshotMetrics().
+struct MetricsSnapshot {
+  // Admission.
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t served = 0;
+  uint64_t failed = 0;
+  uint64_t queue_depth = 0;  // Gauge.
+
+  // Task contexts.
+  uint64_t live_contexts = 0;  // Gauge.
+  uint64_t context_builds = 0;
+  uint64_t context_evictions = 0;
+
+  // Shared record caches, aggregated over every open cache file.
+  uint64_t cache_files = 0;        // Gauge.
+  uint64_t cache_bytes = 0;        // Gauge: valid log bytes.
+  uint64_t cache_records = 0;      // Gauge: records loaded at open.
+  uint64_t cache_replays = 0;      // Get/Find hits served.
+  uint64_t cache_appends = 0;
+  uint64_t cache_evictions = 0;
+
+  // Transport (filled by LineServer when one is attached).
+  uint64_t connections_opened = 0;
+  uint64_t connections_active = 0;  // Gauge.
+  uint64_t lines_served = 0;
+  uint64_t oversized_lines = 0;
+  uint64_t dropped_connections = 0;
+
+  bool draining = false;
+
+  // Per-phase latency distributions (one query each).
+  LatencyHistogram::Snapshot queue_ms;
+  LatencyHistogram::Snapshot run_ms;
+  LatencyHistogram::Snapshot total_ms;
+};
+
+/// The shared counter registry. The DiscoveryService owns one; the
+/// transport layer (LineServer) and the session loops both write into it
+/// lock-free. Gauges live with their owners and are collected into the
+/// snapshot by DiscoveryService::SnapshotMetrics().
+class ServiceMetrics {
+ public:
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> failed{0};
+
+  std::atomic<uint64_t> context_builds{0};
+  std::atomic<uint64_t> context_evictions{0};
+
+  std::atomic<uint64_t> connections_opened{0};
+  std::atomic<uint64_t> connections_active{0};
+  std::atomic<uint64_t> lines_served{0};
+  std::atomic<uint64_t> oversized_lines{0};
+  std::atomic<uint64_t> dropped_connections{0};
+
+  std::atomic<bool> draining{false};
+
+  LatencyHistogram queue_ms;
+  LatencyHistogram run_ms;
+  LatencyHistogram total_ms;
+
+  /// Copies every counter and histogram; gauges are left zero for the
+  /// caller to fill.
+  MetricsSnapshot Snapshot() const;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_SERVICE_METRICS_H_

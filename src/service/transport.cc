@@ -1,0 +1,578 @@
+#include "service/transport.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "service/json.h"
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace modis {
+
+namespace {
+
+#if !defined(_WIN32)
+#if defined(MSG_NOSIGNAL)
+constexpr int kSendFlags = MSG_NOSIGNAL;  // EPIPE instead of SIGPIPE.
+#else
+constexpr int kSendFlags = 0;
+#endif
+#endif  // !_WIN32
+
+bool ParsePort(const std::string& text, uint16_t* port) {
+  if (text.empty() || text.size() > 5) return false;
+  uint32_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + uint32_t(c - '0');
+  }
+  if (value > 65535) return false;
+  *port = uint16_t(value);
+  return true;
+}
+
+Result<Endpoint> ParseTcpSpec(const std::string& spec,
+                              const std::string& rest) {
+  const size_t colon = rest.rfind(':');
+  Endpoint endpoint;
+  endpoint.kind = Endpoint::Kind::kTcp;
+  if (colon == std::string::npos || colon == 0 ||
+      !ParsePort(rest.substr(colon + 1), &endpoint.port)) {
+    return Status::InvalidArgument("endpoint '" + spec +
+                                   "' is not HOST:PORT (port 0..65535)");
+  }
+  endpoint.host = rest.substr(0, colon);
+  return endpoint;
+}
+
+/// One `{"ok":false,...}` line for errors the transport itself produces
+/// (the handler is never consulted for an unreadable stream).
+std::string TransportErrorLine(const std::string& message) {
+  JsonValue doc{JsonValue::Object{}};
+  doc.Set("ok", false);
+  doc.Set("code", "InvalidArgument");
+  doc.Set("error", message);
+  return doc.Dump();
+}
+
+}  // namespace
+
+std::string Endpoint::ToString() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Result<Endpoint> ParseEndpoint(const std::string& spec) {
+  if (spec.empty()) return Status::InvalidArgument("empty endpoint");
+  if (spec.rfind("unix:", 0) == 0) {
+    Endpoint endpoint;
+    endpoint.kind = Endpoint::Kind::kUnix;
+    endpoint.path = spec.substr(5);
+    if (endpoint.path.empty()) {
+      return Status::InvalidArgument("endpoint '" + spec +
+                                     "' is missing the socket path");
+    }
+    return endpoint;
+  }
+  if (spec.rfind("tcp:", 0) == 0) return ParseTcpSpec(spec, spec.substr(4));
+  if (spec.find('/') != std::string::npos) {
+    Endpoint endpoint;
+    endpoint.kind = Endpoint::Kind::kUnix;
+    endpoint.path = spec;
+    return endpoint;
+  }
+  if (spec.find(':') != std::string::npos) return ParseTcpSpec(spec, spec);
+  Endpoint endpoint;
+  endpoint.kind = Endpoint::Kind::kUnix;
+  endpoint.path = spec;
+  return endpoint;
+}
+
+#if !defined(_WIN32)
+
+namespace {
+
+Result<in_addr> ResolveHost(const std::string& host, bool for_bind) {
+  std::string name = host;
+  if (name.empty()) name = for_bind ? "0.0.0.0" : "127.0.0.1";
+  if (name == "localhost") name = "127.0.0.1";
+  in_addr addr{};
+  if (::inet_pton(AF_INET, name.c_str(), &addr) != 1) {
+    return Status::InvalidArgument("cannot resolve host '" + host +
+                                   "' (numeric IPv4 or localhost)");
+  }
+  return addr;
+}
+
+Result<int> OpenSocket(const Endpoint& endpoint) {
+  const int family =
+      endpoint.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  return fd;
+}
+
+Status FillUnixAddr(const std::string& path, sockaddr_un* addr) {
+  *addr = sockaddr_un{};
+  addr->sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  std::strncpy(addr->sun_path, path.c_str(), sizeof(addr->sun_path) - 1);
+  return Status::OK();
+}
+
+bool WriteAllFd(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, kSendFlags);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += size_t(n);
+  }
+  return true;
+}
+
+enum class ReadLineResult {
+  kLine,        // A complete '\n'-terminated line.
+  kPartial,     // EOF with a non-empty unterminated tail (truncated frame).
+  kEof,         // Clean EOF, nothing buffered.
+  kOversized,   // Line exceeded the cap; the stream cannot be resynced.
+  kError,       // recv failed.
+};
+
+/// Buffered line framing over recv(2): `buffer`/`pos` carry unconsumed
+/// bytes between calls (a chunked recv may deliver several lines, or a
+/// fraction of one). One syscall per ~4 KiB instead of one per byte —
+/// this path is the transport cost the serving benchmarks measure.
+ReadLineResult ReadLineBuffered(int fd, std::string* buffer, size_t* pos,
+                                size_t max_bytes, std::string* line) {
+  line->clear();
+  for (;;) {
+    const size_t newline = buffer->find('\n', *pos);
+    if (newline != std::string::npos) {
+      if (newline - *pos > max_bytes) {
+        *pos = newline + 1;
+        return ReadLineResult::kOversized;
+      }
+      line->assign(*buffer, *pos, newline - *pos);
+      *pos = newline + 1;
+      if (*pos == buffer->size()) {
+        buffer->clear();
+        *pos = 0;
+      }
+      return ReadLineResult::kLine;
+    }
+    if (buffer->size() - *pos > max_bytes) return ReadLineResult::kOversized;
+    if (*pos > 0) {
+      buffer->erase(0, *pos);
+      *pos = 0;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      if (buffer->empty()) return ReadLineResult::kEof;
+      line->assign(*buffer);
+      buffer->clear();
+      return ReadLineResult::kPartial;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadLineResult::kError;
+    }
+    buffer->append(chunk, size_t(n));
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ ClientChannel
+
+Result<ClientChannel> ClientChannel::Connect(const Endpoint& endpoint) {
+  MODIS_ASSIGN_OR_RETURN(const int fd, OpenSocket(endpoint));
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr;
+    if (Status filled = FillUnixAddr(endpoint.path, &addr); !filled.ok()) {
+      ::close(fd);
+      return filled;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd);
+      return Status::IoError("cannot connect to " + endpoint.ToString() +
+                             ": " + std::strerror(errno));
+    }
+    return ClientChannel(fd);
+  }
+  auto host = ResolveHost(endpoint.host, /*for_bind=*/false);
+  if (!host.ok()) {
+    ::close(fd);
+    return host.status();
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  addr.sin_addr = host.value();
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::IoError("cannot connect to " + endpoint.ToString() +
+                           ": " + std::strerror(errno));
+  }
+  return ClientChannel(fd);
+}
+
+ClientChannel::~ClientChannel() { Close(); }
+
+ClientChannel::ClientChannel(ClientChannel&& other) noexcept
+    : fd_(other.fd_),
+      rx_buffer_(std::move(other.rx_buffer_)),
+      rx_pos_(other.rx_pos_) {
+  other.fd_ = -1;
+  other.rx_buffer_.clear();
+  other.rx_pos_ = 0;
+}
+
+ClientChannel& ClientChannel::operator=(ClientChannel&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    rx_buffer_ = std::move(other.rx_buffer_);
+    rx_pos_ = other.rx_pos_;
+    other.fd_ = -1;
+    other.rx_buffer_.clear();
+    other.rx_pos_ = 0;
+  }
+  return *this;
+}
+
+Status ClientChannel::SendLine(const std::string& line) {
+  return SendRaw(line + "\n");
+}
+
+Status ClientChannel::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("channel is closed");
+  if (!WriteAllFd(fd_, bytes)) {
+    return Status::IoError("send failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ClientChannel::ReceiveLine(size_t max_bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("channel is closed");
+  std::string line;
+  switch (ReadLineBuffered(fd_, &rx_buffer_, &rx_pos_, max_bytes, &line)) {
+    case ReadLineResult::kLine:
+    case ReadLineResult::kPartial:  // Server's final line before close.
+      if (!line.empty()) return line;
+      [[fallthrough]];
+    case ReadLineResult::kEof:
+      return Status::IoError("server closed the connection");
+    case ReadLineResult::kOversized:
+      return Status::IoError("response line exceeds " +
+                             std::to_string(max_bytes) + " bytes");
+    case ReadLineResult::kError:
+      return Status::IoError("recv failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::string> ClientChannel::RoundTrip(const std::string& line) {
+  MODIS_RETURN_IF_ERROR(SendLine(line));
+  return ReceiveLine();
+}
+
+void ClientChannel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_buffer_.clear();
+  rx_pos_ = 0;
+}
+
+// --------------------------------------------------------------- LineServer
+
+LineServer::LineServer(Handler handler, Options options,
+                       ServiceMetrics* metrics)
+    : handler_(std::move(handler)),
+      options_(options),
+      metrics_(metrics != nullptr ? metrics : &owned_metrics_) {
+  if (::pipe(stop_pipe_) != 0) {
+    stop_pipe_[0] = stop_pipe_[1] = -1;
+  }
+}
+
+LineServer::~LineServer() {
+  RequestStop();
+  std::map<uint64_t, std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    draining_ = true;
+    for (auto& [id, fd] : live_fds_) {
+      (void)id;
+      ::shutdown(fd, SHUT_RD);
+    }
+    threads.swap(threads_);
+  }
+  for (auto& [id, thread] : threads) {
+    (void)id;
+    if (thread.joinable()) thread.join();
+  }
+  for (int fd : listener_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  for (const Endpoint& endpoint : endpoints_) {
+    if (endpoint.kind == Endpoint::Kind::kUnix) {
+      ::unlink(endpoint.path.c_str());
+    }
+  }
+  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+}
+
+Status LineServer::Listen(const Endpoint& endpoint) {
+  if (stop_pipe_[0] < 0) {
+    // Without the pipe, RequestStop() would be a silent no-op and the
+    // drain contract (SIGTERM -> exit 0) unfulfillable: refuse to serve.
+    return Status::Internal(
+        "stop-pipe creation failed at construction (fd exhaustion?); "
+        "refusing to serve without a working drain trigger");
+  }
+  MODIS_ASSIGN_OR_RETURN(const int fd, OpenSocket(endpoint));
+  Endpoint bound = endpoint;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr;
+    if (Status filled = FillUnixAddr(endpoint.path, &addr); !filled.ok()) {
+      ::close(fd);
+      return filled;
+    }
+    ::unlink(endpoint.path.c_str());  // Stale socket from a dead host.
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const std::string error = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("bind " + endpoint.ToString() + ": " + error);
+    }
+  } else {
+    auto host = ResolveHost(endpoint.host, /*for_bind=*/true);
+    if (!host.ok()) {
+      ::close(fd);
+      return host.status();
+    }
+    const int reuse = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint.port);
+    addr.sin_addr = host.value();
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const std::string error = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("bind " + endpoint.ToString() + ": " + error);
+    }
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+      bound.port = ntohs(actual.sin_port);
+    }
+  }
+  if (::listen(fd, options_.listen_backlog) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("listen " + endpoint.ToString() + ": " + error);
+  }
+  listener_fds_.push_back(fd);
+  endpoints_.push_back(std::move(bound));
+  return Status::OK();
+}
+
+void LineServer::Serve() {
+  std::vector<pollfd> fds;
+  for (;;) {
+    fds.clear();
+    for (int fd : listener_fds_) fds.push_back(pollfd{fd, POLLIN, 0});
+    fds.push_back(pollfd{stop_pipe_[0], POLLIN, 0});
+    if (::poll(fds.data(), nfds_t(fds.size()), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds.back().revents != 0) break;  // RequestStop().
+    for (size_t i = 0; i + 1 < fds.size(); ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int conn = ::accept(listener_fds_[i], nullptr, nullptr);
+      if (conn < 0) continue;
+      metrics_->connections_opened.fetch_add(1);
+      metrics_->connections_active.fetch_add(1);
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ReapFinishedLocked();
+      const uint64_t id = next_id_++;
+      live_fds_[id] = conn;
+      if (draining_) ::shutdown(conn, SHUT_RD);
+      threads_.emplace(id,
+                       std::thread([this, id, conn] {
+                         ServeConnection(id, conn);
+                       }));
+    }
+  }
+
+  // Drain: stop accepting, half-close every session so blocked reads see
+  // EOF while in-flight responses still go out, then join.
+  for (int fd : listener_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  listener_fds_.clear();
+  for (const Endpoint& endpoint : endpoints_) {
+    if (endpoint.kind == Endpoint::Kind::kUnix) {
+      ::unlink(endpoint.path.c_str());
+    }
+  }
+  metrics_->draining.store(true);
+  std::map<uint64_t, std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    draining_ = true;
+    for (auto& [id, fd] : live_fds_) {
+      (void)id;
+      ::shutdown(fd, SHUT_RD);
+    }
+    threads.swap(threads_);
+    finished_.clear();
+  }
+  for (auto& [id, thread] : threads) {
+    (void)id;
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void LineServer::RequestStop() {
+  // Only async-signal-safe calls here: SIGTERM handlers call this.
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 's';
+    ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+    (void)n;
+  }
+}
+
+void LineServer::ReapFinishedLocked() {
+  for (uint64_t id : finished_) {
+    auto it = threads_.find(id);
+    if (it == threads_.end()) continue;
+    if (it->second.joinable()) it->second.join();
+    threads_.erase(it);
+  }
+  finished_.clear();
+}
+
+void LineServer::ServeConnection(uint64_t id, int fd) {
+  std::string line;
+  std::string buffer;
+  size_t pos = 0;
+  for (bool open = true; open;) {
+    const ReadLineResult read = ReadLineBuffered(
+        fd, &buffer, &pos, options_.max_line_bytes, &line);
+    switch (read) {
+      case ReadLineResult::kLine:
+      case ReadLineResult::kPartial: {
+        // A partial line is a truncated frame (the client died or gave
+        // up mid-request): it still gets one parse -> one clean error
+        // line (the write usually fails — that is fine), never a crash.
+        if (line.empty()) {
+          open = read == ReadLineResult::kLine;
+          break;
+        }
+        const std::string response = handler_(line);
+        metrics_->lines_served.fetch_add(1);
+        if (!WriteAllFd(fd, response + "\n")) {
+          metrics_->dropped_connections.fetch_add(1);
+          open = false;
+          break;
+        }
+        open = read == ReadLineResult::kLine;
+        break;
+      }
+      case ReadLineResult::kOversized:
+        metrics_->oversized_lines.fetch_add(1);
+        (void)WriteAllFd(
+            fd, TransportErrorLine("request line exceeds " +
+                                   std::to_string(options_.max_line_bytes) +
+                                   " bytes") +
+                    "\n");
+        open = false;
+        break;
+      case ReadLineResult::kError:
+        metrics_->dropped_connections.fetch_add(1);
+        open = false;
+        break;
+      case ReadLineResult::kEof:
+        open = false;
+        break;
+    }
+  }
+  ::close(fd);
+  metrics_->connections_active.fetch_sub(1);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  live_fds_.erase(id);
+  finished_.push_back(id);
+}
+
+#else  // _WIN32
+
+Result<ClientChannel> ClientChannel::Connect(const Endpoint&) {
+  return Status::Unimplemented("transport requires POSIX sockets");
+}
+ClientChannel::~ClientChannel() = default;
+ClientChannel::ClientChannel(ClientChannel&& other) noexcept
+    : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+ClientChannel& ClientChannel::operator=(ClientChannel&& other) noexcept {
+  fd_ = other.fd_;
+  other.fd_ = -1;
+  return *this;
+}
+Status ClientChannel::SendLine(const std::string&) {
+  return Status::Unimplemented("transport requires POSIX sockets");
+}
+Status ClientChannel::SendRaw(const std::string&) {
+  return Status::Unimplemented("transport requires POSIX sockets");
+}
+Result<std::string> ClientChannel::ReceiveLine(size_t) {
+  return Status::Unimplemented("transport requires POSIX sockets");
+}
+Result<std::string> ClientChannel::RoundTrip(const std::string&) {
+  return Status::Unimplemented("transport requires POSIX sockets");
+}
+void ClientChannel::Close() {}
+
+LineServer::LineServer(Handler handler, Options options,
+                       ServiceMetrics* metrics)
+    : handler_(std::move(handler)),
+      options_(options),
+      metrics_(metrics != nullptr ? metrics : &owned_metrics_) {}
+LineServer::~LineServer() = default;
+Status LineServer::Listen(const Endpoint&) {
+  return Status::Unimplemented("transport requires POSIX sockets");
+}
+void LineServer::Serve() {}
+void LineServer::RequestStop() {}
+void LineServer::ReapFinishedLocked() {}
+void LineServer::ServeConnection(uint64_t, int) {}
+
+#endif  // _WIN32
+
+}  // namespace modis

@@ -1,0 +1,163 @@
+#ifndef MODIS_SERVICE_TRANSPORT_H_
+#define MODIS_SERVICE_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "service/metrics.h"
+
+namespace modis {
+
+/// A serving address of the discovery host: a unix-domain socket path or
+/// a TCP host:port. Both speak the same line-delimited JSON protocol
+/// (docs/SERVING.md §1) through the same accept loop (LineServer).
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;   // kUnix.
+  std::string host;   // kTcp; numeric IPv4 or "localhost".
+  uint16_t port = 0;  // kTcp; 0 = ephemeral, resolved at bind.
+
+  std::string ToString() const;  // "unix:PATH" | "tcp:HOST:PORT".
+};
+
+/// Parses the user-facing endpoint spelling, shared by `modis_server
+/// --listen`, `modis_cli --connect`, and `bench_serving --connect`:
+///
+///   "unix:PATH"                      explicit unix socket
+///   "tcp:HOST:PORT"                  explicit TCP
+///   "HOST:PORT"                      TCP shorthand
+///   anything else (e.g. "/a.sock")   unix socket path
+Result<Endpoint> ParseEndpoint(const std::string& spec);
+
+/// Client side of the protocol: one connection, line-oriented. Move-only;
+/// the destructor closes the socket.
+class ClientChannel {
+ public:
+  static Result<ClientChannel> Connect(const Endpoint& endpoint);
+
+  ClientChannel() = default;
+  ~ClientChannel();
+  ClientChannel(ClientChannel&& other) noexcept;
+  ClientChannel& operator=(ClientChannel&& other) noexcept;
+  ClientChannel(const ClientChannel&) = delete;
+  ClientChannel& operator=(const ClientChannel&) = delete;
+
+  /// Writes `line` plus the terminating '\n'.
+  Status SendLine(const std::string& line);
+
+  /// Writes exactly `bytes`, no framing. Exists so fault-injection tests
+  /// can craft truncated frames (a partial line with no newline).
+  Status SendRaw(const std::string& bytes);
+
+  /// Reads one '\n'-terminated line (the newline is stripped). EOF before
+  /// any byte — or a line beyond `max_bytes` — is an IoError.
+  Result<std::string> ReceiveLine(size_t max_bytes = 1u << 20);
+
+  /// SendLine + ReceiveLine.
+  Result<std::string> RoundTrip(const std::string& line);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit ClientChannel(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  /// Receive buffering: a chunked recv may deliver more than one line
+  /// (or a fraction of one); the unconsumed tail carries over between
+  /// ReceiveLine() calls.
+  std::string rx_buffer_;
+  size_t rx_pos_ = 0;
+};
+
+/// The accept loop every transport of the discovery host shares. Listens
+/// on any number of endpoints (unix and TCP side by side), serves each
+/// connection on its own thread through a line handler, and owns the
+/// graceful-drain choreography:
+///
+///   RequestStop() — async-signal-safe (one write(2) to an internal
+///   pipe), so a SIGTERM handler may call it directly — makes Serve():
+///     1. stop accepting (listeners closed, unix paths unlinked),
+///     2. half-close every open connection (shutdown(SHUT_RD)): a
+///        session blocked reading gets EOF, a session mid-request still
+///        writes its response — accepted work is completed, not dropped,
+///     3. join every connection thread, then return.
+///
+/// Oversized request lines are answered with one `{"ok":false,...}` line
+/// and a close (the stream cannot be resynced); a client that disconnects
+/// mid-request or mid-response never takes the host down — both paths are
+/// counted in ServiceMetrics and exercised by tests/transport_test.cc.
+class LineServer {
+ public:
+  struct Options {
+    /// Request lines beyond this are rejected and the connection closed.
+    /// (Initialized in the constructor: an inline default would make
+    /// `Options()` as a default argument of the enclosing class's own
+    /// constructor ill-formed.)
+    size_t max_line_bytes;
+    int listen_backlog;
+
+    Options() : max_line_bytes(1u << 20), listen_backlog(16) {}
+  };
+
+  /// Maps one request line to one response line. Runs on the connection's
+  /// thread; must be thread-safe (the service's Answer() is).
+  using Handler = std::function<std::string(const std::string& line)>;
+
+  LineServer(Handler handler, Options options = Options(),
+             ServiceMetrics* metrics = nullptr);
+  /// Implies RequestStop(); joins any still-running connection threads.
+  ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  /// Binds + listens. May be called repeatedly to serve several endpoints
+  /// from one accept loop. TCP port 0 is resolved to the kernel-assigned
+  /// port, visible through endpoints().
+  Status Listen(const Endpoint& endpoint);
+
+  /// The bound endpoints, in Listen() order.
+  const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+
+  /// Blocking accept loop; returns once RequestStop() was called and the
+  /// drain completed (every accepted request answered, every connection
+  /// thread joined).
+  void Serve();
+
+  /// Stops Serve() and starts the drain. Async-signal-safe; idempotent.
+  void RequestStop();
+
+ private:
+  void ServeConnection(uint64_t id, int fd);
+  /// Joins connection threads that have finished. Caller holds conn_mu_.
+  void ReapFinishedLocked();
+
+  Handler handler_;
+  Options options_;
+  ServiceMetrics* metrics_;  // Never null (falls back to an owned one).
+  ServiceMetrics owned_metrics_;
+
+  std::vector<int> listener_fds_;
+  std::vector<Endpoint> endpoints_;
+  int stop_pipe_[2] = {-1, -1};
+
+  std::mutex conn_mu_;
+  std::map<uint64_t, std::thread> threads_;
+  std::map<uint64_t, int> live_fds_;
+  std::vector<uint64_t> finished_;
+  uint64_t next_id_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_SERVICE_TRANSPORT_H_

@@ -53,6 +53,10 @@ std::vector<double> NumbersFromJson(const JsonValue& value) {
 
 Result<DiscoveryRequest> ParseDiscoveryRequest(const std::string& line) {
   MODIS_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(line));
+  return ParseDiscoveryRequestDoc(doc);
+}
+
+Result<DiscoveryRequest> ParseDiscoveryRequestDoc(const JsonValue& doc) {
   if (!doc.is_object()) {
     return Status::InvalidArgument("request must be a JSON object");
   }
@@ -171,6 +175,83 @@ std::string SerializeDiscoveryError(const Status& status) {
   doc.Set("code", StatusCodeName(status.code()));
   doc.Set("error", status.message());
   return doc.Dump();
+}
+
+namespace {
+
+JsonValue HistogramToJson(const LatencyHistogram::Snapshot& h) {
+  JsonValue doc{JsonValue::Object{}};
+  doc.Set("count", h.count);
+  doc.Set("sum_ms", h.sum_ms);
+  doc.Set("max_ms", h.max_ms);
+  doc.Set("p50_ms", h.QuantileMs(0.50));
+  doc.Set("p90_ms", h.QuantileMs(0.90));
+  doc.Set("p99_ms", h.QuantileMs(0.99));
+  // Sparse bucket list: [upper_bound_ms, count] for non-empty buckets.
+  JsonValue::Array buckets;
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;
+    JsonValue::Array bucket;
+    bucket.emplace_back(LatencyHistogram::BucketBoundMs(i));
+    bucket.emplace_back(h.buckets[i]);
+    buckets.emplace_back(std::move(bucket));
+  }
+  doc.Set("buckets_le_ms", std::move(buckets));
+  return doc;
+}
+
+}  // namespace
+
+std::string SerializeServiceMetrics(const MetricsSnapshot& snapshot) {
+  JsonValue metrics{JsonValue::Object{}};
+  metrics.Set("accepted", snapshot.accepted);
+  metrics.Set("rejected", snapshot.rejected);
+  metrics.Set("served", snapshot.served);
+  metrics.Set("failed", snapshot.failed);
+  metrics.Set("queue_depth", snapshot.queue_depth);
+  metrics.Set("live_contexts", snapshot.live_contexts);
+  metrics.Set("context_builds", snapshot.context_builds);
+  metrics.Set("context_evictions", snapshot.context_evictions);
+  metrics.Set("cache_files", snapshot.cache_files);
+  metrics.Set("cache_bytes", snapshot.cache_bytes);
+  metrics.Set("cache_records", snapshot.cache_records);
+  metrics.Set("cache_replays", snapshot.cache_replays);
+  metrics.Set("cache_appends", snapshot.cache_appends);
+  metrics.Set("cache_evictions", snapshot.cache_evictions);
+  metrics.Set("connections_opened", snapshot.connections_opened);
+  metrics.Set("connections_active", snapshot.connections_active);
+  metrics.Set("lines_served", snapshot.lines_served);
+  metrics.Set("oversized_lines", snapshot.oversized_lines);
+  metrics.Set("dropped_connections", snapshot.dropped_connections);
+  metrics.Set("draining", snapshot.draining);
+  metrics.Set("queue_ms", HistogramToJson(snapshot.queue_ms));
+  metrics.Set("run_ms", HistogramToJson(snapshot.run_ms));
+  metrics.Set("total_ms", HistogramToJson(snapshot.total_ms));
+  JsonValue doc{JsonValue::Object{}};
+  doc.Set("ok", true);
+  doc.Set("metrics", std::move(metrics));
+  return doc.Dump();
+}
+
+std::string HandleServiceLine(DiscoveryService* service,
+                              const std::string& line) {
+  auto doc = JsonValue::Parse(line);
+  if (!doc.ok()) return SerializeDiscoveryError(doc.status());
+  if (doc->is_object()) {
+    const std::string verb = doc->GetString("verb", "");
+    if (verb == "metrics") {
+      return SerializeServiceMetrics(service->SnapshotMetrics());
+    }
+    if (!verb.empty() && verb != "discover") {
+      return SerializeDiscoveryError(Status::InvalidArgument(
+          "unknown verb '" + verb + "' (discover | metrics)"));
+    }
+  }
+  auto request = ParseDiscoveryRequestDoc(*doc);
+  if (!request.ok()) return SerializeDiscoveryError(request.status());
+  auto response = service->Answer(request.value());
+  if (!response.ok()) return SerializeDiscoveryError(response.status());
+  return SerializeDiscoveryResponse(response.value());
 }
 
 Result<DiscoveryResponse> ParseDiscoveryResponse(const std::string& line) {

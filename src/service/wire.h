@@ -20,6 +20,10 @@ namespace modis {
 /// document is an InvalidArgument.
 Result<DiscoveryRequest> ParseDiscoveryRequest(const std::string& line);
 
+/// Same, over an already-parsed document (the handler parses once to
+/// dispatch on the "verb" member).
+Result<DiscoveryRequest> ParseDiscoveryRequestDoc(const JsonValue& doc);
+
 /// Encodes a request as one line (no trailing newline).
 std::string SerializeDiscoveryRequest(const DiscoveryRequest& request);
 
@@ -32,6 +36,20 @@ std::string SerializeDiscoveryError(const Status& status);
 /// Decodes a response line (client side). A well-formed
 /// `{"ok":false,...}` document decodes into the transported Status.
 Result<DiscoveryResponse> ParseDiscoveryResponse(const std::string& line);
+
+/// Encodes a metrics snapshot as `{"ok":true,"metrics":{...}}` — the
+/// response of the `"metrics"` verb and the host's shutdown dump. The
+/// member names are the metrics schema documented in docs/SERVING.md §5.
+std::string SerializeServiceMetrics(const MetricsSnapshot& snapshot);
+
+/// THE request dispatcher of the protocol: maps one request line to one
+/// response line, shared by `modis_server` (socket + stdio), and the
+/// in-process servers of tests/transport_test.cc. Dispatches on the
+/// optional "verb" member — absent or "discover" runs a discovery query
+/// through Answer(); "metrics" snapshots the host; anything else is an
+/// InvalidArgument line. Never throws, never returns an empty string.
+std::string HandleServiceLine(DiscoveryService* service,
+                              const std::string& line);
 
 }  // namespace modis
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -325,6 +326,115 @@ TEST(ServiceTest, UnknownInputsFailCleanly) {
   request = MakeRequest("bi");
   request.oracle = "oracle-of-delphi";
   EXPECT_FALSE(service.Answer(request).ok());
+}
+
+// ----------------------------------------------------- context lifecycle
+
+/// The LRU cap: a host bounded to one live context serves T2, evicts it
+/// to make room for T1, and transparently rebuilds it for the next T2
+/// query — with an identical skyline (contexts are derived data).
+TEST(ServiceLifecycleTest, LruEvictedContextIsRebuiltTransparently) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.max_task_contexts = 1;
+  DiscoveryService service(options);
+
+  auto first = service.Answer(MakeRequest("bi"));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  MetricsSnapshot snapshot = service.SnapshotMetrics();
+  EXPECT_EQ(snapshot.live_contexts, 1u);
+  EXPECT_EQ(snapshot.context_builds, 1u);
+  EXPECT_EQ(snapshot.context_evictions, 0u);
+
+  // Loading T1 exceeds the cap: T2 (the LRU victim) is evicted.
+  ASSERT_TRUE(service.Preload("T1").ok());
+  snapshot = service.SnapshotMetrics();
+  EXPECT_EQ(snapshot.live_contexts, 1u);
+  EXPECT_EQ(snapshot.context_builds, 2u);
+  EXPECT_EQ(snapshot.context_evictions, 1u);
+
+  // The next T2 query rebuilds the context and answers identically.
+  auto second = service.Answer(MakeRequest("bi"));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  snapshot = service.SnapshotMetrics();
+  EXPECT_EQ(snapshot.live_contexts, 1u);
+  EXPECT_EQ(snapshot.context_builds, 3u);
+  EXPECT_EQ(snapshot.context_evictions, 2u);
+  ExpectSameSkylines(*first, *second);
+  EXPECT_EQ(first->exact_evals, second->exact_evals);
+}
+
+/// A cap of N holds N contexts: lookups that hit at exactly the cap
+/// must not evict (that would make the cap effectively N-1 and thrash
+/// alternating workloads with context rebuilds).
+TEST(ServiceLifecycleTest, LruCapHoldsExactlyCapContextsWithoutThrashing) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.max_task_contexts = 2;
+  DiscoveryService service(options);
+
+  ASSERT_TRUE(service.Preload("T2").ok());
+  ASSERT_TRUE(service.Preload("T1").ok());
+  // Alternate hits at the cap: nothing is evicted, nothing rebuilt.
+  ASSERT_TRUE(service.Preload("T2").ok());
+  ASSERT_TRUE(service.Preload("T1").ok());
+  const MetricsSnapshot snapshot = service.SnapshotMetrics();
+  EXPECT_EQ(snapshot.live_contexts, 2u);
+  EXPECT_EQ(snapshot.context_builds, 2u);
+  EXPECT_EQ(snapshot.context_evictions, 0u);
+}
+
+/// The idle TTL: a context that nobody queried for longer than the TTL
+/// is dropped by the sweep of the next context lookup, and the task
+/// still answers (identically) afterwards.
+TEST(ServiceLifecycleTest, IdleContextIsEvictedByTtlAndRebuilt) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.context_idle_ttl_s = 0.2;
+  DiscoveryService service(options);
+
+  auto first = service.Answer(MakeRequest("bi"));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(service.SnapshotMetrics().live_contexts, 1u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  // Any context lookup sweeps: loading T1 finds T2 beyond its TTL.
+  ASSERT_TRUE(service.Preload("T1").ok());
+  MetricsSnapshot snapshot = service.SnapshotMetrics();
+  EXPECT_GE(snapshot.context_evictions, 1u);
+  EXPECT_EQ(snapshot.live_contexts, 1u);
+
+  auto second = service.Answer(MakeRequest("bi"));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ExpectSameSkylines(*first, *second);
+}
+
+// ----------------------------------------------------- cache byte budget
+
+/// Hosts default to a *bounded* cache (256 MiB) rather than unbounded
+/// growth, and the budget is actually enforced end to end: a tiny budget
+/// keeps the log file under it across queries that would otherwise
+/// accumulate records forever.
+TEST(ServiceLifecycleTest, DefaultCacheBudgetIsBoundedAndEnforced) {
+  // The production default: bounded, not 0.
+  EXPECT_EQ(DiscoveryService::Options().cache_max_bytes,
+            DiscoveryService::Options::kDefaultCacheMaxBytes);
+  EXPECT_GT(DiscoveryService::Options::kDefaultCacheMaxBytes, 0u);
+
+  const std::string path = TempPath("service_budget.rlog");
+  const uint64_t budget = 4096;
+  {
+    DiscoveryService::Options options = SmallServiceOptions();
+    options.default_cache_path = path;
+    options.cache_max_bytes = budget;
+    DiscoveryService service(options);
+    for (const char* variant : {"bi", "apx"}) {
+      auto response = service.Answer(MakeRequest(variant));
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+    }
+    EXPECT_GT(service.SnapshotMetrics().cache_evictions, 0u);
+  }
+  // After the final flush the log observes the budget.
+  ASSERT_TRUE(fs::exists(path));
+  EXPECT_LE(fs::file_size(path), budget);
 }
 
 // ---------------------------------------------------- satellite coverage

@@ -7,6 +7,11 @@
 #include <thread>
 #include <vector>
 
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 #include "core/algorithms.h"
 #include "datagen/tasks.h"
 #include "estimator/supervised_evaluator.h"
@@ -727,6 +732,73 @@ TEST(CacheDeterminismTest, BrokenCachePathDegradesToColdRun) {
   EXPECT_EQ(result.record_cache_stats.appended, 0u);
   ExpectSameSkyline(f.Run(f.Config(""), false), std::move(result));
 }
+
+#if !defined(_WIN32)
+
+/// The ROADMAP's documented cross-process contract: while a live host
+/// holds the writer lock on a cache file, a *reader in another process*
+/// neither hangs nor corrupts anything — the raw open fails fast and an
+/// engine pointed at the file serves the query cold, byte-identical to a
+/// cache-less run. (If file-level read sharing ever matters, it becomes
+/// a lockfile protocol or snapshot serving — today's answer is "ask the
+/// host over the socket", docs/SERVING.md §2.)
+TEST(CacheDeterminismTest, CrossProcessReaderOnLiveHostDegradesToCold) {
+  const std::string path = TempLogPath("xproc_live_host.rlog");
+  int ready[2] = {-1, -1}, release[2] = {-1, -1};
+  ASSERT_EQ(::pipe(ready), 0);
+  ASSERT_EQ(::pipe(release), 0);
+
+  // The "live host" process: opens the cache read-write (taking the
+  // flock writer lock), reports readiness, and holds the lock until the
+  // parent releases it. fork() is safe here: gtest runs this process
+  // single-threaded between tests, and the child only opens a file.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    auto host_cache =
+        PersistentRecordCache::Open(path, CacheMode::kReadWrite, 7);
+    char byte = host_cache.ok() ? '1' : '0';
+    (void)!::write(ready[1], &byte, 1);
+    (void)!::read(release[0], &byte, 1);
+    ::_exit(0);
+  }
+  char byte = 0;
+  ASSERT_EQ(::read(ready[0], &byte, 1), 1);
+  ASSERT_EQ(byte, '1') << "child failed to take the writer lock";
+
+  // A raw read-only open from this process fails fast — no hang (flock
+  // is taken with LOCK_NB), no partial scan.
+  std::vector<StoredRecord> records;
+  auto reader = RecordLog::Open(path, /*read_only=*/true, &records);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(records.empty());
+
+  // An engine configured to read the locked file degrades to cold and
+  // still answers — identically to a run with no cache at all.
+  auto f = DeterminismFixture::Make();
+  ModisConfig locked_cfg = f.Config(path);
+  locked_cfg.cache_mode = CacheMode::kRead;
+  ModisResult degraded = f.Run(locked_cfg, /*surrogate=*/false);
+  EXPECT_FALSE(degraded.record_cache_active);
+  EXPECT_GT(degraded.oracle_stats.exact_evals, 0u);
+  EXPECT_EQ(degraded.oracle_stats.persistent_hits, 0u);
+  ExpectSameSkyline(f.Run(f.Config(""), false), std::move(degraded));
+
+  // Release the host and make sure the file it owned is still sound: it
+  // reloads cleanly once the lock is gone.
+  ASSERT_EQ(::write(release[1], "x", 1), 1);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  records.clear();
+  auto reload = RecordLog::Open(path, /*read_only=*/true, &records);
+  ASSERT_TRUE(reload.ok()) << reload.status().ToString();
+  EXPECT_EQ(reload->discarded_tail_bytes(), 0u);
+  for (int fd : {ready[0], ready[1], release[0], release[1]}) ::close(fd);
+}
+
+#endif  // !_WIN32
 
 }  // namespace
 }  // namespace modis

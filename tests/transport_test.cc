@@ -1,0 +1,485 @@
+/// Concurrency and fault-injection battery of the serving transport
+/// (src/service/transport.h) and its wire dispatcher: endpoint grammar,
+/// malformed/truncated/oversized/out-of-range requests, mid-request
+/// disconnects, the `"metrics"` verb, TCP-vs-unix answer equivalence,
+/// and the graceful-drain contract (stop mid-stream with in-flight
+/// queries => every accepted request is answered, identically to an
+/// undisturbed run, and no session thread leaks). The `sanitize-thread`
+/// CI job runs this suite under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/discovery_service.h"
+#include "service/json.h"
+#include "service/metrics.h"
+#include "service/transport.h"
+#include "service/wire.h"
+
+namespace modis {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr double kRowScale = 0.4;
+
+std::string TempPath(const std::string& name) {
+  const fs::path path = fs::path(::testing::TempDir()) / name;
+  fs::remove(path);
+  fs::remove(fs::path(path.string() + ".compact"));
+  return path.string();
+}
+
+Endpoint UnixEndpoint(const std::string& name) {
+  Endpoint endpoint;
+  endpoint.kind = Endpoint::Kind::kUnix;
+  endpoint.path = TempPath(name);
+  return endpoint;
+}
+
+Endpoint TcpAnyPort() {
+  Endpoint endpoint;
+  endpoint.kind = Endpoint::Kind::kTcp;
+  endpoint.host = "127.0.0.1";
+  endpoint.port = 0;  // Resolved at bind.
+  return endpoint;
+}
+
+/// The canonical test query (same shape as tests/service_test.cc): T2 at
+/// a small budget, wall-clock measures excluded so answers are
+/// bit-reproducible.
+DiscoveryRequest MakeRequest(const std::string& variant) {
+  DiscoveryRequest request;
+  request.task = "T2";
+  request.variant = variant;
+  request.epsilon = 0.25;
+  request.budget = 40;
+  request.maxl = 2;
+  request.measures = {"f1", "acc", "fisher", "mi"};
+  return request;
+}
+
+DiscoveryService::Options SmallServiceOptions() {
+  DiscoveryService::Options options;
+  options.sessions = 2;
+  options.queue_capacity = 16;
+  options.valuation_threads = 2;
+  options.task_row_scale = kRowScale;
+  return options;
+}
+
+/// An in-process discovery host behind a real LineServer: the service,
+/// the shared line handler, and a background accept loop. Stop() (or the
+/// destructor) runs the drain and joins.
+class TestHost {
+ public:
+  explicit TestHost(
+      DiscoveryService::Options service_options = SmallServiceOptions(),
+      LineServer::Options server_options = LineServer::Options())
+      : service_(service_options),
+        server_(
+            [this](const std::string& line) {
+              return HandleServiceLine(&service_, line);
+            },
+            server_options, service_.metrics()) {}
+
+  ~TestHost() { Stop(); }
+
+  Status Listen(const Endpoint& endpoint) { return server_.Listen(endpoint); }
+
+  void Start() {
+    serving_ = std::thread([this] { server_.Serve(); });
+  }
+
+  /// Requests the drain and waits for Serve() to return. Idempotent.
+  void Stop() {
+    server_.RequestStop();
+    if (serving_.joinable()) serving_.join();
+  }
+
+  DiscoveryService& service() { return service_; }
+  LineServer& server() { return server_; }
+  const Endpoint& endpoint(size_t i = 0) const {
+    return server_.endpoints().at(i);
+  }
+
+ private:
+  DiscoveryService service_;
+  LineServer server_;
+  std::thread serving_;
+};
+
+void ExpectSameSkylines(const DiscoveryResponse& a,
+                        const DiscoveryResponse& b) {
+  ASSERT_EQ(a.skyline.size(), b.skyline.size());
+  ASSERT_FALSE(a.skyline.empty());
+  auto sorted = [](const DiscoveryResponse& r) {
+    std::vector<DiscoverySkylineRow> rows = r.skyline;
+    std::sort(rows.begin(), rows.end(),
+              [](const DiscoverySkylineRow& x, const DiscoverySkylineRow& y) {
+                return x.signature < y.signature;
+              });
+    return rows;
+  };
+  const auto rows_a = sorted(a);
+  const auto rows_b = sorted(b);
+  for (size_t i = 0; i < rows_a.size(); ++i) {
+    EXPECT_EQ(rows_a[i].signature, rows_b[i].signature);
+    ASSERT_EQ(rows_a[i].raw.size(), rows_b[i].raw.size());
+    for (size_t j = 0; j < rows_a[i].raw.size(); ++j) {
+      EXPECT_DOUBLE_EQ(rows_a[i].raw[j], rows_b[i].raw[j]);
+      EXPECT_DOUBLE_EQ(rows_a[i].normalized[j], rows_b[i].normalized[j]);
+    }
+  }
+}
+
+// ------------------------------------------------------------- endpoints
+
+TEST(EndpointTest, ParsesEverySpellingOfTheGrammar) {
+  auto unix_explicit = ParseEndpoint("unix:/tmp/x.sock");
+  ASSERT_TRUE(unix_explicit.ok());
+  EXPECT_EQ(unix_explicit->kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(unix_explicit->path, "/tmp/x.sock");
+  EXPECT_EQ(unix_explicit->ToString(), "unix:/tmp/x.sock");
+
+  auto unix_bare = ParseEndpoint("/var/run/modis.sock");
+  ASSERT_TRUE(unix_bare.ok());
+  EXPECT_EQ(unix_bare->kind, Endpoint::Kind::kUnix);
+
+  auto tcp_explicit = ParseEndpoint("tcp:127.0.0.1:7077");
+  ASSERT_TRUE(tcp_explicit.ok());
+  EXPECT_EQ(tcp_explicit->kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp_explicit->host, "127.0.0.1");
+  EXPECT_EQ(tcp_explicit->port, 7077);
+  EXPECT_EQ(tcp_explicit->ToString(), "tcp:127.0.0.1:7077");
+
+  auto tcp_short = ParseEndpoint("localhost:9000");
+  ASSERT_TRUE(tcp_short.ok());
+  EXPECT_EQ(tcp_short->kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp_short->host, "localhost");
+  EXPECT_EQ(tcp_short->port, 9000);
+
+  // A relative socket file name (no '/', no ':') is a unix path too.
+  auto relative = ParseEndpoint("modis.sock");
+  ASSERT_TRUE(relative.ok());
+  EXPECT_EQ(relative->kind, Endpoint::Kind::kUnix);
+}
+
+TEST(EndpointTest, RejectsMalformedSpecs) {
+  for (const char* bad : {"", "unix:", "tcp:", "tcp:nohost", "tcp:host:",
+                          "tcp:host:99999", "tcp:host:12x4", "tcp::80",
+                          "host:port"}) {
+    EXPECT_FALSE(ParseEndpoint(bad).ok()) << bad;
+  }
+}
+
+// -------------------------------------------------------- fault injection
+
+TEST(TransportFaultTest,
+     MalformedAndOutOfRangeLinesGetErrorsOnOneLiveConnection) {
+  TestHost host;
+  ASSERT_TRUE(host.Listen(UnixEndpoint("fault_basic.sock")).ok());
+  host.Start();
+
+  auto channel = ClientChannel::Connect(host.endpoint());
+  ASSERT_TRUE(channel.ok()) << channel.status().ToString();
+
+  const std::vector<std::string> bad_lines = {
+      "this is not json",
+      "{\"task\":",                          // Truncated document.
+      "[1,2,3]",                             // Not an object.
+      "{\"variant\":\"bi\"}",                // Missing task.
+      "{\"verb\":\"frobnicate\"}",           // Unknown verb.
+      "{\"task\":\"T2\",\"budget\":1e300}",  // Out-of-range count.
+      "{\"task\":\"T2\",\"budget\":-4}",     // Negative count.
+      "{\"task\":\"T2\",\"maxl\":2.5}",      // Non-integer count.
+      "{\"task\":\"T2\",\"epsilon\":-1}",    // Out-of-range epsilon.
+      "{\"task\":\"T2\",\"alpha\":7}",       // Out-of-range alpha.
+      "{\"task\":\"T2\",\"seed\":1e17}",     // Seed beyond 2^53.
+  };
+  for (const std::string& line : bad_lines) {
+    auto reply = channel->RoundTrip(line);
+    ASSERT_TRUE(reply.ok()) << "connection died after: " << line;
+    auto doc = JsonValue::Parse(reply.value());
+    ASSERT_TRUE(doc.ok()) << reply.value();
+    EXPECT_FALSE(doc->GetBool("ok", true)) << line;
+    EXPECT_EQ(doc->GetString("code", ""), "InvalidArgument") << line;
+  }
+
+  // The connection survived the whole barrage: a valid verb still works.
+  auto metrics = channel->RoundTrip("{\"verb\":\"metrics\"}");
+  ASSERT_TRUE(metrics.ok());
+  auto doc = JsonValue::Parse(metrics.value());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->GetBool("ok", false));
+
+  host.Stop();
+  const MetricsSnapshot snapshot = host.service().SnapshotMetrics();
+  EXPECT_EQ(snapshot.connections_active, 0u);
+  EXPECT_EQ(snapshot.lines_served, bad_lines.size() + 1);
+}
+
+TEST(TransportFaultTest, OversizedLineIsAnsweredAndConnectionClosed) {
+  LineServer::Options tiny;
+  tiny.max_line_bytes = 512;
+  TestHost host(SmallServiceOptions(), tiny);
+  ASSERT_TRUE(host.Listen(UnixEndpoint("fault_oversize.sock")).ok());
+  host.Start();
+
+  auto channel = ClientChannel::Connect(host.endpoint());
+  ASSERT_TRUE(channel.ok());
+  auto reply = channel->RoundTrip(std::string(4096, 'a'));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  auto doc = JsonValue::Parse(reply.value());
+  ASSERT_TRUE(doc.ok()) << reply.value();
+  EXPECT_FALSE(doc->GetBool("ok", true));
+  EXPECT_NE(doc->GetString("error", "").find("exceeds"), std::string::npos);
+  // The stream cannot be resynced after an oversized line: closed.
+  EXPECT_FALSE(channel->ReceiveLine().ok());
+
+  // The host is unharmed; a new connection serves normally.
+  auto fresh = ClientChannel::Connect(host.endpoint());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->RoundTrip("{\"verb\":\"metrics\"}").ok());
+
+  host.Stop();
+  const MetricsSnapshot snapshot = host.service().SnapshotMetrics();
+  EXPECT_EQ(snapshot.oversized_lines, 1u);
+  EXPECT_EQ(snapshot.connections_active, 0u);
+}
+
+TEST(TransportFaultTest, TruncatedFramesAndMidRequestDisconnectsLeakNothing) {
+  TestHost host;
+  ASSERT_TRUE(host.Listen(UnixEndpoint("fault_disconnect.sock")).ok());
+  host.Start();
+
+  {
+    // Truncated frame: half a request, no terminating newline, then
+    // close. The server answers the fragment with one clean error line
+    // (usually into a closed socket) and moves on.
+    auto channel = ClientChannel::Connect(host.endpoint());
+    ASSERT_TRUE(channel.ok());
+    ASSERT_TRUE(channel->SendRaw("{\"task\":\"T2\",\"varia").ok());
+    channel->Close();
+  }
+  {
+    // Mid-request disconnect: a full line, but the client vanishes
+    // before reading the response — the server's write fails; never the
+    // host.
+    auto channel = ClientChannel::Connect(host.endpoint());
+    ASSERT_TRUE(channel.ok());
+    ASSERT_TRUE(channel->SendLine("not json at all").ok());
+    channel->Close();
+  }
+  {
+    // Empty connection: open, say nothing, close.
+    auto channel = ClientChannel::Connect(host.endpoint());
+    ASSERT_TRUE(channel.ok());
+    channel->Close();
+  }
+
+  // The host still serves after all three abuse patterns.
+  auto probe = ClientChannel::Connect(host.endpoint());
+  ASSERT_TRUE(probe.ok());
+  auto reply = probe->RoundTrip("{\"verb\":\"metrics\"}");
+  ASSERT_TRUE(reply.ok());
+  auto doc = JsonValue::Parse(reply.value());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->GetBool("ok", false));
+
+  // No session thread leaks: the drain returns and every connection is
+  // accounted for.
+  host.Stop();
+  const MetricsSnapshot snapshot = host.service().SnapshotMetrics();
+  EXPECT_EQ(snapshot.connections_active, 0u);
+  EXPECT_EQ(snapshot.connections_opened, 4u);
+}
+
+// ------------------------------------------------------------ metrics verb
+
+TEST(TransportTest, MetricsVerbExportsCountersAndHistograms) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.default_cache_path = TempPath("metrics_verb.rlog");
+  TestHost host(options);
+  ASSERT_TRUE(host.Listen(UnixEndpoint("metrics_verb.sock")).ok());
+  host.Start();
+
+  auto channel = ClientChannel::Connect(host.endpoint());
+  ASSERT_TRUE(channel.ok());
+  auto served =
+      channel->RoundTrip(SerializeDiscoveryRequest(MakeRequest("bi")));
+  ASSERT_TRUE(served.ok());
+  auto response = ParseDiscoveryResponse(served.value());
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  auto reply = channel->RoundTrip("{\"verb\":\"metrics\"}");
+  ASSERT_TRUE(reply.ok());
+  auto doc = JsonValue::Parse(reply.value());
+  ASSERT_TRUE(doc.ok()) << reply.value();
+  EXPECT_TRUE(doc->GetBool("ok", false));
+  const JsonValue* metrics = doc->Get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->GetNumber("accepted", -1), 1.0);
+  EXPECT_EQ(metrics->GetNumber("served", -1), 1.0);
+  EXPECT_EQ(metrics->GetNumber("rejected", -1), 0.0);
+  EXPECT_EQ(metrics->GetNumber("failed", -1), 0.0);
+  EXPECT_EQ(metrics->GetNumber("queue_depth", -1), 0.0);
+  EXPECT_EQ(metrics->GetNumber("live_contexts", -1), 1.0);
+  EXPECT_EQ(metrics->GetNumber("context_builds", -1), 1.0);
+  EXPECT_EQ(metrics->GetNumber("cache_files", -1), 1.0);
+  EXPECT_GT(metrics->GetNumber("cache_appends", -1), 0.0);
+  EXPECT_GT(metrics->GetNumber("cache_bytes", -1), 0.0);
+  EXPECT_EQ(metrics->GetNumber("connections_active", -1), 1.0);
+  // lines_served counts lines already answered when the snapshot was
+  // taken: the discovery query, not the metrics line being served.
+  EXPECT_EQ(metrics->GetNumber("lines_served", -1), 1.0);
+  EXPECT_FALSE(metrics->GetBool("draining", true));
+  const JsonValue* run_ms = metrics->Get("run_ms");
+  ASSERT_NE(run_ms, nullptr);
+  EXPECT_EQ(run_ms->GetNumber("count", -1), 1.0);
+  EXPECT_GT(run_ms->GetNumber("sum_ms", -1), 0.0);
+  EXPECT_GE(run_ms->GetNumber("p99_ms", -1),
+            run_ms->GetNumber("p50_ms", -1));
+
+  host.Stop();
+}
+
+// ----------------------------------------------------- TCP == unix answers
+
+TEST(TransportTest, TcpAndUnixTransportsServeIdenticalWarmAnswers) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.default_cache_path = TempPath("tcp_unix.rlog");
+  TestHost host(options);
+  ASSERT_TRUE(host.Listen(UnixEndpoint("tcp_unix.sock")).ok());
+  ASSERT_TRUE(host.Listen(TcpAnyPort()).ok());
+  ASSERT_EQ(host.server().endpoints().size(), 2u);
+  EXPECT_NE(host.endpoint(1).port, 0) << "ephemeral port not resolved";
+  host.Start();
+
+  const std::string request = SerializeDiscoveryRequest(MakeRequest("bi"));
+
+  // Cold over unix: trains and records.
+  auto unix_channel = ClientChannel::Connect(host.endpoint(0));
+  ASSERT_TRUE(unix_channel.ok());
+  auto cold_reply = unix_channel->RoundTrip(request);
+  ASSERT_TRUE(cold_reply.ok());
+  auto cold = ParseDiscoveryResponse(cold_reply.value());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_GT(cold->exact_evals, 0u);
+
+  // Warm over TCP: replays everything, answers identically.
+  auto tcp_channel = ClientChannel::Connect(host.endpoint(1));
+  ASSERT_TRUE(tcp_channel.ok()) << tcp_channel.status().ToString();
+  auto warm_reply = tcp_channel->RoundTrip(request);
+  ASSERT_TRUE(warm_reply.ok());
+  auto warm = ParseDiscoveryResponse(warm_reply.value());
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->exact_evals, 0u);
+  EXPECT_EQ(warm->persistent_hits, cold->exact_evals);
+  ExpectSameSkylines(*cold, *warm);
+
+  host.Stop();
+}
+
+// ------------------------------------------------------------------ drain
+
+/// The lifecycle acceptance gate: 4 concurrent clients with in-flight
+/// queries, stop requested mid-stream (exactly what the SIGTERM handler
+/// triggers), and every accepted request still gets its full answer —
+/// byte-identical to an undisturbed run — before Serve() returns.
+TEST(TransportDrainTest, StopMidStreamCompletesAllAcceptedWork) {
+  const std::vector<std::string> variants = {"apx", "nobi", "bi", "div"};
+
+  // Undisturbed reference: same service shape, no transport, no drain.
+  std::vector<DiscoveryResponse> reference;
+  {
+    DiscoveryService::Options options = SmallServiceOptions();
+    options.sessions = 4;
+    DiscoveryService service(options);
+    ASSERT_TRUE(service.Preload("T2").ok());
+    for (const std::string& variant : variants) {
+      auto response = service.Answer(MakeRequest(variant));
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      reference.push_back(std::move(response).value());
+    }
+  }
+
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.sessions = 4;
+  TestHost host(options);
+  ASSERT_TRUE(host.Listen(UnixEndpoint("drain.sock")).ok());
+  host.Start();
+  ASSERT_TRUE(host.service().Preload("T2").ok());
+
+  // 4 clients send their requests, then block on the response.
+  std::vector<Result<std::string>> replies(
+      variants.size(), Result<std::string>(Status::Internal("unset")));
+  std::vector<std::thread> clients;
+  std::atomic<size_t> sent{0};
+  for (size_t i = 0; i < variants.size(); ++i) {
+    clients.emplace_back([&, i] {
+      auto channel = ClientChannel::Connect(host.endpoint());
+      if (!channel.ok()) {
+        replies[i] = channel.status();
+        sent.fetch_add(1);
+        return;
+      }
+      const Status submitted = channel->SendLine(
+          SerializeDiscoveryRequest(MakeRequest(variants[i])));
+      sent.fetch_add(1);
+      if (!submitted.ok()) {
+        replies[i] = submitted;
+        return;
+      }
+      replies[i] = channel->ReceiveLine();
+    });
+  }
+
+  // Stop once every request is on the wire and accepted by the service —
+  // the queries are genuinely in flight at that point.
+  while (sent.load() < variants.size()) {
+    std::this_thread::yield();
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (host.service().stats().accepted < variants.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(host.service().stats().accepted, variants.size());
+  host.server().RequestStop();
+
+  for (std::thread& client : clients) client.join();
+  host.Stop();  // Serve() has already returned; join its thread.
+
+  // Every accepted request was answered in full, identically to the
+  // undisturbed run.
+  for (size_t i = 0; i < variants.size(); ++i) {
+    ASSERT_TRUE(replies[i].ok())
+        << variants[i] << ": " << replies[i].status().ToString();
+    auto response = ParseDiscoveryResponse(replies[i].value());
+    ASSERT_TRUE(response.ok())
+        << variants[i] << ": " << response.status().ToString();
+    ExpectSameSkylines(reference[i], *response);
+  }
+
+  const MetricsSnapshot snapshot = host.service().SnapshotMetrics();
+  EXPECT_EQ(snapshot.served, variants.size());
+  EXPECT_EQ(snapshot.failed, 0u);
+  EXPECT_EQ(snapshot.queue_depth, 0u);
+  EXPECT_EQ(snapshot.connections_active, 0u);
+  EXPECT_TRUE(snapshot.draining);
+
+  // A post-drain connection attempt is refused: the listener is gone.
+  EXPECT_FALSE(ClientChannel::Connect(host.endpoint()).ok());
+}
+
+}  // namespace
+}  // namespace modis
