@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -20,6 +21,9 @@
 #include "datagen/tasks.h"
 #include "moo/pareto.h"
 #include "ops/operators.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "storage/paged_store.h"
 
 namespace modis {
 namespace {
@@ -158,6 +162,101 @@ void BM_GridPosition(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GridPosition);
+
+StoredRecord MakeRecord(uint64_t fingerprint, size_t i) {
+  StoredRecord r;
+  r.fingerprint = fingerprint;
+  r.key = "state-" + std::to_string(i);
+  r.features = {double(i), double(i) * 0.5, double(i % 7)};
+  r.eval.raw = {0.5, double(i % 100) / 100.0};
+  r.eval.normalized = {0.5, double(i % 100) / 100.0};
+  return r;
+}
+
+std::string ScratchPath(const char* name) {
+  return std::string("bench_") + name + ".pagecache.tmp";
+}
+
+void BM_PagedStoreInsertFlush(benchmark::State& state) {
+  // Append throughput of the paged engine: N inserts + one durable
+  // Flush (dirty write-back + superblock commit) per iteration.
+  const size_t n = state.range(0);
+  const std::string path = ScratchPath("insert");
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::remove(path.c_str());
+    auto store = PagedStore::Open(path, /*read_only=*/false, {});
+    MODIS_CHECK(store.ok());
+    state.ResumeTiming();
+    for (size_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize((*store)->Insert(MakeRecord(7, i)));
+    }
+    MODIS_CHECK((*store)->Flush().ok());
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PagedStoreInsertFlush)->Arg(256)->Arg(2048);
+
+void BM_PagedStorePointLookup(benchmark::State& state) {
+  // O(1)-page point lookups through a buffer pool much smaller than the
+  // file — the paged engine's reason to exist. Compare the small-budget
+  // runs against the roomy one to see the eviction cost.
+  const size_t records = 4096;
+  const size_t frames = state.range(0);
+  const std::string path = ScratchPath("lookup");
+  std::remove(path.c_str());
+  {
+    auto build = PagedStore::Open(path, /*read_only=*/false, {});
+    MODIS_CHECK(build.ok());
+    for (size_t i = 0; i < records; ++i) {
+      (*build)->Insert(MakeRecord(7, i));
+    }
+    MODIS_CHECK((*build)->Flush().ok());
+  }
+  PagedStore::Options options;
+  options.buffer_frames = frames;
+  auto store = PagedStore::Open(path, /*read_only=*/true, options);
+  MODIS_CHECK(store.ok());
+  StoredRecord out;
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "state-" + std::to_string((i * 2654435761u) %
+                                                      records);
+    MODIS_CHECK((*store)->Get(7, key, &out));
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  store.value().reset();
+  std::remove(path.c_str());
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(frames) + " frames");
+}
+BENCHMARK(BM_PagedStorePointLookup)->Arg(4)->Arg(64);
+
+void BM_BufferPoolFetchHit(benchmark::State& state) {
+  // Cost of a pin/unpin round trip on a resident page — the floor every
+  // paged read pays.
+  const std::string path = ScratchPath("pool");
+  std::remove(path.c_str());
+  auto file = PageFile::Open(path, /*read_only=*/false, {});
+  MODIS_CHECK(file.ok());
+  BufferPool pool(file->get(), /*frame_budget=*/8);
+  const uint32_t id = (*file)->AllocatePage();
+  {
+    auto page = pool.Create(id);
+    MODIS_CHECK(page.ok());
+  }
+  for (auto _ : state) {
+    auto page = pool.Fetch(id);
+    MODIS_CHECK(page.ok());
+    benchmark::DoNotOptimize(page->data());
+  }
+  file->reset();
+  std::remove(path.c_str());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolFetchHit);
 
 void BM_KMeans1D(benchmark::State& state) {
   Rng data_rng(6);

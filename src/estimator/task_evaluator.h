@@ -27,7 +27,7 @@ class TaskEvaluator {
   /// family plus the knobs that change its predictions. It flows into the
   /// persistent-cache task fingerprint (ModisEngine::TaskFingerprint), so
   /// two tasks that differ only in the trained model never share recorded
-  /// evaluations (docs/PERSISTENCE.md §3). Must be deterministic; an empty
+  /// evaluations (docs/PERSISTENCE.md §4). Must be deterministic; an empty
   /// string opts out (records then collide across models sharing D_U and
   /// measures, distinguishable only by the cache namespace).
   virtual std::string ModelIdentity() const { return std::string(); }

@@ -245,6 +245,8 @@ Result<PersistentRecordCache*> DiscoveryService::GetCache(
   // attach time (EngineRuntime + ModisConfig::cache_mode).
   PersistentRecordCache::Options cache_options;
   cache_options.max_bytes = options_.cache_max_bytes;
+  cache_options.page_size = options_.cache_page_size;
+  cache_options.buffer_pool_frames = options_.cache_buffer_pool_frames;
   auto opened = PersistentRecordCache::Open(path, CacheMode::kReadWrite,
                                             /*fingerprint=*/0,
                                             cache_options);
@@ -384,6 +386,7 @@ MetricsSnapshot DiscoveryService::SnapshotMetrics() const {
       snapshot.cache_replays += stats.served;
       snapshot.cache_appends += stats.appended;
       snapshot.cache_evictions += stats.evicted;
+      snapshot.cache_reclaimed_bytes += stats.reclaimed_bytes;
     }
   }
   return snapshot;

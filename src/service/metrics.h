@@ -65,6 +65,9 @@ struct MetricsSnapshot {
   uint64_t cache_replays = 0;      // Get/Find hits served.
   uint64_t cache_appends = 0;
   uint64_t cache_evictions = 0;
+  /// Bytes returned by cache compaction this session — the v1 log
+  /// rewrite and the paged engine's page GC feed the same counter.
+  uint64_t cache_reclaimed_bytes = 0;
 
   // Transport (filled by LineServer when one is attached).
   uint64_t connections_opened = 0;

@@ -218,6 +218,7 @@ std::string SerializeServiceMetrics(const MetricsSnapshot& snapshot) {
   metrics.Set("cache_replays", snapshot.cache_replays);
   metrics.Set("cache_appends", snapshot.cache_appends);
   metrics.Set("cache_evictions", snapshot.cache_evictions);
+  metrics.Set("cache_reclaimed_bytes", snapshot.cache_reclaimed_bytes);
   metrics.Set("connections_opened", snapshot.connections_opened);
   metrics.Set("connections_active", snapshot.connections_active);
   metrics.Set("lines_served", snapshot.lines_served);

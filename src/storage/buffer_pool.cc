@@ -1,0 +1,200 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace modis {
+
+uint8_t* BufferPool::PageRef::data() { return pool_->frames_[frame_].bytes.data(); }
+
+const uint8_t* BufferPool::PageRef::data() const {
+  return pool_->frames_[frame_].bytes.data();
+}
+
+uint32_t BufferPool::PageRef::id() const {
+  return pool_->frames_[frame_].page_id;
+}
+
+void BufferPool::PageRef::MarkDirty() {
+  std::lock_guard<std::mutex> lock(pool_->mu_);
+  Frame& f = pool_->frames_[frame_];
+  f.dirty = true;
+  // A dirty frame is current by definition — write-back will stamp the
+  // working epoch (or a later one) into it. Stamp it now so readers of
+  // the cached frame don't mistake this session's own fresh bytes for a
+  // stale duplicate image (the on-disk copy may carry an older epoch, or
+  // none at all for a page created this session).
+  PageFile::SetPageEpoch(f.bytes.data(), pool_->file_->working_epoch());
+}
+
+void BufferPool::PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(PageFile* file, size_t frame_budget)
+    : file_(file), budget_(std::max<size_t>(1, frame_budget)) {
+  // Never reallocated: PageRef::data() reads frames_ without the mutex,
+  // so the vector's storage must stay put for the pool's lifetime.
+  frames_.reserve(budget_);
+}
+
+bool BufferPool::AcquireSlotLocked(size_t* slot, Status* evict_error) {
+  if (!free_slots_.empty()) {
+    *slot = free_slots_.back();
+    free_slots_.pop_back();
+    return true;
+  }
+  if (frames_.size() < budget_) {
+    frames_.emplace_back();
+    *slot = frames_.size() - 1;
+    return true;
+  }
+  // Evict the least-recently-used unpinned frame.
+  size_t victim = frames_.size();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].pins > 0) continue;
+    if (victim == frames_.size() || frames_[i].lru < frames_[victim].lru) {
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) return false;  // Every frame is pinned.
+  Frame& f = frames_[victim];
+  if (f.dirty) {
+    const Status written = file_->WritePage(f.page_id, &f.bytes);
+    if (!written.ok()) {
+      *evict_error = written;
+      return false;
+    }
+    f.dirty = false;
+    ++stats_.writebacks;
+  }
+  by_page_.erase(f.page_id);
+  ++stats_.evictions;
+  *slot = victim;
+  return true;
+}
+
+Result<BufferPool::PageRef> BufferPool::Fetch(uint32_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.fetches;
+  auto it = by_page_.find(page_id);
+  if (it != by_page_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pins;
+    f.lru = ++lru_clock_;
+    ++stats_.hits;
+    return PageRef(this, it->second);
+  }
+  size_t slot;
+  Status evict_error = Status::OK();
+  if (!AcquireSlotLocked(&slot, &evict_error)) {
+    if (!evict_error.ok()) return evict_error;
+    return Status::FailedPrecondition(
+        "buffer pool exhausted: all " + std::to_string(budget_) +
+        " frames are pinned");
+  }
+  Frame& f = frames_[slot];
+  const Status read = file_->ReadPage(page_id, &f.bytes);
+  if (!read.ok()) {
+    // An invalid page is never cached; recycle the slot.
+    free_slots_.push_back(slot);
+    return read;
+  }
+  f.page_id = page_id;
+  f.pins = 1;
+  f.dirty = false;
+  f.lru = ++lru_clock_;
+  by_page_[page_id] = slot;
+  ++stats_.misses;
+  const size_t in_use = frames_.size() - free_slots_.size();
+  stats_.max_frames_in_use = std::max(stats_.max_frames_in_use, in_use);
+  return PageRef(this, slot);
+}
+
+Result<BufferPool::PageRef> BufferPool::Create(uint32_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.fetches;
+  size_t slot;
+  // Re-creating a cached page (a corrupt-directory rebuild) reuses its
+  // frame in place so the map never aliases two frames to one page.
+  auto it = by_page_.find(page_id);
+  if (it != by_page_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pins > 0) {
+      return Status::FailedPrecondition(
+          "cannot recreate pinned page " + std::to_string(page_id));
+    }
+    f.bytes.assign(file_->page_size(), 0);
+    PageFile::SetPageEpoch(f.bytes.data(), file_->working_epoch());
+    f.pins = 1;
+    f.dirty = true;
+    f.lru = ++lru_clock_;
+    return PageRef(this, it->second);
+  }
+  Status evict_error = Status::OK();
+  if (!AcquireSlotLocked(&slot, &evict_error)) {
+    if (!evict_error.ok()) return evict_error;
+    return Status::FailedPrecondition(
+        "buffer pool exhausted: all " + std::to_string(budget_) +
+        " frames are pinned");
+  }
+  Frame& f = frames_[slot];
+  f.bytes.assign(file_->page_size(), 0);
+  // See MarkDirty: the cached frame's epoch must read as current.
+  PageFile::SetPageEpoch(f.bytes.data(), file_->working_epoch());
+  f.page_id = page_id;
+  f.pins = 1;
+  f.dirty = true;  // A created page must reach disk.
+  f.lru = ++lru_clock_;
+  by_page_[page_id] = slot;
+  const size_t in_use = frames_.size() - free_slots_.size();
+  stats_.max_frames_in_use = std::max(stats_.max_frames_in_use, in_use);
+  return PageRef(this, slot);
+}
+
+Status BufferPool::FlushDirty() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& f : frames_) {
+    if (!f.dirty) continue;
+    MODIS_RETURN_IF_ERROR(file_->WritePage(f.page_id, &f.bytes));
+    f.dirty = false;
+    ++stats_.writebacks;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DropAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Frame& f : frames_) {
+    if (f.pins > 0) {
+      return Status::FailedPrecondition(
+          "cannot drop buffer pool frames: page " +
+          std::to_string(f.page_id) + " is pinned");
+    }
+  }
+  frames_.clear();
+  free_slots_.clear();
+  by_page_.clear();
+  return Status::OK();
+}
+
+void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --frames_[frame].pins;
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats snapshot = stats_;
+  snapshot.frames_in_use = frames_.size() - free_slots_.size();
+  snapshot.pinned_frames = 0;
+  for (const Frame& f : frames_) {
+    if (f.pins > 0) ++snapshot.pinned_frames;
+  }
+  return snapshot;
+}
+
+}  // namespace modis

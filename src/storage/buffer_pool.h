@@ -1,0 +1,137 @@
+#ifndef MODIS_STORAGE_BUFFER_POOL_H_
+#define MODIS_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page_file.h"
+
+namespace modis {
+
+/// A fixed-budget page cache between PagedStore and PageFile.
+///
+/// The pool owns at most `frame_budget` page-sized frames. Fetch() pins a
+/// frame (reading it from disk on a miss) and returns an RAII PageRef
+/// that unpins on destruction; Create() pins a zero-filled frame for a
+/// freshly allocated page without touching disk. Pinned frames are never
+/// evicted; when every frame is pinned and none can be recycled, Fetch
+/// fails with FailedPrecondition rather than exceeding the budget — the
+/// budget is the memory contract the bounded-RSS serving mode relies on.
+///
+/// Replacement is LRU over unpinned frames. Evicting a dirty frame
+/// writes it back first; FlushDirty() writes every dirty frame exactly
+/// once and clears its dirty bit, so a second flush with no intervening
+/// writes performs zero write-backs.
+///
+/// Thread safety: the pool's own bookkeeping (pin counts, LRU, dirty
+/// bits) is mutex-protected, so refs may be acquired and released from
+/// any thread. The bytes behind a PageRef are NOT synchronized by the
+/// pool: callers that share a page between threads, or flush while a
+/// writer holds a pinned ref, must serialize externally (PagedStore runs
+/// under PersistentRecordCache's mutex).
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t fetches = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;      // == pages read from disk.
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;  // Dirty pages written (flush or eviction).
+    size_t frames_in_use = 0;
+    size_t pinned_frames = 0;
+    size_t max_frames_in_use = 0;  // High-water mark; never exceeds budget.
+  };
+
+  /// A pinned view of one page. Movable; releasing (destruction or
+  /// move-assignment over) unpins the frame.
+  class PageRef {
+   public:
+    PageRef() = default;
+    ~PageRef() { Release(); }
+    PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+    PageRef& operator=(PageRef&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        frame_ = other.frame_;
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+
+    uint8_t* data();
+    const uint8_t* data() const;
+    uint32_t id() const;
+    /// Marks the frame dirty so the next flush (or eviction) writes it.
+    void MarkDirty();
+    explicit operator bool() const { return pool_ != nullptr; }
+
+   private:
+    friend class BufferPool;
+    PageRef(BufferPool* pool, size_t frame) : pool_(pool), frame_(frame) {}
+    void Release();
+
+    BufferPool* pool_ = nullptr;
+    size_t frame_ = 0;
+  };
+
+  /// `file` must outlive the pool. A zero budget is clamped to one frame.
+  BufferPool(PageFile* file, size_t frame_budget);
+
+  /// Pins the frame holding `page_id`, reading it from disk on a miss.
+  /// A page that fails validation (CRC, epoch bound) is not cached — the
+  /// error surfaces to the caller and the frame is recycled.
+  Result<PageRef> Fetch(uint32_t page_id);
+
+  /// Pins a zero-filled, dirty frame for freshly allocated `page_id`
+  /// without reading disk. The caller sets the header fields.
+  Result<PageRef> Create(uint32_t page_id);
+
+  /// Writes every dirty frame back exactly once. Stops at the first
+  /// write error.
+  Status FlushDirty();
+
+  /// Forgets every frame without writing anything — used after the
+  /// storage layer swapped the underlying file (GC). Fails if any frame
+  /// is still pinned.
+  Status DropAll();
+
+  /// Retargets the pool at a new file after a GC swap (frames must have
+  /// been dropped first).
+  void Retarget(PageFile* file) { file_ = file; }
+
+  Stats stats() const;
+  size_t frame_budget() const { return budget_; }
+
+ private:
+  struct Frame {
+    uint32_t page_id = 0;
+    int pins = 0;
+    bool dirty = false;
+    uint64_t lru = 0;
+    std::vector<uint8_t> bytes;
+  };
+
+  /// Finds a reusable frame slot (new, free, or evicted-LRU). Caller
+  /// holds mu_. Returns false when every frame is pinned.
+  bool AcquireSlotLocked(size_t* slot, Status* evict_error);
+  void Unpin(size_t frame);
+
+  mutable std::mutex mu_;
+  PageFile* file_;
+  const size_t budget_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_slots_;
+  std::unordered_map<uint32_t, size_t> by_page_;
+  uint64_t lru_clock_ = 0;
+  Stats stats_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,399 @@
+#include "storage/page_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/record_log.h"  // Crc32.
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace modis {
+
+namespace {
+
+/// Byte offsets of the superblock slot fields; the CRC covers [0, 64).
+constexpr size_t kSbMagic = 0;
+constexpr size_t kSbVersion = 8;
+constexpr size_t kSbPageSize = 12;
+constexpr size_t kSbEpoch = 16;
+constexpr size_t kSbPageCount = 24;
+constexpr size_t kSbDirPage = 28;
+constexpr size_t kSbBucketCount = 32;
+constexpr size_t kSbActiveDataPage = 36;
+constexpr size_t kSbRecordCount = 40;
+constexpr size_t kSbDeadRecords = 48;
+constexpr size_t kSbTick = 56;
+constexpr size_t kSbCrc = 64;
+
+/// Page-header byte offsets (see the class comment in page_file.h).
+constexpr size_t kPhCrc = 0;
+constexpr size_t kPhEpoch = 4;
+constexpr size_t kPhNext = 12;
+constexpr size_t kPhUsed = 16;
+constexpr size_t kPhType = 20;
+
+void StoreU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = (v >> (8 * i)) & 0xFF;
+}
+
+void StoreU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = (v >> (8 * i)) & 0xFF;
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+#if !defined(_WIN32)
+
+bool PreadFull(int fd, void* buf, size_t size, off_t offset) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  while (size > 0) {
+    const ssize_t n = ::pread(fd, p, size, offset);
+    if (n <= 0) return false;
+    p += n;
+    size -= size_t(n);
+    offset += n;
+  }
+  return true;
+}
+
+bool PwriteFull(int fd, const void* buf, size_t size, off_t offset) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (size > 0) {
+    const ssize_t n = ::pwrite(fd, p, size, offset);
+    if (n <= 0) return false;
+    p += n;
+    size -= size_t(n);
+    offset += n;
+  }
+  return true;
+}
+
+#endif  // !_WIN32
+
+void EncodeSuperblock(const PageFile::Meta& meta, uint64_t epoch,
+                      uint8_t* slot) {
+  std::memset(slot, 0, PageFile::kSuperblockSlotSize);
+  std::memcpy(slot + kSbMagic, PageFile::kMagic, sizeof(PageFile::kMagic));
+  StoreU32(slot + kSbVersion, PageFile::kFormatVersion);
+  StoreU32(slot + kSbPageSize, meta.page_size);
+  StoreU64(slot + kSbEpoch, epoch);
+  StoreU32(slot + kSbPageCount, meta.page_count);
+  StoreU32(slot + kSbDirPage, meta.dir_page);
+  StoreU32(slot + kSbBucketCount, meta.bucket_count);
+  StoreU32(slot + kSbActiveDataPage, meta.active_data_page);
+  StoreU64(slot + kSbRecordCount, meta.record_count);
+  StoreU64(slot + kSbDeadRecords, meta.dead_records);
+  StoreU64(slot + kSbTick, meta.tick);
+  StoreU32(slot + kSbCrc, Crc32(slot, kSbCrc));
+}
+
+/// One superblock slot decoded, or a reason it is unusable.
+struct SlotState {
+  bool valid = false;            // Meta + epoch are trustworthy.
+  bool version_mismatch = false; // Magic + CRC fine, foreign version.
+  PageFile::Meta meta;
+  uint64_t epoch = 0;
+};
+
+SlotState DecodeSuperblock(const uint8_t* slot) {
+  SlotState s;
+  if (std::memcmp(slot + kSbMagic, PageFile::kMagic,
+                  sizeof(PageFile::kMagic)) != 0) {
+    return s;
+  }
+  if (Crc32(slot, kSbCrc) != LoadU32(slot + kSbCrc)) return s;
+  if (LoadU32(slot + kSbVersion) != PageFile::kFormatVersion) {
+    s.version_mismatch = true;
+    return s;
+  }
+  s.meta.page_size = LoadU32(slot + kSbPageSize);
+  s.epoch = LoadU64(slot + kSbEpoch);
+  s.meta.page_count = LoadU32(slot + kSbPageCount);
+  s.meta.dir_page = LoadU32(slot + kSbDirPage);
+  s.meta.bucket_count = LoadU32(slot + kSbBucketCount);
+  s.meta.active_data_page = LoadU32(slot + kSbActiveDataPage);
+  s.meta.record_count = LoadU64(slot + kSbRecordCount);
+  s.meta.dead_records = LoadU64(slot + kSbDeadRecords);
+  s.meta.tick = LoadU64(slot + kSbTick);
+  // Structural sanity: a CRC-valid slot with impossible geometry is still
+  // corruption (the CRC was computed over already-bad bytes).
+  const bool sane =
+      s.meta.page_size >= PageFile::kMinPageSize &&
+      s.meta.page_size <= PageFile::kMaxPageSize &&
+      s.meta.page_size % PageFile::kMinPageSize == 0 &&
+      s.meta.page_count >= 2 && s.meta.dir_page >= 1 &&
+      s.meta.dir_page < s.meta.page_count && s.meta.bucket_count >= 1 &&
+      uint64_t(s.meta.bucket_count) * 4 <=
+          s.meta.page_size - PageFile::kPageHeaderSize &&
+      s.meta.active_data_page < s.meta.page_count && s.epoch >= 1;
+  s.valid = sane;
+  return s;
+}
+
+}  // namespace
+
+constexpr char PageFile::kMagic[8];
+
+uint64_t PageFile::PageEpoch(const uint8_t* page) {
+  return LoadU64(page + kPhEpoch);
+}
+void PageFile::SetPageEpoch(uint8_t* page, uint64_t epoch) {
+  StoreU64(page + kPhEpoch, epoch);
+}
+uint32_t PageFile::PageNext(const uint8_t* page) {
+  return LoadU32(page + kPhNext);
+}
+void PageFile::SetPageNext(uint8_t* page, uint32_t next) {
+  StoreU32(page + kPhNext, next);
+}
+uint32_t PageFile::PageUsed(const uint8_t* page) {
+  return LoadU32(page + kPhUsed);
+}
+void PageFile::SetPageUsed(uint8_t* page, uint32_t used) {
+  StoreU32(page + kPhUsed, used);
+}
+uint8_t PageFile::PageTypeOf(const uint8_t* page) { return page[kPhType]; }
+void PageFile::SetPageType(uint8_t* page, uint8_t type) {
+  page[kPhType] = type;
+}
+
+PageFile::~PageFile() {
+#if !defined(_WIN32)
+  if (fd_ >= 0) ::close(fd_);  // Releases the advisory lock.
+#endif
+}
+
+#if !defined(_WIN32)
+
+Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path,
+                                                 bool read_only,
+                                                 const CreateOptions& create) {
+  auto file = std::unique_ptr<PageFile>(new PageFile());
+  file->path_ = path;
+  file->read_only_ = read_only;
+
+  const int flags =
+      read_only ? (O_RDONLY | O_CLOEXEC) : (O_RDWR | O_CREAT | O_CLOEXEC);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    if (read_only) return Status::NotFound("page file not found: " + path);
+    return Status::IoError("cannot open page file: " + path);
+  }
+  // Single-writer / many-reader discipline, as for the v1 record log —
+  // but a reader holds its shared lock for the PageFile's lifetime, since
+  // point lookups keep touching the file.
+  if (::flock(fd, (read_only ? LOCK_SH : LOCK_EX) | LOCK_NB) != 0) {
+    ::close(fd);
+    return Status::FailedPrecondition(
+        read_only
+            ? "page file is write-locked by a live host: " + path
+            : "page file is locked by another writer (single-writer "
+              "contract): " +
+                  path);
+  }
+  file->fd_ = fd;
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    return Status::IoError("cannot stat page file: " + path);
+  }
+
+  uint8_t slots[2 * kSuperblockSlotSize];
+  std::memset(slots, 0, sizeof(slots));
+  size_t got = 0;
+  if (st.st_size > 0) {
+    const size_t want =
+        std::min(sizeof(slots), static_cast<size_t>(st.st_size));
+    if (!PreadFull(fd, slots, want, 0)) {
+      return Status::IoError("cannot read page file superblock: " + path);
+    }
+    got = want;
+  }
+
+  const SlotState a = DecodeSuperblock(slots);
+  const SlotState b = DecodeSuperblock(slots + kSuperblockSlotSize);
+  const SlotState* best = nullptr;
+  if (a.valid && (!b.valid || a.epoch >= b.epoch)) best = &a;
+  else if (b.valid) best = &b;
+
+  if (best == nullptr) {
+    if (a.version_mismatch || b.version_mismatch) {
+      return Status::FailedPrecondition(
+          path +
+          ": page file format version is not the supported version " +
+          std::to_string(kFormatVersion) +
+          " (delete the file; the cache is derived data)");
+    }
+    // No committed superblock. A writable open may start fresh when the
+    // bytes are clearly our own torn creation (all zero, or a prefix of
+    // our magic); foreign content is rejected, not clobbered.
+    bool own_debris = true;
+    for (size_t i = 0; i < got; ++i) {
+      const uint8_t expect = i < sizeof(kMagic) ? uint8_t(kMagic[i]) : 0;
+      if (slots[i] != 0 && slots[i] != expect) {
+        own_debris = false;
+        break;
+      }
+    }
+    if (read_only || !own_debris) {
+      return Status::IoError(
+          "corrupt or truncated page file superblock: " + path);
+    }
+    // Fresh creation.
+    uint32_t page_size =
+        create.page_size == 0 ? kDefaultPageSize : create.page_size;
+    if (page_size < kMinPageSize || page_size > kMaxPageSize ||
+        page_size % kMinPageSize != 0) {
+      return Status::InvalidArgument(
+          "page size must be a multiple of 512 in [512, 1 MiB], got " +
+          std::to_string(page_size));
+    }
+    const size_t payload = page_size - kPageHeaderSize;
+    uint32_t bucket_count = create.bucket_count;
+    if (bucket_count == 0) {
+      bucket_count = static_cast<uint32_t>(std::min<size_t>(128, payload / 4));
+    }
+    if (uint64_t(bucket_count) * 4 > payload) {
+      return Status::InvalidArgument(
+          "bucket directory does not fit one page: " +
+          std::to_string(bucket_count) + " buckets, page size " +
+          std::to_string(page_size));
+    }
+    file->meta_.page_size = page_size;
+    file->meta_.page_count = 2;
+    file->meta_.dir_page = 1;
+    file->meta_.bucket_count = bucket_count;
+    file->committed_epoch_ = 0;
+    file->working_epoch_ = 1;
+    file->created_ = true;
+    if (::ftruncate(fd, 0) != 0) {
+      return Status::IoError("cannot reset page file: " + path);
+    }
+    std::vector<uint8_t> dir(page_size, 0);
+    SetPageType(dir.data(), kDirectory);
+    SetPageUsed(dir.data(), bucket_count * 4);
+    MODIS_RETURN_IF_ERROR(file->WritePage(1, &dir));
+    MODIS_RETURN_IF_ERROR(file->Commit());
+    return file;
+  }
+
+  file->meta_ = best->meta;
+  file->committed_epoch_ = best->epoch;
+  // Skip past any epoch a crashed predecessor may have stamped on pages
+  // it never committed (its working epoch was at most committed + 2).
+  file->working_epoch_ = best->epoch + 2;
+
+  const uint64_t expected =
+      uint64_t(file->meta_.page_count) * file->meta_.page_size;
+  if (static_cast<uint64_t>(st.st_size) > expected) {
+    // Pages allocated but never committed by a crashed session. Writers
+    // cut them off so future allocations reuse the space; readers just
+    // never reach them (the committed index cannot point past the
+    // committed page count).
+    file->discarded_tail_bytes_ =
+        static_cast<size_t>(st.st_size - off_t(expected));
+    if (!read_only && ::ftruncate(fd, off_t(expected)) != 0) {
+      return Status::IoError("cannot truncate page file tail: " + path);
+    }
+  }
+  return file;
+}
+
+Status PageFile::ReadPage(uint32_t id, std::vector<uint8_t>* buf) const {
+  if (id == 0 || id >= meta_.page_count) {
+    return Status::IoError("page " + std::to_string(id) +
+                           " out of bounds in " + path_);
+  }
+  buf->resize(meta_.page_size);
+  if (!PreadFull(fd_, buf->data(), meta_.page_size,
+                 off_t(uint64_t(id) * meta_.page_size))) {
+    return Status::IoError("short read of page " + std::to_string(id) +
+                           " in " + path_);
+  }
+  const uint32_t want = LoadU32(buf->data() + kPhCrc);
+  const uint32_t have =
+      Crc32(buf->data() + kPhEpoch, meta_.page_size - kPhEpoch);
+  if (want != have) {
+    return Status::IoError("page " + std::to_string(id) +
+                           " failed its CRC in " + path_);
+  }
+  if (PageEpoch(buf->data()) > working_epoch_) {
+    return Status::IoError("page " + std::to_string(id) +
+                           " carries an epoch from the future in " + path_);
+  }
+  return Status::OK();
+}
+
+Status PageFile::WritePage(uint32_t id, std::vector<uint8_t>* buf) {
+  if (read_only_) {
+    return Status::FailedPrecondition("page file is read-only: " + path_);
+  }
+  if (id == 0 || id >= meta_.page_count ||
+      buf->size() != meta_.page_size) {
+    return Status::Internal("bad page write: id " + std::to_string(id));
+  }
+  StoreU64(buf->data() + kPhEpoch, working_epoch_);
+  StoreU32(buf->data() + kPhCrc,
+           Crc32(buf->data() + kPhEpoch, meta_.page_size - kPhEpoch));
+  if (!PwriteFull(fd_, buf->data(), meta_.page_size,
+                  off_t(uint64_t(id) * meta_.page_size))) {
+    return Status::IoError("cannot write page " + std::to_string(id) +
+                           " in " + path_);
+  }
+  return Status::OK();
+}
+
+Status PageFile::Commit() {
+  if (read_only_) {
+    return Status::FailedPrecondition("page file is read-only: " + path_);
+  }
+  uint8_t slot[kSuperblockSlotSize];
+  EncodeSuperblock(meta_, working_epoch_, slot);
+  const off_t offset =
+      (working_epoch_ % 2 == 0) ? off_t(kSuperblockSlotSize) : 0;
+  if (!PwriteFull(fd_, slot, sizeof(slot), offset)) {
+    return Status::IoError("cannot write page file superblock: " + path_);
+  }
+  committed_epoch_ = working_epoch_;
+  ++working_epoch_;
+  return Status::OK();
+}
+
+#else  // _WIN32: the paged engine needs pread/pwrite + flock; the v1
+       // record log remains the portable backend.
+
+Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path,
+                                                 bool, const CreateOptions&) {
+  return Status::Unimplemented("paged record cache on Windows: " + path);
+}
+
+Status PageFile::ReadPage(uint32_t, std::vector<uint8_t>*) const {
+  return Status::Unimplemented("paged record cache on Windows");
+}
+
+Status PageFile::WritePage(uint32_t, std::vector<uint8_t>*) {
+  return Status::Unimplemented("paged record cache on Windows");
+}
+
+Status PageFile::Commit() {
+  return Status::Unimplemented("paged record cache on Windows");
+}
+
+#endif  // _WIN32
+
+}  // namespace modis

@@ -1,0 +1,176 @@
+#ifndef MODIS_STORAGE_PAGE_FILE_H_
+#define MODIS_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace modis {
+
+/// A fixed-size-page file with a versioned, double-buffered superblock,
+/// per-page CRC-32 framing and an LSN-style epoch stamp. This is the raw
+/// block layer under PagedStore — it knows pages, not records.
+///
+/// Layout: page 0 holds two 256-byte superblock slots (A at offset 0, B at
+/// offset 256). Commits alternate between the slots, so a torn superblock
+/// write can never destroy the previous committed state: Open picks the
+/// slot with a valid CRC and the highest epoch. Every other page starts
+/// with a 24-byte header:
+///
+///   u32 crc32(page[4..page_size)) | u64 epoch | u32 next | u32 used |
+///   u8 type | u8[3] reserved
+///
+/// followed by `page_size - 24` payload bytes. `used`, `next` and `type`
+/// belong to the layer above; ReadPage verifies the CRC and that the
+/// epoch is not from the future, WritePage stamps the current working
+/// epoch and recomputes the CRC.
+///
+/// Epochs: the superblock carries the epoch of the last commit. A
+/// writable Open resumes at `committed + 2` — skipping the epoch a
+/// crashed predecessor may have stamped on pages it never committed — and
+/// each Commit() publishes the working epoch and advances it. A page
+/// whose epoch exceeds the working epoch cannot have been written by any
+/// legitimate generation and is treated as corrupt. Stale-but-intact old
+/// page images (a duplicate page restored by a misbehaving disk) pass the
+/// CRC check here; the layer above rejects them by comparing the page
+/// epoch against the minimum epoch its index entry recorded.
+///
+/// Crash recovery: a writable Open truncates the file to the committed
+/// page count (pages a crashed session allocated but never committed are
+/// discarded — allocation only ever extends the file), and any page that
+/// fails its CRC is quarantined at read time rather than served. The
+/// recovery contract therefore matches the v1 record log: truncate or
+/// quarantine to the last valid state, never serve corrupt bytes.
+///
+/// Locking (POSIX): same single-writer flock(2) discipline as RecordLog,
+/// except a read-only PageFile keeps its shared lock for its whole
+/// lifetime (point lookups keep touching the file, unlike the v1 scan-
+/// once reader). A second writer fails fast with FailedPrecondition.
+///
+/// Not thread-safe; PagedStore (via PersistentRecordCache's mutex)
+/// serializes access.
+class PageFile {
+ public:
+  static constexpr char kMagic[8] = {'M', 'O', 'D', 'I', 'S', 'P', 'G', '2'};
+  static constexpr uint32_t kFormatVersion = 2;
+  static constexpr uint32_t kMinPageSize = 512;
+  static constexpr uint32_t kMaxPageSize = 1u << 20;
+  static constexpr uint32_t kDefaultPageSize = 4096;
+  static constexpr size_t kPageHeaderSize = 24;
+  static constexpr size_t kSuperblockSlotSize = 256;
+
+  enum PageType : uint8_t {
+    kFree = 0,
+    kData = 1,
+    kIndex = 2,
+    kDirectory = 3,
+  };
+
+  /// The committed/working metadata published through the superblock.
+  /// `page_count`, `active_data_page`, `record_count`, `dead_records` and
+  /// `tick` are owned by the layer above; Commit() persists the current
+  /// values.
+  struct Meta {
+    uint32_t page_size = 0;
+    uint32_t page_count = 0;  // Pages in the file, including page 0.
+    uint32_t dir_page = 0;
+    uint32_t bucket_count = 0;
+    uint32_t active_data_page = 0;  // Tail of the record stream; 0 = none.
+    uint64_t record_count = 0;
+    uint64_t dead_records = 0;
+    uint64_t tick = 0;  // Recency clock, persisted across sessions.
+  };
+
+  struct CreateOptions {
+    uint32_t page_size;     // 0 = kDefaultPageSize.
+    uint32_t bucket_count;  // 0 = derived from the page size.
+
+    // Constructor instead of inline defaults: an NSDMI would make
+    // `CreateOptions()` as a default argument of Open — syntactically
+    // inside the enclosing class — ill-formed.
+    CreateOptions() : page_size(0), bucket_count(0) {}
+  };
+
+  ~PageFile();
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Opens `path`, creating it (per `create`) when writable and absent.
+  /// kRead-style opens fail with NotFound on a missing file. A lock
+  /// conflict fails with FailedPrecondition; a corrupt or truncated
+  /// superblock fails with IoError; a future format version fails with
+  /// FailedPrecondition (the cache is derived data — delete and rebuild).
+  static Result<std::unique_ptr<PageFile>> Open(
+      const std::string& path, bool read_only,
+      const CreateOptions& create = CreateOptions());
+
+  /// Reads page `id` (1-based; page 0 is the superblock) into `*buf`,
+  /// verifying the CRC and the epoch bound. Failure means the page is
+  /// quarantined: the caller treats dependent records as missing.
+  Status ReadPage(uint32_t id, std::vector<uint8_t>* buf) const;
+
+  /// Stamps the working epoch and CRC into `*buf` and writes it as page
+  /// `id`. The buffer must be page_size bytes with header fields (type,
+  /// used, next) already set.
+  Status WritePage(uint32_t id, std::vector<uint8_t>* buf);
+
+  /// Extends the file by one page and returns its id. The page becomes
+  /// durable only after WritePage + Commit.
+  uint32_t AllocatePage() { return meta_.page_count++; }
+
+  /// Publishes the current Meta under the working epoch by writing the
+  /// alternate superblock slot, then advances the working epoch. Pages
+  /// dirtied under the old working epoch must be written back first
+  /// (BufferPool::FlushDirty does this).
+  Status Commit();
+
+  /// Page-header field accessors over a raw page buffer.
+  static uint64_t PageEpoch(const uint8_t* page);
+  static void SetPageEpoch(uint8_t* page, uint64_t epoch);
+  static uint32_t PageNext(const uint8_t* page);
+  static void SetPageNext(uint8_t* page, uint32_t next);
+  static uint32_t PageUsed(const uint8_t* page);
+  static void SetPageUsed(uint8_t* page, uint32_t used);
+  static uint8_t PageTypeOf(const uint8_t* page);
+  static void SetPageType(uint8_t* page, uint8_t type);
+
+  Meta& meta() { return meta_; }
+  const Meta& meta() const { return meta_; }
+  uint32_t page_size() const { return meta_.page_size; }
+  size_t payload_capacity() const { return meta_.page_size - kPageHeaderSize; }
+  uint64_t committed_epoch() const { return committed_epoch_; }
+  uint64_t working_epoch() const { return working_epoch_; }
+  /// Logical file size: committed-or-allocated pages times page size.
+  uint64_t file_bytes() const {
+    return uint64_t(meta_.page_count) * meta_.page_size;
+  }
+  /// Bytes beyond the committed page count dropped by a writable Open.
+  size_t discarded_tail_bytes() const { return discarded_tail_bytes_; }
+  const std::string& path() const { return path_; }
+  bool read_only() const { return read_only_; }
+  /// True when Open created a fresh file (nothing to scan).
+  bool created() const { return created_; }
+
+  /// Updates the remembered path after the storage layer renames the
+  /// underlying file over another one (GC / migration lock carry).
+  void set_path(const std::string& path) { path_ = path; }
+
+ private:
+  PageFile() = default;
+
+  std::string path_;
+  int fd_ = -1;
+  bool read_only_ = false;
+  bool created_ = false;
+  Meta meta_;
+  uint64_t committed_epoch_ = 0;
+  uint64_t working_epoch_ = 0;
+  size_t discarded_tail_bytes_ = 0;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_STORAGE_PAGE_FILE_H_

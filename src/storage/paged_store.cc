@@ -1,0 +1,607 @@
+#include "storage/paged_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+namespace modis {
+
+namespace {
+
+/// Index-entry field offsets within its 48 bytes.
+constexpr size_t kEnHash = 0;
+constexpr size_t kEnFingerprint = 8;
+constexpr size_t kEnMinEpoch = 16;
+constexpr size_t kEnLastHit = 24;
+constexpr size_t kEnPage = 32;
+constexpr size_t kEnBytes = 36;
+constexpr size_t kEnOffset = 40;
+constexpr size_t kEnFlags = 44;
+
+constexpr uint32_t kFlagLive = 0;
+constexpr uint32_t kFlagDead = 1;
+
+void StoreU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = (v >> (8 * i)) & 0xFF;
+}
+
+void StoreU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = (v >> (8 * i)) & 0xFF;
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t KeyHash(uint64_t fingerprint, const std::string& key) {
+  return FingerprintBuilder().Add(fingerprint).Add(key).Digest();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PagedStore>> PagedStore::Open(const std::string& path,
+                                                     bool read_only,
+                                                     const Options& options) {
+  PageFile::CreateOptions create;
+  create.page_size = options.page_size;
+  create.bucket_count = options.bucket_count;
+  MODIS_ASSIGN_OR_RETURN(std::unique_ptr<PageFile> file,
+                         PageFile::Open(path, read_only, create));
+  // AppendStream pins two data pages while chaining; anything below that
+  // would deadlock the pool against itself.
+  const size_t frames = std::max<size_t>(
+      2, options.buffer_frames == 0 ? kDefaultBufferFrames
+                                    : options.buffer_frames);
+  auto store = std::unique_ptr<PagedStore>(
+      new PagedStore(std::move(file), frames, read_only));
+  if (store->file_->created()) return store;
+
+  // Sanity-check the two pages the store cannot operate without. A torn
+  // directory page in a writable store is rebuilt empty: every record
+  // becomes unreachable (lookups retrain and re-insert — safe), which is
+  // the quarantine contract applied to the index root. Read-only stores
+  // leave the damage in place and degrade every lookup to a miss.
+  PageFile::Meta& meta = store->file_->meta();
+  bool dir_ok = false;
+  {
+    auto dir = store->pool_->Fetch(meta.dir_page);
+    dir_ok =
+        dir.ok() && PageFile::PageTypeOf(dir->data()) == PageFile::kDirectory &&
+        PageFile::PageUsed(dir->data()) >= meta.bucket_count * 4 &&
+        PageFile::PageUsed(dir->data()) <= store->file_->payload_capacity();
+  }  // The directory ref must be released before any rebuild below.
+  if (!dir_ok) {
+    ++store->quarantined_;
+    if (!read_only) {
+      auto fresh = store->pool_->Create(meta.dir_page);
+      if (!fresh.ok()) return fresh.status();
+      PageFile::SetPageType(fresh->data(), PageFile::kDirectory);
+      PageFile::SetPageUsed(fresh->data(), meta.bucket_count * 4);
+      meta.record_count = 0;
+      meta.dead_records = 0;
+      meta.active_data_page = 0;
+    }
+  }
+  if (!read_only && meta.active_data_page != 0) {
+    auto active = store->pool_->Fetch(meta.active_data_page);
+    const bool active_ok =
+        active.ok() && PageFile::PageTypeOf(active->data()) == PageFile::kData &&
+        PageFile::PageUsed(active->data()) <= store->file_->payload_capacity();
+    if (!active_ok) {
+      // Abandon the torn tail page; the next insert starts a fresh one.
+      ++store->quarantined_;
+      meta.active_data_page = 0;
+    }
+  }
+  return store;
+}
+
+bool PagedStore::ReadRecordStream(const uint8_t* entry,
+                                  std::vector<uint8_t>* bytes) {
+  const uint64_t min_epoch = LoadU64(entry + kEnMinEpoch);
+  uint32_t page = LoadU32(entry + kEnPage);
+  uint32_t total = LoadU32(entry + kEnBytes);
+  uint32_t offset = LoadU32(entry + kEnOffset);
+  if (total < 5 || total > 4 + RecordLog::kMaxPayloadSize) return false;
+  bytes->clear();
+  bytes->reserve(total);
+  const size_t cap = file_->payload_capacity();
+  uint32_t remaining = total;
+  uint32_t hops = 0;
+  while (remaining > 0) {
+    if (page == 0 || ++hops > file_->meta().page_count) return false;
+    auto ref = pool_->Fetch(page);
+    if (!ref.ok()) return false;
+    const uint8_t* data = ref->data();
+    if (PageFile::PageTypeOf(data) != PageFile::kData) return false;
+    // A page older than the entry that points into it is a stale
+    // duplicate image; refuse to serve it.
+    if (PageFile::PageEpoch(data) < min_epoch) return false;
+    const uint32_t used = PageFile::PageUsed(data);
+    if (used > cap || offset >= used) return false;
+    const uint32_t n = std::min(remaining, used - offset);
+    bytes->insert(bytes->end(), data + PageFile::kPageHeaderSize + offset,
+                  data + PageFile::kPageHeaderSize + offset + n);
+    remaining -= n;
+    offset = 0;
+    page = PageFile::PageNext(data);
+  }
+  return true;
+}
+
+bool PagedStore::Lookup(uint64_t fingerprint, const std::string& key,
+                        EntryLoc* loc, StoredRecord* record) {
+  const uint64_t hash = KeyHash(fingerprint, key);
+  const PageFile::Meta& meta = file_->meta();
+  uint32_t head = 0;
+  {
+    auto dir = pool_->Fetch(meta.dir_page);
+    if (!dir.ok() ||
+        PageFile::PageTypeOf(dir->data()) != PageFile::kDirectory) {
+      ++quarantined_;
+      return false;
+    }
+    const uint32_t bucket =
+        static_cast<uint32_t>(hash % std::max<uint32_t>(1, meta.bucket_count));
+    head = LoadU32(dir->data() + PageFile::kPageHeaderSize + 4 * bucket);
+  }
+  std::vector<uint8_t> stream;
+  uint32_t hops = 0;
+  for (uint32_t page = head; page != 0;) {
+    if (++hops > meta.page_count) {
+      ++quarantined_;
+      return false;
+    }
+    auto ref = pool_->Fetch(page);
+    if (!ref.ok() || PageFile::PageTypeOf(ref->data()) != PageFile::kIndex ||
+        PageFile::PageUsed(ref->data()) > file_->payload_capacity()) {
+      // Broken chain link: entries behind it are unreachable (a miss);
+      // the quarantine counter records the degradation.
+      ++quarantined_;
+      return false;
+    }
+    const uint8_t* payload = ref->data() + PageFile::kPageHeaderSize;
+    const uint32_t n = PageFile::PageUsed(ref->data()) / kIndexEntrySize;
+    for (uint32_t slot = 0; slot < n; ++slot) {
+      const uint8_t* entry = payload + size_t(slot) * kIndexEntrySize;
+      if (LoadU32(entry + kEnFlags) != kFlagLive) continue;
+      if (LoadU64(entry + kEnHash) != hash) continue;
+      if (LoadU64(entry + kEnFingerprint) != fingerprint) continue;
+      if (!ReadRecordStream(entry, &stream)) {
+        ++quarantined_;
+        continue;
+      }
+      const uint32_t len = LoadU32(stream.data());
+      if (len + 4 != LoadU32(entry + kEnBytes)) {
+        ++quarantined_;
+        continue;
+      }
+      StoredRecord decoded;
+      if (!RecordLog::DecodePayload(stream.data() + 4, len, &decoded) ||
+          decoded.fingerprint != fingerprint) {
+        ++quarantined_;
+        continue;
+      }
+      if (decoded.key != key) continue;  // Hash collision; keep looking.
+      if (loc != nullptr) {
+        loc->ipage = page;
+        loc->slot = slot;
+      }
+      if (record != nullptr) *record = std::move(decoded);
+      return true;
+    }
+    page = PageFile::PageNext(ref->data());
+  }
+  return false;
+}
+
+Status PagedStore::TouchEntry(const EntryLoc& loc) {
+  // Recency exists to order evictions, which only a writer performs; a
+  // read-only store must not dirty frames it can never write back.
+  if (read_only_) return Status::OK();
+  MODIS_ASSIGN_OR_RETURN(BufferPool::PageRef ref, pool_->Fetch(loc.ipage));
+  uint8_t* entry = ref.data() + PageFile::kPageHeaderSize +
+                   size_t(loc.slot) * kIndexEntrySize;
+  StoreU64(entry + kEnLastHit, ++file_->meta().tick);
+  ref.MarkDirty();
+  return Status::OK();
+}
+
+bool PagedStore::Contains(uint64_t fingerprint, const std::string& key) {
+  return Lookup(fingerprint, key, nullptr, nullptr);
+}
+
+bool PagedStore::Touch(uint64_t fingerprint, const std::string& key) {
+  EntryLoc loc;
+  if (!Lookup(fingerprint, key, &loc, nullptr)) return false;
+  (void)TouchEntry(loc);  // Best-effort; a miss here only skews recency.
+  return true;
+}
+
+bool PagedStore::Get(uint64_t fingerprint, const std::string& key,
+                     StoredRecord* out) {
+  EntryLoc loc;
+  if (!Lookup(fingerprint, key, &loc, out)) return false;
+  (void)TouchEntry(loc);
+  return true;
+}
+
+Status PagedStore::AppendStream(const std::vector<uint8_t>& bytes,
+                                uint32_t* page, uint32_t* offset) {
+  PageFile::Meta& meta = file_->meta();
+  const size_t cap = file_->payload_capacity();
+  BufferPool::PageRef ref;
+  if (meta.active_data_page != 0) {
+    auto active = pool_->Fetch(meta.active_data_page);
+    if (active.ok() &&
+        PageFile::PageTypeOf(active->data()) == PageFile::kData &&
+        PageFile::PageUsed(active->data()) <= cap) {
+      ref = std::move(active).value();
+    } else {
+      ++quarantined_;  // Torn tail page: abandon it, start fresh.
+      meta.active_data_page = 0;
+    }
+  }
+  if (!ref) {
+    const uint32_t id = file_->AllocatePage();
+    MODIS_ASSIGN_OR_RETURN(ref, pool_->Create(id));
+    PageFile::SetPageType(ref.data(), PageFile::kData);
+    meta.active_data_page = id;
+  }
+  uint32_t used = PageFile::PageUsed(ref.data());
+  *page = 0;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (used == cap) {
+      const uint32_t id = file_->AllocatePage();
+      MODIS_ASSIGN_OR_RETURN(BufferPool::PageRef next, pool_->Create(id));
+      PageFile::SetPageType(next.data(), PageFile::kData);
+      PageFile::SetPageNext(ref.data(), id);
+      ref.MarkDirty();
+      ref = std::move(next);
+      used = 0;
+      meta.active_data_page = id;
+    }
+    if (*page == 0) {
+      *page = ref.id();
+      *offset = used;
+    }
+    const size_t n = std::min(cap - used, bytes.size() - pos);
+    std::memcpy(ref.data() + PageFile::kPageHeaderSize + used,
+                bytes.data() + pos, n);
+    used += static_cast<uint32_t>(n);
+    PageFile::SetPageUsed(ref.data(), used);
+    ref.MarkDirty();
+    pos += n;
+  }
+  return Status::OK();
+}
+
+Status PagedStore::AppendEntry(uint32_t bucket, const uint8_t* entry) {
+  PageFile::Meta& meta = file_->meta();
+  const size_t cap = file_->payload_capacity();
+  uint32_t head = 0;
+  {
+    MODIS_ASSIGN_OR_RETURN(BufferPool::PageRef dir,
+                           pool_->Fetch(meta.dir_page));
+    if (PageFile::PageTypeOf(dir.data()) != PageFile::kDirectory) {
+      return Status::IoError("directory page lost its type: " + path_);
+    }
+    head = LoadU32(dir.data() + PageFile::kPageHeaderSize + 4 * bucket);
+  }
+  if (head != 0) {
+    auto iref = pool_->Fetch(head);
+    if (iref.ok() && PageFile::PageTypeOf(iref->data()) == PageFile::kIndex &&
+        PageFile::PageUsed(iref->data()) + kIndexEntrySize <= cap) {
+      const uint32_t used = PageFile::PageUsed(iref->data());
+      std::memcpy(iref->data() + PageFile::kPageHeaderSize + used, entry,
+                  kIndexEntrySize);
+      PageFile::SetPageUsed(iref->data(), used + kIndexEntrySize);
+      iref->MarkDirty();
+      return Status::OK();
+    }
+    // Full — or unreadable, in which case the new head still links to it
+    // so any later GC can account for the breakage.
+  }
+  const uint32_t id = file_->AllocatePage();
+  MODIS_ASSIGN_OR_RETURN(BufferPool::PageRef fresh, pool_->Create(id));
+  PageFile::SetPageType(fresh.data(), PageFile::kIndex);
+  PageFile::SetPageNext(fresh.data(), head);
+  std::memcpy(fresh.data() + PageFile::kPageHeaderSize, entry,
+              kIndexEntrySize);
+  PageFile::SetPageUsed(fresh.data(), kIndexEntrySize);
+  MODIS_ASSIGN_OR_RETURN(BufferPool::PageRef dir,
+                         pool_->Fetch(meta.dir_page));
+  StoreU32(dir.data() + PageFile::kPageHeaderSize + 4 * bucket, id);
+  dir.MarkDirty();
+  return Status::OK();
+}
+
+bool PagedStore::Insert(const StoredRecord& record) {
+  if (read_only_) return false;
+  if (Lookup(record.fingerprint, record.key, nullptr, nullptr)) {
+    return false;  // First write wins, as in the v1 cache.
+  }
+  const std::vector<uint8_t> payload = RecordLog::EncodePayload(record);
+  std::vector<uint8_t> stream;
+  stream.reserve(4 + payload.size());
+  stream.resize(4);
+  StoreU32(stream.data(), static_cast<uint32_t>(payload.size()));
+  stream.insert(stream.end(), payload.begin(), payload.end());
+
+  uint32_t page = 0, offset = 0;
+  if (!AppendStream(stream, &page, &offset).ok()) return false;
+
+  PageFile::Meta& meta = file_->meta();
+  const uint64_t hash = KeyHash(record.fingerprint, record.key);
+  uint8_t entry[kIndexEntrySize];
+  std::memset(entry, 0, sizeof(entry));
+  StoreU64(entry + kEnHash, hash);
+  StoreU64(entry + kEnFingerprint, record.fingerprint);
+  StoreU64(entry + kEnMinEpoch, file_->working_epoch());
+  StoreU64(entry + kEnLastHit, ++meta.tick);
+  StoreU32(entry + kEnPage, page);
+  StoreU32(entry + kEnBytes, static_cast<uint32_t>(stream.size()));
+  StoreU32(entry + kEnOffset, offset);
+  StoreU32(entry + kEnFlags, kFlagLive);
+  const uint32_t bucket = static_cast<uint32_t>(
+      hash % std::max<uint32_t>(1, meta.bucket_count));
+  if (!AppendEntry(bucket, entry).ok()) return false;
+  ++meta.record_count;
+  return true;
+}
+
+Status PagedStore::Flush() {
+  if (read_only_) return Status::OK();
+  MODIS_RETURN_IF_ERROR(pool_->FlushDirty());
+  return file_->Commit();
+}
+
+Status PagedStore::CollectEntries(std::vector<EntryInfo>* out) {
+  const PageFile::Meta& meta = file_->meta();
+  std::vector<uint32_t> heads(meta.bucket_count, 0);
+  {
+    auto dir = pool_->Fetch(meta.dir_page);
+    if (!dir.ok() ||
+        PageFile::PageTypeOf(dir->data()) != PageFile::kDirectory) {
+      ++quarantined_;
+      return Status::OK();  // Degraded: nothing reachable.
+    }
+    for (uint32_t b = 0; b < meta.bucket_count; ++b) {
+      heads[b] = LoadU32(dir->data() + PageFile::kPageHeaderSize + 4 * b);
+    }
+  }
+  for (uint32_t b = 0; b < meta.bucket_count; ++b) {
+    uint32_t hops = 0;
+    for (uint32_t page = heads[b]; page != 0;) {
+      if (++hops > meta.page_count) {
+        ++quarantined_;
+        break;
+      }
+      auto ref = pool_->Fetch(page);
+      if (!ref.ok() ||
+          PageFile::PageTypeOf(ref->data()) != PageFile::kIndex ||
+          PageFile::PageUsed(ref->data()) > file_->payload_capacity()) {
+        ++quarantined_;
+        break;
+      }
+      const uint8_t* payload = ref->data() + PageFile::kPageHeaderSize;
+      const uint32_t n = PageFile::PageUsed(ref->data()) / kIndexEntrySize;
+      for (uint32_t slot = 0; slot < n; ++slot) {
+        const uint8_t* entry = payload + size_t(slot) * kIndexEntrySize;
+        if (LoadU32(entry + kEnFlags) != kFlagLive) continue;
+        EntryInfo info;
+        info.fingerprint = LoadU64(entry + kEnFingerprint);
+        info.last_hit = LoadU64(entry + kEnLastHit);
+        info.stream_bytes = LoadU32(entry + kEnBytes);
+        info.bucket = b;
+        info.ipage = page;
+        info.slot = slot;
+        out->push_back(info);
+      }
+      page = PageFile::PageNext(ref->data());
+    }
+  }
+  return Status::OK();
+}
+
+Status PagedStore::CountRecords(uint64_t fingerprint, size_t* total,
+                                size_t* task) {
+  std::vector<EntryInfo> entries;
+  MODIS_RETURN_IF_ERROR(CollectEntries(&entries));
+  *total = entries.size();
+  *task = 0;
+  for (const EntryInfo& e : entries) {
+    if (e.fingerprint == fingerprint) ++*task;
+  }
+  return Status::OK();
+}
+
+Status PagedStore::Tombstone(const std::vector<EntryInfo>& victims) {
+  if (read_only_) {
+    return Status::FailedPrecondition("cannot evict from a read-only store");
+  }
+  PageFile::Meta& meta = file_->meta();
+  for (const EntryInfo& v : victims) {
+    auto ref = pool_->Fetch(v.ipage);
+    if (!ref.ok()) {
+      ++quarantined_;
+      continue;
+    }
+    uint8_t* entry = ref->data() + PageFile::kPageHeaderSize +
+                     size_t(v.slot) * kIndexEntrySize;
+    if (LoadU32(entry + kEnFlags) != kFlagLive) continue;
+    StoreU32(entry + kEnFlags, kFlagDead);
+    ref->MarkDirty();
+    if (meta.record_count > 0) --meta.record_count;
+    ++meta.dead_records;
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> PagedStore::ProjectedLiveBytes() {
+  std::vector<EntryInfo> entries;
+  MODIS_RETURN_IF_ERROR(CollectEntries(&entries));
+  const PageFile::Meta& meta = file_->meta();
+  const uint64_t cap = file_->payload_capacity();
+  const uint64_t entries_per_page = cap / kIndexEntrySize;
+  std::unordered_map<uint32_t, uint64_t> per_bucket;
+  uint64_t stream_bytes = 0;
+  for (const EntryInfo& e : entries) {
+    stream_bytes += e.stream_bytes;
+    ++per_bucket[e.bucket];
+  }
+  // A GC rebuild packs the record stream contiguously and fills each
+  // bucket's index chain page by page, so its size is exactly:
+  uint64_t pages = 2;  // Superblock + directory.
+  pages += (stream_bytes + cap - 1) / cap;
+  for (const auto& [bucket, n] : per_bucket) {
+    (void)bucket;
+    pages += (n + entries_per_page - 1) / entries_per_page;
+  }
+  return pages * uint64_t(meta.page_size);
+}
+
+Status PagedStore::ReadAllRecords(std::vector<StoredRecord>* out) {
+  std::vector<EntryInfo> entries;
+  MODIS_RETURN_IF_ERROR(CollectEntries(&entries));
+  std::vector<uint8_t> stream;
+  for (const EntryInfo& e : entries) {
+    auto ref = pool_->Fetch(e.ipage);
+    if (!ref.ok()) {
+      ++quarantined_;
+      continue;
+    }
+    const uint8_t* entry = ref->data() + PageFile::kPageHeaderSize +
+                           size_t(e.slot) * kIndexEntrySize;
+    StoredRecord record;
+    if (!ReadRecordStream(entry, &stream)) {
+      ++quarantined_;
+      continue;
+    }
+    const uint32_t len = LoadU32(stream.data());
+    if (len + 4 != LoadU32(entry + kEnBytes) ||
+        !RecordLog::DecodePayload(stream.data() + 4, len, &record)) {
+      ++quarantined_;
+      continue;
+    }
+    out->push_back(std::move(record));
+  }
+  return Status::OK();
+}
+
+Status PagedStore::Gc(size_t* dropped) {
+  if (read_only_) {
+    return Status::FailedPrecondition("cannot GC a read-only store");
+  }
+  const uint64_t dead_before = file_->meta().dead_records;
+  const uint64_t old_bytes = file_->file_bytes();
+
+  // Export the live set with its recency, so eviction order survives GC.
+  std::vector<EntryInfo> entries;
+  MODIS_RETURN_IF_ERROR(CollectEntries(&entries));
+  std::vector<std::pair<StoredRecord, uint64_t>> live;
+  live.reserve(entries.size());
+  {
+    std::vector<uint8_t> stream;
+    for (const EntryInfo& e : entries) {
+      auto ref = pool_->Fetch(e.ipage);
+      if (!ref.ok()) {
+        ++quarantined_;
+        continue;
+      }
+      const uint8_t* entry = ref->data() + PageFile::kPageHeaderSize +
+                             size_t(e.slot) * kIndexEntrySize;
+      StoredRecord record;
+      if (!ReadRecordStream(entry, &stream)) {
+        ++quarantined_;
+        continue;
+      }
+      const uint32_t len = LoadU32(stream.data());
+      if (len + 4 != LoadU32(entry + kEnBytes) ||
+          !RecordLog::DecodePayload(stream.data() + 4, len, &record)) {
+        ++quarantined_;
+        continue;
+      }
+      live.emplace_back(std::move(record), e.last_hit);
+    }
+  }
+
+  // Build the replacement beside the store and lock it before it becomes
+  // visible under path_ — the same no-gap carry as RecordLog::Rewrite.
+  const std::string tmp = path_ + ".gc";
+  std::remove(tmp.c_str());
+  Options rebuild;
+  rebuild.page_size = file_->page_size();
+  rebuild.bucket_count = file_->meta().bucket_count;
+  rebuild.buffer_frames = pool_->frame_budget();
+  MODIS_ASSIGN_OR_RETURN(std::unique_ptr<PagedStore> next,
+                         Open(tmp, /*read_only=*/false, rebuild));
+  uint64_t max_tick = 0;
+  for (const auto& [record, last_hit] : live) {
+    if (!next->Insert(record)) {
+      std::remove(tmp.c_str());
+      return Status::IoError("GC rebuild failed to insert a record: " + tmp);
+    }
+    // Restamp the entry with its original recency (Insert ticked it).
+    EntryLoc loc;
+    if (next->Lookup(record.fingerprint, record.key, &loc, nullptr)) {
+      auto ref = next->pool_->Fetch(loc.ipage);
+      if (ref.ok()) {
+        StoreU64(ref->data() + PageFile::kPageHeaderSize +
+                     size_t(loc.slot) * kIndexEntrySize + kEnLastHit,
+                 last_hit);
+        ref->MarkDirty();
+      }
+    }
+    max_tick = std::max(max_tick, last_hit);
+  }
+  next->file_->meta().tick = std::max(file_->meta().tick, max_tick);
+  {
+    const Status flushed = next->Flush();
+    if (!flushed.ok()) {
+      std::remove(tmp.c_str());
+      return flushed;
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot swap GC'd store into place: " + path_);
+  }
+  // Adopt the replacement; destroying the old PageFile afterwards closes
+  // the old inode's lock with the new one already held.
+  const uint64_t new_bytes = next->file_->file_bytes();
+  file_ = std::move(next->file_);
+  pool_ = std::move(next->pool_);
+  file_->set_path(path_);
+  if (old_bytes > new_bytes) reclaimed_bytes_ += old_bytes - new_bytes;
+  if (dropped != nullptr) *dropped = static_cast<size_t>(dead_before);
+  return Status::OK();
+}
+
+PagedStore::Stats PagedStore::stats() const {
+  Stats s;
+  const PageFile::Meta& meta = file_->meta();
+  s.record_count = meta.record_count;
+  s.dead_records = meta.dead_records;
+  s.quarantined = quarantined_;
+  s.reclaimed_bytes = reclaimed_bytes_;
+  s.file_bytes = file_->file_bytes();
+  s.page_count = meta.page_count;
+  s.page_size = meta.page_size;
+  s.discarded_tail_bytes = file_->discarded_tail_bytes();
+  s.pool = pool_->stats();
+  return s;
+}
+
+}  // namespace modis

@@ -1,0 +1,187 @@
+#ifndef MODIS_STORAGE_PAGED_STORE_H_
+#define MODIS_STORAGE_PAGED_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "storage/record_log.h"
+
+namespace modis {
+
+/// Record storage over a PageFile with an on-disk hash index, so a point
+/// lookup touches O(1) pages instead of replaying the whole file (the v1
+/// RecordLog behavior). This is the paged backend of
+/// PersistentRecordCache; the record payload encoding is shared with the
+/// v1 log (RecordLog::EncodePayload), so records migrate between the two
+/// byte-for-byte.
+///
+/// On-disk structure (see docs/PERSISTENCE.md for diagrams):
+///  - one directory page: u32 head-index-page id per hash bucket;
+///  - index pages, chained newest-first per bucket, packed with 48-byte
+///    entries: u64 key_hash | u64 fingerprint | u64 min_epoch |
+///    u64 last_hit | u32 page | u32 bytes | u32 offset | u32 flags;
+///  - data pages holding a byte stream of `u32 length | payload` records
+///    that may span pages through the header's `next` link.
+///
+/// `min_epoch` records the file's working epoch when the entry was
+/// written; a data page whose stamped epoch is older is a stale duplicate
+/// (an old image resurrected by a misbehaving disk) and the lookup
+/// reports a miss instead of serving it. Every lookup re-verifies the
+/// decoded record's fingerprint and key against the query, so a hash
+/// collision or corrupt-but-CRC-valid frame can never serve wrong bytes.
+/// Any validation failure — CRC, epoch, type, bounds, decode — counts as
+/// `stats().quarantined` and degrades to a miss, mirroring the v1
+/// torn-tail contract at page granularity.
+///
+/// Compaction is page-level GC: Gc() rebuilds the live set into
+/// `path + ".gc"`, locks the replacement, then renames it over the store
+/// (the same no-gap lock carry as RecordLog::Rewrite), which both drops
+/// tombstoned entries and returns their pages to the filesystem.
+///
+/// Not thread-safe: PersistentRecordCache wraps every call in its mutex.
+class PagedStore {
+ public:
+  struct Options {
+    uint32_t page_size = 0;     // 0 = PageFile::kDefaultPageSize.
+    uint32_t bucket_count = 0;  // 0 = derived from the page size.
+    size_t buffer_frames = 0;   // 0 = kDefaultBufferFrames.
+  };
+
+  static constexpr size_t kDefaultBufferFrames = 64;
+  static constexpr size_t kIndexEntrySize = 48;
+
+  struct Stats {
+    uint64_t record_count = 0;    // Live entries (per the superblock).
+    uint64_t dead_records = 0;    // Tombstoned entries awaiting GC.
+    uint64_t quarantined = 0;     // Lookups degraded by invalid pages.
+    uint64_t reclaimed_bytes = 0; // File bytes returned by GC (session).
+    uint64_t file_bytes = 0;
+    uint32_t page_count = 0;
+    uint32_t page_size = 0;
+    size_t discarded_tail_bytes = 0;
+    BufferPool::Stats pool;
+  };
+
+  /// Opens (creating if writable and absent) the paged store at `path`.
+  /// Error contract matches PageFile::Open.
+  static Result<std::unique_ptr<PagedStore>> Open(const std::string& path,
+                                                  bool read_only,
+                                                  const Options& options);
+
+  /// Existence probe: no recency refresh, no serve accounting.
+  bool Contains(uint64_t fingerprint, const std::string& key);
+
+  /// Existence probe + recency refresh (plan-time touch).
+  bool Touch(uint64_t fingerprint, const std::string& key);
+
+  /// Copies the record into `*out` (nullptr skips the copy) and
+  /// refreshes recency. Returns false on miss or quarantine.
+  bool Get(uint64_t fingerprint, const std::string& key, StoredRecord* out);
+
+  /// Appends the record and indexes it. Returns false (a no-op) when the
+  /// key already exists — first write wins, as in the v1 cache — or when
+  /// the store is read-only or the write failed (the caller degrades to
+  /// in-memory caching, as with a failed v1 append).
+  bool Insert(const StoredRecord& record);
+
+  /// Writes back dirty pages, then commits the superblock. The store is
+  /// crash-consistent at every return from Flush.
+  Status Flush();
+
+  /// One index-entry summary, for the eviction policy. `ipage`/`slot`
+  /// locate the entry so it can be tombstoned without rehashing.
+  struct EntryInfo {
+    uint64_t fingerprint = 0;
+    uint64_t last_hit = 0;
+    uint32_t stream_bytes = 0;
+    uint32_t bucket = 0;
+    uint32_t ipage = 0;
+    uint32_t slot = 0;
+  };
+
+  /// Collects every live entry by sweeping the index pages only (data
+  /// pages stay untouched, so this does not defeat the O(1)-page lookup
+  /// economics). Unreadable pages are skipped and counted as quarantined.
+  Status CollectEntries(std::vector<EntryInfo>* out);
+
+  /// Counts live records, and those of `fingerprint`, via an index sweep.
+  Status CountRecords(uint64_t fingerprint, size_t* total, size_t* task);
+
+  /// Tombstones the given entries (flags -> dead). The bytes are
+  /// reclaimed by the next Gc().
+  Status Tombstone(const std::vector<EntryInfo>& victims);
+
+  /// The file size a GC rebuild of the current live set would produce.
+  /// Used by the byte-bound eviction loop to pick victims before paying
+  /// for the rebuild.
+  Result<uint64_t> ProjectedLiveBytes();
+
+  /// Page-level garbage collection: rebuilds the live set into a fresh
+  /// file and renames it over this one with the writer lock carried.
+  /// `*dropped` (optional) reports dead entries removed. Writable only.
+  Status Gc(size_t* dropped);
+
+  /// Reads every live record (index-sweep order) — the GC/migration
+  /// export path. Quarantined records are skipped.
+  Status ReadAllRecords(std::vector<StoredRecord>* out);
+
+  /// Updates the remembered path after the cache layer renamed this
+  /// store's file over another one (one-shot v1 migration lock carry).
+  void RenamedTo(const std::string& path) {
+    path_ = path;
+    file_->set_path(path);
+  }
+
+  Stats stats() const;
+  uint64_t file_bytes() const { return file_->file_bytes(); }
+  const std::string& path() const { return path_; }
+  bool read_only() const { return read_only_; }
+  uint64_t recency_tick() const { return file_->meta().tick; }
+
+ private:
+  PagedStore(std::unique_ptr<PageFile> file, size_t frames, bool read_only)
+      : file_(std::move(file)),
+        pool_(new BufferPool(file_.get(), frames)),
+        read_only_(read_only),
+        path_(file_->path()) {}
+
+  struct EntryLoc {
+    uint32_t ipage = 0;  // Index page id.
+    uint32_t slot = 0;   // Entry ordinal within the page.
+  };
+
+  /// Hash-chain lookup with full record verification. On success fills
+  /// `*loc` (and `*record` if non-null). Quarantined candidates are
+  /// counted and skipped.
+  bool Lookup(uint64_t fingerprint, const std::string& key, EntryLoc* loc,
+              StoredRecord* record);
+
+  /// Reads + validates the record stream described by an index entry.
+  bool ReadRecordStream(const uint8_t* entry, std::vector<uint8_t>* bytes);
+
+  /// Bumps the persisted recency clock and stamps an entry's last_hit.
+  Status TouchEntry(const EntryLoc& loc);
+
+  /// Appends `bytes` to the data-page stream; returns the start position.
+  Status AppendStream(const std::vector<uint8_t>& bytes, uint32_t* page,
+                      uint32_t* offset);
+
+  /// Appends a 48-byte entry to the bucket's index chain.
+  Status AppendEntry(uint32_t bucket, const uint8_t* entry);
+
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  bool read_only_ = false;
+  std::string path_;
+  uint64_t quarantined_ = 0;
+  uint64_t reclaimed_bytes_ = 0;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_STORAGE_PAGED_STORE_H_

@@ -9,19 +9,35 @@
 #include <vector>
 
 #include "core/config.h"
+#include "storage/paged_store.h"
 #include "storage/record_log.h"
 
 namespace modis {
 
-/// Cross-run valuation-record cache over a RecordLog.
+/// Cross-run valuation-record cache over one of two storage backends.
 ///
-/// Open() replays the whole log once and indexes every record by
-/// (fingerprint, state signature), so one open cache can serve many tasks
-/// at once — the shape the long-lived discovery service needs, where
-/// concurrent queries over different task fingerprints share a single
-/// locked cache file. The single-task callers (ModisEngine owning its own
-/// cache) pass their fingerprint at Open and use the unqualified
-/// convenience methods, which bind to that default fingerprint.
+/// Two backends share this one front door:
+///  - the v1 RecordLog (default): Open() replays the whole log once and
+///    indexes every record in memory;
+///  - the v2 PagedStore (opt-in via Options::engine or a nonzero
+///    Options::page_size): records live behind an on-disk hash index and
+///    a bounded buffer pool, so Open() sweeps only the index pages and a
+///    point lookup touches O(1) pages — memory stays bounded by the
+///    frame budget no matter how large the file grows.
+/// An existing file's format always wins (detected by magic), so a v2
+/// file is served paged even when the options say nothing, and a v1 file
+/// stays readable everywhere. Requesting the paged engine on a v1 file in
+/// kReadWrite mode migrates it once: the records are replayed under the
+/// v1 writer lock, rebuilt into a paged file beside it, and renamed over
+/// with the lock carried — a crash mid-migration leaves the v1 file
+/// untouched.
+///
+/// One open cache can serve many tasks at once — the shape the
+/// long-lived discovery service needs, where concurrent queries over
+/// different task fingerprints share a single locked cache file. The
+/// single-task callers (ModisEngine owning its own cache) pass their
+/// fingerprint at Open and use the unqualified convenience methods,
+/// which bind to that default fingerprint.
 ///
 /// During a running the oracle consults Contains() while planning a batch —
 /// a hit means the state's exact training is skipped and the recorded
@@ -56,26 +72,52 @@ namespace modis {
 /// the signal a long-lived host accumulates.
 class PersistentRecordCache {
  public:
+  /// Storage backend selection. kAuto keeps the v1 log for new files
+  /// unless Options::page_size opts into the paged engine; existing
+  /// files are always served in their own format (a v1 file under kPaged
+  /// + kReadWrite is migrated once).
+  enum class Engine : uint8_t { kAuto, kLog, kPaged };
+
   struct Options {
-    /// Byte budget of the log file; 0 = unbounded. Enforced after every
-    /// Flush() (and once at open) by recency eviction + compaction.
+    /// Byte budget of the cache file; 0 = unbounded. Enforced after
+    /// every Flush() (and once at open) by recency eviction + compaction
+    /// (v1: log rewrite; v2: tombstoning + page GC). The paged engine's
+    /// floor is two pages (superblock + directory).
     /// (Initialized in the constructor, not inline: an inline default
     /// would make `Options()` as a default argument of Open —
     /// syntactically inside the enclosing class — ill-formed.)
     uint64_t max_bytes;
+    /// Backend choice; see Engine.
+    Engine engine;
+    /// Page size for a paged file created (or migrated) by this open;
+    /// nonzero implies the paged engine under kAuto. 0 = 4 KiB when the
+    /// paged engine is selected by other means.
+    uint32_t page_size;
+    /// Buffer-pool frame budget for the paged engine; 0 = 64 frames.
+    /// The pool never holds more pages in memory than this.
+    size_t buffer_pool_frames;
 
-    Options() : max_bytes(0) {}
+    Options()
+        : max_bytes(0),
+          engine(Engine::kAuto),
+          page_size(0),
+          buffer_pool_frames(0) {}
   };
 
   struct Stats {
-    size_t loaded_records = 0;   // All valid records in the log at open.
+    size_t loaded_records = 0;   // All valid records in the file at open.
     size_t task_records = 0;     // Subset matching the default fingerprint.
     size_t served = 0;           // Find()/Get() hits.
     size_t appended = 0;         // Insert()s written this session.
     size_t compacted_away = 0;   // Dead records dropped by auto-compaction.
     size_t evicted = 0;          // Live records dropped by the byte bound.
     size_t discarded_tail_bytes = 0;
-    size_t log_bytes = 0;        // Valid log bytes at the snapshot.
+    size_t log_bytes = 0;        // Valid file bytes at the snapshot.
+    /// File bytes returned by compaction this session (v1 rewrites and
+    /// page-level GC report through the same counter).
+    size_t reclaimed_bytes = 0;
+    /// Paged engine only: lookups degraded to misses by invalid pages.
+    size_t quarantined = 0;
   };
 
   /// Opens `path` for the task identified by `fingerprint` (the default
@@ -159,14 +201,27 @@ class PersistentRecordCache {
         options_(options),
         path_(log_.path()) {}
 
+  PersistentRecordCache(std::unique_ptr<PagedStore> store, CacheMode mode,
+                        uint64_t fingerprint, Options options)
+      : store_(std::move(store)),
+        mode_(mode),
+        fingerprint_(fingerprint),
+        options_(options),
+        path_(store_->path()) {}
+
   /// Rewrites the log from the live index. Caller holds mu_.
   Status CompactLocked();
   /// Evicts + compacts until the live set fits Options::max_bytes.
-  /// Caller holds mu_.
+  /// Caller holds mu_. v1 backend.
   Status EnforceByteBoundLocked();
+  /// The paged equivalent: tombstone coldest entries, GC, re-check.
+  /// Caller holds mu_.
+  Status EnforcePagedByteBoundLocked();
 
   mutable std::mutex mu_;
   RecordLog log_;
+  /// Non-null selects the paged backend; log_ is then unused.
+  std::unique_ptr<PagedStore> store_;
   CacheMode mode_;
   uint64_t fingerprint_;
   Options options_;
@@ -174,9 +229,15 @@ class PersistentRecordCache {
   Stats stats_;
   /// Logical clock for recency: bumped on every hit and insert.
   uint64_t tick_ = 0;
+  /// Find()'s stable-pointer contract over the paged backend: the hit is
+  /// copied here and the pointer handed out (single-session use only, as
+  /// documented on Find).
+  StoredRecord find_scratch_;
 
-  /// Live records: fingerprint -> (key -> entry), last-write-wins at load,
-  /// first-write-wins at runtime.
+  /// v1 backend: live records, fingerprint -> (key -> entry),
+  /// last-write-wins at load, first-write-wins at runtime.
+  /// Paged backend, kRead mode only: the in-memory overlay holding this
+  /// session's fresh Inserts (a read-only store cannot append them).
   std::unordered_map<uint64_t, Bucket> index_;
 };
 

@@ -276,6 +276,7 @@ RecordLog& RecordLog::operator=(RecordLog&& other) noexcept {
   read_only_ = other.read_only_;
   discarded_tail_bytes_ = other.discarded_tail_bytes_;
   size_bytes_ = other.size_bytes_;
+  reclaimed_bytes_ = other.reclaimed_bytes_;
   other.file_ = nullptr;
   return *this;
 }
@@ -559,6 +560,9 @@ Status RecordLog::Rewrite(const std::vector<StoredRecord>& records) {
   file_ = f;
 #endif
 
+  // The rewrite's shrinkage is the compaction's yield; growth (never
+  // expected — Rewrite only drops records) reclaims nothing.
+  if (size_bytes_ > new_bytes) reclaimed_bytes_ += size_bytes_ - new_bytes;
   size_bytes_ = new_bytes;
   discarded_tail_bytes_ = 0;
   return Status::OK();

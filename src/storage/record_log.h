@@ -121,6 +121,11 @@ class RecordLog {
   /// Open plus every frame appended (or written by Rewrite) since. This
   /// is the file size the byte-bounded eviction policy budgets against.
   size_t size_bytes() const { return size_bytes_; }
+  /// Bytes returned to the filesystem by Rewrite() this session (the sum
+  /// of every rewrite's shrinkage). Matches the page-GC counter of the
+  /// paged backend, so the service metrics expose one compaction gauge
+  /// for both engines.
+  size_t reclaimed_bytes() const { return reclaimed_bytes_; }
 
   /// Serialization of one record into/out of a payload buffer; exposed for
   /// tests (corruption crafting) and the compactor.
@@ -140,6 +145,7 @@ class RecordLog {
   bool read_only_ = false;
   size_t discarded_tail_bytes_ = 0;
   size_t size_bytes_ = 0;
+  size_t reclaimed_bytes_ = 0;
 };
 
 }  // namespace modis

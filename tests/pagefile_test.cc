@@ -1,0 +1,719 @@
+/// Fault-injection battery for the paged record-cache engine: the
+/// PageFile block layer (superblock ping-pong, CRC framing, epoch
+/// bounds), the PagedStore record layer (hash-index lookups, quarantine,
+/// GC) and the PersistentRecordCache front door (engine selection, v1
+/// migration, byte-bound eviction). Every corruption case must either
+/// recover to a valid prefix of the data or fail fast with a typed
+/// error — corrupt bytes are never served as records.
+///
+/// POSIX-only like the engine itself (flock + pread/pwrite); the suite
+/// compiles to a skip on Windows.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "storage/page_file.h"
+#include "storage/paged_store.h"
+#include "storage/persistent_record_cache.h"
+#include "storage/record_log.h"
+
+namespace modis {
+namespace {
+
+namespace fs = std::filesystem;
+
+#if !defined(_WIN32)
+
+// ---------------------------------------------------------------- helpers
+
+/// A fresh path under the test temp dir, with every sidecar the engine
+/// may leave behind removed so each test starts from a missing file.
+std::string TempPath(const std::string& name) {
+  const fs::path path = fs::path(::testing::TempDir()) / name;
+  fs::remove(path);
+  for (const char* suffix : {".gc", ".migrate", ".compact"}) {
+    fs::remove(fs::path(path.string() + suffix));
+  }
+  return path.string();
+}
+
+StoredRecord MakeRecord(uint64_t fingerprint, const std::string& key,
+                        double salt) {
+  StoredRecord r;
+  r.fingerprint = fingerprint;
+  r.key = key;
+  r.features = {salt, salt + 1.0, 0.25};
+  r.eval.raw = {salt * 2.0, -salt};
+  r.eval.normalized = {0.5 + salt / 100.0, 0.125};
+  return r;
+}
+
+void ExpectRecordEq(const StoredRecord& a, const StoredRecord& b) {
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.eval.raw, b.eval.raw);
+  EXPECT_EQ(a.eval.normalized, b.eval.normalized);
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            std::streamsize(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+void TruncateFile(const std::string& path, size_t size) {
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  ASSERT_LE(size, bytes.size());
+  bytes.resize(size);
+  WriteFileBytes(path, bytes);
+}
+
+void FlipBit(const std::string& path, size_t byte, int bit) {
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  ASSERT_LT(byte, bytes.size());
+  bytes[byte] ^= uint8_t(1u << bit);
+  WriteFileBytes(path, bytes);
+}
+
+/// Builds a paged store of `n` small records at a 512-byte page size (so
+/// even a modest record set spans many pages) and returns the file bytes.
+constexpr uint64_t kFp = 0xFEEDFACEu;
+constexpr uint32_t kSmallPage = 512;
+
+std::string BuildStore(const std::string& name, size_t n) {
+  const std::string path = TempPath(name);
+  PagedStore::Options options;
+  options.page_size = kSmallPage;
+  auto store = PagedStore::Open(path, /*read_only=*/false, options);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(
+        (*store)->Insert(MakeRecord(kFp, "k" + std::to_string(i), double(i))));
+  }
+  EXPECT_TRUE((*store)->Flush().ok());
+  return path;
+}
+
+/// Probes every record of a (possibly damaged) store: each key either
+/// replays byte-identically or reports a clean miss. Returns the hits.
+size_t ProbeAll(PagedStore* store, size_t n) {
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    StoredRecord out;
+    if (store->Get(kFp, "k" + std::to_string(i), &out)) {
+      ExpectRecordEq(out, MakeRecord(kFp, "k" + std::to_string(i), double(i)));
+      ++hits;
+    }
+  }
+  return hits;
+}
+
+// ---------------------------------------------------------------- PageFile
+
+TEST(PageFileTest, CreateWriteCommitReopen) {
+  const std::string path = TempPath("pf_roundtrip.pg");
+  uint32_t id = 0;
+  {
+    auto file = PageFile::Open(path, /*read_only=*/false);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    EXPECT_TRUE((*file)->created());
+    EXPECT_EQ((*file)->page_size(), PageFile::kDefaultPageSize);
+    id = (*file)->AllocatePage();
+    std::vector<uint8_t> page((*file)->page_size(), 0);
+    PageFile::SetPageType(page.data(), PageFile::kData);
+    PageFile::SetPageUsed(page.data(), 11);
+    std::memcpy(page.data() + PageFile::kPageHeaderSize, "hello pages", 11);
+    ASSERT_TRUE((*file)->WritePage(id, &page).ok());
+    ASSERT_TRUE((*file)->Commit().ok());
+  }
+  auto file = PageFile::Open(path, /*read_only=*/true);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_FALSE((*file)->created());
+  std::vector<uint8_t> page;
+  ASSERT_TRUE((*file)->ReadPage(id, &page).ok());
+  EXPECT_EQ(PageFile::PageTypeOf(page.data()), PageFile::kData);
+  EXPECT_EQ(PageFile::PageUsed(page.data()), 11u);
+  EXPECT_EQ(std::memcmp(page.data() + PageFile::kPageHeaderSize,
+                        "hello pages", 11),
+            0);
+}
+
+TEST(PageFileTest, RejectsBadPageSizes) {
+  for (const uint32_t bad : {uint32_t(256), uint32_t(600), uint32_t(2) << 20}) {
+    const std::string path = TempPath("pf_badsize.pg");
+    PageFile::CreateOptions create;
+    create.page_size = bad;
+    auto file = PageFile::Open(path, /*read_only=*/false, create);
+    EXPECT_FALSE(file.ok()) << bad;
+    EXPECT_EQ(file.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(PageFileTest, MissingFileReadOnlyIsNotFound) {
+  auto file = PageFile::Open(TempPath("pf_missing.pg"), /*read_only=*/true);
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PageFileTest, SuperblockPingPongSurvivesTornCommit) {
+  const std::string path = TempPath("pf_pingpong.pg");
+  uint32_t id = 0;
+  uint64_t second_epoch = 0;
+  {
+    auto file = PageFile::Open(path, /*read_only=*/false);
+    ASSERT_TRUE(file.ok());
+    id = (*file)->AllocatePage();
+    std::vector<uint8_t> page((*file)->page_size(), 0);
+    PageFile::SetPageType(page.data(), PageFile::kData);
+    ASSERT_TRUE((*file)->WritePage(id, &page).ok());
+    ASSERT_TRUE((*file)->Commit().ok());  // Epoch 1 -> slot A.
+    ASSERT_TRUE((*file)->Commit().ok());  // Epoch 2 -> slot B.
+    second_epoch = (*file)->committed_epoch();
+  }
+  // Tear the most recent commit: even epochs live in slot B (offset
+  // 256), odd epochs in slot A (offset 0).
+  const size_t torn_slot =
+      (second_epoch % 2 == 0) ? PageFile::kSuperblockSlotSize : 0;
+  FlipBit(path, torn_slot + 20, 0);
+  auto file = PageFile::Open(path, /*read_only=*/false);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ((*file)->committed_epoch(), second_epoch - 1)
+      << "open must fall back to the surviving slot";
+  std::vector<uint8_t> page;
+  EXPECT_TRUE((*file)->ReadPage(id, &page).ok());
+}
+
+TEST(PageFileTest, TruncatedSuperblockFailsFastBothModes) {
+  const std::string path = TempPath("pf_truncsb.pg");
+  {
+    auto file = PageFile::Open(path, /*read_only=*/false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Commit().ok());
+  }
+  // Mid-slot, before the CRC field at offset 64: magic + version intact,
+  // CRC zeroed — a committed state that can no longer be trusted. (A cut
+  // past offset 68 would leave the 68-byte slot self-contained and
+  // recoverable; that case is covered by the torn-tail tests.)
+  TruncateFile(path, 40);
+  for (const bool read_only : {true, false}) {
+    auto file = PageFile::Open(path, read_only);
+    ASSERT_FALSE(file.ok()) << (read_only ? "ro" : "rw");
+    // Typed: corruption is IoError, never a silent fresh start (the
+    // truncated slot still carries committed non-zero state).
+    EXPECT_EQ(file.status().code(), StatusCode::kIoError);
+  }
+}
+
+TEST(PageFileTest, OwnCreationDebrisRestartsFresh) {
+  const std::string path = TempPath("pf_debris.pg");
+  // A crash after open(O_CREAT) but before the first commit leaves our
+  // magic prefix (or nothing) — a writable open may safely start over.
+  WriteFileBytes(path, {'M', 'O', 'D', 'I', 'S'});
+  auto file = PageFile::Open(path, /*read_only=*/false);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_TRUE((*file)->created());
+}
+
+TEST(PageFileTest, ForeignContentIsRejectedNotClobbered) {
+  const std::string path = TempPath("pf_foreign.pg");
+  WriteFileBytes(path, {'N', 'O', 'T', 'O', 'U', 'R', 'S', '!'});
+  auto file = PageFile::Open(path, /*read_only=*/false);
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ReadFileBytes(path).size(), 8u) << "must not clobber the file";
+}
+
+TEST(PageFileTest, FutureFormatVersionFailsPrecondition) {
+  const std::string path = TempPath("pf_version.pg");
+  {
+    auto file = PageFile::Open(path, /*read_only=*/false);
+    ASSERT_TRUE(file.ok());
+  }
+  // Bump the version field (offset 8) of both slots and re-CRC them.
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  for (const size_t base : {size_t(0), PageFile::kSuperblockSlotSize}) {
+    bytes[base + 8] = 99;
+    const uint32_t crc = Crc32(bytes.data() + base, 64);
+    for (int i = 0; i < 4; ++i) {
+      bytes[base + 64 + i] = uint8_t((crc >> (8 * i)) & 0xFF);
+    }
+  }
+  WriteFileBytes(path, bytes);
+  auto file = PageFile::Open(path, /*read_only=*/true);
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PageFileTest, UncommittedTailTruncatedOnWritableReopen) {
+  const std::string path = TempPath("pf_tail.pg");
+  {
+    auto file = PageFile::Open(path, /*read_only=*/false);
+    ASSERT_TRUE(file.ok());
+    // Allocate + write a page, then "crash" before Commit.
+    const uint32_t id = (*file)->AllocatePage();
+    std::vector<uint8_t> page((*file)->page_size(), 0);
+    PageFile::SetPageType(page.data(), PageFile::kData);
+    ASSERT_TRUE((*file)->WritePage(id, &page).ok());
+  }
+  const size_t fat = ReadFileBytes(path).size();
+  auto file = PageFile::Open(path, /*read_only=*/false);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->discarded_tail_bytes(),
+            fat - (*file)->meta().page_count * (*file)->page_size());
+  EXPECT_GT((*file)->discarded_tail_bytes(), 0u);
+  EXPECT_EQ(fs::file_size(path),
+            uint64_t((*file)->meta().page_count) * (*file)->page_size());
+}
+
+TEST(PageFileTest, FutureEpochPageIsQuarantined) {
+  const std::string path = TempPath("pf_future.pg");
+  uint32_t id = 0;
+  {
+    auto file = PageFile::Open(path, /*read_only=*/false);
+    ASSERT_TRUE(file.ok());
+    id = (*file)->AllocatePage();
+    std::vector<uint8_t> page((*file)->page_size(), 0);
+    PageFile::SetPageType(page.data(), PageFile::kData);
+    ASSERT_TRUE((*file)->WritePage(id, &page).ok());
+    ASSERT_TRUE((*file)->Commit().ok());
+  }
+  // Forge an epoch far past any legitimate generation, with a valid CRC:
+  // the CRC covers page[4..), so recompute it after the edit.
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  const size_t base = size_t(id) * PageFile::kDefaultPageSize;
+  const uint64_t forged = 1u << 20;
+  for (int i = 0; i < 8; ++i) {
+    bytes[base + 4 + i] = uint8_t((forged >> (8 * i)) & 0xFF);
+  }
+  const uint32_t crc =
+      Crc32(bytes.data() + base + 4, PageFile::kDefaultPageSize - 4);
+  for (int i = 0; i < 4; ++i) {
+    bytes[base + i] = uint8_t((crc >> (8 * i)) & 0xFF);
+  }
+  WriteFileBytes(path, bytes);
+  auto file = PageFile::Open(path, /*read_only=*/true);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> page;
+  const Status read = (*file)->ReadPage(id, &page);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.code(), StatusCode::kIoError);
+  EXPECT_NE(read.ToString().find("future"), std::string::npos);
+}
+
+TEST(PageFileTest, SingleWriterFlockContract) {
+  const std::string path = TempPath("pf_flock.pg");
+  auto writer = PageFile::Open(path, /*read_only=*/false);
+  ASSERT_TRUE(writer.ok());
+  auto second = PageFile::Open(path, /*read_only=*/false);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+  // Unlike the v1 scan-once reader, a paged reader holds its shared lock
+  // for its lifetime, so it cannot attach while a writer is live either.
+  auto reader = PageFile::Open(path, /*read_only=*/true);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kFailedPrecondition);
+  writer->reset();
+  auto after = PageFile::Open(path, /*read_only=*/true);
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+// --------------------------------------------------- fault injection
+
+TEST(PagedStoreFaultTest, TornTailAtEveryPageBoundary) {
+  constexpr size_t kRecords = 24;
+  const std::string path = BuildStore("ps_torn.pg", kRecords);
+  const std::vector<uint8_t> pristine = ReadFileBytes(path);
+  const size_t pages = pristine.size() / kSmallPage;
+  ASSERT_GE(pages, 6u) << "fixture must span many pages";
+
+  for (size_t boundary = 1; boundary < pages; ++boundary) {
+    WriteFileBytes(path, pristine);
+    // Tear mid-page at this boundary: everything from the middle of page
+    // `boundary` on is lost, as after a crashed write-back.
+    TruncateFile(path, boundary * kSmallPage + kSmallPage / 2);
+    PagedStore::Options options;
+    options.page_size = kSmallPage;
+    auto store = PagedStore::Open(path, /*read_only=*/false, options);
+    ASSERT_TRUE(store.ok())
+        << "boundary " << boundary << ": " << store.status().ToString();
+    // Every reachable record replays byte-identically; the rest are
+    // clean misses (ProbeAll fails the test on any wrong bytes).
+    const size_t hits = ProbeAll(store->get(), kRecords);
+    EXPECT_LE(hits, kRecords);
+    // The recovered store must accept new writes and survive a reopen.
+    EXPECT_TRUE((*store)->Insert(MakeRecord(kFp, "fresh", 7.0)));
+    ASSERT_TRUE((*store)->Flush().ok());
+    store->reset();
+    auto reopened = PagedStore::Open(path, /*read_only=*/true, options);
+    ASSERT_TRUE(reopened.ok()) << "boundary " << boundary;
+    StoredRecord out;
+    ASSERT_TRUE((*reopened)->Get(kFp, "fresh", &out));
+    ExpectRecordEq(out, MakeRecord(kFp, "fresh", 7.0));
+  }
+}
+
+TEST(PagedStoreFaultTest, SingleBitFlipInPageBody) {
+  constexpr size_t kRecords = 24;
+  const std::string path = BuildStore("ps_flipbody.pg", kRecords);
+  const size_t pages = ReadFileBytes(path).size() / kSmallPage;
+  ASSERT_GE(pages, 4u);
+  // Flip one payload bit in every page past the superblock, one at a
+  // time; the CRC must catch each and degrade lookups to misses.
+  for (size_t page = 1; page < pages; ++page) {
+    SCOPED_TRACE("page " + std::to_string(page));
+    const std::vector<uint8_t> pristine = ReadFileBytes(path);
+    FlipBit(path, page * kSmallPage + PageFile::kPageHeaderSize + 7, 3);
+    PagedStore::Options options;
+    options.page_size = kSmallPage;
+    auto store = PagedStore::Open(path, /*read_only=*/false, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    const size_t hits = ProbeAll(store->get(), kRecords);
+    EXPECT_LT(hits, kRecords) << "damage must cost at least one record";
+    EXPECT_GT((*store)->stats().quarantined, 0u);
+    store->reset();
+    WriteFileBytes(path, pristine);
+  }
+}
+
+TEST(PagedStoreFaultTest, SingleBitFlipInPageHeader) {
+  constexpr size_t kRecords = 12;
+  const std::string path = BuildStore("ps_fliphdr.pg", kRecords);
+  // Corrupt the `used` field (header offset 16) of the directory page
+  // (page 1): the index root itself fails validation.
+  FlipBit(path, 1 * kSmallPage + 16, 7);
+  PagedStore::Options options;
+  options.page_size = kSmallPage;
+  {
+    // Read-only: every lookup degrades to a quarantined miss.
+    auto store = PagedStore::Open(path, /*read_only=*/true, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_EQ(ProbeAll(store->get(), kRecords), 0u);
+    EXPECT_GT((*store)->stats().quarantined, 0u);
+  }
+  {
+    // Writable: the index root is rebuilt empty (records retrain), and
+    // the store serves new writes again.
+    auto store = PagedStore::Open(path, /*read_only=*/false, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_EQ(ProbeAll(store->get(), kRecords), 0u);
+    EXPECT_TRUE((*store)->Insert(MakeRecord(kFp, "post", 3.0)));
+    ASSERT_TRUE((*store)->Flush().ok());
+    StoredRecord out;
+    EXPECT_TRUE((*store)->Get(kFp, "post", &out));
+  }
+}
+
+TEST(PagedStoreFaultTest, StaleEpochDuplicatePageIsRejected) {
+  const std::string path = TempPath("ps_stale.pg");
+  PagedStore::Options options;
+  options.page_size = kSmallPage;
+  // Session 1: record A lands in the first data page (page 2).
+  {
+    auto store = PagedStore::Open(path, /*read_only=*/false, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Insert(MakeRecord(kFp, "a", 1.0)));
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  const std::vector<uint8_t> old_image = ReadFileBytes(path);
+  // Session 2: record B appends into the same active data page, which is
+  // re-stamped with the newer working epoch.
+  {
+    auto store = PagedStore::Open(path, /*read_only=*/false, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Insert(MakeRecord(kFp, "b", 2.0)));
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // A misbehaving disk resurrects the session-1 image of that data page:
+  // CRC-valid, epoch-stale. B's index entry recorded a higher min_epoch,
+  // so the lookup must refuse the stale image rather than serve garbage.
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  ASSERT_GE(old_image.size(), 3u * kSmallPage);
+  std::copy(old_image.begin() + 2 * kSmallPage,
+            old_image.begin() + 3 * kSmallPage, bytes.begin() + 2 * kSmallPage);
+  WriteFileBytes(path, bytes);
+
+  auto store = PagedStore::Open(path, /*read_only=*/true, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  StoredRecord out;
+  EXPECT_FALSE((*store)->Get(kFp, "b", &out))
+      << "stale duplicate page must read as a miss, not as old bytes";
+  EXPECT_GT((*store)->stats().quarantined, 0u);
+  // Record A predates the stale image and is still intact inside it.
+  ASSERT_TRUE((*store)->Get(kFp, "a", &out));
+  ExpectRecordEq(out, MakeRecord(kFp, "a", 1.0));
+}
+
+// --------------------------------------------------- bounded memory
+
+TEST(PagedStoreTest, PointLookupsStayWithinTinyFrameBudget) {
+  constexpr size_t kRecords = 300;
+  constexpr size_t kBudget = 4;
+  const std::string path = BuildStore("ps_bounded.pg", kRecords);
+
+  PagedStore::Options options;
+  options.page_size = kSmallPage;
+  options.buffer_frames = kBudget;
+  auto store = PagedStore::Open(path, /*read_only=*/true, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const uint32_t pages = (*store)->stats().page_count;
+  ASSERT_GT(pages, 20 * kBudget)
+      << "fixture must dwarf the buffer budget for this test to mean much";
+
+  for (size_t i = 0; i < 10; ++i) {
+    StoredRecord out;
+    const size_t pick = (i * 37) % kRecords;
+    ASSERT_TRUE((*store)->Get(kFp, "k" + std::to_string(pick), &out));
+    ExpectRecordEq(out,
+                   MakeRecord(kFp, "k" + std::to_string(pick), double(pick)));
+  }
+  const BufferPool::Stats pool = (*store)->stats().pool;
+  // The memory contract: never more frames resident than the budget.
+  EXPECT_LE(pool.max_frames_in_use, kBudget);
+  EXPECT_LE(pool.frames_in_use, kBudget);
+  // The I/O contract: point lookups touch O(1) pages each — nothing
+  // resembling a full-file load (directory + index chain + data pages).
+  EXPECT_LT(pool.misses, uint64_t(pages) / 2)
+      << "warm point lookups must not replay the file";
+}
+
+TEST(PagedStoreTest, GcDropsTombstonesAndReportsReclaimedBytes) {
+  constexpr size_t kRecords = 40;
+  const std::string path = BuildStore("ps_gc.pg", kRecords);
+  PagedStore::Options options;
+  options.page_size = kSmallPage;
+  auto store = PagedStore::Open(path, /*read_only=*/false, options);
+  ASSERT_TRUE(store.ok());
+  const uint64_t before = (*store)->file_bytes();
+
+  // Tombstone three quarters of the records, preserving every fourth.
+  std::vector<PagedStore::EntryInfo> entries;
+  ASSERT_TRUE((*store)->CollectEntries(&entries).ok());
+  ASSERT_EQ(entries.size(), kRecords);
+  std::vector<PagedStore::EntryInfo> victims;
+  size_t kept = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i % 4 != 0) victims.push_back(entries[i]);
+    else ++kept;
+  }
+  ASSERT_TRUE((*store)->Tombstone(victims).ok());
+  size_t dropped = 0;
+  ASSERT_TRUE((*store)->Gc(&dropped).ok());
+  EXPECT_EQ(dropped, victims.size());
+  EXPECT_EQ((*store)->stats().record_count, kept);
+  EXPECT_EQ((*store)->stats().dead_records, 0u);
+  EXPECT_LT((*store)->file_bytes(), before);
+  EXPECT_EQ((*store)->stats().reclaimed_bytes, before - (*store)->file_bytes());
+
+  // The survivors still replay; the GC'd store stays crash-consistent
+  // across a reopen (rename + lock carry kept path_ coherent).
+  ASSERT_TRUE((*store)->Flush().ok());
+  store->reset();
+  auto reopened = PagedStore::Open(path, /*read_only=*/true, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  size_t hits = 0;
+  for (size_t i = 0; i < kRecords; ++i) {
+    StoredRecord out;
+    if ((*reopened)->Get(kFp, "k" + std::to_string(i), &out)) {
+      ExpectRecordEq(out,
+                     MakeRecord(kFp, "k" + std::to_string(i), double(i)));
+      ++hits;
+    }
+  }
+  EXPECT_EQ(hits, kept);
+}
+
+// --------------------------------------------------- cache front door
+
+TEST(PagedCacheTest, ColdWarmRoundTripAndFormatDetection) {
+  const std::string path = TempPath("pc_roundtrip.cache");
+  PersistentRecordCache::Options options;
+  options.page_size = kSmallPage;
+  {
+    auto cache =
+        PersistentRecordCache::Open(path, CacheMode::kReadWrite, kFp, options);
+    ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+    for (int i = 0; i < 10; ++i) {
+      const StoredRecord r = MakeRecord(kFp, "s" + std::to_string(i), i);
+      (*cache)->Insert(r.key, r.features, r.eval);
+    }
+    ASSERT_TRUE((*cache)->Flush().ok());
+    EXPECT_EQ((*cache)->stats().appended, 10u);
+  }
+  // The file on disk is a v2 page file, not a v1 log.
+  const std::vector<uint8_t> head = ReadFileBytes(path);
+  ASSERT_GE(head.size(), 8u);
+  EXPECT_EQ(std::memcmp(head.data(), PageFile::kMagic, 8), 0);
+
+  // Warm reopen — with *default* options: the file format must win the
+  // engine selection, no page_size hint required.
+  auto cache = PersistentRecordCache::Open(path, CacheMode::kReadWrite, kFp);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  EXPECT_EQ((*cache)->stats().loaded_records, 10u);
+  EXPECT_EQ((*cache)->stats().task_records, 10u);
+  EXPECT_EQ((*cache)->size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    StoredRecord out;
+    ASSERT_TRUE((*cache)->Get(kFp, "s" + std::to_string(i), &out)) << i;
+    ExpectRecordEq(out, MakeRecord(kFp, "s" + std::to_string(i), i));
+  }
+  EXPECT_EQ((*cache)->stats().served, 10u);
+}
+
+TEST(PagedCacheTest, MigratesV1LogOnceUnderReadWrite) {
+  const std::string path = TempPath("pc_migrate.cache");
+  // Seed a v1 log through the default engine.
+  {
+    auto cache = PersistentRecordCache::Open(path, CacheMode::kReadWrite, kFp);
+    ASSERT_TRUE(cache.ok());
+    for (int i = 0; i < 8; ++i) {
+      const StoredRecord r = MakeRecord(kFp, "m" + std::to_string(i), i);
+      (*cache)->Insert(r.key, r.features, r.eval);
+    }
+    ASSERT_TRUE((*cache)->Flush().ok());
+  }
+  ASSERT_EQ(std::memcmp(ReadFileBytes(path).data(), RecordLog::kMagic, 8), 0);
+
+  // Requesting the paged engine read-only must NOT rewrite the file.
+  PersistentRecordCache::Options options;
+  options.page_size = kSmallPage;
+  {
+    auto cache =
+        PersistentRecordCache::Open(path, CacheMode::kRead, kFp, options);
+    ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+    EXPECT_EQ((*cache)->stats().loaded_records, 8u);
+  }
+  ASSERT_EQ(std::memcmp(ReadFileBytes(path).data(), RecordLog::kMagic, 8), 0);
+
+  // Read-write migrates once; every record survives byte-identically.
+  {
+    auto cache =
+        PersistentRecordCache::Open(path, CacheMode::kReadWrite, kFp, options);
+    ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+    EXPECT_EQ((*cache)->stats().loaded_records, 8u);
+    for (int i = 0; i < 8; ++i) {
+      StoredRecord out;
+      ASSERT_TRUE((*cache)->Get(kFp, "m" + std::to_string(i), &out)) << i;
+      ExpectRecordEq(out, MakeRecord(kFp, "m" + std::to_string(i), i));
+    }
+  }
+  EXPECT_EQ(std::memcmp(ReadFileBytes(path).data(), PageFile::kMagic, 8), 0);
+  EXPECT_FALSE(fs::exists(path + ".migrate"));
+
+  // And a later default-options open keeps serving it paged.
+  auto cache = PersistentRecordCache::Open(path, CacheMode::kReadWrite, kFp);
+  ASSERT_TRUE(cache.ok());
+  EXPECT_EQ((*cache)->stats().loaded_records, 8u);
+}
+
+TEST(PagedCacheTest, ByteBoundEvictsColdestAndReportsReclaimed) {
+  const std::string path = TempPath("pc_bound.cache");
+  PersistentRecordCache::Options options;
+  options.page_size = kSmallPage;
+  // Room for ~23 records after rebuild (each survivor costs roughly one
+  // index page at this scale, plus the shared stream/superblock pages) —
+  // comfortably more than the 10 recently-touched ones that must live.
+  options.max_bytes = 30 * kSmallPage;
+  auto cache =
+      PersistentRecordCache::Open(path, CacheMode::kReadWrite, kFp, options);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  for (int i = 0; i < 120; ++i) {
+    const StoredRecord r = MakeRecord(kFp, "e" + std::to_string(i), i);
+    (*cache)->Insert(r.key, r.features, r.eval);
+  }
+  // Refresh a handful so eviction has a recency signal to respect.
+  for (int i = 110; i < 120; ++i) {
+    EXPECT_TRUE((*cache)->Touch(kFp, "e" + std::to_string(i)));
+  }
+  ASSERT_TRUE((*cache)->Flush().ok());
+  const PersistentRecordCache::Stats stats = (*cache)->stats();
+  EXPECT_LE(stats.log_bytes, options.max_bytes);
+  EXPECT_LE(fs::file_size(path), options.max_bytes);
+  EXPECT_GT(stats.evicted, 0u);
+  EXPECT_GT(stats.reclaimed_bytes, 0u)
+      << "page GC must report through the shared compaction counter";
+  // The most-recently-touched records must have survived the cull.
+  for (int i = 110; i < 120; ++i) {
+    EXPECT_TRUE((*cache)->Contains(kFp, "e" + std::to_string(i))) << i;
+  }
+}
+
+TEST(PagedCacheTest, V1RewriteReportsReclaimedBytesToo) {
+  // Satellite contract: both engines expose the same compaction counter.
+  const std::string path = TempPath("pc_v1_reclaim.cache");
+  PersistentRecordCache::Options options;
+  options.max_bytes = 2048;  // v1 log, tight budget.
+  auto cache =
+      PersistentRecordCache::Open(path, CacheMode::kReadWrite, kFp, options);
+  ASSERT_TRUE(cache.ok());
+  for (int i = 0; i < 60; ++i) {
+    const StoredRecord r = MakeRecord(kFp, "v" + std::to_string(i), i);
+    (*cache)->Insert(r.key, r.features, r.eval);
+  }
+  ASSERT_TRUE((*cache)->Flush().ok());
+  const PersistentRecordCache::Stats stats = (*cache)->stats();
+  ASSERT_EQ(std::memcmp(ReadFileBytes(path).data(), RecordLog::kMagic, 8), 0);
+  EXPECT_GT(stats.evicted, 0u);
+  EXPECT_GT(stats.reclaimed_bytes, 0u);
+  EXPECT_LE(stats.log_bytes, options.max_bytes);
+}
+
+TEST(PagedCacheTest, CorruptDataPageSurfacesAsQuarantinedMiss) {
+  const std::string path = TempPath("pc_quarantine.cache");
+  PersistentRecordCache::Options options;
+  options.page_size = kSmallPage;
+  {
+    auto cache =
+        PersistentRecordCache::Open(path, CacheMode::kReadWrite, kFp, options);
+    ASSERT_TRUE(cache.ok());
+    for (int i = 0; i < 6; ++i) {
+      const StoredRecord r = MakeRecord(kFp, "q" + std::to_string(i), i);
+      (*cache)->Insert(r.key, r.features, r.eval);
+    }
+    ASSERT_TRUE((*cache)->Flush().ok());
+  }
+  // Page 2 is the first data page at this scale; wound its payload.
+  FlipBit(path, 2 * kSmallPage + PageFile::kPageHeaderSize + 3, 1);
+  auto cache =
+      PersistentRecordCache::Open(path, CacheMode::kRead, kFp, options);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  size_t hits = 0;
+  for (int i = 0; i < 6; ++i) {
+    StoredRecord out;
+    if ((*cache)->Get(kFp, "q" + std::to_string(i), &out)) {
+      ExpectRecordEq(out, MakeRecord(kFp, "q" + std::to_string(i), i));
+      ++hits;
+    }
+  }
+  EXPECT_LT(hits, 6u);
+  EXPECT_GT((*cache)->stats().quarantined, 0u);
+}
+
+#else  // _WIN32
+
+TEST(PagedStoreTest, UnsupportedOnWindows) {
+  auto file = PageFile::Open("anywhere.pg", false);
+  EXPECT_EQ(file.status().code(), StatusCode::kUnimplemented);
+}
+
+#endif  // _WIN32
+
+}  // namespace
+}  // namespace modis

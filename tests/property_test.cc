@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "core/algorithms.h"
 #include "datagen/tasks.h"
 #include "ml/random_forest.h"
@@ -187,6 +191,132 @@ TEST_P(SeedPropertyTest, PipelineRobustAcrossLakes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedPropertyTest,
                          ::testing::Values(1000, 2000, 3000, 4000, 5000));
+
+/// ---- Persistent-cache identity across storage engines ----
+///
+/// The cache contract — the skyline is identical with the cache off,
+/// cold, or warm — must hold whatever engine sits under the cache file.
+/// These sweeps pin it for the paged engine across page sizes with a
+/// deliberately tiny buffer-pool budget (so lookups churn through
+/// eviction), and through a one-shot v1-log migration.
+
+std::string PropCachePath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  std::remove((path + ".gc").c_str());
+  std::remove((path + ".compact").c_str());
+  std::remove((path + ".migrate").c_str());
+  return path;
+}
+
+std::string FileMagic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[8] = {0};
+  in.read(magic, sizeof(magic));
+  return std::string(magic, static_cast<size_t>(std::max<std::streamsize>(
+                                0, in.gcount())));
+}
+
+/// Byte-identity, not tolerance: a served record replays exactly what the
+/// training that produced it returned, so every double must match with ==.
+void ExpectByteIdenticalSkyline(ModisResult a, ModisResult b) {
+  EXPECT_EQ(a.valuated_states, b.valuated_states);
+  EXPECT_EQ(a.generated_states, b.generated_states);
+  EXPECT_EQ(a.pruned_states, b.pruned_states);
+  ASSERT_EQ(a.skyline.size(), b.skyline.size());
+  ASSERT_FALSE(a.skyline.empty());
+  auto by_signature = [](const SkylineEntry& x, const SkylineEntry& y) {
+    return x.state.Signature() < y.state.Signature();
+  };
+  std::sort(a.skyline.begin(), a.skyline.end(), by_signature);
+  std::sort(b.skyline.begin(), b.skyline.end(), by_signature);
+  for (size_t i = 0; i < a.skyline.size(); ++i) {
+    const SkylineEntry& x = a.skyline[i];
+    const SkylineEntry& y = b.skyline[i];
+    EXPECT_EQ(x.state.Signature(), y.state.Signature());
+    EXPECT_EQ(x.level, y.level);
+    ASSERT_EQ(x.eval.normalized.size(), y.eval.normalized.size());
+    for (size_t j = 0; j < x.eval.normalized.size(); ++j) {
+      EXPECT_EQ(x.eval.normalized[j], y.eval.normalized[j]);
+      EXPECT_EQ(x.eval.raw[j], y.eval.raw[j]);
+    }
+  }
+}
+
+ModisResult RunCached(DeterministicFixture& f, const std::string& cache_path,
+                      uint32_t page_size, size_t buffer_frames) {
+  auto evaluator = f.bench.MakeEvaluator();
+  ExactOracle oracle(evaluator.get());
+  ModisConfig cfg;
+  cfg.epsilon = 0.2;
+  cfg.max_states = 70;
+  cfg.max_level = 3;
+  cfg.record_cache_path = cache_path;
+  cfg.record_cache_page_size = page_size;
+  cfg.record_cache_buffer_frames = buffer_frames;
+  auto result = RunBiModis(f.universe, &oracle, cfg);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+class PagedCachePropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PagedCachePropertyTest, OffColdWarmSkylinesAreByteIdentical) {
+  const uint32_t page_size = GetParam();
+  DeterministicFixture f = DeterministicFixture::Make();
+  const std::string path =
+      PropCachePath("prop_paged_" + std::to_string(page_size) + ".rlog");
+
+  // Four frames is far below the page count a full run touches: every
+  // warm lookup has to page in through LRU eviction, never a full load.
+  ModisResult off = RunCached(f, "", page_size, 4);
+  ModisResult cold = RunCached(f, path, page_size, 4);
+  ModisResult warm = RunCached(f, path, page_size, 4);
+
+  EXPECT_FALSE(off.record_cache_active);
+  ASSERT_TRUE(cold.record_cache_active);
+  ASSERT_TRUE(warm.record_cache_active);
+  EXPECT_EQ(FileMagic(path), "MODISPG2");
+
+  // Cold: cache engaged but empty — trains exactly what the off run does.
+  EXPECT_EQ(cold.oracle_stats.persistent_hits, 0u);
+  EXPECT_GT(cold.record_cache_stats.appended, 0u);
+  EXPECT_EQ(cold.oracle_stats.exact_evals, off.oracle_stats.exact_evals);
+
+  // Warm: every valuation replays from the paged file — zero trainings.
+  EXPECT_EQ(warm.oracle_stats.exact_evals, 0u);
+  EXPECT_EQ(warm.oracle_stats.persistent_hits, cold.oracle_stats.exact_evals);
+
+  ExpectByteIdenticalSkyline(off, std::move(cold));
+  ExpectByteIdenticalSkyline(std::move(off), std::move(warm));
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, PagedCachePropertyTest,
+                         ::testing::Values(4096u, 16384u),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return "Page" + std::to_string(info.param);
+                         });
+
+TEST(PagedCacheMigrationPropertyTest, WarmRunThroughMigratedV1Log) {
+  DeterministicFixture f = DeterministicFixture::Make();
+  const std::string path = PropCachePath("prop_migrated.rlog");
+
+  ModisResult off = RunCached(f, "", 0, 0);
+  // Cold run with page_size 0 seeds a v1 append-only log.
+  ModisResult cold = RunCached(f, path, 0, 0);
+  ASSERT_EQ(FileMagic(path), "MODISRLG");
+
+  // The warm run opts into the paged engine: the read-write open migrates
+  // the v1 log once, then serves every valuation from the paged file.
+  ModisResult warm = RunCached(f, path, 4096, 4);
+  EXPECT_EQ(FileMagic(path), "MODISPG2");
+  ASSERT_TRUE(warm.record_cache_active);
+  EXPECT_EQ(warm.oracle_stats.exact_evals, 0u);
+  EXPECT_EQ(warm.oracle_stats.persistent_hits, cold.oracle_stats.exact_evals);
+
+  ExpectByteIdenticalSkyline(off, std::move(cold));
+  ExpectByteIdenticalSkyline(std::move(off), std::move(warm));
+}
 
 }  // namespace
 }  // namespace modis

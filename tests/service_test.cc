@@ -549,7 +549,7 @@ TEST(ServiceSatelliteTest, EvictedPlannedHitDegradesToFreshTraining) {
 }
 
 /// Two tasks that differ only in the trained model prototype must not
-/// share a fingerprint (the docs/PERSISTENCE.md §3 footgun, now closed).
+/// share a fingerprint (the docs/PERSISTENCE.md §4 footgun, now closed).
 TEST(ServiceSatelliteTest, ModelIdentityScopesTheTaskFingerprint) {
   auto bench = MakeTabularBench(BenchTaskId::kHouse, kRowScale);
   ASSERT_TRUE(bench.ok());
