@@ -117,6 +117,67 @@ void BM_MaterializeFromClusterFlip(benchmark::State& state) {
 }
 BENCHMARK(BM_MaterializeFromClusterFlip);
 
+void BM_CountRowsMaskVsScan(benchmark::State& state) {
+  // Surviving-row counting three ways: the seed's per-row scan over
+  // cluster_of_, a fresh bitset-mask build + popcount, and the popcount
+  // of an already-cached materialization's mask (the engine's UPareto
+  // fast path). arg 0/1/2 = scan / mask / cached.
+  auto bench = MakeTabularBench(BenchTaskId::kMovie, 0.5);
+  MODIS_CHECK(bench.ok());
+  auto uni = SearchUniverse::Build(bench->universal, bench->universe_options);
+  MODIS_CHECK(uni.ok());
+  StateBitmap s = uni->FullBitmap();
+  const size_t base = uni->layout().num_attributes();
+  for (size_t i = 0; i < 4 && base + i < s.size(); ++i) {
+    s = s.WithFlipped(base + i);
+  }
+  const int mode = state.range(0);
+  const MaterializationPtr cached = uni->MaterializeRecord(s);
+  for (auto _ : state) {
+    size_t rows = 0;
+    switch (mode) {
+      case 0:
+        rows = uni->CountRowsScan(s);
+        break;
+      case 1:
+        rows = uni->CountRows(s);
+        break;
+      default:
+        rows = cached->mask.Count();
+        break;
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * uni->universal().num_rows());
+  state.SetLabel(mode == 0 ? "scan" : mode == 1 ? "mask" : "cached");
+}
+BENCHMARK(BM_CountRowsMaskVsScan)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MaskTightenFlip(benchmark::State& state) {
+  // DeriveMask along a one-flip tighten (cluster bit 1 -> 0) edge: one
+  // ANDNOT over the packed words, no row rescan — the mask half of
+  // BM_MaterializeFromClusterFlip without the column rebuild.
+  auto bench = MakeTabularBench(BenchTaskId::kMovie, 0.5);
+  MODIS_CHECK(bench.ok());
+  auto uni = SearchUniverse::Build(bench->universal, bench->universe_options);
+  MODIS_CHECK(uni.ok());
+  StateBitmap parent_state = uni->FullBitmap();
+  const size_t base = uni->layout().num_attributes();
+  MODIS_CHECK(base + 4 <= parent_state.size())
+      << "bench task derived too few cluster units";
+  for (size_t i = 0; i < 3; ++i) {
+    parent_state = parent_state.WithFlipped(base + i);
+  }
+  const MaterializationPtr parent = uni->MaterializeRecord(parent_state);
+  const StateBitmap child = parent_state.WithFlipped(base + 3);
+  for (auto _ : state) {
+    RowMask mask = uni->DeriveMask(*parent, child);
+    benchmark::DoNotOptimize(mask);
+  }
+  state.SetItemsProcessed(state.iterations() * uni->universal().num_rows());
+}
+BENCHMARK(BM_MaskTightenFlip);
+
 void BM_ParallelForDispatch(benchmark::State& state) {
   // Scheduling overhead of ParallelFor over trivial work, per index.
   const size_t workers = state.range(0);

@@ -130,6 +130,7 @@ struct PhaseResult {
   std::vector<double> latencies_ms;
   size_t exact_evals = 0;
   size_t persistent_hits = 0;
+  size_t fused_hits = 0;
 
   double Qps() const {
     return wall_seconds <= 0.0 ? 0.0 : double(queries) / wall_seconds;
@@ -140,9 +141,9 @@ void PrintHuman(const PhaseResult& r, double cold_p50) {
   const double p50 = Percentile(r.latencies_ms, 0.50);
   const double p99 = Percentile(r.latencies_ms, 0.99);
   std::printf("%-14s clients=%zu  queries=%3zu  qps=%7.2f  p50=%9.1f ms  "
-              "p99=%9.1f ms  exact=%4zu  replayed=%4zu",
+              "p99=%9.1f ms  exact=%4zu  replayed=%4zu  fused=%4zu",
               r.mode.c_str(), r.clients, r.queries, r.Qps(), p50, p99,
-              r.exact_evals, r.persistent_hits);
+              r.exact_evals, r.persistent_hits, r.fused_hits);
   if (cold_p50 > 0.0 && r.mode != "cold_process") {
     std::printf("  speedup_p50=%.1fx", cold_p50 / std::max(p50, 1e-9));
   }
@@ -167,10 +168,11 @@ void PrintJson(const std::vector<PhaseResult>& phases, double cold_p50) {
         "  {\"bench\": \"serving\", \"mode\": \"%s\", \"clients\": %zu, "
         "\"queries\": %zu, \"qps\": %.3f, \"p50_ms\": %.3f, "
         "\"p99_ms\": %.3f, \"exact_evals\": %zu, "
-        "\"persistent_hits\": %zu, \"speedup_p50_vs_cold\": %.3f%s}%s\n",
+        "\"persistent_hits\": %zu, \"fused_hits\": %zu, "
+        "\"speedup_p50_vs_cold\": %.3f%s}%s\n",
         r.mode.c_str(), r.clients, r.queries, r.Qps(), p50, p99,
-        r.exact_evals, r.persistent_hits, speedup, transport.c_str(),
-        i + 1 < phases.size() ? "," : "");
+        r.exact_evals, r.persistent_hits, r.fused_hits, speedup,
+        transport.c_str(), i + 1 < phases.size() ? "," : "");
   }
   std::printf("]\n");
 }
@@ -242,6 +244,7 @@ int RunRemote(const Args& args) {
           warm.latencies_ms.push_back(ms);
           warm.exact_evals += response->exact_evals;
           warm.persistent_hits += response->persistent_hits;
+          warm.fused_hits += response->fused_hits;
         }
       });
     }
@@ -293,6 +296,7 @@ int main(int argc, char** argv) {
   // ---- Phase 1: cold process-per-query. Every query pays startup +
   // lake + universe + all trainings. A few samples suffice — the
   // latencies barely vary.
+  size_t unique_trainings = 0;  // Exact trainings of one mix[0] run.
   {
     PhaseResult cold;
     cold.mode = "cold_process";
@@ -310,11 +314,70 @@ int main(int argc, char** argv) {
       cold.latencies_ms.push_back(latency.Millis());
       cold.exact_evals += response->exact_evals;
       cold.persistent_hits += response->persistent_hits;
+      if (q == 0) unique_trainings = response->exact_evals;
     }
     cold.wall_seconds = wall.Seconds();
     phases.push_back(std::move(cold));
   }
   const double cold_p50 = Percentile(phases[0].latencies_ms, 0.50);
+
+  // ---- Phase 1b: cold-concurrent fusion. Two clients race the same
+  // cold query on a cache-less service: the cross-query training fuser
+  // must collapse the duplicate work to exactly one training per unique
+  // state (trainings_shared > 0, total exact == the unique-state count
+  // one detached run pays).
+  {
+    PhaseResult fusion;
+    fusion.mode = "cold_concurrent";
+    fusion.clients = 2;
+    fusion.queries = 2;
+    DiscoveryService::Options fusion_options;
+    fusion_options.sessions = 2;
+    fusion_options.valuation_threads = args.threads;
+    fusion_options.task_row_scale = args.scale;
+    DiscoveryService fusion_service(fusion_options);
+    if (Status preloaded = fusion_service.Preload(args.task);
+        !preloaded.ok()) {
+      std::fprintf(stderr, "preload failed: %s\n",
+                   preloaded.ToString().c_str());
+      return 1;
+    }
+    std::mutex mu;
+    std::vector<std::thread> workers;
+    WallTimer wall;
+    for (size_t c = 0; c < fusion.clients; ++c) {
+      workers.emplace_back([&] {
+        WallTimer latency;
+        auto response = fusion_service.Answer(mix[0]);
+        const double ms = latency.Millis();
+        std::lock_guard<std::mutex> lock(mu);
+        if (response.ok()) {
+          fusion.latencies_ms.push_back(ms);
+          fusion.exact_evals += response->exact_evals;
+          fusion.persistent_hits += response->persistent_hits;
+          fusion.fused_hits += response->fused_hits;
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    fusion.wall_seconds = wall.Seconds();
+    if (fusion.latencies_ms.size() != fusion.queries) {
+      std::fprintf(stderr, "fusion phase dropped queries (%zu of %zu)\n",
+                   fusion.latencies_ms.size(), fusion.queries);
+      return 1;
+    }
+    const MetricsSnapshot snapshot = fusion_service.SnapshotMetrics();
+    if (snapshot.trainings_shared == 0 ||
+        fusion.exact_evals != unique_trainings) {
+      std::fprintf(stderr,
+                   "FAIL: cold-concurrent fusion trained %zu states "
+                   "(expected %zu unique) and shared %llu\n",
+                   fusion.exact_evals, unique_trainings,
+                   (unsigned long long)snapshot.trainings_shared);
+      return 1;
+    }
+    phases.push_back(std::move(fusion));
+  }
 
   // ---- The service under test: shared pool, shared cache file.
   DiscoveryService::Options options;
@@ -364,6 +427,7 @@ int main(int argc, char** argv) {
             warm.latencies_ms.push_back(ms);
             warm.exact_evals += response->exact_evals;
             warm.persistent_hits += response->persistent_hits;
+            warm.fused_hits += response->fused_hits;
           }
         }
       });
@@ -381,6 +445,7 @@ int main(int argc, char** argv) {
   // The acceptance gate: a warm service trains nothing and answers ≥5x
   // faster (per-query p50) than cold process-per-query.
   for (size_t i = 1; i < phases.size(); ++i) {
+    if (phases[i].mode != "warm_service") continue;
     if (phases[i].exact_evals != 0) {
       std::fprintf(stderr,
                    "FAIL: warm phase (clients=%zu) performed %zu exact "

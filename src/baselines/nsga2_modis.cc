@@ -24,14 +24,23 @@ Result<Nsga2ModisResult> RunNsga2Modis(const SearchUniverse& universe,
     return genome;
   };
 
+  // Materializations cached by signature: generations revisit genomes, and
+  // the final front's row counts become mask popcounts instead of rescans.
+  MaterializationCache mats(256);
+
   Nsga2Fitness fitness =
       [&](const std::vector<uint8_t>& raw) -> std::optional<PerfVector> {
     const std::vector<uint8_t> genome = repair(raw);
     StateBitmap state(genome.size());
     for (size_t i = 0; i < genome.size(); ++i) state.Set(i, genome[i] != 0);
+    const std::string sig = state.Signature();
     Result<Evaluation> eval = oracle->Valuate(
-        state.Signature(), universe.StateFeatures(state),
-        [&]() { return universe.Materialize(state); });
+        sig, universe.StateFeatures(state), [&]() {
+          if (MaterializationPtr hit = mats.Get(sig)) return hit->table;
+          MaterializationPtr m = universe.MaterializeRecord(state);
+          mats.Put(sig, m);
+          return m->table;
+        });
     if (!eval.ok()) return std::nullopt;  // Untrainable genome.
     for (size_t j = 0; j < upper.size(); ++j) {
       if (eval->normalized[j] > upper[j] + 1e-12) return std::nullopt;
@@ -54,7 +63,11 @@ Result<Nsga2ModisResult> RunNsga2Modis(const SearchUniverse& universe,
     }
     entry.eval.normalized = ind.objectives;
     entry.eval.raw = ind.objectives;  // Raw values live in the oracle store.
-    entry.rows = universe.CountRows(entry.state);
+    if (MaterializationPtr hit = mats.Get(entry.state.Signature())) {
+      entry.rows = hit->mask.Count();
+    } else {
+      entry.rows = universe.CountRows(entry.state);
+    }
     for (size_t a = 0; a < layout.num_attributes(); ++a) {
       if (entry.state.Get(a)) ++entry.cols;
     }

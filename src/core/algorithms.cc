@@ -77,6 +77,9 @@ Result<ModisResult> RunExactSkyline(const SearchUniverse& universe,
   std::deque<std::pair<StateBitmap, int>> queue;
   std::unordered_set<std::string> visited;
   std::vector<SkylineEntry> valuated;
+  // Materializations cached by signature so the post-valuation row count
+  // is a popcount of the cached mask, not a second D_U pass.
+  MaterializationCache mats(config.table_cache_entries);
 
   const UnitLayout& layout = universe.layout();
   queue.emplace_back(universe.FullBitmap(), 0);
@@ -87,9 +90,15 @@ Result<ModisResult> RunExactSkyline(const SearchUniverse& universe,
     queue.pop_front();
     ++result.generated_states;
 
+    const std::string sig = state.Signature();
     Result<Evaluation> eval = oracle->Valuate(
-        state.Signature(), universe.StateFeatures(state),
-        [&universe, &state]() { return universe.Materialize(state); });
+        sig, universe.StateFeatures(state),
+        [&universe, &state, &mats, &sig]() {
+          if (MaterializationPtr hit = mats.Get(sig)) return hit->table;
+          MaterializationPtr m = universe.MaterializeRecord(state);
+          mats.Put(sig, m);
+          return m->table;
+        });
     ++result.valuated_states;
     bool expandable = level < config.max_level;
     if (eval.ok()) {
@@ -97,7 +106,12 @@ Result<ModisResult> RunExactSkyline(const SearchUniverse& universe,
       entry.state = state;
       entry.eval = eval.value();
       entry.level = level;
-      entry.rows = universe.CountRows(state);
+      if (MaterializationPtr hit = mats.Get(sig)) {
+        entry.rows = hit->mask.Count();
+        ++result.mask_fast_path_hits;
+      } else {
+        entry.rows = universe.CountRows(state);
+      }
       for (size_t a = 0; a < layout.num_attributes(); ++a) {
         if (state.Get(a)) ++entry.cols;
       }

@@ -117,19 +117,33 @@ ModisEngine::ModisEngine(const SearchUniverse* universe,
 
   if (config_.cache_mode == CacheMode::kOff) {
     extern_cache_ = nullptr;  // kOff wins even over a provided cache.
+  }
+  const bool needs_fingerprint =
+      runtime.fuser != nullptr || extern_cache_ != nullptr ||
+      (config_.cache_mode != CacheMode::kOff &&
+       !config_.record_cache_path.empty());
+  const uint64_t fingerprint =
+      needs_fingerprint
+          ? TaskFingerprint(*universe_, oracle_->measures(),
+                            config_.record_cache_namespace,
+                            oracle_->ModelIdentity())
+          : 0;
+  if (runtime.fuser != nullptr) {
+    // Fusion never changes what a training returns (trainings are
+    // deterministic per fingerprint), so it is sound under every cache
+    // mode — including kOff.
+    fuser_ = runtime.fuser;
+    oracle_->AttachTrainingFuser(fuser_, fingerprint);
+  }
+  if (config_.cache_mode == CacheMode::kOff) {
+    // No persistent records in any form.
   } else if (extern_cache_ != nullptr) {
     // Shared, already-open cache: scope by this task's fingerprint; a
     // per-query kRead mode becomes a no-append view of the shared file.
-    const uint64_t fingerprint = TaskFingerprint(
-        *universe_, oracle_->measures(), config_.record_cache_namespace,
-        oracle_->ModelIdentity());
     oracle_->AttachRecordCache(
         extern_cache_, fingerprint,
         /*write_through=*/config_.cache_mode == CacheMode::kReadWrite);
   } else if (!config_.record_cache_path.empty()) {
-    const uint64_t fingerprint = TaskFingerprint(
-        *universe_, oracle_->measures(), config_.record_cache_namespace,
-        oracle_->ModelIdentity());
     PersistentRecordCache::Options cache_options;
     cache_options.max_bytes = config_.record_cache_max_bytes;
     cache_options.page_size = config_.record_cache_page_size;
@@ -160,6 +174,9 @@ ModisEngine::~ModisEngine() {
     if (oracle_->record_cache() == cache) {
       oracle_->AttachRecordCache(nullptr);
     }
+  }
+  if (fuser_ != nullptr && oracle_->training_fuser() == fuser_) {
+    oracle_->AttachTrainingFuser(nullptr);
   }
 }
 
@@ -262,7 +279,8 @@ bool ModisEngine::CanPrune(const StateBitmap& state) {
   return false;
 }
 
-void ModisEngine::UPareto(const StateBitmap& state, const Evaluation& eval,
+void ModisEngine::UPareto(const StateBitmap& state,
+                          const std::string& signature, const Evaluation& eval,
                           int level) {
   // Early skip when any measure exceeds its tolerance p_u.
   for (size_t j = 0; j < eval.normalized.size(); ++j) {
@@ -283,7 +301,12 @@ void ModisEngine::UPareto(const StateBitmap& state, const Evaluation& eval,
   entry.state = state;
   entry.eval = eval;
   entry.level = level;
-  entry.rows = universe_->CountRows(state);
+  if (MaterializationPtr cached = mat_cache_.Get(signature)) {
+    entry.rows = cached->mask.Count();
+    ++stats_.mask_fast_path_hits;
+  } else {
+    entry.rows = universe_->CountRows(state);
+  }
   entry.cols = 0;
   for (size_t a = 0; a < universe_->layout().num_attributes(); ++a) {
     if (state.Get(a)) ++entry.cols;
@@ -336,7 +359,15 @@ void ModisEngine::ValuateBatch(std::vector<BatchItem> items,
   for (const BatchItem& item : items) {
     ValuationRequest req;
     req.key = item.signature;
-    req.features = universe_->StateFeatures(item.state);
+    // A state whose materialization is already resident (a re-seeded
+    // parent, a frontier meeting point) gets its row fraction from the
+    // cached mask's popcount instead of recomputing the surviving set.
+    if (MaterializationPtr cached = mat_cache_.Get(item.signature)) {
+      req.features = universe_->StateFeatures(item.state, cached->mask);
+      ++stats_.mask_fast_path_hits;
+    } else {
+      req.features = universe_->StateFeatures(item.state);
+    }
     // Materialization runs lazily on a worker thread for exact items:
     // reuse the parent's cached materialization along the one-flip edge
     // when it is still resident, and cache the child for its own children.
@@ -378,7 +409,7 @@ void ModisEngine::ValuateBatch(std::vector<BatchItem> items,
       }
       continue;
     }
-    UPareto(item.state, eval.value(), item.level);
+    UPareto(item.state, item.signature, eval.value(), item.level);
     if (item.level < config_.max_level) {
       // Priority: the worst bound-violation ratio max_j p_j / p_u_j —
       // states closest to (or inside) the user-defined ranges are extended

@@ -34,6 +34,10 @@ struct ModisResult {
   size_t valuated_states = 0;
   size_t generated_states = 0;
   size_t pruned_states = 0;
+  /// Times a row count or feature vector was served from a cached
+  /// materialization's row mask (popcount) instead of recomputing the
+  /// surviving set.
+  size_t mask_fast_path_hits = 0;
   double seconds = 0.0;
   PerformanceOracle::Stats oracle_stats;
   /// True when a persistent record cache was actually open during the
@@ -61,6 +65,12 @@ struct EngineRuntime {
   /// serves hits without appending, kOff ignores the cache entirely.
   /// Null → self-opened from ModisConfig::record_cache_path.
   PersistentRecordCache* record_cache = nullptr;
+  /// A cross-query exact-training fuser shared by every engine the host
+  /// constructs. Not owned; must outlive the engine. The engine scopes it
+  /// by its own TaskFingerprint, so only queries over identical data,
+  /// layout, measures, and model identity ever share a training. Null →
+  /// no fusion (standalone behavior).
+  TrainingFuser* fuser = nullptr;
 };
 
 /// The multi-goal finite-state-transducer search engine (§3-§5).
@@ -159,8 +169,11 @@ class ModisEngine {
   /// updates, frontier enqueues, failed-state handling — in item order.
   void ValuateBatch(std::vector<BatchItem> items, Frontier* frontier);
 
-  /// The UPareto grid update (Fig. 3 lines 20-30).
-  void UPareto(const StateBitmap& state, const Evaluation& eval, int level);
+  /// The UPareto grid update (Fig. 3 lines 20-30). `signature` keys the
+  /// materialization cache so the entry's row count can be a popcount of
+  /// the cached mask.
+  void UPareto(const StateBitmap& state, const std::string& signature,
+               const Evaluation& eval, int level);
 
   /// Correlation-based pruning (Lemma 4): true when the optimistic
   /// parameterized bounds of `state` are already ε-dominated by a skyline
@@ -204,6 +217,9 @@ class ModisEngine {
   /// Externally owned shared cache (EngineRuntime::record_cache); wins
   /// over record_cache_.
   PersistentRecordCache* extern_cache_ = nullptr;
+  /// Externally owned cross-query training fuser (EngineRuntime::fuser);
+  /// attached to the oracle under this engine's TaskFingerprint.
+  TrainingFuser* fuser_ = nullptr;
 
   /// The pool batched valuations fan out over (external or owned).
   ThreadPool* EffectivePool() const {

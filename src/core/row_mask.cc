@@ -1,0 +1,50 @@
+#include "core/row_mask.h"
+
+#include "common/logging.h"
+
+namespace modis {
+
+RowMask::RowMask(size_t num_rows, bool fill) : num_rows_(num_rows) {
+  words_.assign((num_rows + 63) >> 6, fill ? ~uint64_t{0} : uint64_t{0});
+  if (fill && (num_rows & 63) != 0) {
+    words_.back() = (uint64_t{1} << (num_rows & 63)) - 1;
+  }
+}
+
+size_t RowMask::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) {
+    n += static_cast<size_t>(__builtin_popcountll(w));
+  }
+  return n;
+}
+
+void RowMask::AndWith(const RowMask& other) {
+  MODIS_CHECK(num_rows_ == other.num_rows_) << "row mask universe mismatch";
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+  }
+}
+
+void RowMask::AndNotWith(const RowMask& other) {
+  MODIS_CHECK(num_rows_ == other.num_rows_) << "row mask universe mismatch";
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+}
+
+void RowMask::OrWith(const RowMask& other) {
+  MODIS_CHECK(num_rows_ == other.num_rows_) << "row mask universe mismatch";
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+std::vector<uint32_t> RowMask::ToRowIds() const {
+  std::vector<uint32_t> ids;
+  ids.reserve(Count());
+  ForEachSet([&ids](uint32_t r) { ids.push_back(r); });
+  return ids;
+}
+
+}  // namespace modis

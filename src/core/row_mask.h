@@ -1,0 +1,73 @@
+#ifndef MODIS_CORE_ROW_MASK_H_
+#define MODIS_CORE_ROW_MASK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace modis {
+
+/// A packed bitset over universal-row ids. Bit r set means row r of D_U
+/// survives. All word-level operations keep the invariant that bits beyond
+/// `num_rows()` in the last word are zero, so Count() and operator== never
+/// see tail garbage even when the row count is not a multiple of 64.
+class RowMask {
+ public:
+  RowMask() = default;
+  RowMask(size_t num_rows, bool fill);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_words() const { return words_.size(); }
+
+  bool Get(size_t r) const { return (words_[r >> 6] >> (r & 63)) & 1; }
+
+  void Set(size_t r, bool value) {
+    const uint64_t bit = uint64_t{1} << (r & 63);
+    if (value) {
+      words_[r >> 6] |= bit;
+    } else {
+      words_[r >> 6] &= ~bit;
+    }
+  }
+
+  /// Population count over all words — the row count of the denoted set.
+  size_t Count() const;
+
+  /// this &= other. Both masks must span the same universe.
+  void AndWith(const RowMask& other);
+
+  /// this &= ~other (remove other's rows).
+  void AndNotWith(const RowMask& other);
+
+  /// this |= other.
+  void OrWith(const RowMask& other);
+
+  /// Calls fn(row_id) for every set bit in ascending row order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(word));
+        fn(static_cast<uint32_t>((w << 6) + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// The set bits as an ascending row-id vector.
+  std::vector<uint32_t> ToRowIds() const;
+
+  bool operator==(const RowMask& other) const {
+    return num_rows_ == other.num_rows_ && words_ == other.words_;
+  }
+  bool operator!=(const RowMask& other) const { return !(*this == other); }
+
+ private:
+  size_t num_rows_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_CORE_ROW_MASK_H_

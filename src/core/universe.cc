@@ -7,6 +7,11 @@
 
 namespace modis {
 
+const std::vector<uint32_t>& Materialization::row_ids() const {
+  std::call_once(row_ids_once_, [this] { row_ids_ = mask.ToRowIds(); });
+  return row_ids_;
+}
+
 Result<SearchUniverse> SearchUniverse::Build(Table universal,
                                              Options options) {
   if (universal.num_cols() == 0) {
@@ -45,18 +50,25 @@ Result<SearchUniverse> SearchUniverse::Build(Table universal,
     }
   }
 
-  // Precompute row -> cluster-unit assignment.
+  // Precompute row -> cluster-unit assignment and, columnwise, the per
+  // cluster-unit row masks the word-level materializer works on. Cluster
+  // assignment is first-literal-match, so the masks of one attribute are
+  // disjoint.
   const size_t num_attrs = u.layout_.num_attributes();
   const size_t rows = u.universal_.num_rows();
   u.cluster_of_.assign(rows * num_attrs, -1);
+  u.cluster_masks_.assign(u.layout_.clusters.size(), RowMask(rows, false));
+  u.attr_clusters_.assign(num_attrs, {});
   for (size_t cu = 0; cu < u.layout_.clusters.size(); ++cu) {
     const UnitLayout::ClusterUnit& unit = u.layout_.clusters[cu];
     const int32_t bit = static_cast<int32_t>(num_attrs + cu);
     const Column& col = u.universal_.column(unit.attr_index);
+    u.attr_clusters_[unit.attr_index].push_back(cu);
     for (size_t r = 0; r < rows; ++r) {
       if (u.cluster_of_[r * num_attrs + unit.attr_index] >= 0) continue;
       if (unit.literal.Matches(col[r])) {
         u.cluster_of_[r * num_attrs + unit.attr_index] = bit;
+        u.cluster_masks_[cu].Set(r, true);
       }
     }
   }
@@ -102,23 +114,28 @@ bool SearchUniverse::RowSurvives(const StateBitmap& state, size_t r) const {
   return true;
 }
 
-std::vector<uint32_t> SearchUniverse::SurvivingRows(
-    const StateBitmap& state) const {
-  std::vector<uint32_t> rows;
-  rows.reserve(universal_.num_rows());
-  for (size_t r = 0; r < universal_.num_rows(); ++r) {
-    if (RowSurvives(state, r)) rows.push_back(static_cast<uint32_t>(r));
+RowMask SearchUniverse::SurvivingMask(const StateBitmap& state) const {
+  const size_t num_attrs = layout_.num_attributes();
+  RowMask mask(universal_.num_rows(), true);
+  // A row dies iff some *included* attribute has it in an *off* cluster;
+  // null / uncovered cells sit in no cluster mask and are never removed.
+  for (size_t cu = 0; cu < layout_.clusters.size(); ++cu) {
+    if (!state.Get(layout_.clusters[cu].attr_index)) continue;
+    if (state.Get(num_attrs + cu)) continue;
+    mask.AndNotWith(cluster_masks_[cu]);
   }
-  return rows;
+  return mask;
 }
 
 Table SearchUniverse::BuildTable(const StateBitmap& state,
-                                 const std::vector<uint32_t>& row_ids) const {
+                                 const RowMask& mask) const {
   std::vector<size_t> cols;
   for (size_t a = 0; a < layout_.num_attributes(); ++a) {
     if (state.Get(a)) cols.push_back(a);
   }
-  std::vector<size_t> rows(row_ids.begin(), row_ids.end());
+  std::vector<size_t> rows;
+  rows.reserve(mask.Count());
+  mask.ForEachSet([&rows](uint32_t r) { rows.push_back(r); });
   Result<Table> projected = universal_.SelectColumns(cols);
   MODIS_CHECK(projected.ok()) << projected.status().ToString();
   return projected.value().SelectRows(rows);
@@ -126,7 +143,7 @@ Table SearchUniverse::BuildTable(const StateBitmap& state,
 
 Table SearchUniverse::Materialize(const StateBitmap& state) const {
   MODIS_CHECK(state.size() == layout_.num_units()) << "bitmap size mismatch";
-  return BuildTable(state, SurvivingRows(state));
+  return BuildTable(state, SurvivingMask(state));
 }
 
 MaterializationPtr SearchUniverse::MaterializeRecord(
@@ -134,16 +151,16 @@ MaterializationPtr SearchUniverse::MaterializeRecord(
   MODIS_CHECK(state.size() == layout_.num_units()) << "bitmap size mismatch";
   auto m = std::make_shared<Materialization>();
   m->state = state;
-  m->row_ids = SurvivingRows(state);
-  m->table = BuildTable(state, m->row_ids);
+  m->mask = SurvivingMask(state);
+  m->table = BuildTable(state, m->mask);
   return m;
 }
 
-MaterializationPtr SearchUniverse::MaterializeFrom(
-    const Materialization& parent, const StateBitmap& child) const {
+RowMask SearchUniverse::DeriveMask(const Materialization& parent,
+                                   const StateBitmap& child) const {
   MODIS_CHECK(child.size() == layout_.num_units()) << "bitmap size mismatch";
   // Locate the flipped unit; anything but a clean one-flip edge falls back
-  // to a fresh scan.
+  // to a fresh mask computation.
   size_t flipped = layout_.num_units();
   size_t diff = 0;
   if (parent.state.size() == child.size()) {
@@ -156,80 +173,68 @@ MaterializationPtr SearchUniverse::MaterializeFrom(
   } else {
     diff = 2;
   }
-  if (diff != 1) return MaterializeRecord(child);
+  if (diff != 1) return SurvivingMask(child);
 
   const size_t num_attrs = layout_.num_attributes();
-  auto m = std::make_shared<Materialization>();
-  m->state = child;
 
-  // Classify the edge by how the flipped unit changes the row constraint
-  // of its attribute: unchanged (reuse parent rows), tightened (filter the
-  // parent rows), or relaxed (re-test only rows outside the parent set).
-  enum class RowChange { kNone, kTighten, kRelax } change;
-  size_t attr = 0;  // Attribute whose row constraint changes.
+  // The flipped unit changes which "included attribute, cluster bit off"
+  // constraints are active. Collect the constraints it activates (tighten)
+  // or deactivates (relax); an edge that changes neither reuses the parent
+  // mask verbatim.
+  std::vector<size_t> activated;    // Cluster units newly constraining.
+  std::vector<size_t> deactivated;  // Cluster units no longer constraining.
   if (layout_.IsAttributeUnit(flipped)) {
-    attr = flipped;
-    bool has_constraint = false;
-    // The attribute constrains rows only through its cluster units that
-    // are off; with every cluster bit on (or none derived) the column
-    // excluded no rows.
-    for (size_t cu = 0; cu < layout_.clusters.size(); ++cu) {
-      if (layout_.clusters[cu].attr_index == attr &&
-          !child.Get(num_attrs + cu)) {
-        has_constraint = true;
-        break;
-      }
-    }
-    if (!has_constraint) {
-      change = RowChange::kNone;
-    } else {
-      change = child.Get(flipped) ? RowChange::kTighten : RowChange::kRelax;
+    // Attribute toggled: every off cluster of that attribute switches.
+    for (size_t cu : attr_clusters_[flipped]) {
+      if (child.Get(num_attrs + cu)) continue;
+      (child.Get(flipped) ? activated : deactivated).push_back(cu);
     }
   } else {
-    attr = layout_.cluster(flipped).attr_index;
-    if (!child.Get(attr)) {
-      change = RowChange::kNone;  // Constraint inactive: column excluded.
-    } else {
-      change = child.Get(flipped) ? RowChange::kRelax : RowChange::kTighten;
+    const size_t cu = flipped - num_attrs;
+    const size_t attr = layout_.cluster(flipped).attr_index;
+    if (child.Get(attr)) {
+      // Cluster toggled under an included attribute: bit off activates the
+      // constraint, bit on retires it.
+      (child.Get(flipped) ? deactivated : activated).push_back(cu);
     }
+    // Attribute excluded: the cluster bit carries no row constraint.
   }
 
-  switch (change) {
-    case RowChange::kNone:
-      m->row_ids = parent.row_ids;
-      break;
-    case RowChange::kTighten: {
-      m->row_ids.reserve(parent.row_ids.size());
-      for (uint32_t r : parent.row_ids) {
-        const int32_t bit = cluster_of_[r * num_attrs + attr];
-        const bool survives =
-            bit < 0 || child.Get(static_cast<size_t>(bit));
-        if (survives) m->row_ids.push_back(r);
-      }
-      break;
-    }
-    case RowChange::kRelax: {
-      // Parent rows all survive (a constraint only went away); rows the
-      // parent filtered out may resurrect, subject to the full child
-      // constraint set.
-      m->row_ids.reserve(universal_.num_rows());
-      size_t pi = 0;
-      for (uint32_t r = 0; r < universal_.num_rows(); ++r) {
-        if (pi < parent.row_ids.size() && parent.row_ids[pi] == r) {
-          m->row_ids.push_back(r);
-          ++pi;
-        } else if (RowSurvives(child, r)) {
-          m->row_ids.push_back(r);
-        }
-      }
-      break;
-    }
+  RowMask mask = parent.mask;
+  for (size_t cu : activated) {
+    mask.AndNotWith(cluster_masks_[cu]);
   }
-  m->table = BuildTable(child, m->row_ids);
+  if (!deactivated.empty()) {
+    // Rows the retired constraints removed may resurrect — but only those
+    // passing every constraint still active in the child.
+    RowMask revive(universal_.num_rows(), false);
+    for (size_t cu : deactivated) {
+      revive.OrWith(cluster_masks_[cu]);
+    }
+    for (size_t cu = 0; cu < layout_.clusters.size(); ++cu) {
+      if (!child.Get(layout_.clusters[cu].attr_index)) continue;
+      if (child.Get(num_attrs + cu)) continue;
+      revive.AndNotWith(cluster_masks_[cu]);
+    }
+    mask.OrWith(revive);
+  }
+  return mask;
+}
+
+MaterializationPtr SearchUniverse::MaterializeFrom(
+    const Materialization& parent, const StateBitmap& child) const {
+  auto m = std::make_shared<Materialization>();
+  m->state = child;
+  m->mask = DeriveMask(parent, child);
+  m->table = BuildTable(child, m->mask);
   return m;
 }
 
 size_t SearchUniverse::CountRows(const StateBitmap& state) const {
+  return SurvivingMask(state).Count();
+}
+
+size_t SearchUniverse::CountRowsScan(const StateBitmap& state) const {
   size_t n = 0;
   for (size_t r = 0; r < universal_.num_rows(); ++r) {
     if (RowSurvives(state, r)) ++n;
@@ -256,6 +261,15 @@ std::vector<double> SearchUniverse::StateFeatures(
     const StateBitmap& state) const {
   std::vector<double> f = state.Features();
   f.push_back(RowFraction(state));
+  f.push_back(ColumnFraction(state));
+  return f;
+}
+
+std::vector<double> SearchUniverse::StateFeatures(const StateBitmap& state,
+                                                  const RowMask& mask) const {
+  std::vector<double> f = state.Features();
+  const double rows = static_cast<double>(universal_.num_rows());
+  f.push_back(rows == 0.0 ? 0.0 : static_cast<double>(mask.Count()) / rows);
   f.push_back(ColumnFraction(state));
   return f;
 }

@@ -12,19 +12,30 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "core/row_mask.h"
 #include "core/state.h"
 #include "table/table.h"
 
 namespace modis {
 
-/// One materialized state: the surviving universal-row ids (ascending), the
-/// denoted table, and the state itself. Carrying the row ids is what makes
-/// the incremental materializer possible — a child's row set is derived
-/// from the parent's instead of rescanning D_U.
+/// One materialized state: the surviving-row bitset over D_U, the denoted
+/// table, and the state itself. Carrying the mask is what makes the
+/// incremental materializer possible — a child's row set is one or two word
+/// sweeps over the parent's instead of a rescan of D_U — and makes the row
+/// count of a cached state a popcount. The ascending row-id vector some
+/// callers want is derived from the mask lazily on first access.
 struct Materialization {
   StateBitmap state;
-  std::vector<uint32_t> row_ids;
+  RowMask mask;
   Table table;
+
+  /// The surviving universal-row ids in ascending order, derived from
+  /// `mask` on first call and memoized. Thread-safe.
+  const std::vector<uint32_t>& row_ids() const;
+
+ private:
+  mutable std::once_flag row_ids_once_;
+  mutable std::vector<uint32_t> row_ids_;
 };
 
 using MaterializationPtr = std::shared_ptr<const Materialization>;
@@ -33,9 +44,11 @@ using MaterializationPtr = std::shared_ptr<const Materialization>;
 /// D_U, the unit layout of state bitmaps, and fast materialization of the
 /// dataset any bitmap denotes.
 ///
-/// Built once per task; all search algorithms share it. Row-to-cluster
-/// assignments are precomputed so that materializing a state costs one scan
-/// of D_U.
+/// Built once per task; all search algorithms share it. The row space is
+/// columnar: every cluster unit gets a precomputed RowMask of the rows it
+/// covers, so the rows a state denotes are the full universe minus the
+/// union of its active off-cluster masks — word-level ANDNOTs, no
+/// row-at-a-time scan.
 class SearchUniverse {
  public:
   struct Options {
@@ -66,28 +79,42 @@ class SearchUniverse {
   Table Materialize(const StateBitmap& state) const;
 
   /// Materialize plus the surviving-row bookkeeping MaterializeFrom needs.
-  /// Pays the same single D_U scan as Materialize.
   MaterializationPtr MaterializeRecord(const StateBitmap& state) const;
 
   /// Incremental materializer along a one-flip edge: derives the child's
-  /// surviving rows from the parent's instead of rescanning D_U.
+  /// row mask from the parent's instead of recomputing from scratch.
   ///
-  ///  - Tightening flips (attribute augmented, cluster bit dropped) filter
-  ///    the parent's row list in O(|parent rows|).
-  ///  - Relaxing flips (attribute dropped, cluster bit restored) only
-  ///    re-test rows *outside* the parent's row set; when the flipped
-  ///    attribute had no active row constraint the parent rows are reused
-  ///    verbatim.
+  ///  - Tightening flips (attribute augmented, cluster bit dropped) are an
+  ///    ANDNOT of the newly active cluster masks over the parent's words.
+  ///  - Relaxing flips (attribute dropped, cluster bit restored) OR the
+  ///    resurrected cluster rows back in after masking them against the
+  ///    constraints still active in the child.
   ///
   /// `child` must differ from `parent.state` in exactly one unit;
-  /// otherwise this falls back to a fresh MaterializeRecord. The result is
+  /// otherwise this falls back to a fresh mask computation. The result is
   /// always identical (schema, rows, cells — nulls included) to a fresh
   /// materialization of `child`.
   MaterializationPtr MaterializeFrom(const Materialization& parent,
                                      const StateBitmap& child) const;
 
-  /// Row count of Materialize(state) without building the table.
+  /// The surviving-row bitset of `state`: full universe ANDNOT the mask of
+  /// every active off cluster. Word-level; no per-row work.
+  RowMask SurvivingMask(const StateBitmap& state) const;
+
+  /// The child's surviving mask derived from the parent's along a one-flip
+  /// edge (the mask half of MaterializeFrom, exposed for benchmarks and
+  /// callers that only need counts). Falls back to SurvivingMask when the
+  /// edge is not a clean one-flip.
+  RowMask DeriveMask(const Materialization& parent,
+                     const StateBitmap& child) const;
+
+  /// Row count of Materialize(state) without building the table — a
+  /// SurvivingMask popcount.
   size_t CountRows(const StateBitmap& state) const;
+
+  /// The seed's row-at-a-time reference counter. Kept for the mask-vs-scan
+  /// property battery and the micro-op benchmark; O(rows × attrs).
+  size_t CountRowsScan(const StateBitmap& state) const;
 
   /// Fraction helpers used by the pruning heuristics and state features.
   double RowFraction(const StateBitmap& state) const;
@@ -97,18 +124,20 @@ class SearchUniverse {
   /// fractions.
   std::vector<double> StateFeatures(const StateBitmap& state) const;
 
+  /// Same features, reusing an already-computed surviving mask (e.g. from a
+  /// cached materialization) instead of recomputing it.
+  std::vector<double> StateFeatures(const StateBitmap& state,
+                                    const RowMask& mask) const;
+
  private:
   SearchUniverse() = default;
 
-  /// True if row `r` survives under `state`.
+  /// True if row `r` survives under `state` (reference semantics; the mask
+  /// path must agree with this row-at-a-time definition).
   bool RowSurvives(const StateBitmap& state, size_t r) const;
 
-  /// Universal-row ids surviving under `state` — the one full D_U scan.
-  std::vector<uint32_t> SurvivingRows(const StateBitmap& state) const;
-
-  /// Builds the denoted table from an already-computed row set.
-  Table BuildTable(const StateBitmap& state,
-                   const std::vector<uint32_t>& row_ids) const;
+  /// Builds the denoted table from an already-computed surviving mask.
+  Table BuildTable(const StateBitmap& state, const RowMask& mask) const;
 
   Table universal_;
   UnitLayout layout_;
@@ -117,6 +146,11 @@ class SearchUniverse {
   /// value is null / uncovered by any literal (such rows never get removed
   /// by cluster reductions on a).
   std::vector<int32_t> cluster_of_;
+  /// cluster_masks_[cu]: the rows assigned to cluster unit cu (the rows an
+  /// active "cluster off" constraint removes). Disjoint per attribute.
+  std::vector<RowMask> cluster_masks_;
+  /// attr_clusters_[a]: the cluster-unit indices derived for attribute a.
+  std::vector<std::vector<size_t>> attr_clusters_;
 };
 
 /// A small thread-safe LRU cache of materializations keyed by state

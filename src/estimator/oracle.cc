@@ -7,30 +7,59 @@
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "estimator/training_fuser.h"
 #include "storage/persistent_record_cache.h"
 
 namespace modis {
 
-namespace {
+PerformanceOracle::ExactOutcome PerformanceOracle::RunExactOne(
+    const ValuationRequest& req, TaskEvaluator* evaluator) const {
+  auto train = [&req, evaluator]() -> Result<Evaluation> {
+    const MaterializationPtr m = req.materialize();
+    if (m == nullptr) {
+      return Status::Internal("materializer returned null");
+    }
+    return evaluator->Evaluate(m->table);
+  };
+  ExactOutcome out;
+  out.executed = true;
+  if (fuser_ != nullptr) {
+    TrainingFuser::Outcome fused = fuser_->Train(fuser_fp_, req.key, train);
+    out.result = std::move(fused.result);
+    out.seconds = fused.seconds;
+    out.shared = fused.shared;
+    return out;
+  }
+  WallTimer timer;
+  out.result = train();
+  out.seconds = timer.Seconds();
+  return out;
+}
 
-/// Per-request outcome of the parallel exact-training phase. Slots are
-/// pre-initialized to an error so indices skipped after a worker exception
-/// stay well-defined.
-struct ExactOutcome {
-  Result<Evaluation> result;
-  double seconds = 0.0;
-  bool executed = false;
+PerformanceOracle::ExactOutcome PerformanceOracle::RunExactProvider(
+    const std::string& key, const TableProvider& materialize,
+    TaskEvaluator* evaluator) const {
+  auto train = [&materialize, evaluator]() -> Result<Evaluation> {
+    return evaluator->Evaluate(materialize());
+  };
+  ExactOutcome out;
+  out.executed = true;
+  if (fuser_ != nullptr) {
+    TrainingFuser::Outcome fused = fuser_->Train(fuser_fp_, key, train);
+    out.result = std::move(fused.result);
+    out.seconds = fused.seconds;
+    out.shared = fused.shared;
+    return out;
+  }
+  WallTimer timer;
+  out.result = train();
+  out.seconds = timer.Seconds();
+  return out;
+}
 
-  ExactOutcome() : result(Status::Internal("exact valuation not executed")) {}
-};
-
-/// The fan-out half of ValuateBatch, shared by both oracles: every kExact
-/// request materializes its dataset and trains the real model, spread over
-/// `pool`. Workers only touch their own slot — all oracle state mutation
-/// happens in the caller's commit pass.
-std::vector<ExactOutcome> RunExactTrainings(const BatchPlan& plan,
-                                            ThreadPool* pool,
-                                            TaskEvaluator* evaluator) {
+std::vector<PerformanceOracle::ExactOutcome>
+PerformanceOracle::RunExactTrainings(const BatchPlan& plan, ThreadPool* pool,
+                                     TaskEvaluator* evaluator) const {
   std::vector<size_t> exact_ids;
   exact_ids.reserve(plan.exact_count);
   for (size_t i = 0; i < plan.modes.size(); ++i) {
@@ -40,16 +69,7 @@ std::vector<ExactOutcome> RunExactTrainings(const BatchPlan& plan,
   const Status status =
       ParallelFor(pool, 0, exact_ids.size(), [&](size_t k) {
         const size_t i = exact_ids[k];
-        ExactOutcome& slot = outcomes[i];
-        WallTimer timer;
-        const MaterializationPtr m = plan.requests[i].materialize();
-        if (m == nullptr) {
-          slot.result = Status::Internal("materializer returned null");
-        } else {
-          slot.result = evaluator->Evaluate(m->table);
-        }
-        slot.seconds = timer.Seconds();
-        slot.executed = true;
+        outcomes[i] = RunExactOne(plan.requests[i], evaluator);
       });
   if (!status.ok()) {
     for (size_t i : exact_ids) {
@@ -58,8 +78,6 @@ std::vector<ExactOutcome> RunExactTrainings(const BatchPlan& plan,
   }
   return outcomes;
 }
-
-}  // namespace
 
 void TestRecordStore::Add(std::string key, std::vector<double> features,
                           Evaluation eval) {
@@ -126,18 +144,20 @@ Result<Evaluation> ExactOracle::Valuate(const std::string& key,
     store_.Add(key, features, recorded);
     return recorded;
   }
-  WallTimer timer;
-  const Table dataset = materialize();
-  Result<Evaluation> result = evaluator_->Evaluate(dataset);
-  stats_.exact_seconds += timer.Seconds();
-  if (!result.ok()) {
+  ExactOutcome outcome = RunExactProvider(key, materialize, evaluator_);
+  stats_.exact_seconds += outcome.seconds;
+  if (!outcome.result.ok()) {
     ++stats_.failed_evals;
-    return result;
+    return outcome.result;
   }
-  ++stats_.exact_evals;
-  store_.Add(key, features, result.value());
-  PersistentStore(key, features, result.value());
-  return result;
+  if (outcome.shared) {
+    ++stats_.fused_hits;
+  } else {
+    ++stats_.exact_evals;
+  }
+  store_.Add(key, features, outcome.result.value());
+  PersistentStore(key, features, outcome.result.value());
+  return outcome.result;
 }
 
 BatchPlan ExactOracle::PrepareBatch(std::vector<ValuationRequest> requests) {
@@ -180,29 +200,33 @@ std::vector<Result<Evaluation>> ExactOracle::ValuateBatch(BatchPlan plan,
       }
       // A concurrent session's byte-bound flush evicted the planned
       // record between plan and commit: train fresh, inline on the
-      // caller thread. The record was itself a deterministic training,
-      // so the result — and the skyline — are unchanged.
-      WallTimer timer;
-      const MaterializationPtr m = req.materialize();
-      Result<Evaluation> r =
-          m == nullptr ? Result<Evaluation>(
-                             Status::Internal("materializer returned null"))
-                       : evaluator_->Evaluate(m->table);
-      stats_.exact_seconds += timer.Seconds();
-      if (r.ok()) {
-        ++stats_.exact_evals;
-        store_.Add(req.key, req.features, r.value());
-        PersistentStore(req.key, req.features, r.value());
+      // caller thread (or join another query's in-flight training of the
+      // same state). The record was itself a deterministic training, so
+      // the result — and the skyline — are unchanged.
+      ExactOutcome fresh = RunExactOne(req, evaluator_);
+      stats_.exact_seconds += fresh.seconds;
+      if (fresh.result.ok()) {
+        if (fresh.shared) {
+          ++stats_.fused_hits;
+        } else {
+          ++stats_.exact_evals;
+        }
+        store_.Add(req.key, req.features, fresh.result.value());
+        PersistentStore(req.key, req.features, fresh.result.value());
       } else {
         ++stats_.failed_evals;
       }
-      results.push_back(std::move(r));
+      results.push_back(std::move(fresh.result));
       continue;
     }
     ExactOutcome& slot = outcomes[i];
     stats_.exact_seconds += slot.seconds;
     if (slot.result.ok()) {
-      ++stats_.exact_evals;
+      if (slot.shared) {
+        ++stats_.fused_hits;
+      } else {
+        ++stats_.exact_evals;
+      }
       store_.Add(req.key, req.features, slot.result.value());
       PersistentStore(req.key, req.features, slot.result.value());
     } else {
@@ -234,15 +258,18 @@ Result<Evaluation> MoGbmOracle::ExactValuate(
     result = std::move(recorded);
     ++stats_.persistent_hits;
   } else {
-    WallTimer timer;
-    const Table dataset = materialize();
-    result = evaluator_->Evaluate(dataset);
-    stats_.exact_seconds += timer.Seconds();
-    if (!result.ok()) {
+    ExactOutcome outcome = RunExactProvider(key, materialize, evaluator_);
+    stats_.exact_seconds += outcome.seconds;
+    if (!outcome.result.ok()) {
       ++stats_.failed_evals;
-      return result;
+      return outcome.result;
     }
-    ++stats_.exact_evals;
+    if (outcome.shared) {
+      ++stats_.fused_hits;
+    } else {
+      ++stats_.exact_evals;
+    }
+    result = std::move(outcome.result);
     PersistentStore(key, features, result.value());
   }
   // Shadow prediction: measure the surrogate against the fresh truth.
@@ -388,21 +415,21 @@ std::vector<Result<Evaluation>> MoGbmOracle::ValuateBatch(BatchPlan plan,
         ++stats_.persistent_hits;
       } else {
         // Evicted by a concurrent session between plan and commit:
-        // train fresh inline — byte-identical to the replay it stands
-        // in for, since the record was a deterministic training.
-        WallTimer timer;
-        const MaterializationPtr m = req.materialize();
-        slot.result =
-            m == nullptr
-                ? Result<Evaluation>(
-                      Status::Internal("materializer returned null"))
-                : evaluator_->Evaluate(m->table);
-        stats_.exact_seconds += timer.Seconds();
+        // train fresh inline (or join a concurrent query's in-flight
+        // training) — byte-identical to the replay it stands in for,
+        // since the record was a deterministic training.
+        ExactOutcome fresh = RunExactOne(req, evaluator_);
+        slot.result = std::move(fresh.result);
+        stats_.exact_seconds += fresh.seconds;
         if (!slot.result.ok()) {
           ++stats_.failed_evals;
           continue;
         }
-        ++stats_.exact_evals;
+        if (fresh.shared) {
+          ++stats_.fused_hits;
+        } else {
+          ++stats_.exact_evals;
+        }
         PersistentStore(req.key, req.features, slot.result.value());
       }
     } else {
@@ -411,7 +438,11 @@ std::vector<Result<Evaluation>> MoGbmOracle::ValuateBatch(BatchPlan plan,
         ++stats_.failed_evals;
         continue;
       }
-      ++stats_.exact_evals;
+      if (slot.shared) {
+        ++stats_.fused_hits;
+      } else {
+        ++stats_.exact_evals;
+      }
       PersistentStore(req.key, req.features, slot.result.value());
     }
     if (surrogate_.trained()) {
@@ -482,15 +513,15 @@ std::vector<Result<Evaluation>> MoGbmOracle::ValuateBatch(BatchPlan plan,
             r = std::move(recorded);
             ++stats_.persistent_hits;
           } else {
-            WallTimer timer;
-            const MaterializationPtr m = req.materialize();
-            r = m == nullptr
-                    ? Result<Evaluation>(
-                          Status::Internal("materializer returned null"))
-                    : evaluator_->Evaluate(m->table);
-            stats_.exact_seconds += timer.Seconds();
+            ExactOutcome fresh = RunExactOne(req, evaluator_);
+            r = std::move(fresh.result);
+            stats_.exact_seconds += fresh.seconds;
             if (r.ok()) {
-              ++stats_.exact_evals;
+              if (fresh.shared) {
+                ++stats_.fused_hits;
+              } else {
+                ++stats_.exact_evals;
+              }
               PersistentStore(req.key, req.features, r.value());
             } else {
               ++stats_.failed_evals;

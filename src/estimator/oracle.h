@@ -17,6 +17,7 @@ namespace modis {
 
 class PersistentRecordCache;
 class ThreadPool;
+class TrainingFuser;
 
 /// The historical test set T of the paper: every valuated test
 /// (state signature, state features, evaluation) recorded during a running.
@@ -101,6 +102,9 @@ class PerformanceOracle {
     size_t cache_hits = 0;
     /// Exact trainings avoided by replaying the persistent record cache.
     size_t persistent_hits = 0;
+    /// Exact trainings avoided by sharing another concurrent query's
+    /// training through the attached TrainingFuser.
+    size_t fused_hits = 0;
     size_t failed_evals = 0;
     double exact_seconds = 0.0;
     double surrogate_seconds = 0.0;
@@ -158,7 +162,55 @@ class PerformanceOracle {
   }
   PersistentRecordCache* record_cache() const { return record_cache_; }
 
+  /// Attaches (or detaches, with nullptr) a cross-query training fuser.
+  /// Not owned; normally the DiscoveryService's, routed through the
+  /// engine. `fingerprint` must be the same task fingerprint that scopes
+  /// the record cache — it is what makes sharing trainings across queries
+  /// sound (identical data, layout, measures, and model identity train
+  /// identically). With a fuser attached, exact trainings requested by
+  /// concurrent queries for the same (fingerprint, state) run once; the
+  /// other queries count a `fused_hit` instead of an `exact_eval`.
+  void AttachTrainingFuser(TrainingFuser* fuser, uint64_t fingerprint = 0) {
+    fuser_ = fuser;
+    fuser_fp_ = fingerprint;
+  }
+  TrainingFuser* training_fuser() const { return fuser_; }
+
  protected:
+  /// Per-request outcome of an exact training. Slots of a batch are
+  /// pre-initialized to an error so indices skipped after a worker
+  /// exception stay well-defined.
+  struct ExactOutcome {
+    Result<Evaluation> result;
+    /// Training seconds paid by this oracle (0 for shared results).
+    double seconds = 0.0;
+    bool executed = false;
+    /// True when the result came from another query via the fuser.
+    bool shared = false;
+
+    ExactOutcome()
+        : result(Status::Internal("exact valuation not executed")) {}
+  };
+
+  /// One exact training — materialize, then train the real model — routed
+  /// through the attached TrainingFuser when present. Safe to call from a
+  /// worker thread: it touches no oracle state (stats are committed by the
+  /// caller from the returned outcome).
+  ExactOutcome RunExactOne(const ValuationRequest& req,
+                           TaskEvaluator* evaluator) const;
+
+  /// Same, for the single-test Valuate path's table provider.
+  ExactOutcome RunExactProvider(const std::string& key,
+                                const TableProvider& materialize,
+                                TaskEvaluator* evaluator) const;
+
+  /// The fan-out half of ValuateBatch, shared by both oracles: every
+  /// kExact request trains via RunExactOne, spread over `pool`. Workers
+  /// only touch their own slot — all oracle state mutation happens in the
+  /// caller's commit pass.
+  std::vector<ExactOutcome> RunExactTrainings(const BatchPlan& plan,
+                                              ThreadPool* pool,
+                                              TaskEvaluator* evaluator) const;
   /// True when the attached cache holds `key`. The plan-time probe; does
   /// not count a cache hit (the commit's PersistentFetch does), but
   /// refreshes the record's recency so a byte-bounded shared cache
@@ -180,6 +232,8 @@ class PerformanceOracle {
   PersistentRecordCache* record_cache_ = nullptr;
   uint64_t record_cache_fp_ = 0;
   bool record_cache_write_ = true;
+  TrainingFuser* fuser_ = nullptr;
+  uint64_t fuser_fp_ = 0;
 };
 
 /// Oracle that always trains the real model (with a cache keyed by state

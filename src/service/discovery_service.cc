@@ -105,6 +105,8 @@ Result<DiscoveryResponse> RunQuery(const DiscoveryRequest& request,
   response.surrogate_evals = result.oracle_stats.surrogate_evals;
   response.cache_hits = result.oracle_stats.cache_hits;
   response.failed_evals = result.oracle_stats.failed_evals;
+  response.fused_hits = result.oracle_stats.fused_hits;
+  response.mask_fast_path_hits = result.mask_fast_path_hits;
   response.cache_active = result.record_cache_active;
   response.run_ms = run_timer.Millis();
   return response;
@@ -287,8 +289,16 @@ Result<DiscoveryResponse> DiscoveryService::Execute(
   EngineRuntime runtime;
   runtime.pool = &pool_;
   runtime.record_cache = cache;
-  return RunQuery(request, context->bench.name, context->universe,
-                  &evaluator, config, runtime);
+  runtime.fuser = &fuser_;
+  auto response = RunQuery(request, context->bench.name, context->universe,
+                           &evaluator, config, runtime);
+  if (response.ok()) {
+    const DiscoveryResponse& resp = response.value();
+    metrics_.trainings_shared.fetch_add(resp.fused_hits);
+    metrics_.mask_fast_path_hits.fetch_add(resp.mask_fast_path_hits);
+    if (resp.fused_hits > 0) metrics_.queries_fused.fetch_add(1);
+  }
+  return response;
 }
 
 Result<DiscoveryResponse> DiscoveryService::AnswerDetached(

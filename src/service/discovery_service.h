@@ -18,6 +18,7 @@
 #include "common/timer.h"
 #include "core/engine.h"
 #include "datagen/tasks.h"
+#include "estimator/training_fuser.h"
 #include "service/metrics.h"
 #include "storage/persistent_record_cache.h"
 
@@ -78,6 +79,13 @@ struct DiscoveryResponse {
   size_t surrogate_evals = 0;
   size_t cache_hits = 0;
   size_t failed_evals = 0;
+  /// Exact trainings this query consumed from another query's concurrent
+  /// (or just-finished) identical training instead of running its own
+  /// (cross-query fusion; counted separately from exact_evals).
+  size_t fused_hits = 0;
+  /// Row counts / feature vectors served from a cached materialization's
+  /// bitset mask (popcount) instead of a rescan of D_U.
+  size_t mask_fast_path_hits = 0;
   bool cache_active = false;
 
   double queue_ms = 0.0;  // Admission-queue wait.
@@ -234,6 +242,12 @@ class DiscoveryService {
 
   Options options_;
   ThreadPool pool_;
+  /// Cross-query exact-training fuser shared by every engine the service
+  /// constructs (EngineRuntime::fuser). Engines scope it by their own
+  /// TaskFingerprint, so only queries over identical data, layout,
+  /// measures, and model identity ever share a training. Declared before
+  /// the session threads so it outlives every engine they run.
+  TrainingFuser fuser_;
 
   mutable std::mutex context_mu_;
   /// Keyed by canonical task name; values are shared_ptrs so an eviction

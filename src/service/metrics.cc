@@ -41,6 +41,9 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   snapshot.failed = failed.load();
   snapshot.context_builds = context_builds.load();
   snapshot.context_evictions = context_evictions.load();
+  snapshot.queries_fused = queries_fused.load();
+  snapshot.trainings_shared = trainings_shared.load();
+  snapshot.mask_fast_path_hits = mask_fast_path_hits.load();
   snapshot.connections_opened = connections_opened.load();
   snapshot.connections_active = connections_active.load();
   snapshot.lines_served = lines_served.load();

@@ -161,6 +161,8 @@ std::string SerializeDiscoveryResponse(const DiscoveryResponse& response) {
   stats.Set("surrogate_evals", response.surrogate_evals);
   stats.Set("cache_hits", response.cache_hits);
   stats.Set("failed_evals", response.failed_evals);
+  stats.Set("fused_hits", response.fused_hits);
+  stats.Set("mask_fast_path_hits", response.mask_fast_path_hits);
   stats.Set("cache_active", response.cache_active);
   stats.Set("queue_ms", response.queue_ms);
   stats.Set("run_ms", response.run_ms);
@@ -219,6 +221,9 @@ std::string SerializeServiceMetrics(const MetricsSnapshot& snapshot) {
   metrics.Set("cache_appends", snapshot.cache_appends);
   metrics.Set("cache_evictions", snapshot.cache_evictions);
   metrics.Set("cache_reclaimed_bytes", snapshot.cache_reclaimed_bytes);
+  metrics.Set("queries_fused", snapshot.queries_fused);
+  metrics.Set("trainings_shared", snapshot.trainings_shared);
+  metrics.Set("mask_fast_path_hits", snapshot.mask_fast_path_hits);
   metrics.Set("connections_opened", snapshot.connections_opened);
   metrics.Set("connections_active", snapshot.connections_active);
   metrics.Set("lines_served", snapshot.lines_served);
@@ -309,6 +314,10 @@ Result<DiscoveryResponse> ParseDiscoveryResponse(const std::string& line) {
         static_cast<size_t>(stats->GetNumber("cache_hits", 0));
     response.failed_evals =
         static_cast<size_t>(stats->GetNumber("failed_evals", 0));
+    response.fused_hits =
+        static_cast<size_t>(stats->GetNumber("fused_hits", 0));
+    response.mask_fast_path_hits =
+        static_cast<size_t>(stats->GetNumber("mask_fast_path_hits", 0));
     response.cache_active = stats->GetBool("cache_active", false);
     response.queue_ms = stats->GetNumber("queue_ms", 0.0);
     response.run_ms = stats->GetNumber("run_ms", 0.0);

@@ -207,11 +207,14 @@ TEST(ServiceTest, PerQueryReadModeServesWithoutAppending) {
   ASSERT_TRUE(read_run.ok()) << read_run.status().ToString();
   EXPECT_GT(read_run->persistent_hits, 0u);
 
-  // Re-running apx read_write now should still have trainings to do:
-  // the read-mode run wrote nothing.
+  // Re-running apx read_write now should still have trainings to do —
+  // the read-mode run wrote nothing, so nothing extra replays from the
+  // cache (the host-wide fusion memo may serve them without retraining,
+  // which is the fused_hits share of the accounting).
   auto rw_run = service.Answer(MakeRequest("apx"));
   ASSERT_TRUE(rw_run.ok());
-  EXPECT_EQ(rw_run->exact_evals, read_run->exact_evals);
+  EXPECT_EQ(rw_run->persistent_hits, read_run->persistent_hits);
+  EXPECT_EQ(rw_run->exact_evals + rw_run->fused_hits, read_run->exact_evals);
   ExpectSameSkylines(*read_run, *rw_run);
 }
 
@@ -257,10 +260,12 @@ TEST(ServiceTest, FourConcurrentClientsMatchSerialOnSharedCache) {
   for (size_t i = 0; i < variants.size(); ++i) {
     ASSERT_TRUE(concurrent[i].ok()) << concurrent[i].status().ToString();
     ExpectSameSkylines(serial[i], concurrent[i].value());
-    // Replays may replace trainings across concurrent queries, but every
-    // valuation is accounted for exactly.
-    EXPECT_EQ(concurrent[i]->exact_evals + concurrent[i]->persistent_hits,
-              serial[i].exact_evals + serial[i].persistent_hits);
+    // Replays and fused trainings may replace own trainings across
+    // concurrent queries, but every valuation is accounted for exactly.
+    EXPECT_EQ(concurrent[i]->exact_evals + concurrent[i]->persistent_hits +
+                  concurrent[i]->fused_hits,
+              serial[i].exact_evals + serial[i].persistent_hits +
+                  serial[i].fused_hits);
   }
 
   // No corruption: the shared file reloads cleanly end to end.
@@ -274,6 +279,57 @@ TEST(ServiceTest, FourConcurrentClientsMatchSerialOnSharedCache) {
     EXPECT_EQ(r.eval.raw.size(), 4u);
     EXPECT_EQ(r.eval.normalized.size(), 4u);
   }
+}
+
+/// The cross-query fusion gate: two clients racing the same cold query
+/// (no record cache, so fusion is the only sharing path) train each
+/// unique state exactly once host-wide and answer byte-identically to
+/// the detached serial reference.
+TEST(ServiceTest, ConcurrentOverlappingColdQueriesFuseTrainings) {
+  const DiscoveryRequest request = MakeRequest("bi");
+  auto serial = DiscoveryService::AnswerDetached(request, kRowScale);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_GT(serial->exact_evals, 0u);
+  // A detached run trains everything itself, so the columnar-mask fast
+  // path (popcount over the cached materialization) must be exercised.
+  EXPECT_GT(serial->mask_fast_path_hits, 0u);
+
+  std::vector<Result<DiscoveryResponse>> fused(
+      2, Result<DiscoveryResponse>(Status::Internal("unset")));
+  DiscoveryService service(SmallServiceOptions());
+  ASSERT_TRUE(service.Preload("T2").ok());
+  {
+    std::vector<std::thread> clients;
+    for (size_t i = 0; i < fused.size(); ++i) {
+      clients.emplace_back([&service, &fused, &request, i] {
+        fused[i] = service.Answer(request);
+      });
+    }
+    for (std::thread& c : clients) c.join();
+  }
+
+  size_t executed = 0, shared = 0, mask_hits = 0;
+  for (const auto& response : fused) {
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ExpectSameSkylines(*serial, response.value());
+    // Every valuation is accounted for: an own training or a fused share.
+    EXPECT_EQ(response->exact_evals + response->fused_hits,
+              serial->exact_evals);
+    executed += response->exact_evals;
+    shared += response->fused_hits;
+    mask_hits += response->mask_fast_path_hits;
+  }
+  // Each unique state was trained exactly once across the whole host;
+  // every duplicate request was served by the fuser.
+  EXPECT_EQ(executed, serial->exact_evals);
+  EXPECT_EQ(shared, serial->exact_evals);
+
+  // The metrics registry exports the same accounting.
+  const MetricsSnapshot snapshot = service.SnapshotMetrics();
+  EXPECT_EQ(snapshot.trainings_shared, shared);
+  EXPECT_EQ(snapshot.mask_fast_path_hits, mask_hits);
+  EXPECT_GE(snapshot.queries_fused, 1u);
+  EXPECT_LE(snapshot.queries_fused, 2u);
 }
 
 TEST(ServiceTest, AdmissionQueueRejectsWhenFull) {
@@ -360,7 +416,10 @@ TEST(ServiceLifecycleTest, LruEvictedContextIsRebuiltTransparently) {
   EXPECT_EQ(snapshot.context_builds, 3u);
   EXPECT_EQ(snapshot.context_evictions, 2u);
   ExpectSameSkylines(*first, *second);
-  EXPECT_EQ(first->exact_evals, second->exact_evals);
+  // The rebuilt context computes the same TaskFingerprint, so the
+  // host-wide fusion memo replays the first query's trainings instead of
+  // re-executing them — identical answer, shared work.
+  EXPECT_EQ(first->exact_evals, second->exact_evals + second->fused_hits);
 }
 
 /// A cap of N holds N contexts: lookups that hit at exactly the cap

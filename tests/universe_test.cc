@@ -47,7 +47,9 @@ void ExpectIncrementalMatchesFresh(const SearchUniverse& universe,
   MaterializationPtr inc = universe.MaterializeFrom(parent, child);
   MaterializationPtr fresh = universe.MaterializeRecord(child);
   ASSERT_NE(inc, nullptr) << context;
-  EXPECT_EQ(inc->row_ids, fresh->row_ids) << context;
+  EXPECT_EQ(inc->mask, fresh->mask) << context;
+  EXPECT_EQ(inc->row_ids(), fresh->row_ids()) << context;
+  EXPECT_EQ(inc->mask.Count(), universe.CountRowsScan(child)) << context;
   ExpectTablesEqual(inc->table, fresh->table, context);
   ExpectTablesEqual(inc->table, universe.Materialize(child), context);
 }
@@ -119,7 +121,7 @@ TEST(MaterializeFromTest, AugmentClusterEdgeAfterClusterDrop) {
 
   StateBitmap reduced = f.universe.FullBitmap().WithFlipped(unit);
   const MaterializationPtr parent = f.universe.MaterializeRecord(reduced);
-  ASSERT_LT(parent->row_ids.size(), f.bench.universal.num_rows())
+  ASSERT_LT(parent->row_ids().size(), f.bench.universal.num_rows())
       << "cluster drop removed no rows; test would be vacuous";
   ExpectIncrementalMatchesFresh(f.universe, *parent,
                                 reduced.WithFlipped(unit),
@@ -169,8 +171,112 @@ TEST(MaterializeFromTest, FallsBackOnMultiFlipEdges) {
   StateBitmap child = full.WithFlipped(a).WithFlipped(b);
   MaterializationPtr inc = f.universe.MaterializeFrom(*parent, child);
   MaterializationPtr fresh = f.universe.MaterializeRecord(child);
-  EXPECT_EQ(inc->row_ids, fresh->row_ids);
+  EXPECT_EQ(inc->row_ids(), fresh->row_ids());
   ExpectTablesEqual(inc->table, fresh->table, "two-flip fallback");
+}
+
+// ------------------------------------------------------------- Mask vs scan
+
+TEST(RowMaskTest, TailBitsStayZeroOnNonMultipleOf64Sizes) {
+  RowMask full(70, true);
+  EXPECT_EQ(full.Count(), 70u);
+  EXPECT_TRUE(full.Get(69));
+
+  RowMask sparse(70, false);
+  EXPECT_EQ(sparse.Count(), 0u);
+  sparse.Set(0, true);
+  sparse.Set(63, true);
+  sparse.Set(64, true);
+  sparse.Set(69, true);
+  EXPECT_EQ(sparse.Count(), 4u);
+  EXPECT_EQ(sparse.ToRowIds(), (std::vector<uint32_t>{0, 63, 64, 69}));
+
+  // ANDNOT against the complement must not conjure tail rows.
+  full.AndNotWith(sparse);
+  EXPECT_EQ(full.Count(), 66u);
+  full.OrWith(sparse);
+  EXPECT_EQ(full.Count(), 70u);
+
+  std::vector<uint32_t> seen;
+  sparse.ForEachSet([&seen](uint32_t r) { seen.push_back(r); });
+  EXPECT_EQ(seen, sparse.ToRowIds());
+}
+
+TEST(RowMaskPathTest, CountRowsMatchesScanOnEveryOneFlipChild) {
+  auto f = Fixture::Make();
+  const UnitLayout& layout = f.universe.layout();
+  std::vector<StateBitmap> states = {f.universe.FullBitmap(),
+                                     f.universe.BackwardBitmap()};
+  const size_t num_seeds = states.size();
+  for (size_t s = 0; s < num_seeds; ++s) {
+    for (size_t u = 0; u < layout.num_units(); ++u) {
+      if (layout.IsAttributeUnit(u) && !layout.attr_flippable[u]) continue;
+      states.push_back(states[s].WithFlipped(u));
+    }
+  }
+  size_t nontrivial = 0;
+  for (const StateBitmap& state : states) {
+    const size_t scan = f.universe.CountRowsScan(state);
+    EXPECT_EQ(f.universe.CountRows(state), scan);
+    EXPECT_EQ(f.universe.SurvivingMask(state).Count(), scan);
+    EXPECT_EQ(f.universe.SurvivingMask(state).ToRowIds(),
+              f.universe.MaterializeRecord(state)->row_ids());
+    if (scan < f.bench.universal.num_rows()) ++nontrivial;
+  }
+  EXPECT_GT(nontrivial, 0u) << "no state filtered any row; battery vacuous";
+}
+
+TEST(RowMaskPathTest, StateFeaturesFromCachedMaskMatchRecompute) {
+  auto f = Fixture::Make();
+  const StateBitmap full = f.universe.FullBitmap();
+  const size_t unit = f.universe.layout().num_attributes();
+  const StateBitmap child = full.WithFlipped(unit);
+  const MaterializationPtr m = f.universe.MaterializeRecord(child);
+  EXPECT_EQ(f.universe.StateFeatures(child),
+            f.universe.StateFeatures(child, m->mask));
+}
+
+TEST(RowMaskPathTest, MaskDerivationExactOnNonMultipleOf64Universe) {
+  // A handcrafted 70-row universe (not a multiple of 64) with null cells:
+  // the word-level path must neither lose the last partial word's rows nor
+  // resurrect tail garbage, and null cells must survive every reduction.
+  Table t(Schema({{"target", ColumnType::kNumeric},
+                  {"x", ColumnType::kNumeric},
+                  {"y", ColumnType::kCategorical}}));
+  for (int64_t r = 0; r < 70; ++r) {
+    std::vector<Value> row;
+    row.push_back(Value(static_cast<double>(r % 2)));
+    row.push_back(r % 7 == 0 ? Value::Null()
+                             : Value(static_cast<double>(r % 5)));
+    row.push_back(r % 11 == 0
+                      ? Value::Null()
+                      : Value(std::string(
+                            1, static_cast<char>('a' + static_cast<int>(r % 3)))));
+    ASSERT_TRUE(t.AppendRow(std::move(row)).ok());
+  }
+  ASSERT_GT(t.NullFraction(), 0.0);
+
+  SearchUniverse::Options opts;
+  opts.protected_attributes = {"target"};
+  opts.max_clusters = 3;
+  auto uni = SearchUniverse::Build(std::move(t), opts);
+  ASSERT_TRUE(uni.ok());
+  const UnitLayout& layout = uni->layout();
+  ASSERT_FALSE(layout.clusters.empty());
+
+  const StateBitmap full = uni->FullBitmap();
+  EXPECT_EQ(uni->CountRows(full), 70u);
+  const MaterializationPtr parent = uni->MaterializeRecord(full);
+  for (size_t u = 0; u < layout.num_units(); ++u) {
+    if (layout.IsAttributeUnit(u) && !layout.attr_flippable[u]) continue;
+    const StateBitmap child = full.WithFlipped(u);
+    ExpectIncrementalMatchesFresh(*uni, *parent, child,
+                                  "70-row reduct unit " + std::to_string(u));
+    // And the relax edge back up from the reduced child.
+    const MaterializationPtr reduced = uni->MaterializeRecord(child);
+    ExpectIncrementalMatchesFresh(*uni, *reduced, full,
+                                  "70-row augment unit " + std::to_string(u));
+  }
 }
 
 // ------------------------------------------------------- Materialization LRU
