@@ -12,6 +12,11 @@
 ///      bench asserts 0 exact trainings during the measured phase).
 ///   3. The warm phase repeats with 1, 2, and 4 concurrent clients
 ///      sharing the one locked cache file.
+///   4. `qos_overload`: an open-loop flood at ~2x the measured capacity
+///      against a QoS-enabled service (gold priority 10, bronze priority
+///      0, small admission queue). Gates: every shed is 429-class, some
+///      bronze work is shed, and gold's contended p99 stays within 3x
+///      its uncontended p99 (docs/SERVING.md §7).
 ///
 /// Usage: bench_serving [--json] [--queries N] [--task T1] [--scale S]
 ///                      [--threads N] [--connect ENDPOINT]
@@ -27,10 +32,13 @@
 /// --json emits one serving-metrics record per (mode, clients) pair:
 ///   {"bench":"serving","mode":..,"clients":..,"queries":..,"qps":..,
 ///    "p50_ms":..,"p99_ms":..,"exact_evals":..,"persistent_hits":..,
-///    "speedup_p50_vs_cold":..[,"transport":..]}
+///    "speedup_p50_vs_cold":..[,"transport":..]
+///    [,"tenant":..,"offered":..,"shed":..]}
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +49,8 @@
 #include <vector>
 
 #include "service/discovery_service.h"
+#include "service/http.h"
+#include "service/qos.h"
 #include "service/transport.h"
 #include "service/wire.h"
 
@@ -124,8 +134,11 @@ double Percentile(std::vector<double> sorted_ms, double p) {
 struct PhaseResult {
   std::string mode;
   std::string transport;  // Endpoint string in remote mode; else empty.
+  std::string tenant;     // QoS overload phases only; else empty.
   size_t clients = 1;
   size_t queries = 0;
+  size_t offered = 0;     // Open-loop phases: submissions attempted.
+  size_t shed = 0;        // Open-loop phases: 429-class rejections.
   double wall_seconds = 0.0;
   std::vector<double> latencies_ms;
   size_t exact_evals = 0;
@@ -140,6 +153,13 @@ struct PhaseResult {
 void PrintHuman(const PhaseResult& r, double cold_p50) {
   const double p50 = Percentile(r.latencies_ms, 0.50);
   const double p99 = Percentile(r.latencies_ms, 0.99);
+  if (!r.tenant.empty()) {
+    std::printf("%-14s tenant=%-6s offered=%3zu  served=%3zu  shed=%3zu  "
+                "p50=%9.1f ms  p99=%9.1f ms\n",
+                r.mode.c_str(), r.tenant.c_str(), r.offered, r.queries,
+                r.shed, p50, p99);
+    return;
+  }
   std::printf("%-14s clients=%zu  queries=%3zu  qps=%7.2f  p50=%9.1f ms  "
               "p99=%9.1f ms  exact=%4zu  replayed=%4zu  fused=%4zu",
               r.mode.c_str(), r.clients, r.queries, r.Qps(), p50, p99,
@@ -160,9 +180,14 @@ void PrintJson(const std::vector<PhaseResult>& phases, double cold_p50) {
         r.mode == "cold_process" || cold_p50 <= 0.0
             ? 1.0
             : cold_p50 / std::max(p50, 1e-9);
-    std::string transport;
+    std::string extra;
     if (!r.transport.empty()) {
-      transport = ", \"transport\": \"" + r.transport + "\"";
+      extra += ", \"transport\": \"" + r.transport + "\"";
+    }
+    if (!r.tenant.empty()) {
+      extra += ", \"tenant\": \"" + r.tenant + "\", \"offered\": " +
+               std::to_string(r.offered) + ", \"shed\": " +
+               std::to_string(r.shed);
     }
     std::printf(
         "  {\"bench\": \"serving\", \"mode\": \"%s\", \"clients\": %zu, "
@@ -172,7 +197,7 @@ void PrintJson(const std::vector<PhaseResult>& phases, double cold_p50) {
         "\"speedup_p50_vs_cold\": %.3f%s}%s\n",
         r.mode.c_str(), r.clients, r.queries, r.Qps(), p50, p99,
         r.exact_evals, r.persistent_hits, r.fused_hits, speedup,
-        transport.c_str(), i + 1 < phases.size() ? "," : "");
+        extra.c_str(), i + 1 < phases.size() ? "," : "");
   }
   std::printf("]\n");
 }
@@ -379,7 +404,10 @@ int main(int argc, char** argv) {
     phases.push_back(std::move(fusion));
   }
 
-  // ---- The service under test: shared pool, shared cache file.
+  // ---- The service under test: shared pool, shared cache file. Scoped
+  // so the cache writer lock releases before the QoS overload phase
+  // reopens the same file.
+  {
   DiscoveryService::Options options;
   options.sessions = 4;
   options.queue_capacity = 64;
@@ -453,6 +481,201 @@ int main(int argc, char** argv) {
                    phases[i].clients, phases[i].exact_evals);
       return 1;
     }
+  }
+  }  // Warm service drains; the cache writer lock releases.
+
+  // ---- Phase 5: open-loop overload against a QoS-enabled service on
+  // the warm cache. A gold (priority 10) and a bronze (priority 0)
+  // tenant share a small admission queue; the offered rate is pegged at
+  // ~2x the measured capacity, so the queue must shed. The gates: every
+  // rejection is 429-class (ResourceExhausted), shedding lands on
+  // bronze, and gold's contended p99 stays within 3x its uncontended
+  // p99 (the QoS promise of docs/SERVING.md §7).
+  {
+    DiscoveryService::Options qos_options;
+    qos_options.sessions = 2;
+    qos_options.queue_capacity = 8;
+    qos_options.valuation_threads = args.threads;
+    qos_options.default_cache_path = cache_path;
+    qos_options.task_row_scale = args.scale;
+    TenantSpec gold;
+    gold.name = "gold";
+    gold.api_key = "sk_gold";
+    gold.priority = 10;
+    TenantSpec bronze;
+    bronze.name = "bronze";
+    bronze.api_key = "sk_bronze";
+    bronze.priority = 0;
+    qos_options.tenants = {gold, bronze};
+    DiscoveryService qos(qos_options);
+    if (Status preloaded = qos.Preload(args.task); !preloaded.ok()) {
+      std::fprintf(stderr, "preload failed: %s\n",
+                   preloaded.ToString().c_str());
+      return 1;
+    }
+
+    // Uncontended baseline: gold alone, closed loop over the warm mix.
+    PhaseResult solo;
+    solo.mode = "qos_uncontended";
+    solo.tenant = "gold";
+    solo.queries = args.queries;
+    solo.offered = args.queries;
+    {
+      WallTimer wall;
+      for (size_t q = 0; q < solo.queries; ++q) {
+        DiscoveryRequest request = mix[q % mix.size()];
+        request.api_key = "sk_gold";
+        WallTimer latency;
+        auto response = qos.Answer(request);
+        if (!response.ok()) {
+          std::fprintf(stderr, "uncontended gold query failed: %s\n",
+                       response.status().ToString().c_str());
+          return 1;
+        }
+        solo.latencies_ms.push_back(latency.Millis());
+        solo.exact_evals += response->exact_evals;
+      }
+      solo.wall_seconds = wall.Seconds();
+    }
+    const double solo_p50 = Percentile(solo.latencies_ms, 0.50);
+    const double solo_p99 = Percentile(solo.latencies_ms, 0.99);
+    phases.push_back(std::move(solo));
+
+    // Open-loop flood: submissions arrive on schedule whether or not
+    // earlier ones completed — the regime where a closed-loop bench
+    // would silently self-throttle. Bronze carries 3/4 of the offered
+    // load, gold 1/4.
+    const double capacity_qps =
+        double(qos_options.sessions) / std::max(solo_p50 / 1000.0, 1e-4);
+    const double offered_qps = 2.0 * capacity_qps;
+    struct TenantLoad {
+      const char* name = "";
+      const char* key = "";
+      size_t offered = 0;
+      double qps = 0.0;
+      size_t done = 0;  // Callbacks fired (completions + shed-in-queue).
+      std::vector<double> ok_ms;
+      std::vector<Status> rejections;
+      size_t failed = 0;  // Non-QoS errors (must stay 0).
+    };
+    TenantLoad loads[2];
+    loads[0].name = "gold";
+    loads[0].key = "sk_gold";
+    loads[0].offered = args.queries * 2;
+    loads[0].qps = offered_qps / 4.0;
+    loads[1].name = "bronze";
+    loads[1].key = "sk_bronze";
+    loads[1].offered = args.queries * 6;
+    loads[1].qps = offered_qps * 3.0 / 4.0;
+    std::mutex mu;
+    std::condition_variable all_done;
+    WallTimer wall;
+    std::vector<std::thread> submitters;
+    for (TenantLoad& load_slot : loads) {
+      // The threads outlive the loop iteration: hand them a stable
+      // pointer, not the range-for reference.
+      TenantLoad* load = &load_slot;
+      submitters.emplace_back([&, load] {
+        const auto start = std::chrono::steady_clock::now();
+        for (size_t q = 0; q < load->offered; ++q) {
+          std::this_thread::sleep_until(
+              start + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(double(q) /
+                                                        load->qps)));
+          DiscoveryRequest request = mix[q % mix.size()];
+          request.api_key = load->key;
+          const auto submitted = std::chrono::steady_clock::now();
+          const Status door = qos.Submit(
+              std::move(request),
+              [load, &mu, &all_done,
+               submitted](Result<DiscoveryResponse> response) {
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - submitted)
+                        .count();
+                std::lock_guard<std::mutex> lock(mu);
+                if (response.ok()) {
+                  load->ok_ms.push_back(ms);
+                } else if (response.status().code() ==
+                           StatusCode::kResourceExhausted) {
+                  load->rejections.push_back(response.status());
+                } else {
+                  ++load->failed;
+                }
+                ++load->done;
+                all_done.notify_one();
+              });
+          if (!door.ok()) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (door.code() == StatusCode::kResourceExhausted) {
+              load->rejections.push_back(door);
+            } else {
+              ++load->failed;
+            }
+            ++load->done;
+          }
+        }
+      });
+    }
+    for (std::thread& s : submitters) s.join();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      all_done.wait(lock, [&] {
+        return loads[0].done == loads[0].offered &&
+               loads[1].done == loads[1].offered;
+      });
+    }
+    const double overload_wall = wall.Seconds();
+
+    bool failed = false;
+    for (TenantLoad& load : loads) {
+      PhaseResult contended;
+      contended.mode = "qos_overload";
+      contended.tenant = load.name;
+      contended.clients = qos_options.sessions;
+      contended.offered = load.offered;
+      contended.queries = load.ok_ms.size();
+      contended.shed = load.rejections.size();
+      contended.latencies_ms = load.ok_ms;
+      contended.wall_seconds = overload_wall;
+      phases.push_back(std::move(contended));
+      if (load.failed != 0) {
+        std::fprintf(stderr,
+                     "FAIL: tenant %s saw %zu non-QoS errors under "
+                     "overload\n",
+                     load.name, load.failed);
+        failed = true;
+      }
+      for (const Status& rejection : load.rejections) {
+        if (HttpStatusForStatus(rejection) != 429) {
+          std::fprintf(stderr,
+                       "FAIL: tenant %s shed with a non-429 status: %s\n",
+                       load.name, rejection.ToString().c_str());
+          failed = true;
+          break;
+        }
+      }
+    }
+    if (loads[1].rejections.empty()) {
+      std::fprintf(stderr,
+                   "FAIL: no bronze request was shed at 2x capacity "
+                   "(offered %.0f qps against ~%.0f qps)\n",
+                   offered_qps, capacity_qps);
+      failed = true;
+    }
+    const double gold_p99 = Percentile(loads[0].ok_ms, 0.99);
+    // Small floor: at sub-5ms baselines scheduler jitter, not QoS,
+    // dominates the ratio.
+    const double gold_gate = 3.0 * std::max(solo_p99, 5.0);
+    if (loads[0].ok_ms.empty() || gold_p99 > gold_gate) {
+      std::fprintf(stderr,
+                   "FAIL: gold p99 %.1f ms under 2x overload exceeds 3x "
+                   "its uncontended p99 (%.1f ms, gate %.1f ms)\n",
+                   gold_p99, solo_p99, gold_gate);
+      failed = true;
+    }
+    if (failed) return 1;
   }
 
   if (args.json) {

@@ -27,6 +27,7 @@
 ///             [--budget ..] [--maxl ..] [--k ..] [--alpha ..]
 ///             [--measures acc,fisher,mi] [--record-cache <file>]
 ///             [--cache-mode M] [--namespace NS] [--seed N] [--raw]
+///             [--api-key KEY]
 ///   modis_cli --connect <endpoint> --metrics
 ///
 /// <endpoint> is a unix socket path, "unix:PATH", "HOST:PORT", or
@@ -77,6 +78,9 @@ struct Args {
   std::string measures;  // Comma-separated.
   double alpha = 0.5;
   std::string cache_namespace;
+  /// Tenant credential of a QoS-enabled host (docs/SERVING.md §7); the
+  /// server maps it to a token bucket, quota, and priority.
+  std::string api_key;
   uint64_t seed = 1;
   bool raw = false;
   bool metrics = false;
@@ -94,6 +98,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       {"--oracle", &args->oracle},
       {"--measures", &args->measures},
       {"--namespace", &args->cache_namespace},
+      {"--api-key", &args->api_key},
   };
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -162,6 +167,7 @@ Status RunConnect(const Args& args) {
   request.cache_path = args.record_cache;
   request.cache_mode = args.cache_mode;
   request.cache_namespace = args.cache_namespace;
+  request.api_key = args.api_key;
   request.seed = args.seed;
   size_t start = 0;
   while (start <= args.measures.size() && !args.measures.empty()) {

@@ -22,9 +22,16 @@
 ///             [--max-task-contexts N]  LRU cap on live contexts (0 = off)
 ///             [--context-ttl S]  idle context TTL in seconds (0 = off)
 ///             [--row-scale S]    bench-lake row scale (default 1.0)
+///             [--http]           sniff HTTP/1.1 on every listener
+///             [--tenant SPEC]    QoS tenant (repeatable); SPEC is
+///                                NAME:API_KEY[:RATE[:BURST[:MAX_IN_FLIGHT
+///                                [:PRIORITY]]]] — see docs/SERVING.md §7
 ///
 /// --socket and --listen may be combined; both transports answer from the
-/// same service. SIGTERM/SIGINT drain gracefully: stop accepting, half-
+/// same service. With --http each connection is protocol-sniffed: HTTP
+/// requests route through POST /v1/query, GET /metrics (Prometheus), and
+/// GET /healthz; everything else stays line-delimited JSON on the same
+/// port. SIGTERM/SIGINT drain gracefully: stop accepting, half-
 /// close every session, finish all accepted work, flush the caches, dump
 /// a final metrics line, exit 0.
 ///
@@ -40,6 +47,8 @@
 #include <vector>
 
 #include "service/discovery_service.h"
+#include "service/http.h"
+#include "service/qos.h"
 #include "service/transport.h"
 #include "service/wire.h"
 
@@ -64,6 +73,8 @@ struct Args {
   size_t max_task_contexts = 0;
   double context_ttl = 0.0;
   double row_scale = 1.0;
+  bool http = false;
+  std::vector<TenantSpec> tenants;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -119,6 +130,17 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--row-scale") {
       if (!next(&value)) return false;
       args->row_scale = std::stod(value);
+    } else if (flag == "--http") {
+      args->http = true;
+    } else if (flag == "--tenant") {
+      if (!next(&value)) return false;
+      auto spec = ParseTenantSpec(value);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "--tenant %s: %s\n", value.c_str(),
+                     spec.status().ToString().c_str());
+        return false;
+      }
+      args->tenants.push_back(std::move(spec).value());
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -217,6 +239,7 @@ int main(int argc, char** argv) {
   options.max_task_contexts = args.max_task_contexts;
   options.context_idle_ttl_s = args.context_ttl;
   options.task_row_scale = args.row_scale;
+  options.tenants = args.tenants;
   auto mode = ParseCacheMode(args.cache_mode);
   if (!mode.ok()) {
     std::fprintf(stderr, "modis_server: %s\n",
@@ -251,6 +274,11 @@ int main(int argc, char** argv) {
         return HandleServiceLine(&service, line);
       },
       LineServer::Options(), service.metrics());
+  if (args.http) {
+    server.set_http_handler([&service](const HttpRequest& request) {
+      return RouteHttpRequest(&service, request);
+    });
+  }
 
   // Bind every listener before the (potentially slow) preloads: clients
   // can connect immediately (the accept backlog holds them) and their
@@ -284,6 +312,16 @@ int main(int argc, char** argv) {
   for (const Endpoint& endpoint : server.endpoints()) {
     std::printf("modis_server: serving on %s\n",
                 endpoint.ToString().c_str());
+  }
+  if (args.http) {
+    std::printf("modis_server: http front door enabled "
+                "(POST /v1/query, GET /metrics, GET /healthz)\n");
+  }
+  for (const TenantSpec& tenant : args.tenants) {
+    std::printf("modis_server: tenant %s (rate=%g burst=%g in_flight=%zu "
+                "priority=%d)\n",
+                tenant.name.c_str(), tenant.rate_per_s, tenant.burst,
+                tenant.max_in_flight, tenant.priority);
   }
   std::fflush(stdout);
 

@@ -15,6 +15,7 @@ enum class StatusCode {
   kOutOfRange,
   kAlreadyExists,
   kFailedPrecondition,
+  kResourceExhausted,
   kInternal,
   kUnimplemented,
   kIoError,
@@ -50,6 +51,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,5 +1,6 @@
 #include "service/discovery_service.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <future>
 #include <utility>
@@ -8,6 +9,7 @@
 #include "core/algorithms.h"
 #include "estimator/oracle.h"
 #include "estimator/supervised_evaluator.h"
+#include "service/wire.h"
 
 namespace modis {
 
@@ -112,6 +114,15 @@ Result<DiscoveryResponse> RunQuery(const DiscoveryRequest& request,
   return response;
 }
 
+/// The warmth key of the shed ordering: the serialized request with the
+/// tenant credential stripped (warmth is a property of the query, not of
+/// who asks it).
+std::string WarmKeyOf(const DiscoveryRequest& request) {
+  DiscoveryRequest copy = request;
+  copy.api_key.clear();
+  return SerializeDiscoveryRequest(copy);
+}
+
 ModisConfig ConfigFromRequest(const DiscoveryRequest& request) {
   ModisConfig config;
   config.epsilon = request.epsilon;
@@ -128,6 +139,36 @@ ModisConfig ConfigFromRequest(const DiscoveryRequest& request) {
 
 DiscoveryService::DiscoveryService(Options options)
     : options_(options), pool_(options.valuation_threads) {
+  qos_enabled_ = !options_.tenants.empty();
+  if (qos_enabled_) {
+    const auto now = std::chrono::steady_clock::now();
+    for (const TenantSpec& spec : options_.tenants) {
+      const size_t index = tenants_.size();
+      if (!tenant_by_key_.emplace(spec.api_key, index).second) {
+        std::fprintf(stderr,
+                     "modis service: tenant '%s' reuses an api key already "
+                     "mapped; ignoring it\n",
+                     spec.name.c_str());
+        continue;
+      }
+      Tenant tenant;
+      tenant.spec = spec;
+      tenant.tokens = spec.burst;
+      tenant.last_refill = now;
+      tenants_.push_back(std::move(tenant));
+      if (spec.api_key.empty()) default_tenant_ = index;
+    }
+    if (default_tenant_ == size_t(-1)) {
+      // Unknown/absent keys need somewhere to land: an unlimited,
+      // priority-0 tenant (configure a spec with an empty api_key to
+      // constrain them instead).
+      Tenant anonymous;
+      anonymous.spec.name = "anonymous";
+      anonymous.last_refill = now;
+      default_tenant_ = tenants_.size();
+      tenants_.push_back(std::move(anonymous));
+    }
+  }
   const size_t sessions = options_.sessions == 0 ? 1 : options_.sessions;
   sessions_.reserve(sessions);
   for (size_t i = 0; i < sessions; ++i) {
@@ -334,24 +375,143 @@ Result<DiscoveryResponse> DiscoveryService::AnswerDetached(
   return response;
 }
 
+size_t DiscoveryService::ResolveTenantLocked(
+    const std::string& api_key) const {
+  const auto it = tenant_by_key_.find(api_key);
+  return it != tenant_by_key_.end() ? it->second : default_tenant_;
+}
+
+Status DiscoveryService::AdmitLocked(const DiscoveryRequest& request,
+                                     size_t* tenant_index, int* priority,
+                                     bool* warm, Job* shed) {
+  *tenant_index = size_t(-1);
+  *priority = 0;
+  *warm = false;
+  Tenant* tenant = nullptr;
+  if (qos_enabled_) {
+    *tenant_index = ResolveTenantLocked(request.api_key);
+    tenant = &tenants_[*tenant_index];
+    *priority = tenant->spec.priority;
+    if (tenant->spec.burst > 0.0) {
+      const auto now = std::chrono::steady_clock::now();
+      const double elapsed =
+          std::chrono::duration<double>(now - tenant->last_refill).count();
+      tenant->last_refill = now;
+      tenant->tokens =
+          std::min(tenant->spec.burst,
+                   tenant->tokens + elapsed * tenant->spec.rate_per_s);
+      if (tenant->tokens < 1.0) {
+        ++tenant->rate_limited;
+        metrics_.qos_rate_limited.fetch_add(1);
+        metrics_.rejected.fetch_add(1);
+        const double wait =
+            tenant->spec.rate_per_s > 0.0
+                ? (1.0 - tenant->tokens) / tenant->spec.rate_per_s
+                : 1.0;
+        return QosRejected(tenant->spec.name,
+                           "rate limited (token bucket empty)", wait);
+      }
+    }
+    if (tenant->spec.max_in_flight > 0 &&
+        tenant->in_flight >= tenant->spec.max_in_flight) {
+      ++tenant->quota_rejected;
+      metrics_.qos_quota_rejected.fetch_add(1);
+      metrics_.rejected.fetch_add(1);
+      return QosRejected(tenant->spec.name,
+                         "in-flight quota (" +
+                             std::to_string(tenant->spec.max_in_flight) +
+                             ") reached",
+                         1.0);
+    }
+    *warm = warm_keys_.count(WarmKeyOf(request)) > 0;
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    // Load shedding: displace the cheapest-to-retry queued job iff the
+    // incoming request strictly outranks it. Cheapest first = lowest
+    // priority, cold before warm (a warm answer is nearly free to
+    // produce, so the cold one is the better retry candidate), youngest
+    // on ties (it has waited least). Deterministic by construction —
+    // tests/service_test.cc pins the ordering.
+    const auto rank = [](int priority, bool warm_job) {
+      return std::make_pair(priority, warm_job ? 1 : 0);
+    };
+    auto victim = queue_.end();
+    if (qos_enabled_) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (victim == queue_.end() ||
+            rank(it->priority, it->warm) <=
+                rank(victim->priority, victim->warm)) {
+          victim = it;
+        }
+      }
+    }
+    if (victim != queue_.end() &&
+        rank(*priority, *warm) > rank(victim->priority, victim->warm)) {
+      *shed = std::move(*victim);
+      queue_.erase(victim);
+      if (shed->tenant < tenants_.size()) {
+        Tenant& displaced = tenants_[shed->tenant];
+        --displaced.in_flight;
+        ++displaced.shed;
+      }
+      metrics_.qos_shed.fetch_add(1);
+      // Fall through: the incoming request takes the freed slot.
+    } else {
+      metrics_.rejected.fetch_add(1);
+      const std::string detail = "admission queue full (" +
+                                 std::to_string(options_.queue_capacity) +
+                                 " pending)";
+      if (tenant != nullptr) {
+        ++tenant->shed;
+        metrics_.qos_shed.fetch_add(1);
+        return QosRejected(tenant->spec.name, detail, 1.0);
+      }
+      return Status::ResourceExhausted(detail +
+                                       "; retry later [retry_after_s=1.000]");
+    }
+  }
+  if (tenant != nullptr) {
+    if (tenant->spec.burst > 0.0) tenant->tokens -= 1.0;
+    ++tenant->in_flight;
+    ++tenant->admitted;
+  }
+  metrics_.accepted.fetch_add(1);
+  return Status::OK();
+}
+
 Status DiscoveryService::Submit(DiscoveryRequest request, Callback done) {
   MODIS_CHECK(done != nullptr) << "Submit: null callback";
+  Job shed;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) {
       return Status::FailedPrecondition("discovery service is shutting down");
     }
-    if (queue_.size() >= options_.queue_capacity) {
-      metrics_.rejected.fetch_add(1);
-      return Status::FailedPrecondition(
-          "admission queue full (" +
-          std::to_string(options_.queue_capacity) +
-          " pending); retry later");
-    }
-    metrics_.accepted.fetch_add(1);
-    queue_.push_back(Job{std::move(request), std::move(done), WallTimer()});
+    size_t tenant_index;
+    int priority;
+    bool warm;
+    MODIS_RETURN_IF_ERROR(
+        AdmitLocked(request, &tenant_index, &priority, &warm, &shed));
+    Job job;
+    job.request = std::move(request);
+    job.done = std::move(done);
+    job.queued = WallTimer();
+    job.tenant = tenant_index;
+    job.priority = priority;
+    job.warm = warm;
+    queue_.push_back(std::move(job));
   }
   queue_cv_.notify_one();
+  if (shed.done) {
+    // Fail the displaced job outside the lock: its submitter may be
+    // blocked in Answer(), and its callback may re-enter the service.
+    const std::string name = shed.tenant < tenants_.size()
+                                 ? tenants_[shed.tenant].spec.name
+                                 : std::string("default");
+    shed.done(Result<DiscoveryResponse>(QosRejected(
+        name, "shed under overload (displaced by higher-priority work)",
+        1.0)));
+  }
   return Status::OK();
 }
 
@@ -380,6 +540,20 @@ MetricsSnapshot DiscoveryService::SnapshotMetrics() const {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     snapshot.queue_depth = queue_.size();
+    snapshot.tenants.reserve(tenants_.size());
+    for (const Tenant& tenant : tenants_) {
+      TenantMetricsSnapshot entry;
+      entry.name = tenant.spec.name;
+      entry.priority = tenant.spec.priority;
+      entry.admitted = tenant.admitted;
+      entry.rate_limited = tenant.rate_limited;
+      entry.quota_rejected = tenant.quota_rejected;
+      entry.shed = tenant.shed;
+      entry.served = tenant.served;
+      entry.failed = tenant.failed;
+      entry.in_flight = tenant.in_flight;
+      snapshot.tenants.push_back(std::move(entry));
+    }
   }
   {
     std::lock_guard<std::mutex> lock(context_mu_);
@@ -410,8 +584,18 @@ void DiscoveryService::SessionLoop() {
       queue_cv_.wait(lock,
                      [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ && drained.
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      // Priority-aware pick: highest priority first, FIFO within one
+      // priority (the deque keeps insertion order, so the first maximum
+      // is the oldest). With QoS off every job has priority 0 — plain
+      // FIFO, the pre-QoS behavior.
+      auto best = queue_.begin();
+      if (qos_enabled_) {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (it->priority > best->priority) best = it;
+        }
+      }
+      job = std::move(*best);
+      queue_.erase(best);
     }
     const double queue_ms = job.queued.Millis();
     Result<DiscoveryResponse> response = Execute(job.request);
@@ -424,6 +608,22 @@ void DiscoveryService::SessionLoop() {
       metrics_.served.fetch_add(1);
     } else {
       metrics_.failed.fetch_add(1);
+    }
+    if (qos_enabled_) {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (response.ok()) {
+        if (warm_keys_.size() > 65536) warm_keys_.clear();
+        warm_keys_.insert(WarmKeyOf(job.request));
+      }
+      if (job.tenant < tenants_.size()) {
+        Tenant& tenant = tenants_[job.tenant];
+        --tenant.in_flight;
+        if (response.ok()) {
+          ++tenant.served;
+        } else {
+          ++tenant.failed;
+        }
+      }
     }
     job.done(std::move(response));
   }

@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include <set>
+
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -20,6 +22,7 @@
 #include "datagen/tasks.h"
 #include "estimator/training_fuser.h"
 #include "service/metrics.h"
+#include "service/qos.h"
 #include "storage/persistent_record_cache.h"
 
 namespace modis {
@@ -51,6 +54,10 @@ struct DiscoveryRequest {
   std::string cache_mode;
   std::string cache_namespace;
   uint64_t seed = 1;
+  /// Tenant credential for the QoS admission layer; empty = the default
+  /// tenant. Never part of the query fingerprint — answers are identical
+  /// across tenants.
+  std::string api_key;
 };
 
 /// One skyline member of a response, flattened for the wire.
@@ -149,6 +156,13 @@ class DiscoveryService {
     /// Idle TTL: a context not queried for this long is evicted by the
     /// sweep that runs on every context lookup. 0 = no TTL.
     double context_idle_ttl_s = 0.0;
+    /// Multi-tenant QoS: API-key → token bucket + in-flight quota +
+    /// priority (docs/SERVING.md §7). Empty = QoS off (every request is
+    /// admitted up to queue_capacity, FIFO — the pre-QoS behavior). When
+    /// non-empty, requests with no key (or an unknown one) land on the
+    /// spec with the empty api_key, or on a built-in unlimited
+    /// "anonymous" tenant if none is configured.
+    std::vector<TenantSpec> tenants;
   };
 
   struct Stats {
@@ -172,10 +186,17 @@ class DiscoveryService {
   /// the first query doesn't pay for it.
   Status Preload(const std::string& task);
 
-  /// Asynchronous submission: `done` runs on a session thread exactly
-  /// once. Fails fast (FailedPrecondition) when the admission queue is
-  /// full or the service is shutting down — in that case `done` is never
-  /// invoked.
+  /// Asynchronous submission: `done` runs exactly once for every
+  /// admitted request. Fails fast without invoking `done`:
+  ///   - FailedPrecondition when the service is shutting down;
+  ///   - ResourceExhausted (HTTP 429, with a retry_after_s hint) when the
+  ///     tenant's token bucket or in-flight quota rejects the request, or
+  ///     when the queue is full and the request does not outrank any
+  ///     queued work.
+  /// Under overload a full queue sheds the cheapest-to-retry queued job
+  /// first — lowest priority, cold before warm, youngest on ties — whose
+  /// own callback then gets the ResourceExhausted status. Work that a
+  /// session already picked up is never shed.
   Status Submit(DiscoveryRequest request, Callback done);
 
   /// Synchronous convenience over Submit: blocks until the response.
@@ -217,6 +238,26 @@ class DiscoveryService {
     DiscoveryRequest request;
     Callback done;
     WallTimer queued;
+    /// Index into tenants_; SIZE_MAX when QoS is off.
+    size_t tenant = size_t(-1);
+    int priority = 0;
+    /// An identical request completed OK before (cheap to re-answer, so
+    /// expensive to shed relative to cold work).
+    bool warm = false;
+  };
+
+  /// One tenant's live QoS state; guarded by queue_mu_.
+  struct Tenant {
+    TenantSpec spec;
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last_refill;
+    size_t in_flight = 0;  // Queued + executing.
+    uint64_t admitted = 0;
+    uint64_t rate_limited = 0;
+    uint64_t quota_rejected = 0;
+    uint64_t shed = 0;
+    uint64_t served = 0;
+    uint64_t failed = 0;
   };
 
   /// Resolves (building on first use) the shared context of a task. The
@@ -239,6 +280,17 @@ class DiscoveryService {
   Result<DiscoveryResponse> Execute(const DiscoveryRequest& request);
 
   void SessionLoop();
+
+  /// Tenant of `api_key` (falling back to the default/anonymous tenant).
+  /// Only meaningful when QoS is on. Caller holds queue_mu_.
+  size_t ResolveTenantLocked(const std::string& api_key) const;
+
+  /// QoS admission: bucket + quota checks, shed-victim selection. On
+  /// rejection returns non-OK; when a queued victim must be shed, moves
+  /// its callback into *shed so the caller can fail it outside the lock.
+  /// Caller holds queue_mu_.
+  Status AdmitLocked(const DiscoveryRequest& request, size_t* tenant_index,
+                     int* priority, bool* warm, Job* shed);
 
   Options options_;
   ThreadPool pool_;
@@ -266,6 +318,16 @@ class DiscoveryService {
   std::condition_variable queue_cv_;
   std::deque<Job> queue_;
   bool stopping_ = false;
+
+  // QoS state, guarded by queue_mu_ (admission and completion touch it
+  // on the same paths that touch the queue).
+  bool qos_enabled_ = false;
+  std::vector<Tenant> tenants_;
+  std::map<std::string, size_t> tenant_by_key_;
+  size_t default_tenant_ = size_t(-1);
+  /// Serialized requests (api_key stripped) that completed OK — the
+  /// warmth signal of the shed ordering. Bounded; cleared when large.
+  std::set<std::string> warm_keys_;
 
   /// Counters + histograms; see metrics.h. Declared after the maps it
   /// aggregates from in SnapshotMetrics, destroyed after the sessions

@@ -33,6 +33,99 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   return data_;
 }
 
+const std::vector<ScalarMetricDesc>& ScalarMetricDescriptors() {
+  static const std::vector<ScalarMetricDesc> kDescriptors = {
+      {"accepted", "modis_accepted_total", true, &MetricsSnapshot::accepted,
+       "Requests admitted to the queue."},
+      {"rejected", "modis_rejected_total", true, &MetricsSnapshot::rejected,
+       "Requests rejected at the door (rate/quota/queue)."},
+      {"served", "modis_served_total", true, &MetricsSnapshot::served,
+       "Queries completed OK."},
+      {"failed", "modis_failed_total", true, &MetricsSnapshot::failed,
+       "Queries completed with an error."},
+      {"queue_depth", "modis_queue_depth", false,
+       &MetricsSnapshot::queue_depth, "Requests waiting for a session."},
+      {"live_contexts", "modis_live_contexts", false,
+       &MetricsSnapshot::live_contexts, "Task contexts held in memory."},
+      {"context_builds", "modis_context_builds_total", true,
+       &MetricsSnapshot::context_builds, "Task contexts built."},
+      {"context_evictions", "modis_context_evictions_total", true,
+       &MetricsSnapshot::context_evictions, "Task contexts evicted."},
+      {"cache_files", "modis_cache_files", false,
+       &MetricsSnapshot::cache_files, "Open record-cache files."},
+      {"cache_bytes", "modis_cache_bytes", false,
+       &MetricsSnapshot::cache_bytes, "Valid bytes across open caches."},
+      {"cache_records", "modis_cache_records", false,
+       &MetricsSnapshot::cache_records, "Records loaded at cache open."},
+      {"cache_replays", "modis_cache_replays_total", true,
+       &MetricsSnapshot::cache_replays, "Record-cache hits served."},
+      {"cache_appends", "modis_cache_appends_total", true,
+       &MetricsSnapshot::cache_appends, "Records appended to caches."},
+      {"cache_evictions", "modis_cache_evictions_total", true,
+       &MetricsSnapshot::cache_evictions, "Records evicted from caches."},
+      {"cache_reclaimed_bytes", "modis_cache_reclaimed_bytes_total", true,
+       &MetricsSnapshot::cache_reclaimed_bytes,
+       "Bytes reclaimed by cache compaction/GC."},
+      {"queries_fused", "modis_queries_fused_total", true,
+       &MetricsSnapshot::queries_fused,
+       "Queries that consumed at least one fused training."},
+      {"trainings_shared", "modis_trainings_shared_total", true,
+       &MetricsSnapshot::trainings_shared,
+       "Exact trainings consumed from another query."},
+      {"mask_fast_path_hits", "modis_mask_fast_path_hits_total", true,
+       &MetricsSnapshot::mask_fast_path_hits,
+       "Row counts served from cached bitset masks."},
+      {"connections_opened", "modis_connections_opened_total", true,
+       &MetricsSnapshot::connections_opened, "Connections accepted."},
+      {"connections_active", "modis_connections_active", false,
+       &MetricsSnapshot::connections_active, "Connections being served."},
+      {"lines_served", "modis_lines_served_total", true,
+       &MetricsSnapshot::lines_served, "Line-JSON requests answered."},
+      {"oversized_lines", "modis_oversized_lines_total", true,
+       &MetricsSnapshot::oversized_lines,
+       "Request lines rejected for size."},
+      {"dropped_connections", "modis_dropped_connections_total", true,
+       &MetricsSnapshot::dropped_connections,
+       "Connections lost mid-request or mid-response."},
+      {"http_requests", "modis_http_requests_total", true,
+       &MetricsSnapshot::http_requests, "HTTP requests parsed."},
+      {"http_errors", "modis_http_errors_total", true,
+       &MetricsSnapshot::http_errors,
+       "HTTP 4xx/5xx responses, parse failures included."},
+      {"qos_rate_limited", "modis_qos_rate_limited_total", true,
+       &MetricsSnapshot::qos_rate_limited,
+       "Requests rejected by a tenant token bucket."},
+      {"qos_quota_rejected", "modis_qos_quota_rejected_total", true,
+       &MetricsSnapshot::qos_quota_rejected,
+       "Requests rejected by a tenant in-flight quota."},
+      {"qos_shed", "modis_qos_shed_total", true, &MetricsSnapshot::qos_shed,
+       "Requests shed under overload (queued victims + full-queue "
+       "rejections)."},
+  };
+  return kDescriptors;
+}
+
+const std::vector<TenantMetricDesc>& TenantMetricDescriptors() {
+  static const std::vector<TenantMetricDesc> kDescriptors = {
+      {"admitted", "modis_tenant_admitted_total", true,
+       &TenantMetricsSnapshot::admitted, "Requests admitted."},
+      {"rate_limited", "modis_tenant_rate_limited_total", true,
+       &TenantMetricsSnapshot::rate_limited, "Token-bucket rejections."},
+      {"quota_rejected", "modis_tenant_quota_rejected_total", true,
+       &TenantMetricsSnapshot::quota_rejected,
+       "In-flight quota rejections."},
+      {"shed", "modis_tenant_shed_total", true,
+       &TenantMetricsSnapshot::shed, "Requests shed under overload."},
+      {"served", "modis_tenant_served_total", true,
+       &TenantMetricsSnapshot::served, "Queries completed OK."},
+      {"failed", "modis_tenant_failed_total", true,
+       &TenantMetricsSnapshot::failed, "Queries completed with an error."},
+      {"in_flight", "modis_tenant_in_flight", false,
+       &TenantMetricsSnapshot::in_flight, "Queued + executing requests."},
+  };
+  return kDescriptors;
+}
+
 MetricsSnapshot ServiceMetrics::Snapshot() const {
   MetricsSnapshot snapshot;
   snapshot.accepted = accepted.load();
@@ -49,6 +142,11 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   snapshot.lines_served = lines_served.load();
   snapshot.oversized_lines = oversized_lines.load();
   snapshot.dropped_connections = dropped_connections.load();
+  snapshot.http_requests = http_requests.load();
+  snapshot.http_errors = http_errors.load();
+  snapshot.qos_rate_limited = qos_rate_limited.load();
+  snapshot.qos_quota_rejected = qos_quota_rejected.load();
+  snapshot.qos_shed = qos_shed.load();
   snapshot.draining = draining.load();
   snapshot.queue_ms = queue_ms.snapshot();
   snapshot.run_ms = run_ms.snapshot();

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
+#include <vector>
 
 namespace modis {
 
@@ -38,6 +40,22 @@ class LatencyHistogram {
  private:
   mutable std::mutex mu_;
   Snapshot data_;
+};
+
+/// Per-tenant admission counters (QoS; docs/SERVING.md §7). Collected by
+/// DiscoveryService::SnapshotMetrics() from the tenant table; exported on
+/// both wire surfaces (the `"tenants"` array of the metrics verb and the
+/// `modis_tenant_*{tenant="..."}` Prometheus series).
+struct TenantMetricsSnapshot {
+  std::string name;
+  int priority = 0;
+  uint64_t admitted = 0;
+  uint64_t rate_limited = 0;
+  uint64_t quota_rejected = 0;
+  uint64_t shed = 0;
+  uint64_t served = 0;
+  uint64_t failed = 0;
+  uint64_t in_flight = 0;  // Gauge: queued + executing.
 };
 
 /// One flat snapshot of everything the service exports — the schema of
@@ -86,13 +104,56 @@ struct MetricsSnapshot {
   uint64_t oversized_lines = 0;
   uint64_t dropped_connections = 0;
 
+  // HTTP facade (service/http.h, served by the same LineServer).
+  uint64_t http_requests = 0;
+  /// 4xx/5xx responses, parse failures included.
+  uint64_t http_errors = 0;
+
+  // Multi-tenant QoS admission (aggregates over every tenant).
+  uint64_t qos_rate_limited = 0;
+  uint64_t qos_quota_rejected = 0;
+  /// Admitted-then-shed plus rejected-at-full-queue requests.
+  uint64_t qos_shed = 0;
+
   bool draining = false;
 
   // Per-phase latency distributions (one query each).
   LatencyHistogram::Snapshot queue_ms;
   LatencyHistogram::Snapshot run_ms;
   LatencyHistogram::Snapshot total_ms;
+
+  /// One entry per configured tenant (empty when QoS is off).
+  std::vector<TenantMetricsSnapshot> tenants;
 };
+
+/// Descriptor of one scalar MetricsSnapshot field, binding its wire-JSON
+/// member name to its Prometheus series name. Both exports iterate this
+/// one table, so the exposition-parity contract (every counter present on
+/// both surfaces, value-for-value) holds by construction — the property
+/// tests/http_test.cc pins down.
+struct ScalarMetricDesc {
+  const char* json_name;
+  const char* prom_name;
+  /// Prometheus metric type: true = counter, false = gauge.
+  bool counter;
+  uint64_t MetricsSnapshot::*field;
+  const char* help;
+};
+
+/// Every scalar (non-histogram, non-tenant, non-bool) snapshot field.
+const std::vector<ScalarMetricDesc>& ScalarMetricDescriptors();
+
+/// Same contract for the per-tenant counters (priority is exported
+/// separately: it is an int, not a uint64_t counter).
+struct TenantMetricDesc {
+  const char* json_name;
+  const char* prom_name;
+  bool counter;
+  uint64_t TenantMetricsSnapshot::*field;
+  const char* help;
+};
+
+const std::vector<TenantMetricDesc>& TenantMetricDescriptors();
 
 /// The shared counter registry. The DiscoveryService owns one; the
 /// transport layer (LineServer) and the session loops both write into it
@@ -117,6 +178,13 @@ class ServiceMetrics {
   std::atomic<uint64_t> lines_served{0};
   std::atomic<uint64_t> oversized_lines{0};
   std::atomic<uint64_t> dropped_connections{0};
+
+  std::atomic<uint64_t> http_requests{0};
+  std::atomic<uint64_t> http_errors{0};
+
+  std::atomic<uint64_t> qos_rate_limited{0};
+  std::atomic<uint64_t> qos_quota_rejected{0};
+  std::atomic<uint64_t> qos_shed{0};
 
   std::atomic<bool> draining{false};
 

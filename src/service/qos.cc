@@ -1,0 +1,124 @@
+#include "service/qos.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace modis {
+
+namespace {
+
+bool ValidTenantName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> SplitColons(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t colon = text.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, colon - start));
+    start = colon + 1;
+  }
+}
+
+Result<double> ParseNonNegative(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !std::isfinite(value) ||
+      value < 0.0) {
+    return Status::InvalidArgument(std::string(what) + " '" + text +
+                                   "' must be a non-negative number");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<TenantSpec> ParseTenantSpec(const std::string& spec) {
+  const std::vector<std::string> parts = SplitColons(spec);
+  if (parts.size() < 2 || parts.size() > 6) {
+    return Status::InvalidArgument(
+        "tenant spec '" + spec +
+        "' is not NAME:API_KEY[:RATE[:BURST[:MAX_IN_FLIGHT[:PRIORITY]]]]");
+  }
+  TenantSpec tenant;
+  tenant.name = parts[0];
+  if (!ValidTenantName(tenant.name)) {
+    return Status::InvalidArgument("tenant name '" + parts[0] +
+                                   "' must be [A-Za-z0-9_-]+");
+  }
+  tenant.api_key = parts[1];
+  if (parts.size() > 2 && !parts[2].empty()) {
+    MODIS_ASSIGN_OR_RETURN(tenant.rate_per_s,
+                           ParseNonNegative(parts[2], "tenant rate"));
+  }
+  if (parts.size() > 3 && !parts[3].empty()) {
+    MODIS_ASSIGN_OR_RETURN(tenant.burst,
+                           ParseNonNegative(parts[3], "tenant burst"));
+  }
+  if (parts.size() > 4 && !parts[4].empty()) {
+    MODIS_ASSIGN_OR_RETURN(const double in_flight,
+                           ParseNonNegative(parts[4], "tenant max-in-flight"));
+    if (std::nearbyint(in_flight) != in_flight || in_flight > 1e9) {
+      return Status::InvalidArgument("tenant max-in-flight '" + parts[4] +
+                                     "' must be an integer in [0, 1e9]");
+    }
+    tenant.max_in_flight = size_t(in_flight);
+  }
+  if (parts.size() > 5 && !parts[5].empty()) {
+    char* end = nullptr;
+    const long priority = std::strtol(parts[5].c_str(), &end, 10);
+    if (end == parts[5].c_str() || *end != '\0' || priority < -1000 ||
+        priority > 1000) {
+      return Status::InvalidArgument("tenant priority '" + parts[5] +
+                                     "' must be an integer in [-1000, 1000]");
+    }
+    tenant.priority = int(priority);
+  }
+  if (tenant.rate_per_s > 0.0 && tenant.burst == 0.0) {
+    return Status::InvalidArgument(
+        "tenant '" + tenant.name +
+        "' has a refill rate but burst 0 (no bucket); set a burst");
+  }
+  return tenant;
+}
+
+Status QosRejected(const std::string& tenant, const std::string& what,
+                   double retry_after_s) {
+  if (!std::isfinite(retry_after_s) || retry_after_s < 0.0) {
+    retry_after_s = 1.0;
+  }
+  char hint[64];
+  std::snprintf(hint, sizeof(hint), " [retry_after_s=%.3f]", retry_after_s);
+  return Status::ResourceExhausted("tenant '" + tenant + "': " + what +
+                                   hint);
+}
+
+double RetryAfterSeconds(const Status& status) {
+  static constexpr char kTag[] = "[retry_after_s=";
+  const std::string& message = status.message();
+  const size_t tag = message.rfind(kTag);
+  if (tag == std::string::npos) return 0.0;
+  const char* begin = message.c_str() + tag + sizeof(kTag) - 1;
+  char* end = nullptr;
+  const double seconds = std::strtod(begin, &end);
+  if (end == begin || *end != ']' || !std::isfinite(seconds) ||
+      seconds < 0.0) {
+    return 0.0;
+  }
+  return seconds;
+}
+
+}  // namespace modis

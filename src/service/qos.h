@@ -1,0 +1,51 @@
+#ifndef MODIS_SERVICE_QOS_H_
+#define MODIS_SERVICE_QOS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace modis {
+
+/// One tenant of the multi-tenant QoS admission layer (docs/SERVING.md
+/// §7). Requests carry an API key; the DiscoveryService maps the key to a
+/// tenant and applies its token bucket, in-flight quota, and priority at
+/// Submit() time. A spec with an empty `api_key` is the default tenant:
+/// requests with no key — or an unknown key — land there.
+struct TenantSpec {
+  /// Label of the tenant's metric series; [A-Za-z0-9_-]+.
+  std::string name;
+  std::string api_key;
+  /// Token-bucket refill rate (tokens/second); one request costs one
+  /// token. 0 = the bucket never refills.
+  double rate_per_s = 0.0;
+  /// Bucket capacity. 0 = no bucket (rate limiting off for the tenant).
+  double burst = 0.0;
+  /// Most queued + executing requests at once; 0 = unlimited.
+  size_t max_in_flight = 0;
+  /// Higher runs first; admission sheds lower-priority work first.
+  int priority = 0;
+};
+
+/// Parses the user-facing tenant spelling of `modis_server --tenant`:
+///
+///   NAME:API_KEY[:RATE[:BURST[:MAX_IN_FLIGHT[:PRIORITY]]]]
+///
+/// e.g. "gold:sk_gold:100:200:8:10". Omitted numeric fields keep the
+/// TenantSpec defaults (unlimited). An empty API_KEY makes this the
+/// default tenant.
+Result<TenantSpec> ParseTenantSpec(const std::string& spec);
+
+/// A typed QoS rejection: ResourceExhausted (the HTTP facade maps it to
+/// 429) with a machine-readable retry hint embedded in the message as
+/// "[retry_after_s=N]".
+Status QosRejected(const std::string& tenant, const std::string& what,
+                   double retry_after_s);
+
+/// The retry hint of a QosRejected() status, 0 when none is embedded.
+double RetryAfterSeconds(const Status& status);
+
+}  // namespace modis
+
+#endif  // MODIS_SERVICE_QOS_H_

@@ -292,6 +292,32 @@ Result<std::string> ClientChannel::ReceiveLine(size_t max_bytes) {
   return Status::Internal("unreachable");
 }
 
+Result<std::string> ClientChannel::ReceiveRaw(size_t max_bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("channel is closed");
+  if (rx_pos_ < rx_buffer_.size()) {
+    const size_t available = rx_buffer_.size() - rx_pos_;
+    const size_t take = available < max_bytes ? available : max_bytes;
+    std::string out = rx_buffer_.substr(rx_pos_, take);
+    rx_pos_ += take;
+    if (rx_pos_ == rx_buffer_.size()) {
+      rx_buffer_.clear();
+      rx_pos_ = 0;
+    }
+    return out;
+  }
+  std::string out(max_bytes, '\0');
+  for (;;) {
+    const ssize_t n = ::recv(fd_, &out[0], max_bytes, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::IoError("recv failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    out.resize(size_t(n));
+    return out;
+  }
+}
+
 Result<std::string> ClientChannel::RoundTrip(const std::string& line) {
   MODIS_RETURN_IF_ERROR(SendLine(line));
   return ReceiveLine();
@@ -482,6 +508,33 @@ void LineServer::ServeConnection(uint64_t id, int fd) {
   std::string line;
   std::string buffer;
   size_t pos = 0;
+  bool http = false;
+  if (http_handler_) {
+    // Protocol sniffing: the first bytes decide the dialect. Every HTTP
+    // method name fits in 8 bytes ("OPTIONS "), so the loop terminates
+    // as soon as that many arrive — or earlier, when the prefix already
+    // cannot be a method.
+    ProtocolGuess guess = SniffProtocol(buffer);
+    while (guess == ProtocolGuess::kNeedMoreBytes) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // EOF/error before the protocol was clear:
+                          // the line loop below settles the connection.
+      buffer.append(chunk, size_t(n));
+      guess = SniffProtocol(buffer);
+    }
+    http = guess == ProtocolGuess::kHttp;
+  }
+  if (http) {
+    ServeHttpConnection(fd, buffer);
+    ::close(fd);
+    metrics_->connections_active.fetch_sub(1);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    live_fds_.erase(id);
+    finished_.push_back(id);
+    return;
+  }
   for (bool open = true; open;) {
     const ReadLineResult read = ReadLineBuffered(
         fd, &buffer, &pos, options_.max_line_bytes, &line);
@@ -530,6 +583,45 @@ void LineServer::ServeConnection(uint64_t id, int fd) {
   finished_.push_back(id);
 }
 
+void LineServer::ServeHttpConnection(int fd, const std::string& initial) {
+  HttpParser parser(options_.http);
+  parser.Feed(initial);
+  for (;;) {
+    while (parser.has_request()) {
+      const HttpRequest request = parser.TakeRequest();
+      metrics_->http_requests.fetch_add(1);
+      HttpResponse response = http_handler_(request);
+      if (!request.keep_alive) response.close = true;
+      if (response.status >= 400) metrics_->http_errors.fetch_add(1);
+      if (!WriteAllFd(fd, response.Serialize())) {
+        metrics_->dropped_connections.fetch_add(1);
+        return;
+      }
+      if (response.close) return;
+    }
+    if (parser.has_error()) {
+      // Malformed or over-limit input: one typed error response, then
+      // close — the stream cannot be resynced after a framing error.
+      metrics_->http_errors.fetch_add(1);
+      HttpResponse response =
+          MakeHttpError(parser.error_status(), parser.error_message());
+      response.close = true;
+      (void)WriteAllFd(fd, response.Serialize());
+      return;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      metrics_->dropped_connections.fetch_add(1);
+      return;
+    }
+    if (n == 0) return;  // EOF: clean between requests, truncated inside
+                         // one — either way there is nobody to answer.
+    parser.Feed(chunk, size_t(n));
+  }
+}
+
 #else  // _WIN32
 
 Result<ClientChannel> ClientChannel::Connect(const Endpoint&) {
@@ -554,6 +646,9 @@ Status ClientChannel::SendRaw(const std::string&) {
 Result<std::string> ClientChannel::ReceiveLine(size_t) {
   return Status::Unimplemented("transport requires POSIX sockets");
 }
+Result<std::string> ClientChannel::ReceiveRaw(size_t) {
+  return Status::Unimplemented("transport requires POSIX sockets");
+}
 Result<std::string> ClientChannel::RoundTrip(const std::string&) {
   return Status::Unimplemented("transport requires POSIX sockets");
 }
@@ -572,6 +667,7 @@ void LineServer::Serve() {}
 void LineServer::RequestStop() {}
 void LineServer::ReapFinishedLocked() {}
 void LineServer::ServeConnection(uint64_t, int) {}
+void LineServer::ServeHttpConnection(int, const std::string&) {}
 
 #endif  // _WIN32
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "service/http.h"
 #include "service/metrics.h"
 
 namespace modis {
@@ -61,6 +62,12 @@ class ClientChannel {
   /// any byte — or a line beyond `max_bytes` — is an IoError.
   Result<std::string> ReceiveLine(size_t max_bytes = 1u << 20);
 
+  /// Reads up to `max_bytes` raw bytes, blocking until at least one
+  /// arrives; a clean EOF returns the empty string. Serves any bytes
+  /// already buffered by ReceiveLine() first. Exists for clients of
+  /// non-line protocols (the HTTP tests frame by Content-Length).
+  Result<std::string> ReceiveRaw(size_t max_bytes = 4096);
+
   /// SendLine + ReceiveLine.
   Result<std::string> RoundTrip(const std::string& line);
 
@@ -104,6 +111,9 @@ class LineServer {
     /// constructor ill-formed.)
     size_t max_line_bytes;
     int listen_backlog;
+    /// Parser caps for HTTP connections (only consulted when an HTTP
+    /// handler is installed).
+    HttpParser::Limits http;
 
     Options() : max_line_bytes(1u << 20), listen_backlog(16) {}
   };
@@ -111,6 +121,10 @@ class LineServer {
   /// Maps one request line to one response line. Runs on the connection's
   /// thread; must be thread-safe (the service's Answer() is).
   using Handler = std::function<std::string(const std::string& line)>;
+
+  /// Maps one parsed HTTP request to one response. Runs on the
+  /// connection's thread; must be thread-safe.
+  using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
   LineServer(Handler handler, Options options = Options(),
              ServiceMetrics* metrics = nullptr);
@@ -136,12 +150,26 @@ class LineServer {
   /// Stops Serve() and starts the drain. Async-signal-safe; idempotent.
   void RequestStop();
 
+  /// Enables per-connection protocol sniffing: a connection whose first
+  /// bytes spell an HTTP method is served by `handler` through the
+  /// incremental HttpParser; anything else takes the line-JSON path, so
+  /// both dialects share one port. Install before Serve(); without it
+  /// the accept loop is byte-for-byte the pre-HTTP line server.
+  void set_http_handler(HttpHandler handler) {
+    http_handler_ = std::move(handler);
+  }
+
  private:
   void ServeConnection(uint64_t id, int fd);
+  /// HTTP side of a sniffed connection: keep-alive/pipelining loop until
+  /// close, parse error (answered with a typed 4xx/5xx, then close), or
+  /// EOF. `initial` holds the sniffed bytes already read.
+  void ServeHttpConnection(int fd, const std::string& initial);
   /// Joins connection threads that have finished. Caller holds conn_mu_.
   void ReapFinishedLocked();
 
   Handler handler_;
+  HttpHandler http_handler_;
   Options options_;
   ServiceMetrics* metrics_;  // Never null (falls back to an owned one).
   ServiceMetrics owned_metrics_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "service/qos.h"
+
 namespace modis {
 
 namespace {
@@ -106,6 +108,7 @@ Result<DiscoveryRequest> ParseDiscoveryRequestDoc(const JsonValue& doc) {
   request.cache_mode = doc.GetString("cache_mode", request.cache_mode);
   request.cache_namespace =
       doc.GetString("namespace", request.cache_namespace);
+  request.api_key = doc.GetString("api_key", request.api_key);
   return request;
 }
 
@@ -129,6 +132,7 @@ std::string SerializeDiscoveryRequest(const DiscoveryRequest& request) {
   if (!request.cache_namespace.empty()) {
     doc.Set("namespace", request.cache_namespace);
   }
+  if (!request.api_key.empty()) doc.Set("api_key", request.api_key);
   doc.Set("seed", double(request.seed));
   return doc.Dump();
 }
@@ -176,6 +180,12 @@ std::string SerializeDiscoveryError(const Status& status) {
   doc.Set("ok", false);
   doc.Set("code", StatusCodeName(status.code()));
   doc.Set("error", status.message());
+  // QoS rejections carry a machine-readable retry hint; surface it as a
+  // member so line-protocol clients need not parse the message.
+  if (const double retry_after = RetryAfterSeconds(status);
+      retry_after > 0.0) {
+    doc.Set("retry_after_s", retry_after);
+  }
   return doc.Dump();
 }
 
@@ -206,30 +216,27 @@ JsonValue HistogramToJson(const LatencyHistogram::Snapshot& h) {
 
 std::string SerializeServiceMetrics(const MetricsSnapshot& snapshot) {
   JsonValue metrics{JsonValue::Object{}};
-  metrics.Set("accepted", snapshot.accepted);
-  metrics.Set("rejected", snapshot.rejected);
-  metrics.Set("served", snapshot.served);
-  metrics.Set("failed", snapshot.failed);
-  metrics.Set("queue_depth", snapshot.queue_depth);
-  metrics.Set("live_contexts", snapshot.live_contexts);
-  metrics.Set("context_builds", snapshot.context_builds);
-  metrics.Set("context_evictions", snapshot.context_evictions);
-  metrics.Set("cache_files", snapshot.cache_files);
-  metrics.Set("cache_bytes", snapshot.cache_bytes);
-  metrics.Set("cache_records", snapshot.cache_records);
-  metrics.Set("cache_replays", snapshot.cache_replays);
-  metrics.Set("cache_appends", snapshot.cache_appends);
-  metrics.Set("cache_evictions", snapshot.cache_evictions);
-  metrics.Set("cache_reclaimed_bytes", snapshot.cache_reclaimed_bytes);
-  metrics.Set("queries_fused", snapshot.queries_fused);
-  metrics.Set("trainings_shared", snapshot.trainings_shared);
-  metrics.Set("mask_fast_path_hits", snapshot.mask_fast_path_hits);
-  metrics.Set("connections_opened", snapshot.connections_opened);
-  metrics.Set("connections_active", snapshot.connections_active);
-  metrics.Set("lines_served", snapshot.lines_served);
-  metrics.Set("oversized_lines", snapshot.oversized_lines);
-  metrics.Set("dropped_connections", snapshot.dropped_connections);
+  // One descriptor table drives this JSON and the Prometheus exposition
+  // (service/http.cc), so the two surfaces cannot drift apart — the
+  // parity contract tests/http_test.cc pins down.
+  for (const ScalarMetricDesc& desc : ScalarMetricDescriptors()) {
+    metrics.Set(desc.json_name, snapshot.*desc.field);
+  }
   metrics.Set("draining", snapshot.draining);
+  if (!snapshot.tenants.empty()) {
+    JsonValue::Array tenants;
+    tenants.reserve(snapshot.tenants.size());
+    for (const TenantMetricsSnapshot& tenant : snapshot.tenants) {
+      JsonValue entry{JsonValue::Object{}};
+      entry.Set("name", tenant.name);
+      entry.Set("priority", tenant.priority);
+      for (const TenantMetricDesc& desc : TenantMetricDescriptors()) {
+        entry.Set(desc.json_name, tenant.*desc.field);
+      }
+      tenants.push_back(std::move(entry));
+    }
+    metrics.Set("tenants", std::move(tenants));
+  }
   metrics.Set("queue_ms", HistogramToJson(snapshot.queue_ms));
   metrics.Set("run_ms", HistogramToJson(snapshot.run_ms));
   metrics.Set("total_ms", HistogramToJson(snapshot.total_ms));

@@ -1,0 +1,1088 @@
+/// Protocol fault-injection and QoS battery of the HTTP/1.1 front door
+/// (src/service/http.h) and its transport integration: the incremental
+/// parser (byte-at-a-time delivery, chunked framing, pipelining, every
+/// size cap), truncation at each byte boundary and single-bit-flip fuzz
+/// over the head — the parser must end in a complete request, a typed
+/// 4xx/5xx, or "need more bytes", never crash —, the same abuse replayed
+/// over real sockets (the host survives, answers what it can with typed
+/// errors, and leaks no session thread), the endpoint router, Prometheus
+/// exposition parity with the `"metrics"` wire verb, cross-transport
+/// answer identity (unix line-JSON == TCP line-JSON == HTTP), and
+/// tenant rate limiting surfacing as 429 + Retry-After. The
+/// `sanitize-thread` CI job runs this suite under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "service/discovery_service.h"
+#include "service/http.h"
+#include "service/json.h"
+#include "service/metrics.h"
+#include "service/qos.h"
+#include "service/transport.h"
+#include "service/wire.h"
+
+namespace modis {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr double kRowScale = 0.4;
+
+std::string TempPath(const std::string& name) {
+  const fs::path path = fs::path(::testing::TempDir()) / name;
+  fs::remove(path);
+  fs::remove(fs::path(path.string() + ".compact"));
+  return path.string();
+}
+
+Endpoint UnixEndpoint(const std::string& name) {
+  Endpoint endpoint;
+  endpoint.kind = Endpoint::Kind::kUnix;
+  endpoint.path = TempPath(name);
+  return endpoint;
+}
+
+Endpoint TcpAnyPort() {
+  Endpoint endpoint;
+  endpoint.kind = Endpoint::Kind::kTcp;
+  endpoint.host = "127.0.0.1";
+  endpoint.port = 0;  // Resolved at bind.
+  return endpoint;
+}
+
+/// The canonical test query (same shape as tests/transport_test.cc).
+DiscoveryRequest MakeRequest(const std::string& variant) {
+  DiscoveryRequest request;
+  request.task = "T2";
+  request.variant = variant;
+  request.epsilon = 0.25;
+  request.budget = 40;
+  request.maxl = 2;
+  request.measures = {"f1", "acc", "fisher", "mi"};
+  return request;
+}
+
+DiscoveryService::Options SmallServiceOptions() {
+  DiscoveryService::Options options;
+  options.sessions = 2;
+  options.queue_capacity = 16;
+  options.valuation_threads = 2;
+  options.task_row_scale = kRowScale;
+  return options;
+}
+
+/// An in-process discovery host speaking BOTH dialects on every
+/// endpoint: the line handler plus the HTTP router behind the sniffer.
+class HttpHost {
+ public:
+  explicit HttpHost(
+      DiscoveryService::Options service_options = SmallServiceOptions(),
+      LineServer::Options server_options = LineServer::Options())
+      : service_(service_options),
+        server_(
+            [this](const std::string& line) {
+              return HandleServiceLine(&service_, line);
+            },
+            server_options, service_.metrics()) {
+    server_.set_http_handler([this](const HttpRequest& request) {
+      return RouteHttpRequest(&service_, request);
+    });
+  }
+
+  ~HttpHost() { Stop(); }
+
+  Status Listen(const Endpoint& endpoint) { return server_.Listen(endpoint); }
+
+  void Start() {
+    serving_ = std::thread([this] { server_.Serve(); });
+  }
+
+  void Stop() {
+    server_.RequestStop();
+    if (serving_.joinable()) serving_.join();
+  }
+
+  DiscoveryService& service() { return service_; }
+  LineServer& server() { return server_; }
+  const Endpoint& endpoint(size_t i = 0) const {
+    return server_.endpoints().at(i);
+  }
+
+ private:
+  DiscoveryService service_;
+  LineServer server_;
+  std::thread serving_;
+};
+
+// ------------------------------------------------- minimal HTTP client
+
+struct HttpReply {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  // Lowercased.
+  std::string body;
+
+  const std::string* FindHeader(const std::string& lower_name) const {
+    for (const auto& [name, value] : headers) {
+      if (name == lower_name) return &value;
+    }
+    return nullptr;
+  }
+};
+
+std::string ToLowerCopy(std::string text) {
+  for (char& c : text) {
+    if (c >= 'A' && c <= 'Z') c = char(c - 'A' + 'a');
+  }
+  return text;
+}
+
+/// Reads one Content-Length-framed response. `carry` holds bytes beyond
+/// the previous response on the same connection (pipelining).
+Result<HttpReply> ReadHttpReply(ClientChannel* channel, std::string* carry) {
+  size_t head_end;
+  for (;;) {
+    head_end = carry->find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    auto chunk = channel->ReceiveRaw();
+    if (!chunk.ok()) return chunk.status();
+    if (chunk->empty()) {
+      return Status::IoError("connection closed before the header end");
+    }
+    *carry += *chunk;
+  }
+  HttpReply reply;
+  const size_t line_end = carry->find("\r\n");
+  const std::string status_line = carry->substr(0, line_end);
+  if (status_line.rfind("HTTP/1.1 ", 0) != 0 || status_line.size() < 12) {
+    return Status::InvalidArgument("bad status line: " + status_line);
+  }
+  reply.status = std::atoi(status_line.c_str() + 9);
+  size_t content_length = 0;
+  size_t pos = line_end + 2;
+  while (pos < head_end) {
+    const size_t end = carry->find("\r\n", pos);
+    const std::string line = carry->substr(pos, end - pos);
+    pos = end + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("bad header line: " + line);
+    }
+    std::string name = ToLowerCopy(line.substr(0, colon));
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.erase(value.begin());
+    }
+    if (name == "content-length") {
+      content_length = size_t(std::strtoull(value.c_str(), nullptr, 10));
+    }
+    reply.headers.emplace_back(std::move(name), std::move(value));
+  }
+  carry->erase(0, head_end + 4);
+  while (carry->size() < content_length) {
+    auto chunk = channel->ReceiveRaw();
+    if (!chunk.ok()) return chunk.status();
+    if (chunk->empty()) return Status::IoError("connection closed mid-body");
+    *carry += *chunk;
+  }
+  reply.body = carry->substr(0, content_length);
+  carry->erase(0, content_length);
+  return reply;
+}
+
+std::string HttpGetText(const std::string& path,
+                        const std::string& extra = "") {
+  return "GET " + path + " HTTP/1.1\r\nHost: test\r\n" + extra + "\r\n";
+}
+
+std::string HttpPostText(const std::string& path, const std::string& body,
+                         const std::string& extra = "") {
+  return "POST " + path + " HTTP/1.1\r\nHost: test\r\n" + extra +
+         "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+/// One request/response exchange on a fresh connection.
+Result<HttpReply> HttpRoundTrip(const Endpoint& endpoint,
+                                const std::string& wire) {
+  MODIS_ASSIGN_OR_RETURN(ClientChannel channel,
+                         ClientChannel::Connect(endpoint));
+  MODIS_RETURN_IF_ERROR(channel.SendRaw(wire));
+  std::string carry;
+  return ReadHttpReply(&channel, &carry);
+}
+
+// The typed statuses the front door may answer a malformed stream with.
+bool IsTypedParserError(int status) {
+  return status == 400 || status == 413 || status == 414 || status == 431 ||
+         status == 501 || status == 505;
+}
+
+// --------------------------------------------------------- parser units
+
+HttpParser::Limits TinyLimits() {
+  HttpParser::Limits limits;
+  limits.max_request_line_bytes = 128;
+  limits.max_header_bytes = 256;
+  limits.max_headers = 8;
+  limits.max_body_bytes = 512;
+  return limits;
+}
+
+TEST(HttpParserTest, ParsesRequestDeliveredOneByteAtATime) {
+  const std::string wire =
+      "POST /v1/query HTTP/1.1\r\n"
+      "Host: example\r\n"
+      "X-Api-Key: gold-key\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "hello world";
+  HttpParser parser;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_FALSE(parser.has_error()) << "at byte " << i;
+    EXPECT_EQ(parser.has_request(), false) << "complete early at byte " << i;
+    parser.Feed(&wire[i], 1);
+  }
+  ASSERT_TRUE(parser.has_request());
+  const HttpRequest request = parser.TakeRequest();
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.target, "/v1/query");
+  EXPECT_EQ(request.version_minor, 1);
+  EXPECT_TRUE(request.keep_alive);
+  EXPECT_EQ(request.body, "hello world");
+  ASSERT_NE(request.FindHeader("x-api-key"), nullptr);
+  EXPECT_EQ(*request.FindHeader("x-api-key"), "gold-key");
+  EXPECT_FALSE(parser.has_request());
+  EXPECT_FALSE(parser.has_error());
+}
+
+TEST(HttpParserTest, ParsesChunkedBodyWithExtensionsAndTrailers) {
+  const std::string wire =
+      "POST / HTTP/1.1\r\n"
+      "Transfer-Encoding: chunked\r\n"
+      "\r\n"
+      "6;ext=1\r\n"
+      "hello \r\n"
+      "5\r\n"
+      "world\r\n"
+      "0\r\n"
+      "X-Trailer: ignored\r\n"
+      "\r\n";
+  // Whole-buffer and byte-at-a-time delivery must agree.
+  for (const size_t step : {wire.size(), size_t(1)}) {
+    HttpParser parser;
+    for (size_t i = 0; i < wire.size(); i += step) {
+      parser.Feed(wire.data() + i, std::min(step, wire.size() - i));
+    }
+    ASSERT_TRUE(parser.has_request()) << "step " << step;
+    const HttpRequest request = parser.TakeRequest();
+    EXPECT_EQ(request.body, "hello world");
+    EXPECT_EQ(request.FindHeader("x-trailer"), nullptr)
+        << "trailers must be discarded";
+  }
+}
+
+TEST(HttpParserTest, PipelinedRequestsComeOutInOrder) {
+  HttpParser parser;
+  parser.Feed(
+      "GET /healthz HTTP/1.1\r\n\r\n"
+      "POST /v1/query HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /metrics HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.has_request());
+  EXPECT_EQ(parser.TakeRequest().target, "/healthz");
+  ASSERT_TRUE(parser.has_request());
+  const HttpRequest second = parser.TakeRequest();
+  EXPECT_EQ(second.target, "/v1/query");
+  EXPECT_EQ(second.body, "hi");
+  ASSERT_TRUE(parser.has_request());
+  EXPECT_EQ(parser.TakeRequest().target, "/metrics");
+  EXPECT_FALSE(parser.has_request());
+  EXPECT_FALSE(parser.has_error());
+}
+
+TEST(HttpParserTest, KeepAliveDefaultsByVersionAndConnectionOverrides) {
+  struct Case {
+    const char* head;
+    bool keep_alive;
+  };
+  const Case cases[] = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: foo, Close\r\n\r\n", false},
+  };
+  for (const Case& c : cases) {
+    HttpParser parser;
+    parser.Feed(c.head, std::strlen(c.head));
+    ASSERT_TRUE(parser.has_request()) << c.head;
+    EXPECT_EQ(parser.TakeRequest().keep_alive, c.keep_alive) << c.head;
+  }
+}
+
+TEST(HttpParserTest, ToleratesBoundedLeadingBlankLines) {
+  HttpParser ok;
+  ok.Feed("\r\n\r\nGET / HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(ok.has_request());
+
+  HttpParser bad;
+  bad.Feed("\r\n\r\n\r\n\r\n\r\n\r\nGET / HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(bad.has_error());
+  EXPECT_EQ(bad.error_status(), 400);
+}
+
+TEST(HttpParserTest, RejectsMalformedRequestLinesWithTypedStatus) {
+  struct Case {
+    const char* wire;
+    int status;
+  };
+  const Case cases[] = {
+      {"GET /\r\n\r\n", 400},                    // No version.
+      {"GET / HTTP/2.0\r\n\r\n", 505},           // Wrong major.
+      {"GET / HTTP/1.x\r\n\r\n", 400},           // Malformed version.
+      {"GET / HTTPS1.1\r\n\r\n", 400},           // Not HTTP/.
+      {"GET noslash HTTP/1.1\r\n\r\n", 400},     // Not origin-form.
+      {"G@T / HTTP/1.1\r\n\r\n", 400},           // Method not a token.
+      {" / HTTP/1.1\r\n\r\n", 400},              // Empty method.
+  };
+  for (const Case& c : cases) {
+    HttpParser parser;
+    parser.Feed(c.wire, std::strlen(c.wire));
+    ASSERT_TRUE(parser.has_error()) << c.wire;
+    EXPECT_EQ(parser.error_status(), c.status) << c.wire;
+    EXPECT_FALSE(parser.has_request());
+    // Sticky: further bytes cannot resurrect the stream.
+    parser.Feed("GET / HTTP/1.1\r\n\r\n");
+    EXPECT_TRUE(parser.has_error()) << c.wire;
+    EXPECT_FALSE(parser.has_request()) << c.wire;
+  }
+}
+
+TEST(HttpParserTest, RejectsFramingAmbiguityAndBadHeaders) {
+  struct Case {
+    const char* wire;
+    int status;
+  };
+  const Case cases[] = {
+      // Content-Length + Transfer-Encoding: the smuggling vector.
+      {"POST / HTTP/1.1\r\nContent-Length: 2\r\n"
+       "Transfer-Encoding: chunked\r\n\r\n",
+       400},
+      {"POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n", 501},
+      {"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n",
+       400},
+      {"POST / HTTP/1.1\r\nContent-Length: 2x\r\n\r\n", 400},
+      {"POST / HTTP/1.1\r\nContent-Length: -2\r\n\r\n", 400},
+      {"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", 400},
+      {"GET / HTTP/1.1\r\n: empty-name\r\n\r\n", 400},
+      {"GET / HTTP/1.1\r\nBad Name: x\r\n\r\n", 400},
+      {"GET / HTTP/1.1\r\nA: 1\r\n  folded\r\n\r\n", 400},  // Obs-fold.
+  };
+  for (const Case& c : cases) {
+    HttpParser parser;
+    parser.Feed(c.wire, std::strlen(c.wire));
+    ASSERT_TRUE(parser.has_error()) << c.wire;
+    EXPECT_EQ(parser.error_status(), c.status) << c.wire;
+  }
+}
+
+TEST(HttpParserTest, RejectsMalformedChunkedFraming) {
+  const char* head = "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  struct Case {
+    const char* rest;
+    int status;
+  };
+  const Case cases[] = {
+      {"zz\r\nhello\r\n0\r\n\r\n", 400},     // Non-hex size.
+      {"\r\nhello\r\n0\r\n\r\n", 400},       // Empty size line.
+      {"5\r\nhelloXX0\r\n\r\n", 400},        // Data not CRLF-terminated.
+      {"5\r\nhello\rX0\r\n\r\n", 400},       // CR without LF.
+  };
+  for (const Case& c : cases) {
+    HttpParser parser;
+    parser.Feed(head, std::strlen(head));
+    parser.Feed(c.rest, std::strlen(c.rest));
+    ASSERT_TRUE(parser.has_error()) << c.rest;
+    EXPECT_EQ(parser.error_status(), c.status) << c.rest;
+  }
+}
+
+TEST(HttpParserTest, EnforcesEverySizeCapWithItsOwnStatus) {
+  const HttpParser::Limits limits = TinyLimits();
+  {
+    HttpParser parser(limits);
+    parser.Feed("GET /" + std::string(limits.max_request_line_bytes, 'a') +
+                " HTTP/1.1\r\n\r\n");
+    ASSERT_TRUE(parser.has_error());
+    EXPECT_EQ(parser.error_status(), 414);
+  }
+  {
+    // An unterminated request line beyond the cap fails without ever
+    // seeing a newline — the cap cannot be dodged by withholding LF.
+    HttpParser parser(limits);
+    parser.Feed(std::string(limits.max_request_line_bytes + 2, 'a'));
+    ASSERT_TRUE(parser.has_error());
+    EXPECT_EQ(parser.error_status(), 414);
+  }
+  {
+    HttpParser parser(limits);
+    parser.Feed("GET / HTTP/1.1\r\nX: " +
+                std::string(limits.max_header_bytes, 'b') + "\r\n\r\n");
+    ASSERT_TRUE(parser.has_error());
+    EXPECT_EQ(parser.error_status(), 431);
+  }
+  {
+    HttpParser parser(limits);
+    std::string wire = "GET / HTTP/1.1\r\n";
+    for (size_t i = 0; i <= limits.max_headers; ++i) {
+      wire += "H" + std::to_string(i) + ": v\r\n";
+    }
+    wire += "\r\n";
+    parser.Feed(wire);
+    ASSERT_TRUE(parser.has_error());
+    EXPECT_EQ(parser.error_status(), 431);
+  }
+  {
+    HttpParser parser(limits);
+    parser.Feed("POST / HTTP/1.1\r\nContent-Length: " +
+                std::to_string(limits.max_body_bytes + 1) + "\r\n\r\n");
+    ASSERT_TRUE(parser.has_error());
+    EXPECT_EQ(parser.error_status(), 413);
+  }
+  {
+    // Chunked bodies hit the same cap cumulatively.
+    HttpParser parser(limits);
+    std::string wire = "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+    const std::string chunk(64, 'c');
+    for (size_t sent = 0; sent <= limits.max_body_bytes; sent += chunk.size()) {
+      wire += "40\r\n" + chunk + "\r\n";  // 0x40 == 64.
+    }
+    wire += "0\r\n\r\n";
+    parser.Feed(wire);
+    ASSERT_TRUE(parser.has_error());
+    EXPECT_EQ(parser.error_status(), 413);
+  }
+}
+
+/// A prefix of a valid request must never be an error and never a
+/// complete request: truncation at every byte boundary.
+TEST(HttpParserTest, TruncationAtEveryByteIsNeitherErrorNorRequest) {
+  const std::string wire =
+      "POST /v1/query HTTP/1.1\r\n"
+      "Host: h\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "12345";
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    HttpParser parser;
+    parser.Feed(wire.data(), cut);
+    EXPECT_FALSE(parser.has_error())
+        << "prefix of a valid request errored at byte " << cut << ": "
+        << parser.error_message();
+    EXPECT_FALSE(parser.has_request()) << "complete early at byte " << cut;
+    // Feeding the remainder always completes it.
+    parser.Feed(wire.data() + cut, wire.size() - cut);
+    ASSERT_TRUE(parser.has_request()) << "stuck after resume at byte " << cut;
+    EXPECT_EQ(parser.TakeRequest().body, "12345");
+  }
+}
+
+/// Single-bit-flip fuzz over the request line and headers: every
+/// mutation ends in a complete request, a typed error, or a wait for
+/// more bytes — never a crash (ASan/TSan make this a real check).
+TEST(HttpParserTest, SingleBitFlipFuzzOverHeadTerminatesTyped) {
+  const std::string head =
+      "POST /v1/query HTTP/1.1\r\n"
+      "Host: h\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n";
+  const std::string wire = head + "12345";
+  for (size_t i = 0; i < head.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = wire;
+      mutated[i] = char(uint8_t(mutated[i]) ^ uint8_t(1u << bit));
+      HttpParser parser;
+      parser.Feed(mutated);
+      if (parser.has_error()) {
+        EXPECT_TRUE(IsTypedParserError(parser.error_status()))
+            << "byte " << i << " bit " << bit << " -> untyped status "
+            << parser.error_status();
+      } else if (parser.has_request()) {
+        (void)parser.TakeRequest();  // Benign mutation (e.g. case flip).
+      }
+      // Else: the mutation grew the framing (Content-Length digit flip);
+      // the parser is waiting for bytes that never come — fine.
+    }
+  }
+}
+
+// ----------------------------------------------------------- sniffing
+
+TEST(SniffProtocolTest, ClassifiesPrefixes) {
+  EXPECT_EQ(SniffProtocol(""), ProtocolGuess::kNeedMoreBytes);
+  EXPECT_EQ(SniffProtocol("G"), ProtocolGuess::kNeedMoreBytes);
+  EXPECT_EQ(SniffProtocol("GET"), ProtocolGuess::kNeedMoreBytes);
+  EXPECT_EQ(SniffProtocol("GET "), ProtocolGuess::kHttp);
+  EXPECT_EQ(SniffProtocol("GET /metrics"), ProtocolGuess::kHttp);
+  EXPECT_EQ(SniffProtocol("POST /v1/query"), ProtocolGuess::kHttp);
+  EXPECT_EQ(SniffProtocol("OPTIONS"), ProtocolGuess::kNeedMoreBytes);
+  EXPECT_EQ(SniffProtocol("OPTIONS "), ProtocolGuess::kHttp);
+  EXPECT_EQ(SniffProtocol("{\"task\":\"T2\"}"), ProtocolGuess::kLineJson);
+  EXPECT_EQ(SniffProtocol("GETX"), ProtocolGuess::kLineJson);
+  EXPECT_EQ(SniffProtocol("get "), ProtocolGuess::kLineJson);  // Lowercase.
+}
+
+// ------------------------------------------------------ endpoint router
+
+TEST(HttpRouterTest, ServesQueryHealthzMetricsAndTypedErrors) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.default_cache_path = TempPath("http_router.rlog");
+  HttpHost host(options);
+  ASSERT_TRUE(host.Listen(UnixEndpoint("http_router.sock")).ok());
+  host.Start();
+
+  // POST /v1/query answers the canonical query.
+  const std::string body = SerializeDiscoveryRequest(MakeRequest("bi"));
+  auto query = HttpRoundTrip(host.endpoint(), HttpPostText("/v1/query", body));
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->status, 200);
+  ASSERT_NE(query->FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*query->FindHeader("content-type"), "application/json");
+  auto parsed = ParseDiscoveryResponse(query->body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->skyline.empty());
+
+  // GET /healthz.
+  auto health = HttpRoundTrip(host.endpoint(), HttpGetText("/healthz"));
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status, 200);
+  auto health_doc = JsonValue::Parse(health->body);
+  ASSERT_TRUE(health_doc.ok());
+  EXPECT_TRUE(health_doc->GetBool("ok", false));
+  EXPECT_FALSE(health_doc->GetBool("draining", true));
+
+  // GET /metrics is Prometheus exposition.
+  auto metrics = HttpRoundTrip(host.endpoint(), HttpGetText("/metrics"));
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->status, 200);
+  ASSERT_NE(metrics->FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*metrics->FindHeader("content-type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(metrics->body.find("modis_served_total 1"), std::string::npos)
+      << metrics->body.substr(0, 512);
+
+  // Unknown path -> 404; wrong method -> 405 with Allow; bad body -> 400.
+  auto missing = HttpRoundTrip(host.endpoint(), HttpGetText("/nope"));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+  auto wrong = HttpRoundTrip(host.endpoint(), HttpGetText("/v1/query"));
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_EQ(wrong->status, 405);
+  ASSERT_NE(wrong->FindHeader("allow"), nullptr);
+  EXPECT_EQ(*wrong->FindHeader("allow"), "POST");
+  auto bad = HttpRoundTrip(host.endpoint(),
+                           HttpPostText("/v1/query", "this is not json"));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, 400);
+  auto bad_doc = JsonValue::Parse(bad->body);
+  ASSERT_TRUE(bad_doc.ok());
+  EXPECT_FALSE(bad_doc->GetBool("ok", true));
+  EXPECT_EQ(bad_doc->GetString("code", ""), "InvalidArgument");
+
+  host.Stop();
+  const MetricsSnapshot snapshot = host.service().SnapshotMetrics();
+  EXPECT_EQ(snapshot.connections_active, 0u);
+  EXPECT_EQ(snapshot.http_requests, 6u);
+  EXPECT_EQ(snapshot.http_errors, 3u);
+}
+
+TEST(HttpRouterTest, KeepAliveServesPipelinedRequestsInOrder) {
+  HttpHost host;
+  ASSERT_TRUE(host.Listen(UnixEndpoint("http_pipeline.sock")).ok());
+  host.Start();
+
+  auto channel = ClientChannel::Connect(host.endpoint());
+  ASSERT_TRUE(channel.ok());
+  // Three pipelined requests in one write; responses come back in order
+  // on the same connection.
+  ASSERT_TRUE(channel
+                  ->SendRaw(HttpGetText("/healthz") + HttpGetText("/metrics") +
+                            HttpGetText("/healthz"))
+                  .ok());
+  std::string carry;
+  auto first = ReadHttpReply(&*channel, &carry);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status, 200);
+  EXPECT_NE(first->body.find("draining"), std::string::npos);
+  auto second = ReadHttpReply(&*channel, &carry);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second->body.find("modis_connections_opened_total"),
+            std::string::npos);
+  auto third = ReadHttpReply(&*channel, &carry);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->status, 200);
+
+  host.Stop();
+  const MetricsSnapshot snapshot = host.service().SnapshotMetrics();
+  EXPECT_EQ(snapshot.http_requests, 3u);
+  EXPECT_EQ(snapshot.connections_active, 0u);
+  EXPECT_EQ(snapshot.connections_opened, 1u);
+}
+
+// ------------------------------------------------- socket fault battery
+
+TEST(HttpFaultTest, TruncatedRequestsAtEveryByteLeakNothing) {
+  HttpHost host;
+  ASSERT_TRUE(host.Listen(UnixEndpoint("http_trunc.sock")).ok());
+  host.Start();
+
+  const std::string wire = HttpPostText(
+      "/v1/query", "{\"verb\":\"discover\",\"task\":\"T2\"}");
+  size_t opened = 0;
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    auto channel = ClientChannel::Connect(host.endpoint());
+    ASSERT_TRUE(channel.ok()) << "at byte " << cut;
+    ASSERT_TRUE(channel->SendRaw(wire.substr(0, cut)).ok()) << cut;
+    channel->Close();  // Mid-request disconnect at every boundary.
+    ++opened;
+  }
+
+  // The host is unharmed: a full request still answers.
+  auto probe = HttpRoundTrip(host.endpoint(), HttpGetText("/healthz"));
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(probe->status, 200);
+  ++opened;
+
+  // No session thread leaks: the drain returns with nothing active.
+  host.Stop();
+  const MetricsSnapshot snapshot = host.service().SnapshotMetrics();
+  EXPECT_EQ(snapshot.connections_active, 0u);
+  EXPECT_EQ(snapshot.connections_opened, opened);
+}
+
+TEST(HttpFaultTest, SingleBitFlipFuzzOverHeadNeverKillsTheHost) {
+  HttpHost host;
+  ASSERT_TRUE(host.Listen(UnixEndpoint("http_fuzz.sock")).ok());
+  host.Start();
+
+  const std::string head = HttpGetText("/healthz");
+  for (size_t i = 0; i < head.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = head;
+      mutated[i] = char(uint8_t(mutated[i]) ^ uint8_t(1u << bit));
+      auto channel = ClientChannel::Connect(host.endpoint());
+      ASSERT_TRUE(channel.ok()) << "byte " << i << " bit " << bit;
+      ASSERT_TRUE(channel->SendRaw(mutated).ok());
+      // Don't wait for a response: some mutations leave the server
+      // legitimately waiting for more bytes (a flipped newline grows
+      // the framing). Whatever state the session is in, the abrupt
+      // disconnect must never take the host down.
+      channel->Close();
+    }
+  }
+
+  auto probe = HttpRoundTrip(host.endpoint(), HttpGetText("/healthz"));
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(probe->status, 200);
+
+  host.Stop();
+  const MetricsSnapshot snapshot = host.service().SnapshotMetrics();
+  EXPECT_EQ(snapshot.connections_active, 0u);
+}
+
+TEST(HttpFaultTest, OversizedAndMalformedStreamsGetTypedErrorsThenClose) {
+  LineServer::Options server_options;
+  server_options.http.max_request_line_bytes = 256;
+  server_options.http.max_header_bytes = 512;
+  server_options.http.max_body_bytes = 1024;
+  HttpHost host(SmallServiceOptions(), server_options);
+  ASSERT_TRUE(host.Listen(UnixEndpoint("http_oversize.sock")).ok());
+  host.Start();
+
+  struct Case {
+    std::string wire;
+    int status;
+  };
+  const std::vector<Case> cases = {
+      {"GET /" + std::string(300, 'a') + " HTTP/1.1\r\n\r\n", 414},
+      {"GET / HTTP/1.1\r\nX: " + std::string(600, 'b') + "\r\n\r\n", 431},
+      {"POST / HTTP/1.1\r\nContent-Length: 4096\r\n\r\n", 413},
+      {"POST /v1/query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+       "zz\r\n",
+       400},
+      {"GET / HTTP/2.0\r\n\r\n", 505},
+      {"POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n", 501},
+  };
+  for (const Case& c : cases) {
+    auto channel = ClientChannel::Connect(host.endpoint());
+    ASSERT_TRUE(channel.ok());
+    ASSERT_TRUE(channel->SendRaw(c.wire).ok());
+    std::string carry;
+    auto reply = ReadHttpReply(&*channel, &carry);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->status, c.status) << c.wire.substr(0, 60);
+    ASSERT_NE(reply->FindHeader("connection"), nullptr);
+    EXPECT_EQ(*reply->FindHeader("connection"), "close");
+    // The connection is closed after the typed error: the stream cannot
+    // be resynced.
+    auto after = channel->ReceiveRaw();
+    ASSERT_TRUE(after.ok());
+    EXPECT_TRUE(after->empty()) << "connection still open after "
+                                << c.status;
+  }
+
+  host.Stop();
+  const MetricsSnapshot snapshot = host.service().SnapshotMetrics();
+  EXPECT_EQ(snapshot.connections_active, 0u);
+  EXPECT_EQ(snapshot.http_errors, cases.size());
+}
+
+TEST(HttpFaultTest, MidPipelineDisconnectCompletesWhatWasRead) {
+  HttpHost host;
+  ASSERT_TRUE(host.Listen(UnixEndpoint("http_middisc.sock")).ok());
+  host.Start();
+
+  {
+    auto channel = ClientChannel::Connect(host.endpoint());
+    ASSERT_TRUE(channel.ok());
+    // Three pipelined requests; read one response, then vanish.
+    ASSERT_TRUE(channel
+                    ->SendRaw(HttpGetText("/healthz") +
+                              HttpGetText("/metrics") +
+                              HttpGetText("/healthz"))
+                    .ok());
+    std::string carry;
+    auto first = ReadHttpReply(&*channel, &carry);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first->status, 200);
+    channel->Close();
+  }
+
+  auto probe = HttpRoundTrip(host.endpoint(), HttpGetText("/healthz"));
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(probe->status, 200);
+
+  host.Stop();
+  const MetricsSnapshot snapshot = host.service().SnapshotMetrics();
+  EXPECT_EQ(snapshot.connections_active, 0u);
+}
+
+// ----------------------------------------- line-JSON and HTTP share ports
+
+TEST(HttpTransportTest, BothDialectsShareOneTcpPort) {
+  HttpHost host;
+  ASSERT_TRUE(host.Listen(TcpAnyPort()).ok());
+  host.Start();
+
+  // Line-JSON on the port.
+  auto line_channel = ClientChannel::Connect(host.endpoint());
+  ASSERT_TRUE(line_channel.ok());
+  auto line_reply = line_channel->RoundTrip("{\"verb\":\"metrics\"}");
+  ASSERT_TRUE(line_reply.ok()) << line_reply.status().ToString();
+  auto doc = JsonValue::Parse(line_reply.value());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->GetBool("ok", false));
+
+  // HTTP on the same port.
+  auto http_reply = HttpRoundTrip(host.endpoint(), HttpGetText("/healthz"));
+  ASSERT_TRUE(http_reply.ok()) << http_reply.status().ToString();
+  EXPECT_EQ(http_reply->status, 200);
+
+  host.Stop();
+  const MetricsSnapshot snapshot = host.service().SnapshotMetrics();
+  EXPECT_EQ(snapshot.lines_served, 1u);
+  EXPECT_EQ(snapshot.http_requests, 1u);
+  EXPECT_EQ(snapshot.connections_active, 0u);
+}
+
+// ------------------------------------------------ cross-transport identity
+
+void ExpectSameSkylines(const DiscoveryResponse& a,
+                        const DiscoveryResponse& b) {
+  ASSERT_EQ(a.skyline.size(), b.skyline.size());
+  ASSERT_FALSE(a.skyline.empty());
+  auto sorted = [](const DiscoveryResponse& r) {
+    std::vector<DiscoverySkylineRow> rows = r.skyline;
+    std::sort(rows.begin(), rows.end(),
+              [](const DiscoverySkylineRow& x, const DiscoverySkylineRow& y) {
+                return x.signature < y.signature;
+              });
+    return rows;
+  };
+  const auto rows_a = sorted(a);
+  const auto rows_b = sorted(b);
+  for (size_t i = 0; i < rows_a.size(); ++i) {
+    EXPECT_EQ(rows_a[i].signature, rows_b[i].signature);
+    ASSERT_EQ(rows_a[i].raw.size(), rows_b[i].raw.size());
+    for (size_t j = 0; j < rows_a[i].raw.size(); ++j) {
+      EXPECT_EQ(rows_a[i].raw[j], rows_b[i].raw[j]);
+      EXPECT_EQ(rows_a[i].normalized[j], rows_b[i].normalized[j]);
+    }
+  }
+}
+
+/// The cross-transport identity gate: the same warm query over unix
+/// line-JSON, TCP line-JSON, and HTTP returns byte-identical skyline
+/// rows, with exact_evals == 0 on every warm path.
+TEST(HttpTransportTest, WarmAnswersAreIdenticalAcrossAllThreeTransports) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.default_cache_path = TempPath("http_identity.rlog");
+  HttpHost host(options);
+  ASSERT_TRUE(host.Listen(UnixEndpoint("http_identity.sock")).ok());
+  ASSERT_TRUE(host.Listen(TcpAnyPort()).ok());
+  host.Start();
+
+  const std::string request = SerializeDiscoveryRequest(MakeRequest("bi"));
+
+  // Cold once (over unix) to warm the record cache.
+  auto cold_channel = ClientChannel::Connect(host.endpoint(0));
+  ASSERT_TRUE(cold_channel.ok());
+  auto cold_reply = cold_channel->RoundTrip(request);
+  ASSERT_TRUE(cold_reply.ok());
+  auto cold = ParseDiscoveryResponse(cold_reply.value());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_GT(cold->exact_evals, 0u);
+
+  // Warm via unix line-JSON.
+  auto unix_reply = cold_channel->RoundTrip(request);
+  ASSERT_TRUE(unix_reply.ok());
+  auto warm_unix = ParseDiscoveryResponse(unix_reply.value());
+  ASSERT_TRUE(warm_unix.ok()) << warm_unix.status().ToString();
+
+  // Warm via TCP line-JSON.
+  auto tcp_channel = ClientChannel::Connect(host.endpoint(1));
+  ASSERT_TRUE(tcp_channel.ok());
+  auto tcp_reply = tcp_channel->RoundTrip(request);
+  ASSERT_TRUE(tcp_reply.ok());
+  auto warm_tcp = ParseDiscoveryResponse(tcp_reply.value());
+  ASSERT_TRUE(warm_tcp.ok()) << warm_tcp.status().ToString();
+
+  // Warm via HTTP on the TCP port.
+  auto http_reply =
+      HttpRoundTrip(host.endpoint(1), HttpPostText("/v1/query", request));
+  ASSERT_TRUE(http_reply.ok()) << http_reply.status().ToString();
+  ASSERT_EQ(http_reply->status, 200);
+  auto warm_http = ParseDiscoveryResponse(http_reply->body);
+  ASSERT_TRUE(warm_http.ok()) << warm_http.status().ToString();
+
+  EXPECT_EQ(warm_unix->exact_evals, 0u);
+  EXPECT_EQ(warm_tcp->exact_evals, 0u);
+  EXPECT_EQ(warm_http->exact_evals, 0u);
+  ExpectSameSkylines(*cold, *warm_unix);
+  ExpectSameSkylines(*warm_unix, *warm_tcp);
+  ExpectSameSkylines(*warm_tcp, *warm_http);
+
+  host.Stop();
+}
+
+// -------------------------------------------------- exposition parity
+
+/// Finds `series` (a metric name, optionally with a label set, e.g.
+/// `modis_tenant_shed_total{tenant="gold"}`) at the start of a line and
+/// returns its sample value.
+double PromValue(const std::string& exposition, const std::string& series,
+                 bool* found) {
+  size_t pos = 0;
+  while ((pos = exposition.find(series, pos)) != std::string::npos) {
+    const bool at_line_start = pos == 0 || exposition[pos - 1] == '\n';
+    const size_t after = pos + series.size();
+    if (at_line_start && after < exposition.size() &&
+        exposition[after] == ' ') {
+      *found = true;
+      return std::strtod(exposition.c_str() + after + 1, nullptr);
+    }
+    pos = after;
+  }
+  *found = false;
+  return 0.0;
+}
+
+/// Every line of a 0.0.4 exposition is a comment (`# HELP`/`# TYPE`) or
+/// a `name[{labels}] value` sample with a parseable value.
+void ExpectValidExposition(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  size_t samples = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+    const char first = line[0];
+    EXPECT_TRUE((first >= 'a' && first <= 'z') ||
+                (first >= 'A' && first <= 'Z') || first == '_')
+        << line;
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    (void)std::strtod(value.c_str(), &end);
+    EXPECT_TRUE(end != nullptr && *end == '\0') << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u);
+}
+
+/// The parity contract: GET /metrics and the `{"verb":"metrics"}` wire
+/// snapshot agree value-for-value over the SAME quiesced snapshot.
+TEST(ExpositionParityTest, PrometheusAgreesWithWireMetricsValueForValue) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  TenantSpec gold;
+  gold.name = "gold";
+  gold.api_key = "gold-key";
+  gold.rate_per_s = 1000.0;
+  gold.burst = 1000.0;
+  gold.priority = 10;
+  TenantSpec bronze;
+  bronze.name = "bronze";
+  bronze.api_key = "bronze-key";
+  bronze.rate_per_s = 0.0;
+  bronze.burst = 2.0;
+  options.tenants = {gold, bronze};
+  DiscoveryService service(options);
+
+  DiscoveryRequest request = MakeRequest("bi");
+  request.api_key = "gold-key";
+  ASSERT_TRUE(service.Answer(request).ok());
+  // Exhaust bronze's bucket so rate-limit counters are non-zero too.
+  request.api_key = "bronze-key";
+  ASSERT_TRUE(service.Answer(request).ok());
+  ASSERT_TRUE(service.Answer(request).ok());
+  auto limited = service.Answer(request);
+  ASSERT_FALSE(limited.ok());
+  EXPECT_EQ(limited.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(RetryAfterSeconds(limited.status()), 0.0);
+
+  const MetricsSnapshot snapshot = service.SnapshotMetrics();
+  const std::string exposition = PrometheusExposition(snapshot);
+  ExpectValidExposition(exposition);
+
+  auto wire = JsonValue::Parse(SerializeServiceMetrics(snapshot));
+  ASSERT_TRUE(wire.ok());
+  const JsonValue* metrics = wire->Get("metrics");
+  ASSERT_NE(metrics, nullptr);
+
+  for (const ScalarMetricDesc& desc : ScalarMetricDescriptors()) {
+    bool found = false;
+    const double prom = PromValue(exposition, desc.prom_name, &found);
+    EXPECT_TRUE(found) << desc.prom_name;
+    EXPECT_EQ(prom, metrics->GetNumber(desc.json_name, -1.0))
+        << desc.json_name;
+  }
+  {
+    bool found = false;
+    EXPECT_EQ(PromValue(exposition, "modis_draining", &found), 0.0);
+    EXPECT_TRUE(found);
+  }
+  for (const char* histogram : {"queue_ms", "run_ms", "total_ms"}) {
+    const JsonValue* json = metrics->Get(histogram);
+    ASSERT_NE(json, nullptr) << histogram;
+    bool found = false;
+    EXPECT_EQ(PromValue(exposition,
+                        "modis_" + std::string(histogram) + "_count", &found),
+              json->GetNumber("count", -1.0))
+        << histogram;
+    EXPECT_TRUE(found);
+    EXPECT_DOUBLE_EQ(
+        PromValue(exposition, "modis_" + std::string(histogram) + "_sum",
+                  &found),
+        json->GetNumber("sum_ms", -1.0))
+        << histogram;
+    EXPECT_TRUE(found);
+  }
+  const JsonValue* tenants = metrics->Get("tenants");
+  ASSERT_NE(tenants, nullptr);
+  ASSERT_TRUE(tenants->is_array());
+  ASSERT_EQ(tenants->AsArray().size(), 3u);  // gold, bronze, anonymous.
+  for (const JsonValue& tenant : tenants->AsArray()) {
+    const std::string name = tenant.GetString("name", "");
+    for (const TenantMetricDesc& desc : TenantMetricDescriptors()) {
+      bool found = false;
+      const double prom =
+          PromValue(exposition,
+                    std::string(desc.prom_name) + "{tenant=\"" + name + "\"}",
+                    &found);
+      EXPECT_TRUE(found) << desc.prom_name << " for " << name;
+      EXPECT_EQ(prom, tenant.GetNumber(desc.json_name, -1.0))
+          << desc.json_name << " for " << name;
+    }
+  }
+  // Spot-check the counters are what this scenario must have produced.
+  bool found = false;
+  EXPECT_EQ(PromValue(exposition, "modis_qos_rate_limited_total", &found),
+            1.0);
+  EXPECT_EQ(
+      PromValue(exposition, "modis_tenant_admitted_total{tenant=\"gold\"}",
+                &found),
+      1.0);
+  EXPECT_EQ(
+      PromValue(exposition,
+                "modis_tenant_rate_limited_total{tenant=\"bronze\"}", &found),
+      1.0);
+}
+
+// --------------------------------------------------------- QoS over HTTP
+
+TEST(HttpQosTest, RateLimitedTenantGets429WithRetryAfter) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  TenantSpec bronze;
+  bronze.name = "bronze";
+  bronze.api_key = "bronze-key";
+  bronze.rate_per_s = 0.0;  // Never refills: deterministic burst-then-429.
+  bronze.burst = 2.0;
+  options.tenants = {bronze};
+  HttpHost host(options);
+  ASSERT_TRUE(host.Listen(UnixEndpoint("http_qos.sock")).ok());
+  host.Start();
+
+  const std::string body = SerializeDiscoveryRequest(MakeRequest("bi"));
+  const std::string wire =
+      HttpPostText("/v1/query", body, "X-Api-Key: bronze-key\r\n");
+  for (int i = 0; i < 2; ++i) {
+    auto reply = HttpRoundTrip(host.endpoint(), wire);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->status, 200) << "request " << i;
+  }
+  auto limited = HttpRoundTrip(host.endpoint(), wire);
+  ASSERT_TRUE(limited.ok()) << limited.status().ToString();
+  EXPECT_EQ(limited->status, 429);
+  ASSERT_NE(limited->FindHeader("retry-after"), nullptr);
+  EXPECT_GE(std::atoi(limited->FindHeader("retry-after")->c_str()), 1);
+  auto doc = JsonValue::Parse(limited->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetString("code", ""), "ResourceExhausted");
+  EXPECT_GT(doc->GetNumber("retry_after_s", 0.0), 0.0);
+
+  // An unknown key lands on the unlimited anonymous tenant: still served.
+  auto anonymous = HttpRoundTrip(
+      host.endpoint(), HttpPostText("/v1/query", body, "X-Api-Key: who\r\n"));
+  ASSERT_TRUE(anonymous.ok());
+  EXPECT_EQ(anonymous->status, 200);
+
+  host.Stop();
+  const MetricsSnapshot snapshot = host.service().SnapshotMetrics();
+  EXPECT_EQ(snapshot.qos_rate_limited, 1u);
+  ASSERT_EQ(snapshot.tenants.size(), 2u);
+  EXPECT_EQ(snapshot.tenants[0].name, "bronze");
+  EXPECT_EQ(snapshot.tenants[0].admitted, 2u);
+  EXPECT_EQ(snapshot.tenants[0].rate_limited, 1u);
+  EXPECT_EQ(snapshot.tenants[0].served, 2u);
+  EXPECT_EQ(snapshot.tenants[0].in_flight, 0u);
+  EXPECT_EQ(snapshot.tenants[1].name, "anonymous");
+  EXPECT_EQ(snapshot.tenants[1].admitted, 1u);
+}
+
+}  // namespace
+}  // namespace modis

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,6 +17,7 @@
 #include "ml/random_forest.h"
 #include "service/discovery_service.h"
 #include "service/json.h"
+#include "service/qos.h"
 #include "service/wire.h"
 #include "storage/record_log.h"
 
@@ -633,6 +636,342 @@ TEST(ServiceSatelliteTest, ModelIdentityScopesTheTaskFingerprint) {
   MoGbmOracle surrogate(&forest);
   EXPECT_EQ(exact.ModelIdentity(), forest.ModelIdentity());
   EXPECT_EQ(surrogate.ModelIdentity(), forest.ModelIdentity());
+}
+
+// -------------------------------------------------------- multi-tenant QoS
+
+TEST(QosTest, ParseTenantSpecGrammarAndErrors) {
+  auto full = ParseTenantSpec("gold:gold-key:5:10:3:7");
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full->name, "gold");
+  EXPECT_EQ(full->api_key, "gold-key");
+  EXPECT_EQ(full->rate_per_s, 5.0);
+  EXPECT_EQ(full->burst, 10.0);
+  EXPECT_EQ(full->max_in_flight, 3u);
+  EXPECT_EQ(full->priority, 7);
+
+  auto minimal = ParseTenantSpec("free:free-key");
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_EQ(minimal->rate_per_s, 0.0);
+  EXPECT_EQ(minimal->burst, 0.0);  // No bucket: unlimited rate.
+  EXPECT_EQ(minimal->max_in_flight, 0u);
+  EXPECT_EQ(minimal->priority, 0);
+
+  auto catch_all = ParseTenantSpec("default::0:0:2:-1");
+  ASSERT_TRUE(catch_all.ok());
+  EXPECT_TRUE(catch_all->api_key.empty());  // Catch-all tenant.
+  EXPECT_EQ(catch_all->priority, -1);
+
+  for (const char* bad :
+       {"", ":key", "na me:key", "t:key:-1", "t:key:5:0",  // rate needs burst
+        "t:key:5:x", "t:key:0:0:1.5", "t:key:0:0:0:9999", "t:key:0:0:0:x"}) {
+    EXPECT_FALSE(ParseTenantSpec(bad).ok()) << bad;
+  }
+
+  const Status rejected = QosRejected("gold", "rate limited", 2.5);
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(RetryAfterSeconds(rejected), 2.5);
+  EXPECT_EQ(RetryAfterSeconds(Status::OK()), 0.0);
+  EXPECT_EQ(RetryAfterSeconds(Status::ResourceExhausted("no hint")), 0.0);
+}
+
+/// The fairness gate: a rate-limited tenant gets 429s while every other
+/// tenant's answers stay byte-identical to an uncontended (QoS-off) run.
+TEST(QosTest, RateLimitedTenantDoesNotPerturbOtherTenantsAnswers) {
+  // Uncontended reference: identical service shape and query sequence,
+  // no QoS. Rate-limited queries never execute, so the contended run
+  // below must reproduce these counters exactly.
+  DiscoveryResponse reference;
+  {
+    DiscoveryService service(SmallServiceOptions());
+    ASSERT_TRUE(service.Answer(MakeRequest("apx")).ok());
+    auto response = service.Answer(MakeRequest("bi"));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    reference = std::move(response).value();
+  }
+
+  DiscoveryService::Options options = SmallServiceOptions();
+  TenantSpec gold;
+  gold.name = "gold";
+  gold.api_key = "gold-key";
+  gold.priority = 10;
+  TenantSpec bronze;
+  bronze.name = "bronze";
+  bronze.api_key = "bronze-key";
+  bronze.rate_per_s = 0.0;  // Never refills: deterministic burst-then-429.
+  bronze.burst = 1.0;
+  options.tenants = {gold, bronze};
+  DiscoveryService service(options);
+
+  DiscoveryRequest bronze_request = MakeRequest("apx");
+  bronze_request.api_key = "bronze-key";
+  ASSERT_TRUE(service.Answer(bronze_request).ok());
+  for (int i = 0; i < 3; ++i) {
+    auto limited = service.Answer(bronze_request);
+    ASSERT_FALSE(limited.ok());
+    EXPECT_EQ(limited.status().code(), StatusCode::kResourceExhausted) << i;
+    EXPECT_GT(RetryAfterSeconds(limited.status()), 0.0) << i;
+  }
+
+  DiscoveryRequest gold_request = MakeRequest("bi");
+  gold_request.api_key = "gold-key";
+  auto gold_response = service.Answer(gold_request);
+  ASSERT_TRUE(gold_response.ok()) << gold_response.status().ToString();
+  ExpectSameSkylines(reference, gold_response.value());
+  EXPECT_EQ(gold_response->exact_evals, reference.exact_evals);
+  EXPECT_EQ(gold_response->valuated_states, reference.valuated_states);
+
+  const MetricsSnapshot snapshot = service.SnapshotMetrics();
+  EXPECT_EQ(snapshot.qos_rate_limited, 3u);
+  ASSERT_EQ(snapshot.tenants.size(), 3u);  // gold, bronze, anonymous.
+  EXPECT_EQ(snapshot.tenants[0].name, "gold");
+  EXPECT_EQ(snapshot.tenants[0].served, 1u);
+  EXPECT_EQ(snapshot.tenants[1].name, "bronze");
+  EXPECT_EQ(snapshot.tenants[1].rate_limited, 3u);
+  EXPECT_EQ(snapshot.tenants[1].served, 1u);
+}
+
+/// Blocks until the admission queue is empty (every queued job picked up
+/// by a session) — the hook the deterministic QoS tests use to pin the
+/// queue state before overloading it.
+void WaitForEmptyQueue(DiscoveryService* service) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (service->SnapshotMetrics().queue_depth > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(service->SnapshotMetrics().queue_depth, 0u);
+}
+
+TEST(QosTest, InFlightQuotaRejectsTheExcessSynchronously) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.sessions = 1;
+  TenantSpec capped;
+  capped.name = "capped";
+  capped.api_key = "capped-key";
+  capped.max_in_flight = 2;
+  options.tenants = {capped};
+  DiscoveryService service(options);
+
+  DiscoveryRequest request = MakeRequest("apx");
+  request.api_key = "capped-key";
+  std::atomic<size_t> completed{0};
+  const auto count_done = [&completed](Result<DiscoveryResponse> response) {
+    EXPECT_TRUE(response.ok());
+    completed.fetch_add(1);
+  };
+  // The quota counts queued AND executing work: two submits fill it (one
+  // executing on the single session, one queued), the third is rejected
+  // at the door, synchronously.
+  ASSERT_TRUE(service.Submit(request, count_done).ok());
+  ASSERT_TRUE(service.Submit(request, count_done).ok());
+  const Status third = service.Submit(request, count_done);
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(third.message().find("in-flight quota"), std::string::npos);
+  EXPECT_GT(RetryAfterSeconds(third), 0.0);
+
+  const MetricsSnapshot snapshot = service.SnapshotMetrics();
+  ASSERT_EQ(snapshot.tenants.size(), 2u);
+  EXPECT_EQ(snapshot.tenants[0].quota_rejected, 1u);
+}
+
+/// The shed-ordering gate: under a full queue, the cheapest-to-retry
+/// queued work goes first — low priority before high, cold before warm —
+/// and work that outranks nothing is rejected at the door instead.
+TEST(QosTest, ShedOrderingDisplacesLowPriorityColdBeforeHighWarm) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.sessions = 1;
+  options.queue_capacity = 2;
+  TenantSpec low;
+  low.name = "low";
+  low.api_key = "low-key";
+  low.priority = 0;
+  TenantSpec high;
+  high.name = "high";
+  high.api_key = "high-key";
+  high.priority = 10;
+  options.tenants = {low, high};
+  auto service = std::make_unique<DiscoveryService>(options);
+
+  // Pre-warm one query so the shed ordering can tell warm from cold
+  // (warmth is keyed on the request with the credential stripped).
+  DiscoveryRequest warm_request = MakeRequest("apx");
+  warm_request.api_key = "low-key";
+  ASSERT_TRUE(service->Answer(warm_request).ok());
+
+  std::mutex mu;
+  std::vector<std::string> events;
+  const auto record = [&mu, &events](const std::string& label) {
+    return [&mu, &events, label](Result<DiscoveryResponse> response) {
+      std::string event = label;
+      if (response.ok()) {
+        event += ":ok";
+      } else if (response.status().message().find("shed under overload") !=
+                 std::string::npos) {
+        event += ":shed";
+        EXPECT_EQ(response.status().code(), StatusCode::kResourceExhausted);
+      } else {
+        event += ":" + response.status().ToString();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      events.push_back(std::move(event));
+    };
+  };
+
+  // Occupy the single session (a cold query runs for hundreds of ms;
+  // every submit below lands within microseconds of each other).
+  ASSERT_TRUE(service->Submit(MakeRequest("bi"), record("blocker")).ok());
+  WaitForEmptyQueue(service.get());
+
+  // Fill the queue to capacity: a low-priority cold job and the
+  // low-priority warm one.
+  DiscoveryRequest low_cold = MakeRequest("div");
+  low_cold.api_key = "low-key";
+  ASSERT_TRUE(service->Submit(low_cold, record("low-cold")).ok());
+  ASSERT_TRUE(service->Submit(warm_request, record("low-warm")).ok());
+
+  // A high-priority submit displaces the low-priority COLD job first
+  // (the warm one is nearly free to produce, so the cold one is the
+  // better retry candidate) ...
+  DiscoveryRequest high_cold = MakeRequest("nobi");
+  high_cold.api_key = "high-key";
+  ASSERT_TRUE(service->Submit(high_cold, record("high-1")).ok());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0], "low-cold:shed");
+  }
+
+  // ... and the next one displaces the low-priority WARM job.
+  DiscoveryRequest high_cold2 = MakeRequest("bi");
+  high_cold2.api_key = "high-key";
+  ASSERT_TRUE(service->Submit(high_cold2, record("high-2")).ok());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[1], "low-warm:shed");
+  }
+
+  // With only high-priority work queued, a low submit outranks nothing:
+  // rejected at the door, not displacing anything.
+  const Status door = service->Submit(low_cold, record("low-again"));
+  ASSERT_FALSE(door.ok());
+  EXPECT_EQ(door.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(door.message().find("queue full"), std::string::npos);
+
+  // Drain: everything still queued completes, highest priority first.
+  service.reset();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(events.size(), 5u);
+    EXPECT_EQ(events[2], "blocker:ok");
+    EXPECT_EQ(events[3], "high-1:ok");
+    EXPECT_EQ(events[4], "high-2:ok");
+  }
+}
+
+/// Drain mid-overload: every job accepted before the drain completes in
+/// full; every shed job saw exactly one ResourceExhausted callback; no
+/// callback is ever dropped.
+TEST(QosTest, DrainMidOverloadCompletesAllAcceptedWork) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.sessions = 1;
+  options.queue_capacity = 2;
+  TenantSpec low;
+  low.name = "low";
+  low.api_key = "low-key";
+  low.priority = 0;
+  TenantSpec high;
+  high.name = "high";
+  high.api_key = "high-key";
+  high.priority = 10;
+  options.tenants = {low, high};
+  auto* service = new DiscoveryService(options);
+
+  std::atomic<size_t> completed{0};
+  std::atomic<size_t> shed{0};
+  size_t accepted = 0;
+  size_t door_rejected = 0;
+  const std::vector<std::string> variants = {"apx", "nobi", "bi", "div"};
+  for (size_t i = 0; i < 8; ++i) {
+    DiscoveryRequest request = MakeRequest(variants[i % variants.size()]);
+    request.api_key = (i % 2 == 0) ? "low-key" : "high-key";
+    const Status submitted = service->Submit(
+        request, [&completed, &shed](Result<DiscoveryResponse> response) {
+          if (response.ok()) {
+            completed.fetch_add(1);
+          } else {
+            EXPECT_EQ(response.status().code(),
+                      StatusCode::kResourceExhausted);
+            shed.fetch_add(1);
+          }
+        });
+    if (submitted.ok()) {
+      ++accepted;
+    } else {
+      ++door_rejected;
+      EXPECT_EQ(submitted.code(), StatusCode::kResourceExhausted);
+    }
+  }
+  EXPECT_GE(accepted, 3u);  // The executing job + a full queue, at least.
+
+  const auto stats_before = service->stats();
+  delete service;  // Drain mid-overload.
+
+  // Every accepted job resolved exactly once: completed or shed.
+  EXPECT_EQ(completed.load() + shed.load(), accepted);
+  EXPECT_EQ(stats_before.accepted, accepted);
+  EXPECT_EQ(accepted + door_rejected, 8u);
+}
+
+TEST(QosTest, HighPriorityJumpsTheAdmissionQueue) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.sessions = 1;
+  options.queue_capacity = 8;
+  TenantSpec low;
+  low.name = "low";
+  low.api_key = "low-key";
+  low.priority = 0;
+  TenantSpec high;
+  high.name = "high";
+  high.api_key = "high-key";
+  high.priority = 10;
+  options.tenants = {low, high};
+
+  std::mutex mu;
+  std::vector<std::string> order;
+  const auto record = [&mu, &order](const std::string& label) {
+    return [&mu, &order, label](Result<DiscoveryResponse> response) {
+      EXPECT_TRUE(response.ok()) << label;
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(label);
+    };
+  };
+
+  {
+    DiscoveryService service(options);
+    ASSERT_TRUE(service.Submit(MakeRequest("bi"), record("blocker")).ok());
+    WaitForEmptyQueue(&service);
+
+    DiscoveryRequest low_request = MakeRequest("apx");
+    low_request.api_key = "low-key";
+    DiscoveryRequest high_request = MakeRequest("nobi");
+    high_request.api_key = "high-key";
+    ASSERT_TRUE(service.Submit(low_request, record("low-1")).ok());
+    low_request.variant = "div";
+    ASSERT_TRUE(service.Submit(low_request, record("low-2")).ok());
+    ASSERT_TRUE(service.Submit(high_request, record("high")).ok());
+  }  // Destructor drains.
+
+  // The high-priority job was submitted last but runs first; the two
+  // low jobs keep FIFO order between themselves.
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "blocker");
+  EXPECT_EQ(order[1], "high");
+  EXPECT_EQ(order[2], "low-1");
+  EXPECT_EQ(order[3], "low-2");
 }
 
 }  // namespace
