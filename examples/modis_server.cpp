@@ -26,6 +26,10 @@
 ///             [--tenant SPEC]    QoS tenant (repeatable); SPEC is
 ///                                NAME:API_KEY[:RATE[:BURST[:MAX_IN_FLIGHT
 ///                                [:PRIORITY]]]] — see docs/SERVING.md §7
+///             [--log-level L]    debug | info (default) | warn | error
+///             [--log-json]       one JSON object per log line
+///             [--slow-query-ms N]  WARN queries slower than N ms (0 = off)
+///             [--trace-ring N]   retained recent AND slow traces (def. 16)
 ///
 /// --socket and --listen may be combined; both transports answer from the
 /// same service. With --http each connection is protocol-sniffed: HTTP
@@ -46,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "service/discovery_service.h"
 #include "service/http.h"
 #include "service/qos.h"
@@ -75,6 +80,10 @@ struct Args {
   double row_scale = 1.0;
   bool http = false;
   std::vector<TenantSpec> tenants;
+  std::string log_level = "info";
+  bool log_json = false;
+  double slow_query_ms = 0.0;
+  size_t trace_ring = 16;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -132,6 +141,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->row_scale = std::stod(value);
     } else if (flag == "--http") {
       args->http = true;
+    } else if (flag == "--log-level") {
+      if (!next(&args->log_level)) return false;
+    } else if (flag == "--log-json") {
+      args->log_json = true;
+    } else if (flag == "--slow-query-ms") {
+      if (!next(&value)) return false;
+      args->slow_query_ms = std::stod(value);
+    } else if (flag == "--trace-ring") {
+      if (!next(&value)) return false;
+      args->trace_ring = std::stoul(value);
     } else if (flag == "--tenant") {
       if (!next(&value)) return false;
       auto spec = ParseTenantSpec(value);
@@ -196,11 +215,10 @@ void Preload(DiscoveryService* service, const std::string& tasks) {
     if (!task.empty()) {
       const Status preloaded = service->Preload(task);
       if (preloaded.ok()) {
-        std::printf("modis_server: preloaded %s\n", task.c_str());
-        std::fflush(stdout);
+        MODIS_LOG(INFO, "server").Tag("task", task) << "preloaded";
       } else {
-        std::fprintf(stderr, "modis_server: preload %s failed: %s\n",
-                     task.c_str(), preloaded.ToString().c_str());
+        MODIS_LOG(WARN, "server").Tag("task", task)
+            << "preload failed: " << preloaded.ToString();
       }
     }
     if (comma == std::string::npos) break;
@@ -222,6 +240,17 @@ int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return 2;
 
+  LogLevel log_level = LogLevel::kInfo;
+  if (!ParseLogLevel(args.log_level, &log_level)) {
+    std::fprintf(stderr,
+                 "modis_server: --log-level %s is not one of "
+                 "debug|info|warn|error\n",
+                 args.log_level.c_str());
+    return 2;
+  }
+  SetLogLevel(log_level);
+  SetLogJson(args.log_json);
+
   if (!args.batch_request.empty()) return RunBatch(args);
 
 #if !defined(_WIN32)
@@ -240,10 +269,12 @@ int main(int argc, char** argv) {
   options.context_idle_ttl_s = args.context_ttl;
   options.task_row_scale = args.row_scale;
   options.tenants = args.tenants;
+  options.slow_query_ms = args.slow_query_ms;
+  options.trace_recent_capacity = args.trace_ring;
+  options.trace_slow_capacity = args.trace_ring;
   auto mode = ParseCacheMode(args.cache_mode);
   if (!mode.ok()) {
-    std::fprintf(stderr, "modis_server: %s\n",
-                 mode.status().ToString().c_str());
+    MODIS_LOG(ERROR, "server") << mode.status().ToString();
     return 2;
   }
   options.default_cache_mode = mode.value();
@@ -251,21 +282,21 @@ int main(int argc, char** argv) {
   DiscoveryService service(options);
   if (!args.cache.empty() && options.default_cache_mode != CacheMode::kOff) {
     if (options.cache_max_bytes > 0) {
-      std::printf("modis_server: record cache budget: %llu bytes\n",
-                  static_cast<unsigned long long>(options.cache_max_bytes));
+      MODIS_LOG(INFO, "server")
+          .Tag("bytes", options.cache_max_bytes)
+          << "record cache budget: " << options.cache_max_bytes << " bytes";
     } else {
-      std::printf(
-          "modis_server: record cache budget: unbounded "
-          "(--cache-max-bytes 0)\n");
+      MODIS_LOG(INFO, "server")
+          << "record cache budget: unbounded (--cache-max-bytes 0)";
     }
-    std::fflush(stdout);
   }
 
   if (args.stdio) {
     Preload(&service, args.tasks);
     ServeStdio(&service);
-    std::printf("modis_server: final %s\n",
-                SerializeServiceMetrics(service.SnapshotMetrics()).c_str());
+    MODIS_LOG(INFO, "server")
+        << "final "
+        << SerializeServiceMetrics(service.SnapshotMetrics());
     return 0;
   }
 
@@ -288,8 +319,7 @@ int main(int argc, char** argv) {
     endpoint.kind = Endpoint::Kind::kUnix;
     endpoint.path = args.socket_path;
     if (Status listening = server.Listen(endpoint); !listening.ok()) {
-      std::fprintf(stderr, "modis_server: %s\n",
-                   listening.ToString().c_str());
+      MODIS_LOG(ERROR, "server") << listening.ToString();
       return 1;
     }
   }
@@ -298,32 +328,34 @@ int main(int argc, char** argv) {
         args.listen.rfind("tcp:", 0) == 0 ? args.listen
                                           : "tcp:" + args.listen);
     if (!endpoint.ok()) {
-      std::fprintf(stderr, "modis_server: %s\n",
-                   endpoint.status().ToString().c_str());
+      MODIS_LOG(ERROR, "server") << endpoint.status().ToString();
       return 2;
     }
     if (Status listening = server.Listen(endpoint.value());
         !listening.ok()) {
-      std::fprintf(stderr, "modis_server: %s\n",
-                   listening.ToString().c_str());
+      MODIS_LOG(ERROR, "server") << listening.ToString();
       return 1;
     }
   }
   for (const Endpoint& endpoint : server.endpoints()) {
-    std::printf("modis_server: serving on %s\n",
-                endpoint.ToString().c_str());
+    MODIS_LOG(INFO, "server")
+        .Tag("endpoint", endpoint.ToString())
+        << "serving on " << endpoint.ToString();
   }
   if (args.http) {
-    std::printf("modis_server: http front door enabled "
-                "(POST /v1/query, GET /metrics, GET /healthz)\n");
+    MODIS_LOG(INFO, "server")
+        << "http front door enabled (POST /v1/query, GET /metrics, "
+           "GET /v1/debug/traces, GET /healthz)";
   }
   for (const TenantSpec& tenant : args.tenants) {
-    std::printf("modis_server: tenant %s (rate=%g burst=%g in_flight=%zu "
-                "priority=%d)\n",
-                tenant.name.c_str(), tenant.rate_per_s, tenant.burst,
-                tenant.max_in_flight, tenant.priority);
+    MODIS_LOG(INFO, "server")
+        .Tag("tenant", tenant.name)
+        .Tag("rate", tenant.rate_per_s)
+        .Tag("burst", tenant.burst)
+        .Tag("in_flight", uint64_t(tenant.max_in_flight))
+        .Tag("priority", int64_t(tenant.priority))
+        << "tenant configured";
   }
-  std::fflush(stdout);
 
   g_server = &server;
   std::signal(SIGTERM, OnShutdownSignal);
@@ -337,7 +369,8 @@ int main(int argc, char** argv) {
   server.Serve();
   g_server = nullptr;
 
-  std::printf("modis_server: drained; final %s\n",
-              SerializeServiceMetrics(service.SnapshotMetrics()).c_str());
+  MODIS_LOG(INFO, "server")
+      << "drained; final "
+      << SerializeServiceMetrics(service.SnapshotMetrics());
   return 0;
 }

@@ -18,6 +18,11 @@
 #      GET /metrics is valid Prometheus exposition, GET /healthz is ok,
 #      and a quota-capped tenant's second request gets 429 + Retry-After
 #      (curl when available, python3 http.client otherwise)
+#  10. tracing: a warm query with X-Modis-Trace: 1 returns an inline
+#      span tree whose request_id matches the X-Modis-Request-Id
+#      response header, GET /v1/debug/traces serves Chrome trace_event
+#      JSON naming that id, and /metrics carries the trace-derived
+#      modis_phase_* histogram series
 #
 # Usage: serving_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -341,6 +346,107 @@ print(
     "serving smoke OK: HTTP front door answered the warm query "
     f"identically over 3 transports, /metrics exposed {len(samples)} "
     "valid samples, and the bronze quota check got its 429 + Retry-After"
+)
+PY
+
+# ---- Phase 4: tracing through the same live server. A traced warm
+# query must echo its span tree inline, the response header must carry
+# the matching request id, the debug ring must name the query, and the
+# exposition must carry the trace-derived phase histograms.
+if command -v curl >/dev/null 2>&1; then
+  curl -fsS -X POST "$BASE/v1/query" -H 'Content-Type: application/json' \
+    -H 'X-Modis-Trace: 1' -D "$WORK/traced.hdr" --data "$REQUEST_JSON" \
+    > "$WORK/traced.json"
+  curl -fsS "$BASE/v1/debug/traces" > "$WORK/debug_traces.json"
+  curl -fsS "$BASE/metrics" > "$WORK/metrics2.prom"
+else
+  python3 - "$HTTP_HOST" "$HTTP_PORT" "$REQUEST_JSON" "$WORK" <<'PY'
+import http.client
+import sys
+
+host, port, body, work = sys.argv[1], int(sys.argv[2]), sys.argv[3], sys.argv[4]
+
+def req(method, path, body=None, headers=None):
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    conn.request(method, path, body, headers or {})
+    response = conn.getresponse()
+    data = response.read().decode()
+    status, hdrs = response.status, response.getheaders()
+    conn.close()
+    return status, hdrs, data
+
+status, hdrs, data = req("POST", "/v1/query", body,
+                         {"Content-Type": "application/json",
+                          "X-Modis-Trace": "1"})
+assert status == 200, (status, data)
+open(f"{work}/traced.json", "w").write(data)
+open(f"{work}/traced.hdr", "w").write(
+    "".join(f"{k}: {v}\r\n" for k, v in hdrs))
+status, _, data = req("GET", "/v1/debug/traces")
+assert status == 200, (status, data)
+open(f"{work}/debug_traces.json", "w").write(data)
+status, _, data = req("GET", "/metrics")
+assert status == 200, (status, data)
+open(f"{work}/metrics2.prom", "w").write(data)
+PY
+fi
+
+python3 - "$WORK" <<'PY'
+import json
+import re
+import sys
+
+work = sys.argv[1]
+
+def read(name):
+    with open(f"{work}/{name}") as f:
+        return f.read()
+
+traced = json.loads(read("traced.json"))
+assert traced.get("ok"), f"traced query not ok: {traced}"
+request_id = traced.get("request_id", "")
+assert re.match(r"^q-[0-9]{6,}$", request_id), traced
+header = re.search(r"(?im)^x-modis-request-id: *(\S+)\r?$",
+                   read("traced.hdr"))
+assert header, read("traced.hdr")
+assert header.group(1) == request_id, (header.group(1), request_id)
+
+spans = traced.get("trace")
+assert spans, "traced response carries no span tree"
+assert spans[0]["name"] == "query" and spans[0]["parent"] == -1, spans[0]
+names = {s["name"] for s in spans}
+for expected in ("admission", "context", "run", "level", "batch", "plan",
+                 "train", "commit", "respond"):
+    assert expected in names, (expected, sorted(names))
+ids = {s["id"] for s in spans}
+for s in spans:
+    assert s["duration_ms"] >= 0, s
+    assert s["parent"] == -1 or s["parent"] in ids, s
+phase_sum = sum(s["duration_ms"] for s in spans
+                if s["parent"] == spans[0]["id"])
+assert phase_sum <= spans[0]["duration_ms"] + 0.01, (
+    phase_sum, spans[0]["duration_ms"])
+
+debug = json.loads(read("debug_traces.json"))
+assert debug.get("ok"), debug
+events = debug.get("traceEvents", [])
+assert any(e.get("ph") == "M" and request_id in e["args"]["name"]
+           for e in events), f"{request_id} missing from the debug ring"
+assert any(e.get("ph") == "X" for e in events), "no span events in the ring"
+
+exposition = read("metrics2.prom")
+for phase in ("admission", "context", "plan", "train", "commit", "flush",
+              "respond"):
+    match = re.search(rf"(?m)^modis_phase_{phase}_ms_count ([0-9]+)$",
+                      exposition)
+    assert match, f"modis_phase_{phase}_ms_count missing from /metrics"
+    assert int(match.group(1)) >= 3, (phase, match.group(1))
+
+print(
+    "serving smoke OK: traced query "
+    f"{request_id} echoed a {len(spans)}-span tree matching its response "
+    f"header, the debug ring served {len(events)} trace events, and all "
+    "7 modis_phase_* histogram families are live"
 )
 PY
 

@@ -1,0 +1,184 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+namespace modis {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<bool> g_log_json{false};
+
+// Serializes whole lines: concurrent sessions log freely and lines never
+// interleave. stderr keeps stdout clean for data (the CLI prints skylines
+// there).
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// RFC 3339 UTC with millisecond precision: 2026-08-09T12:00:00.123Z.
+std::string FormatTimestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool ParseLogLevel(const std::string& text, LogLevel* level) {
+  if (text == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (text == "info") {
+    *level = LogLevel::kInfo;
+  } else if (text == "warn") {
+    *level = LogLevel::kWarn;
+  } else if (text == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogJson(bool json) {
+  g_log_json.store(json, std::memory_order_relaxed);
+}
+
+bool GetLogJson() { return g_log_json.load(std::memory_order_relaxed); }
+
+LogMessage::LogMessage(LogLevel level, const char* component)
+    : level_(level), component_(component) {}
+
+LogMessage& LogMessage::Tag(const std::string& key, const std::string& value) {
+  tags_.emplace_back(key, value);
+  return *this;
+}
+
+LogMessage& LogMessage::Tag(const std::string& key, int64_t value) {
+  return Tag(key, std::to_string(value));
+}
+
+LogMessage& LogMessage::Tag(const std::string& key, uint64_t value) {
+  return Tag(key, std::to_string(value));
+}
+
+LogMessage& LogMessage::Tag(const std::string& key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return Tag(key, buf);
+}
+
+LogMessage::~LogMessage() {
+  std::string line;
+  const std::string ts = FormatTimestamp();
+  if (GetLogJson()) {
+    line += "{\"ts\":\"";
+    line += ts;
+    line += "\",\"level\":\"";
+    line += LogLevelName(level_);
+    line += "\",\"component\":\"";
+    AppendJsonEscaped(component_, &line);
+    line += "\",\"message\":\"";
+    AppendJsonEscaped(message_.str(), &line);
+    line += "\"";
+    for (const auto& [key, value] : tags_) {
+      line += ",\"";
+      AppendJsonEscaped(key, &line);
+      line += "\":\"";
+      AppendJsonEscaped(value, &line);
+      line += "\"";
+    }
+    line += "}";
+  } else {
+    line += "[";
+    line += ts;
+    line += " ";
+    for (const char* p = LogLevelName(level_); *p != '\0'; ++p) {
+      line += static_cast<char>(std::toupper(static_cast<unsigned char>(*p)));
+    }
+    line += " ";
+    line += component_;
+    line += "] ";
+    line += message_.str();
+    for (const auto& [key, value] : tags_) {
+      line += " ";
+      line += key;
+      line += "=";
+      line += value;
+    }
+  }
+  line += "\n";
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace modis

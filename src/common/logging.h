@@ -1,9 +1,13 @@
 #ifndef MODIS_COMMON_LOGGING_H_
 #define MODIS_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace modis::internal_logging {
 
@@ -44,5 +48,91 @@ class FatalStream {
   } while (false)
 
 #define MODIS_DCHECK(cond) MODIS_CHECK(cond)
+
+namespace modis {
+
+/// Severity of a structured log line. Ordered: a line is emitted when its
+/// level is >= the process level set by SetLogLevel().
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Parses "debug" | "info" | "warn" | "error" (case-sensitive). Returns
+/// false on anything else, leaving *level untouched.
+bool ParseLogLevel(const std::string& text, LogLevel* level);
+
+/// Canonical lowercase name ("debug", "info", ...).
+const char* LogLevelName(LogLevel level);
+
+/// Process-wide log configuration. Defaults: kInfo, text format. Both are
+/// plain atomics: flipping them mid-flight affects subsequent lines only.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void SetLogJson(bool json);
+bool GetLogJson();
+
+/// One structured log line under construction. Free-text message goes in
+/// via operator<<; key=value context via Tag(). The destructor emits a
+/// single line to stderr:
+///
+///   text:  `[2026-08-09T12:00:00.123Z INFO server] message key=value`
+///   json:  `{"ts":"...","level":"info","component":"server",
+///           "message":"...","key":"value"}`
+///
+/// JSON mode emits exactly one object per line with every tag as a
+/// top-level string field, so `--log-json` output is machine-parseable
+/// line by line.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* component);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    message_ << v;
+    return *this;
+  }
+
+  LogMessage& Tag(const std::string& key, const std::string& value);
+  LogMessage& Tag(const std::string& key, int64_t value);
+  LogMessage& Tag(const std::string& key, uint64_t value);
+  LogMessage& Tag(const std::string& key, double value);
+
+ private:
+  const LogLevel level_;
+  const char* const component_;
+  std::ostringstream message_;
+  std::vector<std::pair<std::string, std::string>> tags_;
+};
+
+namespace internal_logging {
+
+/// Swallows a disabled log statement without evaluating the stream.
+struct LogVoidify {
+  void operator&(const LogMessage&) {}
+};
+
+// Severity tokens for the MODIS_LOG macro: MODIS_LOG(INFO, ...).
+inline constexpr LogLevel kLogLevel_DEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kLogLevel_INFO = LogLevel::kInfo;
+inline constexpr LogLevel kLogLevel_WARN = LogLevel::kWarn;
+inline constexpr LogLevel kLogLevel_ERROR = LogLevel::kError;
+
+}  // namespace internal_logging
+
+}  // namespace modis
+
+/// Structured leveled logging: `MODIS_LOG(INFO, "server") << "started";`
+/// or with context: `MODIS_LOG(INFO, "service").Tag("request_id", id)
+/// << "served"`. Evaluates its operands only when the level is enabled.
+/// (Deliberately not parenthesized as a whole: the ternary swallows the
+/// streamed expression when the level is disabled, glog-style.)
+#define MODIS_LOG(severity, component)                                       \
+  (::modis::GetLogLevel() >                                                  \
+   ::modis::internal_logging::kLogLevel_##severity)                          \
+      ? (void)0                                                              \
+      : ::modis::internal_logging::LogVoidify() &                            \
+            ::modis::LogMessage(                                             \
+                ::modis::internal_logging::kLogLevel_##severity, component)
 
 #endif  // MODIS_COMMON_LOGGING_H_

@@ -1,0 +1,97 @@
+#include "common/trace.h"
+
+#include <algorithm>
+
+namespace modis {
+
+namespace {
+
+double MsBetween(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+SpanId TraceRecorder::Begin(const std::string& name, SpanId parent) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.name = name;
+  span.id = static_cast<SpanId>(spans_.size());
+  span.parent = parent;
+  span.start_ms = MsBetween(epoch_, now);
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void TraceRecorder::End(SpanId id) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  TraceSpan& span = spans_[static_cast<size_t>(id)];
+  if (span.duration_ms >= 0.0) return;  // Already ended.
+  span.duration_ms = MsBetween(epoch_, now) - span.start_ms;
+  if (span.duration_ms < 0.0) span.duration_ms = 0.0;
+}
+
+void TraceRecorder::AddAttr(SpanId id, const std::string& key, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  spans_[static_cast<size_t>(id)].attrs.emplace_back(key, value);
+}
+
+double TraceRecorder::ElapsedMs() const {
+  return MsBetween(epoch_, std::chrono::steady_clock::now());
+}
+
+std::vector<TraceSpan> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+double SumSpanMs(const std::vector<TraceSpan>& spans,
+                 const std::string& name) {
+  double total = 0.0;
+  for (const TraceSpan& span : spans) {
+    if (span.name == name && span.duration_ms > 0.0) {
+      total += span.duration_ms;
+    }
+  }
+  return total;
+}
+
+TraceRing::TraceRing(size_t recent_capacity, size_t slow_capacity)
+    : recent_capacity_(recent_capacity), slow_capacity_(slow_capacity) {}
+
+void TraceRing::Add(Trace trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (recent_capacity_ > 0) {
+    recent_.push_back(trace);
+    while (recent_.size() > recent_capacity_) recent_.pop_front();
+  }
+  if (slow_capacity_ == 0) return;
+  // Keep the slow set sorted slowest-first; a tie keeps the newer trace
+  // closer to the front so eviction (drop the back) is deterministic.
+  const auto at = std::upper_bound(
+      slow_.begin(), slow_.end(), trace, [](const Trace& a, const Trace& b) {
+        if (a.total_ms != b.total_ms) return a.total_ms > b.total_ms;
+        return a.sequence > b.sequence;
+      });
+  slow_.insert(at, std::move(trace));
+  if (slow_.size() > slow_capacity_) slow_.pop_back();
+}
+
+std::vector<Trace> TraceRing::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Trace>(recent_.begin(), recent_.end());
+}
+
+std::vector<Trace> TraceRing::Slowest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+}  // namespace modis

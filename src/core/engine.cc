@@ -97,6 +97,8 @@ ModisEngine::ModisEngine(const SearchUniverse* universe,
       extern_pool_(runtime.pool),
       mat_cache_(config.table_cache_entries),
       extern_cache_(runtime.record_cache),
+      trace_(runtime.trace),
+      trace_parent_(runtime.trace_parent),
       correlation_(oracle->measures().size(), config.theta) {
   MODIS_CHECK(universe_ != nullptr) << "ModisEngine: null universe";
   MODIS_CHECK(oracle_ != nullptr) << "ModisEngine: null oracle";
@@ -158,8 +160,8 @@ ModisEngine::ModisEngine(const SearchUniverse* universe,
     } else {
       // A broken cache must never break the search: run cold. (kRead on a
       // missing file, or a log locked by a live host, lands here too.)
-      std::fprintf(stderr, "modis: record cache disabled: %s\n",
-                   opened.status().ToString().c_str());
+      MODIS_LOG(WARN, "engine")
+          << "record cache disabled: " << opened.status().ToString();
     }
   }
 }
@@ -177,6 +179,9 @@ ModisEngine::~ModisEngine() {
   }
   if (fuser_ != nullptr && oracle_->training_fuser() == fuser_) {
     oracle_->AttachTrainingFuser(nullptr);
+  }
+  if (trace_ != nullptr && oracle_->trace_recorder() == trace_) {
+    oracle_->SetTraceContext(nullptr, kNoSpan);
   }
 }
 
@@ -351,8 +356,20 @@ void ModisEngine::CollectState(const StateBitmap& state,
 }
 
 void ModisEngine::ValuateBatch(std::vector<BatchItem> items,
-                               Frontier* frontier) {
+                               Frontier* frontier, SpanId trace_scope) {
   if (items.empty()) return;
+
+  SpanId batch_span = kNoSpan;
+  PerformanceOracle::Stats before;
+  if (trace_ != nullptr) {
+    batch_span = trace_->Begin("batch", trace_scope);
+    trace_->AddAttr(batch_span, "batch_size",
+                    static_cast<int64_t>(items.size()));
+    before = oracle_->stats();
+    // The oracle parents its plan/train/commit/flush spans under this
+    // batch for the duration of the call pair below.
+    oracle_->SetTraceContext(trace_, batch_span);
+  }
 
   std::vector<ValuationRequest> requests;
   requests.reserve(items.size());
@@ -393,6 +410,25 @@ void ModisEngine::ValuateBatch(std::vector<BatchItem> items,
       oracle_->ValuateBatch(std::move(plan), EffectivePool());
   MODIS_CHECK(results.size() == items.size()) << "batch result misalignment";
 
+  if (trace_ != nullptr) {
+    const PerformanceOracle::Stats after = oracle_->stats();
+    trace_->AddAttr(batch_span, "exact",
+                    static_cast<int64_t>(after.exact_evals -
+                                         before.exact_evals));
+    trace_->AddAttr(batch_span, "surrogate",
+                    static_cast<int64_t>(after.surrogate_evals -
+                                         before.surrogate_evals));
+    trace_->AddAttr(batch_span, "cached",
+                    static_cast<int64_t>(after.cache_hits -
+                                         before.cache_hits));
+    trace_->AddAttr(batch_span, "persistent",
+                    static_cast<int64_t>(after.persistent_hits -
+                                         before.persistent_hits));
+    trace_->AddAttr(batch_span, "fused",
+                    static_cast<int64_t>(after.fused_hits -
+                                         before.fused_hits));
+  }
+
   // Commit in collection order, so the skyline grid and the next level's
   // queue are independent of how the batch was scheduled.
   for (size_t i = 0; i < items.size(); ++i) {
@@ -422,9 +458,21 @@ void ModisEngine::ValuateBatch(std::vector<BatchItem> items,
       frontier->queue.push_back({item.state, item.level, priority});
     }
   }
+
+  if (trace_ != nullptr) {
+    oracle_->SetTraceContext(nullptr, kNoSpan);
+    trace_->End(batch_span);
+  }
 }
 
 void ModisEngine::ExpandLevel(Frontier* frontier, int level) {
+  SpanId level_span = kNoSpan;
+  if (trace_ != nullptr) {
+    level_span = trace_->Begin("level", trace_parent_);
+    trace_->AddAttr(level_span, "level", level);
+    trace_->AddAttr(level_span, "forward", frontier->forward ? 1 : 0);
+  }
+
   // Pull the entries parked at `level`, most promising first: when the
   // budget runs out mid-level, the best paths have been extended (§5.2's
   // prioritized valuation).
@@ -454,7 +502,8 @@ void ModisEngine::ExpandLevel(Frontier* frontier, int level) {
       CollectState(child, parent_sig, level + 1, frontier, &batch);
     }
   }
-  ValuateBatch(std::move(batch), frontier);
+  ValuateBatch(std::move(batch), frontier, level_span);
+  if (trace_ != nullptr) trace_->End(level_span);
 }
 
 void ModisEngine::DiversifyLevel() {
@@ -512,7 +561,7 @@ Result<ModisResult> ModisEngine::Run() {
     if (stats_.valuated_states + batch.size() > config_.max_states) {
       return;  // Budget of zero: nothing to do.
     }
-    ValuateBatch(std::move(batch), frontier);
+    ValuateBatch(std::move(batch), frontier, trace_parent_);
   };
   seed(universe_->FullBitmap(), &forward);
   if (config_.bidirectional) {
@@ -550,8 +599,11 @@ Result<ModisResult> ModisEngine::Run() {
   result.seconds = timer.Seconds();
   result.oracle_stats = oracle_->stats();
   if (PersistentRecordCache* cache = ActiveCache()) {
+    SpanId flush_span = kNoSpan;
+    if (trace_ != nullptr) flush_span = trace_->Begin("flush", trace_parent_);
     const Status flushed = cache->Flush();
     (void)flushed;
+    if (trace_ != nullptr) trace_->End(flush_span);
     result.record_cache_active = true;
     // For a shared cache these counters are host-wide, not per-query;
     // per-query accounting lives in oracle_stats.persistent_hits.

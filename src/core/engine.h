@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/config.h"
 #include "core/universe.h"
 #include "estimator/oracle.h"
@@ -71,6 +72,15 @@ struct EngineRuntime {
   /// layout, measures, and model identity ever share a training. Null →
   /// no fusion (standalone behavior).
   TrainingFuser* fuser = nullptr;
+  /// Per-query span recorder (owned by the caller; must outlive the
+  /// engine). When set, the engine records level/batch spans under
+  /// `trace_parent` and propagates the context into the oracle, so one
+  /// query yields a complete span tree. Null → no tracing. Recording
+  /// never consumes randomness or reorders valuation, so a traced run is
+  /// byte-identical to an untraced one.
+  TraceRecorder* trace = nullptr;
+  /// Parent span (the caller's "run" span) for the engine's spans.
+  SpanId trace_parent = kNoSpan;
 };
 
 /// The multi-goal finite-state-transducer search engine (§3-§5).
@@ -167,7 +177,10 @@ class ModisEngine {
 
   /// Issues `items` as one oracle batch and folds the results — skyline
   /// updates, frontier enqueues, failed-state handling — in item order.
-  void ValuateBatch(std::vector<BatchItem> items, Frontier* frontier);
+  /// `trace_scope` parents the batch span (a level span inside
+  /// ExpandLevel; the runtime's parent for seed batches).
+  void ValuateBatch(std::vector<BatchItem> items, Frontier* frontier,
+                    SpanId trace_scope);
 
   /// The UPareto grid update (Fig. 3 lines 20-30). `signature` keys the
   /// materialization cache so the entry's row count can be a popcount of
@@ -220,6 +233,11 @@ class ModisEngine {
   /// Externally owned cross-query training fuser (EngineRuntime::fuser);
   /// attached to the oracle under this engine's TaskFingerprint.
   TrainingFuser* fuser_ = nullptr;
+  /// Per-query span recorder (EngineRuntime::trace); null disables
+  /// tracing.
+  TraceRecorder* trace_ = nullptr;
+  /// Parent span for level/flush spans (EngineRuntime::trace_parent).
+  SpanId trace_parent_ = kNoSpan;
 
   /// The pool batched valuations fan out over (external or owned).
   ThreadPool* EffectivePool() const {

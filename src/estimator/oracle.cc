@@ -66,11 +66,24 @@ PerformanceOracle::RunExactTrainings(const BatchPlan& plan, ThreadPool* pool,
     if (plan.modes[i] == BatchPlan::Mode::kExact) exact_ids.push_back(i);
   }
   std::vector<ExactOutcome> outcomes(plan.requests.size());
+  // The span context is captured once here and passed by value into the
+  // closure: every worker parents its "exact" span under this batch's
+  // "train" span no matter which pool thread runs it. The recorder's own
+  // mutex makes concurrent Begin/End TSan-clean.
+  const SpanId train_span = BeginTraceSpan("train");
+  TraceRecorder* const trace = trace_;
   const Status status =
-      ParallelFor(pool, 0, exact_ids.size(), [&](size_t k) {
+      ParallelFor(pool, 0, exact_ids.size(), [&, trace, train_span](size_t k) {
         const size_t i = exact_ids[k];
+        const SpanId item_span =
+            trace != nullptr ? trace->Begin("exact", train_span) : kNoSpan;
         outcomes[i] = RunExactOne(plan.requests[i], evaluator);
+        if (trace != nullptr) {
+          trace->AddAttr(item_span, "shared", outcomes[i].shared ? 1 : 0);
+          trace->End(item_span);
+        }
       });
+  EndTraceSpan(train_span);
   if (!status.ok()) {
     for (size_t i : exact_ids) {
       if (!outcomes[i].executed) outcomes[i].result = status;
@@ -122,8 +135,10 @@ void PerformanceOracle::PersistentStore(const std::string& key,
 
 void PerformanceOracle::FlushPersistent() {
   if (record_cache_ != nullptr) {
+    const SpanId flush_span = BeginTraceSpan("flush");
     const Status flushed = record_cache_->Flush();
     (void)flushed;  // A failed flush only risks re-training after a crash.
+    EndTraceSpan(flush_span);
   }
 }
 
@@ -161,6 +176,7 @@ Result<Evaluation> ExactOracle::Valuate(const std::string& key,
 }
 
 BatchPlan ExactOracle::PrepareBatch(std::vector<ValuationRequest> requests) {
+  const SpanId plan_span = BeginTraceSpan("plan");
   BatchPlan plan;
   plan.modes.reserve(requests.size());
   for (const ValuationRequest& req : requests) {
@@ -174,6 +190,7 @@ BatchPlan ExactOracle::PrepareBatch(std::vector<ValuationRequest> requests) {
     }
   }
   plan.requests = std::move(requests);
+  EndTraceSpan(plan_span);
   return plan;
 }
 
@@ -181,6 +198,7 @@ std::vector<Result<Evaluation>> ExactOracle::ValuateBatch(BatchPlan plan,
                                                           ThreadPool* pool) {
   std::vector<ExactOutcome> outcomes =
       RunExactTrainings(plan, pool, evaluator_);
+  const SpanId commit_span = BeginTraceSpan("commit");
   std::vector<Result<Evaluation>> results;
   results.reserve(plan.requests.size());
   for (size_t i = 0; i < plan.requests.size(); ++i) {
@@ -234,6 +252,7 @@ std::vector<Result<Evaluation>> ExactOracle::ValuateBatch(BatchPlan plan,
     }
     results.push_back(std::move(slot.result));
   }
+  EndTraceSpan(commit_span);
   FlushPersistent();
   return results;
 }
@@ -346,6 +365,9 @@ Result<Evaluation> MoGbmOracle::Valuate(const std::string& key,
 }
 
 BatchPlan MoGbmOracle::PrepareBatch(std::vector<ValuationRequest> requests) {
+  // Span recording brackets the loop without touching the policy stream:
+  // the Bernoulli draws below are consumed exactly as on an untraced run.
+  const SpanId plan_span = BeginTraceSpan("plan");
   BatchPlan plan;
   plan.modes.reserve(requests.size());
   // Project how the surrogate's availability evolves over the batch: the
@@ -384,6 +406,7 @@ BatchPlan MoGbmOracle::PrepareBatch(std::vector<ValuationRequest> requests) {
     plan.modes.push_back(mode);
   }
   plan.requests = std::move(requests);
+  EndTraceSpan(plan_span);
   return plan;
 }
 
@@ -391,6 +414,7 @@ std::vector<Result<Evaluation>> MoGbmOracle::ValuateBatch(BatchPlan plan,
                                                           ThreadPool* pool) {
   std::vector<ExactOutcome> outcomes =
       RunExactTrainings(plan, pool, evaluator_);
+  const SpanId commit_span = BeginTraceSpan("commit");
 
   // Commit pass 1, request order: fold the exact results into the stats,
   // the shadow error (against the pre-batch surrogate), and the record
@@ -549,6 +573,7 @@ std::vector<Result<Evaluation>> MoGbmOracle::ValuateBatch(BatchPlan plan,
       }
     }
   }
+  EndTraceSpan(commit_span);
   FlushPersistent();
   return results;
 }

@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/universe.h"
 #include "estimator/task_evaluator.h"
 #include "ml/multi_output_gbm.h"
@@ -176,6 +177,18 @@ class PerformanceOracle {
   }
   TrainingFuser* training_fuser() const { return fuser_; }
 
+  /// Attaches (or detaches, with nullptr) the current query's span
+  /// recorder. Not owned; the engine sets it for the duration of one
+  /// PrepareBatch/ValuateBatch pair, with `parent` the batch span the
+  /// oracle's plan/train/commit/flush spans nest under. Recording is
+  /// side-effect-free with respect to valuation: no policy randomness is
+  /// consumed and no work is reordered.
+  void SetTraceContext(TraceRecorder* trace, SpanId parent) {
+    trace_ = trace;
+    trace_parent_ = parent;
+  }
+  TraceRecorder* trace_recorder() const { return trace_; }
+
  protected:
   /// Per-request outcome of an exact training. Slots of a batch are
   /// pre-initialized to an error so indices skipped after a worker
@@ -227,6 +240,16 @@ class PerformanceOracle {
   /// Flushes cache appends; called once per batch commit.
   void FlushPersistent();
 
+  /// Begins a span under the attached trace context; kNoSpan when no
+  /// recorder is attached (End/AddAttr on kNoSpan are no-ops, so call
+  /// sites stay branch-free).
+  SpanId BeginTraceSpan(const char* name) const {
+    return trace_ != nullptr ? trace_->Begin(name, trace_parent_) : kNoSpan;
+  }
+  void EndTraceSpan(SpanId id) const {
+    if (trace_ != nullptr) trace_->End(id);
+  }
+
   Stats stats_;
   TestRecordStore store_;
   PersistentRecordCache* record_cache_ = nullptr;
@@ -234,6 +257,8 @@ class PerformanceOracle {
   bool record_cache_write_ = true;
   TrainingFuser* fuser_ = nullptr;
   uint64_t fuser_fp_ = 0;
+  TraceRecorder* trace_ = nullptr;
+  SpanId trace_parent_ = kNoSpan;
 };
 
 /// Oracle that always trains the real model (with a cache keyed by state

@@ -115,11 +115,14 @@ Result<DiscoveryResponse> RunQuery(const DiscoveryRequest& request,
 }
 
 /// The warmth key of the shed ordering: the serialized request with the
-/// tenant credential stripped (warmth is a property of the query, not of
-/// who asks it).
+/// tenant credential and the trace echo flag stripped (warmth is a
+/// property of the query, not of who asks it or whether they want the
+/// span tree back — a traced query must hit the same warm/shed path as
+/// its untraced twin).
 std::string WarmKeyOf(const DiscoveryRequest& request) {
   DiscoveryRequest copy = request;
   copy.api_key.clear();
+  copy.trace = false;
   return SerializeDiscoveryRequest(copy);
 }
 
@@ -138,17 +141,18 @@ ModisConfig ConfigFromRequest(const DiscoveryRequest& request) {
 }  // namespace
 
 DiscoveryService::DiscoveryService(Options options)
-    : options_(options), pool_(options.valuation_threads) {
+    : options_(options),
+      pool_(options.valuation_threads),
+      trace_ring_(options.trace_recent_capacity,
+                  options.trace_slow_capacity) {
   qos_enabled_ = !options_.tenants.empty();
   if (qos_enabled_) {
     const auto now = std::chrono::steady_clock::now();
     for (const TenantSpec& spec : options_.tenants) {
       const size_t index = tenants_.size();
       if (!tenant_by_key_.emplace(spec.api_key, index).second) {
-        std::fprintf(stderr,
-                     "modis service: tenant '%s' reuses an api key already "
-                     "mapped; ignoring it\n",
-                     spec.name.c_str());
+        MODIS_LOG(WARN, "service").Tag("tenant", spec.name)
+            << "tenant reuses an api key already mapped; ignoring it";
         continue;
       }
       Tenant tenant;
@@ -300,9 +304,12 @@ Result<PersistentRecordCache*> DiscoveryService::GetCache(
 }
 
 Result<DiscoveryResponse> DiscoveryService::Execute(
-    const DiscoveryRequest& request) {
+    const DiscoveryRequest& request, TraceRecorder* trace, SpanId root) {
+  const SpanId context_span =
+      trace != nullptr ? trace->Begin("context", root) : kNoSpan;
   MODIS_ASSIGN_OR_RETURN(std::shared_ptr<TaskContext> context,
                          GetContext(request.task));
+  if (trace != nullptr) trace->End(context_span);
 
   SupervisedTask task = context->bench.task;
   MODIS_ASSIGN_OR_RETURN(task.measures,
@@ -321,8 +328,8 @@ Result<DiscoveryResponse> DiscoveryService::Execute(
   } else {
     // A broken/locked cache file must never fail queries — serve cold,
     // the same degradation ModisEngine applies to a self-owned cache.
-    std::fprintf(stderr, "modis service: record cache disabled: %s\n",
-                 resolved.status().ToString().c_str());
+    MODIS_LOG(WARN, "service")
+        << "record cache disabled: " << resolved.status().ToString();
     mode = CacheMode::kOff;
   }
   config.cache_mode = mode;
@@ -331,8 +338,13 @@ Result<DiscoveryResponse> DiscoveryService::Execute(
   runtime.pool = &pool_;
   runtime.record_cache = cache;
   runtime.fuser = &fuser_;
+  const SpanId run_span =
+      trace != nullptr ? trace->Begin("run", root) : kNoSpan;
+  runtime.trace = trace;
+  runtime.trace_parent = run_span;
   auto response = RunQuery(request, context->bench.name, context->universe,
                            &evaluator, config, runtime);
+  if (trace != nullptr) trace->End(run_span);
   if (response.ok()) {
     const DiscoveryResponse& resp = response.value();
     metrics_.trainings_shared.fetch_add(resp.fused_hits);
@@ -499,6 +511,18 @@ Status DiscoveryService::Submit(DiscoveryRequest request, Callback done) {
     job.tenant = tenant_index;
     job.priority = priority;
     job.warm = warm;
+    // Every accepted query gets an id and a span recorder: the id stamps
+    // logs/response/headers, the recorder feeds the debug ring and the
+    // phase histograms whether or not the client asked for the inline
+    // echo. The admission span stays open until a session dequeues it.
+    job.sequence = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    char id[24];
+    std::snprintf(id, sizeof(id), "q-%06llu",
+                  static_cast<unsigned long long>(job.sequence));
+    job.request_id = id;
+    job.recorder = std::make_shared<TraceRecorder>();
+    job.root_span = job.recorder->Begin("query", kNoSpan);
+    job.admission_span = job.recorder->Begin("admission", job.root_span);
     queue_.push_back(std::move(job));
   }
   queue_cv_.notify_one();
@@ -571,6 +595,7 @@ MetricsSnapshot DiscoveryService::SnapshotMetrics() const {
       snapshot.cache_appends += stats.appended;
       snapshot.cache_evictions += stats.evicted;
       snapshot.cache_reclaimed_bytes += stats.reclaimed_bytes;
+      snapshot.buffer_pool_frames += stats.buffer_frames_in_use;
     }
   }
   return snapshot;
@@ -597,10 +622,20 @@ void DiscoveryService::SessionLoop() {
       job = std::move(*best);
       queue_.erase(best);
     }
+    TraceRecorder* const trace = job.recorder.get();
+    trace->End(job.admission_span);
     const double queue_ms = job.queued.Millis();
-    Result<DiscoveryResponse> response = Execute(job.request);
+    Result<DiscoveryResponse> response =
+        Execute(job.request, trace, job.root_span);
     metrics_.queue_ms.Record(queue_ms);
+
+    // Response assembly (request id, phase-histogram feeding, debug-ring
+    // retention) is itself a phase: the "respond" span. It and the root
+    // are ended before the snapshots below, so both the inline echo and
+    // the retained trace carry complete durations.
+    const SpanId respond_span = trace->Begin("respond", job.root_span);
     if (response.ok()) {
+      response.value().request_id = job.request_id;
       response.value().queue_ms = queue_ms;
       response.value().total_ms = job.queued.Millis();
       metrics_.run_ms.Record(response.value().run_ms);
@@ -609,6 +644,65 @@ void DiscoveryService::SessionLoop() {
     } else {
       metrics_.failed.fetch_add(1);
     }
+    trace->End(respond_span);
+    trace->End(job.root_span);
+    if (response.ok() && job.request.trace) {
+      response.value().trace_spans = trace->Snapshot();
+    }
+
+    // spec.name is immutable after the constructor and tenants_ is never
+    // resized, so reading it without queue_mu_ is safe.
+    const std::string tenant_name =
+        job.tenant < tenants_.size() ? tenants_[job.tenant].spec.name
+                                     : std::string("default");
+
+    // Fold the completed span tree into the debug ring and the per-phase
+    // histograms. The histograms are derived from the same spans the
+    // trace surfaces export, so `modis_phase_*` agrees with
+    // /v1/debug/traces by construction.
+    Trace completed;
+    completed.request_id = job.request_id;
+    completed.tenant = tenant_name;
+    completed.task = job.request.task;
+    completed.ok = response.ok();
+    completed.sequence = job.sequence;
+    completed.spans = trace->Snapshot();
+    const double total_ms = !completed.spans.empty()
+                                ? completed.spans.front().duration_ms
+                                : job.queued.Millis();
+    completed.total_ms = total_ms;
+    const double admission_ms = SumSpanMs(completed.spans, "admission");
+    const double context_ms = SumSpanMs(completed.spans, "context");
+    const double plan_ms = SumSpanMs(completed.spans, "plan");
+    const double train_ms = SumSpanMs(completed.spans, "train");
+    const double commit_ms = SumSpanMs(completed.spans, "commit");
+    const double flush_ms = SumSpanMs(completed.spans, "flush");
+    const double respond_ms = SumSpanMs(completed.spans, "respond");
+    metrics_.phase_admission_ms.Record(admission_ms);
+    metrics_.phase_context_ms.Record(context_ms);
+    metrics_.phase_plan_ms.Record(plan_ms);
+    metrics_.phase_train_ms.Record(train_ms);
+    metrics_.phase_commit_ms.Record(commit_ms);
+    metrics_.phase_flush_ms.Record(flush_ms);
+    metrics_.phase_respond_ms.Record(respond_ms);
+    trace_ring_.Add(std::move(completed));
+
+    if (options_.slow_query_ms > 0.0 && total_ms >= options_.slow_query_ms) {
+      MODIS_LOG(WARN, "service")
+              .Tag("request_id", job.request_id)
+              .Tag("tenant", tenant_name)
+              .Tag("task", job.request.task)
+              .Tag("total_ms", total_ms)
+              .Tag("admission_ms", admission_ms)
+              .Tag("context_ms", context_ms)
+              .Tag("plan_ms", plan_ms)
+              .Tag("train_ms", train_ms)
+              .Tag("commit_ms", commit_ms)
+              .Tag("flush_ms", flush_ms)
+              .Tag("respond_ms", respond_ms)
+          << "slow query";
+    }
+
     if (qos_enabled_) {
       std::lock_guard<std::mutex> lock(queue_mu_);
       if (response.ok()) {
@@ -624,6 +718,27 @@ void DiscoveryService::SessionLoop() {
           ++tenant.failed;
         }
       }
+    }
+    // Per-query completion line: DEBUG in steady state, INFO while
+    // draining so a shutting-down host shows each accepted query it is
+    // finishing, by request id.
+    const bool draining = metrics_.draining.load();
+    if (draining) {
+      MODIS_LOG(INFO, "service")
+              .Tag("request_id", job.request_id)
+              .Tag("tenant", tenant_name)
+              .Tag("task", job.request.task)
+              .Tag("ok", response.ok() ? int64_t{1} : int64_t{0})
+              .Tag("total_ms", total_ms)
+          << "drained query";
+    } else {
+      MODIS_LOG(DEBUG, "service")
+              .Tag("request_id", job.request_id)
+              .Tag("tenant", tenant_name)
+              .Tag("task", job.request.task)
+              .Tag("ok", response.ok() ? int64_t{1} : int64_t{0})
+              .Tag("total_ms", total_ms)
+          << "query complete";
     }
     job.done(std::move(response));
   }

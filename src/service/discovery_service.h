@@ -1,6 +1,7 @@
 #ifndef MODIS_SERVICE_DISCOVERY_SERVICE_H_
 #define MODIS_SERVICE_DISCOVERY_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -18,6 +19,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/engine.h"
 #include "datagen/tasks.h"
 #include "estimator/training_fuser.h"
@@ -58,6 +60,13 @@ struct DiscoveryRequest {
   /// tenant. Never part of the query fingerprint — answers are identical
   /// across tenants.
   std::string api_key;
+  /// Echo the query's span tree inline on the response (wire
+  /// `"trace":true` / HTTP `X-Modis-Trace: 1`). Every query is recorded
+  /// either way (for the debug ring and the phase histograms); this flag
+  /// only controls the inline echo. Like api_key it is never part of the
+  /// query fingerprint or the warmth key — tracing cannot perturb
+  /// admission or the answer.
+  bool trace = false;
 };
 
 /// One skyline member of a response, flattened for the wire.
@@ -98,6 +107,13 @@ struct DiscoveryResponse {
   double queue_ms = 0.0;  // Admission-queue wait.
   double run_ms = 0.0;    // Engine wall time.
   double total_ms = 0.0;  // Queue + context + engine, as the client saw it.
+
+  /// Host-assigned id of the accepted query ("q-000042"): appears in
+  /// logs, traces, the response wire, and the X-Modis-Request-Id HTTP
+  /// header. Empty on the detached (service-free) path.
+  std::string request_id;
+  /// The query's span tree; populated only when the request set `trace`.
+  std::vector<TraceSpan> trace_spans;
 };
 
 /// The long-lived discovery host: loads each task's data lake and
@@ -163,6 +179,14 @@ class DiscoveryService {
     /// spec with the empty api_key, or on a built-in unlimited
     /// "anonymous" tenant if none is configured.
     std::vector<TenantSpec> tenants;
+    /// Slow-query log threshold (ms): any query whose total latency
+    /// reaches it gets one structured WARN line with its request id,
+    /// tenant, task, and per-phase breakdown. 0 = off.
+    double slow_query_ms = 0.0;
+    /// Completed-trace retention: the N most recent and the N slowest
+    /// traces, served by the `trace` wire verb / GET /v1/debug/traces.
+    size_t trace_recent_capacity = 16;
+    size_t trace_slow_capacity = 16;
   };
 
   struct Stats {
@@ -222,6 +246,11 @@ class DiscoveryService {
   /// the `"metrics"` wire verb and of the shutdown dump.
   MetricsSnapshot SnapshotMetrics() const;
 
+  /// Completed traces retained by the host debug ring — the payload of
+  /// the `trace` wire verb and GET /v1/debug/traces.
+  std::vector<Trace> RecentTraces() const { return trace_ring_.Recent(); }
+  std::vector<Trace> SlowestTraces() const { return trace_ring_.Slowest(); }
+
  private:
   struct TaskContext {
     TabularBench bench;
@@ -244,6 +273,17 @@ class DiscoveryService {
     /// An identical request completed OK before (cheap to re-answer, so
     /// expensive to shed relative to cold work).
     bool warm = false;
+    /// Host-assigned id of this accepted query, minted at admission.
+    std::string request_id;
+    /// Monotonic admission sequence (the numeric half of request_id).
+    uint64_t sequence = 0;
+    /// Every accepted query records spans (the recorder is cheap and
+    /// feeds the debug ring + phase histograms even when the client did
+    /// not opt into the inline echo). shared_ptr: the job is moved
+    /// between queue and session.
+    std::shared_ptr<TraceRecorder> recorder;
+    SpanId root_span = kNoSpan;
+    SpanId admission_span = kNoSpan;
   };
 
   /// One tenant's live QoS state; guarded by queue_mu_.
@@ -276,8 +316,11 @@ class DiscoveryService {
   Result<PersistentRecordCache*> GetCache(const DiscoveryRequest& request,
                                           CacheMode* effective_mode);
 
-  /// Runs one query end to end on the calling (session) thread.
-  Result<DiscoveryResponse> Execute(const DiscoveryRequest& request);
+  /// Runs one query end to end on the calling (session) thread. `trace`
+  /// (with its root span) records the context/run phases; both may be
+  /// null/kNoSpan for an untraced execution.
+  Result<DiscoveryResponse> Execute(const DiscoveryRequest& request,
+                                    TraceRecorder* trace, SpanId root);
 
   void SessionLoop();
 
@@ -333,6 +376,11 @@ class DiscoveryService {
   /// aggregates from in SnapshotMetrics, destroyed after the sessions
   /// that write into it.
   ServiceMetrics metrics_;
+
+  /// Completed-trace retention (thread-safe; see common/trace.h).
+  TraceRing trace_ring_;
+  /// Mints request ids ("q-000001", ...); starts at 1.
+  std::atomic<uint64_t> next_request_id_{1};
 
   std::vector<std::thread> sessions_;
 };

@@ -482,12 +482,9 @@ std::string PrometheusExposition(const MetricsSnapshot& snapshot) {
   out += "# HELP modis_draining Whether the host is draining (0/1).\n";
   out += "# TYPE modis_draining gauge\n";
   out += snapshot.draining ? "modis_draining 1\n" : "modis_draining 0\n";
-  AppendHistogram("modis_queue_ms", snapshot.queue_ms,
-                  "Admission-queue wait per query (ms).", &out);
-  AppendHistogram("modis_run_ms", snapshot.run_ms,
-                  "Engine wall time per query (ms).", &out);
-  AppendHistogram("modis_total_ms", snapshot.total_ms,
-                  "End-to-end time per query (ms).", &out);
+  for (const HistogramMetricDesc& desc : HistogramMetricDescriptors()) {
+    AppendHistogram(desc.prom_name, snapshot.*desc.field, desc.help, &out);
+  }
   if (!snapshot.tenants.empty()) {
     for (const TenantMetricDesc& desc : TenantMetricDescriptors()) {
       out += "# HELP ";
@@ -588,9 +585,18 @@ HttpResponse QueryEndpoint(DiscoveryService* service,
       query.api_key = *key;
     }
   }
+  if (!query.trace) {
+    if (const std::string* flag = request.FindHeader("x-modis-trace")) {
+      query.trace = *flag == "1" || ToLower(*flag) == "true";
+    }
+  }
   auto answer = service->Answer(query);
   if (!answer.ok()) return ResponseFromStatus(answer.status());
   HttpResponse response;
+  if (!answer.value().request_id.empty()) {
+    response.headers.emplace_back("X-Modis-Request-Id",
+                                  answer.value().request_id);
+  }
   response.body = SerializeDiscoveryResponse(answer.value()) + "\n";
   return response;
 }
@@ -611,6 +617,14 @@ HttpResponse RouteHttpRequest(DiscoveryService* service,
     response.body = PrometheusExposition(service->SnapshotMetrics());
     return response;
   }
+  if (path == "/v1/debug/traces") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    HttpResponse response;
+    response.body = SerializeTraceDebug(service->SlowestTraces(),
+                                        service->RecentTraces()) +
+                    "\n";
+    return response;
+  }
   if (path == "/healthz") {
     if (request.method != "GET") return MethodNotAllowed("GET");
     HttpResponse response;
@@ -624,7 +638,8 @@ HttpResponse RouteHttpRequest(DiscoveryService* service,
   }
   return ResponseFromStatus(Status::NotFound(
       "no route for '" + path +
-      "' (POST /v1/query, GET /metrics, GET /healthz)"));
+      "' (POST /v1/query, GET /metrics, GET /v1/debug/traces, "
+      "GET /healthz)"));
 }
 
 }  // namespace modis

@@ -66,6 +66,9 @@ const std::vector<ScalarMetricDesc>& ScalarMetricDescriptors() {
       {"cache_reclaimed_bytes", "modis_cache_reclaimed_bytes_total", true,
        &MetricsSnapshot::cache_reclaimed_bytes,
        "Bytes reclaimed by cache compaction/GC."},
+      {"buffer_pool_frames", "modis_buffer_pool_frames", false,
+       &MetricsSnapshot::buffer_pool_frames,
+       "Buffer-pool frames in use across open paged caches."},
       {"queries_fused", "modis_queries_fused_total", true,
        &MetricsSnapshot::queries_fused,
        "Queries that consumed at least one fused training."},
@@ -126,6 +129,39 @@ const std::vector<TenantMetricDesc>& TenantMetricDescriptors() {
   return kDescriptors;
 }
 
+const std::vector<HistogramMetricDesc>& HistogramMetricDescriptors() {
+  static const std::vector<HistogramMetricDesc> kDescriptors = {
+      {"queue_ms", "modis_queue_ms", &MetricsSnapshot::queue_ms,
+       "Admission-queue wait per query (ms)."},
+      {"run_ms", "modis_run_ms", &MetricsSnapshot::run_ms,
+       "Engine running time per query (ms)."},
+      {"total_ms", "modis_total_ms", &MetricsSnapshot::total_ms,
+       "Queue + run time per query (ms)."},
+      {"phase_admission_ms", "modis_phase_admission_ms",
+       &MetricsSnapshot::phase_admission_ms,
+       "Trace-derived admission-span time per query (ms)."},
+      {"phase_context_ms", "modis_phase_context_ms",
+       &MetricsSnapshot::phase_context_ms,
+       "Trace-derived task-context time per query (ms)."},
+      {"phase_plan_ms", "modis_phase_plan_ms",
+       &MetricsSnapshot::phase_plan_ms,
+       "Trace-derived batch-planning time per query (ms)."},
+      {"phase_train_ms", "modis_phase_train_ms",
+       &MetricsSnapshot::phase_train_ms,
+       "Trace-derived exact-training fan-out time per query (ms)."},
+      {"phase_commit_ms", "modis_phase_commit_ms",
+       &MetricsSnapshot::phase_commit_ms,
+       "Trace-derived batch-commit time per query (ms)."},
+      {"phase_flush_ms", "modis_phase_flush_ms",
+       &MetricsSnapshot::phase_flush_ms,
+       "Trace-derived cache-flush time per query (ms)."},
+      {"phase_respond_ms", "modis_phase_respond_ms",
+       &MetricsSnapshot::phase_respond_ms,
+       "Trace-derived response-write time per query (ms)."},
+  };
+  return kDescriptors;
+}
+
 MetricsSnapshot ServiceMetrics::Snapshot() const {
   MetricsSnapshot snapshot;
   snapshot.accepted = accepted.load();
@@ -151,6 +187,13 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   snapshot.queue_ms = queue_ms.snapshot();
   snapshot.run_ms = run_ms.snapshot();
   snapshot.total_ms = total_ms.snapshot();
+  snapshot.phase_admission_ms = phase_admission_ms.snapshot();
+  snapshot.phase_context_ms = phase_context_ms.snapshot();
+  snapshot.phase_plan_ms = phase_plan_ms.snapshot();
+  snapshot.phase_train_ms = phase_train_ms.snapshot();
+  snapshot.phase_commit_ms = phase_commit_ms.snapshot();
+  snapshot.phase_flush_ms = phase_flush_ms.snapshot();
+  snapshot.phase_respond_ms = phase_respond_ms.snapshot();
   return snapshot;
 }
 

@@ -86,6 +86,9 @@ struct MetricsSnapshot {
   /// Bytes returned by cache compaction this session — the v1 log
   /// rewrite and the paged engine's page GC feed the same counter.
   uint64_t cache_reclaimed_bytes = 0;
+  /// Gauge: buffer-pool frames holding a page, summed over every open
+  /// paged cache (0 when every cache runs the v1 log backend).
+  uint64_t buffer_pool_frames = 0;
 
   // Cross-query exact-training fusion + columnar mask fast path.
   /// Queries that consumed at least one fused training.
@@ -122,6 +125,18 @@ struct MetricsSnapshot {
   LatencyHistogram::Snapshot run_ms;
   LatencyHistogram::Snapshot total_ms;
 
+  // Trace-derived phase distributions: per query, the summed duration of
+  // all spans of that name in its trace (docs/OBSERVABILITY.md). Fed by
+  // the session loop from the completed span tree, so Prometheus
+  // `modis_phase_*` agrees with `/v1/debug/traces` by construction.
+  LatencyHistogram::Snapshot phase_admission_ms;
+  LatencyHistogram::Snapshot phase_context_ms;
+  LatencyHistogram::Snapshot phase_plan_ms;
+  LatencyHistogram::Snapshot phase_train_ms;
+  LatencyHistogram::Snapshot phase_commit_ms;
+  LatencyHistogram::Snapshot phase_flush_ms;
+  LatencyHistogram::Snapshot phase_respond_ms;
+
   /// One entry per configured tenant (empty when QoS is off).
   std::vector<TenantMetricsSnapshot> tenants;
 };
@@ -154,6 +169,19 @@ struct TenantMetricDesc {
 };
 
 const std::vector<TenantMetricDesc>& TenantMetricDescriptors();
+
+/// Same contract for the latency histograms: one table binding each
+/// histogram's wire-JSON member name to its Prometheus series prefix
+/// (`<prom_name>_bucket/_sum/_count`), iterated by both exports and the
+/// parity test.
+struct HistogramMetricDesc {
+  const char* json_name;
+  const char* prom_name;
+  LatencyHistogram::Snapshot MetricsSnapshot::*field;
+  const char* help;
+};
+
+const std::vector<HistogramMetricDesc>& HistogramMetricDescriptors();
 
 /// The shared counter registry. The DiscoveryService owns one; the
 /// transport layer (LineServer) and the session loops both write into it
@@ -191,6 +219,15 @@ class ServiceMetrics {
   LatencyHistogram queue_ms;
   LatencyHistogram run_ms;
   LatencyHistogram total_ms;
+
+  // Trace-derived per-phase histograms (see MetricsSnapshot).
+  LatencyHistogram phase_admission_ms;
+  LatencyHistogram phase_context_ms;
+  LatencyHistogram phase_plan_ms;
+  LatencyHistogram phase_train_ms;
+  LatencyHistogram phase_commit_ms;
+  LatencyHistogram phase_flush_ms;
+  LatencyHistogram phase_respond_ms;
 
   /// Copies every counter and histogram; gauges are left zero for the
   /// caller to fill.

@@ -109,6 +109,7 @@ Result<DiscoveryRequest> ParseDiscoveryRequestDoc(const JsonValue& doc) {
   request.cache_namespace =
       doc.GetString("namespace", request.cache_namespace);
   request.api_key = doc.GetString("api_key", request.api_key);
+  request.trace = doc.GetBool("trace", request.trace);
   return request;
 }
 
@@ -133,13 +134,49 @@ std::string SerializeDiscoveryRequest(const DiscoveryRequest& request) {
     doc.Set("namespace", request.cache_namespace);
   }
   if (!request.api_key.empty()) doc.Set("api_key", request.api_key);
+  // Emitted only when set so traced and untraced requests serialize to
+  // the same line otherwise — the warm-key / shed fingerprints that hash
+  // serialized requests stay stable.
+  if (request.trace) doc.Set("trace", true);
   doc.Set("seed", double(request.seed));
   return doc.Dump();
 }
 
+namespace {
+
+/// One TraceSpan as a wire object. Spans still open when snapshotted
+/// carry duration_ms < 0 internally; the wire clamps to 0 so consumers
+/// never see a negative duration.
+JsonValue SpanToJson(const TraceSpan& span) {
+  JsonValue doc{JsonValue::Object{}};
+  doc.Set("id", span.id);
+  doc.Set("name", span.name);
+  doc.Set("parent", span.parent);
+  doc.Set("start_ms", span.start_ms);
+  doc.Set("duration_ms", span.duration_ms < 0.0 ? 0.0 : span.duration_ms);
+  if (!span.attrs.empty()) {
+    JsonValue attrs{JsonValue::Object{}};
+    for (const auto& [key, value] : span.attrs) {
+      attrs.Set(key, double(value));
+    }
+    doc.Set("attrs", std::move(attrs));
+  }
+  return doc;
+}
+
+JsonValue::Array SpansToJson(const std::vector<TraceSpan>& spans) {
+  JsonValue::Array array;
+  array.reserve(spans.size());
+  for (const TraceSpan& span : spans) array.push_back(SpanToJson(span));
+  return array;
+}
+
+}  // namespace
+
 std::string SerializeDiscoveryResponse(const DiscoveryResponse& response) {
   JsonValue doc{JsonValue::Object{}};
   doc.Set("ok", true);
+  doc.Set("request_id", response.request_id);
   doc.Set("task", response.task);
   doc.Set("variant", response.variant);
   doc.Set("measures", StringsToJson(response.measure_names));
@@ -172,6 +209,11 @@ std::string SerializeDiscoveryResponse(const DiscoveryResponse& response) {
   stats.Set("run_ms", response.run_ms);
   stats.Set("total_ms", response.total_ms);
   doc.Set("stats", std::move(stats));
+  // Inline span tree, present only when the request opted in with
+  // `"trace":true` (docs/OBSERVABILITY.md §3).
+  if (!response.trace_spans.empty()) {
+    doc.Set("trace", SpansToJson(response.trace_spans));
+  }
   return doc.Dump();
 }
 
@@ -237,12 +279,65 @@ std::string SerializeServiceMetrics(const MetricsSnapshot& snapshot) {
     }
     metrics.Set("tenants", std::move(tenants));
   }
-  metrics.Set("queue_ms", HistogramToJson(snapshot.queue_ms));
-  metrics.Set("run_ms", HistogramToJson(snapshot.run_ms));
-  metrics.Set("total_ms", HistogramToJson(snapshot.total_ms));
+  for (const HistogramMetricDesc& desc : HistogramMetricDescriptors()) {
+    metrics.Set(desc.json_name, HistogramToJson(snapshot.*desc.field));
+  }
   JsonValue doc{JsonValue::Object{}};
   doc.Set("ok", true);
   doc.Set("metrics", std::move(metrics));
+  return doc.Dump();
+}
+
+std::string SerializeTraceDebug(const std::vector<Trace>& slowest,
+                                const std::vector<Trace>& recent) {
+  JsonValue::Array events;
+  // One process per retained trace, pid = the host-unique request
+  // sequence, so a trace in both sets (slow AND recent) folds onto one
+  // timeline instead of rendering twice.
+  std::vector<const Trace*> traces;
+  traces.reserve(slowest.size() + recent.size());
+  for (const Trace& t : slowest) traces.push_back(&t);
+  for (const Trace& t : recent) {
+    bool seen = false;
+    for (const Trace& s : slowest) seen = seen || s.sequence == t.sequence;
+    if (!seen) traces.push_back(&t);
+  }
+  for (const Trace* trace : traces) {
+    const size_t pid = size_t(trace->sequence);
+    JsonValue meta{JsonValue::Object{}};
+    meta.Set("name", "process_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", pid);
+    JsonValue meta_args{JsonValue::Object{}};
+    meta_args.Set("name", trace->request_id + " " + trace->task +
+                              (trace->tenant.empty()
+                                   ? std::string()
+                                   : " [" + trace->tenant + "]"));
+    meta.Set("args", std::move(meta_args));
+    events.push_back(std::move(meta));
+    for (const TraceSpan& span : trace->spans) {
+      JsonValue event{JsonValue::Object{}};
+      event.Set("name", span.name);
+      event.Set("ph", "X");
+      event.Set("pid", pid);
+      // One track per span keeps concurrent "exact" spans from
+      // overlapping on a shared row, which trace viewers reject.
+      event.Set("tid", span.id);
+      event.Set("ts", span.start_ms * 1000.0);
+      event.Set("dur",
+                span.duration_ms < 0.0 ? 0.0 : span.duration_ms * 1000.0);
+      JsonValue args{JsonValue::Object{}};
+      args.Set("parent", span.parent);
+      for (const auto& [key, value] : span.attrs) {
+        args.Set(key, double(value));
+      }
+      event.Set("args", std::move(args));
+      events.push_back(std::move(event));
+    }
+  }
+  JsonValue doc{JsonValue::Object{}};
+  doc.Set("ok", true);
+  doc.Set("traceEvents", std::move(events));
   return doc.Dump();
 }
 
@@ -255,9 +350,13 @@ std::string HandleServiceLine(DiscoveryService* service,
     if (verb == "metrics") {
       return SerializeServiceMetrics(service->SnapshotMetrics());
     }
+    if (verb == "trace") {
+      return SerializeTraceDebug(service->SlowestTraces(),
+                                 service->RecentTraces());
+    }
     if (!verb.empty() && verb != "discover") {
       return SerializeDiscoveryError(Status::InvalidArgument(
-          "unknown verb '" + verb + "' (discover | metrics)"));
+          "unknown verb '" + verb + "' (discover | metrics | trace)"));
     }
   }
   auto request = ParseDiscoveryRequestDoc(*doc);
@@ -278,6 +377,7 @@ Result<DiscoveryResponse> ParseDiscoveryResponse(const std::string& line) {
                       doc.GetString("error", "malformed error response"));
   }
   DiscoveryResponse response;
+  response.request_id = doc.GetString("request_id", "");
   response.task = doc.GetString("task", "");
   response.variant = doc.GetString("variant", "");
   if (const JsonValue* measures = doc.Get("measures");
@@ -329,6 +429,28 @@ Result<DiscoveryResponse> ParseDiscoveryResponse(const std::string& line) {
     response.queue_ms = stats->GetNumber("queue_ms", 0.0);
     response.run_ms = stats->GetNumber("run_ms", 0.0);
     response.total_ms = stats->GetNumber("total_ms", 0.0);
+  }
+  if (const JsonValue* trace = doc.Get("trace");
+      trace != nullptr && trace->is_array()) {
+    for (const JsonValue& entry : trace->AsArray()) {
+      TraceSpan span;
+      span.name = entry.GetString("name", "");
+      span.id = static_cast<SpanId>(entry.GetNumber("id", kNoSpan));
+      span.parent =
+          static_cast<SpanId>(entry.GetNumber("parent", kNoSpan));
+      span.start_ms = entry.GetNumber("start_ms", 0.0);
+      span.duration_ms = entry.GetNumber("duration_ms", 0.0);
+      if (const JsonValue* attrs = entry.Get("attrs");
+          attrs != nullptr && attrs->is_object()) {
+        for (const auto& [key, value] : attrs->AsObject()) {
+          if (value.is_number()) {
+            span.attrs.emplace_back(key,
+                                    static_cast<int64_t>(value.AsNumber()));
+          }
+        }
+      }
+      response.trace_spans.push_back(std::move(span));
+    }
   }
   return response;
 }

@@ -2,8 +2,10 @@
 #define MODIS_SERVICE_WIRE_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "service/discovery_service.h"
 #include "service/json.h"
 
@@ -42,12 +44,23 @@ Result<DiscoveryResponse> ParseDiscoveryResponse(const std::string& line);
 /// member names are the metrics schema documented in docs/SERVING.md §5.
 std::string SerializeServiceMetrics(const MetricsSnapshot& snapshot);
 
+/// Encodes the debug trace ring as one
+/// `{"ok":true,"traceEvents":[...]}` document in the Chrome
+/// `trace_event` format (complete "X" events, timestamps/durations in
+/// microseconds), loadable as-is in about:tracing or ui.perfetto.dev.
+/// Each retained trace becomes one process (pid = request sequence)
+/// named after its request id; shared by the `"trace"` wire verb and
+/// `GET /v1/debug/traces` (docs/OBSERVABILITY.md).
+std::string SerializeTraceDebug(const std::vector<Trace>& slowest,
+                                const std::vector<Trace>& recent);
+
 /// THE request dispatcher of the protocol: maps one request line to one
 /// response line, shared by `modis_server` (socket + stdio), and the
 /// in-process servers of tests/transport_test.cc. Dispatches on the
 /// optional "verb" member — absent or "discover" runs a discovery query
-/// through Answer(); "metrics" snapshots the host; anything else is an
-/// InvalidArgument line. Never throws, never returns an empty string.
+/// through Answer(); "metrics" snapshots the host; "trace" dumps the
+/// retained slow/recent traces; anything else is an InvalidArgument
+/// line. Never throws, never returns an empty string.
 std::string HandleServiceLine(DiscoveryService* service,
                               const std::string& line);
 

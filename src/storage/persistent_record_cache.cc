@@ -473,6 +473,7 @@ PersistentRecordCache::Stats PersistentRecordCache::stats() const {
     snapshot.reclaimed_bytes = s.reclaimed_bytes;
     snapshot.quarantined = s.quarantined;
     snapshot.discarded_tail_bytes = s.discarded_tail_bytes;
+    snapshot.buffer_frames_in_use = s.pool.frames_in_use;
   } else {
     snapshot.log_bytes = log_.size_bytes();
     snapshot.reclaimed_bytes = log_.reclaimed_bytes();

@@ -118,6 +118,10 @@ class PersistentRecordCache {
     size_t reclaimed_bytes = 0;
     /// Paged engine only: lookups degraded to misses by invalid pages.
     size_t quarantined = 0;
+    /// Paged engine only: buffer-pool frames currently holding a page
+    /// (live gauge, not a counter). 0 under the v1 log backend, which
+    /// has no pool.
+    size_t buffer_frames_in_use = 0;
   };
 
   /// Opens `path` for the task identified by `fingerprint` (the default

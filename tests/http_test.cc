@@ -986,20 +986,32 @@ TEST(ExpositionParityTest, PrometheusAgreesWithWireMetricsValueForValue) {
     EXPECT_EQ(PromValue(exposition, "modis_draining", &found), 0.0);
     EXPECT_TRUE(found);
   }
-  for (const char* histogram : {"queue_ms", "run_ms", "total_ms"}) {
-    const JsonValue* json = metrics->Get(histogram);
-    ASSERT_NE(json, nullptr) << histogram;
+  // Every descriptor-table histogram — including the trace-derived
+  // modis_phase_* family — agrees value-for-value across both surfaces.
+  for (const HistogramMetricDesc& desc : HistogramMetricDescriptors()) {
+    const JsonValue* json = metrics->Get(desc.json_name);
+    ASSERT_NE(json, nullptr) << desc.json_name;
     bool found = false;
-    EXPECT_EQ(PromValue(exposition,
-                        "modis_" + std::string(histogram) + "_count", &found),
-              json->GetNumber("count", -1.0))
-        << histogram;
-    EXPECT_TRUE(found);
+    EXPECT_EQ(
+        PromValue(exposition, std::string(desc.prom_name) + "_count", &found),
+        json->GetNumber("count", -1.0))
+        << desc.json_name;
+    EXPECT_TRUE(found) << desc.prom_name;
     EXPECT_DOUBLE_EQ(
-        PromValue(exposition, "modis_" + std::string(histogram) + "_sum",
-                  &found),
+        PromValue(exposition, std::string(desc.prom_name) + "_sum", &found),
         json->GetNumber("sum_ms", -1.0))
-        << histogram;
+        << desc.json_name;
+    EXPECT_TRUE(found) << desc.prom_name;
+  }
+  {
+    // Phase histograms fill from the always-on recorder: all three served
+    // queries must have landed in every phase family.
+    bool found = false;
+    EXPECT_EQ(PromValue(exposition, "modis_phase_respond_ms_count", &found),
+              3.0);
+    EXPECT_TRUE(found);
+    EXPECT_EQ(PromValue(exposition, "modis_phase_train_ms_count", &found),
+              3.0);
     EXPECT_TRUE(found);
   }
   const JsonValue* tenants = metrics->Get("tenants");
@@ -1031,6 +1043,86 @@ TEST(ExpositionParityTest, PrometheusAgreesWithWireMetricsValueForValue) {
       PromValue(exposition,
                 "modis_tenant_rate_limited_total{tenant=\"bronze\"}", &found),
       1.0);
+}
+
+// ------------------------------------------------------ tracing over HTTP
+
+/// The HTTP face of the tracing tentpole: `X-Modis-Request-Id` on every
+/// answered query (matching the body's `request_id`), `X-Modis-Trace: 1`
+/// switching on the inline span tree, and `GET /v1/debug/traces` serving
+/// the ring as Chrome trace_event JSON that names BOTH queries — the
+/// recorder is always on; the header only gates the inline echo.
+TEST(HttpTraceTest, TraceHeaderRequestIdAndDebugEndpoint) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.default_cache_path = TempPath("http_trace.rlog");
+  HttpHost host(options);
+  ASSERT_TRUE(host.Listen(UnixEndpoint("http_trace.sock")).ok());
+  host.Start();
+
+  const std::string body = SerializeDiscoveryRequest(MakeRequest("bi"));
+
+  // An untraced query carries a request id in header and body but no
+  // span tree.
+  auto plain = HttpRoundTrip(host.endpoint(), HttpPostText("/v1/query", body));
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_EQ(plain->status, 200);
+  const std::string* plain_id = plain->FindHeader("x-modis-request-id");
+  ASSERT_NE(plain_id, nullptr);
+  auto plain_parsed = ParseDiscoveryResponse(plain->body);
+  ASSERT_TRUE(plain_parsed.ok()) << plain_parsed.status().ToString();
+  EXPECT_EQ(plain_parsed->request_id, *plain_id);
+  EXPECT_TRUE(plain_parsed->trace_spans.empty());
+
+  // X-Modis-Trace: 1 turns on the inline span tree (warm-path answer
+  // identity under tracing is covered in tests/service_test.cc).
+  auto traced = HttpRoundTrip(
+      host.endpoint(), HttpPostText("/v1/query", body, "X-Modis-Trace: 1\r\n"));
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  ASSERT_EQ(traced->status, 200);
+  const std::string* traced_id = traced->FindHeader("x-modis-request-id");
+  ASSERT_NE(traced_id, nullptr);
+  EXPECT_NE(*traced_id, *plain_id);
+  auto traced_parsed = ParseDiscoveryResponse(traced->body);
+  ASSERT_TRUE(traced_parsed.ok()) << traced_parsed.status().ToString();
+  EXPECT_EQ(traced_parsed->request_id, *traced_id);
+  ASSERT_FALSE(traced_parsed->trace_spans.empty());
+  EXPECT_EQ(traced_parsed->trace_spans[0].name, "query");
+
+  // GET /v1/debug/traces serves Chrome trace_event JSON whose process
+  // metadata names both request ids.
+  auto debug = HttpRoundTrip(host.endpoint(), HttpGetText("/v1/debug/traces"));
+  ASSERT_TRUE(debug.ok()) << debug.status().ToString();
+  EXPECT_EQ(debug->status, 200);
+  ASSERT_NE(debug->FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*debug->FindHeader("content-type"), "application/json");
+  auto debug_doc = JsonValue::Parse(debug->body);
+  ASSERT_TRUE(debug_doc.ok()) << debug_doc.status().ToString();
+  EXPECT_TRUE(debug_doc->GetBool("ok", false));
+  const JsonValue* events = debug_doc->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool saw_plain = false;
+  bool saw_traced = false;
+  for (const JsonValue& event : events->AsArray()) {
+    if (event.GetString("ph", "") != "M") continue;
+    const JsonValue* args = event.Get("args");
+    ASSERT_NE(args, nullptr);
+    const std::string process = args->GetString("name", "");
+    if (process.find(*plain_id) != std::string::npos) saw_plain = true;
+    if (process.find(*traced_id) != std::string::npos) saw_traced = true;
+  }
+  EXPECT_TRUE(saw_plain) << "untraced queries must still reach the ring";
+  EXPECT_TRUE(saw_traced);
+
+  // The debug surface is GET-only.
+  auto wrong =
+      HttpRoundTrip(host.endpoint(), HttpPostText("/v1/debug/traces", "{}"));
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_EQ(wrong->status, 405);
+  ASSERT_NE(wrong->FindHeader("allow"), nullptr);
+  EXPECT_EQ(*wrong->FindHeader("allow"), "GET");
+
+  host.Stop();
 }
 
 // --------------------------------------------------------- QoS over HTTP

@@ -6,10 +6,12 @@
 #include <filesystem>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/algorithms.h"
 #include "datagen/tasks.h"
 #include "estimator/supervised_evaluator.h"
@@ -924,6 +926,285 @@ TEST(QosTest, DrainMidOverloadCompletesAllAcceptedWork) {
   EXPECT_EQ(completed.load() + shed.load(), accepted);
   EXPECT_EQ(stats_before.accepted, accepted);
   EXPECT_EQ(accepted + door_rejected, 8u);
+}
+
+// ---------------------------------------------------------------- tracing
+
+TEST(TraceRecorderTest, SpanTreeBasics) {
+  TraceRecorder recorder;
+  const SpanId root = recorder.Begin("query", kNoSpan);
+  const SpanId child = recorder.Begin("plan", root);
+  recorder.AddAttr(child, "batch_size", 7);
+  recorder.End(child);
+  recorder.End(root);
+  const std::vector<TraceSpan> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "query");
+  EXPECT_EQ(spans[0].parent, kNoSpan);
+  EXPECT_EQ(spans[1].parent, root);
+  ASSERT_EQ(spans[1].attrs.size(), 1u);
+  EXPECT_EQ(spans[1].attrs[0].first, "batch_size");
+  EXPECT_EQ(spans[1].attrs[0].second, 7);
+  EXPECT_GE(spans[1].start_ms, spans[0].start_ms);
+  EXPECT_GE(spans[0].duration_ms, spans[1].duration_ms);
+  EXPECT_GE(spans[1].duration_ms, 0.0);
+  EXPECT_DOUBLE_EQ(SumSpanMs(spans, "plan"), spans[1].duration_ms);
+  EXPECT_DOUBLE_EQ(SumSpanMs(spans, "absent"), 0.0);
+}
+
+TEST(TraceRecorderTest, UnendedAndInvalidSpansAreHarmless) {
+  TraceRecorder recorder;
+  const SpanId open = recorder.Begin("open", kNoSpan);
+  recorder.End(kNoSpan);     // No-op.
+  recorder.End(SpanId(99));  // Out of range: no-op.
+  recorder.AddAttr(kNoSpan, "x", 1);
+  recorder.AddAttr(SpanId(99), "x", 1);
+  auto spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_LT(spans[0].duration_ms, 0.0);  // Still open.
+  // Unended spans never contribute to phase sums.
+  EXPECT_DOUBLE_EQ(SumSpanMs(spans, "open"), 0.0);
+  recorder.End(open);
+  const double first = recorder.Snapshot()[0].duration_ms;
+  EXPECT_GE(first, 0.0);
+  recorder.End(open);  // Double End keeps the first duration.
+  EXPECT_DOUBLE_EQ(recorder.Snapshot()[0].duration_ms, first);
+}
+
+TEST(TraceRingTest, BoundsAndEvictionOrder) {
+  TraceRing ring(/*recent_capacity=*/2, /*slow_capacity=*/2);
+  auto make = [](uint64_t sequence, double total_ms) {
+    Trace trace;
+    trace.request_id = "q-" + std::to_string(sequence);
+    trace.sequence = sequence;
+    trace.total_ms = total_ms;
+    return trace;
+  };
+  ring.Add(make(1, 10.0));
+  ring.Add(make(2, 30.0));
+  ring.Add(make(3, 20.0));
+  ring.Add(make(4, 5.0));
+  // Recent is FIFO, oldest evicted first.
+  const auto recent = ring.Recent();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].sequence, 3u);
+  EXPECT_EQ(recent[1].sequence, 4u);
+  // Slowest is sorted by total time, bounded, fastest evicted.
+  const auto slow = ring.Slowest();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].sequence, 2u);
+  EXPECT_EQ(slow[1].sequence, 3u);
+}
+
+/// The span-tree acceptance gate: a warm traced query returns the full
+/// admission → context → run → level/batch(plan/train/commit) → respond
+/// taxonomy with complete durations, and a repeat produces the identical
+/// (name, parent) sequence — tracing consumes no randomness.
+TEST(ServiceTraceTest, WarmTracedQueryReturnsDeterministicSpanTree) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.default_cache_path = TempPath("service_trace.rlog");
+  DiscoveryService service(options);
+  ASSERT_TRUE(service.Answer(MakeRequest("bi")).ok());  // Cold, untraced.
+
+  DiscoveryRequest traced = MakeRequest("bi");
+  traced.trace = true;
+  auto first = service.Answer(traced);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->request_id.empty());
+  const std::vector<TraceSpan>& spans = first->trace_spans;
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans[0].name, "query");
+  EXPECT_EQ(spans[0].parent, kNoSpan);
+  SpanId run_span = kNoSpan;
+  for (const TraceSpan& span : spans) {
+    if (span.parent != kNoSpan) {
+      ASSERT_GE(span.parent, 0);
+      ASSERT_LT(size_t(span.parent), spans.size());
+    }
+    EXPECT_GE(span.duration_ms, 0.0) << span.name;  // All ended.
+    EXPECT_GE(span.start_ms, 0.0);
+    if (span.name == "run") run_span = span.id;
+  }
+  ASSERT_NE(run_span, kNoSpan);
+  auto count = [&spans](const char* name) {
+    size_t n = 0;
+    for (const TraceSpan& s : spans) n += size_t(s.name == name);
+    return n;
+  };
+  EXPECT_EQ(count("admission"), 1u);
+  EXPECT_EQ(count("context"), 1u);
+  EXPECT_EQ(count("run"), 1u);
+  EXPECT_EQ(count("respond"), 1u);
+  EXPECT_GE(count("level"), 1u);
+  EXPECT_GE(count("batch"), 1u);
+  EXPECT_GE(count("plan"), 1u);
+  EXPECT_GE(count("train"), 1u);
+  EXPECT_GE(count("commit"), 1u);
+  EXPECT_GE(count("flush"), 1u);
+  EXPECT_EQ(count("exact"), 0u);  // Warm: everything replays.
+  for (const TraceSpan& span : spans) {
+    if (span.name == "level") {
+      EXPECT_EQ(span.parent, run_span);
+    }
+  }
+  // Phase durations stay within the root span that contains them.
+  const double total = spans[0].duration_ms;
+  for (const char* phase : {"admission", "context", "run", "respond"}) {
+    EXPECT_LE(SumSpanMs(spans, phase), total + 0.001) << phase;
+  }
+
+  auto second = service.Answer(traced);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(second->trace_spans.size(), spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(second->trace_spans[i].name, spans[i].name) << i;
+    EXPECT_EQ(second->trace_spans[i].parent, spans[i].parent) << i;
+  }
+  EXPECT_NE(second->request_id, first->request_id);
+}
+
+/// trace-on ≡ trace-off: the flag only controls the inline echo. Two
+/// fresh hosts answer the same fixed-seed query byte-identically whether
+/// tracing is requested or not.
+TEST(ServiceTraceTest, TracingDoesNotPerturbTheAnswer) {
+  DiscoveryResponse off;
+  {
+    DiscoveryService service(SmallServiceOptions());
+    auto response = service.Answer(MakeRequest("bi"));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->trace_spans.empty());
+    off = std::move(response).value();
+  }
+  DiscoveryResponse on;
+  {
+    DiscoveryService service(SmallServiceOptions());
+    DiscoveryRequest traced = MakeRequest("bi");
+    traced.trace = true;
+    auto response = service.Answer(traced);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_FALSE(response->trace_spans.empty());
+    on = std::move(response).value();
+  }
+  ExpectSameSkylines(off, on);
+  EXPECT_EQ(off.valuated_states, on.valuated_states);
+  EXPECT_EQ(off.generated_states, on.generated_states);
+  EXPECT_EQ(off.pruned_states, on.pruned_states);
+  EXPECT_EQ(off.exact_evals, on.exact_evals);
+}
+
+/// The TSan gate: concurrent traced cold queries fan their exact
+/// trainings over the shared pool while each worker writes "exact" spans
+/// into its query's recorder. Everything completes, ids stay unique, and
+/// the retention rings respect their bounds.
+TEST(ServiceTraceTest, ConcurrentTracedQueriesAreCleanAndRetained) {
+  DiscoveryService::Options options = SmallServiceOptions();
+  options.sessions = 4;
+  options.trace_recent_capacity = 3;
+  options.trace_slow_capacity = 2;
+  DiscoveryService service(options);
+  ASSERT_TRUE(service.Preload("T2").ok());
+  const std::vector<std::string> variants = {"apx", "nobi", "bi", "div"};
+  std::vector<Result<DiscoveryResponse>> responses(
+      variants.size(), Result<DiscoveryResponse>(Status::Internal("unset")));
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < variants.size(); ++i) {
+    clients.emplace_back([&service, &responses, &variants, i] {
+      DiscoveryRequest request = MakeRequest(variants[i]);
+      request.trace = true;
+      responses[i] = service.Answer(request);
+    });
+  }
+  for (std::thread& c : clients) c.join();
+
+  std::set<std::string> ids;
+  bool exact_span_seen = false;
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_FALSE(response->trace_spans.empty());
+    EXPECT_FALSE(response->request_id.empty());
+    ids.insert(response->request_id);
+    for (const TraceSpan& span : response->trace_spans) {
+      exact_span_seen = exact_span_seen || span.name == "exact";
+    }
+  }
+  EXPECT_EQ(ids.size(), variants.size());
+  EXPECT_TRUE(exact_span_seen);
+
+  EXPECT_LE(service.RecentTraces().size(), 3u);
+  EXPECT_GE(service.RecentTraces().size(), 1u);
+  EXPECT_LE(service.SlowestTraces().size(), 2u);
+
+  // Always-on recording feeds the per-phase histograms for every served
+  // query, traced or not.
+  const MetricsSnapshot snapshot = service.SnapshotMetrics();
+  EXPECT_EQ(snapshot.phase_plan_ms.count, variants.size());
+  EXPECT_EQ(snapshot.phase_train_ms.count, variants.size());
+  EXPECT_EQ(snapshot.phase_respond_ms.count, variants.size());
+}
+
+TEST(WireTest, TraceFlagAndRequestIdRoundTrip) {
+  DiscoveryRequest request = MakeRequest("bi");
+  // Absent unless set, so traced and untraced requests serialize to the
+  // same line otherwise (warm keys hash the serialized request).
+  EXPECT_EQ(SerializeDiscoveryRequest(request).find("\"trace\""),
+            std::string::npos);
+  request.trace = true;
+  auto decoded = ParseDiscoveryRequest(SerializeDiscoveryRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->trace);
+
+  DiscoveryResponse response;
+  response.request_id = "q-000042";
+  TraceSpan span;
+  span.name = "query";
+  span.id = 0;
+  span.parent = kNoSpan;
+  span.start_ms = 0.0;
+  span.duration_ms = 1.5;
+  span.attrs.emplace_back("level", 2);
+  response.trace_spans.push_back(span);
+  auto parsed = ParseDiscoveryResponse(SerializeDiscoveryResponse(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->request_id, "q-000042");
+  ASSERT_EQ(parsed->trace_spans.size(), 1u);
+  EXPECT_EQ(parsed->trace_spans[0].name, "query");
+  EXPECT_EQ(parsed->trace_spans[0].parent, kNoSpan);
+  EXPECT_DOUBLE_EQ(parsed->trace_spans[0].duration_ms, 1.5);
+  ASSERT_EQ(parsed->trace_spans[0].attrs.size(), 1u);
+  EXPECT_EQ(parsed->trace_spans[0].attrs[0].first, "level");
+  EXPECT_EQ(parsed->trace_spans[0].attrs[0].second, 2);
+}
+
+TEST(WireTest, TraceVerbServesTheDebugRing) {
+  DiscoveryService service(SmallServiceOptions());
+  ASSERT_TRUE(service.Answer(MakeRequest("apx")).ok());
+  const std::string reply =
+      HandleServiceLine(&service, "{\"verb\":\"trace\"}");
+  auto doc = JsonValue::Parse(reply);
+  ASSERT_TRUE(doc.ok()) << reply;
+  EXPECT_TRUE(doc->GetBool("ok", false));
+  const JsonValue* events = doc->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->AsArray().empty());
+  // Chrome trace_event grammar: per-trace metadata records plus "X"
+  // complete events with non-negative µs timestamps.
+  bool meta_seen = false, complete_seen = false;
+  for (const JsonValue& event : events->AsArray()) {
+    const std::string ph = event.GetString("ph", "");
+    if (ph == "M") meta_seen = true;
+    if (ph == "X") {
+      complete_seen = true;
+      EXPECT_GE(event.GetNumber("ts", -1.0), 0.0);
+      EXPECT_GE(event.GetNumber("dur", -1.0), 0.0);
+    }
+  }
+  EXPECT_TRUE(meta_seen);
+  EXPECT_TRUE(complete_seen);
+
+  const std::string unknown = HandleServiceLine(
+      &service, "{\"verb\":\"frobnicate\",\"task\":\"T2\"}");
+  EXPECT_NE(unknown.find("discover | metrics | trace"), std::string::npos);
 }
 
 TEST(QosTest, HighPriorityJumpsTheAdmissionQueue) {
