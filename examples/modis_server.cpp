@@ -30,6 +30,13 @@
 ///             [--log-json]       one JSON object per log line
 ///             [--slow-query-ms N]  WARN queries slower than N ms (0 = off)
 ///             [--trace-ring N]   retained recent AND slow traces (def. 16)
+///             [--workers N]      worker *processes* draining a shared-
+///                                memory job ring (0 = in-process mode,
+///                                the default; docs/MULTIPROCESS.md)
+///             [--job-ring N]     job slots in the ring (default 16)
+///             [--worker-respawn-ms N]  respawn backoff base (def. 200)
+///             [--ring-path P]    ring segment file (default: a /tmp
+///                                path derived from the pid)
 ///
 /// --socket and --listen may be combined; both transports answer from the
 /// same service. With --http each connection is protocol-sniffed: HTTP
@@ -45,8 +52,11 @@
 /// without the service (fresh lake, fresh engine) and prints the same
 /// response JSON — the reference the serving smoke test diffs against.
 
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,6 +66,7 @@
 #include "service/qos.h"
 #include "service/transport.h"
 #include "service/wire.h"
+#include "service/worker.h"
 
 using namespace modis;
 
@@ -84,6 +95,15 @@ struct Args {
   bool log_json = false;
   double slow_query_ms = 0.0;
   size_t trace_ring = 16;
+  // Multi-process mode (docs/MULTIPROCESS.md).
+  uint32_t workers = 0;
+  uint32_t job_ring = 16;
+  int worker_respawn_ms = 200;
+  std::string ring_path;
+  // Hidden: set when this process IS a worker (spawned by the
+  // coordinator via fork+exec of its own binary).
+  std::string worker_attach;
+  uint32_t worker_index = 0;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -151,6 +171,22 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--trace-ring") {
       if (!next(&value)) return false;
       args->trace_ring = std::stoul(value);
+    } else if (flag == "--workers") {
+      if (!next(&value)) return false;
+      args->workers = static_cast<uint32_t>(std::stoul(value));
+    } else if (flag == "--job-ring") {
+      if (!next(&value)) return false;
+      args->job_ring = static_cast<uint32_t>(std::stoul(value));
+    } else if (flag == "--worker-respawn-ms") {
+      if (!next(&value)) return false;
+      args->worker_respawn_ms = std::stoi(value);
+    } else if (flag == "--ring-path") {
+      if (!next(&args->ring_path)) return false;
+    } else if (flag == "--worker-attach") {
+      if (!next(&args->worker_attach)) return false;
+    } else if (flag == "--worker-index") {
+      if (!next(&value)) return false;
+      args->worker_index = static_cast<uint32_t>(std::stoul(value));
     } else if (flag == "--tenant") {
       if (!next(&value)) return false;
       auto spec = ParseTenantSpec(value);
@@ -166,7 +202,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     }
   }
   if (!args->stdio && args->socket_path.empty() && args->listen.empty() &&
-      args->batch_request.empty()) {
+      args->batch_request.empty() && args->worker_attach.empty()) {
     std::fprintf(stderr,
                  "one of --socket PATH, --listen HOST:PORT, --stdio, or "
                  "--batch JSON is required\n");
@@ -175,7 +211,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return true;
 }
 
-void ServeStdio(DiscoveryService* service) {
+void ServeStdio(DiscoveryService* service, WorkerPool* pool) {
   std::string line;
   std::vector<char> buffer(1 << 20);
   while (std::fgets(buffer.data(), int(buffer.size()), stdin) != nullptr) {
@@ -184,9 +220,78 @@ void ServeStdio(DiscoveryService* service) {
       line.pop_back();
     }
     if (line.empty()) continue;
-    std::printf("%s\n", HandleServiceLine(service, line).c_str());
+    std::printf("%s\n", HandleServiceLine(service, pool, line).c_str());
     std::fflush(stdout);
   }
+}
+
+/// fork+execs this very binary (/proc/self/exe) in worker mode,
+/// mirroring every engine-relevant flag of the coordinator's command
+/// line so workers open the same cache file with the same engine knobs.
+pid_t SpawnWorker(const Args& args, const std::string& ring_path,
+                  uint32_t worker) {
+  std::vector<std::string> storage;
+  storage.push_back("modis_server");
+  auto add = [&storage](const char* flag, const std::string& value) {
+    storage.push_back(flag);
+    storage.push_back(value);
+  };
+  add("--worker-attach", ring_path);
+  add("--worker-index", std::to_string(worker));
+  if (!args.cache.empty()) add("--cache", args.cache);
+  add("--cache-mode", args.cache_mode);
+  add("--cache-max-bytes", std::to_string(args.cache_max_bytes));
+  add("--page-size", std::to_string(args.page_size));
+  add("--buffer-pool-frames", std::to_string(args.buffer_pool_frames));
+  add("--max-task-contexts", std::to_string(args.max_task_contexts));
+  add("--context-ttl", std::to_string(args.context_ttl));
+  add("--row-scale", std::to_string(args.row_scale));
+  add("--threads", std::to_string(args.threads));
+  add("--sessions", "1");  // A worker drains one job at a time.
+  add("--slow-query-ms", std::to_string(args.slow_query_ms));
+  add("--trace-ring", std::to_string(args.trace_ring));
+  add("--log-level", args.log_level);
+  if (args.log_json) storage.push_back("--log-json");
+  std::vector<char*> argv;
+  argv.reserve(storage.size() + 1);
+  for (std::string& arg : storage) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv("/proc/self/exe", argv.data());
+    _exit(127);  // exec failed; the supervisor respawns with backoff.
+  }
+  if (pid > 0) {
+    MODIS_LOG(INFO, "server")
+        .Tag("worker", uint64_t(worker))
+        .Tag("pid", int64_t(pid))
+        << "worker spawned";
+  }
+  return pid;
+}
+
+/// Worker-process entry: attach to the coordinator's ring and drain it
+/// until the coordinator stops the ring or kills us. The cache opens in
+/// shared mode — short-lived lock windows instead of a lifetime writer
+/// lock — so N workers and the coordinator coexist on one file.
+int RunWorker(const Args& args, DiscoveryService::Options options) {
+  options.shared_cache = true;
+  options.request_id_prefix =
+      "q-w" + std::to_string(args.worker_index) + "-";
+  DiscoveryService service(options);
+  WorkerOptions worker_options;
+  worker_options.ring_path = args.worker_attach;
+  worker_options.worker_index = args.worker_index;
+  MODIS_LOG(INFO, "worker")
+      .Tag("worker", uint64_t(args.worker_index))
+      .Tag("ring", args.worker_attach)
+      << "attached; draining";
+  const Status ran = RunWorkerLoop(&service, worker_options);
+  if (!ran.ok()) {
+    MODIS_LOG(ERROR, "worker") << ran.ToString();
+    return 1;
+  }
+  return 0;
 }
 
 int RunBatch(const Args& args) {
@@ -279,6 +384,13 @@ int main(int argc, char** argv) {
   }
   options.default_cache_mode = mode.value();
 
+  if (!args.worker_attach.empty()) return RunWorker(args, options);
+
+  // Coordinator of the multi-process host: queries execute in worker
+  // processes over the shared cache file, so its own service opens the
+  // cache in shared mode too (metrics/trace verbs stay local).
+  if (args.workers > 0) options.shared_cache = true;
+
   DiscoveryService service(options);
   if (!args.cache.empty() && options.default_cache_mode != CacheMode::kOff) {
     if (options.cache_max_bytes > 0) {
@@ -291,9 +403,39 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::unique_ptr<WorkerPool> pool;
+  std::string ring_path = args.ring_path;
+  if (args.workers > 0) {
+    if (ring_path.empty()) {
+      ring_path = "/tmp/modis-ring-" + std::to_string(::getpid()) + ".shm";
+    }
+    WorkerPool::Options pool_options;
+    pool_options.workers = args.workers;
+    pool_options.ring_path = ring_path;
+    pool_options.ring.slots = args.job_ring;
+    pool_options.respawn_ms = args.worker_respawn_ms;
+    pool_options.spawn = [&args, ring_path](uint32_t worker) {
+      return SpawnWorker(args, ring_path, worker);
+    };
+    if (Status started = WorkerPool::Start(pool_options, &pool);
+        !started.ok()) {
+      MODIS_LOG(ERROR, "server") << started.ToString();
+      return 1;
+    }
+    MODIS_LOG(INFO, "server")
+        .Tag("workers", uint64_t(args.workers))
+        .Tag("ring", ring_path)
+        .Tag("slots", uint64_t(args.job_ring))
+        << "worker pool started";
+  }
+
   if (args.stdio) {
     Preload(&service, args.tasks);
-    ServeStdio(&service);
+    ServeStdio(&service, pool.get());
+    if (pool) {
+      pool->Stop();
+      ::unlink(ring_path.c_str());
+    }
     MODIS_LOG(INFO, "server")
         << "final "
         << SerializeServiceMetrics(service.SnapshotMetrics());
@@ -301,13 +443,13 @@ int main(int argc, char** argv) {
   }
 
   LineServer server(
-      [&service](const std::string& line) {
-        return HandleServiceLine(&service, line);
+      [&service, &pool](const std::string& line) {
+        return HandleServiceLine(&service, pool.get(), line);
       },
       LineServer::Options(), service.metrics());
   if (args.http) {
-    server.set_http_handler([&service](const HttpRequest& request) {
-      return RouteHttpRequest(&service, request);
+    server.set_http_handler([&service, &pool](const HttpRequest& request) {
+      return RouteHttpRequest(&service, pool.get(), request);
     });
   }
 
@@ -368,6 +510,11 @@ int main(int argc, char** argv) {
   // then drains its own queue — already empty — and flushes every cache.
   server.Serve();
   g_server = nullptr;
+
+  if (pool) {
+    pool->Stop();
+    ::unlink(ring_path.c_str());
+  }
 
   MODIS_LOG(INFO, "server")
       << "drained; final "

@@ -23,6 +23,11 @@
 #      response header, GET /v1/debug/traces serves Chrome trace_event
 #      JSON naming that id, and /metrics carries the trace-derived
 #      modis_phase_* histogram series
+#  11. worker-crash-smoke (docs/MULTIPROCESS.md): a --workers 2 pool
+#      host, SIGKILL of every worker process while a cold query is
+#      training — the query is requeued to a respawned worker, the
+#      client still gets the full (identical) skyline, and the HTTP
+#      /metrics exposition shows modis_worker_restarts_total incremented
 #
 # Usage: serving_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -453,3 +458,124 @@ PY
 kill "$SERVER_PID" 2>/dev/null || true
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
+
+# ---- Phase 5: worker-crash-smoke. A multi-process pool host on a
+# fresh cache (so the query actually trains and is in flight when the
+# kill lands). SIGKILL every worker mid-query: the supervisor must reap
+# them, requeue the orphaned job, respawn, and the client must still
+# receive the full answer — identical to the undisturbed phase-1 run.
+SOCK5="$WORK/pool.sock"
+CACHE5="$WORK/pool.rlog"
+RING5="$WORK/pool.ring"
+"$SERVER" --socket "$SOCK5" --listen 127.0.0.1:0 --http \
+  --workers 2 --ring-path "$RING5" --row-scale "$ROW_SCALE" \
+  --cache "$CACHE5" > "$WORK/pool.log" 2>&1 &
+SERVER_PID=$!
+wait_for_socket "$SERVER_PID" "$SOCK5" "$WORK/pool.log"
+POOL_ENDPOINT=""
+for _ in $(seq 1 50); do
+  POOL_ENDPOINT=$(grep -o 'tcp:[0-9.]*:[0-9]*' "$WORK/pool.log" | head -1 \
+    || true)
+  [ -n "$POOL_ENDPOINT" ] && break
+  sleep 0.1
+done
+[ -n "$POOL_ENDPOINT" ] || {
+  echo "serving_smoke: pool TCP endpoint never announced" >&2
+  cat "$WORK/pool.log" >&2
+  exit 1
+}
+grep -q "worker pool started" "$WORK/pool.log" || {
+  echo "serving_smoke: missing worker-pool startup line" >&2
+  cat "$WORK/pool.log" >&2
+  exit 1
+}
+# The coordinator logs each spawn as `worker spawned worker=N pid=P`.
+WORKER_PIDS=$(grep -o 'worker spawned.*pid=[0-9]*' "$WORK/pool.log" \
+  | grep -o 'pid=[0-9]*' | cut -d= -f2)
+[ "$(echo "$WORKER_PIDS" | wc -w)" -eq 2 ] || {
+  echo "serving_smoke: expected 2 spawned workers, log says:" >&2
+  cat "$WORK/pool.log" >&2
+  exit 1
+}
+
+"$CLI" --connect "$SOCK5" "${REQUEST_FLAGS[@]}" --raw \
+  > "$WORK/pool_reply.json" &
+CLIENT_PID=$!
+sleep 1  # The job is claimed and training inside a worker by now.
+# Kill BOTH workers so the one holding the query is dead for certain.
+for pid in $WORKER_PIDS; do
+  kill -9 "$pid" 2>/dev/null || true
+done
+
+if ! wait "$CLIENT_PID"; then
+  echo "serving_smoke: pool client failed after worker kill" >&2
+  cat "$WORK/pool.log" >&2
+  exit 1
+fi
+
+POOL_HOSTPORT=${POOL_ENDPOINT#tcp:}
+python3 - "${POOL_HOSTPORT%:*}" "${POOL_HOSTPORT##*:}" "$WORK" <<'PY'
+import http.client
+import sys
+
+host, port, work = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+conn = http.client.HTTPConnection(host, port, timeout=60)
+conn.request("GET", "/metrics")
+response = conn.getresponse()
+assert response.status == 200, response.status
+open(f"{work}/pool_metrics.prom", "w").write(response.read().decode())
+conn.close()
+PY
+
+python3 - "$COLD" "$WORK" <<'PY'
+import json
+import re
+import sys
+
+cold = json.loads(sys.argv[1])
+work = sys.argv[2]
+
+with open(f"{work}/pool_reply.json") as f:
+    reply = json.loads(f.read())
+assert reply.get("ok"), f"pool response not ok after worker kill: {reply}"
+
+def skyline(doc):
+    return sorted(
+        (e["signature"], e["raw"], e["normalized"]) for e in doc["skyline"]
+    )
+
+# The requeued-and-re-executed query answers byte-identically to the
+# undisturbed run of the same request.
+assert skyline(reply) == skyline(cold), (
+    "post-kill skyline diverges from the undisturbed run"
+)
+
+exposition = open(f"{work}/pool_metrics.prom").read()
+match = re.search(r"(?m)^modis_worker_restarts_total ([0-9]+)$", exposition)
+assert match, "modis_worker_restarts_total missing from /metrics"
+restarts = int(match.group(1))
+assert restarts >= 2, f"expected >=2 worker restarts, saw {restarts}"
+match = re.search(r"(?m)^modis_ring_requeued_total ([0-9]+)$", exposition)
+assert match and int(match.group(1)) >= 1, (
+    "killed worker's job was never requeued"
+)
+assert re.search(r"(?m)^modis_ring_poisoned_total 0$", exposition), (
+    "a job was poisoned during the crash smoke"
+)
+
+print(
+    "serving smoke OK: SIGKILL of both pool workers mid-query lost "
+    f"nothing ({restarts} restarts, job requeued, skyline of "
+    f"{len(reply['skyline'])} identical to the undisturbed run)"
+)
+PY
+
+kill -TERM "$SERVER_PID" 2>/dev/null || true
+POOL_RC=0
+wait "$SERVER_PID" || POOL_RC=$?
+SERVER_PID=""
+if [ "$POOL_RC" -ne 0 ]; then
+  echo "serving_smoke: pool server exited $POOL_RC after SIGTERM" >&2
+  cat "$WORK/pool.log" >&2
+  exit 1
+fi

@@ -28,6 +28,20 @@ const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+StatusCode StatusCodeFromName(const std::string& name) {
+  static const StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kOutOfRange,
+      StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+      StatusCode::kResourceExhausted, StatusCode::kInternal,
+      StatusCode::kUnimplemented, StatusCode::kIoError,
+  };
+  for (StatusCode code : kAll) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

@@ -24,6 +24,11 @@ enum class StatusCode {
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
 
+/// Inverse of StatusCodeName: "InvalidArgument" -> kInvalidArgument.
+/// Unknown names decode as kInternal — a transported error stays an
+/// error even when the peer speaks a newer code vocabulary.
+StatusCode StatusCodeFromName(const std::string& name);
+
 /// A lightweight success-or-error value, modelled after absl::Status.
 ///
 /// MODis libraries never throw for recoverable conditions; fallible

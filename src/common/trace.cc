@@ -1,6 +1,7 @@
 #include "common/trace.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace modis {
 
@@ -11,20 +12,33 @@ double MsBetween(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+std::atomic<SpanObserver> g_span_observer{nullptr};
+
 }  // namespace
+
+void SetGlobalSpanObserver(SpanObserver observer) {
+  g_span_observer.store(observer, std::memory_order_release);
+}
 
 TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
 
 SpanId TraceRecorder::Begin(const std::string& name, SpanId parent) {
   const auto now = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(mu_);
-  TraceSpan span;
-  span.name = name;
-  span.id = static_cast<SpanId>(spans_.size());
-  span.parent = parent;
-  span.start_ms = MsBetween(epoch_, now);
-  spans_.push_back(std::move(span));
-  return spans_.back().id;
+  SpanId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TraceSpan span;
+    span.name = name;
+    span.id = static_cast<SpanId>(spans_.size());
+    span.parent = parent;
+    span.start_ms = MsBetween(epoch_, now);
+    spans_.push_back(std::move(span));
+    id = spans_.back().id;
+  }
+  if (SpanObserver observer = g_span_observer.load(std::memory_order_acquire)) {
+    observer(name.c_str());
+  }
+  return id;
 }
 
 void TraceRecorder::End(SpanId id) {

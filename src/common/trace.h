@@ -91,6 +91,16 @@ struct Trace {
 /// Sums the durations of all spans named `name`. Unended spans count 0.
 double SumSpanMs(const std::vector<TraceSpan>& spans, const std::string& name);
 
+/// Process-global span-start observer, fired by every TraceRecorder as a
+/// span opens (after it is recorded, outside the recorder mutex). The
+/// production value is null; the kill-injection battery installs one to
+/// SIGKILL a worker process when a named engine phase ("train",
+/// "commit", ...) begins — which is what makes "crash exactly mid-train"
+/// a deterministic test point rather than a sleep race. Keep observers
+/// async-signal-minded: they run on the query's execution threads.
+using SpanObserver = void (*)(const char* name);
+void SetGlobalSpanObserver(SpanObserver observer);
+
 /// Bounded retention of completed traces: the N most recent and,
 /// separately, the N slowest seen so far. Mutex-guarded; Add() is on the
 /// query completion path and does O(N) work on small fixed N.

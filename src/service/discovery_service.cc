@@ -286,17 +286,27 @@ Result<PersistentRecordCache*> DiscoveryService::GetCache(
   }
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = caches_.find(path);
-  if (it != caches_.end()) return it->second.get();
+  if (it != caches_.end()) {
+    // A shared attachment re-reads the file when it changed, so records
+    // a sibling worker published since the last query are warm here.
+    if (it->second->shared()) (void)it->second->RefreshIfChanged();
+    return it->second.get();
+  }
   // The host opens every shared cache read-write (it owns the file and
   // the writer lock); per-query kRead is enforced as a no-append view at
-  // attach time (EngineRuntime + ModisConfig::cache_mode).
+  // attach time (EngineRuntime + ModisConfig::cache_mode). A worker
+  // process instead takes a lock-free shared attachment so the whole
+  // pool can serve the one file (docs/MULTIPROCESS.md).
   PersistentRecordCache::Options cache_options;
   cache_options.max_bytes = options_.cache_max_bytes;
   cache_options.page_size = options_.cache_page_size;
   cache_options.buffer_pool_frames = options_.cache_buffer_pool_frames;
-  auto opened = PersistentRecordCache::Open(path, CacheMode::kReadWrite,
-                                            /*fingerprint=*/0,
-                                            cache_options);
+  auto opened =
+      options_.shared_cache
+          ? PersistentRecordCache::OpenShared(path, /*fingerprint=*/0,
+                                              cache_options)
+          : PersistentRecordCache::Open(path, CacheMode::kReadWrite,
+                                        /*fingerprint=*/0, cache_options);
   MODIS_RETURN_IF_ERROR(opened.status());
   PersistentRecordCache* raw = opened.value().get();
   caches_.emplace(path, std::move(opened).value());
@@ -516,10 +526,10 @@ Status DiscoveryService::Submit(DiscoveryRequest request, Callback done) {
     // phase histograms whether or not the client asked for the inline
     // echo. The admission span stays open until a session dequeues it.
     job.sequence = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-    char id[24];
-    std::snprintf(id, sizeof(id), "q-%06llu",
+    char suffix[16];
+    std::snprintf(suffix, sizeof(suffix), "%06llu",
                   static_cast<unsigned long long>(job.sequence));
-    job.request_id = id;
+    job.request_id = options_.request_id_prefix + suffix;
     job.recorder = std::make_shared<TraceRecorder>();
     job.root_span = job.recorder->Begin("query", kNoSpan);
     job.admission_span = job.recorder->Begin("admission", job.root_span);

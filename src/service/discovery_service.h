@@ -187,6 +187,16 @@ class DiscoveryService {
     /// traces, served by the `trace` wire verb / GET /v1/debug/traces.
     size_t trace_recent_capacity = 16;
     size_t trace_slow_capacity = 16;
+    /// Multi-process mode: open every cache file as a *shared*
+    /// attachment (PersistentRecordCache::OpenShared) instead of
+    /// holding the lifetime writer lock, so sibling worker processes
+    /// can serve the same file (docs/MULTIPROCESS.md). The attachment
+    /// re-reads the file before each query that touches it, making a
+    /// sibling's published trainings warm hits here.
+    bool shared_cache = false;
+    /// Prefix of minted request ids ("q-" → "q-000001"). A worker
+    /// process sets "q-w<N>-" so ids stay unique across the pool.
+    std::string request_id_prefix = "q-";
   };
 
   struct Stats {

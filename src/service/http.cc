@@ -10,6 +10,7 @@
 #include "service/json.h"
 #include "service/qos.h"
 #include "service/wire.h"
+#include "service/worker.h"
 
 namespace modis {
 
@@ -509,6 +510,23 @@ std::string PrometheusExposition(const MetricsSnapshot& snapshot) {
              std::to_string(tenant.priority) + "\n";
     }
   }
+  if (!snapshot.workers.empty()) {
+    for (const WorkerMetricDesc& desc : WorkerMetricDescriptors()) {
+      out += "# HELP ";
+      out += desc.prom_name;
+      out += ' ';
+      out += desc.help;
+      out += "\n# TYPE ";
+      out += desc.prom_name;
+      out += desc.counter ? " counter\n" : " gauge\n";
+      for (const WorkerMetricsSnapshot& worker : snapshot.workers) {
+        out += desc.prom_name;
+        out += "{worker=\"" + std::to_string(worker.index) + "\"} ";
+        out += std::to_string(worker.*desc.field);
+        out += '\n';
+      }
+    }
+  }
   return out;
 }
 
@@ -565,7 +583,7 @@ HttpResponse MethodNotAllowed(const char* allow) {
   return response;
 }
 
-HttpResponse QueryEndpoint(DiscoveryService* service,
+HttpResponse QueryEndpoint(DiscoveryService* service, WorkerPool* pool,
                            const HttpRequest& request) {
   auto doc = JsonValue::Parse(request.body);
   if (!doc.ok()) return ResponseFromStatus(doc.status());
@@ -590,6 +608,34 @@ HttpResponse QueryEndpoint(DiscoveryService* service,
       query.trace = *flag == "1" || ToLower(*flag) == "true";
     }
   }
+  if (pool != nullptr) {
+    // Multi-process mode: the query runs on a worker via the job ring.
+    // Re-serialize (not the raw body) so the header-derived members
+    // (api_key, trace) travel with the request line.
+    std::string line;
+    const Status submitted =
+        pool->Submit(SerializeDiscoveryRequest(query), &line);
+    if (!submitted.ok()) return ResponseFromStatus(submitted);
+    auto answered = JsonValue::Parse(line);
+    if (answered.ok() && answered->is_object() &&
+        !answered->GetBool("ok", false)) {
+      // Re-type the worker's error line so the HTTP status mapping
+      // (429 for QoS, 400 for bad requests, ...) matches in-process
+      // mode.
+      return ResponseFromStatus(
+          Status(StatusCodeFromName(answered->GetString("code", "Internal")),
+                 answered->GetString("error", "worker error")));
+    }
+    HttpResponse response;
+    if (answered.ok() && answered->is_object()) {
+      const std::string id = answered->GetString("request_id", "");
+      if (!id.empty()) {
+        response.headers.emplace_back("X-Modis-Request-Id", id);
+      }
+    }
+    response.body = line + "\n";
+    return response;
+  }
   auto answer = service->Answer(query);
   if (!answer.ok()) return ResponseFromStatus(answer.status());
   HttpResponse response;
@@ -605,16 +651,23 @@ HttpResponse QueryEndpoint(DiscoveryService* service,
 
 HttpResponse RouteHttpRequest(DiscoveryService* service,
                               const HttpRequest& request) {
+  return RouteHttpRequest(service, /*pool=*/nullptr, request);
+}
+
+HttpResponse RouteHttpRequest(DiscoveryService* service, WorkerPool* pool,
+                              const HttpRequest& request) {
   const std::string path = request.target.substr(0, request.target.find('?'));
   if (path == "/v1/query") {
     if (request.method != "POST") return MethodNotAllowed("POST");
-    return QueryEndpoint(service, request);
+    return QueryEndpoint(service, pool, request);
   }
   if (path == "/metrics") {
     if (request.method != "GET") return MethodNotAllowed("GET");
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
-    response.body = PrometheusExposition(service->SnapshotMetrics());
+    MetricsSnapshot snapshot = service->SnapshotMetrics();
+    if (pool != nullptr) pool->FillMetrics(&snapshot);
+    response.body = PrometheusExposition(snapshot);
     return response;
   }
   if (path == "/v1/debug/traces") {

@@ -164,6 +164,16 @@ HttpResponse MakeHttpError(int status, const std::string& message);
 HttpResponse RouteHttpRequest(DiscoveryService* service,
                               const HttpRequest& request);
 
+class WorkerPool;
+
+/// Pool-aware router of the multi-process host (docs/MULTIPROCESS.md):
+/// POST /v1/query runs on a worker process via the shared-memory job
+/// ring (typed ring errors keep their HTTP mapping — a full ring is
+/// still a 429), GET /metrics overlays the pool + ring series. A null
+/// `pool` is exactly the in-process router above.
+HttpResponse RouteHttpRequest(DiscoveryService* service, WorkerPool* pool,
+                              const HttpRequest& request);
+
 }  // namespace modis
 
 #endif  // MODIS_SERVICE_HTTP_H_

@@ -104,6 +104,31 @@ const std::vector<ScalarMetricDesc>& ScalarMetricDescriptors() {
       {"qos_shed", "modis_qos_shed_total", true, &MetricsSnapshot::qos_shed,
        "Requests shed under overload (queued victims + full-queue "
        "rejections)."},
+      {"worker_processes", "modis_worker_processes", false,
+       &MetricsSnapshot::worker_processes,
+       "Configured worker-process pool size (0 = in-process mode)."},
+      {"worker_restarts", "modis_worker_restarts_total", true,
+       &MetricsSnapshot::worker_restarts,
+       "Worker processes respawned after an exit or crash."},
+      {"ring_installed", "modis_ring_installed_total", true,
+       &MetricsSnapshot::ring_installed,
+       "Jobs installed into the shared-memory ring."},
+      {"ring_shed", "modis_ring_shed_total", true,
+       &MetricsSnapshot::ring_shed, "Jobs shed because the ring was full."},
+      {"ring_requeued", "modis_ring_requeued_total", true,
+       &MetricsSnapshot::ring_requeued,
+       "Jobs requeued after their worker died mid-claim."},
+      {"ring_poisoned", "modis_ring_poisoned_total", true,
+       &MetricsSnapshot::ring_poisoned,
+       "Jobs poisoned after max_attempts crashed claims."},
+      {"ring_owner_deaths", "modis_ring_owner_deaths_total", true,
+       &MetricsSnapshot::ring_owner_deaths,
+       "Robust-mutex owner-death recoveries on the ring."},
+      {"ring_depth", "modis_ring_depth", false, &MetricsSnapshot::ring_depth,
+       "Jobs installed in the ring and not yet claimed."},
+      {"ring_inflight", "modis_ring_inflight", false,
+       &MetricsSnapshot::ring_inflight,
+       "Jobs currently claimed by a worker."},
   };
   return kDescriptors;
 }
@@ -125,6 +150,26 @@ const std::vector<TenantMetricDesc>& TenantMetricDescriptors() {
        &TenantMetricsSnapshot::failed, "Queries completed with an error."},
       {"in_flight", "modis_tenant_in_flight", false,
        &TenantMetricsSnapshot::in_flight, "Queued + executing requests."},
+  };
+  return kDescriptors;
+}
+
+const std::vector<WorkerMetricDesc>& WorkerMetricDescriptors() {
+  static const std::vector<WorkerMetricDesc> kDescriptors = {
+      {"alive", "modis_worker_alive", false, &WorkerMetricsSnapshot::alive,
+       "Whether the worker process is currently running (0/1)."},
+      {"restarts", "modis_worker_restarts", true,
+       &WorkerMetricsSnapshot::restarts,
+       "Times this worker slot was respawned."},
+      {"jobs_claimed", "modis_worker_jobs_claimed_total", true,
+       &WorkerMetricsSnapshot::jobs_claimed,
+       "Ring jobs claimed by this worker."},
+      {"jobs_completed", "modis_worker_jobs_completed_total", true,
+       &WorkerMetricsSnapshot::jobs_completed,
+       "Ring jobs this worker finished (OK or failed)."},
+      {"jobs_requeued", "modis_worker_jobs_requeued_total", true,
+       &WorkerMetricsSnapshot::jobs_requeued,
+       "Ring jobs requeued because this worker died holding them."},
   };
   return kDescriptors;
 }

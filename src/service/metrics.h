@@ -58,6 +58,20 @@ struct TenantMetricsSnapshot {
   uint64_t in_flight = 0;  // Gauge: queued + executing.
 };
 
+/// Per-worker-process counters (multi-process mode; docs/MULTIPROCESS.md).
+/// Filled by the coordinator from the job ring's per-worker tallies and
+/// the pool supervisor's restart ledger; exported as the `"workers"`
+/// array of the metrics verb and the `modis_worker_*{worker="..."}`
+/// Prometheus series. Empty in the in-process (`--workers 0`) mode.
+struct WorkerMetricsSnapshot {
+  uint32_t index = 0;
+  uint64_t alive = 0;  // Gauge: 1 when the process is currently running.
+  uint64_t restarts = 0;
+  uint64_t jobs_claimed = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t jobs_requeued = 0;
+};
+
 /// One flat snapshot of everything the service exports — the schema of
 /// the `{"verb":"metrics"}` wire response (docs/SERVING.md §5). Counter
 /// fields are filled from ServiceMetrics; the gauges only the service can
@@ -118,6 +132,18 @@ struct MetricsSnapshot {
   /// Admitted-then-shed plus rejected-at-full-queue requests.
   uint64_t qos_shed = 0;
 
+  // Multi-process worker pool (zero in in-process mode). Overlaid onto
+  // the snapshot by the coordinator, not by ServiceMetrics.
+  uint64_t worker_processes = 0;  // Gauge: configured pool size.
+  uint64_t worker_restarts = 0;
+  uint64_t ring_installed = 0;
+  uint64_t ring_shed = 0;
+  uint64_t ring_requeued = 0;
+  uint64_t ring_poisoned = 0;
+  uint64_t ring_owner_deaths = 0;
+  uint64_t ring_depth = 0;     // Gauge: jobs ready and unclaimed.
+  uint64_t ring_inflight = 0;  // Gauge: jobs claimed by a worker.
+
   bool draining = false;
 
   // Per-phase latency distributions (one query each).
@@ -139,6 +165,9 @@ struct MetricsSnapshot {
 
   /// One entry per configured tenant (empty when QoS is off).
   std::vector<TenantMetricsSnapshot> tenants;
+
+  /// One entry per worker process (empty in in-process mode).
+  std::vector<WorkerMetricsSnapshot> workers;
 };
 
 /// Descriptor of one scalar MetricsSnapshot field, binding its wire-JSON
@@ -169,6 +198,18 @@ struct TenantMetricDesc {
 };
 
 const std::vector<TenantMetricDesc>& TenantMetricDescriptors();
+
+/// Same contract for the per-worker counters (the worker index is the
+/// label, exported separately).
+struct WorkerMetricDesc {
+  const char* json_name;
+  const char* prom_name;
+  bool counter;
+  uint64_t WorkerMetricsSnapshot::*field;
+  const char* help;
+};
+
+const std::vector<WorkerMetricDesc>& WorkerMetricDescriptors();
 
 /// Same contract for the latency histograms: one table binding each
 /// histogram's wire-JSON member name to its Prometheus series prefix

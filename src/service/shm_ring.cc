@@ -1,0 +1,610 @@
+#include "service/shm_ring.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <limits.h>
+#include <linux/futex.h>
+#include <pthread.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+
+namespace modis {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'O', 'D', 'I', 'S', 'H', 'M', 'R'};
+constexpr uint32_t kVersion = 1;
+
+// Slot states. `state` is written last in every transition, so a
+// process killed mid-update leaves the slot observably in its old
+// state (the transfer buffer may hold torn bytes, but nothing reads
+// them until the state says so).
+constexpr uint32_t kFree = 0;
+constexpr uint32_t kReady = 1;
+constexpr uint32_t kClaimed = 2;
+constexpr uint32_t kDone = 3;
+
+constexpr size_t kAlign = 64;
+
+size_t RoundUp(size_t n) { return (n + kAlign - 1) / kAlign * kAlign; }
+
+// Absolute CLOCK_MONOTONIC deadline `ms` from now.
+timespec DeadlineIn(int ms) {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  ts.tv_sec += ms / 1000;
+  ts.tv_nsec += static_cast<long>(ms % 1000) * 1000000L;
+  if (ts.tv_nsec >= 1000000000L) {
+    ts.tv_sec += 1;
+    ts.tv_nsec -= 1000000000L;
+  }
+  return ts;
+}
+
+bool DeadlinePassed(const timespec& deadline) {
+  timespec now;
+  clock_gettime(CLOCK_MONOTONIC, &now);
+  if (now.tv_sec != deadline.tv_sec) return now.tv_sec > deadline.tv_sec;
+  return now.tv_nsec >= deadline.tv_nsec;
+}
+
+// Caps each individual sleep so a missed wake-up (possible when a
+// peer dies between a state write and its wake) costs at most one
+// re-check interval, never a wedge.
+int NextWaitMs(const timespec& deadline) {
+  timespec now;
+  clock_gettime(CLOCK_MONOTONIC, &now);
+  long remaining_ms = (deadline.tv_sec - now.tv_sec) * 1000L +
+                      (deadline.tv_nsec - now.tv_nsec) / 1000000L;
+  return static_cast<int>(std::max(1L, std::min(remaining_ms, 100L)));
+}
+
+// Cross-process sleep/wake is raw futex on a sequence word — NOT a
+// pthread condvar. A process-shared condvar is not kill-safe: a waiter
+// SIGKILLed inside pthread_cond_timedwait leaks its group reference,
+// and the next signaller's group switch waits forever for the dead
+// waiter to release it (glibc has no EOWNERDEAD equivalent for
+// condvars). A futex eventcount keeps no per-waiter state in the
+// segment, so a dead waiter costs nothing.
+//
+// Protocol: waiters read the sequence word under the ring mutex,
+// unlock, and FUTEX_WAIT for it to change (bounded); wakers bump the
+// word under the mutex and FUTEX_WAKE. A wake between the read and the
+// wait makes the wait return EAGAIN immediately — no lost wake-ups.
+void FutexWait(uint32_t* word, uint32_t seen, int timeout_ms) {
+  timespec ts;
+  ts.tv_sec = timeout_ms / 1000;
+  ts.tv_nsec = static_cast<long>(timeout_ms % 1000) * 1000000L;
+  // Deliberately not FUTEX_PRIVATE_FLAG: the word is in a MAP_SHARED
+  // segment and must wake across processes.
+  ::syscall(SYS_futex, word, FUTEX_WAIT, seen, &ts, nullptr, 0);
+}
+
+void FutexBumpAndWakeAll(uint32_t* word) {
+  __atomic_fetch_add(word, 1, __ATOMIC_RELEASE);
+  ::syscall(SYS_futex, word, FUTEX_WAKE, INT_MAX, nullptr, nullptr, 0);
+}
+
+}  // namespace
+
+struct ShmRing::Slot {
+  uint32_t state;
+  uint32_t cancelled;  // Await gave up; discard the eventual completion.
+  uint32_t attempts;   // Times this job has been claimed.
+  uint32_t claim_worker;
+  uint64_t claim_generation;
+  uint64_t ticket;
+  uint32_t request_len;
+  uint32_t response_len;
+  int32_t status_code;  // StatusCode of the outcome once kDone.
+  uint32_t pad_;
+};
+
+struct ShmRing::Header {
+  char magic[8];
+  uint32_t version;
+  uint32_t slot_count;
+  uint32_t buffer_bytes;
+  uint32_t max_attempts;
+  pthread_mutex_t mu;
+  uint32_t job_ready_seq;  // Futex eventcount: bumped when a slot turns kReady.
+  uint32_t job_done_seq;   // Futex eventcount: bumped when a slot turns kDone.
+  uint32_t stop;
+  uint32_t alloc_cursor;  // Rotates free-slot allocation (wraparound).
+  uint64_t next_ticket;
+  uint64_t installed;
+  uint64_t shed;
+  uint64_t completed;
+  uint64_t failed;
+  uint64_t requeued;
+  uint64_t poisoned;
+  uint64_t owner_deaths;
+  uint64_t worker_generation[kMaxWorkers];
+  uint64_t claimed_by[kMaxWorkers];
+  uint64_t completed_by[kMaxWorkers];
+  uint64_t requeued_by[kMaxWorkers];
+};
+
+ShmRing::Slot* ShmRing::SlotAt(uint32_t index) const {
+  char* base = static_cast<char*>(map_) + RoundUp(sizeof(Header));
+  return reinterpret_cast<Slot*>(base + index * RoundUp(sizeof(Slot)));
+}
+
+// Each slot owns TWO disjoint buffer_bytes regions: the request region
+// and the response region. They must not be shared — a worker killed
+// inside Complete() has already copied its response bytes, and the
+// requeued claim must still read the original request intact.
+char* ShmRing::BufferAt(uint32_t index) const {
+  char* base = static_cast<char*>(map_) + RoundUp(sizeof(Header)) +
+               header_->slot_count * RoundUp(sizeof(Slot));
+  return base + static_cast<size_t>(index) * 2 * header_->buffer_bytes;
+}
+
+char* ShmRing::ResponseBufferAt(uint32_t index) const {
+  return BufferAt(index) + header_->buffer_bytes;
+}
+
+namespace {
+size_t SegmentBytes(const ShmRing::Options& options, size_t header_bytes,
+                    size_t slot_bytes) {
+  return RoundUp(header_bytes) + options.slots * RoundUp(slot_bytes) +
+         static_cast<size_t>(options.slots) * 2 * options.buffer_bytes;
+}
+}  // namespace
+
+Status ShmRing::Create(const std::string& path, const Options& options,
+                       std::unique_ptr<ShmRing>* out) {
+  if (options.slots == 0 || options.slots > 4096) {
+    return Status::InvalidArgument("job ring needs 1..4096 slots");
+  }
+  if (options.buffer_bytes < 256) {
+    return Status::InvalidArgument("job ring buffer_bytes must be >= 256");
+  }
+  if (options.max_attempts == 0) {
+    return Status::InvalidArgument("job ring max_attempts must be >= 1");
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) {
+    return Status::IoError("cannot create job ring segment " + path + ": " +
+                           strerror(errno));
+  }
+  size_t bytes = SegmentBytes(options, sizeof(Header), sizeof(Slot));
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError("cannot size job ring segment: " +
+                           std::string(strerror(err)));
+  }
+  void* map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError("cannot map job ring segment: " +
+                           std::string(strerror(err)));
+  }
+  memset(map, 0, RoundUp(sizeof(Header)) +
+                     options.slots * RoundUp(sizeof(Slot)));
+  auto* header = static_cast<Header*>(map);
+  header->version = kVersion;
+  header->slot_count = options.slots;
+  header->buffer_bytes = options.buffer_bytes;
+  header->max_attempts = options.max_attempts;
+
+  pthread_mutexattr_t mattr;
+  pthread_mutexattr_init(&mattr);
+  pthread_mutexattr_setpshared(&mattr, PTHREAD_PROCESS_SHARED);
+  pthread_mutexattr_setrobust(&mattr, PTHREAD_MUTEX_ROBUST);
+  pthread_mutex_init(&header->mu, &mattr);
+  pthread_mutexattr_destroy(&mattr);
+
+  // The eventcounts (job_ready_seq / job_done_seq) are plain words and
+  // were zeroed with the rest of the header — nothing to initialise.
+
+  // Magic last: an attacher that sees it sees a fully initialised ring.
+  memcpy(header->magic, kMagic, sizeof(kMagic));
+
+  auto ring = std::unique_ptr<ShmRing>(new ShmRing());
+  ring->map_ = map;
+  ring->map_bytes_ = bytes;
+  ring->fd_ = fd;
+  ring->header_ = header;
+  *out = std::move(ring);
+  return Status::OK();
+}
+
+Status ShmRing::Attach(const std::string& path, std::unique_ptr<ShmRing>* out) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IoError("cannot open job ring segment " + path + ": " +
+                           strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<size_t>(st.st_size) < sizeof(Header)) {
+    ::close(fd);
+    return Status::FailedPrecondition("job ring segment " + path +
+                                      " is truncated");
+  }
+  size_t bytes = static_cast<size_t>(st.st_size);
+  void* map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError("cannot map job ring segment: " +
+                           std::string(strerror(err)));
+  }
+  auto* header = static_cast<Header*>(map);
+  if (memcmp(header->magic, kMagic, sizeof(kMagic)) != 0 ||
+      header->version != kVersion) {
+    ::munmap(map, bytes);
+    ::close(fd);
+    return Status::FailedPrecondition("job ring segment " + path +
+                                      " has a bad magic or version");
+  }
+  Options shape;
+  shape.slots = header->slot_count;
+  shape.buffer_bytes = header->buffer_bytes;
+  if (bytes < SegmentBytes(shape, sizeof(Header), sizeof(Slot))) {
+    ::munmap(map, bytes);
+    ::close(fd);
+    return Status::FailedPrecondition("job ring segment " + path +
+                                      " is smaller than its header claims");
+  }
+  auto ring = std::unique_ptr<ShmRing>(new ShmRing());
+  ring->map_ = map;
+  ring->map_bytes_ = bytes;
+  ring->fd_ = fd;
+  ring->header_ = header;
+  *out = std::move(ring);
+  return Status::OK();
+}
+
+ShmRing::~ShmRing() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status ShmRing::LockMu() const {
+  int rc = pthread_mutex_lock(&header_->mu);
+  if (rc == EOWNERDEAD) {
+    // The previous owner died holding the lock. State transitions
+    // commit via the slot `state` field, so the ring data is still
+    // consistent; mark the mutex usable and count the recovery.
+    pthread_mutex_consistent(&header_->mu);
+    header_->owner_deaths++;
+    rc = 0;
+  }
+  if (rc != 0) {
+    return Status::Internal("job ring mutex is unrecoverable: " +
+                            std::string(strerror(rc)));
+  }
+  return Status::OK();
+}
+
+void ShmRing::UnlockMu() const { pthread_mutex_unlock(&header_->mu); }
+
+Status ShmRing::Install(const std::string& request, uint64_t* ticket) {
+  if (request.size() > header_->buffer_bytes) {
+    return Status::OutOfRange(
+        "job ring transfer buffer overflow: request of " +
+        std::to_string(request.size()) + " bytes exceeds the " +
+        std::to_string(header_->buffer_bytes) + "-byte slot buffer");
+  }
+  MODIS_RETURN_IF_ERROR(LockMu());
+  if (header_->stop != 0) {
+    UnlockMu();
+    return Status::FailedPrecondition("job ring is stopping");
+  }
+  Slot* slot = nullptr;
+  uint32_t index = 0;
+  for (uint32_t i = 0; i < header_->slot_count; ++i) {
+    uint32_t probe = (header_->alloc_cursor + i) % header_->slot_count;
+    if (SlotAt(probe)->state == kFree) {
+      slot = SlotAt(probe);
+      index = probe;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    header_->shed++;
+    UnlockMu();
+    return Status::ResourceExhausted(
+        "job ring full: " + std::to_string(header_->slot_count) +
+        " jobs in flight; retry later");
+  }
+  header_->alloc_cursor = (index + 1) % header_->slot_count;
+  memcpy(BufferAt(index), request.data(), request.size());
+  slot->request_len = static_cast<uint32_t>(request.size());
+  slot->response_len = 0;
+  slot->status_code = 0;
+  slot->attempts = 0;
+  slot->cancelled = 0;
+  slot->claim_worker = 0;
+  slot->claim_generation = 0;
+  slot->ticket = ++header_->next_ticket;
+  header_->installed++;
+  slot->state = kReady;  // Commit point.
+  *ticket = slot->ticket;
+  FutexBumpAndWakeAll(&header_->job_ready_seq);
+  UnlockMu();
+  return Status::OK();
+}
+
+Status ShmRing::NextJob(uint32_t worker, int timeout_ms, Job* out) {
+  if (worker >= kMaxWorkers) {
+    return Status::InvalidArgument("worker index out of range");
+  }
+  timespec deadline = DeadlineIn(timeout_ms);
+  MODIS_RETURN_IF_ERROR(LockMu());
+  for (;;) {
+    if (header_->stop != 0) {
+      UnlockMu();
+      return Status::FailedPrecondition("job ring is stopping");
+    }
+    // Claim the oldest ready job (smallest ticket) so requeued work is
+    // not starved by fresh installs.
+    Slot* best = nullptr;
+    uint32_t best_index = 0;
+    for (uint32_t i = 0; i < header_->slot_count; ++i) {
+      Slot* slot = SlotAt(i);
+      if (slot->state != kReady) continue;
+      if (best == nullptr || slot->ticket < best->ticket) {
+        best = slot;
+        best_index = i;
+      }
+    }
+    if (best != nullptr) {
+      best->claim_worker = worker;
+      best->claim_generation = header_->worker_generation[worker];
+      best->attempts++;
+      header_->claimed_by[worker]++;
+      out->slot = best_index;
+      out->ticket = best->ticket;
+      out->attempt = best->attempts;
+      out->request.assign(BufferAt(best_index), best->request_len);
+      best->state = kClaimed;  // Commit point.
+      UnlockMu();
+      return Status::OK();
+    }
+    if (DeadlinePassed(deadline)) {
+      UnlockMu();
+      return Status::NotFound("no job ready");
+    }
+    uint32_t seen = __atomic_load_n(&header_->job_ready_seq, __ATOMIC_ACQUIRE);
+    UnlockMu();
+    FutexWait(&header_->job_ready_seq, seen, NextWaitMs(deadline));
+    MODIS_RETURN_IF_ERROR(LockMu());
+  }
+}
+
+Status ShmRing::Complete(const Job& job, const Status& job_status,
+                         const std::string& response) {
+  Status outcome = job_status;
+  std::string payload = outcome.ok() ? response : outcome.message();
+  bool overflow = false;
+  if (payload.size() > header_->buffer_bytes) {
+    overflow = true;
+    outcome = Status::OutOfRange(
+        "job ring transfer buffer overflow: response of " +
+        std::to_string(payload.size()) + " bytes exceeds the " +
+        std::to_string(header_->buffer_bytes) + "-byte slot buffer");
+    payload = outcome.message();
+  }
+  MODIS_RETURN_IF_ERROR(LockMu());
+  Slot* slot = SlotAt(job.slot);
+  // A reclaim (worker presumed dead) or cancel may have raced this
+  // completion. The (ticket, attempt) pair identifies the exact claim
+  // this Job came from — after a requeue the slot carries the same
+  // ticket with a higher attempt count, so a straggler from a worker's
+  // previous incarnation never publishes over the live claim. The
+  // generation check additionally drops completions racing the
+  // supervisor between its generation bump and its reclaim.
+  bool stale =
+      slot->state != kClaimed || slot->ticket != job.ticket ||
+      slot->attempts != job.attempt ||
+      slot->claim_generation != header_->worker_generation[slot->claim_worker];
+  if (stale) {
+    UnlockMu();
+    return Status::FailedPrecondition(
+        "stale completion dropped: slot was reclaimed or reassigned");
+  }
+  if (slot->cancelled != 0) {
+    // The awaiting side gave up; release the slot quietly.
+    slot->state = kFree;
+    UnlockMu();
+    return Status::FailedPrecondition("completion dropped: job was cancelled");
+  }
+  memcpy(ResponseBufferAt(job.slot), payload.data(), payload.size());
+  slot->response_len = static_cast<uint32_t>(payload.size());
+  slot->status_code = static_cast<int32_t>(outcome.code());
+  if (complete_hook_) complete_hook_();  // "mid_response" crash point.
+  if (outcome.ok()) {
+    header_->completed++;
+  } else {
+    header_->failed++;
+  }
+  header_->completed_by[slot->claim_worker]++;
+  slot->state = kDone;  // Commit point.
+  FutexBumpAndWakeAll(&header_->job_done_seq);
+  UnlockMu();
+  // Publishing an error OUTCOME is still a successful Complete(); only
+  // the overflow case reports back (the caller's response was dropped).
+  return overflow ? outcome : Status::OK();
+}
+
+Status ShmRing::Await(uint64_t ticket, int timeout_ms, std::string* response) {
+  timespec deadline = DeadlineIn(timeout_ms);
+  MODIS_RETURN_IF_ERROR(LockMu());
+  for (;;) {
+    Slot* found = nullptr;
+    uint32_t found_index = 0;
+    for (uint32_t i = 0; i < header_->slot_count; ++i) {
+      Slot* slot = SlotAt(i);
+      if (slot->state != kFree && slot->ticket == ticket) {
+        found = slot;
+        found_index = i;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      UnlockMu();
+      return Status::NotFound("ticket " + std::to_string(ticket) +
+                              " is not in the ring (already consumed?)");
+    }
+    if (found->state == kDone) {
+      Status outcome;
+      if (found->status_code == 0) {
+        response->assign(ResponseBufferAt(found_index),
+                         found->response_len);
+      } else {
+        outcome = Status(static_cast<StatusCode>(found->status_code),
+                         std::string(ResponseBufferAt(found_index),
+                                     found->response_len));
+      }
+      found->state = kFree;
+      UnlockMu();
+      return outcome;
+    }
+    if (DeadlinePassed(deadline)) {
+      // Cancel: free a job nobody started; mark a claimed one so its
+      // eventual completion (or reclaim) releases the slot silently.
+      if (found->state == kReady) {
+        found->state = kFree;
+      } else {
+        found->cancelled = 1;
+      }
+      UnlockMu();
+      return Status::Internal("job " + std::to_string(ticket) +
+                              " missed its " + std::to_string(timeout_ms) +
+                              "ms deadline and was cancelled");
+    }
+    uint32_t seen = __atomic_load_n(&header_->job_done_seq, __ATOMIC_ACQUIRE);
+    UnlockMu();
+    FutexWait(&header_->job_done_seq, seen, NextWaitMs(deadline));
+    MODIS_RETURN_IF_ERROR(LockMu());
+  }
+}
+
+void ShmRing::RequestStop() {
+  if (LockMu().ok()) {
+    header_->stop = 1;
+    FutexBumpAndWakeAll(&header_->job_ready_seq);
+    FutexBumpAndWakeAll(&header_->job_done_seq);
+    UnlockMu();
+  }
+}
+
+bool ShmRing::stop_requested() const {
+  if (!LockMu().ok()) return true;
+  bool stop = header_->stop != 0;
+  UnlockMu();
+  return stop;
+}
+
+void ShmRing::BumpWorkerGeneration(uint32_t worker) {
+  if (worker >= kMaxWorkers) return;
+  if (!LockMu().ok()) return;
+  header_->worker_generation[worker]++;
+  UnlockMu();
+}
+
+uint64_t ShmRing::WorkerGeneration(uint32_t worker) const {
+  if (worker >= kMaxWorkers) return 0;
+  if (!LockMu().ok()) return 0;
+  uint64_t generation = header_->worker_generation[worker];
+  UnlockMu();
+  return generation;
+}
+
+uint32_t ShmRing::PoisonLocked(Slot* slot, const Status& why) {
+  uint32_t index = 0;
+  for (uint32_t i = 0; i < header_->slot_count; ++i) {
+    if (SlotAt(i) == slot) {
+      index = i;
+      break;
+    }
+  }
+  const std::string& message = why.message();
+  size_t len = std::min<size_t>(message.size(), header_->buffer_bytes);
+  memcpy(ResponseBufferAt(index), message.data(), len);
+  slot->response_len = static_cast<uint32_t>(len);
+  slot->status_code = static_cast<int32_t>(why.code());
+  header_->poisoned++;
+  header_->failed++;
+  slot->state = kDone;  // Commit point.
+  return index;
+}
+
+uint32_t ShmRing::ReclaimStale() {
+  if (!LockMu().ok()) return 0;
+  uint32_t touched = 0;
+  for (uint32_t i = 0; i < header_->slot_count; ++i) {
+    Slot* slot = SlotAt(i);
+    if (slot->state != kClaimed) continue;
+    if (slot->claim_generation ==
+        header_->worker_generation[slot->claim_worker]) {
+      continue;
+    }
+    touched++;
+    if (slot->cancelled != 0) {
+      slot->state = kFree;
+      continue;
+    }
+    if (slot->attempts >= header_->max_attempts) {
+      PoisonLocked(slot,
+                   Status::Internal(
+                       "job poisoned after " + std::to_string(slot->attempts) +
+                       " claims ended in worker crashes"));
+      FutexBumpAndWakeAll(&header_->job_done_seq);
+    } else {
+      header_->requeued++;
+      header_->requeued_by[slot->claim_worker]++;
+      slot->state = kReady;  // Commit point.
+      FutexBumpAndWakeAll(&header_->job_ready_seq);
+    }
+  }
+  UnlockMu();
+  return touched;
+}
+
+ShmRing::Stats ShmRing::SnapshotStats() const {
+  Stats stats;
+  if (!LockMu().ok()) return stats;
+  stats.installed = header_->installed;
+  stats.shed = header_->shed;
+  stats.completed = header_->completed;
+  stats.failed = header_->failed;
+  stats.requeued = header_->requeued;
+  stats.poisoned = header_->poisoned;
+  stats.owner_deaths = header_->owner_deaths;
+  stats.slots = header_->slot_count;
+  for (uint32_t i = 0; i < header_->slot_count; ++i) {
+    uint32_t state = SlotAt(i)->state;
+    if (state == kReady) stats.ready++;
+    if (state == kClaimed) stats.claimed++;
+  }
+  stats.claimed_by.assign(header_->claimed_by,
+                          header_->claimed_by + kMaxWorkers);
+  stats.completed_by.assign(header_->completed_by,
+                            header_->completed_by + kMaxWorkers);
+  stats.requeued_by.assign(header_->requeued_by,
+                           header_->requeued_by + kMaxWorkers);
+  UnlockMu();
+  return stats;
+}
+
+uint32_t ShmRing::slot_count() const { return header_->slot_count; }
+uint32_t ShmRing::buffer_bytes() const { return header_->buffer_bytes; }
+
+void ShmRing::SetCompleteHookForTest(std::function<void()> hook) {
+  complete_hook_ = std::move(hook);
+}
+
+}  // namespace modis

@@ -1,0 +1,173 @@
+#ifndef MODIS_SERVICE_SHM_RING_H_
+#define MODIS_SERVICE_SHM_RING_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace modis {
+
+/// A fixed-capacity job ring in a file-backed shared-memory segment,
+/// the hand-off between the coordinator process and its worker
+/// processes (docs/MULTIPROCESS.md).
+///
+/// Layout: one page-aligned header (robust process-shared mutex, two
+/// futex eventcounts, counters, per-worker liveness generations), an
+/// array of job slots, and two fixed-size transfer buffers per slot —
+/// one carries the request line in, the other the response line out.
+/// Sleep/wake is raw futex rather than process-shared condvars because
+/// condvars are not kill-safe: a waiter SIGKILLed mid-wait leaks
+/// glibc-internal group state that wedges the next broadcast, while a
+/// dead futex waiter leaves nothing behind.
+///
+/// Concurrency contract: every slot transition happens under the one
+/// robust mutex, and the `state` field is always written last, so it is
+/// the commit point — a process killed mid-transition leaves the slot
+/// in its previous state. When a lock owner dies the next locker gets
+/// EOWNERDEAD, marks the mutex consistent, and proceeds; slot-level
+/// recovery is generation-driven (the supervisor bumps the dead
+/// worker's generation and calls ReclaimStale(), which requeues the
+/// orphaned job or — after `max_attempts` claims — poisons it with a
+/// deterministic typed error). No accepted job is ever lost, and no
+/// ticket is answered twice: recovery only touches kClaimed slots,
+/// never finished ones, and Await() consumes a ticket exactly once.
+///
+/// All waits are timed (bounded re-check loops), so a crashed peer can
+/// delay a caller but never wedge it.
+class ShmRing {
+ public:
+  /// Upper bound on worker indices (size of the generation table).
+  static constexpr uint32_t kMaxWorkers = 64;
+
+  struct Options {
+    /// Number of job slots. Installing into a full ring sheds with a
+    /// typed ResourceExhausted, mirroring the admission queue.
+    uint32_t slots = 16;
+    /// Bytes per transfer buffer; bounds both the request line and the
+    /// response line. Oversized either way is a typed OutOfRange.
+    uint32_t buffer_bytes = 1 << 20;
+    /// A job whose worker died is requeued until it has been claimed
+    /// this many times, then poisoned (typed Internal) so a
+    /// crash-inducing request cannot loop forever.
+    uint32_t max_attempts = 3;
+  };
+
+  /// One claimed job, as handed to a worker by NextJob().
+  struct Job {
+    uint32_t slot = 0;
+    uint64_t ticket = 0;
+    uint32_t attempt = 0;  // 1-based claim count, includes this claim.
+    std::string request;
+  };
+
+  struct Stats {
+    uint64_t installed = 0;
+    uint64_t shed = 0;
+    uint64_t completed = 0;  // Finished OK.
+    uint64_t failed = 0;     // Finished with an error status.
+    uint64_t requeued = 0;
+    uint64_t poisoned = 0;
+    uint64_t owner_deaths = 0;  // EOWNERDEAD recoveries.
+    uint32_t ready = 0;         // Instantaneous queue depth.
+    uint32_t claimed = 0;       // Instantaneous in-flight count.
+    uint32_t slots = 0;
+    std::vector<uint64_t> claimed_by;    // Per worker index.
+    std::vector<uint64_t> completed_by;  // Per worker index.
+    std::vector<uint64_t> requeued_by;   // Per worker index.
+  };
+
+  /// Creates (truncating) the segment file and initialises the ring.
+  static Status Create(const std::string& path, const Options& options,
+                       std::unique_ptr<ShmRing>* out);
+
+  /// Maps an existing segment created by Create() in another process.
+  static Status Attach(const std::string& path, std::unique_ptr<ShmRing>* out);
+
+  ~ShmRing();
+  ShmRing(const ShmRing&) = delete;
+  ShmRing& operator=(const ShmRing&) = delete;
+
+  // --- Coordinator side -------------------------------------------------
+
+  /// Installs a request line into a free slot and returns its ticket.
+  /// Ring full → ResourceExhausted (shed); oversized → OutOfRange;
+  /// stopping → FailedPrecondition.
+  Status Install(const std::string& request, uint64_t* ticket);
+
+  /// Blocks until `ticket`'s job finishes, then returns its outcome:
+  /// OK with the response line, or the job's typed error (including the
+  /// poison status for jobs whose workers kept dying). Consumes the
+  /// slot. On deadline the job is cancelled (a never-claimed job is
+  /// freed; a claimed one is marked so its eventual completion is
+  /// discarded) and Internal is returned.
+  Status Await(uint64_t ticket, int timeout_ms, std::string* response);
+
+  // --- Worker side ------------------------------------------------------
+
+  /// Claims the oldest ready job for `worker`. NotFound on timeout with
+  /// no job; FailedPrecondition once stop was requested.
+  Status NextJob(uint32_t worker, int timeout_ms, Job* out);
+
+  /// Publishes `job`'s outcome: the response line when `job_status` is
+  /// OK, the typed error otherwise. A completion for a slot that was
+  /// reclaimed or cancelled in the meantime is dropped
+  /// (FailedPrecondition); an oversized response poisons the job with
+  /// OutOfRange and returns it.
+  Status Complete(const Job& job, const Status& job_status,
+                  const std::string& response);
+
+  // --- Supervision ------------------------------------------------------
+
+  /// Raises the stop flag and wakes every waiter.
+  void RequestStop();
+  bool stop_requested() const;
+
+  /// Advances `worker`'s liveness generation. Jobs the worker claimed
+  /// under an older generation become stale and are picked up by
+  /// ReclaimStale(); a straggler Complete() from the old incarnation is
+  /// dropped by the generation check.
+  void BumpWorkerGeneration(uint32_t worker);
+  uint64_t WorkerGeneration(uint32_t worker) const;
+
+  /// Requeues (or, at `max_attempts`, poisons) every claimed slot whose
+  /// claim generation is stale. Returns the number of slots touched.
+  uint32_t ReclaimStale();
+
+  Stats SnapshotStats() const;
+
+  uint32_t slot_count() const;
+  uint32_t buffer_bytes() const;
+
+  /// Test hook: runs inside Complete() between the response write and
+  /// the state publish, while the ring mutex is held. A SIGKILL here is
+  /// the "mid_response" crash point — it orphans the mutex and forces
+  /// the EOWNERDEAD path.
+  void SetCompleteHookForTest(std::function<void()> hook);
+
+ private:
+  struct Header;
+  struct Slot;
+
+  ShmRing() = default;
+
+  Status LockMu() const;
+  void UnlockMu() const;
+  Slot* SlotAt(uint32_t index) const;
+  char* BufferAt(uint32_t index) const;
+  char* ResponseBufferAt(uint32_t index) const;
+  uint32_t PoisonLocked(Slot* slot, const Status& why);
+
+  Header* header_ = nullptr;
+  void* map_ = nullptr;
+  size_t map_bytes_ = 0;
+  int fd_ = -1;
+  std::function<void()> complete_hook_;
+};
+
+}  // namespace modis
+
+#endif  // MODIS_SERVICE_SHM_RING_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "service/qos.h"
+#include "service/worker.h"
 
 namespace modis {
 
@@ -279,6 +280,19 @@ std::string SerializeServiceMetrics(const MetricsSnapshot& snapshot) {
     }
     metrics.Set("tenants", std::move(tenants));
   }
+  if (!snapshot.workers.empty()) {
+    JsonValue::Array workers;
+    workers.reserve(snapshot.workers.size());
+    for (const WorkerMetricsSnapshot& worker : snapshot.workers) {
+      JsonValue entry{JsonValue::Object{}};
+      entry.Set("index", static_cast<uint64_t>(worker.index));
+      for (const WorkerMetricDesc& desc : WorkerMetricDescriptors()) {
+        entry.Set(desc.json_name, worker.*desc.field);
+      }
+      workers.push_back(std::move(entry));
+    }
+    metrics.Set("workers", std::move(workers));
+  }
   for (const HistogramMetricDesc& desc : HistogramMetricDescriptors()) {
     metrics.Set(desc.json_name, HistogramToJson(snapshot.*desc.field));
   }
@@ -343,12 +357,19 @@ std::string SerializeTraceDebug(const std::vector<Trace>& slowest,
 
 std::string HandleServiceLine(DiscoveryService* service,
                               const std::string& line) {
+  return HandleServiceLine(service, /*pool=*/nullptr, line);
+}
+
+std::string HandleServiceLine(DiscoveryService* service, WorkerPool* pool,
+                              const std::string& line) {
   auto doc = JsonValue::Parse(line);
   if (!doc.ok()) return SerializeDiscoveryError(doc.status());
   if (doc->is_object()) {
     const std::string verb = doc->GetString("verb", "");
     if (verb == "metrics") {
-      return SerializeServiceMetrics(service->SnapshotMetrics());
+      MetricsSnapshot snapshot = service->SnapshotMetrics();
+      if (pool != nullptr) pool->FillMetrics(&snapshot);
+      return SerializeServiceMetrics(snapshot);
     }
     if (verb == "trace") {
       return SerializeTraceDebug(service->SlowestTraces(),
@@ -361,6 +382,15 @@ std::string HandleServiceLine(DiscoveryService* service,
   }
   auto request = ParseDiscoveryRequestDoc(*doc);
   if (!request.ok()) return SerializeDiscoveryError(request.status());
+  if (pool != nullptr) {
+    // Validated above, so a malformed line is rejected here and never
+    // occupies a ring slot. The raw line travels; the worker's own
+    // dispatcher re-parses it — one codec, both modes.
+    std::string response;
+    const Status submitted = pool->Submit(line, &response);
+    if (!submitted.ok()) return SerializeDiscoveryError(submitted);
+    return response;
+  }
   auto response = service->Answer(request.value());
   if (!response.ok()) return SerializeDiscoveryError(response.status());
   return SerializeDiscoveryResponse(response.value());

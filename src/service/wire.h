@@ -64,6 +64,18 @@ std::string SerializeTraceDebug(const std::vector<Trace>& slowest,
 std::string HandleServiceLine(DiscoveryService* service,
                               const std::string& line);
 
+class WorkerPool;
+
+/// Pool-aware dispatcher of the multi-process host
+/// (docs/MULTIPROCESS.md): "discover" lines are installed into the
+/// shared-memory job ring and answered by a worker process (the typed
+/// ring errors — full ring, oversized line, poisoned job — come back as
+/// error lines); "metrics" serves the coordinator's snapshot overlaid
+/// with the pool + ring series. A null `pool` is exactly the in-process
+/// dispatcher above.
+std::string HandleServiceLine(DiscoveryService* service, WorkerPool* pool,
+                              const std::string& line);
+
 }  // namespace modis
 
 #endif  // MODIS_SERVICE_WIRE_H_

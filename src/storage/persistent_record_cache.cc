@@ -1,8 +1,12 @@
 #include "storage/persistent_record_cache.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <tuple>
 #include <utility>
 
@@ -196,6 +200,132 @@ Result<std::unique_ptr<PersistentRecordCache>> PersistentRecordCache::Open(
   return cache;
 }
 
+Result<std::unique_ptr<PersistentRecordCache>> PersistentRecordCache::OpenShared(
+    const std::string& path, uint64_t fingerprint, Options options) {
+  auto cache = std::unique_ptr<PersistentRecordCache>(
+      new PersistentRecordCache(path, fingerprint, options));
+  std::lock_guard<std::mutex> lock(cache->mu_);
+  // Best effort: a live exclusive writer (or a missing file) just means
+  // the attachment starts cold and warms at the next refresh.
+  (void)cache->LoadSharedSnapshotLocked();
+  return cache;
+}
+
+Status PersistentRecordCache::LoadSharedSnapshotLocked() {
+  std::vector<StoredRecord> records;
+  const FileKind kind = SniffFormat(path_);
+  switch (kind) {
+    case FileKind::kMissing:
+      break;  // Nothing published yet: an empty snapshot is correct.
+    case FileKind::kV1Log: {
+      auto opened = RecordLog::Open(path_, /*read_only=*/true, &records);
+      if (!opened.ok()) return opened.status();
+      break;  // The read lock is released as `opened` dies.
+    }
+    case FileKind::kPaged: {
+      auto opened =
+          PagedStore::Open(path_, /*read_only=*/true, StoreOptions(options_));
+      if (!opened.ok()) return opened.status();
+      MODIS_RETURN_IF_ERROR(opened.value()->ReadAllRecords(&records));
+      break;
+    }
+    case FileKind::kOther:
+      return Status::FailedPrecondition("cache file has an unknown format: " +
+                                        path_);
+  }
+  index_.clear();
+  stats_.loaded_records = records.size();
+  for (StoredRecord& r : records) {
+    Bucket& bucket = index_[r.fingerprint];
+    const uint64_t tick = ++tick_;
+    auto [it, inserted] = bucket.entries.try_emplace(r.key);
+    (void)inserted;  // Last write wins at load, as everywhere.
+    it->second.record = std::move(r);
+    it->second.last_hit = tick;
+    bucket.last_hit = tick;
+  }
+  // This process's unpublished inserts stay visible (first write wins:
+  // a record a sibling published meanwhile is identical by content
+  // addressing, so whichever copy the index holds is the same answer).
+  for (const StoredRecord& r : pending_) {
+    Bucket& bucket = index_[r.fingerprint];
+    auto [it, inserted] = bucket.entries.try_emplace(r.key);
+    if (!inserted) continue;
+    it->second.record = r;
+    it->second.last_hit = ++tick_;
+    bucket.last_hit = it->second.last_hit;
+  }
+  {
+    auto it = index_.find(fingerprint_);
+    stats_.task_records =
+        it == index_.end() ? 0 : it->second.entries.size();
+  }
+  struct stat st;
+  if (::stat(path_.c_str(), &st) == 0) {
+    snapshot_size_ = static_cast<int64_t>(st.st_size);
+    snapshot_mtime_ns_ = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                         st.st_mtim.tv_nsec;
+    stats_.log_bytes = static_cast<size_t>(st.st_size);
+  } else {
+    snapshot_size_ = -1;
+    snapshot_mtime_ns_ = -1;
+    stats_.log_bytes = 0;
+  }
+  return Status::OK();
+}
+
+Status PersistentRecordCache::RefreshIfChanged() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!shared_) return Status::OK();
+  struct stat st;
+  int64_t size = -1;
+  int64_t mtime_ns = -1;
+  if (::stat(path_.c_str(), &st) == 0) {
+    size = static_cast<int64_t>(st.st_size);
+    mtime_ns = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+               st.st_mtim.tv_nsec;
+  }
+  if (size == snapshot_size_ && mtime_ns == snapshot_mtime_ns_) {
+    return Status::OK();
+  }
+  const Status loaded = LoadSharedSnapshotLocked();
+  if (loaded.code() == StatusCode::kFailedPrecondition) {
+    // A sibling's exclusive publish window (or a mid-write file) is
+    // transient; keep serving the previous snapshot.
+    return Status::OK();
+  }
+  return loaded;
+}
+
+Status PersistentRecordCache::PublishPendingLocked() {
+  if (pending_.empty()) return Status::OK();
+  // Publish through the existing exclusive-writer path: a short-lived
+  // kReadWrite open is a flock EX window, and every durability contract
+  // (torn-tail truncation, superblock ping-pong, byte-bound eviction)
+  // rides along unchanged. Contention with a sibling's window is brief,
+  // so retry with a small backoff before giving up.
+  Status last;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    auto inner = Open(path_, CacheMode::kReadWrite, fingerprint_, options_);
+    if (inner.ok()) {
+      for (const StoredRecord& r : pending_) {
+        inner.value()->Insert(r.fingerprint, r.key, r.features, r.eval);
+      }
+      MODIS_RETURN_IF_ERROR(inner.value()->Flush());
+      stats_.appended += pending_.size();
+      pending_.clear();
+      return Status::OK();
+    }
+    last = inner.status();
+    if (last.code() != StatusCode::kFailedPrecondition) return last;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // The lock stayed contended for the whole retry budget. Keep the
+  // buffer for the next Flush() instead of failing the query — the
+  // cache is an accelerator, never the answer.
+  return Status::OK();
+}
+
 bool PersistentRecordCache::Contains(uint64_t fingerprint,
                                      const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -288,6 +418,10 @@ void PersistentRecordCache::Insert(uint64_t fingerprint,
   const uint64_t tick = ++tick_;
   it->second.last_hit = tick;
   bucket.last_hit = tick;
+  if (shared_) {
+    pending_.push_back(record);
+    return;
+  }
   if (store_ == nullptr && mode_ == CacheMode::kReadWrite) {
     const Status appended = log_.Append(record);
     if (appended.ok()) {
@@ -300,6 +434,7 @@ void PersistentRecordCache::Insert(uint64_t fingerprint,
 
 Status PersistentRecordCache::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (shared_) return PublishPendingLocked();
   if (store_ != nullptr) {
     if (mode_ == CacheMode::kReadWrite) {
       MODIS_RETURN_IF_ERROR(store_->Flush());
@@ -312,6 +447,11 @@ Status PersistentRecordCache::Flush() {
 
 Status PersistentRecordCache::Compact() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (shared_) {
+    return Status::FailedPrecondition(
+        "a shared cache attachment cannot compact; compaction runs inside "
+        "the exclusive publish window");
+  }
   if (store_ != nullptr) {
     if (mode_ != CacheMode::kReadWrite) {
       return Status::FailedPrecondition("cannot compact a read-only cache");

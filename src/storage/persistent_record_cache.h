@@ -134,6 +134,33 @@ class PersistentRecordCache {
       const std::string& path, CacheMode mode, uint64_t fingerprint,
       Options options = Options());
 
+  /// Opens `path` in *shared* mode: a writable attachment that holds no
+  /// file handle and no lock between operations, so any number of
+  /// processes (the worker pool; docs/MULTIPROCESS.md) can share one
+  /// cache file under the unchanged single-writer flock contract.
+  ///
+  /// Reads serve from an in-memory snapshot (loaded via a short-lived
+  /// read-only open; RefreshIfChanged() reloads it when the file grew
+  /// under a sibling's publish). Insert() buffers records in memory;
+  /// Flush() publishes the buffer through a short-lived exclusive
+  /// kReadWrite open — the existing writer path, lock window and all —
+  /// retrying briefly when a sibling holds the window. First-write-wins
+  /// semantics make re-publishing after a crash idempotent. Never fails
+  /// a query on lock contention: an unpublishable buffer is kept for
+  /// the next Flush(), and a snapshot that cannot be refreshed serves
+  /// the previous view (degrading to cold, exactly like the in-process
+  /// host does when its open loses the lock race).
+  static Result<std::unique_ptr<PersistentRecordCache>> OpenShared(
+      const std::string& path, uint64_t fingerprint,
+      Options options = Options());
+
+  /// Shared mode only (no-op otherwise): reloads the snapshot when the
+  /// file changed on disk since it was last read. A conflicting live
+  /// writer is not an error — the current snapshot is kept.
+  Status RefreshIfChanged();
+
+  bool shared() const { return shared_; }
+
   /// True when a record exists for (fingerprint, key). Does not count
   /// stats.served or refresh recency — batch planning probes with this,
   /// then the commit fetches with Get/Find, so served equals records
@@ -213,6 +240,22 @@ class PersistentRecordCache {
         options_(options),
         path_(store_->path()) {}
 
+  /// Shared mode: no backend owned; log_ stays unopened.
+  PersistentRecordCache(std::string path, uint64_t fingerprint,
+                        Options options)
+      : mode_(CacheMode::kReadWrite),
+        fingerprint_(fingerprint),
+        options_(options),
+        path_(std::move(path)),
+        shared_(true) {}
+
+  /// Shared mode: replaces the snapshot from the file (read-only short
+  /// open, both backends), then re-overlays pending_. Caller holds mu_.
+  Status LoadSharedSnapshotLocked();
+  /// Shared mode: publishes pending_ via a short exclusive window.
+  /// Caller holds mu_.
+  Status PublishPendingLocked();
+
   /// Rewrites the log from the live index. Caller holds mu_.
   Status CompactLocked();
   /// Evicts + compacts until the live set fits Options::max_bytes.
@@ -242,7 +285,16 @@ class PersistentRecordCache {
   /// last-write-wins at load, first-write-wins at runtime.
   /// Paged backend, kRead mode only: the in-memory overlay holding this
   /// session's fresh Inserts (a read-only store cannot append them).
+  /// Shared mode: the whole snapshot + this process's fresh inserts.
   std::unordered_map<uint64_t, Bucket> index_;
+
+  /// Shared mode state. pending_ holds inserts not yet published to the
+  /// file; the stamp is the (size, mtime) of the file as last loaded,
+  /// the change signal RefreshIfChanged() compares against.
+  bool shared_ = false;
+  std::vector<StoredRecord> pending_;
+  int64_t snapshot_size_ = -1;
+  int64_t snapshot_mtime_ns_ = -1;
 };
 
 }  // namespace modis

@@ -276,7 +276,8 @@ TEST_P(PagedCachePropertyTest, OffColdWarmSkylinesAreByteIdentical) {
   EXPECT_FALSE(off.record_cache_active);
   ASSERT_TRUE(cold.record_cache_active);
   ASSERT_TRUE(warm.record_cache_active);
-  EXPECT_EQ(FileMagic(path), "MODISPG2");
+  // page_size 0 = the v1 record log; nonzero = the paged engine.
+  EXPECT_EQ(FileMagic(path), page_size == 0 ? "MODISRLG" : "MODISPG2");
 
   // Cold: cache engaged but empty — trains exactly what the off run does.
   EXPECT_EQ(cold.oracle_stats.persistent_hits, 0u);
@@ -292,7 +293,7 @@ TEST_P(PagedCachePropertyTest, OffColdWarmSkylinesAreByteIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(PageSizes, PagedCachePropertyTest,
-                         ::testing::Values(4096u, 16384u),
+                         ::testing::Values(0u, 4096u, 16384u),
                          [](const ::testing::TestParamInfo<uint32_t>& info) {
                            return "Page" + std::to_string(info.param);
                          });

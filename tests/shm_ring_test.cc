@@ -1,0 +1,540 @@
+/// Pure unit battery over the shared-memory job ring
+/// (src/service/shm_ring.h): typed shed and size errors, wraparound,
+/// ticket lifecycle, cancel semantics, generation-driven reclaim
+/// (requeue then poison), straggler-completion drop, and — via one
+/// fork()ed child that dies holding the mutex — the robust-mutex
+/// EOWNERDEAD recovery path. The full worker-process kill battery
+/// lives in tests/worker_crash_test.cc; everything here runs without
+/// spawning a worker pool.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/shm_ring.h"
+
+namespace modis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempRingPath(const std::string& name) {
+  const fs::path path = fs::path(::testing::TempDir()) / name;
+  fs::remove(path);
+  return path.string();
+}
+
+std::unique_ptr<ShmRing> MakeRing(const std::string& name,
+                                  ShmRing::Options options = {}) {
+  std::unique_ptr<ShmRing> ring;
+  const Status created = ShmRing::Create(TempRingPath(name), options, &ring);
+  EXPECT_TRUE(created.ok()) << created.ToString();
+  return ring;
+}
+
+// ------------------------------------------------------------ lifecycle
+
+TEST(ShmRingTest, InstallClaimCompleteAwaitRoundTrip) {
+  auto ring = MakeRing("ring_roundtrip.shm");
+  uint64_t ticket = 0;
+  ASSERT_TRUE(ring->Install("{\"q\":1}", &ticket).ok());
+  EXPECT_GT(ticket, 0u);
+
+  ShmRing::Job job;
+  ASSERT_TRUE(ring->NextJob(/*worker=*/0, /*timeout_ms=*/1000, &job).ok());
+  EXPECT_EQ(job.ticket, ticket);
+  EXPECT_EQ(job.request, "{\"q\":1}");
+  EXPECT_EQ(job.attempt, 1u);
+
+  ASSERT_TRUE(ring->Complete(job, Status::OK(), "{\"ok\":true}").ok());
+
+  std::string response;
+  ASSERT_TRUE(ring->Await(ticket, /*timeout_ms=*/1000, &response).ok());
+  EXPECT_EQ(response, "{\"ok\":true}");
+
+  const ShmRing::Stats stats = ring->SnapshotStats();
+  EXPECT_EQ(stats.installed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.ready, 0u);
+  EXPECT_EQ(stats.claimed, 0u);
+  ASSERT_GT(stats.claimed_by.size(), 0u);
+  EXPECT_EQ(stats.claimed_by[0], 1u);
+  EXPECT_EQ(stats.completed_by[0], 1u);
+}
+
+TEST(ShmRingTest, ErrorOutcomeTransportsTypedStatus) {
+  auto ring = MakeRing("ring_error.shm");
+  uint64_t ticket = 0;
+  ASSERT_TRUE(ring->Install("req", &ticket).ok());
+  ShmRing::Job job;
+  ASSERT_TRUE(ring->NextJob(0, 1000, &job).ok());
+  ASSERT_TRUE(
+      ring->Complete(job, Status::InvalidArgument("bad verb"), "").ok());
+
+  std::string response;
+  const Status outcome = ring->Await(ticket, 1000, &response);
+  EXPECT_EQ(outcome.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(outcome.message().find("bad verb"), std::string::npos);
+  EXPECT_EQ(ring->SnapshotStats().failed, 1u);
+}
+
+TEST(ShmRingTest, AwaitConsumesTicketExactlyOnce) {
+  auto ring = MakeRing("ring_consume.shm");
+  uint64_t ticket = 0;
+  ASSERT_TRUE(ring->Install("req", &ticket).ok());
+  ShmRing::Job job;
+  ASSERT_TRUE(ring->NextJob(0, 1000, &job).ok());
+  ASSERT_TRUE(ring->Complete(job, Status::OK(), "resp").ok());
+
+  std::string response;
+  ASSERT_TRUE(ring->Await(ticket, 1000, &response).ok());
+  // The slot is freed: a second Await on the same ticket cannot find it.
+  const Status again = ring->Await(ticket, 50, &response);
+  EXPECT_EQ(again.code(), StatusCode::kNotFound);
+}
+
+TEST(ShmRingTest, OldestTicketClaimedFirst) {
+  auto ring = MakeRing("ring_fifo.shm");
+  uint64_t t1 = 0, t2 = 0, t3 = 0;
+  ASSERT_TRUE(ring->Install("a", &t1).ok());
+  ASSERT_TRUE(ring->Install("b", &t2).ok());
+  ASSERT_TRUE(ring->Install("c", &t3).ok());
+  ShmRing::Job job;
+  ASSERT_TRUE(ring->NextJob(0, 1000, &job).ok());
+  EXPECT_EQ(job.ticket, t1);
+  ASSERT_TRUE(ring->NextJob(1, 1000, &job).ok());
+  EXPECT_EQ(job.ticket, t2);
+  ASSERT_TRUE(ring->NextJob(2, 1000, &job).ok());
+  EXPECT_EQ(job.ticket, t3);
+}
+
+// ------------------------------------------------------- typed errors
+
+TEST(ShmRingTest, FullRingShedsWithResourceExhausted) {
+  ShmRing::Options options;
+  options.slots = 2;
+  auto ring = MakeRing("ring_full.shm", options);
+  uint64_t ticket = 0;
+  ASSERT_TRUE(ring->Install("a", &ticket).ok());
+  ASSERT_TRUE(ring->Install("b", &ticket).ok());
+  const Status shed = ring->Install("c", &ticket);
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ring->SnapshotStats().shed, 1u);
+
+  // Consuming one slot makes room again.
+  ShmRing::Job job;
+  ASSERT_TRUE(ring->NextJob(0, 1000, &job).ok());
+  ASSERT_TRUE(ring->Complete(job, Status::OK(), "r").ok());
+  std::string response;
+  ASSERT_TRUE(ring->Await(job.ticket, 1000, &response).ok());
+  EXPECT_TRUE(ring->Install("c", &ticket).ok());
+}
+
+TEST(ShmRingTest, OversizedRequestIsOutOfRange) {
+  ShmRing::Options options;
+  options.buffer_bytes = 256;
+  auto ring = MakeRing("ring_oversized.shm", options);
+  uint64_t ticket = 0;
+  const Status installed =
+      ring->Install(std::string(options.buffer_bytes + 1, 'x'), &ticket);
+  EXPECT_EQ(installed.code(), StatusCode::kOutOfRange);
+  // The exact-size line still fits.
+  EXPECT_TRUE(
+      ring->Install(std::string(options.buffer_bytes, 'x'), &ticket).ok());
+}
+
+TEST(ShmRingTest, OversizedResponsePoisonsTheJob) {
+  ShmRing::Options options;
+  options.buffer_bytes = 256;
+  auto ring = MakeRing("ring_bigresp.shm", options);
+  uint64_t ticket = 0;
+  ASSERT_TRUE(ring->Install("req", &ticket).ok());
+  ShmRing::Job job;
+  ASSERT_TRUE(ring->NextJob(0, 1000, &job).ok());
+  const Status completed = ring->Complete(
+      job, Status::OK(), std::string(options.buffer_bytes + 1, 'y'));
+  EXPECT_EQ(completed.code(), StatusCode::kOutOfRange);
+
+  // The waiter gets a typed error, not a hang and not a truncated line.
+  std::string response;
+  const Status outcome = ring->Await(ticket, 1000, &response);
+  EXPECT_EQ(outcome.code(), StatusCode::kOutOfRange);
+}
+
+TEST(ShmRingTest, StopMakesInstallAndNextJobFailFast) {
+  auto ring = MakeRing("ring_stop.shm");
+  ring->RequestStop();
+  EXPECT_TRUE(ring->stop_requested());
+  uint64_t ticket = 0;
+  EXPECT_EQ(ring->Install("req", &ticket).code(),
+            StatusCode::kFailedPrecondition);
+  ShmRing::Job job;
+  EXPECT_EQ(ring->NextJob(0, 1000, &job).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ShmRingTest, NextJobTimesOutWithNotFound) {
+  auto ring = MakeRing("ring_idle.shm");
+  ShmRing::Job job;
+  const Status next = ring->NextJob(0, /*timeout_ms=*/50, &job);
+  EXPECT_EQ(next.code(), StatusCode::kNotFound);
+}
+
+// -------------------------------------------------------- wraparound
+
+TEST(ShmRingTest, SlotsWrapAroundManyTimes) {
+  ShmRing::Options options;
+  options.slots = 3;
+  auto ring = MakeRing("ring_wrap.shm", options);
+  for (int round = 0; round < 20; ++round) {
+    uint64_t ticket = 0;
+    const std::string request = "req-" + std::to_string(round);
+    ASSERT_TRUE(ring->Install(request, &ticket).ok()) << round;
+    ShmRing::Job job;
+    ASSERT_TRUE(ring->NextJob(round % 3, 1000, &job).ok()) << round;
+    EXPECT_EQ(job.request, request);
+    ASSERT_TRUE(
+        ring->Complete(job, Status::OK(), "resp-" + std::to_string(round))
+            .ok())
+        << round;
+    std::string response;
+    ASSERT_TRUE(ring->Await(ticket, 1000, &response).ok()) << round;
+    EXPECT_EQ(response, "resp-" + std::to_string(round));
+  }
+  const ShmRing::Stats stats = ring->SnapshotStats();
+  EXPECT_EQ(stats.installed, 20u);
+  EXPECT_EQ(stats.completed, 20u);
+  EXPECT_EQ(stats.ready, 0u);
+  EXPECT_EQ(stats.claimed, 0u);
+}
+
+// ---------------------------------------------------- cancel semantics
+
+TEST(ShmRingTest, AwaitDeadlineOnUnclaimedJobFreesTheSlot) {
+  ShmRing::Options options;
+  options.slots = 1;
+  auto ring = MakeRing("ring_cancel_ready.shm", options);
+  uint64_t ticket = 0;
+  ASSERT_TRUE(ring->Install("req", &ticket).ok());
+  std::string response;
+  const Status outcome = ring->Await(ticket, /*timeout_ms=*/50, &response);
+  EXPECT_EQ(outcome.code(), StatusCode::kInternal);
+  // The one slot is free again — the abandoned job did not leak it.
+  EXPECT_TRUE(ring->Install("req2", &ticket).ok());
+}
+
+TEST(ShmRingTest, AwaitDeadlineOnClaimedJobDiscardsLateCompletion) {
+  ShmRing::Options options;
+  options.slots = 1;
+  auto ring = MakeRing("ring_cancel_claimed.shm", options);
+  uint64_t ticket = 0;
+  ASSERT_TRUE(ring->Install("req", &ticket).ok());
+  ShmRing::Job job;
+  ASSERT_TRUE(ring->NextJob(0, 1000, &job).ok());
+
+  std::string response;
+  EXPECT_EQ(ring->Await(ticket, 50, &response).code(), StatusCode::kInternal);
+
+  // The worker finishes anyway; its completion is dropped quietly and
+  // the slot comes back.
+  EXPECT_EQ(ring->Complete(job, Status::OK(), "late").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(ring->Install("req2", &ticket).ok());
+}
+
+// ------------------------------------------- generation-driven reclaim
+
+TEST(ShmRingTest, StaleClaimIsRequeuedForAnotherWorker) {
+  auto ring = MakeRing("ring_requeue.shm");
+  uint64_t ticket = 0;
+  ASSERT_TRUE(ring->Install("req", &ticket).ok());
+  ShmRing::Job job;
+  ASSERT_TRUE(ring->NextJob(/*worker=*/3, 1000, &job).ok());
+
+  // Worker 3 "dies": its generation advances, its claim goes stale.
+  ring->BumpWorkerGeneration(3);
+  EXPECT_EQ(ring->ReclaimStale(), 1u);
+  EXPECT_EQ(ring->SnapshotStats().requeued, 1u);
+
+  // Another worker picks the same ticket up, attempt count grown.
+  ShmRing::Job retry;
+  ASSERT_TRUE(ring->NextJob(/*worker=*/4, 1000, &retry).ok());
+  EXPECT_EQ(retry.ticket, ticket);
+  EXPECT_EQ(retry.request, "req");
+  EXPECT_EQ(retry.attempt, 2u);
+
+  ASSERT_TRUE(ring->Complete(retry, Status::OK(), "resp").ok());
+  std::string response;
+  ASSERT_TRUE(ring->Await(ticket, 1000, &response).ok());
+  EXPECT_EQ(response, "resp");
+}
+
+TEST(ShmRingTest, StragglerCompletionFromDeadIncarnationIsDropped) {
+  auto ring = MakeRing("ring_straggler.shm");
+  uint64_t ticket = 0;
+  ASSERT_TRUE(ring->Install("req", &ticket).ok());
+  ShmRing::Job stale_job;
+  ASSERT_TRUE(ring->NextJob(0, 1000, &stale_job).ok());
+
+  ring->BumpWorkerGeneration(0);
+  ASSERT_EQ(ring->ReclaimStale(), 1u);
+  ShmRing::Job fresh_job;
+  ASSERT_TRUE(ring->NextJob(1, 1000, &fresh_job).ok());
+  ASSERT_EQ(fresh_job.ticket, ticket);
+
+  // The old incarnation answers late: dropped, never published.
+  EXPECT_EQ(ring->Complete(stale_job, Status::OK(), "stale").code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(ring->Complete(fresh_job, Status::OK(), "fresh").ok());
+  std::string response;
+  ASSERT_TRUE(ring->Await(ticket, 1000, &response).ok());
+  EXPECT_EQ(response, "fresh");  // Exactly one answer, the live one.
+}
+
+TEST(ShmRingTest, MaxAttemptsPoisonsWithDeterministicError) {
+  ShmRing::Options options;
+  options.max_attempts = 2;
+  auto ring = MakeRing("ring_poison.shm", options);
+  uint64_t ticket = 0;
+  ASSERT_TRUE(ring->Install("req", &ticket).ok());
+
+  // Two claims, two deaths.
+  for (uint32_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    ShmRing::Job job;
+    ASSERT_TRUE(ring->NextJob(attempt, 1000, &job).ok());
+    EXPECT_EQ(job.attempt, attempt + 1);
+    ring->BumpWorkerGeneration(attempt);
+    ASSERT_EQ(ring->ReclaimStale(), 1u);
+  }
+
+  const ShmRing::Stats stats = ring->SnapshotStats();
+  EXPECT_EQ(stats.poisoned, 1u);
+  EXPECT_EQ(stats.requeued, 1u);  // First death requeued, second poisoned.
+
+  // The waiter gets the typed poison verdict, not a hang.
+  std::string response;
+  const Status outcome = ring->Await(ticket, 1000, &response);
+  EXPECT_EQ(outcome.code(), StatusCode::kInternal);
+  EXPECT_NE(outcome.message().find("poisoned"), std::string::npos);
+
+  // And a poisoned ticket never reaches another worker.
+  ShmRing::Job job;
+  EXPECT_EQ(ring->NextJob(5, 50, &job).code(), StatusCode::kNotFound);
+}
+
+TEST(ShmRingTest, ReclaimIgnoresLiveClaims) {
+  auto ring = MakeRing("ring_live.shm");
+  uint64_t ticket = 0;
+  ASSERT_TRUE(ring->Install("req", &ticket).ok());
+  ShmRing::Job job;
+  ASSERT_TRUE(ring->NextJob(0, 1000, &job).ok());
+  // Bumping a DIFFERENT worker's generation must not steal worker 0's job.
+  ring->BumpWorkerGeneration(1);
+  EXPECT_EQ(ring->ReclaimStale(), 0u);
+  ASSERT_TRUE(ring->Complete(job, Status::OK(), "resp").ok());
+  std::string response;
+  EXPECT_TRUE(ring->Await(ticket, 1000, &response).ok());
+}
+
+// ------------------------------------------------- cross-process paths
+
+TEST(ShmRingTest, AttachSeesJobsInstalledByCreator) {
+  const std::string path = TempRingPath("ring_attach.shm");
+  std::unique_ptr<ShmRing> ring;
+  ASSERT_TRUE(ShmRing::Create(path, {}, &ring).ok());
+  uint64_t ticket = 0;
+  ASSERT_TRUE(ring->Install("cross", &ticket).ok());
+
+  std::unique_ptr<ShmRing> attached;
+  ASSERT_TRUE(ShmRing::Attach(path, &attached).ok());
+  EXPECT_EQ(attached->slot_count(), ring->slot_count());
+  ShmRing::Job job;
+  ASSERT_TRUE(attached->NextJob(0, 1000, &job).ok());
+  EXPECT_EQ(job.request, "cross");
+  ASSERT_TRUE(attached->Complete(job, Status::OK(), "answered").ok());
+
+  std::string response;
+  ASSERT_TRUE(ring->Await(ticket, 1000, &response).ok());
+  EXPECT_EQ(response, "answered");
+}
+
+TEST(ShmRingTest, AttachRejectsGarbageFile) {
+  const std::string path = TempRingPath("ring_garbage.shm");
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a ring segment", f);
+    std::fclose(f);
+  }
+  std::unique_ptr<ShmRing> attached;
+  const Status status = ShmRing::Attach(path, &attached);
+  EXPECT_FALSE(status.ok());
+}
+
+/// The robust-mutex contract: a child process SIGKILLs itself inside
+/// Complete() while holding the ring mutex (via the test hook). The
+/// parent's next lock acquisition gets EOWNERDEAD, marks the mutex
+/// consistent, and the ring keeps working — the orphaned job is then
+/// recovered through the usual generation reclaim.
+TEST(ShmRingTest, OwnerDeathInsideCompleteNeverWedgesTheRing) {
+  const std::string path = TempRingPath("ring_ownerdeath.shm");
+  std::unique_ptr<ShmRing> ring;
+  ASSERT_TRUE(ShmRing::Create(path, {}, &ring).ok());
+  uint64_t ticket = 0;
+  ASSERT_TRUE(ring->Install("req", &ticket).ok());
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // In the child: attach, claim, die mid-Complete with the lock held.
+    std::unique_ptr<ShmRing> worker_ring;
+    if (!ShmRing::Attach(path, &worker_ring).ok()) _exit(2);
+    worker_ring->SetCompleteHookForTest(
+        [] { ::kill(::getpid(), SIGKILL); });
+    ShmRing::Job job;
+    if (!worker_ring->NextJob(/*worker=*/0, 2000, &job).ok()) _exit(3);
+    (void)worker_ring->Complete(job, Status::OK(), "never published");
+    _exit(4);  // Unreachable: the hook killed us.
+  }
+
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(child, &wait_status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wait_status));
+  ASSERT_EQ(WTERMSIG(wait_status), SIGKILL);
+
+  // The parent must get through the orphaned mutex (EOWNERDEAD), see a
+  // still-claimed slot (the state publish never happened — the write of
+  // `state` is the commit point), and recover the job.
+  ring->BumpWorkerGeneration(0);
+  ASSERT_EQ(ring->ReclaimStale(), 1u);
+  const ShmRing::Stats stats = ring->SnapshotStats();
+  EXPECT_GE(stats.owner_deaths, 1u);
+  EXPECT_EQ(stats.requeued, 1u);
+
+  // A second claim finishes the job normally.
+  ShmRing::Job job;
+  ASSERT_TRUE(ring->NextJob(/*worker=*/1, 1000, &job).ok());
+  EXPECT_EQ(job.attempt, 2u);
+  ASSERT_TRUE(ring->Complete(job, Status::OK(), "recovered").ok());
+  std::string response;
+  ASSERT_TRUE(ring->Await(ticket, 1000, &response).ok());
+  EXPECT_EQ(response, "recovered");
+}
+
+/// The kill-safe-wait contract: a child SIGKILLed while *blocked
+/// waiting* for a job must cost the ring nothing. This is the case
+/// that rules out process-shared condvars — a waiter killed inside
+/// pthread_cond_timedwait leaks its glibc group reference and the
+/// next broadcast's group switch waits on the dead process forever
+/// (the serving smoke caught exactly that hang). With the futex
+/// eventcount, every post-kill signal path must stay prompt.
+TEST(ShmRingTest, WaiterKilledMidWaitNeverWedgesSignallers) {
+  const std::string path = TempRingPath("ring_deadwaiter.shm");
+  std::unique_ptr<ShmRing> ring;
+  ASSERT_TRUE(ShmRing::Create(path, {}, &ring).ok());
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // In the child: attach and park inside NextJob's idle wait. The
+    // long timeout guarantees we die mid-wait, not mid-poll.
+    std::unique_ptr<ShmRing> worker_ring;
+    if (!ShmRing::Attach(path, &worker_ring).ok()) _exit(2);
+    ShmRing::Job job;
+    (void)worker_ring->NextJob(/*worker=*/0, 60000, &job);
+    _exit(3);  // Unreachable: killed while waiting.
+  }
+  // Let the child reach the wait, then kill it there.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(child, &wait_status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wait_status));
+
+  // Every signalling path must complete promptly despite the dead
+  // waiter: install (wakes job_ready), a full round trip (wakes
+  // job_done), and the stop broadcast.
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t ticket = 0;
+  ASSERT_TRUE(ring->Install("req", &ticket).ok());
+  ShmRing::Job job;
+  ASSERT_TRUE(ring->NextJob(/*worker=*/1, 1000, &job).ok());
+  ASSERT_TRUE(ring->Complete(job, Status::OK(), "alive").ok());
+  std::string response;
+  ASSERT_TRUE(ring->Await(ticket, 1000, &response).ok());
+  EXPECT_EQ(response, "alive");
+  ring->RequestStop();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            5);
+}
+
+// -------------------------------------------------------- concurrency
+
+TEST(ShmRingTest, ManyProducersAndConsumersAgreeOnEveryTicket) {
+  ShmRing::Options options;
+  options.slots = 4;  // Small on purpose: exercises shed + wraparound.
+  auto ring = MakeRing("ring_mt.shm", options);
+
+  constexpr int kProducers = 3;
+  constexpr int kJobsPerProducer = 25;
+  std::atomic<bool> done{false};
+  std::atomic<int> answered{0};
+
+  std::vector<std::thread> workers;
+  for (uint32_t w = 0; w < 2; ++w) {
+    workers.emplace_back([&ring, &done, w] {
+      while (!done.load()) {
+        ShmRing::Job job;
+        const Status next = ring->NextJob(w, 50, &job);
+        if (!next.ok()) continue;
+        (void)ring->Complete(job, Status::OK(), "echo:" + job.request);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, &answered, p] {
+      for (int j = 0; j < kJobsPerProducer; ++j) {
+        const std::string request =
+            std::to_string(p) + ":" + std::to_string(j);
+        uint64_t ticket = 0;
+        Status installed = ring->Install(request, &ticket);
+        while (installed.code() == StatusCode::kResourceExhausted) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          installed = ring->Install(request, &ticket);
+        }
+        ASSERT_TRUE(installed.ok()) << installed.ToString();
+        std::string response;
+        const Status outcome = ring->Await(ticket, 10000, &response);
+        ASSERT_TRUE(outcome.ok()) << outcome.ToString();
+        ASSERT_EQ(response, "echo:" + request);  // Never a swapped answer.
+        answered.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  done.store(true);
+  for (std::thread& t : workers) t.join();
+
+  EXPECT_EQ(answered.load(), kProducers * kJobsPerProducer);
+  const ShmRing::Stats stats = ring->SnapshotStats();
+  EXPECT_EQ(stats.completed, uint64_t(kProducers * kJobsPerProducer));
+  EXPECT_EQ(stats.ready, 0u);
+  EXPECT_EQ(stats.claimed, 0u);
+}
+
+}  // namespace
+}  // namespace modis

@@ -735,26 +735,28 @@ TEST(CacheDeterminismTest, BrokenCachePathDegradesToColdRun) {
 
 #if !defined(_WIN32)
 
-/// The ROADMAP's documented cross-process contract: while a live host
-/// holds the writer lock on a cache file, a *reader in another process*
-/// neither hangs nor corrupts anything — the raw open fails fast and an
-/// engine pointed at the file serves the query cold, byte-identical to a
-/// cache-less run. (If file-level read sharing ever matters, it becomes
-/// a lockfile protocol or snapshot serving — today's answer is "ask the
-/// host over the socket", docs/SERVING.md §2.)
-TEST(CacheDeterminismTest, CrossProcessReaderOnLiveHostDegradesToCold) {
+/// The cross-process cache contract, both halves (docs/MULTIPROCESS.md):
+///
+///  1. Fail-fast half (unchanged): while a classic host holds the
+///     LIFETIME writer lock on a cache file, a raw open in another
+///     process neither hangs nor corrupts anything — it fails fast with
+///     FailedPrecondition.
+///  2. Positive half (the worker-pool contract): processes that attach
+///     in *shared* mode (OpenShared — how every member of a `--workers`
+///     pool opens the cache) read each other's published records WARM
+///     while all of them are live. No degraded-to-cold fallback.
+TEST(CacheDeterminismTest, CrossProcessReadersShareALiveCacheWarm) {
   const std::string path = TempLogPath("xproc_live_host.rlog");
   int ready[2] = {-1, -1}, release[2] = {-1, -1};
   ASSERT_EQ(::pipe(ready), 0);
   ASSERT_EQ(::pipe(release), 0);
 
-  // The "live host" process: opens the cache read-write (taking the
-  // flock writer lock), reports readiness, and holds the lock until the
-  // parent releases it. fork() is safe here: gtest runs this process
-  // single-threaded between tests, and the child only opens a file.
-  const pid_t child = ::fork();
-  ASSERT_GE(child, 0);
-  if (child == 0) {
+  // --- Half 1: a lifetime-writer host still repels raw opens. -----------
+  // fork() is safe here: gtest runs this process single-threaded
+  // between tests, and the child only opens a file.
+  const pid_t locker = ::fork();
+  ASSERT_GE(locker, 0);
+  if (locker == 0) {
     auto host_cache =
         PersistentRecordCache::Open(path, CacheMode::kReadWrite, 7);
     char byte = host_cache.ok() ? '1' : '0';
@@ -774,28 +776,62 @@ TEST(CacheDeterminismTest, CrossProcessReaderOnLiveHostDegradesToCold) {
   EXPECT_EQ(reader.status().code(), StatusCode::kFailedPrecondition);
   EXPECT_TRUE(records.empty());
 
-  // An engine configured to read the locked file degrades to cold and
-  // still answers — identically to a run with no cache at all.
-  auto f = DeterminismFixture::Make();
-  ModisConfig locked_cfg = f.Config(path);
-  locked_cfg.cache_mode = CacheMode::kRead;
-  ModisResult degraded = f.Run(locked_cfg, /*surrogate=*/false);
-  EXPECT_FALSE(degraded.record_cache_active);
-  EXPECT_GT(degraded.oracle_stats.exact_evals, 0u);
-  EXPECT_EQ(degraded.oracle_stats.persistent_hits, 0u);
-  ExpectSameSkyline(f.Run(f.Config(""), false), std::move(degraded));
-
-  // Release the host and make sure the file it owned is still sound: it
-  // reloads cleanly once the lock is gone.
   ASSERT_EQ(::write(release[1], "x", 1), 1);
   int status = 0;
-  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_EQ(::waitpid(locker, &status, 0), locker);
   EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  for (int fd : {ready[0], ready[1], release[0], release[1]}) ::close(fd);
+
+  // --- Half 2: shared-mode attachments read each other warm, live. ------
+  // This process plays one pool member: attach shared, publish records.
+  auto writer = PersistentRecordCache::OpenShared(path, /*fingerprint=*/7);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  EXPECT_TRUE((*writer)->shared());
+  const StoredRecord warm_a = MakeRecord(7, "warm-a", 1.0);
+  const StoredRecord warm_b = MakeRecord(7, "warm-b", 2.0);
+  (*writer)->Insert(warm_a.fingerprint, warm_a.key, warm_a.features,
+                    warm_a.eval);
+  (*writer)->Insert(warm_b.fingerprint, warm_b.key, warm_b.features,
+                    warm_b.eval);
+  ASSERT_TRUE((*writer)->Flush().ok());  // Publish through a short window.
+
+  // A sibling process attaches shared WHILE this attachment is live and
+  // must see the published records immediately — the warm answer.
+  const pid_t sibling = ::fork();
+  ASSERT_GE(sibling, 0);
+  if (sibling == 0) {
+    auto reader_cache = PersistentRecordCache::OpenShared(path, 7);
+    if (!reader_cache.ok()) ::_exit(2);
+    StoredRecord got;
+    if (!(*reader_cache)->Get(7, "warm-a", &got)) ::_exit(3);
+    if (got.features != MakeRecord(7, "warm-a", 1.0).features) ::_exit(4);
+    if (!(*reader_cache)->Get(7, "warm-b", &got)) ::_exit(5);
+    // And the sibling can publish its own record into the live file.
+    const StoredRecord warm_c = MakeRecord(7, "warm-c", 3.0);
+    (*reader_cache)->Insert(warm_c.fingerprint, warm_c.key, warm_c.features,
+                            warm_c.eval);
+    if (!(*reader_cache)->Flush().ok()) ::_exit(6);
+    ::_exit(0);
+  }
+  status = 0;
+  ASSERT_EQ(::waitpid(sibling, &status, 0), sibling);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0)
+      << "shared-mode sibling was cold or could not publish";
+
+  // The first attachment picks the sibling's publish up on refresh —
+  // the same path a pool worker takes between queries.
+  ASSERT_TRUE((*writer)->RefreshIfChanged().ok());
+  StoredRecord theirs;
+  EXPECT_TRUE((*writer)->Get(7, "warm-c", &theirs));
+
+  // Once every attachment is gone the file reloads cleanly raw.
+  writer->reset();
   records.clear();
   auto reload = RecordLog::Open(path, /*read_only=*/true, &records);
   ASSERT_TRUE(reload.ok()) << reload.status().ToString();
   EXPECT_EQ(reload->discarded_tail_bytes(), 0u);
-  for (int fd : {ready[0], ready[1], release[0], release[1]}) ::close(fd);
+  EXPECT_EQ(records.size(), 3u);
 }
 
 #endif  // !_WIN32

@@ -1,0 +1,411 @@
+/// Kill-injection battery over the multi-process host
+/// (docs/MULTIPROCESS.md): real worker processes draining a real
+/// shared-memory job ring, SIGKILLed at every lifecycle stage —
+/// right after claiming ("claimed"), inside the training phase
+/// ("mid_train"), at the cache commit boundary ("pre_commit"), and
+/// inside Complete() while holding the ring mutex ("mid_response", the
+/// robust-mutex owner-death case). After every kill the battery
+/// asserts the crash-isolation contract:
+///
+///   * no accepted query is lost — every Submit() resolves;
+///   * no query is answered twice — ring completions match submissions;
+///   * the skyline is byte-identical to an undisturbed in-process run;
+///   * the cache file reloads clean after the kill;
+///   * the ring never wedges (every wait here is bounded).
+///
+/// The battery runs over both cache engines (page_size 0 = v1 log,
+/// 4096 = paged). Worker processes are this very binary re-exec'ed
+/// with --worker-role (which is why this suite owns main()); the kill
+/// points are armed through WorkerOptions::crash_at on the FIRST
+/// incarnation of worker 0 only — its respawn runs disarmed, exactly
+/// like a real crash that does not reproduce.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "service/discovery_service.h"
+#include "service/shm_ring.h"
+#include "service/wire.h"
+#include "service/worker.h"
+#include "storage/persistent_record_cache.h"
+
+namespace modis {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr double kRowScale = 0.4;
+
+/// Absolute path of this test binary, for re-exec'ing worker children.
+std::string g_self_exe;
+
+std::string TempPath(const std::string& name) {
+  const fs::path path = fs::path(::testing::TempDir()) / name;
+  fs::remove(path);
+  fs::remove(fs::path(path.string() + ".compact"));
+  return path.string();
+}
+
+/// The canonical deterministic query (same shape as service_test.cc):
+/// T2 at a small budget, wall-clock measures excluded.
+DiscoveryRequest MakeRequest() {
+  DiscoveryRequest request;
+  request.task = "T2";
+  request.variant = "bi";
+  request.epsilon = 0.25;
+  request.budget = 40;
+  request.maxl = 2;
+  request.measures = {"f1", "acc", "fisher", "mi"};
+  return request;
+}
+
+DiscoveryService::Options WorkerServiceOptions(const std::string& cache,
+                                               uint32_t page_size) {
+  DiscoveryService::Options options;
+  options.sessions = 1;
+  options.queue_capacity = 4;
+  options.valuation_threads = 2;
+  options.task_row_scale = kRowScale;
+  options.default_cache_path = cache;
+  options.cache_page_size = page_size;
+  return options;
+}
+
+// ------------------------------------------------------- worker role
+
+struct WorkerRoleArgs {
+  std::string ring;
+  uint32_t index = 0;
+  std::string cache;
+  uint32_t page_size = 0;
+  std::string crash_at;
+};
+
+/// Entry point of a spawned worker child (`--worker-role`): build a
+/// shared-cache DiscoveryService and drain the ring, with the crash
+/// point armed. Runs until the coordinator stops the ring or the armed
+/// SIGKILL fires.
+int RunWorkerRole(const WorkerRoleArgs& args) {
+  DiscoveryService::Options options =
+      WorkerServiceOptions(args.cache, args.page_size);
+  options.shared_cache = true;
+  options.request_id_prefix = "q-w" + std::to_string(args.index) + "-";
+  DiscoveryService service(options);
+  WorkerOptions worker_options;
+  worker_options.ring_path = args.ring;
+  worker_options.worker_index = args.index;
+  worker_options.poll_ms = 50;
+  worker_options.crash_at = args.crash_at;
+  const Status ran = RunWorkerLoop(&service, worker_options);
+  return ran.ok() ? 0 : 1;
+}
+
+// ---------------------------------------------------------- harness
+
+/// One coordinator-side pool whose workers are this binary re-exec'ed.
+/// `crash_at` arms the kill point on worker 0's first incarnation only.
+class PoolHarness {
+ public:
+  Status Start(const std::string& tag, uint32_t workers, uint32_t page_size,
+               const std::string& crash_at) {
+    ring_path_ = TempPath("crash_ring_" + tag + ".shm");
+    cache_path_ = TempPath("crash_cache_" + tag + ".bin");
+    page_size_ = page_size;
+    crash_at_ = crash_at;
+    spawn_counts_.assign(workers, 0);
+
+    WorkerPool::Options options;
+    options.workers = workers;
+    options.ring_path = ring_path_;
+    options.ring.slots = 8;
+    options.respawn_ms = 50;  // Keep the battery fast.
+    options.stable_ms = 0;    // A kill-injected death is not "unstable".
+    options.spawn = [this](uint32_t worker) { return Spawn(worker); };
+    return WorkerPool::Start(options, &pool_);
+  }
+
+  /// Serializes `request`, runs it through the ring, and returns the
+  /// parsed response. Every wait is bounded: a wedged ring fails the
+  /// test instead of hanging it.
+  Result<DiscoveryResponse> Query(const DiscoveryRequest& request) {
+    std::string response_line;
+    const Status submitted =
+        pool_->Submit(SerializeDiscoveryRequest(request), &response_line);
+    if (!submitted.ok()) return submitted;
+    return ParseDiscoveryResponse(response_line);
+  }
+
+  WorkerPool* pool() { return pool_.get(); }
+  const std::string& cache_path() const { return cache_path_; }
+
+  void Stop() {
+    if (pool_) pool_->Stop();
+  }
+
+  ~PoolHarness() { Stop(); }
+
+ private:
+  pid_t Spawn(uint32_t worker) {
+    std::string crash;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (worker == 0 && spawn_counts_[worker] == 0) crash = crash_at_;
+      ++spawn_counts_[worker];
+    }
+    std::vector<std::string> storage = {
+        g_self_exe,
+        "--worker-role",
+        "--ring", ring_path_,
+        "--index", std::to_string(worker),
+        "--cache", cache_path_,
+        "--page-size", std::to_string(page_size_),
+    };
+    if (!crash.empty()) {
+      storage.push_back("--crash-at");
+      storage.push_back(crash);
+    }
+    std::vector<char*> argv;
+    argv.reserve(storage.size() + 1);
+    for (std::string& arg : storage) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::execv(g_self_exe.c_str(), argv.data());
+      _exit(127);
+    }
+    return pid;
+  }
+
+  std::unique_ptr<WorkerPool> pool_;
+  std::string ring_path_;
+  std::string cache_path_;
+  uint32_t page_size_ = 0;
+  std::string crash_at_;
+  std::mutex mu_;
+  std::vector<int> spawn_counts_;
+};
+
+// -------------------------------------------------------- assertions
+
+void ExpectSameSkylines(const DiscoveryResponse& a,
+                        const DiscoveryResponse& b) {
+  ASSERT_EQ(a.skyline.size(), b.skyline.size());
+  ASSERT_FALSE(a.skyline.empty());
+  for (size_t i = 0; i < a.skyline.size(); ++i) {
+    EXPECT_EQ(a.skyline[i].signature, b.skyline[i].signature);
+    EXPECT_EQ(a.skyline[i].level, b.skyline[i].level);
+    EXPECT_EQ(a.skyline[i].rows, b.skyline[i].rows);
+    EXPECT_EQ(a.skyline[i].cols, b.skyline[i].cols);
+    ASSERT_EQ(a.skyline[i].raw.size(), b.skyline[i].raw.size());
+    for (size_t j = 0; j < a.skyline[i].raw.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a.skyline[i].raw[j], b.skyline[i].raw[j]);
+      EXPECT_DOUBLE_EQ(a.skyline[i].normalized[j],
+                       b.skyline[i].normalized[j]);
+    }
+  }
+}
+
+/// The undisturbed in-process reference: a plain DiscoveryService over
+/// its own cache file, computed once per engine and memoized.
+const DiscoveryResponse& ReferenceResponse(uint32_t page_size) {
+  static std::map<uint32_t, DiscoveryResponse> memo;
+  auto it = memo.find(page_size);
+  if (it != memo.end()) return it->second;
+  const std::string cache =
+      TempPath("crash_reference_" + std::to_string(page_size) + ".bin");
+  DiscoveryService service(WorkerServiceOptions(cache, page_size));
+  auto response = service.Answer(MakeRequest());
+  if (!response.ok()) {
+    ADD_FAILURE() << "reference run failed: " << response.status().ToString();
+    static const DiscoveryResponse kEmpty;
+    return kEmpty;
+  }
+  return memo.emplace(page_size, std::move(response).value()).first->second;
+}
+
+/// After the pool stopped, the cache file must reload clean through the
+/// normal exclusive open — a kill mid-publish never leaves a torn file.
+void ExpectCacheReloadsClean(const std::string& path, uint32_t page_size) {
+  if (!fs::exists(path)) return;  // A pre-train kill may leave no file.
+  PersistentRecordCache::Options options;
+  options.page_size = page_size;
+  auto reopened = PersistentRecordCache::Open(path, CacheMode::kRead,
+                                              /*fingerprint=*/0, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+}
+
+// ----------------------------------------------------------- battery
+
+struct CrashCase {
+  const char* stage;
+  bool owner_death;  // mid_response dies holding the ring mutex.
+};
+
+class WorkerCrashTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, CrashCase>> {};
+
+/// THE battery: arm one kill point, run the canonical query into it,
+/// and prove the pool heals — same answer, nothing lost, nothing
+/// doubled, cache intact, ring live.
+TEST_P(WorkerCrashTest, KilledWorkerNeverLosesOrForksAQuery) {
+  const uint32_t page_size = std::get<0>(GetParam());
+  const CrashCase crash = std::get<1>(GetParam());
+  const std::string tag =
+      std::string(crash.stage) + "_" + std::to_string(page_size);
+
+  PoolHarness harness;
+  // One worker: the armed incarnation must be the one that claims the
+  // query, crashes at the injected stage, and is respawned disarmed.
+  ASSERT_TRUE(
+      harness.Start(tag, /*workers=*/1, page_size, crash.stage).ok());
+
+  // The crash victim. Submit() resolves even though the first claim
+  // dies: the supervisor requeues the job and the respawned worker
+  // answers it. "No accepted query lost."
+  auto crashed = harness.Query(MakeRequest());
+  ASSERT_TRUE(crashed.ok()) << crashed.status().ToString();
+  ExpectSameSkylines(crashed.value(), ReferenceResponse(page_size));
+
+  // A follow-up query through the healed pool; warm path this time.
+  auto warm = harness.Query(MakeRequest());
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ExpectSameSkylines(warm.value(), ReferenceResponse(page_size));
+
+  // The kill really happened and was really recovered.
+  EXPECT_GE(harness.pool()->restarts_total(), 1u);
+  const ShmRing::Stats stats = harness.pool()->ring()->SnapshotStats();
+  EXPECT_EQ(stats.installed, 2u);
+  EXPECT_EQ(stats.completed, 2u);  // Exactly one completion per query.
+  EXPECT_GE(stats.requeued, 1u);
+  EXPECT_EQ(stats.poisoned, 0u);
+  EXPECT_EQ(stats.ready, 0u);
+  EXPECT_EQ(stats.claimed, 0u);
+  if (crash.owner_death) {
+    EXPECT_GE(stats.owner_deaths, 1u);
+  }
+
+  harness.Stop();
+  ExpectCacheReloadsClean(harness.cache_path(), page_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stages, WorkerCrashTest,
+    ::testing::Combine(
+        ::testing::Values(0u, 4096u),
+        ::testing::Values(CrashCase{"claimed", false},
+                          CrashCase{"mid_train", false},
+                          CrashCase{"pre_commit", false},
+                          CrashCase{"mid_response", true})),
+    [](const ::testing::TestParamInfo<WorkerCrashTest::ParamType>& info) {
+      return std::string(std::get<1>(info.param).stage) + "_page" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+// --------------------------------------------- undisturbed pool runs
+
+class WorkerPoolTest : public ::testing::TestWithParam<uint32_t> {};
+
+/// Sanity floor under the battery: with no kill armed, the pool
+/// answers exactly like the in-process service, cold and warm.
+TEST_P(WorkerPoolTest, UndisturbedPoolMatchesInProcessAnswers) {
+  const uint32_t page_size = GetParam();
+  PoolHarness harness;
+  ASSERT_TRUE(harness
+                  .Start("plain_" + std::to_string(page_size),
+                         /*workers=*/2, page_size, /*crash_at=*/"")
+                  .ok());
+  auto cold = harness.Query(MakeRequest());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ExpectSameSkylines(cold.value(), ReferenceResponse(page_size));
+  auto warm = harness.Query(MakeRequest());
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ExpectSameSkylines(warm.value(), ReferenceResponse(page_size));
+
+  EXPECT_EQ(harness.pool()->restarts_total(), 0u);
+  const ShmRing::Stats stats = harness.pool()->ring()->SnapshotStats();
+  EXPECT_EQ(stats.installed, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  harness.Stop();
+  ExpectCacheReloadsClean(harness.cache_path(), page_size);
+}
+
+/// The positive cross-process warm contract (the flip side of
+/// storage_test's raw-open fail-fast): while the pool is LIVE, a
+/// second query lands on the shared cache WARM — zero new trainings —
+/// even when a different worker process answers it.
+TEST_P(WorkerPoolTest, SecondQueryThroughLivePoolIsWarm) {
+  const uint32_t page_size = GetParam();
+  PoolHarness harness;
+  ASSERT_TRUE(harness
+                  .Start("warmup_" + std::to_string(page_size),
+                         /*workers=*/2, page_size, /*crash_at=*/"")
+                  .ok());
+  auto cold = harness.Query(MakeRequest());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_GT(cold.value().exact_evals, 0u);
+
+  // Drive queries until a DIFFERENT worker index has answered one (the
+  // request-id prefix carries the worker index), then check it was
+  // warm: the second process saw the first one's published trainings.
+  bool cross_worker_warm = false;
+  for (int attempt = 0; attempt < 20 && !cross_worker_warm; ++attempt) {
+    auto warm = harness.Query(MakeRequest());
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    ExpectSameSkylines(warm.value(), ReferenceResponse(page_size));
+    if (warm.value().request_id.rfind(cold.value().request_id.substr(0, 4),
+                                      0) != 0) {
+      EXPECT_EQ(warm.value().exact_evals, 0u)
+          << "cross-process reader was cold: " << warm.value().request_id;
+      cross_worker_warm = true;
+    }
+  }
+  EXPECT_TRUE(cross_worker_warm)
+      << "no query landed on a second worker in 20 attempts";
+  harness.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, WorkerPoolTest,
+                         ::testing::Values(0u, 4096u),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return "page" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace modis
+
+int main(int argc, char** argv) {
+  // Worker children re-exec this binary with --worker-role; peel that
+  // mode off before gtest sees the flags.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--worker-role") == 0) {
+      modis::WorkerRoleArgs args;
+      for (int j = 1; j + 1 < argc; ++j) {
+        const std::string flag = argv[j];
+        if (flag == "--ring") args.ring = argv[j + 1];
+        if (flag == "--index")
+          args.index = static_cast<uint32_t>(std::stoul(argv[j + 1]));
+        if (flag == "--cache") args.cache = argv[j + 1];
+        if (flag == "--page-size")
+          args.page_size = static_cast<uint32_t>(std::stoul(argv[j + 1]));
+        if (flag == "--crash-at") args.crash_at = argv[j + 1];
+      }
+      return modis::RunWorkerRole(args);
+    }
+  }
+  modis::g_self_exe = argv[0];
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
